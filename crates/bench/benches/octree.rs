@@ -1,0 +1,47 @@
+//! Octree benchmarks: build cost (the O(N) term of the paper's complexity
+//! analysis), query assignment, start-cube sampling, and per-cube point
+//! enumeration (Agent-Point's state construction input).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_index::{Octree, OctreeConfig};
+use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+
+fn bench_octree(c: &mut Criterion) {
+    let mut group = c.benchmark_group("octree_build");
+    group.sample_size(10);
+    for m in [8usize, 16, 32] {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(m), 1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("N={}", db.total_points())),
+            &db,
+            |b, db| b.iter(|| Octree::build(db, OctreeConfig::default())),
+        );
+    }
+    group.finish();
+
+    let db = generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(16), 1);
+    let mut tree = Octree::build(&db, OctreeConfig::default());
+    let spec = RangeWorkloadSpec::paper_default(100, QueryDistribution::Data);
+    let mut rng = StdRng::seed_from_u64(2);
+    let queries = range_workload(&db, &spec, &mut rng);
+
+    c.bench_function("octree_assign_100_queries", |b| {
+        b.iter(|| tree.assign_queries(std::hint::black_box(&queries)))
+    });
+
+    tree.assign_queries(&queries);
+    c.bench_function("octree_sample_start", |b| {
+        let mut rng = StdRng::seed_from_u64(3);
+        b.iter(|| tree.sample_start(3, &mut rng))
+    });
+
+    c.bench_function("octree_points_by_trajectory_root", |b| {
+        b.iter(|| tree.points_by_trajectory(tree.root()))
+    });
+}
+
+criterion_group!(benches, bench_octree);
+criterion_main!(benches);

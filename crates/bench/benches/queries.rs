@@ -1,0 +1,70 @@
+//! Query-operator benchmarks: the evaluation pipeline's building blocks
+//! (range scan, EDR dynamic program, t2vec embedding, similarity check,
+//! TRACLUS clustering).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_query::knn::{Dissimilarity, KnnQuery};
+use traj_query::similarity::SimilarityQuery;
+use traj_query::t2vec::T2vecEmbedder;
+use traj_query::traclus::{traclus, TraclusParams};
+use traj_query::{edr, range_workload, QueryDistribution, RangeWorkloadSpec};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+
+fn bench_queries(c: &mut Criterion) {
+    let db = generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(16), 1);
+    let spec = RangeWorkloadSpec::paper_default(20, QueryDistribution::Data);
+    let mut rng = StdRng::seed_from_u64(1);
+    let queries = range_workload(&db, &spec, &mut rng);
+
+    c.bench_function("range_query_batch_20", |b| {
+        b.iter(|| traj_query::range_query_batch(std::hint::black_box(&db), &queries))
+    });
+
+    let a = db.get(0);
+    let bt = db.get(1);
+    c.bench_function("edr_full_trajectories", |b| {
+        b.iter(|| edr::edr(std::hint::black_box(a), std::hint::black_box(bt), 2_000.0))
+    });
+
+    let embedder = T2vecEmbedder::default();
+    c.bench_function("t2vec_embed", |b| {
+        b.iter(|| embedder.embed(std::hint::black_box(a)))
+    });
+
+    let (t0, t1) = db.time_span();
+    let knn = KnnQuery {
+        query: a.clone(),
+        ts: t0,
+        te: t1,
+        k: 3,
+        measure: Dissimilarity::Edr { eps: 2_000.0 },
+    };
+    c.bench_function("knn_edr_whole_db", |b| {
+        b.iter(|| knn.execute(std::hint::black_box(&db)))
+    });
+
+    let sim = SimilarityQuery {
+        query: a.clone(),
+        ts: a.time_span().0,
+        te: a.time_span().1,
+        delta: 5_000.0,
+        step: 600.0,
+    };
+    c.bench_function("similarity_whole_db", |b| {
+        b.iter(|| sim.execute(std::hint::black_box(&db)))
+    });
+
+    let small: trajectory::TrajectoryDb =
+        db.trajectories().iter().take(8).cloned().collect();
+    let mut group = c.benchmark_group("traclus");
+    group.sample_size(10);
+    group.bench_function("traclus_8_trajectories", |b| {
+        b.iter(|| traclus(std::hint::black_box(&small), &TraclusParams::default()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries);
+criterion_main!(benches);

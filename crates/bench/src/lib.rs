@@ -1,0 +1,1 @@
+//! Criterion benchmark crate for the RL4QDTS reproduction; see `benches/`.

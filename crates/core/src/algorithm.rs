@@ -1,0 +1,337 @@
+//! The RL4QDTS algorithm (Algorithm 1–3): collective, query-aware
+//! simplification of a trajectory database with two cooperating agents.
+
+use crate::config::{IndexKind, PolicyVariant, Rl4QdtsConfig};
+use crate::cube_agent::{cube_mask, cube_state, forced_stop, STOP_ACTION};
+use crate::point_agent::point_state;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use tiny_rl::Dqn;
+use traj_index::{CubeIndex, MedianTree, MedianTreeConfig, NodeId, Octree, OctreeConfig};
+use trajectory::{Cube, Simplification, TrajectoryDb};
+
+/// The RL4QDTS simplifier: a trained Agent-Cube and Agent-Point pair plus
+/// their hyperparameters. Produced by [`crate::trainer::train`] (or
+/// [`Rl4Qdts::untrained`] for testing) and applied with
+/// [`Rl4Qdts::simplify`].
+#[derive(Debug, Clone)]
+pub struct Rl4Qdts {
+    /// Hyperparameters (must match between training and inference).
+    pub config: Rl4QdtsConfig,
+    pub(crate) cube_agent: Dqn,
+    pub(crate) point_agent: Dqn,
+}
+
+impl Rl4Qdts {
+    /// An untrained instance (random policies). Useful for tests and as the
+    /// starting point of training.
+    pub fn untrained(config: Rl4QdtsConfig, seed: u64) -> Self {
+        let cube_agent = Dqn::new(
+            &[Rl4QdtsConfig::CUBE_STATE_DIM, 25, Rl4QdtsConfig::CUBE_ACTION_DIM],
+            config.dqn,
+            seed,
+        );
+        let point_agent =
+            Dqn::new(&[config.point_state_dim(), 25, config.k], config.dqn, seed ^ 0x9e3779b97f4a7c15);
+        Self { config, cube_agent, point_agent }
+    }
+
+    /// Rebuilds from deserialized agents (see [`crate::model_io`]).
+    pub fn from_agents(config: Rl4QdtsConfig, cube_agent: Dqn, point_agent: Dqn) -> Self {
+        assert_eq!(cube_agent.state_dim(), Rl4QdtsConfig::CUBE_STATE_DIM);
+        assert_eq!(point_agent.state_dim(), config.point_state_dim());
+        Self { config, cube_agent, point_agent }
+    }
+
+    /// Access to the trained agents (serialization).
+    pub fn agents(&self) -> (&Dqn, &Dqn) {
+        (&self.cube_agent, &self.point_agent)
+    }
+
+    /// Algorithm 1 with the full method. `state_queries` is the synthetic
+    /// range-query workload that defines the octree's `Q_B` statistics and
+    /// the start-cube sampling distribution — the same role it plays during
+    /// training. `seed` drives the (paper-noted) random start-cube
+    /// sampling; the experiments average over several seeds.
+    pub fn simplify(
+        &self,
+        db: &TrajectoryDb,
+        budget: usize,
+        state_queries: &[Cube],
+        seed: u64,
+    ) -> Simplification {
+        self.simplify_variant(db, budget, state_queries, seed, PolicyVariant::FULL)
+    }
+
+    /// Algorithm 1 parameterized by the ablation variant (Table II).
+    /// Builds the configured index ([`IndexKind`]) and runs the insertion
+    /// loop against it.
+    pub fn simplify_variant(
+        &self,
+        db: &TrajectoryDb,
+        budget: usize,
+        state_queries: &[Cube],
+        seed: u64,
+        variant: PolicyVariant,
+    ) -> Simplification {
+        match self.config.index {
+            IndexKind::Octree => {
+                let mut tree = Octree::build(
+                    db,
+                    OctreeConfig {
+                        max_depth: self.config.max_depth,
+                        leaf_capacity: self.config.leaf_capacity,
+                    },
+                );
+                tree.assign_queries(state_queries);
+                self.simplify_with_index(db, budget, &tree, seed, variant)
+            }
+            IndexKind::MedianKdTree => {
+                let mut tree = MedianTree::build(
+                    db,
+                    MedianTreeConfig {
+                        max_depth: self.config.max_depth,
+                        leaf_capacity: self.config.leaf_capacity,
+                    },
+                );
+                tree.assign_queries(state_queries);
+                self.simplify_with_index(db, budget, &tree, seed, variant)
+            }
+        }
+    }
+
+    /// Algorithm 1 against an already-built, query-assigned index.
+    pub fn simplify_with_index<I: CubeIndex + ?Sized>(
+        &self,
+        db: &TrajectoryDb,
+        budget: usize,
+        tree: &I,
+        seed: u64,
+        variant: PolicyVariant,
+    ) -> Simplification {
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        let mut simp = Simplification::most_simplified(db);
+        let total_points = db.total_points();
+        let budget = budget.clamp(simp.total_points(), total_points);
+
+        // Inference clones so `&self` stays shareable and runs independent.
+        let mut cube_agent = self.cube_agent.clone();
+        let mut point_agent = self.point_agent.clone();
+        cube_agent.freeze();
+        point_agent.freeze();
+
+        let mut consecutive_misses = 0usize;
+        const MAX_MISSES: usize = 64;
+
+        while simp.total_points() < budget {
+            // The full method samples the start cube by the *query*
+            // distribution and refines with Agent-Cube; the "w/o
+            // Agent-Cube" ablation replaces the whole cube stage with
+            // *data*-distribution sampling (§V-B(3)).
+            let node = if variant.use_cube_agent {
+                let start = tree.sample_start(self.config.start_level, &mut rng);
+                self.descend(tree, start, &mut cube_agent)
+            } else {
+                tree.sample_start_by_data(self.config.start_level, &mut rng)
+            };
+            let inserted = match point_state(db, &simp, tree, node, &self.config) {
+                Some(ps) => {
+                    let action = if variant.use_point_agent {
+                        let ws = point_agent.whiten(&ps.state, false);
+                        point_agent.greedy_action(&ws, &ps.mask)
+                    } else {
+                        0 // maximum-v_s candidate
+                    };
+                    let c = ps.candidates[action.min(ps.candidates.len() - 1)];
+                    simp.insert(c.point.traj, c.point.idx)
+                }
+                None => false,
+            };
+            if inserted {
+                consecutive_misses = 0;
+            } else {
+                consecutive_misses += 1;
+                if consecutive_misses >= MAX_MISSES {
+                    // The sampled region is exhausted; fill the remaining
+                    // budget deterministically so the contract (exactly
+                    // `budget` points when available) holds.
+                    fill_remaining(db, &mut simp, budget);
+                    break;
+                }
+            }
+        }
+        simp
+    }
+
+    /// Algorithm 2: Agent-Cube's greedy top-down traversal from `node`.
+    fn descend<I: CubeIndex + ?Sized>(&self, tree: &I, mut node: NodeId, agent: &mut Dqn) -> NodeId {
+        loop {
+            if forced_stop(tree, node, self.config.max_depth) {
+                return node;
+            }
+            let Some(raw) = cube_state(tree, node) else {
+                return node;
+            };
+            let state = agent.whiten(&raw, false);
+            let mask = cube_mask(tree, node);
+            let action = agent.greedy_action(&state, &mask);
+            if action == STOP_ACTION {
+                return node;
+            }
+            let children = tree.children(node).expect("non-leaf");
+            node = children[action];
+        }
+    }
+}
+
+/// Deterministically inserts not-yet-kept points (highest-SED first per
+/// trajectory, round-robin) until `budget` is reached. Only used as the
+/// exhaustion fallback; normal operation inserts via the agents.
+fn fill_remaining(db: &TrajectoryDb, simp: &mut Simplification, budget: usize) {
+    use crate::point_agent::point_value;
+    use traj_index::PointRef;
+    let mut total = simp.total_points();
+    if total >= budget {
+        return;
+    }
+    // One O(N log N) pass: rank all remaining points by their current
+    // v_s and insert the best until the budget is met. Rankings are not
+    // refreshed as anchors change — acceptable for the rare exhaustion
+    // fallback, and it keeps the worst case out of O(N·W).
+    let mut candidates: Vec<(f64, PointRef)> = Vec::new();
+    for (traj, t) in db.iter() {
+        for idx in 1..t.len().saturating_sub(1) as u32 {
+            let r = PointRef { traj, idx };
+            if let Some((vs, _)) = point_value(db, simp, r) {
+                candidates.push((vs, r));
+            }
+        }
+    }
+    candidates.sort_by(|a, b| b.0.total_cmp(&a.0));
+    for (_, r) in candidates {
+        if total >= budget {
+            break;
+        }
+        if simp.insert(r.traj, r.idx) {
+            total += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+    use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+
+    fn setup() -> (TrajectoryDb, Vec<Cube>, Rl4QdtsConfig) {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 17);
+        let cfg = Rl4QdtsConfig::scaled_to(&db).with_delta(20);
+        let spec = RangeWorkloadSpec {
+            count: 20,
+            spatial_extent: 3_000.0,
+            temporal_extent: 86_400.0,
+            dist: QueryDistribution::Data,
+        };
+        let mut rng = StdRng::seed_from_u64(5);
+        let queries = range_workload(&db, &spec, &mut rng);
+        (db, queries, cfg)
+    }
+
+    #[test]
+    fn untrained_model_meets_budget_exactly() {
+        let (db, queries, cfg) = setup();
+        let model = Rl4Qdts::untrained(cfg, 1);
+        let budget = db.total_points() / 20;
+        let simp = model.simplify(&db, budget, &queries, 7);
+        assert_eq!(simp.total_points(), budget.max(2 * db.len()));
+    }
+
+    #[test]
+    fn endpoints_always_present() {
+        let (db, queries, cfg) = setup();
+        let model = Rl4Qdts::untrained(cfg, 2);
+        let simp = model.simplify(&db, db.total_points() / 30, &queries, 3);
+        for (id, t) in db.iter() {
+            assert!(simp.contains(id, 0));
+            assert!(simp.contains(id, t.len() as u32 - 1));
+        }
+    }
+
+    #[test]
+    fn same_seed_is_deterministic() {
+        let (db, queries, cfg) = setup();
+        let model = Rl4Qdts::untrained(cfg, 3);
+        let budget = db.total_points() / 25;
+        let a = model.simplify(&db, budget, &queries, 11);
+        let b = model.simplify(&db, budget, &queries, 11);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn budget_above_total_keeps_everything() {
+        let (db, queries, cfg) = setup();
+        let model = Rl4Qdts::untrained(cfg, 4);
+        let simp = model.simplify(&db, usize::MAX, &queries, 1);
+        assert_eq!(simp.total_points(), db.total_points());
+    }
+
+    #[test]
+    fn all_ablation_variants_run() {
+        let (db, queries, cfg) = setup();
+        let model = Rl4Qdts::untrained(cfg, 5);
+        let budget = db.total_points() / 20;
+        for v in [
+            PolicyVariant::FULL,
+            PolicyVariant::NO_CUBE,
+            PolicyVariant::NO_POINT,
+            PolicyVariant::NEITHER,
+        ] {
+            let simp = model.simplify_variant(&db, budget, &queries, 9, v);
+            assert_eq!(simp.total_points(), budget.max(2 * db.len()), "{}", v.label());
+        }
+    }
+
+    #[test]
+    fn fill_remaining_completes_budgets() {
+        let (db, _, _) = setup();
+        let mut simp = Simplification::most_simplified(&db);
+        let budget = simp.total_points() + 17;
+        fill_remaining(&db, &mut simp, budget);
+        assert_eq!(simp.total_points(), budget);
+    }
+
+    #[test]
+    fn median_kdtree_index_works_end_to_end() {
+        let (db, queries, cfg) = setup();
+        let cfg = cfg.with_index(IndexKind::MedianKdTree);
+        let model = Rl4Qdts::untrained(cfg, 7);
+        let budget = db.total_points() / 20;
+        let simp = model.simplify(&db, budget, &queries, 3);
+        assert_eq!(simp.total_points(), budget.max(2 * db.len()));
+        // Determinism holds for the alternative index too.
+        assert_eq!(simp, model.simplify(&db, budget, &queries, 3));
+    }
+
+    #[test]
+    fn octree_and_kdtree_make_different_choices() {
+        let (db, queries, cfg) = setup();
+        let model_oct = Rl4Qdts::untrained(cfg, 7);
+        let model_kd = Rl4Qdts::untrained(cfg.with_index(IndexKind::MedianKdTree), 7);
+        let budget = db.total_points() / 20;
+        let a = model_oct.simplify(&db, budget, &queries, 3);
+        let b = model_kd.simplify(&db, budget, &queries, 3);
+        assert_eq!(a.total_points(), b.total_points());
+        assert_ne!(a, b, "different partitionings should select different points");
+    }
+
+    #[test]
+    fn empty_workload_still_works() {
+        let (db, _, cfg) = setup();
+        let model = Rl4Qdts::untrained(cfg, 6);
+        let budget = db.total_points() / 25;
+        let simp = model.simplify(&db, budget, &[], 2);
+        assert_eq!(simp.total_points(), budget.max(2 * db.len()));
+    }
+}

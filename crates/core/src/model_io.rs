@@ -1,0 +1,131 @@
+//! Checkpointing trained RL4QDTS models.
+//!
+//! A checkpoint is a directory of four text files (cube/point network and
+//! whitener) in `tiny-rl`'s versioned format, so models can be trained
+//! once and reused across the experiment binaries.
+
+use crate::algorithm::Rl4Qdts;
+use crate::config::Rl4QdtsConfig;
+use std::io;
+use std::path::Path;
+use tiny_rl::nn::serialize::{
+    mlp_from_str, mlp_to_string, whitener_from_str, whitener_to_string,
+};
+use tiny_rl::Dqn;
+
+/// Error loading or saving a checkpoint.
+#[derive(Debug)]
+pub enum CheckpointError {
+    /// Filesystem failure.
+    Io(io::Error),
+    /// Malformed model file.
+    Parse(String),
+}
+
+impl std::fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CheckpointError::Io(e) => write!(f, "checkpoint io error: {e}"),
+            CheckpointError::Parse(m) => write!(f, "checkpoint parse error: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+impl From<io::Error> for CheckpointError {
+    fn from(e: io::Error) -> Self {
+        CheckpointError::Io(e)
+    }
+}
+
+/// Writes the model's four artifacts into `dir` (created if missing).
+pub fn save(model: &Rl4Qdts, dir: &Path) -> Result<(), CheckpointError> {
+    std::fs::create_dir_all(dir)?;
+    let (cube, point) = model.agents();
+    std::fs::write(dir.join("cube.mlp"), mlp_to_string(cube.online()))?;
+    std::fs::write(dir.join("cube.whitener"), whitener_to_string(cube.whitener()))?;
+    std::fs::write(dir.join("point.mlp"), mlp_to_string(point.online()))?;
+    std::fs::write(dir.join("point.whitener"), whitener_to_string(point.whitener()))?;
+    Ok(())
+}
+
+/// Loads a model saved by [`save`]. The caller supplies the config, which
+/// must match the checkpoint's network shapes (`K` in particular).
+pub fn load(config: Rl4QdtsConfig, dir: &Path) -> Result<Rl4Qdts, CheckpointError> {
+    let read = |name: &str| -> Result<String, CheckpointError> {
+        Ok(std::fs::read_to_string(dir.join(name))?)
+    };
+    let parse_err = |e: tiny_rl::nn::serialize::ParseError| CheckpointError::Parse(e.message);
+    let cube_mlp = mlp_from_str(&read("cube.mlp")?).map_err(parse_err)?;
+    let cube_whit = whitener_from_str(&read("cube.whitener")?).map_err(parse_err)?;
+    let point_mlp = mlp_from_str(&read("point.mlp")?).map_err(parse_err)?;
+    let point_whit = whitener_from_str(&read("point.whitener")?).map_err(parse_err)?;
+    if point_mlp.input_dim() != config.point_state_dim() {
+        return Err(CheckpointError::Parse(format!(
+            "checkpoint was trained with K={}, config has K={}",
+            point_mlp.input_dim() / 2,
+            config.k
+        )));
+    }
+    let cube = Dqn::from_parts(cube_mlp, cube_whit, config.dqn, 0);
+    let point = Dqn::from_parts(point_mlp, point_whit, config.dqn, 1);
+    Ok(Rl4Qdts::from_agents(config, cube, point))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+    use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+
+    #[test]
+    fn checkpoint_round_trips_behaviour() {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 41);
+        let config = Rl4QdtsConfig::scaled_to(&db);
+        let model = Rl4Qdts::untrained(config, 77);
+
+        let dir = std::env::temp_dir().join("rl4qdts_ckpt_test");
+        save(&model, &dir).unwrap();
+        let loaded = load(config, &dir).unwrap();
+
+        let spec = RangeWorkloadSpec {
+            count: 10,
+            spatial_extent: 2_000.0,
+            temporal_extent: 86_400.0,
+            dist: QueryDistribution::Data,
+        };
+        let mut rng = StdRng::seed_from_u64(3);
+        let queries = range_workload(&db, &spec, &mut rng);
+        let budget = db.total_points() / 20;
+        assert_eq!(
+            model.simplify(&db, budget, &queries, 9),
+            loaded.simplify(&db, budget, &queries, 9),
+            "loaded model must act identically"
+        );
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn k_mismatch_is_rejected() {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 43);
+        let config = Rl4QdtsConfig::scaled_to(&db).with_k(2);
+        let model = Rl4Qdts::untrained(config, 1);
+        let dir = std::env::temp_dir().join("rl4qdts_ckpt_k_test");
+        save(&model, &dir).unwrap();
+        let wrong = Rl4QdtsConfig::scaled_to(&db).with_k(5);
+        assert!(matches!(load(wrong, &dir), Err(CheckpointError::Parse(_))));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_files_are_io_errors() {
+        let dir = std::env::temp_dir().join("rl4qdts_ckpt_missing");
+        std::fs::remove_dir_all(&dir).ok();
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 47);
+        let config = Rl4QdtsConfig::scaled_to(&db);
+        assert!(matches!(load(config, &dir), Err(CheckpointError::Io(_))));
+    }
+}

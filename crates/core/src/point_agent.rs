@@ -1,0 +1,201 @@
+//! Agent-Point: the MDP for choosing a point inside a cube (§IV-B).
+//!
+//! Given the cube Agent-Cube chose, each trajectory crossing the cube
+//! nominates its not-yet-inserted point with the largest *spatial* value
+//! `v_s` (Eq. 6–7: the SED of the point w.r.t. its current anchor
+//! segment). The state is the `K` largest nominations' `(v_s, v_t)` pairs
+//! (Eq. 8); action `k` inserts the `k`-th nomination into `D'`.
+
+use crate::config::Rl4QdtsConfig;
+use traj_index::{CubeIndex, NodeId, PointRef};
+use trajectory::{error::sed, geom, Simplification, TrajectoryDb};
+
+/// One nominated insertion candidate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Candidate {
+    /// The point to insert.
+    pub point: PointRef,
+    /// Spatial feature `v_s`: SED w.r.t. the current anchor segment.
+    pub vs: f64,
+    /// Temporal feature `v_t`: |t − t(closest point on the anchor)|.
+    pub vt: f64,
+}
+
+/// The constructed Agent-Point state: `K` interleaved `(v_s, v_t)` pairs
+/// (zero-padded) plus the concrete candidates backing each action.
+#[derive(Debug, Clone)]
+pub struct PointState {
+    /// Feature vector of length `2K`.
+    pub state: Vec<f64>,
+    /// Valid-action mask of length `K`.
+    pub mask: Vec<bool>,
+    /// The candidates (≤ K, ordered by descending `v_s`).
+    pub candidates: Vec<Candidate>,
+}
+
+/// Computes `(v_s, v_t)` (Eq. 6) of point `r` w.r.t. its *current* anchor
+/// segment in the simplified database. Returns `None` when the point is
+/// already inserted (kept points are excluded from the state definition).
+pub fn point_value(
+    db: &TrajectoryDb,
+    simp: &Simplification,
+    r: PointRef,
+) -> Option<(f64, f64)> {
+    let (s, e) = simp.anchor(r.traj, r.idx);
+    if s == e {
+        return None; // already in D'
+    }
+    let traj = db.get(r.traj);
+    let ps = traj.point(s as usize);
+    let pe = traj.point(e as usize);
+    let p = traj.point(r.idx as usize);
+    let vs = sed(ps, pe, p);
+    let vt = (p.t - geom::closest_point_time(ps, pe, p)).abs();
+    Some((vs, vt))
+}
+
+/// Builds the Agent-Point state for `cube` (Eq. 6–8).
+///
+/// Per trajectory crossing the cube, only the maximum-`v_s` point is
+/// nominated (Eq. 7); the global state takes the `K` nominations with the
+/// largest `v_s` (Eq. 8). Returns `None` when the cube holds no insertable
+/// point at all.
+pub fn point_state<I: CubeIndex + ?Sized>(
+    db: &TrajectoryDb,
+    simp: &Simplification,
+    tree: &I,
+    cube: NodeId,
+    config: &Rl4QdtsConfig,
+) -> Option<PointState> {
+    let k = config.k;
+    let mut nominations: Vec<Candidate> = Vec::new();
+    for (traj, idxs) in tree.points_by_trajectory(cube) {
+        let mut best: Option<Candidate> = None;
+        for idx in idxs {
+            let r = PointRef { traj, idx };
+            if let Some((vs, vt)) = point_value(db, simp, r) {
+                if best.is_none_or(|b| vs > b.vs) {
+                    best = Some(Candidate { point: r, vs, vt });
+                }
+            }
+        }
+        if let Some(c) = best {
+            nominations.push(c);
+        }
+    }
+    if nominations.is_empty() {
+        return None;
+    }
+    nominations.sort_by(|a, b| {
+        b.vs.partial_cmp(&a.vs)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.point.traj.cmp(&b.point.traj))
+    });
+    nominations.truncate(k);
+
+    let mut state = Vec::with_capacity(2 * k);
+    let mut mask = vec![false; k];
+    for (i, c) in nominations.iter().enumerate() {
+        state.push(c.vs);
+        state.push(c.vt);
+        mask[i] = true;
+    }
+    state.resize(2 * k, 0.0);
+    Some(PointState { state, mask, candidates: nominations })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_index::{Octree, OctreeConfig};
+    use trajectory::{Point, Trajectory};
+
+    /// Two trajectories; t1 has a large detour at index 2, t2 a small one.
+    fn setup() -> (TrajectoryDb, Octree, Simplification) {
+        let t1 = Trajectory::new(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(10.0, 0.0, 10.0),
+            Point::new(20.0, 90.0, 20.0),
+            Point::new(30.0, 0.0, 30.0),
+            Point::new(40.0, 0.0, 40.0),
+        ])
+        .unwrap();
+        let t2 = Trajectory::new(vec![
+            Point::new(0.0, 50.0, 0.0),
+            Point::new(10.0, 58.0, 10.0),
+            Point::new(20.0, 50.0, 20.0),
+        ])
+        .unwrap();
+        let db = TrajectoryDb::new(vec![t1, t2]);
+        let tree = Octree::build(&db, OctreeConfig { max_depth: 3, leaf_capacity: 100 });
+        let simp = Simplification::most_simplified(&db);
+        (db, tree, simp)
+    }
+
+    #[test]
+    fn point_value_measures_sed_to_anchor() {
+        let (db, _, simp) = setup();
+        // t1 point 2: anchor (0, 4); sync at t=20 is (20, 0); actual (20, 90).
+        let (vs, vt) = point_value(&db, &simp, PointRef { traj: 0, idx: 2 }).unwrap();
+        assert!((vs - 90.0).abs() < 1e-9);
+        assert!(vt >= 0.0);
+        // Kept endpoints yield no value.
+        assert!(point_value(&db, &simp, PointRef { traj: 0, idx: 0 }).is_none());
+    }
+
+    #[test]
+    fn state_ranks_candidates_by_vs() {
+        let (db, tree, simp) = setup();
+        let cfg = Rl4QdtsConfig::paper().with_k(2);
+        let ps = point_state(&db, &simp, &tree, tree.root(), &cfg).unwrap();
+        assert_eq!(ps.candidates.len(), 2);
+        // t1's detour (vs = 90) must rank above t2's bump (vs = 8).
+        assert_eq!(ps.candidates[0].point, PointRef { traj: 0, idx: 2 });
+        assert!(ps.candidates[0].vs > ps.candidates[1].vs);
+        assert_eq!(ps.state.len(), 4);
+        assert_eq!(ps.mask, vec![true, true]);
+    }
+
+    #[test]
+    fn one_nomination_per_trajectory() {
+        let (db, tree, simp) = setup();
+        let cfg = Rl4QdtsConfig::paper().with_k(4);
+        let ps = point_state(&db, &simp, &tree, tree.root(), &cfg).unwrap();
+        // Even with K=4 there are only 2 trajectories => 2 candidates.
+        assert_eq!(ps.candidates.len(), 2);
+        assert_eq!(ps.mask, vec![true, true, false, false]);
+        assert_eq!(ps.state[3 * 2..], [0.0, 0.0][..]);
+    }
+
+    #[test]
+    fn inserted_points_leave_the_state() {
+        let (db, tree, mut simp) = setup();
+        let cfg = Rl4QdtsConfig::paper().with_k(2);
+        simp.insert(0, 2);
+        let ps = point_state(&db, &simp, &tree, tree.root(), &cfg).unwrap();
+        assert!(
+            ps.candidates.iter().all(|c| c.point != PointRef { traj: 0, idx: 2 }),
+            "inserted point must not be re-nominated"
+        );
+    }
+
+    #[test]
+    fn exhausted_cube_returns_none() {
+        let (db, tree, _) = setup();
+        let cfg = Rl4QdtsConfig::paper();
+        let full = Simplification::full(&db);
+        assert!(point_state(&db, &full, &tree, tree.root(), &cfg).is_none());
+    }
+
+    #[test]
+    fn anchor_updates_change_values() {
+        let (db, _, mut simp) = setup();
+        let r = PointRef { traj: 0, idx: 1 };
+        let (vs_before, _) = point_value(&db, &simp, r).unwrap();
+        // Inserting the detour point re-anchors point 1 to (0, 2):
+        // sync at t=10 moves to (10, 45), so v_s jumps.
+        simp.insert(0, 2);
+        let (vs_after, _) = point_value(&db, &simp, r).unwrap();
+        assert!(vs_after > vs_before);
+    }
+}

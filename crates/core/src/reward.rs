@@ -1,0 +1,174 @@
+//! The shared delayed reward (§IV-B, Eq. 10).
+//!
+//! Every `Δ` insertions the training loop measures
+//! `R = diff(Q(D), Q(D'_before)) − diff(Q(D), Q(D'_after))` over a range-
+//! query workload, where `diff` is `1 − mean F1` (results on the original
+//! database are the ground truth). The telescoping argument of Eq. 11 makes
+//! maximizing ΣR equivalent to minimizing the final query-result
+//! difference — the QDTS objective itself.
+
+use traj_query::metrics::{f1_sets, F1Score};
+use trajectory::{Cube, Simplification, TrajId, TrajectoryDb};
+
+/// Evaluates range queries against a simplification *without*
+/// materializing the simplified database: a trajectory matches when one of
+/// its kept points falls inside the query cube.
+pub fn range_query_simplified(
+    db: &TrajectoryDb,
+    simp: &Simplification,
+    q: &Cube,
+) -> Vec<TrajId> {
+    db.iter()
+        .filter(|(id, t)| {
+            simp.kept(*id).iter().any(|&idx| q.contains(t.point(idx as usize)))
+        })
+        .map(|(id, _)| id)
+        .collect()
+}
+
+/// Tracks `diff(Q(D), Q(D'))` across training and emits window rewards.
+#[derive(Debug, Clone)]
+pub struct RewardTracker {
+    queries: Vec<Cube>,
+    truth: Vec<Vec<TrajId>>,
+    last_diff: f64,
+}
+
+impl RewardTracker {
+    /// Computes the ground truth `Q(D)` for the workload and initializes
+    /// the running difference against `simp` (usually the most simplified
+    /// database, making the first window's baseline the constant `C` of
+    /// Eq. 11).
+    pub fn new(db: &TrajectoryDb, queries: Vec<Cube>, simp: &Simplification) -> Self {
+        let truth: Vec<Vec<TrajId>> =
+            queries.iter().map(|q| traj_query::range_query(db, q)).collect();
+        let mut tracker = Self { queries, truth, last_diff: 0.0 };
+        tracker.last_diff = tracker.diff(db, simp);
+        tracker
+    }
+
+    /// Number of workload queries.
+    pub fn num_queries(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// `diff(Q(D), Q(D'))`: one minus the mean F1 of the workload on the
+    /// simplification.
+    pub fn diff(&self, db: &TrajectoryDb, simp: &Simplification) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let scores: Vec<F1Score> = self
+            .queries
+            .iter()
+            .zip(&self.truth)
+            .map(|(q, truth)| {
+                let result = range_query_simplified(db, simp, q);
+                f1_sets(truth, &result)
+            })
+            .collect();
+        traj_query::query_diff(&scores)
+    }
+
+    /// Closes a reward window (Eq. 10): returns
+    /// `R = diff_before − diff_now` and makes `diff_now` the new baseline.
+    /// Positive when the window's insertions improved query accuracy.
+    pub fn window_reward(&mut self, db: &TrajectoryDb, simp: &Simplification) -> f64 {
+        let now = self.diff(db, simp);
+        let r = self.last_diff - now;
+        self.last_diff = now;
+        r
+    }
+
+    /// The current baseline difference.
+    pub fn last_diff(&self) -> f64 {
+        self.last_diff
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::{Point, Trajectory};
+
+    /// A trajectory passing through the query box only at its midpoint.
+    fn db() -> TrajectoryDb {
+        let t = Trajectory::new(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(50.0, 0.0, 50.0),
+            Point::new(100.0, 0.0, 100.0),
+        ])
+        .unwrap();
+        let far = Trajectory::new(vec![
+            Point::new(1000.0, 1000.0, 0.0),
+            Point::new(1000.0, 1000.0, 100.0),
+        ])
+        .unwrap();
+        TrajectoryDb::new(vec![t, far])
+    }
+
+    fn mid_query() -> Cube {
+        Cube::centered(50.0, 0.0, 50.0, 5.0, 5.0, 5.0)
+    }
+
+    #[test]
+    fn simplified_query_sees_only_kept_points() {
+        let db = db();
+        let simp = Simplification::most_simplified(&db);
+        // Endpoints only: the midpoint hit is lost.
+        assert!(range_query_simplified(&db, &simp, &mid_query()).is_empty());
+        let mut richer = simp.clone();
+        richer.insert(0, 1);
+        assert_eq!(range_query_simplified(&db, &richer, &mid_query()), vec![0]);
+    }
+
+    #[test]
+    fn reward_is_positive_when_accuracy_improves() {
+        let db = db();
+        let mut simp = Simplification::most_simplified(&db);
+        let mut tracker = RewardTracker::new(&db, vec![mid_query()], &simp);
+        assert!(tracker.last_diff() > 0.99, "endpoints miss the query");
+        simp.insert(0, 1);
+        let r = tracker.window_reward(&db, &simp);
+        assert!(r > 0.99, "restoring the hit should earn ~1.0, got {r}");
+        assert!(tracker.last_diff() < 1e-9);
+    }
+
+    #[test]
+    fn useless_insertions_earn_zero() {
+        let db = db();
+        let mut simp = Simplification::most_simplified(&db);
+        let mut tracker = RewardTracker::new(&db, vec![mid_query()], &simp);
+        let before = tracker.last_diff();
+        // Inserting a point of the far trajectory changes nothing.
+        simp.insert(1, 0);
+        let r = tracker.window_reward(&db, &simp);
+        assert_eq!(r, 0.0);
+        assert_eq!(tracker.last_diff(), before);
+    }
+
+    #[test]
+    fn rewards_telescope_to_total_improvement() {
+        // Eq. 11: the sum of window rewards equals initial minus final diff.
+        let db = db();
+        let mut simp = Simplification::most_simplified(&db);
+        let mut tracker = RewardTracker::new(&db, vec![mid_query()], &simp);
+        let initial = tracker.last_diff();
+        let mut total = 0.0;
+        simp.insert(1, 0);
+        total += tracker.window_reward(&db, &simp);
+        simp.insert(0, 1);
+        total += tracker.window_reward(&db, &simp);
+        let final_diff = tracker.last_diff();
+        assert!((total - (initial - final_diff)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_workload_is_neutral() {
+        let db = db();
+        let simp = Simplification::most_simplified(&db);
+        let mut tracker = RewardTracker::new(&db, vec![], &simp);
+        assert_eq!(tracker.last_diff(), 0.0);
+        assert_eq!(tracker.window_reward(&db, &simp), 0.0);
+    }
+}

@@ -1,0 +1,114 @@
+//! End-to-end learning checks: a trained RL4QDTS model must preserve
+//! range-query accuracy at least as well as query-oblivious baselines on
+//! held-out data — the paper's core claim, at smoke scale.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl4qdts::{train, RewardTracker, Rl4QdtsConfig, TrainerConfig};
+use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use traj_simp::{Simplifier, Uniform};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::Simplification;
+
+fn workload_spec(count: usize) -> RangeWorkloadSpec {
+    RangeWorkloadSpec {
+        count,
+        spatial_extent: 2_500.0,
+        temporal_extent: 2.0 * 86_400.0,
+        dist: QueryDistribution::Data,
+    }
+}
+
+#[test]
+fn trained_model_beats_uniform_sampling_on_query_accuracy() {
+    let pool = generate(&DatasetSpec::geolife(Scale::Smoke), 1234);
+    let (train_pool, test_db) = pool.split_at(8);
+
+    let config = Rl4QdtsConfig::scaled_to(&train_pool).with_delta(25);
+    let trainer = TrainerConfig {
+        num_dbs: 3,
+        trajs_per_db: 6,
+        episodes_per_db: 2,
+        ratio: 0.03,
+        workload: workload_spec(30),
+    };
+    let (model, stats) = train(&train_pool, config, &trainer, 2024);
+    assert!(stats.insertions > 0);
+
+    // Held-out evaluation: same query distribution, fresh queries.
+    let mut rng = StdRng::seed_from_u64(555);
+    let state_queries = range_workload(&test_db, &workload_spec(30), &mut rng);
+    let eval_queries = range_workload(&test_db, &workload_spec(50), &mut rng);
+    let budget = (test_db.total_points() / 50).max(2 * test_db.len() + 50);
+
+    let ours = model.simplify(&test_db, budget, &state_queries, 9);
+    let uniform = Uniform.simplify(&test_db, budget);
+
+    let base = Simplification::most_simplified(&test_db);
+    let tracker = RewardTracker::new(&test_db, eval_queries, &base);
+    let diff_ours = tracker.diff(&test_db, &ours);
+    let diff_uniform = tracker.diff(&test_db, &uniform);
+
+    // The RL model may not win every smoke-scale configuration, but it must
+    // be clearly competitive (the paper's wins are 5-40% at full scale).
+    assert!(
+        diff_ours <= diff_uniform + 0.10,
+        "RL4QDTS diff {diff_ours:.3} should not trail uniform {diff_uniform:.3} by >0.10"
+    );
+}
+
+#[test]
+fn more_budget_never_hurts_much() {
+    let pool = generate(&DatasetSpec::geolife(Scale::Smoke), 99);
+    let config = Rl4QdtsConfig::scaled_to(&pool).with_delta(20);
+    let trainer = TrainerConfig {
+        num_dbs: 2,
+        trajs_per_db: 6,
+        episodes_per_db: 1,
+        ratio: 0.03,
+        workload: workload_spec(20),
+    };
+    let (model, _) = train(&pool, config, &trainer, 3);
+
+    let mut rng = StdRng::seed_from_u64(4);
+    let state_queries = range_workload(&pool, &workload_spec(20), &mut rng);
+    let eval_queries = range_workload(&pool, &workload_spec(40), &mut rng);
+    let base = Simplification::most_simplified(&pool);
+    let tracker = RewardTracker::new(&pool, eval_queries, &base);
+
+    let small = model.simplify(&pool, pool.total_points() / 40, &state_queries, 5);
+    let large = model.simplify(&pool, pool.total_points() / 5, &state_queries, 5);
+    let d_small = tracker.diff(&pool, &small);
+    let d_large = tracker.diff(&pool, &large);
+    assert!(
+        d_large <= d_small + 0.05,
+        "8x budget should not be noticeably worse: small {d_small:.3} vs large {d_large:.3}"
+    );
+}
+
+#[test]
+fn compression_ratios_are_nonuniform_across_trajectories() {
+    // The motivating claim: collective simplification spends budget
+    // unevenly (complex/queried trajectories keep more points).
+    let pool = generate(&DatasetSpec::geolife(Scale::Smoke), 777);
+    let config = Rl4QdtsConfig::scaled_to(&pool).with_delta(20);
+    let trainer = TrainerConfig {
+        num_dbs: 2,
+        trajs_per_db: 6,
+        episodes_per_db: 1,
+        ratio: 0.05,
+        workload: workload_spec(20),
+    };
+    let (model, _) = train(&pool, config, &trainer, 6);
+    let mut rng = StdRng::seed_from_u64(8);
+    let queries = range_workload(&pool, &workload_spec(20), &mut rng);
+    let simp = model.simplify(&pool, pool.total_points() / 10, &queries, 2);
+
+    let ratios = simp.compression_ratios(&pool);
+    let min = ratios.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = ratios.iter().cloned().fold(0.0f64, f64::max);
+    assert!(
+        max > min * 1.2,
+        "expected non-uniform ratios, got min {min:.4} max {max:.4}"
+    );
+}

@@ -1,0 +1,99 @@
+//! Minimal command-line parsing shared by all experiment binaries.
+//!
+//! Every binary accepts `--scale smoke|small|paper`, `--seed N`, and
+//! `--runs N`; a tiny hand-rolled parser keeps the workspace free of a CLI
+//! dependency.
+
+use trajectory::gen::Scale;
+
+/// Common experiment options.
+#[derive(Debug, Clone, Copy)]
+pub struct ExpArgs {
+    /// Dataset/effort scale.
+    pub scale: Scale,
+    /// Base RNG seed.
+    pub seed: u64,
+    /// Number of repeated runs for mean ± std reporting (the paper uses
+    /// 50; the default here is 3).
+    pub runs: usize,
+}
+
+impl Default for ExpArgs {
+    fn default() -> Self {
+        Self { scale: Scale::Small, seed: 42, runs: 3 }
+    }
+}
+
+impl ExpArgs {
+    /// Parses `std::env::args()`; exits with a usage message on error.
+    pub fn parse() -> Self {
+        match Self::try_parse(std::env::args().skip(1)) {
+            Ok(a) => a,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                eprintln!("usage: <bin> [--scale smoke|small|paper] [--seed N] [--runs N]");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    /// Parses from an explicit iterator (testable).
+    pub fn try_parse<I: IntoIterator<Item = String>>(args: I) -> Result<Self, String> {
+        let mut out = Self::default();
+        let mut it = args.into_iter();
+        while let Some(flag) = it.next() {
+            let mut value = || {
+                it.next().ok_or_else(|| format!("flag {flag} expects a value"))
+            };
+            match flag.as_str() {
+                "--scale" => out.scale = value()?.parse::<Scale>()?,
+                "--seed" => {
+                    out.seed =
+                        value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                }
+                "--runs" => {
+                    out.runs =
+                        value()?.parse().map_err(|e| format!("--runs: {e}"))?;
+                    if out.runs == 0 {
+                        return Err("--runs must be ≥ 1".into());
+                    }
+                }
+                other => return Err(format!("unknown flag: {other}")),
+            }
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn parse(s: &[&str]) -> Result<ExpArgs, String> {
+        ExpArgs::try_parse(s.iter().map(|s| s.to_string()))
+    }
+
+    #[test]
+    fn defaults_apply() {
+        let a = parse(&[]).unwrap();
+        assert_eq!(a.scale, Scale::Small);
+        assert_eq!(a.seed, 42);
+        assert_eq!(a.runs, 3);
+    }
+
+    #[test]
+    fn all_flags_parse() {
+        let a = parse(&["--scale", "smoke", "--seed", "7", "--runs", "5"]).unwrap();
+        assert_eq!(a.scale, Scale::Smoke);
+        assert_eq!(a.seed, 7);
+        assert_eq!(a.runs, 5);
+    }
+
+    #[test]
+    fn bad_input_is_rejected() {
+        assert!(parse(&["--scale", "giant"]).is_err());
+        assert!(parse(&["--seed"]).is_err());
+        assert!(parse(&["--runs", "0"]).is_err());
+        assert!(parse(&["--wat"]).is_err());
+    }
+}

@@ -1,0 +1,15 @@
+//! Figure 3: skyline selection over the 25 EDTS baselines, three query
+//! distributions, five query tasks.
+
+use qdts_eval::experiments::skyline_sel;
+use qdts_eval::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!("== Figure 3: skyline selection (scale: {:?}, seed {}) ==", args.scale, args.seed);
+    for outcome in skyline_sel::run(args.scale, args.seed) {
+        println!("\n-- query distribution: {} --\n", outcome.distribution);
+        println!("{}", outcome.table.render());
+        println!("skyline: {}", outcome.skyline.join(", "));
+    }
+}

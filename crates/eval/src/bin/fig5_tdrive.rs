@@ -1,0 +1,32 @@
+//! Figure 5: RL4QDTS vs. skyline baselines on the T-Drive-like dataset.
+
+use qdts_eval::experiments::{comparison, ratio_sweep};
+use qdts_eval::ExpArgs;
+use traj_query::QueryDistribution;
+use trajectory::gen::DatasetSpec;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Figure 5: comparison with skylines, T-Drive-like (scale: {:?}, seed {}, runs {}) ==",
+        args.scale, args.seed, args.runs
+    );
+    let outcomes = comparison::run(
+        &DatasetSpec::tdrive(args.scale),
+        &[
+            QueryDistribution::Data,
+            QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 },
+        ],
+        &ratio_sweep(args.scale),
+        args.scale,
+        args.seed,
+        args.runs,
+    );
+    for o in outcomes {
+        println!("\n-- query distribution: {} --", o.distribution);
+        for (task, table) in &o.per_task {
+            println!("\n[{task}] F1 vs compression ratio");
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,30 @@
+//! Figure 6: RL4QDTS vs. skyline baselines on the Chengdu-like dataset
+//! under the "real" (ride-hailing) query distribution.
+
+use qdts_eval::experiments::{chengdu_ratio_sweep, comparison};
+use qdts_eval::ExpArgs;
+use traj_query::QueryDistribution;
+use trajectory::gen::DatasetSpec;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Figure 6: comparison with skylines, Chengdu-like (scale: {:?}, seed {}, runs {}) ==",
+        args.scale, args.seed, args.runs
+    );
+    let outcomes = comparison::run(
+        &DatasetSpec::chengdu(args.scale),
+        &[QueryDistribution::Real],
+        &chengdu_ratio_sweep(args.scale),
+        args.scale,
+        args.seed,
+        args.runs,
+    );
+    for o in outcomes {
+        println!("\n-- query distribution: {} --", o.distribution);
+        for (task, table) in &o.per_task {
+            println!("\n[{task}] F1 vs compression ratio");
+            println!("{}", table.render());
+        }
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 7: deformation (SED) of trajectories returned by queries.
+
+use qdts_eval::experiments::deformation;
+use qdts_eval::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Figure 7: deformation study (scale: {:?}, seed {}) ==",
+        args.scale, args.seed
+    );
+    for (dist, table) in deformation::run(args.scale, args.seed) {
+        println!("\n-- query distribution: {dist} --  (mean SED of query-returned trajectories, lower is better)\n");
+        println!("{}", table.render());
+    }
+}

@@ -1,0 +1,16 @@
+//! Figure 8: efficiency and scalability (OSM-like dataset).
+
+use qdts_eval::experiments::efficiency;
+use qdts_eval::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Figure 8: efficiency evaluation (scale: {:?}, seed {}) ==",
+        args.scale, args.seed
+    );
+    println!("\n(a) running time vs data size (fixed ratio)\n");
+    println!("{}", efficiency::run_varying_size(args.scale, args.seed).render());
+    println!("\n(b) running time vs budget (fixed data size)\n");
+    println!("{}", efficiency::run_varying_budget(args.scale, args.seed).render());
+}

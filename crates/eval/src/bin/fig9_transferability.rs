@@ -1,0 +1,42 @@
+//! Figure 9: transferability under query-distribution drift.
+
+use qdts_eval::experiments::transferability;
+use qdts_eval::{heatmap, ExpArgs};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use trajectory::gen::{generate, DatasetSpec};
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Figure 9: transferability test (scale: {:?}, seed {}, runs {}) ==",
+        args.scale, args.seed, args.runs
+    );
+    println!("(trained once with Gaussian(mu=0.5, sigma=0.25) range queries)");
+    for outcome in transferability::run(args.scale, args.seed, args.runs) {
+        println!("\n-- varying {} --\n", outcome.label);
+        println!("{}", outcome.table.render());
+    }
+
+    // Fig. 9(d)-(g): density of the drifted workloads vs the training one.
+    let db = generate(&DatasetSpec::geolife(args.scale), args.seed);
+    let bounds = db.bounding_cube();
+    let show = |label: &str, dist: QueryDistribution| {
+        let spec = RangeWorkloadSpec {
+            count: 400,
+            spatial_extent: 500.0,
+            temporal_extent: 3_600.0,
+            dist,
+        };
+        let mut rng = StdRng::seed_from_u64(args.seed ^ 0x99);
+        let queries = range_workload(&db, &spec, &mut rng);
+        println!("\n{label}:");
+        print!("{}", heatmap::render(&queries, &bounds, 48, 14));
+    };
+    show("(d) training distribution GAU(0.5, 0.25)", transferability::TRAIN_DIST);
+    show("(d') drifted GAU(mu=0.9)", QueryDistribution::Gaussian { mu: 0.9, sigma: 0.25 });
+    show("(e) drifted GAU(sigma=0.85)", QueryDistribution::Gaussian { mu: 0.5, sigma: 0.85 });
+    show("(f) Zipf(a=4)", QueryDistribution::Zipf { a: 4.0 });
+    show("(g) Zipf(a=8)", QueryDistribution::Zipf { a: 8.0 });
+}

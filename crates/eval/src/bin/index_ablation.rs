@@ -1,0 +1,14 @@
+//! Index ablation: octree (paper) vs. kd-tree-style median splits
+//! (the paper's stated future-work direction, implemented here).
+
+use qdts_eval::experiments::index_ablation;
+use qdts_eval::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Index ablation: octree vs median-kd (scale: {:?}, seed {}) ==\n",
+        args.scale, args.seed
+    );
+    println!("{}", index_ablation::run(args.scale, args.seed).render());
+}

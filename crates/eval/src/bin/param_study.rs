@@ -1,0 +1,20 @@
+//! Parameter studies (tech-report experiments 5–8): S, E, K, and kNN k.
+
+use qdts_eval::experiments::params;
+use qdts_eval::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Parameter study (scale: {:?}, seed {}) ==",
+        args.scale, args.seed
+    );
+    println!("\n(5) start level S\n");
+    println!("{}", params::run_start_level(args.scale, args.seed).render());
+    println!("\n(6) end level E\n");
+    println!("{}", params::run_max_depth(args.scale, args.seed).render());
+    println!("\n(7) Agent-Point K\n");
+    println!("{}", params::run_k(args.scale, args.seed).render());
+    println!("\n(8) kNN k\n");
+    println!("{}", params::run_knn_k(args.scale, args.seed).render());
+}

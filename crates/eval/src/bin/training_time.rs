@@ -1,0 +1,16 @@
+//! Experiment 11: training time vs pool size and reward interval Δ.
+
+use qdts_eval::experiments::training;
+use qdts_eval::ExpArgs;
+
+fn main() {
+    let args = ExpArgs::parse();
+    println!(
+        "== Training time study (scale: {:?}, seed {}) ==",
+        args.scale, args.seed
+    );
+    println!("\n(a) varying the number of training trajectories\n");
+    println!("{}", training::run_pool_size(args.scale, args.seed).render());
+    println!("\n(b) varying the reward interval Δ\n");
+    println!("{}", training::run_delta(args.scale, args.seed).render());
+}

@@ -1,0 +1,161 @@
+//! Parameter studies (experiments 5–8, detailed in the paper's technical
+//! report): the start level `S`, end level `E`, Agent-Point's `K`, and the
+//! kNN `k`.
+
+use crate::experiments::{query_count, ratio_sweep};
+use crate::suite::{state_workload, Rl4QdtsSimplifier};
+use crate::table::Table;
+use crate::tasks::{build_tasks, eval_range, TaskParams};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use rl4qdts::{train, PolicyVariant, Rl4QdtsConfig, TrainerConfig};
+use traj_query::knn::{Dissimilarity, KnnQuery};
+use traj_query::workload::RangeWorkloadSpec;
+use traj_query::{f1_sets, mean_f1, QueryDistribution};
+use traj_simp::Simplifier;
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::TrajectoryDb;
+
+const DIST: QueryDistribution = QueryDistribution::Data;
+
+fn trainer_for(scale: Scale) -> TrainerConfig {
+    let workload = RangeWorkloadSpec {
+        count: query_count(scale),
+        spatial_extent: 2_000.0,
+        temporal_extent: 7.0 * 86_400.0,
+        dist: DIST,
+    };
+    TrainerConfig { num_dbs: 2, trajs_per_db: 10, episodes_per_db: 1, ratio: 0.02, workload }
+}
+
+/// Trains with `config`, then reports held-out range F1 and the combined
+/// train+simplify wall time.
+fn score_config(
+    config: Rl4QdtsConfig,
+    train_db: &TrajectoryDb,
+    test_db: &TrajectoryDb,
+    scale: Scale,
+    seed: u64,
+) -> (f64, f64) {
+    let started = std::time::Instant::now();
+    let (model, _) = train(train_db, config, &trainer_for(scale), seed);
+    let ratio = ratio_sweep(scale)[0];
+    let budget =
+        ((test_db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(test_db));
+    let rl = Rl4QdtsSimplifier {
+        model,
+        state_queries: state_workload(test_db, DIST, query_count(scale), seed ^ 9),
+        seed,
+        variant: PolicyVariant::FULL,
+    };
+    let simp = rl.simplify(test_db, budget).materialize(test_db);
+    let elapsed = started.elapsed().as_secs_f64();
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x9a);
+    let tasks = build_tasks(test_db, DIST, TaskParams::for_scale(scale, query_count(scale)), &mut rng);
+    (eval_range(test_db, &simp, &tasks), elapsed)
+}
+
+/// Sweeps the start level `S` (with `E` fixed at the scaled default).
+pub fn run_start_level(scale: Scale, seed: u64) -> Table {
+    let db = generate(&DatasetSpec::geolife(scale), seed);
+    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25);
+    let mut table = Table::new(&["S", "Range F1", "Time (s)"]);
+    for s in 1..=base.max_depth.saturating_sub(1) {
+        let (f1, time) = score_config(base.with_start_level(s), &train_db, &test_db, scale, seed);
+        table.row(vec![s.to_string(), format!("{f1:.3}"), format!("{time:.2}")]);
+    }
+    table
+}
+
+/// Sweeps the end level `E` (with `S` fixed at 1).
+pub fn run_max_depth(scale: Scale, seed: u64) -> Table {
+    let db = generate(&DatasetSpec::geolife(scale), seed);
+    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25).with_start_level(1);
+    let mut table = Table::new(&["E", "Range F1", "Time (s)"]);
+    for e in 3..=(base.max_depth + 2).min(10) {
+        let (f1, time) = score_config(base.with_max_depth(e), &train_db, &test_db, scale, seed);
+        table.row(vec![e.to_string(), format!("{f1:.3}"), format!("{time:.2}")]);
+    }
+    table
+}
+
+/// Sweeps Agent-Point's `K`.
+pub fn run_k(scale: Scale, seed: u64) -> Table {
+    let db = generate(&DatasetSpec::geolife(scale), seed);
+    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25);
+    let mut table = Table::new(&["K", "Range F1", "Time (s)"]);
+    for k in [1usize, 2, 4, 8] {
+        let (f1, time) = score_config(base.with_k(k), &train_db, &test_db, scale, seed);
+        table.row(vec![k.to_string(), format!("{f1:.3}"), format!("{time:.2}")]);
+    }
+    table
+}
+
+/// Sweeps the kNN `k` on a fixed trained model (experiment 8): F1 of both
+/// kNN variants as `k` grows.
+pub fn run_knn_k(scale: Scale, seed: u64) -> Table {
+    let db = generate(&DatasetSpec::geolife(scale), seed);
+    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let model = crate::suite::train_rl4qdts(&train_db, DIST, query_count(scale), seed);
+    let ratio = ratio_sweep(scale)[0];
+    let budget =
+        ((test_db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&test_db));
+    let rl = Rl4QdtsSimplifier {
+        model,
+        state_queries: state_workload(&test_db, DIST, query_count(scale), seed ^ 4),
+        seed,
+        variant: PolicyVariant::FULL,
+    };
+    let simplified = rl.simplify(&test_db, budget).materialize(&test_db);
+
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5b);
+    let params = TaskParams::for_scale(scale, query_count(scale));
+    let tasks = build_tasks(&test_db, DIST, params, &mut rng);
+
+    let mut table = Table::new(&["k", "kNN(EDR) F1", "kNN(t2vec) F1"]);
+    for k in [1usize, 3, 5, 10] {
+        let mut cells = Vec::new();
+        for measure in [
+            Dissimilarity::Edr { eps: params.edr_eps },
+            Dissimilarity::t2vec_default(),
+        ] {
+            let scores: Vec<_> = tasks
+                .knn_queries
+                .iter()
+                .map(|(q, ts, te)| {
+                    let query =
+                        KnnQuery { query: q.clone(), ts: *ts, te: *te, k, measure };
+                    f1_sets(&query.execute(&test_db), &query.execute(&simplified))
+                })
+                .collect();
+            cells.push(format!("{:.3}", mean_f1(&scores)));
+        }
+        table.row(vec![k.to_string(), cells[0].clone(), cells[1].clone()]);
+    }
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn k_sweep_has_four_rows() {
+        let t = run_k(Scale::Smoke, 41);
+        assert_eq!(t.len(), 4);
+        for r in t.rows() {
+            let f1: f64 = r[1].parse().unwrap();
+            assert!((0.0..=1.0).contains(&f1));
+        }
+    }
+
+    #[test]
+    fn knn_k_sweep_scores_both_measures() {
+        let t = run_knn_k(Scale::Smoke, 43);
+        assert_eq!(t.len(), 4);
+        assert_eq!(t.rows()[0].len(), 3);
+    }
+}

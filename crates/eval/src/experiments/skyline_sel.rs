@@ -1,0 +1,110 @@
+//! Figure 3: skyline selection over the 25 baselines.
+//!
+//! For each query distribution (data / Gaussian / real), every baseline is
+//! scored on the five query tasks at a fixed budget; the Pareto skyline is
+//! reported. The paper uses this to pick per-distribution comparison sets
+//! for Figures 4–6.
+
+use crate::experiments::{chengdu_ratio_sweep, query_count, ratio_sweep, score_method};
+use crate::skyline::{skyline, ScoredMethod};
+use crate::suite::baseline_suite;
+use crate::table::Table;
+use crate::tasks::{build_tasks, TaskParams, TaskScores};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use traj_query::QueryDistribution;
+use trajectory::gen::{generate, DatasetSpec, Scale};
+
+/// The outcome for one distribution: the full score table plus the
+/// skyline member names.
+pub struct SkylineOutcome {
+    /// Distribution label.
+    pub distribution: String,
+    /// Score table (25 rows × 5 task columns + skyline marker).
+    pub table: Table,
+    /// Names of the skyline members.
+    pub skyline: Vec<String>,
+}
+
+/// Runs the skyline selection for the three distributions of Fig. 3.
+pub fn run(scale: Scale, seed: u64) -> Vec<SkylineOutcome> {
+    let dists = [
+        QueryDistribution::Data,
+        QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 },
+        QueryDistribution::Real,
+    ];
+    dists.iter().map(|&d| run_one(scale, seed, d)).collect()
+}
+
+/// Skyline selection for one distribution. The real distribution uses the
+/// Chengdu-like dataset (as in the paper); the others use Geolife-like.
+pub fn run_one(scale: Scale, seed: u64, dist: QueryDistribution) -> SkylineOutcome {
+    let is_real = matches!(dist, QueryDistribution::Real);
+    let (db, anchor_ratio) = if is_real {
+        (generate(&DatasetSpec::chengdu(scale), seed), chengdu_ratio_sweep(scale)[0])
+    } else {
+        (generate(&DatasetSpec::geolife(scale), seed), ratio_sweep(scale)[0])
+    };
+    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+
+    let suite = baseline_suite(&train_db, seed);
+    let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
+    let params = TaskParams::for_scale(scale, query_count(scale));
+    let tasks = build_tasks(&test_db, dist, params, &mut rng);
+    let budget = ((test_db.total_points() as f64 * anchor_ratio) as usize)
+        .max(traj_simp::min_points(&test_db));
+
+    // The 25 baselines are independent: score them in parallel, workers
+    // pulling indices off a shared counter.
+    let slots: Vec<parking_lot::Mutex<Option<ScoredMethod>>> =
+        (0..suite.len()).map(|_| parking_lot::Mutex::new(None)).collect();
+    let next = std::sync::atomic::AtomicUsize::new(0);
+    let workers =
+        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..workers {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= suite.len() {
+                    break;
+                }
+                let s = score_method(suite[i].as_ref(), &test_db, budget, &tasks);
+                *slots[i].lock() =
+                    Some(ScoredMethod { name: suite[i].name(), scores: s.as_vec() });
+            });
+        }
+    })
+    .expect("evaluation worker panicked");
+    let scored: Vec<ScoredMethod> =
+        slots.into_iter().map(|m| m.into_inner().expect("scored")).collect();
+    let sky = skyline(&scored);
+
+    let mut header = vec!["method"];
+    header.extend(TaskScores::NAMES);
+    header.push("skyline");
+    let mut table = Table::new(&header);
+    for (i, m) in scored.iter().enumerate() {
+        let mut row = vec![m.name.clone()];
+        row.extend(m.scores.iter().map(|v| format!("{v:.3}")));
+        row.push(if sky.contains(&i) { "*".into() } else { "".into() });
+        table.row(row);
+    }
+    SkylineOutcome {
+        distribution: dist.to_string(),
+        table,
+        skyline: sky.iter().map(|&i| scored[i].name.clone()).collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn produces_all_25_baselines_and_a_nonempty_skyline() {
+        let out = run_one(Scale::Smoke, 3, QueryDistribution::Data);
+        assert_eq!(out.table.len(), 25);
+        assert!(!out.skyline.is_empty());
+        assert!(out.skyline.len() <= 25);
+    }
+}

@@ -1,0 +1,93 @@
+//! ASCII spatial heatmaps — the Fig. 9(d)–(g) distribution visualizations.
+//!
+//! The paper plots the spatial density of the drifted query workloads next
+//! to the training distribution; this renders the same comparison in the
+//! terminal.
+
+use trajectory::Cube;
+
+/// Renders the spatial density of query centers over `bounds` as an ASCII
+/// grid (` .:-=+*#%@` from empty to dense), `cols × rows` cells.
+pub fn render(queries: &[Cube], bounds: &Cube, cols: usize, rows: usize) -> String {
+    assert!(cols > 0 && rows > 0);
+    let mut counts = vec![0usize; cols * rows];
+    let (ex, ey, _) = bounds.extents();
+    if ex <= 0.0 || ey <= 0.0 {
+        return String::new();
+    }
+    for q in queries {
+        let (cx, cy, _) = q.center();
+        let u = ((cx - bounds.x_min) / ex).clamp(0.0, 1.0);
+        let v = ((cy - bounds.y_min) / ey).clamp(0.0, 1.0);
+        let col = ((u * cols as f64) as usize).min(cols - 1);
+        let row = ((v * rows as f64) as usize).min(rows - 1);
+        counts[row * cols + col] += 1;
+    }
+    let max = counts.iter().copied().max().unwrap_or(0).max(1);
+    const SHADES: &[u8] = b" .:-=+*#%@";
+    let mut out = String::with_capacity((cols + 1) * rows);
+    // Render top row (max y) first so the picture is map-oriented.
+    for row in (0..rows).rev() {
+        for col in 0..cols {
+            let c = counts[row * cols + col];
+            let shade = if c == 0 {
+                0
+            } else {
+                1 + (c * (SHADES.len() - 2)) / max
+            };
+            out.push(SHADES[shade.min(SHADES.len() - 1)] as char);
+        }
+        out.push('\n');
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Cube {
+        Cube::new(0.0, 100.0, 0.0, 100.0, 0.0, 1.0)
+    }
+
+    fn q(x: f64, y: f64) -> Cube {
+        Cube::centered(x, y, 0.5, 1.0, 1.0, 0.1)
+    }
+
+    #[test]
+    fn empty_workload_renders_blank_grid() {
+        let s = render(&[], &unit(), 8, 4);
+        assert_eq!(s.lines().count(), 4);
+        assert!(s.lines().all(|l| l.chars().all(|c| c == ' ')));
+    }
+
+    #[test]
+    fn density_maps_to_darker_shades() {
+        // Ten queries in one corner, one in the other.
+        let mut qs: Vec<Cube> = (0..10).map(|_| q(5.0, 5.0)).collect();
+        qs.push(q(95.0, 95.0));
+        let s = render(&qs, &unit(), 10, 10);
+        let lines: Vec<&str> = s.lines().collect();
+        // Bottom-left cell (last line, first char) is densest.
+        let dense = lines[9].chars().next().unwrap();
+        let sparse = lines[0].chars().last().unwrap();
+        assert_eq!(dense, '@');
+        assert!(sparse != ' ' && sparse != '@', "sparse cell: {sparse:?}");
+    }
+
+    #[test]
+    fn orientation_puts_high_y_on_top() {
+        let qs = vec![q(50.0, 95.0)];
+        let s = render(&qs, &unit(), 5, 5);
+        let first_line = s.lines().next().unwrap();
+        assert!(first_line.chars().any(|c| c != ' '), "top row should hold the mark");
+    }
+
+    #[test]
+    fn out_of_bounds_centers_clamp() {
+        let qs = vec![q(-50.0, 500.0)];
+        let s = render(&qs, &unit(), 4, 4);
+        // Clamps to top-left cell; must not panic.
+        assert!(s.lines().next().unwrap().starts_with(|c| c != ' '));
+    }
+}

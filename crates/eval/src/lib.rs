@@ -1,0 +1,27 @@
+//! Experiment harness reproducing every table and figure of the RL4QDTS
+//! paper's evaluation (§V).
+//!
+//! Structure:
+//! - [`tasks`]: the five query tasks and the F1 scoring pipeline;
+//! - [`suite`]: the 25 EDTS baselines plus RL4QDTS behind one interface;
+//! - [`skyline`]: Pareto skyline selection (Fig. 3's methodology);
+//! - [`experiments`]: one module per table/figure;
+//! - [`args`], [`table`]: CLI parsing and plain-text table rendering.
+//!
+//! Each experiment is exposed both as a library function (tested at smoke
+//! scale) and as a binary (`cargo run -p qdts-eval --release --bin
+//! fig4_geolife -- --scale small`). See DESIGN.md §4 for the experiment →
+//! binary index and EXPERIMENTS.md for measured results.
+
+#![warn(missing_docs)]
+
+pub mod args;
+pub mod experiments;
+pub mod heatmap;
+pub mod skyline;
+pub mod suite;
+pub mod table;
+pub mod tasks;
+
+pub use args::ExpArgs;
+pub use table::Table;

@@ -1,0 +1,85 @@
+//! Skyline (Pareto-front) selection over multi-task scores (§V-B(1)).
+//!
+//! With 25 baselines and 5 query tasks, the paper compares RL4QDTS only
+//! against the baselines on the *skyline*: those not dominated on every
+//! task by some other baseline.
+
+/// One method's scores across the query tasks (same task order for all).
+#[derive(Debug, Clone)]
+pub struct ScoredMethod {
+    /// Display name.
+    pub name: String,
+    /// Per-task F1 scores.
+    pub scores: Vec<f64>,
+}
+
+/// True when `a` dominates `b`: at least as good on every task and
+/// strictly better on at least one.
+pub fn dominates(a: &[f64], b: &[f64]) -> bool {
+    debug_assert_eq!(a.len(), b.len());
+    let mut strictly = false;
+    for (x, y) in a.iter().zip(b) {
+        if x < y {
+            return false;
+        }
+        if x > y {
+            strictly = true;
+        }
+    }
+    strictly
+}
+
+/// Indices of the skyline members (methods not dominated by any other).
+pub fn skyline(methods: &[ScoredMethod]) -> Vec<usize> {
+    (0..methods.len())
+        .filter(|&i| {
+            !methods
+                .iter()
+                .enumerate()
+                .any(|(j, m)| j != i && dominates(&m.scores, &methods[i].scores))
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn m(name: &str, scores: &[f64]) -> ScoredMethod {
+        ScoredMethod { name: name.into(), scores: scores.to_vec() }
+    }
+
+    #[test]
+    fn dominated_methods_are_excluded() {
+        let methods = vec![
+            m("good", &[0.9, 0.8]),
+            m("worse", &[0.8, 0.7]), // dominated by "good"
+            m("tradeoff", &[0.95, 0.5]),
+        ];
+        let sky = skyline(&methods);
+        assert_eq!(sky, vec![0, 2]);
+    }
+
+    #[test]
+    fn identical_scores_all_survive() {
+        let methods = vec![m("a", &[0.5, 0.5]), m("b", &[0.5, 0.5])];
+        assert_eq!(skyline(&methods), vec![0, 1]);
+    }
+
+    #[test]
+    fn single_method_is_its_own_skyline() {
+        assert_eq!(skyline(&[m("only", &[0.1])]), vec![0]);
+    }
+
+    #[test]
+    fn dominance_requires_strictness() {
+        assert!(!dominates(&[0.5, 0.5], &[0.5, 0.5]));
+        assert!(dominates(&[0.5, 0.6], &[0.5, 0.5]));
+        assert!(!dominates(&[0.9, 0.4], &[0.5, 0.5]));
+    }
+
+    #[test]
+    fn empty_input_is_empty() {
+        assert!(skyline(&[]).is_empty());
+    }
+}

@@ -1,0 +1,136 @@
+//! Adam optimizer (Kingma & Ba, 2015) — the paper trains both agents with
+//! "Adam stochastic gradient descent with an initial learning rate of 0.01".
+
+use super::mlp::{Mlp, MlpGrad};
+
+/// Adam state for one [`Mlp`].
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Learning rate (paper: 0.01).
+    pub lr: f64,
+    /// First-moment decay.
+    pub beta1: f64,
+    /// Second-moment decay.
+    pub beta2: f64,
+    /// Numerical stabilizer.
+    pub eps: f64,
+    t: u64,
+    m: Vec<Vec<f64>>, // per layer: weights then biases concatenated
+    v: Vec<Vec<f64>>,
+}
+
+impl Adam {
+    /// Adam with the paper's learning rate and standard betas.
+    pub fn new(net: &Mlp, lr: f64) -> Self {
+        let shapes: Vec<usize> =
+            net.layers().iter().map(|l| l.w.len() + l.b.len()).collect();
+        Self {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: shapes.iter().map(|&n| vec![0.0; n]).collect(),
+            v: shapes.iter().map(|&n| vec![0.0; n]).collect(),
+        }
+    }
+
+    /// Applies one Adam update with gradients `grad`.
+    pub fn step(&mut self, net: &mut Mlp, grad: &MlpGrad) {
+        self.t += 1;
+        let t = self.t as f64;
+        let bias1 = 1.0 - self.beta1.powf(t);
+        let bias2 = 1.0 - self.beta2.powf(t);
+        for (li, layer) in net.layers_mut().iter_mut().enumerate() {
+            let g = &grad.layers[li];
+            let m = &mut self.m[li];
+            let v = &mut self.v[li];
+            let nw = layer.w.len();
+            for (i, (param, grad)) in layer
+                .w
+                .iter_mut()
+                .chain(layer.b.iter_mut())
+                .zip(g.w.iter().chain(g.b.iter()))
+                .enumerate()
+            {
+                debug_assert!(i < nw + g.b.len());
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad * grad;
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                *param -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    /// Number of updates applied so far.
+    pub fn steps(&self) -> u64 {
+        self.t
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    /// Adam must drive a small regression problem's loss to near zero.
+    #[test]
+    fn fits_a_linear_function() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut net = Mlp::new(&[2, 8, 1], &mut rng);
+        let mut adam = Adam::new(&net, 0.01);
+        let data: Vec<([f64; 2], f64)> =
+            vec![([0.0, 0.0], 0.0), ([1.0, 0.0], 1.0), ([0.0, 1.0], -1.0), ([1.0, 1.0], 0.0)];
+        let mut final_loss = f64::INFINITY;
+        for _ in 0..2000 {
+            let mut grad = net.zero_grad();
+            let mut loss = 0.0;
+            for (x, t) in &data {
+                let acts = net.forward_trace(x);
+                let y = acts.last().unwrap()[0];
+                loss += (y - t) * (y - t);
+                net.backward(&acts, &[2.0 * (y - t) / data.len() as f64], &mut grad);
+            }
+            adam.step(&mut net, &grad);
+            final_loss = loss / data.len() as f64;
+        }
+        assert!(final_loss < 1e-3, "loss {final_loss}");
+    }
+
+    /// XOR is not linearly separable: passing requires the hidden layer and
+    /// the optimizer to actually work together.
+    #[test]
+    fn fits_xor() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let mut net = Mlp::new(&[2, 8, 1], &mut rng);
+        let mut adam = Adam::new(&net, 0.02);
+        let data: Vec<([f64; 2], f64)> =
+            vec![([0.0, 0.0], 0.0), ([1.0, 0.0], 1.0), ([0.0, 1.0], 1.0), ([1.0, 1.0], 0.0)];
+        for _ in 0..3000 {
+            let mut grad = net.zero_grad();
+            for (x, t) in &data {
+                let acts = net.forward_trace(x);
+                let y = acts.last().unwrap()[0];
+                net.backward(&acts, &[2.0 * (y - t) / data.len() as f64], &mut grad);
+            }
+            adam.step(&mut net, &grad);
+        }
+        for (x, t) in &data {
+            let y = net.forward(x)[0];
+            assert!((y - t).abs() < 0.2, "xor({x:?}) = {y}, want {t}");
+        }
+    }
+
+    #[test]
+    fn step_counter_increments() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut net = Mlp::new(&[1, 1], &mut rng);
+        let mut adam = Adam::new(&net, 0.01);
+        assert_eq!(adam.steps(), 0);
+        let grad = net.zero_grad();
+        adam.step(&mut net, &grad);
+        assert_eq!(adam.steps(), 1);
+    }
+}

@@ -1,0 +1,142 @@
+//! Fully-connected layers.
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// A dense layer `y = W·x + b` with `W` stored row-major (`out × in`).
+#[derive(Debug, Clone)]
+pub struct Dense {
+    /// Input dimension.
+    pub input: usize,
+    /// Output dimension.
+    pub output: usize,
+    /// Weights, row-major: `w[o * input + i]`.
+    pub w: Vec<f64>,
+    /// Biases, one per output.
+    pub b: Vec<f64>,
+}
+
+impl Dense {
+    /// Xavier/Glorot-uniform initialization, appropriate for the tanh
+    /// hidden layers the paper's FNNs use.
+    pub fn xavier(input: usize, output: usize, rng: &mut StdRng) -> Self {
+        let limit = (6.0 / (input + output) as f64).sqrt();
+        let w = (0..input * output).map(|_| rng.gen_range(-limit..limit)).collect();
+        Self { input, output, w, b: vec![0.0; output] }
+    }
+
+    /// Forward pass into a caller-provided buffer (avoids allocation in
+    /// hot training loops).
+    pub fn forward_into(&self, x: &[f64], y: &mut [f64]) {
+        debug_assert_eq!(x.len(), self.input);
+        debug_assert_eq!(y.len(), self.output);
+        for (o, yo) in y.iter_mut().enumerate() {
+            let row = &self.w[o * self.input..(o + 1) * self.input];
+            let mut acc = self.b[o];
+            for (wi, xi) in row.iter().zip(x) {
+                acc += wi * xi;
+            }
+            *yo = acc;
+        }
+    }
+
+    /// Convenience allocating forward pass.
+    pub fn forward(&self, x: &[f64]) -> Vec<f64> {
+        let mut y = vec![0.0; self.output];
+        self.forward_into(x, &mut y);
+        y
+    }
+
+    /// Number of parameters (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.w.len() + self.b.len()
+    }
+}
+
+/// Gradient buffers matching a [`Dense`] layer's shape.
+#[derive(Debug, Clone)]
+pub struct DenseGrad {
+    /// Weight gradients, same layout as [`Dense::w`].
+    pub w: Vec<f64>,
+    /// Bias gradients.
+    pub b: Vec<f64>,
+}
+
+impl DenseGrad {
+    /// Zeroed gradients for `layer`.
+    pub fn zeros_like(layer: &Dense) -> Self {
+        Self { w: vec![0.0; layer.w.len()], b: vec![0.0; layer.b.len()] }
+    }
+
+    /// Resets all gradients to zero (buffer reuse between batches).
+    pub fn zero(&mut self) {
+        self.w.iter_mut().for_each(|g| *g = 0.0);
+        self.b.iter_mut().for_each(|g| *g = 0.0);
+    }
+
+    /// Accumulates this layer's gradients for one sample and returns the
+    /// gradient w.r.t. the layer input.
+    ///
+    /// `x` is the layer input, `dy` the gradient w.r.t. the layer output.
+    pub fn accumulate(&mut self, layer: &Dense, x: &[f64], dy: &[f64]) -> Vec<f64> {
+        let mut dx = vec![0.0; layer.input];
+        for (o, &g) in dy.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            self.b[o] += g;
+            let row = o * layer.input;
+            for i in 0..layer.input {
+                self.w[row + i] += g * x[i];
+                dx[i] += g * layer.w[row + i];
+            }
+        }
+        dx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn forward_computes_affine_map() {
+        let layer = Dense { input: 2, output: 2, w: vec![1.0, 2.0, 3.0, 4.0], b: vec![0.5, -0.5] };
+        let y = layer.forward(&[1.0, 1.0]);
+        assert_eq!(y, vec![3.5, 6.5]);
+    }
+
+    #[test]
+    fn xavier_initialization_is_bounded_and_seeded() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let a = Dense::xavier(10, 5, &mut rng);
+        let limit = (6.0 / 15.0f64).sqrt();
+        assert!(a.w.iter().all(|w| w.abs() <= limit));
+        assert!(a.b.iter().all(|&b| b == 0.0));
+        let mut rng2 = StdRng::seed_from_u64(1);
+        let b = Dense::xavier(10, 5, &mut rng2);
+        assert_eq!(a.w, b.w);
+    }
+
+    #[test]
+    fn gradient_accumulation_matches_manual_computation() {
+        let layer = Dense { input: 2, output: 1, w: vec![2.0, -1.0], b: vec![0.0] };
+        let mut grad = DenseGrad::zeros_like(&layer);
+        // y = 2x0 - x1; dL/dy = 1 => dW = x, db = 1, dx = W.
+        let dx = grad.accumulate(&layer, &[3.0, 4.0], &[1.0]);
+        assert_eq!(grad.w, vec![3.0, 4.0]);
+        assert_eq!(grad.b, vec![1.0]);
+        assert_eq!(dx, vec![2.0, -1.0]);
+    }
+
+    #[test]
+    fn zero_resets_buffers() {
+        let layer = Dense { input: 1, output: 1, w: vec![1.0], b: vec![1.0] };
+        let mut grad = DenseGrad::zeros_like(&layer);
+        grad.accumulate(&layer, &[1.0], &[1.0]);
+        grad.zero();
+        assert_eq!(grad.w, vec![0.0]);
+        assert_eq!(grad.b, vec![0.0]);
+    }
+}

@@ -1,0 +1,176 @@
+//! Plain-text (de)serialization of networks and whiteners.
+//!
+//! A tiny versioned line format keeps the library free of serde while
+//! making checkpoints diffable and greppable. Floats are written with
+//! maximum precision (`{:.17e}`) so round trips are exact.
+
+use super::dense::Dense;
+use super::mlp::Mlp;
+use super::norm::Whitener;
+use std::fmt::Write as _;
+
+/// Deserialization error: message plus (best-effort) line number.
+#[derive(Debug)]
+pub struct ParseError {
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl std::fmt::Display for ParseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "model parse error: {}", self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+fn err(message: impl Into<String>) -> ParseError {
+    ParseError { message: message.into() }
+}
+
+/// Serializes an MLP.
+pub fn mlp_to_string(net: &Mlp) -> String {
+    let mut s = String::new();
+    writeln!(s, "tinyrl-mlp v1").unwrap();
+    writeln!(s, "layers {}", net.layers().len()).unwrap();
+    for layer in net.layers() {
+        writeln!(s, "layer {} {}", layer.input, layer.output).unwrap();
+        write_floats(&mut s, "w", &layer.w);
+        write_floats(&mut s, "b", &layer.b);
+    }
+    s
+}
+
+/// Deserializes an MLP written by [`mlp_to_string`].
+pub fn mlp_from_str(text: &str) -> Result<Mlp, ParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| err("empty input"))?;
+    if header.trim() != "tinyrl-mlp v1" {
+        return Err(err(format!("bad header: {header:?}")));
+    }
+    let n: usize = parse_tagged(lines.next(), "layers")?;
+    let mut layers = Vec::with_capacity(n);
+    for i in 0..n {
+        let spec = lines.next().ok_or_else(|| err(format!("missing layer {i}")))?;
+        let mut parts = spec.split_whitespace();
+        if parts.next() != Some("layer") {
+            return Err(err(format!("expected 'layer', got {spec:?}")));
+        }
+        let input: usize =
+            parts.next().ok_or_else(|| err("missing input dim"))?.parse().map_err(|e| err(format!("input dim: {e}")))?;
+        let output: usize =
+            parts.next().ok_or_else(|| err("missing output dim"))?.parse().map_err(|e| err(format!("output dim: {e}")))?;
+        let w = read_floats(lines.next(), "w", input * output)?;
+        let b = read_floats(lines.next(), "b", output)?;
+        layers.push(Dense { input, output, w, b });
+    }
+    Ok(Mlp::from_layers(layers))
+}
+
+/// Serializes a whitener.
+pub fn whitener_to_string(w: &Whitener) -> String {
+    let (mean, m2, count) = w.raw();
+    let mut s = String::new();
+    writeln!(s, "tinyrl-whitener v1").unwrap();
+    writeln!(s, "dim {}", mean.len()).unwrap();
+    writeln!(s, "count {count:.17e}").unwrap();
+    write_floats(&mut s, "mean", mean);
+    write_floats(&mut s, "m2", m2);
+    s
+}
+
+/// Deserializes a whitener written by [`whitener_to_string`].
+pub fn whitener_from_str(text: &str) -> Result<Whitener, ParseError> {
+    let mut lines = text.lines();
+    let header = lines.next().ok_or_else(|| err("empty input"))?;
+    if header.trim() != "tinyrl-whitener v1" {
+        return Err(err(format!("bad header: {header:?}")));
+    }
+    let dim: usize = parse_tagged(lines.next(), "dim")?;
+    let count: f64 = parse_tagged(lines.next(), "count")?;
+    let mean = read_floats(lines.next(), "mean", dim)?;
+    let m2 = read_floats(lines.next(), "m2", dim)?;
+    Ok(Whitener::from_raw(mean, m2, count))
+}
+
+fn write_floats(s: &mut String, tag: &str, values: &[f64]) {
+    write!(s, "{tag}").unwrap();
+    for v in values {
+        write!(s, " {v:.17e}").unwrap();
+    }
+    writeln!(s).unwrap();
+}
+
+fn read_floats(line: Option<&str>, tag: &str, expect: usize) -> Result<Vec<f64>, ParseError> {
+    let line = line.ok_or_else(|| err(format!("missing '{tag}' line")))?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(tag) {
+        return Err(err(format!("expected '{tag}' line, got {line:?}")));
+    }
+    let values: Result<Vec<f64>, _> = parts.map(str::parse).collect();
+    let values = values.map_err(|e| err(format!("{tag}: {e}")))?;
+    if values.len() != expect {
+        return Err(err(format!("{tag}: expected {expect} values, got {}", values.len())));
+    }
+    Ok(values)
+}
+
+fn parse_tagged<T: std::str::FromStr>(line: Option<&str>, tag: &str) -> Result<T, ParseError>
+where
+    T::Err: std::fmt::Display,
+{
+    let line = line.ok_or_else(|| err(format!("missing '{tag}' line")))?;
+    let mut parts = line.split_whitespace();
+    if parts.next() != Some(tag) {
+        return Err(err(format!("expected '{tag}' line, got {line:?}")));
+    }
+    parts
+        .next()
+        .ok_or_else(|| err(format!("missing value after '{tag}'")))?
+        .parse()
+        .map_err(|e| err(format!("{tag}: {e}")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn mlp_round_trips_exactly() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let net = Mlp::new(&[4, 25, 9], &mut rng);
+        let text = mlp_to_string(&net);
+        let back = mlp_from_str(&text).unwrap();
+        assert_eq!(net.layers().len(), back.layers().len());
+        for (a, b) in net.layers().iter().zip(back.layers()) {
+            assert_eq!(a.w, b.w);
+            assert_eq!(a.b, b.b);
+        }
+        let x = [0.1, -0.2, 0.3, -0.4];
+        assert_eq!(net.forward(&x), back.forward(&x));
+    }
+
+    #[test]
+    fn whitener_round_trips_exactly() {
+        let mut w = Whitener::new(3);
+        for v in [[1.0, 2.0, 3.0], [4.0, 5.0, 6.0], [7.0, 8.0, 10.0]] {
+            w.observe(&v);
+        }
+        let back = whitener_from_str(&whitener_to_string(&w)).unwrap();
+        let mut a = [2.0, 2.0, 2.0];
+        let mut b = [2.0, 2.0, 2.0];
+        w.transform(&mut a);
+        back.transform(&mut b);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn rejects_corrupt_input() {
+        assert!(mlp_from_str("").is_err());
+        assert!(mlp_from_str("wrong header\n").is_err());
+        assert!(mlp_from_str("tinyrl-mlp v1\nlayers 1\nlayer 2 2\nw 1 2 3\nb 0 0\n").is_err());
+        assert!(whitener_from_str("tinyrl-whitener v1\ndim x\n").is_err());
+    }
+}

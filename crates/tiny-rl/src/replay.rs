@@ -1,0 +1,122 @@
+//! Experience replay memory (Mnih et al., 2013; paper: capacity 2000).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// One transition `(s, a, r, s′)`.
+///
+/// `next_state` is `None` for terminal transitions. `next_mask` flags which
+/// actions are valid in `s′` — both agents in RL4QDTS have state-dependent
+/// action sets (octree children without trajectories are invalid; Agent-
+/// Point's candidate list may be shorter than `K`), and the Bellman target
+/// must only maximize over valid actions.
+#[derive(Debug, Clone)]
+pub struct Transition {
+    /// State the action was taken in.
+    pub state: Vec<f64>,
+    /// Chosen action index.
+    pub action: usize,
+    /// Observed (possibly delayed, shared) reward.
+    pub reward: f64,
+    /// Successor state; `None` when the episode ended.
+    pub next_state: Option<Vec<f64>>,
+    /// Valid-action flags in the successor state.
+    pub next_mask: Vec<bool>,
+}
+
+/// Fixed-capacity ring buffer of transitions with uniform sampling.
+#[derive(Debug, Clone)]
+pub struct ReplayMemory {
+    buf: Vec<Transition>,
+    capacity: usize,
+    head: usize,
+}
+
+impl ReplayMemory {
+    /// An empty memory of the given capacity (> 0).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0);
+        Self { buf: Vec::with_capacity(capacity.min(4096)), capacity, head: 0 }
+    }
+
+    /// Number of stored transitions.
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// True when nothing is stored yet.
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Stores a transition, overwriting the oldest once full.
+    pub fn push(&mut self, t: Transition) {
+        if self.buf.len() < self.capacity {
+            self.buf.push(t);
+        } else {
+            self.buf[self.head] = t;
+            self.head = (self.head + 1) % self.capacity;
+        }
+    }
+
+    /// Samples `n` transitions uniformly with replacement. Returns an empty
+    /// vector when the memory is empty.
+    pub fn sample<'a>(&'a self, n: usize, rng: &mut StdRng) -> Vec<&'a Transition> {
+        if self.buf.is_empty() {
+            return Vec::new();
+        }
+        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn t(reward: f64) -> Transition {
+        Transition {
+            state: vec![reward],
+            action: 0,
+            reward,
+            next_state: None,
+            next_mask: vec![],
+        }
+    }
+
+    #[test]
+    fn push_grows_until_capacity_then_overwrites_oldest() {
+        let mut m = ReplayMemory::new(3);
+        for i in 0..5 {
+            m.push(t(i as f64));
+        }
+        assert_eq!(m.len(), 3);
+        let rewards: Vec<f64> = m.buf.iter().map(|t| t.reward).collect();
+        // 0 and 1 were overwritten by 3 and 4.
+        assert!(rewards.contains(&2.0));
+        assert!(rewards.contains(&3.0));
+        assert!(rewards.contains(&4.0));
+    }
+
+    #[test]
+    fn sample_returns_requested_count() {
+        let mut m = ReplayMemory::new(10);
+        for i in 0..4 {
+            m.push(t(i as f64));
+        }
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(m.sample(16, &mut rng).len(), 16);
+        assert!(ReplayMemory::new(5).sample(3, &mut rng).is_empty());
+    }
+
+    #[test]
+    #[should_panic]
+    fn zero_capacity_is_rejected() {
+        let _ = ReplayMemory::new(0);
+    }
+}

@@ -1,0 +1,416 @@
+//! Median-split (kd-tree-style) alternative to the octree.
+//!
+//! The paper's octree halves each dimension geometrically, which leaves
+//! nodes unbalanced on skewed data. This index instead performs three
+//! successive *median* splits (x, then y, then t) per level — the kd-tree
+//! construction rule — and bundles them into one 8-ary step so it is a
+//! drop-in [`CubeIndex`] for Agent-Cube (whose action space is fixed at 8
+//! children + stop). This realizes the "other indexes, e.g. kd-tree"
+//! future-work direction of §I; the `index_ablation` experiment compares
+//! the two.
+
+use crate::octree::{NodeId, PointRef};
+use crate::traits::CubeIndex;
+use rand::rngs::StdRng;
+use rand::Rng;
+use trajectory::{Cube, Point, TrajId, TrajectoryDb};
+
+/// One node of the median tree.
+#[derive(Debug, Clone)]
+struct Node {
+    cube: Cube,
+    depth: u32,
+    children: Option<[NodeId; 8]>,
+    points: Vec<PointRef>, // leaves only
+    traj_count: u32,
+    point_count: u32,
+    query_count: u32,
+}
+
+/// Build parameters (same knobs as the octree).
+#[derive(Debug, Clone, Copy)]
+pub struct MedianTreeConfig {
+    /// Maximum depth (root = 1).
+    pub max_depth: u32,
+    /// Leaves with more points than this split (depth permitting).
+    pub leaf_capacity: usize,
+}
+
+impl Default for MedianTreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, leaf_capacity: 64 }
+    }
+}
+
+/// The kd-tree-style median-split index.
+#[derive(Debug, Clone)]
+pub struct MedianTree {
+    nodes: Vec<Node>,
+}
+
+impl MedianTree {
+    /// Builds the tree over all points of `db`.
+    pub fn build(db: &TrajectoryDb, config: MedianTreeConfig) -> Self {
+        let mut cube = db.bounding_cube();
+        if cube.is_empty() {
+            cube = Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0);
+        }
+        // Collect (ref, coords) once; recursion partitions index ranges.
+        let mut entries: Vec<(PointRef, Point)> = Vec::with_capacity(db.total_points());
+        for (traj, t) in db.iter() {
+            for (idx, p) in t.points().iter().enumerate() {
+                entries.push((PointRef { traj, idx: idx as u32 }, *p));
+            }
+        }
+        let mut tree = Self { nodes: Vec::new() };
+        tree.build_node(&mut entries[..], cube, 1, &config);
+        tree
+    }
+
+    /// Recursively builds the subtree over `entries`, returning its id.
+    fn build_node(
+        &mut self,
+        entries: &mut [(PointRef, Point)],
+        cube: Cube,
+        depth: u32,
+        config: &MedianTreeConfig,
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let mut distinct: Vec<TrajId> = entries.iter().map(|(r, _)| r.traj).collect();
+        distinct.sort_unstable();
+        distinct.dedup();
+        self.nodes.push(Node {
+            cube,
+            depth,
+            children: None,
+            points: Vec::new(),
+            traj_count: distinct.len() as u32,
+            point_count: entries.len() as u32,
+            query_count: 0,
+        });
+
+        let must_leaf = entries.len() <= config.leaf_capacity || depth >= config.max_depth;
+        if must_leaf {
+            self.nodes[id as usize].points = entries.iter().map(|(r, _)| *r).collect();
+            return id;
+        }
+
+        // Three successive median splits: x, y, t — eight balanced parts.
+        let by_x = split_median(entries, |p| p.x);
+        let mut parts: Vec<&mut [(PointRef, Point)]> = Vec::with_capacity(8);
+        for half in by_x {
+            let by_y = split_median(half, |p| p.y);
+            for quarter in by_y {
+                let by_t = split_median(quarter, |p| p.t);
+                for eighth in by_t {
+                    parts.push(eighth);
+                }
+            }
+        }
+        debug_assert_eq!(parts.len(), 8);
+        let mut children = [0 as NodeId; 8];
+        for (k, part) in parts.into_iter().enumerate() {
+            let child_cube = bounding_cube_of(part, &cube);
+            children[k] = self.build_node(part, child_cube, depth + 1, config);
+        }
+        self.nodes[id as usize].children = Some(children);
+        id
+    }
+
+    /// Number of nodes.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree indexes no points.
+    pub fn is_empty(&self) -> bool {
+        self.nodes[0].point_count == 0
+    }
+
+    /// Maximum depth present.
+    pub fn actual_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(1)
+    }
+
+    /// Point count of a node (subtree).
+    pub fn point_count(&self, id: NodeId) -> u32 {
+        self.nodes[id as usize].point_count
+    }
+
+    fn count_query(&mut self, id: NodeId, q: &Cube) {
+        if !self.nodes[id as usize].cube.intersects(q) {
+            return;
+        }
+        self.nodes[id as usize].query_count += 1;
+        if let Some(children) = self.nodes[id as usize].children {
+            for c in children {
+                self.count_query(c, q);
+            }
+        }
+    }
+
+    /// Node ids at traversal level `s` (see [`Octree::nodes_at_level`]).
+    fn nodes_at_level(&self, s: u32) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![0 as NodeId];
+        while let Some(id) = stack.pop() {
+            let node = &self.nodes[id as usize];
+            if node.traj_count == 0 {
+                continue;
+            }
+            if node.depth == s || (node.children.is_none() && node.depth < s) {
+                out.push(id);
+            } else if node.depth < s {
+                if let Some(children) = node.children {
+                    stack.extend(children);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// Splits a slice at its median of `key` (lower half gets the extra
+/// element), using `select_nth_unstable` for O(n).
+fn split_median(
+    entries: &mut [(PointRef, Point)],
+    key: impl Fn(&Point) -> f64,
+) -> [&mut [(PointRef, Point)]; 2] {
+    let mid = entries.len() / 2;
+    if entries.len() >= 2 {
+        entries.select_nth_unstable_by(mid, |a, b| {
+            key(&a.1).total_cmp(&key(&b.1))
+        });
+    }
+    let (lo, hi) = entries.split_at_mut(mid);
+    [lo, hi]
+}
+
+/// Tight bounding cube of `entries`, falling back to `parent` when empty.
+fn bounding_cube_of(entries: &[(PointRef, Point)], parent: &Cube) -> Cube {
+    if entries.is_empty() {
+        // Keep a degenerate corner of the parent so geometry stays valid.
+        return Cube::new(
+            parent.x_min, parent.x_min, parent.y_min, parent.y_min, parent.t_min,
+            parent.t_min,
+        );
+    }
+    let mut c = Cube::empty();
+    for (_, p) in entries {
+        c.extend(p);
+    }
+    c
+}
+
+impl CubeIndex for MedianTree {
+    fn root(&self) -> NodeId {
+        0
+    }
+
+    fn depth(&self, id: NodeId) -> u32 {
+        self.nodes[id as usize].depth
+    }
+
+    fn is_leaf(&self, id: NodeId) -> bool {
+        self.nodes[id as usize].children.is_none()
+    }
+
+    fn cube(&self, id: NodeId) -> Cube {
+        self.nodes[id as usize].cube
+    }
+
+    fn children(&self, id: NodeId) -> Option<[NodeId; 8]> {
+        self.nodes[id as usize].children
+    }
+
+    fn child_stats(&self, id: NodeId) -> Option<[(u32, u32); 8]> {
+        let children = self.nodes[id as usize].children?;
+        Some(std::array::from_fn(|k| {
+            let c = &self.nodes[children[k] as usize];
+            (c.traj_count, c.query_count)
+        }))
+    }
+
+    fn traj_count(&self, id: NodeId) -> u32 {
+        self.nodes[id as usize].traj_count
+    }
+
+    fn query_count(&self, id: NodeId) -> u32 {
+        self.nodes[id as usize].query_count
+    }
+
+    fn assign_queries(&mut self, queries: &[Cube]) {
+        for n in &mut self.nodes {
+            n.query_count = 0;
+        }
+        for q in queries {
+            self.count_query(0, q);
+        }
+    }
+
+    fn sample_start(&self, s: u32, rng: &mut StdRng) -> NodeId {
+        let candidates = self.nodes_at_level(s);
+        if candidates.is_empty() {
+            return 0;
+        }
+        let by_query: Vec<f64> =
+            candidates.iter().map(|&id| CubeIndex::query_count(self, id) as f64).collect();
+        let weights: Vec<f64> = if by_query.iter().sum::<f64>() > 0.0 {
+            by_query
+        } else {
+            candidates.iter().map(|&id| CubeIndex::traj_count(self, id) as f64).collect()
+        };
+        pick_weighted_kd(&candidates, &weights, rng)
+    }
+
+    fn sample_start_by_data(&self, s: u32, rng: &mut StdRng) -> NodeId {
+        let candidates = self.nodes_at_level(s);
+        if candidates.is_empty() {
+            return 0;
+        }
+        let weights: Vec<f64> =
+            candidates.iter().map(|&id| CubeIndex::traj_count(self, id) as f64).collect();
+        pick_weighted_kd(&candidates, &weights, rng)
+    }
+
+    fn points_by_trajectory(&self, id: NodeId) -> Vec<(TrajId, Vec<u32>)> {
+        let mut points: Vec<PointRef> = Vec::with_capacity(self.point_count(id) as usize);
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = &self.nodes[n as usize];
+            match node.children {
+                None => points.extend_from_slice(&node.points),
+                Some(children) => stack.extend(children),
+            }
+        }
+        points.sort_unstable_by_key(|r| (r.traj, r.idx));
+        let mut out: Vec<(TrajId, Vec<u32>)> = Vec::new();
+        for r in points {
+            match out.last_mut() {
+                Some((traj, idxs)) if *traj == r.traj => idxs.push(r.idx),
+                _ => out.push((r.traj, vec![r.idx])),
+            }
+        }
+        out
+    }
+}
+
+/// Weighted pick over candidates; uniform when all weights vanish.
+fn pick_weighted_kd(candidates: &[NodeId], weights: &[f64], rng: &mut StdRng) -> NodeId {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return candidates[rng.gen_range(0..candidates.len())];
+    }
+    let mut pick = rng.gen_range(0.0..total);
+    for (id, w) in candidates.iter().zip(weights) {
+        pick -= w;
+        if pick <= 0.0 {
+            return *id;
+        }
+    }
+    *candidates.last().expect("non-empty")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+
+    fn db() -> TrajectoryDb {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 71)
+    }
+
+    #[test]
+    fn indexes_every_point_exactly_once() {
+        let db = db();
+        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 6, leaf_capacity: 32 });
+        assert_eq!(tree.point_count(0) as usize, db.total_points());
+        let groups = tree.points_by_trajectory(0);
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, db.total_points());
+        assert_eq!(groups.len(), db.len());
+    }
+
+    #[test]
+    fn children_are_balanced_in_point_count() {
+        // The defining property vs. the octree: median splits balance the
+        // children even on skewed data.
+        let db = db();
+        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 4, leaf_capacity: 16 });
+        let children = CubeIndex::children(&tree, 0).expect("root splits");
+        let counts: Vec<u32> = children.iter().map(|&c| tree.point_count(c)).collect();
+        let min = *counts.iter().min().unwrap();
+        let max = *counts.iter().max().unwrap();
+        assert!(
+            max <= min + min / 2 + 8,
+            "median children should be near-balanced: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn children_partition_counts() {
+        let db = db();
+        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 5, leaf_capacity: 16 });
+        for id in 0..tree.len() as NodeId {
+            if let Some(children) = CubeIndex::children(&tree, id) {
+                let sum: u32 = children.iter().map(|&c| tree.point_count(c)).sum();
+                assert_eq!(sum, tree.point_count(id));
+            }
+        }
+    }
+
+    #[test]
+    fn respects_max_depth_and_leaf_capacity() {
+        let db = db();
+        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 3, leaf_capacity: 8 });
+        assert!(tree.actual_depth() <= 3);
+        let big = MedianTree::build(&db, MedianTreeConfig { max_depth: 10, leaf_capacity: 1_000_000 });
+        assert_eq!(big.len(), 1, "everything fits in the root leaf");
+    }
+
+    #[test]
+    fn query_assignment_counts_intersections() {
+        let db = db();
+        let mut tree = MedianTree::build(&db, MedianTreeConfig::default());
+        let whole = db.bounding_cube();
+        CubeIndex::assign_queries(&mut tree, &[whole, whole]);
+        assert_eq!(CubeIndex::query_count(&tree, 0), 2);
+        let far = Cube::centered(1e12, 1e12, 1e12, 1.0, 1.0, 1.0);
+        CubeIndex::assign_queries(&mut tree, &[far]);
+        assert_eq!(CubeIndex::query_count(&tree, 0), 0);
+    }
+
+    #[test]
+    fn sample_start_returns_populated_nodes() {
+        let db = db();
+        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 5, leaf_capacity: 16 });
+        let mut rng = StdRng::seed_from_u64(9);
+        for s in 1..5 {
+            let id = CubeIndex::sample_start(&tree, s, &mut rng);
+            assert!(CubeIndex::traj_count(&tree, id) > 0, "level {s}");
+        }
+    }
+
+    #[test]
+    fn empty_database_is_a_single_leaf() {
+        let tree = MedianTree::build(&TrajectoryDb::default(), MedianTreeConfig::default());
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 1);
+    }
+
+    #[test]
+    fn child_cubes_contain_their_points() {
+        let db = db();
+        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 4, leaf_capacity: 32 });
+        for id in 0..tree.len() as NodeId {
+            let cube = CubeIndex::cube(&tree, id);
+            for (traj, idxs) in tree.points_by_trajectory(id) {
+                for idx in idxs {
+                    let p = db.get(traj).point(idx as usize);
+                    assert!(cube.contains(p), "node {id}: point {p} outside cube");
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,556 @@
+//! The spatio-temporal octree (§IV of the paper).
+//!
+//! The octree recursively partitions the database's bounding cube in
+//! (x, y, t) into 8 sub-cubes. Each node carries the two distribution
+//! statistics Agent-Cube's state (Eq. 4) is built from: the number of
+//! distinct trajectories with a point in the cube (`M_B`) and the number of
+//! workload queries intersecting the cube (`Q_B`).
+
+use rand::rngs::StdRng;
+use rand::Rng;
+use trajectory::{Cube, TrajId, TrajectoryDb};
+
+/// Index of a node in the octree arena.
+pub type NodeId = u32;
+
+/// Reference to one original point: trajectory id + point index.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct PointRef {
+    /// Trajectory id within the indexed database.
+    pub traj: TrajId,
+    /// Point index within that trajectory.
+    pub idx: u32,
+}
+
+/// One octree node.
+#[derive(Debug, Clone)]
+pub struct Node {
+    /// The node's spatio-temporal cube.
+    pub cube: Cube,
+    /// Depth in the tree; the root is at depth 1, matching the paper's
+    /// `B^1_1` notation where level 1 is the root.
+    pub depth: u32,
+    /// Child node ids (octant order of [`Cube::octants`]); `None` for leaves.
+    pub children: Option<[NodeId; 8]>,
+    /// Points stored here (leaves only; interior nodes are empty).
+    points: Vec<PointRef>,
+    /// `M_B`: number of distinct trajectories with ≥1 point in the cube.
+    pub traj_count: u32,
+    /// `N_B`: number of points in the cube (all descendants).
+    pub point_count: u32,
+    /// `Q_B`: number of workload queries intersecting the cube.
+    pub query_count: u32,
+}
+
+impl Node {
+    fn new_leaf(cube: Cube, depth: u32) -> Self {
+        Self {
+            cube,
+            depth,
+            children: None,
+            points: Vec::new(),
+            traj_count: 0,
+            point_count: 0,
+            query_count: 0,
+        }
+    }
+
+    /// True when the node has no children.
+    pub fn is_leaf(&self) -> bool {
+        self.children.is_none()
+    }
+}
+
+/// Build parameters for [`Octree::build`].
+#[derive(Debug, Clone, Copy)]
+pub struct OctreeConfig {
+    /// Maximum tree depth (the paper's `E`; root is depth 1).
+    pub max_depth: u32,
+    /// A leaf splits when it holds more than this many points (and is above
+    /// `max_depth`).
+    pub leaf_capacity: usize,
+}
+
+impl Default for OctreeConfig {
+    fn default() -> Self {
+        Self { max_depth: 12, leaf_capacity: 64 }
+    }
+}
+
+/// The octree over a trajectory database.
+#[derive(Debug, Clone)]
+pub struct Octree {
+    nodes: Vec<Node>,
+    config: OctreeConfig,
+}
+
+impl Octree {
+    /// Builds the octree over all points of `db`.
+    pub fn build(db: &TrajectoryDb, config: OctreeConfig) -> Self {
+        let mut cube = db.bounding_cube();
+        if cube.is_empty() {
+            cube = Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0);
+        }
+        let mut tree = Self { nodes: vec![Node::new_leaf(cube, 1)], config };
+        for (traj, t) in db.iter() {
+            for idx in 0..t.len() as u32 {
+                let p = *t.point(idx as usize);
+                tree.insert(PointRef { traj, idx }, &p, db);
+            }
+        }
+        tree.aggregate_counts(db);
+        tree
+    }
+
+    /// The root node id.
+    pub fn root(&self) -> NodeId {
+        0
+    }
+
+    /// Number of nodes in the tree.
+    pub fn len(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// True when the tree holds only an empty root.
+    pub fn is_empty(&self) -> bool {
+        self.nodes[0].point_count == 0
+    }
+
+    /// Access to a node.
+    pub fn node(&self, id: NodeId) -> &Node {
+        &self.nodes[id as usize]
+    }
+
+    /// The build configuration.
+    pub fn config(&self) -> OctreeConfig {
+        self.config
+    }
+
+    /// `(M, Q)` statistics of each child of `id`, in octant order.
+    /// `None` for leaves.
+    pub fn child_stats(&self, id: NodeId) -> Option<[(u32, u32); 8]> {
+        let children = self.node(id).children?;
+        Some(std::array::from_fn(|k| {
+            let c = self.node(children[k]);
+            (c.traj_count, c.query_count)
+        }))
+    }
+
+    fn insert(&mut self, r: PointRef, p: &trajectory::Point, db: &TrajectoryDb) {
+        let mut id = self.root();
+        loop {
+            let node = &mut self.nodes[id as usize];
+            node.point_count += 1;
+            match node.children {
+                Some(children) => {
+                    let k = node.cube.octant_of(p);
+                    id = children[k];
+                }
+                None => {
+                    node.points.push(r);
+                    let should_split = node.points.len() > self.config.leaf_capacity
+                        && node.depth < self.config.max_depth;
+                    if should_split {
+                        self.split(id, db);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    fn split(&mut self, id: NodeId, db: &TrajectoryDb) {
+        let (cube, depth, points) = {
+            let node = &mut self.nodes[id as usize];
+            (node.cube, node.depth, std::mem::take(&mut node.points))
+        };
+        let octants = cube.octants();
+        let base = self.nodes.len() as NodeId;
+        for cube in octants {
+            self.nodes.push(Node::new_leaf(cube, depth + 1));
+        }
+        let children: [NodeId; 8] = std::array::from_fn(|k| base + k as NodeId);
+        self.nodes[id as usize].children = Some(children);
+        for r in points {
+            let p = db.get(r.traj).point(r.idx as usize);
+            let k = cube.octant_of(p);
+            let child = &mut self.nodes[children[k] as usize];
+            child.points.push(r);
+            child.point_count += 1;
+        }
+        // A split can leave one child over capacity (duplicate locations
+        // land in the same octant); recurse while depth allows.
+        for &c in &children {
+            if self.nodes[c as usize].points.len() > self.config.leaf_capacity
+                && self.nodes[c as usize].depth < self.config.max_depth
+            {
+                self.split(c, db);
+            }
+        }
+    }
+
+    /// Computes `M_B` for every node bottom-up. Returns the distinct
+    /// trajectory id list of the subtree (sorted), which is merged upward
+    /// and discarded — only counts are stored.
+    fn aggregate_counts(&mut self, _db: &TrajectoryDb) {
+        fn rec(tree: &mut Octree, id: NodeId) -> Vec<TrajId> {
+            let node = &tree.nodes[id as usize];
+            let mut ids: Vec<TrajId> = match node.children {
+                None => {
+                    let mut v: Vec<TrajId> = node.points.iter().map(|r| r.traj).collect();
+                    v.sort_unstable();
+                    v.dedup();
+                    v
+                }
+                Some(children) => {
+                    let mut merged: Vec<TrajId> = Vec::new();
+                    for &c in &children {
+                        let child_ids = rec(tree, c);
+                        merged = merge_dedup(&merged, &child_ids);
+                    }
+                    merged
+                }
+            };
+            ids.shrink_to_fit();
+            self_count(tree, id, ids.len() as u32);
+            ids
+        }
+        fn self_count(tree: &mut Octree, id: NodeId, count: u32) {
+            tree.nodes[id as usize].traj_count = count;
+        }
+        rec(self, 0);
+    }
+
+    /// Registers a query workload: `Q_B` of every node becomes the number of
+    /// query cubes intersecting it. Resets previous counts.
+    pub fn assign_queries(&mut self, queries: &[Cube]) {
+        for n in &mut self.nodes {
+            n.query_count = 0;
+        }
+        for q in queries {
+            self.count_query(0, q);
+        }
+    }
+
+    fn count_query(&mut self, id: NodeId, q: &Cube) {
+        if !self.nodes[id as usize].cube.intersects(q) {
+            return;
+        }
+        self.nodes[id as usize].query_count += 1;
+        if let Some(children) = self.nodes[id as usize].children {
+            for c in children {
+                self.count_query(c, q);
+            }
+        }
+    }
+
+    /// Node ids at traversal level `s`: nodes at depth `s` plus leaves
+    /// shallower than `s` (they cannot be descended further). Only nodes
+    /// containing at least one trajectory are returned, matching the
+    /// paper's action-space constraint.
+    pub fn nodes_at_level(&self, s: u32) -> Vec<NodeId> {
+        let mut out = Vec::new();
+        let mut stack = vec![self.root()];
+        while let Some(id) = stack.pop() {
+            let node = self.node(id);
+            if node.traj_count == 0 {
+                continue;
+            }
+            if node.depth == s || (node.is_leaf() && node.depth < s) {
+                out.push(id);
+            } else if node.depth < s {
+                if let Some(children) = node.children {
+                    stack.extend(children);
+                }
+            }
+        }
+        out
+    }
+
+    /// Samples a start node at level `s` following the query distribution
+    /// (weights `Q_B`); falls back to the data distribution (`M_B`) when the
+    /// workload misses every candidate. Returns the root for an empty tree.
+    pub fn sample_start(&self, s: u32, rng: &mut StdRng) -> NodeId {
+        let candidates = self.nodes_at_level(s);
+        if candidates.is_empty() {
+            return self.root();
+        }
+        let by_query: Vec<f64> =
+            candidates.iter().map(|&id| self.node(id).query_count as f64).collect();
+        let weights: Vec<f64> = if by_query.iter().sum::<f64>() > 0.0 {
+            by_query
+        } else {
+            candidates.iter().map(|&id| self.node(id).traj_count as f64).collect()
+        };
+        pick_weighted(&candidates, &weights, rng)
+    }
+
+    /// Samples a start node at level `s` following the *data* distribution
+    /// (`M_B` weights) — the paper's "w/o Agent-Cube" ablation behaviour.
+    pub fn sample_start_by_data(&self, s: u32, rng: &mut StdRng) -> NodeId {
+        let candidates = self.nodes_at_level(s);
+        if candidates.is_empty() {
+            return self.root();
+        }
+        let weights: Vec<f64> =
+            candidates.iter().map(|&id| self.node(id).traj_count as f64).collect();
+        pick_weighted(&candidates, &weights, rng)
+    }
+
+    /// All points in the subtree rooted at `id` (DFS over leaves).
+    pub fn collect_points(&self, id: NodeId) -> Vec<PointRef> {
+        let mut out = Vec::with_capacity(self.node(id).point_count as usize);
+        let mut stack = vec![id];
+        while let Some(n) = stack.pop() {
+            let node = self.node(n);
+            match node.children {
+                None => out.extend_from_slice(&node.points),
+                Some(children) => stack.extend(children),
+            }
+        }
+        out
+    }
+
+    /// Points in the subtree of `id`, grouped by trajectory with each
+    /// trajectory's point indices sorted ascending. This is exactly the
+    /// view Agent-Point's state construction (Eq. 6–8) needs.
+    pub fn points_by_trajectory(&self, id: NodeId) -> Vec<(TrajId, Vec<u32>)> {
+        let mut points = self.collect_points(id);
+        points.sort_unstable_by_key(|r| (r.traj, r.idx));
+        let mut out: Vec<(TrajId, Vec<u32>)> = Vec::new();
+        for r in points {
+            match out.last_mut() {
+                Some((traj, idxs)) if *traj == r.traj => idxs.push(r.idx),
+                _ => out.push((r.traj, vec![r.idx])),
+            }
+        }
+        out
+    }
+
+    /// Maximum depth of any node actually present.
+    pub fn actual_depth(&self) -> u32 {
+        self.nodes.iter().map(|n| n.depth).max().unwrap_or(1)
+    }
+}
+
+/// Weighted pick over candidate node ids; uniform when all weights vanish.
+fn pick_weighted(candidates: &[NodeId], weights: &[f64], rng: &mut StdRng) -> NodeId {
+    let total: f64 = weights.iter().sum();
+    if total <= 0.0 {
+        return candidates[rng.gen_range(0..candidates.len())];
+    }
+    let mut pick = rng.gen_range(0.0..total);
+    for (id, w) in candidates.iter().zip(weights) {
+        pick -= w;
+        if pick <= 0.0 {
+            return *id;
+        }
+    }
+    *candidates.last().expect("non-empty")
+}
+
+/// Merges two sorted, deduplicated id lists into one.
+fn merge_dedup(a: &[TrajId], b: &[TrajId]) -> Vec<TrajId> {
+    let mut out = Vec::with_capacity(a.len() + b.len());
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => {
+                out.push(a[i]);
+                i += 1;
+            }
+            std::cmp::Ordering::Greater => {
+                out.push(b[j]);
+                j += 1;
+            }
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out.extend_from_slice(&a[i..]);
+    out.extend_from_slice(&b[j..]);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+    use trajectory::{Point, Trajectory};
+
+    fn small_db() -> TrajectoryDb {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 7)
+    }
+
+    #[test]
+    fn build_indexes_every_point() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig::default());
+        assert_eq!(tree.node(tree.root()).point_count as usize, db.total_points());
+        assert_eq!(tree.collect_points(tree.root()).len(), db.total_points());
+    }
+
+    #[test]
+    fn root_counts_cover_whole_database() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig::default());
+        assert_eq!(tree.node(tree.root()).traj_count as usize, db.len());
+    }
+
+    #[test]
+    fn children_partition_parent_points() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 32 });
+        for id in 0..tree.len() as NodeId {
+            if let Some(children) = tree.node(id).children {
+                let child_sum: u32 = children.iter().map(|&c| tree.node(c).point_count).sum();
+                assert_eq!(child_sum, tree.node(id).point_count, "node {id}");
+                // M is a distinct count: children can only over-count.
+                let child_m: u32 = children.iter().map(|&c| tree.node(c).traj_count).sum();
+                assert!(child_m >= tree.node(id).traj_count);
+            }
+        }
+    }
+
+    #[test]
+    fn points_live_in_their_cubes() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig { max_depth: 8, leaf_capacity: 16 });
+        for id in 0..tree.len() as NodeId {
+            let node = tree.node(id);
+            if node.is_leaf() {
+                for r in tree.collect_points(id) {
+                    let p = db.get(r.traj).point(r.idx as usize);
+                    assert!(node.cube.contains(p), "point {p} outside leaf cube");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn max_depth_is_respected() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig { max_depth: 4, leaf_capacity: 1 });
+        assert!(tree.actual_depth() <= 4);
+    }
+
+    #[test]
+    fn duplicate_points_do_not_loop_forever() {
+        // 100 identical points: can never be separated, must stop at max_depth.
+        let pts: Vec<Point> = (0..100).map(|i| Point::new(5.0, 5.0, i as f64)).collect();
+        // All share (x, y) but differ in t, plus truly identical spatial dups.
+        let t = Trajectory::new(pts).unwrap();
+        let db = TrajectoryDb::new(vec![t]);
+        let tree = Octree::build(&db, OctreeConfig { max_depth: 5, leaf_capacity: 2 });
+        assert_eq!(tree.node(0).point_count, 100);
+        assert!(tree.actual_depth() <= 5);
+    }
+
+    #[test]
+    fn query_counts_follow_intersection() {
+        let db = small_db();
+        let mut tree = Octree::build(&db, OctreeConfig::default());
+        let whole = db.bounding_cube();
+        tree.assign_queries(&[whole]);
+        assert_eq!(tree.node(tree.root()).query_count, 1);
+        // A query far outside touches nothing.
+        let far = Cube::centered(1e9, 1e9, 1e9, 1.0, 1.0, 1.0);
+        tree.assign_queries(&[far]);
+        assert_eq!(tree.node(tree.root()).query_count, 0);
+        // Re-assignment resets.
+        tree.assign_queries(&[whole, whole]);
+        assert_eq!(tree.node(tree.root()).query_count, 2);
+    }
+
+    #[test]
+    fn nodes_at_level_only_returns_populated_nodes() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 32 });
+        for s in 1..=6 {
+            for id in tree.nodes_at_level(s) {
+                let n = tree.node(id);
+                assert!(n.traj_count > 0);
+                assert!(n.depth == s || (n.is_leaf() && n.depth < s));
+            }
+        }
+        assert_eq!(tree.nodes_at_level(1), vec![0]);
+    }
+
+    #[test]
+    fn sample_start_prefers_query_heavy_cubes() {
+        let db = small_db();
+        let mut tree = Octree::build(&db, OctreeConfig { max_depth: 5, leaf_capacity: 32 });
+        // Put all query mass in one level-2 child.
+        let level2 = tree.nodes_at_level(2);
+        assert!(!level2.is_empty());
+        let target = level2[0];
+        let cube = tree.node(target).cube;
+        let (cx, cy, ct) = cube.center();
+        tree.assign_queries(&[Cube::centered(cx, cy, ct, 1e-6, 1e-6, 1e-6)]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let mut hits = 0;
+        for _ in 0..50 {
+            if tree.sample_start(2, &mut rng) == target {
+                hits += 1;
+            }
+        }
+        assert_eq!(hits, 50, "all samples should land on the only query-hit node");
+    }
+
+    #[test]
+    fn sample_start_falls_back_to_data_distribution() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig::default());
+        // No queries assigned at all: still returns a valid populated node.
+        let mut rng = StdRng::seed_from_u64(2);
+        let id = tree.sample_start(3, &mut rng);
+        assert!(tree.node(id).traj_count > 0);
+    }
+
+    #[test]
+    fn points_by_trajectory_groups_and_sorts() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig::default());
+        let groups = tree.points_by_trajectory(tree.root());
+        assert_eq!(groups.len(), db.len());
+        let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
+        assert_eq!(total, db.total_points());
+        for (traj, idxs) in &groups {
+            assert!(idxs.windows(2).all(|w| w[0] < w[1]), "unsorted for traj {traj}");
+            assert_eq!(idxs.len(), db.get(*traj).len());
+        }
+    }
+
+    #[test]
+    fn child_stats_matches_nodes() {
+        let db = small_db();
+        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 32 });
+        let stats = tree.child_stats(tree.root()).expect("root has children");
+        let children = tree.node(tree.root()).children.unwrap();
+        for (k, &(m, q)) in stats.iter().enumerate() {
+            assert_eq!(m, tree.node(children[k]).traj_count);
+            assert_eq!(q, tree.node(children[k]).query_count);
+        }
+    }
+
+    #[test]
+    fn empty_database_builds_empty_tree() {
+        let tree = Octree::build(&TrajectoryDb::default(), OctreeConfig::default());
+        assert!(tree.is_empty());
+        assert_eq!(tree.len(), 1);
+        let mut rng = StdRng::seed_from_u64(3);
+        assert_eq!(tree.sample_start(4, &mut rng), tree.root());
+    }
+
+    #[test]
+    fn merge_dedup_merges_sorted_lists() {
+        assert_eq!(merge_dedup(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
+        assert_eq!(merge_dedup(&[], &[1]), vec![1]);
+        assert_eq!(merge_dedup(&[1, 2], &[]), vec![1, 2]);
+    }
+}

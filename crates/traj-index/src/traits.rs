@@ -1,0 +1,130 @@
+//! The index interface RL4QDTS's agents consume.
+//!
+//! The paper builds on an octree and "leaves other indexes, e.g. kd-tree,
+//! for future exploration" (§I). This trait captures exactly what
+//! Agent-Cube and Agent-Point need from an index — 8-way cube refinement
+//! with data/query statistics — so alternative partitioning schemes
+//! ([`crate::kdtree::MedianTree`]) can be swapped in and ablated.
+
+use rand::rngs::StdRng;
+use trajectory::{Cube, TrajId};
+
+use crate::octree::{NodeId, Octree};
+
+/// A spatio-temporal cube index usable by RL4QDTS.
+pub trait CubeIndex {
+    /// The root node.
+    fn root(&self) -> NodeId;
+
+    /// Depth of `id` (root = 1, the paper's `B¹₁` convention).
+    fn depth(&self, id: NodeId) -> u32;
+
+    /// True when `id` has no children.
+    fn is_leaf(&self, id: NodeId) -> bool;
+
+    /// The node's cube.
+    fn cube(&self, id: NodeId) -> Cube;
+
+    /// Child ids in a fixed 8-ary order, `None` for leaves.
+    fn children(&self, id: NodeId) -> Option<[NodeId; 8]>;
+
+    /// `(M, Q)` of each child — the Eq. 4 state ingredients.
+    fn child_stats(&self, id: NodeId) -> Option<[(u32, u32); 8]>;
+
+    /// `M_B` of the node itself.
+    fn traj_count(&self, id: NodeId) -> u32;
+
+    /// `Q_B` of the node itself.
+    fn query_count(&self, id: NodeId) -> u32;
+
+    /// Registers the query workload (recomputes every `Q_B`).
+    fn assign_queries(&mut self, queries: &[Cube]);
+
+    /// Samples a start node at level `s` following the query distribution,
+    /// falling back to the data distribution.
+    fn sample_start(&self, s: u32, rng: &mut StdRng) -> NodeId;
+
+    /// Samples a start node at level `s` following the *data* distribution
+    /// (`M_B` weights) — what the paper's "w/o Agent-Cube" ablation does.
+    fn sample_start_by_data(&self, s: u32, rng: &mut StdRng) -> NodeId;
+
+    /// Points in the subtree of `id`, grouped per trajectory, indices
+    /// ascending.
+    fn points_by_trajectory(&self, id: NodeId) -> Vec<(TrajId, Vec<u32>)>;
+}
+
+impl CubeIndex for Octree {
+    fn root(&self) -> NodeId {
+        Octree::root(self)
+    }
+
+    fn depth(&self, id: NodeId) -> u32 {
+        self.node(id).depth
+    }
+
+    fn is_leaf(&self, id: NodeId) -> bool {
+        self.node(id).is_leaf()
+    }
+
+    fn cube(&self, id: NodeId) -> Cube {
+        self.node(id).cube
+    }
+
+    fn children(&self, id: NodeId) -> Option<[NodeId; 8]> {
+        self.node(id).children
+    }
+
+    fn child_stats(&self, id: NodeId) -> Option<[(u32, u32); 8]> {
+        Octree::child_stats(self, id)
+    }
+
+    fn traj_count(&self, id: NodeId) -> u32 {
+        self.node(id).traj_count
+    }
+
+    fn query_count(&self, id: NodeId) -> u32 {
+        self.node(id).query_count
+    }
+
+    fn assign_queries(&mut self, queries: &[Cube]) {
+        Octree::assign_queries(self, queries)
+    }
+
+    fn sample_start(&self, s: u32, rng: &mut StdRng) -> NodeId {
+        Octree::sample_start(self, s, rng)
+    }
+
+    fn sample_start_by_data(&self, s: u32, rng: &mut StdRng) -> NodeId {
+        Octree::sample_start_by_data(self, s, rng)
+    }
+
+    fn points_by_trajectory(&self, id: NodeId) -> Vec<(TrajId, Vec<u32>)> {
+        Octree::points_by_trajectory(self, id)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::octree::OctreeConfig;
+    use rand::SeedableRng;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+
+    /// The trait view of the octree must agree with its inherent methods.
+    #[test]
+    fn octree_trait_impl_is_consistent() {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 61);
+        let tree = Octree::build(&db, OctreeConfig::default());
+        let dyn_tree: &dyn CubeIndex = &tree;
+        assert_eq!(dyn_tree.root(), 0);
+        assert_eq!(dyn_tree.depth(0), 1);
+        assert_eq!(dyn_tree.traj_count(0) as usize, db.len());
+        assert_eq!(
+            dyn_tree.points_by_trajectory(0).len(),
+            tree.points_by_trajectory(0).len()
+        );
+        let mut rng = StdRng::seed_from_u64(1);
+        let start = dyn_tree.sample_start(2, &mut rng);
+        assert!(dyn_tree.traj_count(start) > 0);
+    }
+}

@@ -1,0 +1,202 @@
+//! kNN queries over time windows (§III-B).
+//!
+//! Given a query trajectory `Tq` and a window `[ts, te]`, return the `k`
+//! database trajectories whose windowed restriction is closest to `Tq`'s
+//! under a dissimilarity Θ — instantiated here with EDR or the t2vec-like
+//! embedding (the solution is orthogonal to the choice, as the paper
+//! notes).
+
+use crate::edr::edr_points;
+use crate::t2vec::T2vecEmbedder;
+use trajectory::{Point, TrajId, Trajectory, TrajectoryDb};
+
+/// The dissimilarity Θ used by a kNN query.
+#[derive(Debug, Clone, Copy)]
+pub enum Dissimilarity {
+    /// Edit Distance on Real sequence with matching tolerance ε (meters).
+    Edr {
+        /// Matching tolerance (paper: 2 km).
+        eps: f64,
+    },
+    /// t2vec-like embedding distance.
+    T2vec(T2vecEmbedder),
+}
+
+impl Dissimilarity {
+    /// The paper's EDR configuration (ε = 2 km).
+    pub fn edr_paper() -> Self {
+        Dissimilarity::Edr { eps: 2_000.0 }
+    }
+
+    /// The default t2vec-like configuration.
+    pub fn t2vec_default() -> Self {
+        Dissimilarity::T2vec(T2vecEmbedder::default())
+    }
+
+    /// Short name as used in figure captions.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Dissimilarity::Edr { .. } => "EDR",
+            Dissimilarity::T2vec(_) => "t2vec",
+        }
+    }
+
+    /// Distance between two windowed point sequences.
+    fn distance(&self, a: &[Point], b: &[Point]) -> f64 {
+        match self {
+            Dissimilarity::Edr { eps } => edr_points(a, b, *eps),
+            Dissimilarity::T2vec(e) => {
+                T2vecEmbedder::distance(&e.embed_points(a), &e.embed_points(b))
+            }
+        }
+    }
+}
+
+/// A kNN query instance.
+#[derive(Debug, Clone)]
+pub struct KnnQuery {
+    /// The query trajectory (not required to be in the database).
+    pub query: Trajectory,
+    /// Window start.
+    pub ts: f64,
+    /// Window end.
+    pub te: f64,
+    /// Number of neighbours to return.
+    pub k: usize,
+    /// Dissimilarity measure Θ.
+    pub measure: Dissimilarity,
+}
+
+impl KnnQuery {
+    /// Executes the query, returning the ids of the `k` nearest
+    /// trajectories in ascending id order (the F1 comparison is
+    /// set-based, and sorted output makes it deterministic).
+    ///
+    /// Trajectories with no points in the window rank after all others;
+    /// ties break by id, so results are stable across runs.
+    pub fn execute(&self, db: &TrajectoryDb) -> Vec<TrajId> {
+        let q_window = window_points(&self.query, self.ts, self.te);
+        let mut scored: Vec<(f64, TrajId)> = db
+            .iter()
+            .map(|(id, t)| {
+                let pts = window_points(t, self.ts, self.te);
+                let d = if pts.is_empty() && q_window.is_empty() {
+                    0.0
+                } else if pts.is_empty() {
+                    f64::INFINITY
+                } else {
+                    self.measure.distance(q_window, pts)
+                };
+                (d, id)
+            })
+            .collect();
+        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
+        let mut ids: Vec<TrajId> =
+            scored.into_iter().take(self.k).map(|(_, id)| id).collect();
+        ids.sort_unstable();
+        ids
+    }
+}
+
+/// The windowed restriction `T[ts, te]` as a point slice (no allocation).
+fn window_points(t: &Trajectory, ts: f64, te: f64) -> &[Point] {
+    match t.window_indices(ts, te) {
+        Some((lo, hi)) => &t.points()[lo..=hi],
+        None => &[],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn traj(coords: &[(f64, f64)], t0: f64) -> Trajectory {
+        Trajectory::new(
+            coords
+                .iter()
+                .enumerate()
+                .map(|(i, &(x, y))| Point::new(x, y, t0 + i as f64))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn db() -> TrajectoryDb {
+        TrajectoryDb::new(vec![
+            traj(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0)], 0.0), // 0: east low
+            traj(&[(0.0, 50.0), (100.0, 50.0), (200.0, 50.0)], 0.0), // 1: east mid
+            traj(&[(0.0, 9e5), (100.0, 9e5), (200.0, 9e5)], 0.0), // 2: far away
+            traj(&[(0.0, 0.0), (100.0, 0.0)], 1e6),               // 3: wrong time
+        ])
+    }
+
+    #[test]
+    fn knn_edr_returns_nearest_ids() {
+        let q = KnnQuery {
+            query: traj(&[(0.0, 10.0), (100.0, 10.0), (200.0, 10.0)], 0.0),
+            ts: 0.0,
+            te: 10.0,
+            k: 2,
+            measure: Dissimilarity::Edr { eps: 100.0 },
+        };
+        assert_eq!(q.execute(&db()), vec![0, 1]);
+    }
+
+    #[test]
+    fn knn_t2vec_returns_nearest_ids() {
+        let q = KnnQuery {
+            query: traj(&[(0.0, 10.0), (100.0, 10.0), (200.0, 10.0)], 0.0),
+            ts: 0.0,
+            te: 10.0,
+            k: 2,
+            measure: Dissimilarity::t2vec_default(),
+        };
+        let r = q.execute(&db());
+        assert_eq!(r.len(), 2);
+        assert!(r.contains(&0) || r.contains(&1));
+        assert!(!r.contains(&2), "far trajectory must not be a neighbour");
+    }
+
+    #[test]
+    fn out_of_window_trajectories_rank_last() {
+        let q = KnnQuery {
+            query: traj(&[(0.0, 0.0), (100.0, 0.0)], 0.0),
+            ts: 0.0,
+            te: 10.0,
+            k: 3,
+            measure: Dissimilarity::Edr { eps: 100.0 },
+        };
+        let r = q.execute(&db());
+        assert!(!r.contains(&3), "trajectory outside the window: {r:?}");
+    }
+
+    #[test]
+    fn k_larger_than_db_returns_all() {
+        let q = KnnQuery {
+            query: traj(&[(0.0, 0.0)], 0.0),
+            ts: 0.0,
+            te: 10.0,
+            k: 100,
+            measure: Dissimilarity::edr_paper(),
+        };
+        assert_eq!(q.execute(&db()).len(), 4);
+    }
+
+    #[test]
+    fn results_are_deterministic_under_ties() {
+        let db = TrajectoryDb::new(vec![
+            traj(&[(0.0, 0.0), (1.0, 0.0)], 0.0),
+            traj(&[(0.0, 0.0), (1.0, 0.0)], 0.0),
+            traj(&[(0.0, 0.0), (1.0, 0.0)], 0.0),
+        ]);
+        let q = KnnQuery {
+            query: traj(&[(0.0, 0.0), (1.0, 0.0)], 0.0),
+            ts: 0.0,
+            te: 10.0,
+            k: 2,
+            measure: Dissimilarity::edr_paper(),
+        };
+        // All tie at distance 0; ids 0 and 1 win deterministically.
+        assert_eq!(q.execute(&db), vec![0, 1]);
+    }
+}

@@ -1,0 +1,31 @@
+//! Trajectory query engine for the RL4QDTS reproduction.
+//!
+//! Implements the four query operators of §III-B — [`range`] queries,
+//! [`knn`] queries (with [`edr`] and a [`t2vec`]-like embedding as the
+//! dissimilarity Θ), [`similarity`] queries, and [`traclus`](mod@traclus) clustering —
+//! plus the query [`workload`] generators used for training and evaluation
+//! and the F1 quality [`metrics`] (Eq. 3) that compare results on the
+//! original and simplified databases.
+
+#![warn(missing_docs)]
+
+pub mod edr;
+pub mod join;
+pub mod knn;
+pub mod metrics;
+pub mod range;
+pub mod similarity;
+pub mod t2vec;
+pub mod traclus;
+pub mod workload;
+
+pub use join::{similarity_join, JoinParams};
+pub use knn::{Dissimilarity, KnnQuery};
+pub use metrics::{f1_pairs, f1_sets, mean_f1, query_diff, F1Score};
+pub use range::{range_query, range_query_batch};
+pub use similarity::SimilarityQuery;
+pub use t2vec::T2vecEmbedder;
+pub use traclus::{traclus, TraclusParams, TraclusResult};
+pub use workload::{
+    range_workload, traj_query_workload, QueryDistribution, RangeWorkloadSpec, TrajQuerySpec,
+};

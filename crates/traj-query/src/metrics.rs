@@ -1,0 +1,150 @@
+//! Query-result quality measures (Eq. 3): precision, recall, F1.
+//!
+//! The results on the original database are the ground truth; the results
+//! on the simplified database are scored against them. For clustering the
+//! same measure is applied to the sets of co-clustered trajectory *pairs*.
+
+use trajectory::TrajId;
+
+/// Precision / recall / F1 of one query result.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct F1Score {
+    /// `|Ro ∩ Rs| / |Rs|`.
+    pub precision: f64,
+    /// `|Ro ∩ Rs| / |Ro|`.
+    pub recall: f64,
+    /// Harmonic mean of precision and recall.
+    pub f1: f64,
+}
+
+impl F1Score {
+    /// Builds from raw counts. Empty-vs-empty counts as perfect agreement
+    /// (the simplified database made no mistake the query could observe).
+    pub fn from_counts(intersection: usize, truth: usize, result: usize) -> Self {
+        if truth == 0 && result == 0 {
+            return Self { precision: 1.0, recall: 1.0, f1: 1.0 };
+        }
+        let precision = if result == 0 { 0.0 } else { intersection as f64 / result as f64 };
+        let recall = if truth == 0 { 0.0 } else { intersection as f64 / truth as f64 };
+        let f1 = if precision + recall == 0.0 {
+            0.0
+        } else {
+            2.0 * precision * recall / (precision + recall)
+        };
+        Self { precision, recall, f1 }
+    }
+}
+
+/// Scores a result id set against a ground-truth id set. Both slices must
+/// be sorted ascending (the query functions in this crate return sorted
+/// ids).
+pub fn f1_sets(truth: &[TrajId], result: &[TrajId]) -> F1Score {
+    debug_assert!(truth.windows(2).all(|w| w[0] < w[1]));
+    debug_assert!(result.windows(2).all(|w| w[0] < w[1]));
+    let intersection = sorted_intersection_len(truth, result);
+    F1Score::from_counts(intersection, truth.len(), result.len())
+}
+
+/// Scores co-clustered pairs (clustering quality). Pairs must be
+/// normalized as `(min, max)` and sorted.
+pub fn f1_pairs(truth: &[(TrajId, TrajId)], result: &[(TrajId, TrajId)]) -> F1Score {
+    let intersection = sorted_intersection_len(truth, result);
+    F1Score::from_counts(intersection, truth.len(), result.len())
+}
+
+/// Mean F1 across a batch of per-query scores.
+pub fn mean_f1(scores: &[F1Score]) -> f64 {
+    if scores.is_empty() {
+        return 1.0;
+    }
+    scores.iter().map(|s| s.f1).sum::<f64>() / scores.len() as f64
+}
+
+/// The paper's `diff(Q(D), Q(D'))` (Eq. 10): dissimilarity of the two query
+/// result sets, instantiated as `1 − mean F1` so that identical results
+/// give 0 and disjoint results give 1.
+pub fn query_diff(scores: &[F1Score]) -> f64 {
+    1.0 - mean_f1(scores)
+}
+
+fn sorted_intersection_len<T: Ord>(a: &[T], b: &[T]) -> usize {
+    let (mut i, mut j, mut n) = (0, 0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                n += 1;
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_agreement() {
+        let s = f1_sets(&[1, 2, 3], &[1, 2, 3]);
+        assert_eq!((s.precision, s.recall, s.f1), (1.0, 1.0, 1.0));
+    }
+
+    #[test]
+    fn disjoint_results_score_zero() {
+        let s = f1_sets(&[1, 2], &[3, 4]);
+        assert_eq!(s.f1, 0.0);
+    }
+
+    #[test]
+    fn partial_overlap() {
+        // truth {1,2,3,4}, result {3,4,5}: P=2/3, R=1/2, F1=4/7.
+        let s = f1_sets(&[1, 2, 3, 4], &[3, 4, 5]);
+        assert!((s.precision - 2.0 / 3.0).abs() < 1e-12);
+        assert!((s.recall - 0.5).abs() < 1e-12);
+        assert!((s.f1 - 4.0 / 7.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_truth_and_result_is_perfect() {
+        let s = f1_sets(&[], &[]);
+        assert_eq!(s.f1, 1.0);
+    }
+
+    #[test]
+    fn empty_result_with_nonempty_truth_is_zero() {
+        assert_eq!(f1_sets(&[1], &[]).f1, 0.0);
+        assert_eq!(f1_sets(&[], &[1]).f1, 0.0);
+    }
+
+    #[test]
+    fn knn_property_precision_equals_recall() {
+        // For kNN |Ro| = |Rs| = k, so P = R = F1.
+        let s = f1_sets(&[1, 2, 3], &[2, 3, 9]);
+        assert_eq!(s.precision, s.recall);
+        assert!((s.f1 - s.precision).abs() < 1e-12);
+    }
+
+    #[test]
+    fn pair_f1_for_clusterings() {
+        let truth = vec![(1, 2), (1, 3), (2, 3)];
+        let result = vec![(1, 2), (4, 5)];
+        let s = f1_pairs(&truth, &result);
+        assert!((s.precision - 0.5).abs() < 1e-12);
+        assert!((s.recall - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn diff_is_one_minus_mean_f1() {
+        let scores = vec![
+            f1_sets(&[1], &[1]),
+            f1_sets(&[1], &[2]),
+        ];
+        assert!((mean_f1(&scores) - 0.5).abs() < 1e-12);
+        assert!((query_diff(&scores) - 0.5).abs() < 1e-12);
+        assert_eq!(query_diff(&[]), 0.0);
+    }
+}

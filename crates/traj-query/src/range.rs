@@ -1,0 +1,102 @@
+//! Range queries (§III-B).
+//!
+//! A range query is a spatio-temporal cube; it returns every trajectory
+//! with at least one *sampled* point inside the cube. Running the same
+//! query over the original and the simplified database and comparing the
+//! result sets is the core accuracy signal of the paper (both for training
+//! rewards and for evaluation).
+
+use trajectory::{Cube, TrajId, Trajectory, TrajectoryDb};
+
+/// Executes a range query, returning matching trajectory ids in ascending
+/// order.
+pub fn range_query(db: &TrajectoryDb, q: &Cube) -> Vec<TrajId> {
+    db.iter().filter(|(_, t)| trajectory_matches(t, q)).map(|(id, _)| id).collect()
+}
+
+/// True when `t` has at least one point inside `q`. Uses the time dimension
+/// to narrow the scan before testing the spatial predicate.
+pub fn trajectory_matches(t: &Trajectory, q: &Cube) -> bool {
+    match t.window_indices(q.t_min, q.t_max) {
+        None => false,
+        Some((lo, hi)) => t.points()[lo..=hi].iter().any(|p| {
+            p.x >= q.x_min && p.x <= q.x_max && p.y >= q.y_min && p.y <= q.y_max
+        }),
+    }
+}
+
+/// Executes a batch of range queries (the result of one workload).
+pub fn range_query_batch(db: &TrajectoryDb, queries: &[Cube]) -> Vec<Vec<TrajId>> {
+    queries.iter().map(|q| range_query(db, q)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::Point;
+
+    fn db() -> TrajectoryDb {
+        let east = Trajectory::new(
+            (0..10).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect(),
+        )
+        .unwrap();
+        let north = Trajectory::new(
+            (0..10).map(|i| Point::new(0.0, i as f64 * 10.0, i as f64 + 100.0)).collect(),
+        )
+        .unwrap();
+        TrajectoryDb::new(vec![east, north])
+    }
+
+    #[test]
+    fn finds_spatially_and_temporally_matching_trajectories() {
+        let db = db();
+        // Around (50, 0) at times 0..10: only the eastbound trajectory.
+        let q = Cube::new(45.0, 55.0, -1.0, 1.0, 0.0, 10.0);
+        assert_eq!(range_query(&db, &q), vec![0]);
+        // Around (0, 50) at times 100..110: only the northbound one.
+        let q = Cube::new(-1.0, 1.0, 45.0, 55.0, 100.0, 110.0);
+        assert_eq!(range_query(&db, &q), vec![1]);
+    }
+
+    #[test]
+    fn time_window_filters_even_when_space_matches() {
+        let db = db();
+        // Space matches the eastbound path but the time window is wrong.
+        let q = Cube::new(45.0, 55.0, -1.0, 1.0, 500.0, 600.0);
+        assert!(range_query(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn whole_space_returns_everything() {
+        let db = db();
+        let q = db.bounding_cube();
+        assert_eq!(range_query(&db, &q), vec![0, 1]);
+    }
+
+    #[test]
+    fn matches_are_point_based_not_interpolated() {
+        // A gap between samples: the object "passed through" the box between
+        // fixes but no sample lies inside => no match. This is the
+        // simplification-sensitive semantics the paper measures.
+        let t = Trajectory::new(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(100.0, 0.0, 10.0),
+        ])
+        .unwrap();
+        let db = TrajectoryDb::new(vec![t]);
+        let q = Cube::new(40.0, 60.0, -1.0, 1.0, 0.0, 10.0);
+        assert!(range_query(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn batch_matches_single_queries() {
+        let db = db();
+        let qs = vec![
+            Cube::new(45.0, 55.0, -1.0, 1.0, 0.0, 10.0),
+            db.bounding_cube(),
+        ];
+        let batch = range_query_batch(&db, &qs);
+        assert_eq!(batch[0], range_query(&db, &qs[0]));
+        assert_eq!(batch[1], range_query(&db, &qs[1]));
+    }
+}

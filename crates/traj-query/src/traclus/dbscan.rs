@@ -1,0 +1,143 @@
+//! Density-based grouping of trajectory segments (TRACLUS phase 2).
+//!
+//! A straightforward DBSCAN over the segment set with the TRACLUS segment
+//! distance: core segments have at least `min_lns` segments within `eps`;
+//! clusters are the transitive closure of core neighbourhoods.
+
+use super::segdist::{segment_distance, DistanceWeights, Segment};
+
+/// Cluster label of a segment.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Label {
+    /// Not yet processed.
+    Unvisited,
+    /// Processed and not density-reachable from any core segment.
+    Noise,
+    /// Member of the cluster with this index.
+    Cluster(usize),
+}
+
+/// DBSCAN over segments. Returns per-segment labels and the cluster count.
+pub fn dbscan(
+    segments: &[Segment],
+    eps: f64,
+    min_lns: usize,
+    weights: &DistanceWeights,
+) -> (Vec<Label>, usize) {
+    let n = segments.len();
+    let mut labels = vec![Label::Unvisited; n];
+    let mut clusters = 0usize;
+
+    for i in 0..n {
+        if labels[i] != Label::Unvisited {
+            continue;
+        }
+        let neighbours = region_query(segments, i, eps, weights);
+        if neighbours.len() < min_lns {
+            labels[i] = Label::Noise;
+            continue;
+        }
+        let cluster = clusters;
+        clusters += 1;
+        labels[i] = Label::Cluster(cluster);
+        // Expand the cluster breadth-first.
+        let mut queue: Vec<usize> = neighbours;
+        while let Some(j) = queue.pop() {
+            match labels[j] {
+                Label::Cluster(_) => continue,
+                Label::Noise => {
+                    // Border segment: belongs to the cluster but does not
+                    // expand it.
+                    labels[j] = Label::Cluster(cluster);
+                    continue;
+                }
+                Label::Unvisited => {
+                    labels[j] = Label::Cluster(cluster);
+                    let nb = region_query(segments, j, eps, weights);
+                    if nb.len() >= min_lns {
+                        queue.extend(nb.into_iter().filter(|&k| {
+                            matches!(labels[k], Label::Unvisited | Label::Noise)
+                        }));
+                    }
+                }
+            }
+        }
+    }
+    (labels, clusters)
+}
+
+/// Indices of all segments within `eps` of segment `i` (including itself,
+/// per the DBSCAN convention).
+fn region_query(
+    segments: &[Segment],
+    i: usize,
+    eps: f64,
+    weights: &DistanceWeights,
+) -> Vec<usize> {
+    let si = &segments[i];
+    segments
+        .iter()
+        .enumerate()
+        .filter(|(j, s)| *j == i || segment_distance(si, s, weights) <= eps)
+        .map(|(j, _)| j)
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::Point;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64, traj: usize) -> Segment {
+        Segment { a: Point::new(ax, ay, 0.0), b: Point::new(bx, by, 1.0), traj }
+    }
+
+    /// Two bundles of parallel segments far apart, plus one outlier.
+    fn two_bundles() -> Vec<Segment> {
+        let mut v = Vec::new();
+        for i in 0..4 {
+            v.push(seg(0.0, i as f64, 100.0, i as f64, i)); // bundle A
+        }
+        for i in 0..4 {
+            v.push(seg(0.0, 10_000.0 + i as f64, 100.0, 10_000.0 + i as f64, 4 + i)); // bundle B
+        }
+        v.push(seg(5_000.0, 5_000.0, 5_100.0, 5_100.0, 99)); // outlier
+        v
+    }
+
+    #[test]
+    fn finds_two_clusters_and_noise() {
+        let segs = two_bundles();
+        let (labels, clusters) = dbscan(&segs, 10.0, 3, &DistanceWeights::default());
+        assert_eq!(clusters, 2);
+        assert_eq!(labels[8], Label::Noise, "outlier must be noise");
+        // All of bundle A share a cluster, all of bundle B share another.
+        let a = labels[0];
+        assert!(labels[..4].iter().all(|&l| l == a));
+        let b = labels[4];
+        assert!(labels[4..8].iter().all(|&l| l == b));
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn min_lns_too_high_yields_all_noise() {
+        let segs = two_bundles();
+        let (labels, clusters) = dbscan(&segs, 10.0, 100, &DistanceWeights::default());
+        assert_eq!(clusters, 0);
+        assert!(labels.iter().all(|&l| l == Label::Noise));
+    }
+
+    #[test]
+    fn empty_input_is_fine() {
+        let (labels, clusters) = dbscan(&[], 10.0, 2, &DistanceWeights::default());
+        assert!(labels.is_empty());
+        assert_eq!(clusters, 0);
+    }
+
+    #[test]
+    fn every_segment_gets_a_final_label() {
+        let segs = two_bundles();
+        let (labels, _) = dbscan(&segs, 50.0, 2, &DistanceWeights::default());
+        assert!(labels.iter().all(|l| *l != Label::Unvisited));
+    }
+}

@@ -1,0 +1,182 @@
+//! TRACLUS line-segment distance (Lee, Han, Whang — SIGMOD 2007).
+//!
+//! The distance between two directed segments is a weighted sum of three
+//! components measured with the *longer* segment as the base:
+//! perpendicular distance, parallel distance, and angular distance.
+
+use trajectory::geom;
+use trajectory::Point;
+
+/// A directed line segment belonging to a trajectory.
+#[derive(Debug, Clone, Copy)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point,
+    /// End point.
+    pub b: Point,
+    /// The trajectory this segment came from.
+    pub traj: usize,
+}
+
+impl Segment {
+    /// Spatial length of the segment.
+    pub fn len(&self) -> f64 {
+        self.a.spatial_distance(&self.b)
+    }
+
+    /// True for zero-length segments.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0.0
+    }
+}
+
+/// Weights of the three distance components.
+#[derive(Debug, Clone, Copy)]
+pub struct DistanceWeights {
+    /// Weight of the perpendicular component.
+    pub perpendicular: f64,
+    /// Weight of the parallel component.
+    pub parallel: f64,
+    /// Weight of the angular component.
+    pub angular: f64,
+}
+
+impl Default for DistanceWeights {
+    fn default() -> Self {
+        Self { perpendicular: 1.0, parallel: 1.0, angular: 1.0 }
+    }
+}
+
+/// The three raw components `(d_perp, d_par, d_angle)` between two
+/// segments, using the longer one as the base (TRACLUS Definitions 5–7).
+pub fn components(x: &Segment, y: &Segment) -> (f64, f64, f64) {
+    // Longer segment becomes the base L_i; the other is L_j.
+    let (li, lj) = if x.len() >= y.len() { (x, y) } else { (y, x) };
+
+    // Unclamped projection parameters of L_j's endpoints on L_i's line.
+    let (u1, d1sq) = project_line(&li.a, &li.b, &lj.a);
+    let (u2, d2sq) = project_line(&li.a, &li.b, &lj.b);
+    let l_perp1 = d1sq.sqrt();
+    let l_perp2 = d2sq.sqrt();
+    let d_perp = if l_perp1 + l_perp2 > 0.0 {
+        (l_perp1 * l_perp1 + l_perp2 * l_perp2) / (l_perp1 + l_perp2)
+    } else {
+        0.0
+    };
+
+    // Parallel distance: how far the projections fall outside L_i,
+    // measured to the nearer endpoint.
+    let base_len = li.len();
+    let outside = |u: f64| -> f64 {
+        if u < 0.0 {
+            (-u) * base_len
+        } else if u > 1.0 {
+            (u - 1.0) * base_len
+        } else {
+            0.0
+        }
+    };
+    let d_par = outside(u1).min(outside(u2));
+
+    // Angular distance: ||L_j||·sin θ for θ < 90°, else ||L_j||.
+    let theta = geom::angle_diff(geom::direction(&li.a, &li.b), geom::direction(&lj.a, &lj.b));
+    let d_angle = if theta < std::f64::consts::FRAC_PI_2 {
+        lj.len() * theta.sin()
+    } else {
+        lj.len()
+    };
+
+    (d_perp, d_par, d_angle)
+}
+
+/// Weighted TRACLUS distance between two segments.
+pub fn segment_distance(x: &Segment, y: &Segment, w: &DistanceWeights) -> f64 {
+    let (d_perp, d_par, d_angle) = components(x, y);
+    w.perpendicular * d_perp + w.parallel * d_par + w.angular * d_angle
+}
+
+/// Projects `p` onto the *infinite line* through `(a, b)` (no clamping —
+/// the parallel component needs the raw parameter). Returns `(u, d²)`.
+fn project_line(a: &Point, b: &Point, p: &Point) -> (f64, f64) {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len2 = abx * abx + aby * aby;
+    let u = if len2 <= 0.0 {
+        0.0
+    } else {
+        ((p.x - a.x) * abx + (p.y - a.y) * aby) / len2
+    };
+    let cx = a.x + u * abx;
+    let cy = a.y + u * aby;
+    let dx = p.x - cx;
+    let dy = p.y - cy;
+    (u, dx * dx + dy * dy)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
+        Segment { a: Point::new(ax, ay, 0.0), b: Point::new(bx, by, 1.0), traj: 0 }
+    }
+
+    #[test]
+    fn identical_segments_have_zero_distance() {
+        let s = seg(0.0, 0.0, 10.0, 0.0);
+        assert_eq!(segment_distance(&s, &s, &DistanceWeights::default()), 0.0);
+    }
+
+    #[test]
+    fn parallel_offset_contributes_perpendicular_only() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(0.0, 4.0, 10.0, 4.0);
+        let (d_perp, d_par, d_angle) = components(&a, &b);
+        assert!((d_perp - 4.0).abs() < 1e-12);
+        assert_eq!(d_par, 0.0);
+        assert!(d_angle < 1e-12);
+    }
+
+    #[test]
+    fn disjoint_collinear_segments_have_parallel_distance() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(15.0, 0.0, 20.0, 0.0);
+        let (d_perp, d_par, d_angle) = components(&a, &b);
+        assert_eq!(d_perp, 0.0);
+        assert!((d_par - 5.0).abs() < 1e-9, "gap of 5 expected, got {d_par}");
+        assert!(d_angle < 1e-12);
+    }
+
+    #[test]
+    fn perpendicular_segments_pay_full_angular_cost() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(5.0, 0.0, 5.0, 3.0); // length 3, at 90°
+        let (_, _, d_angle) = components(&a, &b);
+        assert!((d_angle - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn angular_cost_uses_sine_below_right_angle() {
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let b = seg(0.0, 0.0, 3.0, 3.0); // 45°, length 3√2
+        let (_, _, d_angle) = components(&a, &b);
+        let expected = (18.0f64).sqrt() * (std::f64::consts::FRAC_PI_4).sin();
+        assert!((d_angle - expected).abs() < 1e-9);
+    }
+
+    #[test]
+    fn distance_is_symmetric() {
+        let a = seg(0.0, 0.0, 10.0, 2.0);
+        let b = seg(1.0, 5.0, 4.0, 6.0);
+        let w = DistanceWeights::default();
+        assert!((segment_distance(&a, &b, &w) - segment_distance(&b, &a, &w)).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zero_length_segments_do_not_panic() {
+        let z = seg(5.0, 5.0, 5.0, 5.0);
+        let a = seg(0.0, 0.0, 10.0, 0.0);
+        let d = segment_distance(&z, &a, &DistanceWeights::default());
+        assert!(d.is_finite());
+    }
+}

@@ -1,0 +1,146 @@
+//! Property-based tests for the query engine.
+
+use proptest::prelude::*;
+use traj_query::{
+    edr::edr_points, f1_sets, metrics::F1Score, range_query, t2vec::T2vecEmbedder,
+    traclus::segdist::{components, segment_distance, DistanceWeights, Segment},
+};
+use trajectory::{Cube, Point, Trajectory, TrajectoryDb};
+
+fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
+    prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 0..max).prop_map(|coords| {
+        coords
+            .into_iter()
+            .enumerate()
+            .map(|(i, (x, y))| Point::new(x, y, i as f64))
+            .collect()
+    })
+}
+
+fn arb_segment() -> impl Strategy<Value = Segment> {
+    (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(ax, ay, bx, by)| {
+        Segment { a: Point::new(ax, ay, 0.0), b: Point::new(bx, by, 1.0), traj: 0 }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn edr_is_a_bounded_symmetric_premetric(
+        (a, b) in (arb_points(15), arb_points(15)),
+        eps in 0.1..100.0f64,
+    ) {
+        let d_ab = edr_points(&a, &b, eps);
+        let d_ba = edr_points(&b, &a, eps);
+        prop_assert_eq!(d_ab, d_ba, "symmetry");
+        prop_assert!(d_ab >= 0.0);
+        prop_assert!(d_ab <= a.len().max(b.len()) as f64, "bounded by max length");
+        prop_assert_eq!(edr_points(&a, &a, eps), 0.0, "identity");
+    }
+
+    #[test]
+    fn edr_length_difference_lower_bound(
+        (a, b) in (arb_points(15), arb_points(15)),
+    ) {
+        // At least |len(a) - len(b)| unmatched elements must be edited.
+        let d = edr_points(&a, &b, 50.0);
+        prop_assert!(d >= (a.len() as f64 - b.len() as f64).abs());
+    }
+
+    #[test]
+    fn t2vec_embeddings_are_unit_or_zero(pts in arb_points(20)) {
+        let e = T2vecEmbedder::default();
+        let v = e.embed_points(&pts);
+        let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+        prop_assert!(norm < 1e-9 || (norm - 1.0).abs() < 1e-9, "norm {norm}");
+    }
+
+    #[test]
+    fn t2vec_distance_symmetric_and_bounded(
+        (a, b) in (arb_points(20), arb_points(20)),
+    ) {
+        let e = T2vecEmbedder::default();
+        let va = e.embed_points(&a);
+        let vb = e.embed_points(&b);
+        let d = T2vecEmbedder::distance(&va, &vb);
+        prop_assert!((d - T2vecEmbedder::distance(&vb, &va)).abs() < 1e-12);
+        // Two unit vectors are at most 2 apart.
+        prop_assert!(d <= 2.0 + 1e-9);
+    }
+
+    #[test]
+    fn segment_distance_symmetric_nonnegative(
+        (x, y) in (arb_segment(), arb_segment()),
+    ) {
+        let w = DistanceWeights::default();
+        let d_xy = segment_distance(&x, &y, &w);
+        let d_yx = segment_distance(&y, &x, &w);
+        prop_assert!((d_xy - d_yx).abs() < 1e-6, "{d_xy} vs {d_yx}");
+        prop_assert!(d_xy >= 0.0);
+        let (p, l, a) = components(&x, &y);
+        prop_assert!(p >= 0.0 && l >= 0.0 && a >= 0.0);
+    }
+
+    #[test]
+    fn segment_self_distance_zero(x in arb_segment()) {
+        prop_assert!(segment_distance(&x, &x, &DistanceWeights::default()) < 1e-9);
+    }
+
+    #[test]
+    fn range_query_results_shrink_under_simplification(pts in arb_points(30)) {
+        prop_assume!(pts.len() >= 3);
+        let full = Trajectory::new(pts.clone()).unwrap();
+        // Endpoint-only simplification of the same trajectory.
+        let simp = Trajectory::new(vec![pts[0], pts[pts.len() - 1]]).unwrap();
+        let db_full = TrajectoryDb::new(vec![full]);
+        let db_simp = TrajectoryDb::new(vec![simp]);
+        // Any cube: the simplified db can only lose matches, never gain.
+        let c = db_full.bounding_cube();
+        let (cx, cy, ct) = c.center();
+        let (ex, ey, et) = c.extents();
+        let q = Cube::centered(cx, cy, ct, ex / 4.0 + 1.0, ey / 4.0 + 1.0, et / 4.0 + 1.0);
+        let r_full = range_query(&db_full, &q);
+        let r_simp = range_query(&db_simp, &q);
+        for id in &r_simp {
+            prop_assert!(r_full.contains(id), "simplified matched but original did not");
+        }
+    }
+
+    #[test]
+    fn f1_is_bounded_and_consistent(
+        (truth, result) in (
+            prop::collection::btree_set(0usize..30, 0..10),
+            prop::collection::btree_set(0usize..30, 0..10),
+        )
+    ) {
+        let t: Vec<usize> = truth.into_iter().collect();
+        let r: Vec<usize> = result.into_iter().collect();
+        let s = f1_sets(&t, &r);
+        prop_assert!(s.f1 >= 0.0 && s.f1 <= 1.0);
+        prop_assert!(s.precision >= 0.0 && s.precision <= 1.0);
+        prop_assert!(s.recall >= 0.0 && s.recall <= 1.0);
+        // F1 is 1 iff sets are equal.
+        if t == r {
+            prop_assert_eq!(s.f1, 1.0);
+        }
+        if s.f1 == 1.0 {
+            prop_assert_eq!(t, r);
+        }
+    }
+
+    #[test]
+    fn f1_from_counts_harmonic_mean(
+        (i, extra_t, extra_r) in (0usize..20, 0usize..20, 0usize..20)
+    ) {
+        let s = F1Score::from_counts(i, i + extra_t, i + extra_r);
+        if i + extra_t == 0 && i + extra_r == 0 {
+            prop_assert_eq!(s.f1, 1.0);
+        } else if i == 0 {
+            prop_assert_eq!(s.f1, 0.0);
+        } else {
+            let expect = 2.0 * s.precision * s.recall / (s.precision + s.recall);
+            prop_assert!((s.f1 - expect).abs() < 1e-12);
+        }
+    }
+}

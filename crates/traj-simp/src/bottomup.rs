@@ -1,0 +1,224 @@
+//! Bottom-Up simplification (Marteau & Ménier): start from the full
+//! trajectory and repeatedly *drop* the point whose removal introduces the
+//! smallest error, until the budget is met.
+
+use crate::adapt::{per_trajectory_budgets, Adaptation};
+use crate::heap::LazyHeap;
+use crate::Simplifier;
+use trajectory::{ErrorMeasure, Simplification, TrajId, Trajectory, TrajectoryDb};
+
+/// The Bottom-Up baseline, parameterized by error measure and adaptation.
+#[derive(Debug, Clone, Copy)]
+pub struct BottomUp {
+    /// Error measure driving the drop order.
+    pub measure: ErrorMeasure,
+    /// Database adaptation ("E" or "W").
+    pub adaptation: Adaptation,
+}
+
+impl BottomUp {
+    /// Creates a Bottom-Up simplifier.
+    pub fn new(measure: ErrorMeasure, adaptation: Adaptation) -> Self {
+        Self { measure, adaptation }
+    }
+}
+
+impl Simplifier for BottomUp {
+    fn name(&self) -> String {
+        format!("Bottom-Up({},{})", self.adaptation, self.measure)
+    }
+
+    fn simplify(&self, db: &TrajectoryDb, budget: usize) -> Simplification {
+        match self.adaptation {
+            Adaptation::Each => {
+                let budgets = per_trajectory_budgets(db, budget);
+                let kept = db
+                    .iter()
+                    .map(|(id, t)| bottomup_one(t, budgets[id], self.measure))
+                    .collect();
+                Simplification::from_kept(db, kept)
+            }
+            Adaptation::Whole => bottomup_whole(db, budget, self.measure),
+        }
+    }
+}
+
+/// The cost of dropping kept point `idx`: the Eq. 1 segment error of the
+/// merged anchor `(left, right)` that removal would create.
+fn drop_cost(traj: &Trajectory, simp: &Simplification, id: TrajId, idx: u32, m: ErrorMeasure) -> Option<f64> {
+    let (l, r) = simp.kept_neighbors(id, idx)?;
+    Some(m.segment_error(traj, l as usize, r as usize))
+}
+
+/// Bottom-Up for a single trajectory under a point budget.
+pub fn bottomup_one(traj: &Trajectory, budget: usize, measure: ErrorMeasure) -> Vec<u32> {
+    let n = traj.len();
+    if n <= 2 {
+        return (0..n as u32).collect();
+    }
+    let budget = budget.clamp(2, n);
+    let db = TrajectoryDb::new(vec![traj.clone()]);
+    let mut simp = Simplification::full(&db);
+    run_bottomup_db(&db, &mut simp, budget, measure);
+    simp.kept(0).to_vec()
+}
+
+/// Bottom-Up over the whole database: one global min-heap of drop costs.
+fn bottomup_whole(db: &TrajectoryDb, budget: usize, measure: ErrorMeasure) -> Simplification {
+    let mut simp = Simplification::full(db);
+    let budget = budget.max(crate::min_points(db));
+    run_bottomup_db(db, &mut simp, budget, measure);
+    simp
+}
+
+/// Core drop loop shared by both adaptations (the per-trajectory case is a
+/// single-trajectory database).
+fn run_bottomup_db(
+    db: &TrajectoryDb,
+    simp: &mut Simplification,
+    budget: usize,
+    measure: ErrorMeasure,
+) {
+    // Version stamps: an entry for (id, idx) is valid only if the stamp
+    // matches (neighbors unchanged since push) and the point is still kept.
+    let mut versions: Vec<Vec<u64>> =
+        db.trajectories().iter().map(|t| vec![0u64; t.len()]).collect();
+    let mut heap: LazyHeap<(TrajId, u32)> = LazyHeap::new();
+    for (id, t) in db.iter() {
+        for idx in 1..t.len().saturating_sub(1) as u32 {
+            if let Some(c) = drop_cost(t, simp, id, idx, measure) {
+                heap.push(-c, 0, (id, idx)); // negate: LazyHeap is a max-heap
+            }
+        }
+    }
+    let mut total = simp.total_points();
+    while total > budget {
+        let popped = heap.pop_current(|&(id, idx), v| {
+            versions[id][idx as usize] == v && simp.contains(id, idx)
+        });
+        let Some((_, (id, idx))) = popped else { break };
+        let (l, r) = simp.kept_neighbors(id, idx).expect("validated current");
+        let removed = simp.remove(id, idx);
+        debug_assert!(removed);
+        total -= 1;
+        // The bracketing neighbors' drop costs changed: re-push with fresh
+        // stamps.
+        let t = db.get(id);
+        for nb in [l, r] {
+            if simp.kept_neighbors(id, nb).is_some() {
+                versions[id][nb as usize] += 1;
+                if let Some(c) = drop_cost(t, simp, id, nb, measure) {
+                    heap.push(-c, versions[id][nb as usize], (id, nb));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::Point;
+
+    fn zigzag(n: usize, amp: f64) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| {
+                    let y = if i % 2 == 0 { 0.0 } else { amp };
+                    Point::new(i as f64 * 10.0, y, i as f64)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn respects_budget_and_endpoints() {
+        let t = zigzag(40, 5.0);
+        for budget in [2, 7, 20, 40] {
+            let kept = bottomup_one(&t, budget, ErrorMeasure::Sed);
+            assert_eq!(kept.len(), budget.max(2), "exact budget expected");
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().unwrap(), 39);
+        }
+    }
+
+    #[test]
+    fn drops_redundant_points_first() {
+        // Straight line with one outlier: everything but the outlier is
+        // free to drop, so the outlier must survive a budget of 3.
+        let mut pts: Vec<Point> =
+            (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        pts[11] = Point::new(110.0, 400.0, 11.0);
+        let t = Trajectory::new(pts).unwrap();
+        let kept = bottomup_one(&t, 3, ErrorMeasure::Sed);
+        assert_eq!(kept, vec![0, 11, 19]);
+    }
+
+    #[test]
+    fn full_budget_is_identity() {
+        let t = zigzag(15, 3.0);
+        let kept = bottomup_one(&t, 15, ErrorMeasure::Ped);
+        assert_eq!(kept.len(), 15);
+    }
+
+    #[test]
+    fn whole_adaptation_prefers_dropping_from_simple_trajectories() {
+        let wild = zigzag(30, 200.0);
+        let straight = Trajectory::new(
+            (0..30).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect(),
+        )
+        .unwrap();
+        let db = TrajectoryDb::new(vec![wild, straight]);
+        let bu = BottomUp::new(ErrorMeasure::Sed, Adaptation::Whole);
+        let simp = bu.simplify(&db, 34);
+        assert_eq!(simp.total_points(), 34);
+        assert!(
+            simp.kept(0).len() > simp.kept(1).len(),
+            "wild {} vs straight {}",
+            simp.kept(0).len(),
+            simp.kept(1).len()
+        );
+        // The straight trajectory should be reduced to nearly endpoints.
+        assert!(simp.kept(1).len() <= 4);
+    }
+
+    #[test]
+    fn budget_below_floor_clamps_to_endpoints() {
+        let db = TrajectoryDb::new(vec![zigzag(10, 1.0), zigzag(10, 1.0)]);
+        let bu = BottomUp::new(ErrorMeasure::Sed, Adaptation::Whole);
+        let simp = bu.simplify(&db, 0);
+        assert_eq!(simp.total_points(), 4);
+    }
+
+    #[test]
+    fn all_measures_and_adaptations_run() {
+        let db = TrajectoryDb::new(vec![zigzag(25, 5.0), zigzag(12, 2.0)]);
+        for m in ErrorMeasure::ALL {
+            for a in [Adaptation::Each, Adaptation::Whole] {
+                let simp = BottomUp::new(m, a).simplify(&db, 12);
+                assert!(simp.total_points() <= 12, "{m} {a}");
+            }
+        }
+    }
+
+    #[test]
+    fn name_matches_paper_convention() {
+        assert_eq!(
+            BottomUp::new(ErrorMeasure::Dad, Adaptation::Each).name(),
+            "Bottom-Up(E,DAD)"
+        );
+    }
+
+    #[test]
+    fn bottomup_error_close_to_topdown() {
+        // Both heuristics should land in the same error ballpark on a
+        // benign input (sanity guard against gross implementation bugs).
+        let t = zigzag(60, 5.0);
+        let bu = bottomup_one(&t, 12, ErrorMeasure::Sed);
+        let td = crate::topdown::topdown_one(&t, 12, ErrorMeasure::Sed);
+        let e_bu = ErrorMeasure::Sed.trajectory_error(&t, &bu);
+        let e_td = ErrorMeasure::Sed.trajectory_error(&t, &td);
+        assert!(e_bu <= 3.0 * e_td + 1e-9, "bottom-up {e_bu} vs top-down {e_td}");
+    }
+}

@@ -1,0 +1,137 @@
+//! Small heap utilities shared by the simplifiers: a total-ordered f64
+//! wrapper and a lazy-deletion priority queue keyed by version counters.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+/// `f64` with a total order (via `f64::total_cmp`) so it can live in a
+/// `BinaryHeap`. NaNs sort after +inf and should never be produced by the
+/// error measures, but the ordering stays well-defined if one appears.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OrdF64(pub f64);
+
+impl Eq for OrdF64 {}
+
+impl PartialOrd for OrdF64 {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for OrdF64 {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.0.total_cmp(&other.0)
+    }
+}
+
+/// A max-heap entry: priority + payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Entry<T> {
+    /// Priority (max-heap: largest pops first).
+    pub priority: OrdF64,
+    /// Version stamp for lazy deletion; stale entries are skipped on pop.
+    pub version: u64,
+    /// Payload.
+    pub payload: T,
+}
+
+impl<T: Eq> PartialOrd for Entry<T> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<T: Eq> Ord for Entry<T> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.priority.cmp(&other.priority)
+    }
+}
+
+/// Max-heap with lazy deletion: callers bump an external version when a
+/// payload's priority changes and push a fresh entry; stale pops are
+/// filtered by the `is_current` predicate.
+#[derive(Debug, Clone)]
+pub struct LazyHeap<T: Eq> {
+    heap: BinaryHeap<Entry<T>>,
+}
+
+impl<T: Eq> Default for LazyHeap<T> {
+    fn default() -> Self {
+        Self { heap: BinaryHeap::new() }
+    }
+}
+
+impl<T: Eq> LazyHeap<T> {
+    /// Empty heap.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of entries, including stale ones.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// True when no entries remain (stale or fresh).
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+
+    /// Pushes an entry.
+    pub fn push(&mut self, priority: f64, version: u64, payload: T) {
+        self.heap.push(Entry { priority: OrdF64(priority), version, payload });
+    }
+
+    /// Pops the highest-priority entry whose version is still current.
+    pub fn pop_current(&mut self, mut is_current: impl FnMut(&T, u64) -> bool) -> Option<(f64, T)> {
+        while let Some(e) = self.heap.pop() {
+            if is_current(&e.payload, e.version) {
+                return Some((e.priority.0, e.payload));
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordf64_total_order() {
+        let mut v = [OrdF64(3.0), OrdF64(-1.0), OrdF64(f64::INFINITY), OrdF64(0.0)];
+        v.sort();
+        assert_eq!(v[0], OrdF64(-1.0));
+        assert_eq!(v[3], OrdF64(f64::INFINITY));
+    }
+
+    #[test]
+    fn lazy_heap_pops_max_first() {
+        let mut h = LazyHeap::new();
+        h.push(1.0, 0, "a");
+        h.push(5.0, 0, "b");
+        h.push(3.0, 0, "c");
+        assert_eq!(h.pop_current(|_, _| true), Some((5.0, "b")));
+        assert_eq!(h.pop_current(|_, _| true), Some((3.0, "c")));
+    }
+
+    #[test]
+    fn stale_entries_are_skipped() {
+        let mut h = LazyHeap::new();
+        h.push(5.0, 0, "x");
+        h.push(2.0, 1, "x");
+        // Only version 1 is current.
+        let popped = h.pop_current(|_, v| v == 1);
+        assert_eq!(popped, Some((2.0, "x")));
+        assert!(h.pop_current(|_, v| v == 1).is_none());
+    }
+
+    #[test]
+    fn min_heap_via_negation() {
+        // The simplifiers use negated priorities for min-behaviour.
+        let mut h = LazyHeap::new();
+        h.push(-1.0, 0, "cheap");
+        h.push(-9.0, 0, "pricey");
+        assert_eq!(h.pop_current(|_, _| true).unwrap().1, "cheap");
+    }
+}

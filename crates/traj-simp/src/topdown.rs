@@ -1,0 +1,252 @@
+//! Top-Down simplification: the Douglas–Peucker strategy driven by a
+//! priority queue (Hershberger & Snoeyink). Start from the endpoints-only
+//! simplification and repeatedly *insert* the point with the largest error
+//! until the budget is reached.
+
+use crate::adapt::{per_trajectory_budgets, Adaptation};
+use crate::heap::LazyHeap;
+use crate::Simplifier;
+use trajectory::{ErrorMeasure, Simplification, TrajId, Trajectory, TrajectoryDb};
+
+/// The Top-Down baseline, parameterized by error measure and adaptation.
+#[derive(Debug, Clone, Copy)]
+pub struct TopDown {
+    /// Error measure driving the insertion order.
+    pub measure: ErrorMeasure,
+    /// Database adaptation ("E" or "W").
+    pub adaptation: Adaptation,
+}
+
+impl TopDown {
+    /// Creates a Top-Down simplifier.
+    pub fn new(measure: ErrorMeasure, adaptation: Adaptation) -> Self {
+        Self { measure, adaptation }
+    }
+}
+
+impl Simplifier for TopDown {
+    fn name(&self) -> String {
+        format!("Top-Down({},{})", self.adaptation, self.measure)
+    }
+
+    fn simplify(&self, db: &TrajectoryDb, budget: usize) -> Simplification {
+        match self.adaptation {
+            Adaptation::Each => {
+                let budgets = per_trajectory_budgets(db, budget);
+                let kept = db
+                    .iter()
+                    .map(|(id, t)| topdown_one(t, budgets[id], self.measure))
+                    .collect();
+                Simplification::from_kept(db, kept)
+            }
+            Adaptation::Whole => topdown_whole(db, budget, self.measure),
+        }
+    }
+}
+
+/// Evaluates the insertable point of `(s, e)` with the largest error.
+/// Returns `None` when the anchor spans a single original segment.
+fn worst_insertable(
+    traj: &Trajectory,
+    s: usize,
+    e: usize,
+    measure: ErrorMeasure,
+) -> Option<(f64, usize)> {
+    if e <= s + 1 {
+        return None;
+    }
+    let mut best: Option<(f64, usize)> = None;
+    for i in s + 1..e {
+        let err = measure.point_error(traj, s, e, i);
+        if best.is_none_or(|(b, _)| err > b) {
+            best = Some((err, i));
+        }
+    }
+    best
+}
+
+/// Top-Down for a single trajectory under a point budget.
+pub fn topdown_one(traj: &Trajectory, budget: usize, measure: ErrorMeasure) -> Vec<u32> {
+    let n = traj.len();
+    if n <= 2 {
+        return (0..n as u32).collect();
+    }
+    let budget = budget.clamp(2, n);
+    let mut kept: Vec<u32> = vec![0, n as u32 - 1];
+    // Max-heap of (error, (s, e, insert_idx)); segments are immutable once
+    // pushed (they are only ever split after being popped), so no versions
+    // are needed.
+    let mut heap: LazyHeap<(usize, usize, usize)> = LazyHeap::new();
+    if let Some((err, idx)) = worst_insertable(traj, 0, n - 1, measure) {
+        heap.push(err, 0, (0, n - 1, idx));
+    }
+    while kept.len() < budget {
+        let Some((_, (s, e, idx))) = heap.pop_current(|_, _| true) else {
+            break;
+        };
+        match kept.binary_search(&(idx as u32)) {
+            Ok(_) => unreachable!("insertable points are never already kept"),
+            Err(pos) => kept.insert(pos, idx as u32),
+        }
+        if let Some((err, i)) = worst_insertable(traj, s, idx, measure) {
+            heap.push(err, 0, (s, idx, i));
+        }
+        if let Some((err, i)) = worst_insertable(traj, idx, e, measure) {
+            heap.push(err, 0, (idx, e, i));
+        }
+    }
+    kept
+}
+
+/// Top-Down over the whole database: one global heap, insert the globally
+/// worst point anywhere until the budget is exhausted.
+fn topdown_whole(db: &TrajectoryDb, budget: usize, measure: ErrorMeasure) -> Simplification {
+    let mut simp = Simplification::most_simplified(db);
+    let mut total = simp.total_points();
+    let budget = budget.max(total);
+    let mut heap: LazyHeap<(TrajId, usize, usize, usize)> = LazyHeap::new();
+    for (id, t) in db.iter() {
+        if t.len() > 2 {
+            if let Some((err, idx)) = worst_insertable(t, 0, t.len() - 1, measure) {
+                heap.push(err, 0, (id, 0, t.len() - 1, idx));
+            }
+        }
+    }
+    while total < budget {
+        let Some((_, (id, s, e, idx))) = heap.pop_current(|_, _| true) else {
+            break;
+        };
+        let inserted = simp.insert(id, idx as u32);
+        debug_assert!(inserted);
+        total += 1;
+        let t = db.get(id);
+        if let Some((err, i)) = worst_insertable(t, s, idx, measure) {
+            heap.push(err, 0, (id, s, idx, i));
+        }
+        if let Some((err, i)) = worst_insertable(t, idx, e, measure) {
+            heap.push(err, 0, (id, idx, e, i));
+        }
+    }
+    simp
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::Point;
+
+    fn zigzag(n: usize, amp: f64) -> Trajectory {
+        Trajectory::new(
+            (0..n)
+                .map(|i| {
+                    let y = if i % 2 == 0 { 0.0 } else { amp };
+                    Point::new(i as f64 * 10.0, y, i as f64)
+                })
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn respects_budget() {
+        let t = zigzag(50, 5.0);
+        for budget in [2, 5, 10, 50, 100] {
+            let kept = topdown_one(&t, budget, ErrorMeasure::Sed);
+            assert!(kept.len() <= budget.clamp(2, 50));
+            assert_eq!(kept[0], 0);
+            assert_eq!(*kept.last().unwrap(), 49);
+        }
+    }
+
+    #[test]
+    fn error_shrinks_from_coarse_to_fine() {
+        // Greedy refinement is not strictly monotone under SED (splitting a
+        // segment can re-anchor points less favourably), but the trend must
+        // hold: a generous budget beats the endpoints-only baseline, and
+        // the full budget is lossless.
+        let t = zigzag(60, 8.0);
+        let coarse = ErrorMeasure::Sed.trajectory_error(&t, &topdown_one(&t, 2, ErrorMeasure::Sed));
+        let fine = ErrorMeasure::Sed.trajectory_error(&t, &topdown_one(&t, 40, ErrorMeasure::Sed));
+        let full = ErrorMeasure::Sed.trajectory_error(&t, &topdown_one(&t, 60, ErrorMeasure::Sed));
+        assert!(fine <= coarse + 1e-9, "fine {fine} vs coarse {coarse}");
+        assert!(full < 1e-9, "full budget must be lossless");
+    }
+
+    #[test]
+    fn budgets_grow_kept_sets_as_prefixes() {
+        // Best-first insertion is deterministic, so a larger budget's kept
+        // set contains the smaller one's.
+        let t = zigzag(60, 8.0);
+        let small = topdown_one(&t, 10, ErrorMeasure::Sed);
+        let large = topdown_one(&t, 25, ErrorMeasure::Sed);
+        for idx in &small {
+            assert!(large.contains(idx), "index {idx} lost when budget grew");
+        }
+    }
+
+    #[test]
+    fn picks_the_outlier_first() {
+        // A flat line with one huge detour: the first inserted point must be
+        // the detour.
+        let mut pts: Vec<Point> =
+            (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        pts[7] = Point::new(70.0, 500.0, 7.0);
+        let t = Trajectory::new(pts).unwrap();
+        let kept = topdown_one(&t, 3, ErrorMeasure::Sed);
+        assert_eq!(kept, vec![0, 7, 19]);
+    }
+
+    #[test]
+    fn whole_adaptation_allocates_budget_to_complex_trajectories() {
+        // One wild trajectory + one straight line: "W" must spend almost the
+        // whole spare budget on the wild one.
+        let wild = zigzag(40, 100.0);
+        let straight = Trajectory::new(
+            (0..40).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect(),
+        )
+        .unwrap();
+        let db = TrajectoryDb::new(vec![wild, straight]);
+        let td = TopDown::new(ErrorMeasure::Sed, Adaptation::Whole);
+        let simp = td.simplify(&db, 14);
+        assert!(simp.total_points() <= 14);
+        assert!(
+            simp.kept(0).len() >= simp.kept(1).len() + 6,
+            "wild {} vs straight {}",
+            simp.kept(0).len(),
+            simp.kept(1).len()
+        );
+    }
+
+    #[test]
+    fn each_adaptation_splits_proportionally() {
+        let db = TrajectoryDb::new(vec![zigzag(100, 5.0), zigzag(20, 5.0)]);
+        let td = TopDown::new(ErrorMeasure::Ped, Adaptation::Each);
+        let simp = td.simplify(&db, 24);
+        assert!(simp.total_points() <= 24);
+        assert!(simp.kept(0).len() > simp.kept(1).len());
+    }
+
+    #[test]
+    fn name_matches_paper_convention() {
+        assert_eq!(
+            TopDown::new(ErrorMeasure::Ped, Adaptation::Each).name(),
+            "Top-Down(E,PED)"
+        );
+        assert_eq!(
+            TopDown::new(ErrorMeasure::Sad, Adaptation::Whole).name(),
+            "Top-Down(W,SAD)"
+        );
+    }
+
+    #[test]
+    fn all_measures_run() {
+        let db = TrajectoryDb::new(vec![zigzag(30, 5.0)]);
+        for m in ErrorMeasure::ALL {
+            for a in [Adaptation::Each, Adaptation::Whole] {
+                let simp = TopDown::new(m, a).simplify(&db, 10);
+                assert!(simp.total_points() <= 10, "{m} {a}");
+                assert!(simp.total_points() >= 2);
+            }
+        }
+    }
+}

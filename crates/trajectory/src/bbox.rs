@@ -1,0 +1,212 @@
+//! Axis-aligned spatio-temporal bounding volumes ("cubes" in the paper).
+
+use crate::point::Point;
+
+/// An axis-aligned box in (x, y, t) space.
+///
+/// The octree in `traj-index` partitions the database into these cubes, and
+/// range queries are expressed as one. Bounds are inclusive on both ends,
+/// matching the range-query definition in §III-B of the paper
+/// (`q_xmin ≤ x ≤ q_xmax`, …).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Cube {
+    /// Minimum x (inclusive).
+    pub x_min: f64,
+    /// Maximum x (inclusive).
+    pub x_max: f64,
+    /// Minimum y (inclusive).
+    pub y_min: f64,
+    /// Maximum y (inclusive).
+    pub y_max: f64,
+    /// Minimum t (inclusive).
+    pub t_min: f64,
+    /// Maximum t (inclusive).
+    pub t_max: f64,
+}
+
+impl Cube {
+    /// Creates a cube from explicit bounds. Panics in debug builds when a
+    /// minimum exceeds the corresponding maximum.
+    pub fn new(x_min: f64, x_max: f64, y_min: f64, y_max: f64, t_min: f64, t_max: f64) -> Self {
+        debug_assert!(x_min <= x_max && y_min <= y_max && t_min <= t_max);
+        Self { x_min, x_max, y_min, y_max, t_min, t_max }
+    }
+
+    /// The empty cube: contains nothing, absorbs nothing under union until
+    /// extended with [`Cube::extend`].
+    pub fn empty() -> Self {
+        Self {
+            x_min: f64::INFINITY,
+            x_max: f64::NEG_INFINITY,
+            y_min: f64::INFINITY,
+            y_max: f64::NEG_INFINITY,
+            t_min: f64::INFINITY,
+            t_max: f64::NEG_INFINITY,
+        }
+    }
+
+    /// A cube centered at `(cx, cy, ct)` with half-extents `(hx, hy, ht)`.
+    pub fn centered(cx: f64, cy: f64, ct: f64, hx: f64, hy: f64, ht: f64) -> Self {
+        Self::new(cx - hx, cx + hx, cy - hy, cy + hy, ct - ht, ct + ht)
+    }
+
+    /// True when no point has ever been added (see [`Cube::empty`]).
+    pub fn is_empty(&self) -> bool {
+        self.x_min > self.x_max
+    }
+
+    /// Grows the cube to cover `p`.
+    pub fn extend(&mut self, p: &Point) {
+        self.x_min = self.x_min.min(p.x);
+        self.x_max = self.x_max.max(p.x);
+        self.y_min = self.y_min.min(p.y);
+        self.y_max = self.y_max.max(p.y);
+        self.t_min = self.t_min.min(p.t);
+        self.t_max = self.t_max.max(p.t);
+    }
+
+    /// Inclusive containment test for a point.
+    #[inline]
+    pub fn contains(&self, p: &Point) -> bool {
+        p.x >= self.x_min
+            && p.x <= self.x_max
+            && p.y >= self.y_min
+            && p.y <= self.y_max
+            && p.t >= self.t_min
+            && p.t <= self.t_max
+    }
+
+    /// True when the two cubes share any volume (inclusive bounds).
+    pub fn intersects(&self, other: &Cube) -> bool {
+        self.x_min <= other.x_max
+            && self.x_max >= other.x_min
+            && self.y_min <= other.y_max
+            && self.y_max >= other.y_min
+            && self.t_min <= other.t_max
+            && self.t_max >= other.t_min
+    }
+
+    /// Center of the cube.
+    pub fn center(&self) -> (f64, f64, f64) {
+        (
+            0.5 * (self.x_min + self.x_max),
+            0.5 * (self.y_min + self.y_max),
+            0.5 * (self.t_min + self.t_max),
+        )
+    }
+
+    /// Extent along each axis.
+    pub fn extents(&self) -> (f64, f64, f64) {
+        (self.x_max - self.x_min, self.y_max - self.y_min, self.t_max - self.t_min)
+    }
+
+    /// The eight octants obtained by splitting at the center, ordered by
+    /// `(t, y, x)` bits: child `k` takes the upper x-half iff `k & 1 != 0`,
+    /// the upper y-half iff `k & 2 != 0`, the upper t-half iff `k & 4 != 0`.
+    ///
+    /// This is the child ordering the octree (and hence Agent-Cube's 8
+    /// "proceed" actions) relies on.
+    pub fn octants(&self) -> [Cube; 8] {
+        let (cx, cy, ct) = self.center();
+        std::array::from_fn(|k| {
+            let (x_min, x_max) = if k & 1 == 0 { (self.x_min, cx) } else { (cx, self.x_max) };
+            let (y_min, y_max) = if k & 2 == 0 { (self.y_min, cy) } else { (cy, self.y_max) };
+            let (t_min, t_max) = if k & 4 == 0 { (self.t_min, ct) } else { (ct, self.t_max) };
+            Cube::new(x_min, x_max, y_min, y_max, t_min, t_max)
+        })
+    }
+
+    /// Index (0..8) of the octant that contains `p`, assuming
+    /// `self.contains(p)`. Points exactly on a split plane go to the upper
+    /// half, consistent with [`Cube::octants`] when resolving ties upward.
+    #[inline]
+    pub fn octant_of(&self, p: &Point) -> usize {
+        let (cx, cy, ct) = self.center();
+        (usize::from(p.x >= cx)) | (usize::from(p.y >= cy) << 1) | (usize::from(p.t >= ct) << 2)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn unit() -> Cube {
+        Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0)
+    }
+
+    #[test]
+    fn contains_is_inclusive() {
+        let c = unit();
+        assert!(c.contains(&Point::new(0.0, 0.0, 0.0)));
+        assert!(c.contains(&Point::new(1.0, 1.0, 1.0)));
+        assert!(c.contains(&Point::new(0.5, 0.5, 0.5)));
+        assert!(!c.contains(&Point::new(1.0001, 0.5, 0.5)));
+        assert!(!c.contains(&Point::new(0.5, -0.0001, 0.5)));
+    }
+
+    #[test]
+    fn empty_cube_contains_nothing() {
+        let c = Cube::empty();
+        assert!(c.is_empty());
+        assert!(!c.contains(&Point::new(0.0, 0.0, 0.0)));
+    }
+
+    #[test]
+    fn extend_covers_points() {
+        let mut c = Cube::empty();
+        c.extend(&Point::new(1.0, 2.0, 3.0));
+        c.extend(&Point::new(-1.0, 0.0, 9.0));
+        assert!(!c.is_empty());
+        assert!(c.contains(&Point::new(0.0, 1.0, 5.0)));
+        assert_eq!(c.x_min, -1.0);
+        assert_eq!(c.t_max, 9.0);
+    }
+
+    #[test]
+    fn octants_partition_the_cube() {
+        let c = unit();
+        let kids = c.octants();
+        // Every octant is inside the parent and they tile the volume.
+        let mut vol = 0.0;
+        for k in &kids {
+            let (ex, ey, et) = k.extents();
+            vol += ex * ey * et;
+            assert!(c.intersects(k));
+        }
+        assert!((vol - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn octant_of_matches_octants() {
+        let c = unit();
+        let kids = c.octants();
+        for p in [
+            Point::new(0.1, 0.1, 0.1),
+            Point::new(0.9, 0.1, 0.1),
+            Point::new(0.1, 0.9, 0.1),
+            Point::new(0.9, 0.9, 0.9),
+            Point::new(0.5, 0.5, 0.5), // tie goes to upper halves => child 7
+        ] {
+            let k = c.octant_of(&p);
+            assert!(kids[k].contains(&p), "point {p} not in octant {k}");
+        }
+        assert_eq!(c.octant_of(&Point::new(0.5, 0.5, 0.5)), 7);
+    }
+
+    #[test]
+    fn intersects_detects_overlap_and_disjoint() {
+        let a = unit();
+        let b = Cube::new(0.5, 1.5, 0.5, 1.5, 0.5, 1.5);
+        let c = Cube::new(2.0, 3.0, 2.0, 3.0, 2.0, 3.0);
+        assert!(a.intersects(&b));
+        assert!(b.intersects(&a));
+        assert!(!a.intersects(&c));
+    }
+
+    #[test]
+    fn centered_constructor_round_trips() {
+        let c = Cube::centered(10.0, 20.0, 30.0, 1.0, 2.0, 3.0);
+        assert_eq!(c.center(), (10.0, 20.0, 30.0));
+        assert_eq!(c.extents(), (2.0, 4.0, 6.0));
+    }
+}

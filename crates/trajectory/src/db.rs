@@ -1,0 +1,374 @@
+//! Trajectory databases and their simplified counterparts.
+
+use crate::bbox::Cube;
+use crate::point::Point;
+use crate::traj::Trajectory;
+
+/// Identifier of a trajectory inside a [`TrajectoryDb`] (its index).
+pub type TrajId = usize;
+
+/// A database `D` of trajectories. `N` in the paper is
+/// [`TrajectoryDb::total_points`], `M` is [`TrajectoryDb::len`].
+#[derive(Debug, Clone, Default)]
+pub struct TrajectoryDb {
+    trajectories: Vec<Trajectory>,
+}
+
+impl TrajectoryDb {
+    /// Creates a database from trajectories.
+    pub fn new(trajectories: Vec<Trajectory>) -> Self {
+        Self { trajectories }
+    }
+
+    /// Number of trajectories `M`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.trajectories.len()
+    }
+
+    /// True when the database holds no trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.trajectories.is_empty()
+    }
+
+    /// Total number of points `N` across all trajectories.
+    pub fn total_points(&self) -> usize {
+        self.trajectories.iter().map(Trajectory::len).sum()
+    }
+
+    /// Immutable access to all trajectories.
+    #[inline]
+    pub fn trajectories(&self) -> &[Trajectory] {
+        &self.trajectories
+    }
+
+    /// The trajectory with the given id.
+    #[inline]
+    pub fn get(&self, id: TrajId) -> &Trajectory {
+        &self.trajectories[id]
+    }
+
+    /// Adds a trajectory, returning its id.
+    pub fn push(&mut self, t: Trajectory) -> TrajId {
+        self.trajectories.push(t);
+        self.trajectories.len() - 1
+    }
+
+    /// Iterator over `(id, trajectory)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TrajId, &Trajectory)> {
+        self.trajectories.iter().enumerate()
+    }
+
+    /// Smallest cube covering every point of every trajectory.
+    pub fn bounding_cube(&self) -> Cube {
+        let mut c = Cube::empty();
+        for t in &self.trajectories {
+            for p in t.points() {
+                c.extend(p);
+            }
+        }
+        c
+    }
+
+    /// Time span covered by the whole database.
+    pub fn time_span(&self) -> (f64, f64) {
+        let c = self.bounding_cube();
+        (c.t_min, c.t_max)
+    }
+
+    /// Splits the database into `(head, tail)` where `head` keeps the first
+    /// `n` trajectories. Used to carve train/test splits.
+    pub fn split_at(mut self, n: usize) -> (TrajectoryDb, TrajectoryDb) {
+        let n = n.min(self.trajectories.len());
+        let tail = self.trajectories.split_off(n);
+        (self, TrajectoryDb::new(tail))
+    }
+}
+
+impl FromIterator<Trajectory> for TrajectoryDb {
+    fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
+        Self::new(iter.into_iter().collect())
+    }
+}
+
+/// A simplification of a [`TrajectoryDb`]: for every trajectory, the sorted
+/// set of *kept* point indices. The first and last index of every trajectory
+/// are always kept (the paper's "most simplified database" keeps exactly
+/// those two).
+///
+/// This representation is what all simplification algorithms produce; it can
+/// be materialized into a standalone [`TrajectoryDb`] with
+/// [`Simplification::materialize`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct Simplification {
+    /// `kept[id]` = sorted indices of retained points of trajectory `id`.
+    kept: Vec<Vec<u32>>,
+}
+
+impl Simplification {
+    /// The most simplified database: every trajectory reduced to its first
+    /// and last point (single-point trajectories keep their one point).
+    pub fn most_simplified(db: &TrajectoryDb) -> Self {
+        let kept = db
+            .trajectories()
+            .iter()
+            .map(|t| {
+                if t.len() <= 1 {
+                    vec![0]
+                } else {
+                    vec![0, (t.len() - 1) as u32]
+                }
+            })
+            .collect();
+        Self { kept }
+    }
+
+    /// A simplification that keeps everything (identity).
+    pub fn full(db: &TrajectoryDb) -> Self {
+        let kept = db.trajectories().iter().map(|t| (0..t.len() as u32).collect()).collect();
+        Self { kept }
+    }
+
+    /// Builds from per-trajectory kept-index lists. Lists must be sorted,
+    /// deduplicated, and contain the endpoints; debug builds assert this.
+    pub fn from_kept(db: &TrajectoryDb, kept: Vec<Vec<u32>>) -> Self {
+        debug_assert_eq!(kept.len(), db.len());
+        #[cfg(debug_assertions)]
+        for (id, ks) in kept.iter().enumerate() {
+            let n = db.get(id).len() as u32;
+            assert!(!ks.is_empty());
+            assert_eq!(ks[0], 0, "trajectory {id} must keep its first point");
+            assert_eq!(*ks.last().unwrap(), n - 1, "trajectory {id} must keep its last point");
+            assert!(ks.windows(2).all(|w| w[0] < w[1]), "kept indices must be strictly sorted");
+        }
+        Self { kept }
+    }
+
+    /// Number of trajectories.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.kept.len()
+    }
+
+    /// True when the simplification covers no trajectories.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.kept.is_empty()
+    }
+
+    /// Kept indices of one trajectory.
+    #[inline]
+    pub fn kept(&self, id: TrajId) -> &[u32] {
+        &self.kept[id]
+    }
+
+    /// Total number of retained points (the quantity bounded by the storage
+    /// budget `W`).
+    pub fn total_points(&self) -> usize {
+        self.kept.iter().map(Vec::len).sum()
+    }
+
+    /// True when point `idx` of trajectory `id` is retained.
+    pub fn contains(&self, id: TrajId, idx: u32) -> bool {
+        self.kept[id].binary_search(&idx).is_ok()
+    }
+
+    /// Inserts point `idx` of trajectory `id` into the simplification.
+    /// Returns `false` when it was already present.
+    pub fn insert(&mut self, id: TrajId, idx: u32) -> bool {
+        match self.kept[id].binary_search(&idx) {
+            Ok(_) => false,
+            Err(pos) => {
+                self.kept[id].insert(pos, idx);
+                true
+            }
+        }
+    }
+
+    /// Removes point `idx` of trajectory `id`. Endpoints cannot be removed.
+    /// Returns `false` when the point was not present or is an endpoint.
+    pub fn remove(&mut self, id: TrajId, idx: u32) -> bool {
+        let ks = &mut self.kept[id];
+        if ks.len() <= 2 {
+            return false;
+        }
+        match ks.binary_search(&idx) {
+            Ok(pos) if pos != 0 && pos != ks.len() - 1 => {
+                ks.remove(pos);
+                true
+            }
+            _ => false,
+        }
+    }
+
+    /// The *anchor segment* of original point `idx` in trajectory `id`: the
+    /// pair of kept indices `(s_j, s_{j+1})` with `s_j ≤ idx ≤ s_{j+1}`.
+    /// For a kept interior point the anchor brackets it as `(prev, next)`
+    /// of its own position only when `idx` itself is *not* kept; for kept
+    /// points the anchor is `(idx, idx)` conceptually — callers that need
+    /// the bracketing kept neighbours of a *kept* point should use
+    /// [`Simplification::kept_neighbors`].
+    pub fn anchor(&self, id: TrajId, idx: u32) -> (u32, u32) {
+        let ks = &self.kept[id];
+        match ks.binary_search(&idx) {
+            Ok(pos) => (ks[pos], ks[pos]),
+            Err(pos) => {
+                debug_assert!(pos > 0 && pos < ks.len(), "endpoints are always kept");
+                (ks[pos - 1], ks[pos])
+            }
+        }
+    }
+
+    /// For a *kept* point at `idx`, the kept indices immediately before and
+    /// after it (used by Bottom-Up to evaluate the error of dropping it).
+    /// Returns `None` for endpoints or non-kept points.
+    pub fn kept_neighbors(&self, id: TrajId, idx: u32) -> Option<(u32, u32)> {
+        let ks = &self.kept[id];
+        match ks.binary_search(&idx) {
+            Ok(pos) if pos > 0 && pos + 1 < ks.len() => Some((ks[pos - 1], ks[pos + 1])),
+            _ => None,
+        }
+    }
+
+    /// Materializes the simplified database `D'` as standalone trajectories.
+    pub fn materialize(&self, db: &TrajectoryDb) -> TrajectoryDb {
+        let trajectories = self
+            .kept
+            .iter()
+            .enumerate()
+            .map(|(id, ks)| {
+                let src = db.get(id).points();
+                let pts: Vec<Point> = ks.iter().map(|&i| src[i as usize]).collect();
+                Trajectory::from_sorted_unchecked(pts)
+            })
+            .collect();
+        TrajectoryDb::new(trajectories)
+    }
+
+    /// Per-trajectory compression ratios `|T'| / |T|` (diagnostics for the
+    /// paper's "uniform compression ratio" discussion).
+    pub fn compression_ratios(&self, db: &TrajectoryDb) -> Vec<f64> {
+        self.kept
+            .iter()
+            .enumerate()
+            .map(|(id, ks)| ks.len() as f64 / db.get(id).len() as f64)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TrajectoryDb {
+        let t1 = Trajectory::new(
+            (0..5).map(|i| Point::new(i as f64, 0.0, i as f64)).collect(),
+        )
+        .unwrap();
+        let t2 = Trajectory::new(
+            (0..3).map(|i| Point::new(0.0, i as f64, i as f64)).collect(),
+        )
+        .unwrap();
+        TrajectoryDb::new(vec![t1, t2])
+    }
+
+    #[test]
+    fn counts_match() {
+        let db = db();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.total_points(), 8);
+    }
+
+    #[test]
+    fn most_simplified_keeps_endpoints() {
+        let db = db();
+        let s = Simplification::most_simplified(&db);
+        assert_eq!(s.total_points(), 4);
+        assert_eq!(s.kept(0), &[0, 4]);
+        assert_eq!(s.kept(1), &[0, 2]);
+    }
+
+    #[test]
+    fn insert_and_contains() {
+        let db = db();
+        let mut s = Simplification::most_simplified(&db);
+        assert!(s.insert(0, 2));
+        assert!(!s.insert(0, 2), "double insert must be rejected");
+        assert!(s.contains(0, 2));
+        assert!(!s.contains(0, 3));
+        assert_eq!(s.kept(0), &[0, 2, 4]);
+    }
+
+    #[test]
+    fn anchor_brackets_missing_points() {
+        let db = db();
+        let mut s = Simplification::most_simplified(&db);
+        assert_eq!(s.anchor(0, 2), (0, 4));
+        s.insert(0, 2);
+        assert_eq!(s.anchor(0, 1), (0, 2));
+        assert_eq!(s.anchor(0, 3), (2, 4));
+        // Kept point anchors to itself.
+        assert_eq!(s.anchor(0, 2), (2, 2));
+    }
+
+    #[test]
+    fn kept_neighbors_only_for_interior_kept_points() {
+        let db = db();
+        let mut s = Simplification::most_simplified(&db);
+        s.insert(0, 2);
+        assert_eq!(s.kept_neighbors(0, 2), Some((0, 4)));
+        assert_eq!(s.kept_neighbors(0, 0), None);
+        assert_eq!(s.kept_neighbors(0, 4), None);
+        assert_eq!(s.kept_neighbors(0, 3), None);
+    }
+
+    #[test]
+    fn remove_protects_endpoints() {
+        let db = db();
+        let mut s = Simplification::most_simplified(&db);
+        s.insert(0, 2);
+        assert!(!s.remove(0, 0));
+        assert!(!s.remove(0, 4));
+        assert!(s.remove(0, 2));
+        assert_eq!(s.kept(0), &[0, 4]);
+        assert!(!s.remove(0, 2), "already gone");
+    }
+
+    #[test]
+    fn materialize_builds_sub_trajectories() {
+        let db = db();
+        let mut s = Simplification::most_simplified(&db);
+        s.insert(0, 2);
+        let simplified = s.materialize(&db);
+        assert_eq!(simplified.get(0).len(), 3);
+        assert_eq!(simplified.get(0).point(1).x, 2.0);
+        assert_eq!(simplified.get(1).len(), 2);
+    }
+
+    #[test]
+    fn full_simplification_is_identity() {
+        let db = db();
+        let s = Simplification::full(&db);
+        assert_eq!(s.total_points(), db.total_points());
+        let m = s.materialize(&db);
+        assert_eq!(m.get(0).points(), db.get(0).points());
+    }
+
+    #[test]
+    fn compression_ratios_per_trajectory() {
+        let db = db();
+        let s = Simplification::most_simplified(&db);
+        let r = s.compression_ratios(&db);
+        assert_eq!(r, vec![2.0 / 5.0, 2.0 / 3.0]);
+    }
+
+    #[test]
+    fn split_at_partitions() {
+        let (a, b) = db().split_at(1);
+        assert_eq!(a.len(), 1);
+        assert_eq!(b.len(), 1);
+        assert_eq!(a.get(0).len(), 5);
+        assert_eq!(b.get(0).len(), 3);
+    }
+}

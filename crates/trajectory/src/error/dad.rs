@@ -1,0 +1,53 @@
+//! Direction-Aware Distance (DAD).
+
+use crate::geom;
+use crate::point::Point;
+
+/// `ϵ_DAD(p_s p_e | p_i)`: angular difference (radians, in `[0, π]`) between
+/// the heading of the original movement `p_i → p_{i+1}` and the heading of
+/// the anchor segment `(s, e)`.
+///
+/// Following Eq. (1), point `p_i` with `s_j ≤ i < s_{j+1}` represents the
+/// original segment leaving it, so the caller passes that segment's
+/// endpoints as `(pi, pi_next)`.
+#[inline]
+pub fn dad(s: &Point, e: &Point, pi: &Point, pi_next: &Point) -> f64 {
+    geom::angle_diff(geom::direction(pi, pi_next), geom::direction(s, e))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, FRAC_PI_4, PI};
+
+    #[test]
+    fn dad_zero_for_collinear_movement() {
+        let s = Point::new(0.0, 0.0, 0.0);
+        let e = Point::new(10.0, 0.0, 10.0);
+        let a = Point::new(2.0, 0.0, 2.0);
+        let b = Point::new(7.0, 0.0, 7.0);
+        assert!(dad(&s, &e, &a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn dad_detects_detours() {
+        let s = Point::new(0.0, 0.0, 0.0);
+        let e = Point::new(10.0, 0.0, 10.0);
+        // The object actually headed straight north for a while.
+        let a = Point::new(5.0, 0.0, 5.0);
+        let b = Point::new(5.0, 3.0, 6.0);
+        assert!((dad(&s, &e, &a, &b) - FRAC_PI_2).abs() < 1e-12);
+        // Diagonal movement differs by 45 degrees.
+        let c = Point::new(8.0, 6.0, 8.0);
+        assert!((dad(&s, &e, &b, &c) - FRAC_PI_4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dad_is_bounded_by_pi() {
+        let s = Point::new(0.0, 0.0, 0.0);
+        let e = Point::new(10.0, 0.0, 10.0);
+        let a = Point::new(5.0, 0.0, 5.0);
+        let back = Point::new(0.0, 0.0, 6.0); // full reversal
+        assert!((dad(&s, &e, &a, &back) - PI).abs() < 1e-12);
+    }
+}

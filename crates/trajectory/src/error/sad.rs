@@ -1,0 +1,46 @@
+//! Speed-Aware Distance (SAD).
+
+use crate::geom;
+use crate::point::Point;
+
+/// `ϵ_SAD(p_s p_e | p_i)`: absolute difference (m/s) between the average
+/// speed of the original movement `p_i → p_{i+1}` and the average speed the
+/// anchor segment `(s, e)` implies.
+///
+/// As with DAD, point `p_i` represents the original segment leaving it.
+#[inline]
+pub fn sad(s: &Point, e: &Point, pi: &Point, pi_next: &Point) -> f64 {
+    (geom::speed(pi, pi_next) - geom::speed(s, e)).abs()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sad_zero_for_constant_speed() {
+        let s = Point::new(0.0, 0.0, 0.0);
+        let e = Point::new(10.0, 0.0, 10.0); // 1 m/s
+        let a = Point::new(3.0, 0.0, 3.0);
+        let b = Point::new(6.0, 0.0, 6.0); // also 1 m/s
+        assert!(sad(&s, &e, &a, &b) < 1e-12);
+    }
+
+    #[test]
+    fn sad_detects_speed_changes() {
+        let s = Point::new(0.0, 0.0, 0.0);
+        let e = Point::new(10.0, 0.0, 10.0); // anchor speed 1 m/s
+        let a = Point::new(2.0, 0.0, 2.0);
+        let sprint = Point::new(8.0, 0.0, 4.0); // 3 m/s
+        assert_eq!(sad(&s, &e, &a, &sprint), 2.0);
+    }
+
+    #[test]
+    fn sad_degenerate_durations_report_zero_speed() {
+        let s = Point::new(0.0, 0.0, 5.0);
+        let e = Point::new(10.0, 0.0, 5.0); // zero duration => speed 0
+        let a = Point::new(0.0, 0.0, 5.0);
+        let b = Point::new(5.0, 0.0, 5.0);
+        assert_eq!(sad(&s, &e, &a, &b), 0.0);
+    }
+}

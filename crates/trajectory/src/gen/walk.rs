@@ -1,0 +1,160 @@
+//! Correlated random-walk movement model.
+//!
+//! Produces GPS-like traces with heading persistence, smooth speed changes,
+//! pauses (bursts of near-identical points — exactly the redundancy
+//! simplification should exploit, per the paper's introduction), and
+//! per-trajectory complexity differences (the heterogeneity that motivates
+//! *collective* simplification).
+
+use crate::point::Point;
+use crate::traj::Trajectory;
+use rand::rngs::StdRng;
+use rand::Rng;
+use std::f64::consts::TAU;
+
+/// Parameters of one correlated random walk.
+#[derive(Debug, Clone)]
+pub struct WalkParams {
+    /// Number of points to emit (≥ 2).
+    pub len: usize,
+    /// Start position (meters).
+    pub start: (f64, f64),
+    /// Start time (seconds).
+    pub start_time: f64,
+    /// Sampling interval range (seconds), drawn uniformly per step.
+    pub interval: (f64, f64),
+    /// Cruise speed (m/s); instantaneous speed wanders around it.
+    pub speed: f64,
+    /// Std-dev of per-step heading change (radians). Small => smooth
+    /// highway-like movement; large => erratic pedestrian movement.
+    pub turn_sigma: f64,
+    /// Probability per step of entering a pause (speed ≈ 0 for a few fixes).
+    pub pause_prob: f64,
+    /// Mean pause duration in steps.
+    pub pause_len: f64,
+    /// GPS noise std-dev (meters) added to every emitted fix.
+    pub gps_noise: f64,
+}
+
+/// Simulates the walk, returning a valid trajectory.
+pub fn simulate(params: &WalkParams, rng: &mut StdRng) -> Trajectory {
+    let n = params.len.max(2);
+    let mut pts = Vec::with_capacity(n);
+    let (mut x, mut y) = params.start;
+    let mut t = params.start_time;
+    let mut heading = rng.gen_range(0.0..TAU);
+    let mut speed_factor: f64 = 1.0;
+    let mut pause_remaining = 0usize;
+
+    for _ in 0..n {
+        let nx = x + params.gps_noise * sample_gaussian(rng);
+        let ny = y + params.gps_noise * sample_gaussian(rng);
+        pts.push(Point::new(nx, ny, t));
+
+        let dt = rng.gen_range(params.interval.0..=params.interval.1);
+        if pause_remaining > 0 {
+            pause_remaining -= 1;
+        } else if rng.gen_bool(params.pause_prob) {
+            pause_remaining = 1 + (sample_exponential(rng) * params.pause_len) as usize;
+        } else {
+            heading += params.turn_sigma * sample_gaussian(rng);
+            // Smooth speed modulation in [0.5, 1.5] of cruise speed.
+            speed_factor = (speed_factor + 0.1 * sample_gaussian(rng)).clamp(0.5, 1.5);
+            let v = params.speed * speed_factor;
+            x += v * dt * heading.cos();
+            y += v * dt * heading.sin();
+        }
+        t += dt;
+    }
+    Trajectory::from_sorted_unchecked(pts)
+}
+
+/// Standard normal sample via Box–Muller (avoids a distributions dependency).
+pub(crate) fn sample_gaussian(rng: &mut StdRng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen_range(0.0..1.0);
+    (-2.0 * u1.ln()).sqrt() * (TAU * u2).cos()
+}
+
+/// Exponential(1) sample.
+pub(crate) fn sample_exponential(rng: &mut StdRng) -> f64 {
+    let u: f64 = rng.gen_range(f64::EPSILON..1.0);
+    -u.ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn params() -> WalkParams {
+        WalkParams {
+            len: 200,
+            start: (0.0, 0.0),
+            start_time: 100.0,
+            interval: (1.0, 5.0),
+            speed: 2.0,
+            turn_sigma: 0.4,
+            pause_prob: 0.05,
+            pause_len: 5.0,
+            gps_noise: 1.0,
+        }
+    }
+
+    #[test]
+    fn produces_requested_length_and_ordering() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let t = simulate(&params(), &mut rng);
+        assert_eq!(t.len(), 200);
+        assert!(t.points().windows(2).all(|w| w[1].t > w[0].t));
+        assert_eq!(t.first().t, 100.0);
+    }
+
+    #[test]
+    fn is_deterministic_for_a_seed() {
+        let a = simulate(&params(), &mut StdRng::seed_from_u64(42));
+        let b = simulate(&params(), &mut StdRng::seed_from_u64(42));
+        assert_eq!(a.points(), b.points());
+        let c = simulate(&params(), &mut StdRng::seed_from_u64(43));
+        assert_ne!(a.points(), c.points());
+    }
+
+    #[test]
+    fn mean_step_tracks_speed_times_interval() {
+        let mut p = params();
+        p.len = 3000;
+        p.pause_prob = 0.0;
+        p.gps_noise = 0.0;
+        let mut rng = StdRng::seed_from_u64(1);
+        let t = simulate(&p, &mut rng);
+        let mean_step = t.path_length() / (t.len() - 1) as f64;
+        // speed 2 m/s * mean interval 3 s = 6 m, with ±50% speed modulation.
+        assert!(mean_step > 3.0 && mean_step < 9.0, "mean step {mean_step}");
+    }
+
+    #[test]
+    fn pauses_create_redundant_fixes() {
+        let mut p = params();
+        p.pause_prob = 0.3;
+        p.gps_noise = 0.0;
+        let mut rng = StdRng::seed_from_u64(3);
+        let t = simulate(&p, &mut rng);
+        let stationary = t
+            .points()
+            .windows(2)
+            .filter(|w| w[0].spatial_distance(&w[1]) < 1e-9)
+            .count();
+        assert!(stationary > 10, "expected pauses, got {stationary}");
+    }
+
+    #[test]
+    fn gaussian_sampler_is_roughly_standard() {
+        let mut rng = StdRng::seed_from_u64(11);
+        let n = 20_000;
+        let samples: Vec<f64> = (0..n).map(|_| sample_gaussian(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / n as f64;
+        let var = samples.iter().map(|s| (s - mean) * (s - mean)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.1, "var {var}");
+    }
+}

@@ -1,0 +1,190 @@
+//! Geometry kernel shared by error measures, queries, and the RL agents.
+//!
+//! Everything here operates on pairs of [`Point`]s interpreted as a segment
+//! of movement: the object travels from `a` to `b` in a straight line at
+//! constant speed between `a.t` and `b.t`.
+
+use crate::point::Point;
+
+/// Position on segment `(a, b)` at time `t`, by linear interpolation in time.
+/// Degenerate segments (`b.t <= a.t`) collapse to `a`'s location.
+#[inline]
+pub fn interpolate_at(a: &Point, b: &Point, t: f64) -> Point {
+    let dt = b.t - a.t;
+    if dt <= 0.0 {
+        return Point::new(a.x, a.y, t);
+    }
+    let r = ((t - a.t) / dt).clamp(0.0, 1.0);
+    Point::new(a.x + r * (b.x - a.x), a.y + r * (b.y - a.y), t)
+}
+
+/// The *synchronized point* of `p` on anchor segment `(a, b)`: the location
+/// the simplified trajectory claims for time `p.t`. This is the SED anchor
+/// position (Fig. 1 in the paper).
+#[inline]
+pub fn sync_point(a: &Point, b: &Point, p: &Point) -> Point {
+    interpolate_at(a, b, p.t)
+}
+
+/// Spatial distance from `p` to the closest point of the *spatial* segment
+/// `(a, b)` (projection clamped to the segment). This is the PED of `p`.
+pub fn point_segment_distance(a: &Point, b: &Point, p: &Point) -> f64 {
+    let (s, _) = project_onto_segment(a, b, p);
+    let cx = a.x + s * (b.x - a.x);
+    let cy = a.y + s * (b.y - a.y);
+    let dx = p.x - cx;
+    let dy = p.y - cy;
+    (dx * dx + dy * dy).sqrt()
+}
+
+/// Projects `p` onto the spatial segment `(a, b)`. Returns `(s, d2)` where
+/// `s ∈ [0, 1]` parameterizes the closest point `a + s·(b−a)` and `d2` is the
+/// squared distance to it. Zero-length segments return `s = 0`.
+pub fn project_onto_segment(a: &Point, b: &Point, p: &Point) -> (f64, f64) {
+    let abx = b.x - a.x;
+    let aby = b.y - a.y;
+    let len2 = abx * abx + aby * aby;
+    let s = if len2 <= 0.0 {
+        0.0
+    } else {
+        (((p.x - a.x) * abx + (p.y - a.y) * aby) / len2).clamp(0.0, 1.0)
+    };
+    let cx = a.x + s * abx;
+    let cy = a.y + s * aby;
+    let dx = p.x - cx;
+    let dy = p.y - cy;
+    (s, dx * dx + dy * dy)
+}
+
+/// Timestamp of the point on segment `(a, b)` spatially closest to `p`
+/// (the segment is traversed at constant speed, so the time interpolates
+/// with the same parameter as the position). Used for Agent-Point's
+/// temporal feature `v_t` (Eq. 6).
+pub fn closest_point_time(a: &Point, b: &Point, p: &Point) -> f64 {
+    let (s, _) = project_onto_segment(a, b, p);
+    a.t + s * (b.t - a.t)
+}
+
+/// Heading of the movement from `a` to `b`, in radians in `(-π, π]`.
+/// Zero-length movement reports heading 0.
+#[inline]
+pub fn direction(a: &Point, b: &Point) -> f64 {
+    let dx = b.x - a.x;
+    let dy = b.y - a.y;
+    if dx == 0.0 && dy == 0.0 {
+        0.0
+    } else {
+        dy.atan2(dx)
+    }
+}
+
+/// Smallest absolute difference between two headings, in `[0, π]`.
+#[inline]
+pub fn angle_diff(t1: f64, t2: f64) -> f64 {
+    let mut d = (t1 - t2).rem_euclid(std::f64::consts::TAU);
+    if d > std::f64::consts::PI {
+        d = std::f64::consts::TAU - d;
+    }
+    d
+}
+
+/// Average speed of the movement from `a` to `b` in m/s. Zero-duration
+/// movement reports speed 0 (GPS fixes can carry duplicate timestamps).
+#[inline]
+pub fn speed(a: &Point, b: &Point) -> f64 {
+    let dt = b.t - a.t;
+    if dt <= 0.0 {
+        0.0
+    } else {
+        a.spatial_distance(b) / dt
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::f64::consts::{FRAC_PI_2, PI};
+
+    #[test]
+    fn interpolation_is_linear_in_time() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(10.0, 20.0, 10.0);
+        let m = interpolate_at(&a, &b, 5.0);
+        assert_eq!((m.x, m.y, m.t), (5.0, 10.0, 5.0));
+        // Out-of-range times clamp spatially but keep the requested time.
+        let before = interpolate_at(&a, &b, -1.0);
+        assert_eq!((before.x, before.y, before.t), (0.0, 0.0, -1.0));
+    }
+
+    #[test]
+    fn interpolation_degenerate_time_collapses_to_a() {
+        let a = Point::new(1.0, 2.0, 5.0);
+        let b = Point::new(9.0, 9.0, 5.0);
+        let m = interpolate_at(&a, &b, 5.0);
+        assert_eq!((m.x, m.y), (1.0, 2.0));
+    }
+
+    #[test]
+    fn sync_point_matches_figure_1_intuition() {
+        // Object truly at (5, 5) at t=5; anchor claims it is at (5, 0).
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(10.0, 0.0, 10.0);
+        let p = Point::new(5.0, 5.0, 5.0);
+        let s = sync_point(&a, &b, &p);
+        assert_eq!((s.x, s.y), (5.0, 0.0));
+        assert_eq!(p.spatial_distance(&s), 5.0);
+    }
+
+    #[test]
+    fn point_segment_distance_clamps_to_endpoints() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(10.0, 0.0, 10.0);
+        // Perpendicular case.
+        assert_eq!(point_segment_distance(&a, &b, &Point::new(5.0, 3.0, 0.0)), 3.0);
+        // Beyond endpoint: distance to the endpoint, not the infinite line.
+        assert_eq!(point_segment_distance(&a, &b, &Point::new(14.0, 3.0, 0.0)), 5.0);
+        // Zero-length segment.
+        let z = Point::new(1.0, 1.0, 0.0);
+        assert_eq!(point_segment_distance(&z, &z, &Point::new(4.0, 5.0, 0.0)), 5.0);
+    }
+
+    #[test]
+    fn closest_point_time_interpolates_with_projection() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(10.0, 0.0, 20.0);
+        // p projects onto x=5, i.e. halfway, i.e. t=10.
+        assert_eq!(closest_point_time(&a, &b, &Point::new(5.0, 7.0, 3.0)), 10.0);
+        // p beyond the far endpoint clamps to b's time.
+        assert_eq!(closest_point_time(&a, &b, &Point::new(50.0, 0.0, 3.0)), 20.0);
+    }
+
+    #[test]
+    fn direction_and_angle_diff() {
+        let o = Point::new(0.0, 0.0, 0.0);
+        let east = Point::new(1.0, 0.0, 1.0);
+        let north = Point::new(0.0, 1.0, 1.0);
+        let west = Point::new(-1.0, 0.0, 1.0);
+        assert_eq!(direction(&o, &east), 0.0);
+        assert!((direction(&o, &north) - FRAC_PI_2).abs() < 1e-12);
+        assert!((angle_diff(direction(&o, &east), direction(&o, &west)) - PI).abs() < 1e-12);
+        // Wrap-around: -3π/4 vs 3π/4 differ by π/2, not 3π/2.
+        assert!((angle_diff(-2.356194490192345, 2.356194490192345) - FRAC_PI_2).abs() < 1e-9);
+    }
+
+    #[test]
+    fn angle_diff_is_symmetric_and_bounded() {
+        for &(a, b) in &[(0.1, 2.9), (-3.0, 3.0), (1.0, 1.0), (-0.5, 0.5)] {
+            assert!((angle_diff(a, b) - angle_diff(b, a)).abs() < 1e-12);
+            assert!(angle_diff(a, b) >= 0.0 && angle_diff(a, b) <= PI + 1e-12);
+        }
+    }
+
+    #[test]
+    fn speed_handles_degenerate_durations() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(30.0, 40.0, 10.0);
+        assert_eq!(speed(&a, &b), 5.0);
+        let dup = Point::new(30.0, 40.0, 0.0);
+        assert_eq!(speed(&a, &dup), 0.0);
+    }
+}

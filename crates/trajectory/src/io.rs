@@ -1,0 +1,198 @@
+//! Plain-text I/O for trajectory databases.
+//!
+//! Format: one point per line, `traj_id,x,y,t` (header optional). This keeps
+//! the library dependency-free while staying trivially convertible from the
+//! public datasets' CSV dumps.
+
+use crate::db::TrajectoryDb;
+use crate::point::Point;
+use crate::traj::Trajectory;
+use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
+use std::path::Path;
+
+/// Errors raised while reading a trajectory file.
+#[derive(Debug)]
+pub enum ReadError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based line number.
+    Parse {
+        /// 1-based line number of the offending line.
+        line: usize,
+        /// Description of what failed to parse.
+        message: String,
+    },
+}
+
+impl std::fmt::Display for ReadError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ReadError::Io(e) => write!(f, "io error: {e}"),
+            ReadError::Parse { line, message } => write!(f, "line {line}: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ReadError {}
+
+impl From<io::Error> for ReadError {
+    fn from(e: io::Error) -> Self {
+        ReadError::Io(e)
+    }
+}
+
+/// Writes `db` in `traj_id,x,y,t` CSV form.
+pub fn write_csv<W: Write>(db: &TrajectoryDb, out: W) -> io::Result<()> {
+    let mut w = BufWriter::new(out);
+    writeln!(w, "traj_id,x,y,t")?;
+    for (id, traj) in db.iter() {
+        for p in traj.points() {
+            writeln!(w, "{id},{},{},{}", p.x, p.y, p.t)?;
+        }
+    }
+    w.flush()
+}
+
+/// Convenience wrapper writing to a file path.
+pub fn write_csv_file<P: AsRef<Path>>(db: &TrajectoryDb, path: P) -> io::Result<()> {
+    write_csv(db, std::fs::File::create(path)?)
+}
+
+/// Reads a `traj_id,x,y,t` CSV. Points of one trajectory must be contiguous
+/// and time-ordered; trajectory ids are re-assigned densely in order of
+/// first appearance. A single header line is skipped when present.
+pub fn read_csv<R: Read>(input: R) -> Result<TrajectoryDb, ReadError> {
+    let reader = BufReader::new(input);
+    let mut db = TrajectoryDb::default();
+    let mut current_id: Option<String> = None;
+    let mut points: Vec<Point> = Vec::new();
+
+    let flush =
+        |points: &mut Vec<Point>, db: &mut TrajectoryDb, line: usize| -> Result<(), ReadError> {
+            if points.is_empty() {
+                return Ok(());
+            }
+            let t = Trajectory::new(std::mem::take(points)).ok_or(ReadError::Parse {
+                line,
+                message: "trajectory points are not time-ordered or not finite".into(),
+            })?;
+            db.push(t);
+            Ok(())
+        };
+
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line?;
+        let line_1 = lineno + 1;
+        let trimmed = line.trim();
+        if trimmed.is_empty() {
+            continue;
+        }
+        if lineno == 0 && trimmed.starts_with("traj_id") {
+            continue;
+        }
+        let mut parts = trimmed.split(',');
+        let id = parts.next().unwrap_or("").to_string();
+        let parse = |field: Option<&str>, name: &str| -> Result<f64, ReadError> {
+            field
+                .ok_or(ReadError::Parse { line: line_1, message: format!("missing {name}") })?
+                .trim()
+                .parse::<f64>()
+                .map_err(|e| ReadError::Parse { line: line_1, message: format!("{name}: {e}") })
+        };
+        let x = parse(parts.next(), "x")?;
+        let y = parse(parts.next(), "y")?;
+        let t = parse(parts.next(), "t")?;
+
+        if current_id.as_deref() != Some(id.as_str()) {
+            flush(&mut points, &mut db, line_1)?;
+            current_id = Some(id);
+        }
+        points.push(Point::new(x, y, t));
+    }
+    flush(&mut points, &mut db, usize::MAX)?;
+    Ok(db)
+}
+
+/// Convenience wrapper reading from a file path.
+pub fn read_csv_file<P: AsRef<Path>>(path: P) -> Result<TrajectoryDb, ReadError> {
+    read_csv(std::fs::File::open(path)?)
+}
+
+/// Projects WGS-84 latitude/longitude (degrees) to local planar meters with
+/// an equirectangular projection around `(lat0, lon0)`. Adequate at city
+/// scale, which is all the paper's datasets need.
+pub fn project_equirectangular(lat: f64, lon: f64, lat0: f64, lon0: f64) -> (f64, f64) {
+    const EARTH_RADIUS: f64 = 6_371_000.0;
+    let x = (lon - lon0).to_radians() * lat0.to_radians().cos() * EARTH_RADIUS;
+    let y = (lat - lat0).to_radians() * EARTH_RADIUS;
+    (x, y)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DatasetSpec, Scale};
+
+    #[test]
+    fn csv_round_trips() {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 3);
+        let mut buf = Vec::new();
+        write_csv(&db, &mut buf).unwrap();
+        let back = read_csv(&buf[..]).unwrap();
+        assert_eq!(back.len(), db.len());
+        assert_eq!(back.total_points(), db.total_points());
+        for (id, t) in db.iter() {
+            for (a, b) in t.points().iter().zip(back.get(id).points()) {
+                assert!((a.x - b.x).abs() < 1e-9);
+                assert!((a.y - b.y).abs() < 1e-9);
+                assert!((a.t - b.t).abs() < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn read_skips_header_and_blank_lines() {
+        let text = "traj_id,x,y,t\n\na,1.0,2.0,3.0\na,2.0,3.0,4.0\nb,0.0,0.0,0.0\nb,5,5,9\n";
+        let db = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(0).len(), 2);
+        assert_eq!(db.get(1).last().t, 9.0);
+    }
+
+    #[test]
+    fn read_rejects_garbage() {
+        let text = "a,1.0,nope,3.0\n";
+        match read_csv(text.as_bytes()) {
+            Err(ReadError::Parse { line, .. }) => assert_eq!(line, 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn read_rejects_unordered_times() {
+        let text = "a,1.0,1.0,5.0\na,2.0,2.0,4.0\n";
+        assert!(matches!(read_csv(text.as_bytes()), Err(ReadError::Parse { .. })));
+    }
+
+    #[test]
+    fn projection_is_locally_metric() {
+        // One degree of latitude is ~111 km everywhere.
+        let (_, y) = project_equirectangular(40.0, 116.0, 39.0, 116.0);
+        assert!((y - 111_194.9).abs() < 100.0, "y = {y}");
+        // At the reference point the projection is the origin.
+        let (x0, y0) = project_equirectangular(39.0, 116.0, 39.0, 116.0);
+        assert_eq!((x0, y0), (0.0, 0.0));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let db = generate(&DatasetSpec::chengdu(Scale::Smoke), 8);
+        let dir = std::env::temp_dir().join("qdts_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("db.csv");
+        write_csv_file(&db, &path).unwrap();
+        let back = read_csv_file(&path).unwrap();
+        assert_eq!(back.total_points(), db.total_points());
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -1,0 +1,34 @@
+//! Trajectory data substrate for the RL4QDTS reproduction.
+//!
+//! This crate provides everything the simplification algorithms and query
+//! engine consume:
+//!
+//! - the data model: [`Point`], [`Trajectory`], [`TrajectoryDb`],
+//!   [`Simplification`] (a database-level set of kept point indices);
+//! - the geometry kernel ([`geom`]): synchronized interpolation, segment
+//!   projections, headings, speeds;
+//! - the four error measures of the paper ([`error`]): SED, PED, DAD, SAD
+//!   with the Eq. 1/Eq. 2 aggregations;
+//! - synthetic dataset generators ([`gen`]) reproducing the statistical
+//!   shape of Geolife / T-Drive / Chengdu / OSM (Table I);
+//! - CSV I/O and dataset statistics ([`io`], [`stats`]).
+
+#![warn(missing_docs)]
+
+pub mod bbox;
+pub mod db;
+pub mod error;
+pub mod gen;
+pub mod geom;
+pub mod io;
+pub mod point;
+pub mod resample;
+pub mod stats;
+pub mod traj;
+
+pub use bbox::Cube;
+pub use db::{Simplification, TrajId, TrajectoryDb};
+pub use error::ErrorMeasure;
+pub use point::Point;
+pub use stats::DatasetStats;
+pub use traj::Trajectory;

@@ -1,0 +1,102 @@
+//! Time-stamped trajectory points.
+
+use std::fmt;
+
+/// A time-stamped location: the moving object is at planar position
+/// `(x, y)` (meters) at time `t` (seconds).
+///
+/// The paper's datasets are GPS traces; this library works in a projected
+/// planar frame (see [`crate::io::project_equirectangular`] for converting
+/// latitude/longitude input).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Point {
+    /// East-west coordinate in meters.
+    pub x: f64,
+    /// North-south coordinate in meters.
+    pub y: f64,
+    /// Timestamp in seconds.
+    pub t: f64,
+}
+
+impl Point {
+    /// Creates a point from coordinates and a timestamp.
+    #[inline]
+    pub const fn new(x: f64, y: f64, t: f64) -> Self {
+        Self { x, y, t }
+    }
+
+    /// Euclidean distance in the spatial plane (ignores time).
+    #[inline]
+    pub fn spatial_distance(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        (dx * dx + dy * dy).sqrt()
+    }
+
+    /// Squared spatial distance; cheaper when only comparisons are needed.
+    #[inline]
+    pub fn spatial_distance_sq(&self, other: &Point) -> f64 {
+        let dx = self.x - other.x;
+        let dy = self.y - other.y;
+        dx * dx + dy * dy
+    }
+
+    /// Absolute difference between the two timestamps.
+    #[inline]
+    pub fn temporal_distance(&self, other: &Point) -> f64 {
+        (self.t - other.t).abs()
+    }
+
+    /// True when every coordinate is finite (no NaN / infinity).
+    #[inline]
+    pub fn is_finite(&self) -> bool {
+        self.x.is_finite() && self.y.is_finite() && self.t.is_finite()
+    }
+}
+
+impl fmt::Display for Point {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3} @ {:.3}s)", self.x, self.y, self.t)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spatial_distance_is_euclidean() {
+        let a = Point::new(0.0, 0.0, 0.0);
+        let b = Point::new(3.0, 4.0, 10.0);
+        assert_eq!(a.spatial_distance(&b), 5.0);
+        assert_eq!(a.spatial_distance_sq(&b), 25.0);
+    }
+
+    #[test]
+    fn temporal_distance_is_symmetric() {
+        let a = Point::new(0.0, 0.0, 5.0);
+        let b = Point::new(0.0, 0.0, 12.0);
+        assert_eq!(a.temporal_distance(&b), 7.0);
+        assert_eq!(b.temporal_distance(&a), 7.0);
+    }
+
+    #[test]
+    fn distance_to_self_is_zero() {
+        let a = Point::new(-2.5, 7.0, 3.0);
+        assert_eq!(a.spatial_distance(&a), 0.0);
+        assert_eq!(a.temporal_distance(&a), 0.0);
+    }
+
+    #[test]
+    fn finite_check_catches_nan() {
+        assert!(Point::new(1.0, 2.0, 3.0).is_finite());
+        assert!(!Point::new(f64::NAN, 2.0, 3.0).is_finite());
+        assert!(!Point::new(1.0, f64::INFINITY, 3.0).is_finite());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let p = Point::new(1.0, 2.0, 3.0);
+        assert_eq!(format!("{p}"), "(1.000, 2.000 @ 3.000s)");
+    }
+}

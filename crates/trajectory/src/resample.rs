@@ -1,0 +1,153 @@
+//! Temporal resampling utilities.
+//!
+//! Real GPS data arrives at irregular intervals; several operations
+//! (synchronized similarity, fixed-rate export, alignment of trajectory
+//! pairs) want a uniform clock. Resampling interpolates along the
+//! trajectory's segments — the same synchronized-position model the SED
+//! error measure and the similarity query use.
+
+use crate::traj::Trajectory;
+
+/// Resamples `traj` at a fixed `interval` (seconds), starting at its first
+/// timestamp and always including the final position.
+///
+/// ```
+/// use trajectory::{Point, Trajectory};
+/// use trajectory::resample::resample_uniform;
+///
+/// let t = Trajectory::new(vec![
+///     Point::new(0.0, 0.0, 0.0),
+///     Point::new(100.0, 0.0, 10.0),
+/// ]).unwrap();
+/// let r = resample_uniform(&t, 2.5);
+/// assert_eq!(r.len(), 5); // t = 0, 2.5, 5, 7.5, 10
+/// assert!((r.point(2).x - 50.0).abs() < 1e-9);
+/// ```
+pub fn resample_uniform(traj: &Trajectory, interval: f64) -> Trajectory {
+    assert!(interval > 0.0, "interval must be positive");
+    let (t0, t1) = traj.time_span();
+    let mut pts = Vec::new();
+    let mut t = t0;
+    while t < t1 {
+        pts.push(traj.position_at(t));
+        t += interval;
+    }
+    pts.push(traj.position_at(t1));
+    Trajectory::from_sorted_unchecked(pts)
+}
+
+/// Resamples `traj` at the timestamps of `clock` (clamped to `traj`'s
+/// span), producing a trajectory aligned point-for-point with `clock` —
+/// the preprocessing step for synchronized pairwise comparison.
+pub fn resample_at(traj: &Trajectory, clock: &Trajectory) -> Trajectory {
+    let pts = clock.points().iter().map(|p| traj.position_at(p.t)).collect();
+    Trajectory::from_sorted_unchecked(pts)
+}
+
+/// Mean synchronized Euclidean distance between two trajectories over the
+/// overlap of their time spans, sampled every `interval` seconds. Returns
+/// `None` when the spans do not overlap.
+pub fn mean_sync_distance(a: &Trajectory, b: &Trajectory, interval: f64) -> Option<f64> {
+    assert!(interval > 0.0);
+    let (a0, a1) = a.time_span();
+    let (b0, b1) = b.time_span();
+    let lo = a0.max(b0);
+    let hi = a1.min(b1);
+    if lo > hi {
+        return None;
+    }
+    let mut t = lo;
+    let mut sum = 0.0;
+    let mut n = 0usize;
+    loop {
+        sum += a.position_at(t).spatial_distance(&b.position_at(t));
+        n += 1;
+        if t >= hi {
+            break;
+        }
+        t = (t + interval).min(hi);
+    }
+    Some(sum / n as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::point::Point;
+
+    fn line() -> Trajectory {
+        Trajectory::new(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(30.0, 0.0, 3.0),
+            Point::new(30.0, 70.0, 10.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn uniform_resampling_hits_the_grid() {
+        let r = resample_uniform(&line(), 1.0);
+        assert_eq!(r.len(), 11);
+        for (i, p) in r.points().iter().enumerate() {
+            assert!((p.t - i as f64).abs() < 1e-9);
+        }
+        // Positions interpolate linearly: at t=5, 2/7 of the second leg.
+        let p5 = r.point(5);
+        assert!((p5.x - 30.0).abs() < 1e-9);
+        assert!((p5.y - 20.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn final_position_always_included() {
+        let r = resample_uniform(&line(), 4.0); // grid 0,4,8 then final 10
+        assert_eq!(r.last().t, 10.0);
+        assert_eq!((r.last().x, r.last().y), (30.0, 70.0));
+    }
+
+    #[test]
+    fn resample_at_aligns_clocks() {
+        let clock = resample_uniform(&line(), 2.0);
+        let aligned = resample_at(&line(), &clock);
+        assert_eq!(aligned.len(), clock.len());
+        for (a, c) in aligned.points().iter().zip(clock.points()) {
+            assert_eq!(a.t, c.t);
+        }
+    }
+
+    #[test]
+    fn sync_distance_of_identical_is_zero() {
+        let d = mean_sync_distance(&line(), &line(), 0.5).unwrap();
+        assert!(d < 1e-12);
+    }
+
+    #[test]
+    fn sync_distance_of_parallel_offset_is_the_offset() {
+        let a = Trajectory::new(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(100.0, 0.0, 10.0),
+        ])
+        .unwrap();
+        let b = Trajectory::new(vec![
+            Point::new(0.0, 25.0, 0.0),
+            Point::new(100.0, 25.0, 10.0),
+        ])
+        .unwrap();
+        let d = mean_sync_distance(&a, &b, 1.0).unwrap();
+        assert!((d - 25.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn disjoint_spans_yield_none() {
+        let a = Trajectory::new(vec![Point::new(0.0, 0.0, 0.0), Point::new(1.0, 0.0, 1.0)])
+            .unwrap();
+        let b = Trajectory::new(vec![Point::new(0.0, 0.0, 5.0), Point::new(1.0, 0.0, 6.0)])
+            .unwrap();
+        assert!(mean_sync_distance(&a, &b, 1.0).is_none());
+    }
+
+    #[test]
+    #[should_panic(expected = "interval must be positive")]
+    fn zero_interval_is_rejected() {
+        let _ = resample_uniform(&line(), 0.0);
+    }
+}

@@ -1,0 +1,233 @@
+//! Trajectories: time-ordered sequences of [`Point`]s.
+
+use crate::bbox::Cube;
+use crate::geom;
+use crate::point::Point;
+
+/// A trajectory `T = ⟨p1, …, pn⟩`: a strictly time-ordered sequence of
+/// time-stamped points describing one object's movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trajectory {
+    points: Vec<Point>,
+}
+
+impl Trajectory {
+    /// Builds a trajectory, validating that points are finite and
+    /// non-decreasing in time. Returns `None` on invalid input.
+    pub fn new(points: Vec<Point>) -> Option<Self> {
+        if points.is_empty() {
+            return None;
+        }
+        if !points.iter().all(Point::is_finite) {
+            return None;
+        }
+        if points.windows(2).any(|w| w[1].t < w[0].t) {
+            return None;
+        }
+        Some(Self { points })
+    }
+
+    /// Builds a trajectory without validation. Intended for generators and
+    /// I/O paths that already guarantee ordering; debug builds still assert.
+    pub fn from_sorted_unchecked(points: Vec<Point>) -> Self {
+        debug_assert!(points.windows(2).all(|w| w[1].t >= w[0].t));
+        Self { points }
+    }
+
+    /// Number of points `n = |T|`.
+    #[inline]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// True when the trajectory has no points (never constructible through
+    /// [`Trajectory::new`], but kept for API completeness).
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Immutable view of the points.
+    #[inline]
+    pub fn points(&self) -> &[Point] {
+        &self.points
+    }
+
+    /// The `i`-th point.
+    #[inline]
+    pub fn point(&self, i: usize) -> &Point {
+        &self.points[i]
+    }
+
+    /// First point.
+    #[inline]
+    pub fn first(&self) -> &Point {
+        &self.points[0]
+    }
+
+    /// Last point.
+    #[inline]
+    pub fn last(&self) -> &Point {
+        &self.points[self.points.len() - 1]
+    }
+
+    /// Time span `[t1, tn]` of the trajectory.
+    pub fn time_span(&self) -> (f64, f64) {
+        (self.first().t, self.last().t)
+    }
+
+    /// Total travelled spatial length (sum of segment lengths).
+    pub fn path_length(&self) -> f64 {
+        self.points.windows(2).map(|w| w[0].spatial_distance(&w[1])).sum()
+    }
+
+    /// Mean sampling interval in seconds (0 for single-point trajectories).
+    pub fn mean_sampling_interval(&self) -> f64 {
+        if self.points.len() < 2 {
+            return 0.0;
+        }
+        let (t0, t1) = self.time_span();
+        (t1 - t0) / (self.points.len() - 1) as f64
+    }
+
+    /// Smallest cube covering all points.
+    pub fn bounding_cube(&self) -> Cube {
+        let mut c = Cube::empty();
+        for p in &self.points {
+            c.extend(p);
+        }
+        c
+    }
+
+    /// Synchronized position at time `t`, linearly interpolated along the
+    /// segment that spans `t`. Clamps to the endpoints outside the time span.
+    pub fn position_at(&self, t: f64) -> Point {
+        let pts = &self.points;
+        if t <= pts[0].t {
+            return Point::new(pts[0].x, pts[0].y, t);
+        }
+        let last = pts[pts.len() - 1];
+        if t >= last.t {
+            return Point::new(last.x, last.y, t);
+        }
+        // Binary search for the segment [i, i+1] with pts[i].t <= t < pts[i+1].t.
+        let i = match pts.binary_search_by(|p| p.t.partial_cmp(&t).expect("finite times")) {
+            Ok(i) => return Point::new(pts[i].x, pts[i].y, t),
+            Err(i) => i - 1,
+        };
+        geom::interpolate_at(&pts[i], &pts[i + 1], t)
+    }
+
+    /// Indices `[lo, hi]` (inclusive) of points whose timestamps fall within
+    /// `[ts, te]`, or `None` when the window misses the trajectory entirely.
+    pub fn window_indices(&self, ts: f64, te: f64) -> Option<(usize, usize)> {
+        if ts > te {
+            return None;
+        }
+        let pts = &self.points;
+        let lo = pts.partition_point(|p| p.t < ts);
+        let hi = pts.partition_point(|p| p.t <= te);
+        if lo >= hi {
+            None
+        } else {
+            Some((lo, hi - 1))
+        }
+    }
+
+    /// The sub-trajectory restricted to the time window `[ts, te]`
+    /// (`T[ts, te]` in the paper's kNN/similarity definitions). Returns only
+    /// sampled points inside the window; `None` when empty.
+    pub fn window(&self, ts: f64, te: f64) -> Option<Trajectory> {
+        let (lo, hi) = self.window_indices(ts, te)?;
+        Some(Trajectory::from_sorted_unchecked(self.points[lo..=hi].to_vec()))
+    }
+
+    /// Consumes the trajectory, returning its points.
+    pub fn into_points(self) -> Vec<Point> {
+        self.points
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn walk() -> Trajectory {
+        Trajectory::new(vec![
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(10.0, 0.0, 10.0),
+            Point::new(10.0, 10.0, 20.0),
+            Point::new(20.0, 10.0, 30.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_empty_and_unordered() {
+        assert!(Trajectory::new(vec![]).is_none());
+        assert!(Trajectory::new(vec![
+            Point::new(0.0, 0.0, 5.0),
+            Point::new(1.0, 1.0, 4.0),
+        ])
+        .is_none());
+        assert!(Trajectory::new(vec![Point::new(f64::NAN, 0.0, 0.0)]).is_none());
+    }
+
+    #[test]
+    fn accepts_duplicate_timestamps() {
+        // Real GPS data contains duplicate timestamps; they must be allowed.
+        assert!(Trajectory::new(vec![
+            Point::new(0.0, 0.0, 5.0),
+            Point::new(1.0, 1.0, 5.0),
+        ])
+        .is_some());
+    }
+
+    #[test]
+    fn path_length_sums_segments() {
+        assert_eq!(walk().path_length(), 30.0);
+    }
+
+    #[test]
+    fn mean_sampling_interval_uses_span() {
+        assert_eq!(walk().mean_sampling_interval(), 10.0);
+        let single = Trajectory::new(vec![Point::new(0.0, 0.0, 0.0)]).unwrap();
+        assert_eq!(single.mean_sampling_interval(), 0.0);
+    }
+
+    #[test]
+    fn position_at_interpolates_and_clamps() {
+        let t = walk();
+        let mid = t.position_at(5.0);
+        assert!((mid.x - 5.0).abs() < 1e-12);
+        assert!((mid.y - 0.0).abs() < 1e-12);
+        // Exact sample hit.
+        let hit = t.position_at(20.0);
+        assert_eq!((hit.x, hit.y), (10.0, 10.0));
+        // Clamping outside the span.
+        assert_eq!(t.position_at(-5.0).x, 0.0);
+        assert_eq!(t.position_at(99.0).x, 20.0);
+    }
+
+    #[test]
+    fn window_selects_inclusive_time_range() {
+        let t = walk();
+        let w = t.window(10.0, 20.0).unwrap();
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.first().t, 10.0);
+        assert_eq!(w.last().t, 20.0);
+        assert!(t.window(100.0, 200.0).is_none());
+        assert!(t.window(20.0, 10.0).is_none());
+    }
+
+    #[test]
+    fn bounding_cube_covers_all_points() {
+        let t = walk();
+        let c = t.bounding_cube();
+        for p in t.points() {
+            assert!(c.contains(p));
+        }
+        assert_eq!(c.x_max, 20.0);
+        assert_eq!(c.t_max, 30.0);
+    }
+}

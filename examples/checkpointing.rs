@@ -1,0 +1,49 @@
+//! Scenario: train once, deploy many times.
+//!
+//! Simplification runs offline but may be re-run as new data arrives; the
+//! trained policies are the reusable artifact. This example trains a
+//! model, checkpoints it to disk, reloads it, and shows the reloaded model
+//! behaves identically on fresh data.
+//!
+//! Run with: `cargo run --release --example checkpointing`
+
+use qdts::query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use qdts::rl4qdts::model_io;
+use qdts::rl4qdts::{train, Rl4QdtsConfig, TrainerConfig};
+use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let pool = generate(&DatasetSpec::tdrive(Scale::Smoke), 21);
+    let workload = RangeWorkloadSpec {
+        count: 20,
+        spatial_extent: 2_000.0,
+        temporal_extent: 86_400.0,
+        dist: QueryDistribution::Data,
+    };
+    let config = Rl4QdtsConfig::scaled_to(&pool).with_delta(25);
+    let (model, stats) = train(&pool, config, &TrainerConfig::small(workload), 13);
+    println!("trained in {:.2}s ({} transitions)", stats.wall_seconds, stats.transitions);
+
+    // Checkpoint: four plain-text artifacts.
+    let dir = std::env::temp_dir().join("rl4qdts_example_ckpt");
+    model_io::save(&model, &dir).expect("save checkpoint");
+    println!("checkpoint written to {}", dir.display());
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let entry = entry.unwrap();
+        println!("  {} ({} bytes)", entry.file_name().to_string_lossy(), entry.metadata().unwrap().len());
+    }
+
+    // Reload and verify bit-identical behaviour on *new* data.
+    let loaded = model_io::load(config, &dir).expect("load checkpoint");
+    let fresh = generate(&DatasetSpec::tdrive(Scale::Smoke), 22);
+    let mut rng = StdRng::seed_from_u64(4);
+    let queries = range_workload(&fresh, &workload, &mut rng);
+    let budget = fresh.total_points() / 10;
+    let a = model.simplify(&fresh, budget, &queries, 5);
+    let b = loaded.simplify(&fresh, budget, &queries, 5);
+    assert_eq!(a, b);
+    println!("reloaded model reproduces the original's output exactly ({} points kept)", a.total_points());
+    std::fs::remove_dir_all(&dir).ok();
+}

@@ -1,0 +1,100 @@
+//! Scenario: serving all four query types from one simplified database.
+//!
+//! The paper's "Remarks" (§III-B) stress that a *single* simplified
+//! database must serve range, kNN, similarity, and clustering queries.
+//! This example simplifies a Geolife-shaped database once with RL4QDTS
+//! (trained only on range queries) and then measures how every query type
+//! fares — the cross-query transferability claim.
+//!
+//! Run with: `cargo run --release --example query_serving`
+
+use qdts::query::knn::{Dissimilarity, KnnQuery};
+use qdts::query::similarity::SimilarityQuery;
+use qdts::query::traclus::{traclus, TraclusParams};
+use qdts::query::{
+    f1_pairs, f1_sets, mean_f1, range_workload, traj_query_workload, QueryDistribution,
+    RangeWorkloadSpec,
+};
+use qdts::rl4qdts::{train, Rl4QdtsConfig, TrainerConfig};
+use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let spec = DatasetSpec::geolife(Scale::Smoke).with_trajectories(36);
+    let pool = generate(&spec, 77);
+    let (train_pool, db) = pool.split_at(12);
+
+    // Train on range queries only — the paper's strategy.
+    let workload = RangeWorkloadSpec {
+        count: 30,
+        spatial_extent: 1_000.0,
+        temporal_extent: 3_600.0,
+        dist: QueryDistribution::Data,
+    };
+    let config = Rl4QdtsConfig::scaled_to(&train_pool).with_delta(25);
+    let (model, _) = train(&train_pool, config, &TrainerConfig::small(workload), 9);
+
+    let mut rng = StdRng::seed_from_u64(3);
+    let state_queries = range_workload(&db, &workload, &mut rng);
+    let budget = db.total_points() / 30;
+    let simplified = model.simplify(&db, budget, &state_queries, 4).materialize(&db);
+    println!(
+        "one simplified database: {} -> {} points\n",
+        db.total_points(),
+        budget
+    );
+
+    // 1. Range queries.
+    let range_qs = range_workload(&db, &workload, &mut rng);
+    let range_scores: Vec<_> = range_qs
+        .iter()
+        .map(|q| f1_sets(&qdts::query::range_query(&db, q), &qdts::query::range_query(&simplified, q)))
+        .collect();
+    println!("range query F1:       {:.3}", mean_f1(&range_scores));
+
+    // 2. kNN queries under both dissimilarities.
+    let knn_specs = traj_query_workload(&db, 8, 7.0 * 86_400.0, &mut rng);
+    for (name, measure) in [
+        ("kNN (EDR) F1:      ", Dissimilarity::Edr { eps: 100.0 }),
+        ("kNN (t2vec) F1:    ", Dissimilarity::t2vec_default()),
+    ] {
+        let scores: Vec<_> = knn_specs
+            .iter()
+            .map(|s| {
+                let q = KnnQuery {
+                    query: db.get(s.query).clone(),
+                    ts: s.ts,
+                    te: s.te,
+                    k: 3,
+                    measure,
+                };
+                f1_sets(&q.execute(&db), &q.execute(&simplified))
+            })
+            .collect();
+        println!("{name}  {:.3}", mean_f1(&scores));
+    }
+
+    // 3. Similarity queries.
+    let sim_specs = traj_query_workload(&db, 8, 7.0 * 86_400.0, &mut rng);
+    let sim_scores: Vec<_> = sim_specs
+        .iter()
+        .map(|s| {
+            let q = SimilarityQuery {
+                query: db.get(s.query).clone(),
+                ts: s.ts,
+                te: s.te,
+                delta: 1_000.0,
+                step: 600.0,
+            };
+            f1_sets(&q.execute(&db), &q.execute(&simplified))
+        })
+        .collect();
+    println!("similarity query F1:  {:.3}", mean_f1(&sim_scores));
+
+    // 4. TRACLUS clustering (co-clustered trajectory pairs).
+    let params = TraclusParams::default();
+    let truth = traclus(&db, &params).co_clustered_pairs();
+    let ours = traclus(&simplified, &params).co_clustered_pairs();
+    println!("clustering pair F1:   {:.3}", f1_pairs(&truth, &ours).f1);
+}

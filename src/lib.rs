@@ -1,0 +1,26 @@
+//! Umbrella crate for the RL4QDTS reproduction.
+//!
+//! Re-exports the whole stack so downstream users can depend on a single
+//! crate:
+//!
+//! - [`trajectory`]: data model, geometry, error measures, generators, I/O;
+//! - [`index`]: the spatio-temporal octree;
+//! - [`query`]: range / kNN / similarity / clustering engine + F1 metrics;
+//! - [`simp`]: the EDTS baselines (Top-Down, Bottom-Up, Span-Search, RLTS+);
+//! - [`rl`]: the from-scratch NN/DQN toolkit;
+//! - [`rl4qdts`]: the paper's contribution — query-accuracy-driven
+//!   collective simplification.
+//!
+//! See `examples/quickstart.rs` for the 60-second tour.
+
+pub use traj_index as index;
+pub use traj_query as query;
+pub use traj_simp as simp;
+pub use tiny_rl as rl;
+pub use trajectory;
+
+pub use rl4qdts;
+
+pub use rl4qdts::{PolicyVariant, Rl4Qdts, Rl4QdtsConfig, TrainerConfig};
+pub use traj_simp::Simplifier;
+pub use trajectory::{Point, Simplification, Trajectory, TrajectoryDb};
