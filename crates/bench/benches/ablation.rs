@@ -10,11 +10,13 @@ use traj_simp::Simplifier;
 use trajectory::gen::{generate, DatasetSpec, Scale};
 
 fn bench_ablation(c: &mut Criterion) {
-    let db = generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(12), 31);
+    let db = generate(
+        &DatasetSpec::geolife(Scale::Smoke).with_trajectories(12),
+        31,
+    );
     let train_db = generate(&DatasetSpec::geolife(Scale::Smoke), 32);
     let model = train_rl4qdts(&train_db, QueryDistribution::Data, 8, 33);
-    let budget =
-        ((db.total_points() as f64 * 0.05) as usize).max(traj_simp::min_points(&db));
+    let budget = ((db.total_points() as f64 * 0.05) as usize).max(traj_simp::min_points(&db));
 
     let mut group = c.benchmark_group("table2_variant_time");
     group.sample_size(10);

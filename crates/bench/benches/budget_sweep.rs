@@ -20,18 +20,21 @@ fn bench_budget_sweep(c: &mut Criterion) {
     let mut group = c.benchmark_group("fig8b_time_vs_budget");
     group.sample_size(10);
     for ratio in [0.05f64, 0.15, 0.4] {
-        let budget =
-            ((db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&db));
+        let budget = ((db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&db));
         let label = format!("{:.0}%", ratio * 100.0);
 
         let td = TopDown::new(ErrorMeasure::Ped, Adaptation::Each);
-        group.bench_with_input(BenchmarkId::new("TopDown(E,PED)", &label), &budget, |b, &w| {
-            b.iter(|| td.simplify(&db, w))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("TopDown(E,PED)", &label),
+            &budget,
+            |b, &w| b.iter(|| td.simplify(&db, w)),
+        );
         let bu = BottomUp::new(ErrorMeasure::Sed, Adaptation::Each);
-        group.bench_with_input(BenchmarkId::new("BottomUp(E,SED)", &label), &budget, |b, &w| {
-            b.iter(|| bu.simplify(&db, w))
-        });
+        group.bench_with_input(
+            BenchmarkId::new("BottomUp(E,SED)", &label),
+            &budget,
+            |b, &w| b.iter(|| bu.simplify(&db, w)),
+        );
         let rl = Rl4QdtsSimplifier {
             model: model.clone(),
             state_queries: state_workload(&db, QueryDistribution::Data, 8, 24),

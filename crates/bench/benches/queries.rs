@@ -1,15 +1,20 @@
 //! Query-operator benchmarks: the evaluation pipeline's building blocks
 //! (range scan, EDR dynamic program, t2vec embedding, similarity check,
-//! TRACLUS clustering).
+//! TRACLUS clustering), plus the headline comparison of this crate —
+//! the indexed, parallel `QueryEngine` versus the naive linear scan on a
+//! T-Drive-scale batch range workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use traj_query::knn::{Dissimilarity, KnnQuery};
 use traj_query::similarity::SimilarityQuery;
 use traj_query::t2vec::T2vecEmbedder;
 use traj_query::traclus::{traclus, TraclusParams};
-use traj_query::{edr, range_workload, QueryDistribution, RangeWorkloadSpec};
+use traj_query::{
+    edr, range_workload, BackendKind, EngineConfig, QueryDistribution, QueryEngine,
+    RangeWorkloadSpec,
+};
 use trajectory::gen::{generate, DatasetSpec, Scale};
 
 fn bench_queries(c: &mut Criterion) {
@@ -56,8 +61,7 @@ fn bench_queries(c: &mut Criterion) {
         b.iter(|| sim.execute(std::hint::black_box(&db)))
     });
 
-    let small: trajectory::TrajectoryDb =
-        db.trajectories().iter().take(8).cloned().collect();
+    let small: trajectory::TrajectoryDb = db.trajectories().iter().take(8).cloned().collect();
     let mut group = c.benchmark_group("traclus");
     group.sample_size(10);
     group.bench_function("traclus_8_trajectories", |b| {
@@ -66,5 +70,37 @@ fn bench_queries(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries);
+/// The tentpole number: one batch range workload (paper query shape,
+/// 2 km × 2 km × 7 days, data-distributed) over a T-Drive-shaped database,
+/// executed by the naive per-query linear scan versus the `QueryEngine`
+/// with each index backend. The acceptance bar is octree ≥ 5× over scan.
+fn bench_batch_workload_indexed_vs_scan(c: &mut Criterion) {
+    let db = generate(&DatasetSpec::tdrive(Scale::Small).with_trajectories(400), 7);
+    let spec = RangeWorkloadSpec::paper_default(100, QueryDistribution::Data);
+    let mut rng = StdRng::seed_from_u64(11);
+    let queries = range_workload(&db, &spec, &mut rng);
+
+    let mut group = c.benchmark_group("batch_range_workload");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("linear_scan", db.total_points()), |b| {
+        b.iter(|| traj_query::range_query_batch(std::hint::black_box(&db), &queries))
+    });
+    for backend in [
+        BackendKind::Scan,
+        BackendKind::Octree,
+        BackendKind::MedianKd,
+    ] {
+        let engine = QueryEngine::over(&db, EngineConfig::default().with_backend(backend));
+        group.bench_function(BenchmarkId::new(backend.label(), db.total_points()), |b| {
+            b.iter(|| std::hint::black_box(&engine).range_batch(&queries))
+        });
+    }
+    // Index construction cost, for the amortization story.
+    group.bench_function(BenchmarkId::new("octree_build", db.total_points()), |b| {
+        b.iter(|| QueryEngine::over(std::hint::black_box(&db), EngineConfig::octree()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_queries, bench_batch_workload_indexed_vs_scan);
 criterion_main!(benches);

@@ -15,7 +15,10 @@ fn bench_simplifiers(c: &mut Criterion) {
         Adaptation::Each,
         3,
         &db,
-        &RltsTrainConfig { episodes: 5, ..RltsTrainConfig::default() },
+        &RltsTrainConfig {
+            episodes: 5,
+            ..RltsTrainConfig::default()
+        },
         7,
     );
 

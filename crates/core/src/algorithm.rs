@@ -1,13 +1,14 @@
 //! The RL4QDTS algorithm (Algorithm 1–3): collective, query-aware
 //! simplification of a trajectory database with two cooperating agents.
 
-use crate::config::{IndexKind, PolicyVariant, Rl4QdtsConfig};
+use crate::config::{PolicyVariant, Rl4QdtsConfig};
 use crate::cube_agent::{cube_mask, cube_state, forced_stop, STOP_ACTION};
 use crate::point_agent::point_state;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use tiny_rl::Dqn;
-use traj_index::{CubeIndex, MedianTree, MedianTreeConfig, NodeId, Octree, OctreeConfig};
+use traj_index::{CubeIndex, NodeId};
+use traj_query::QueryEngine;
 use trajectory::{Cube, Simplification, TrajectoryDb};
 
 /// The RL4QDTS simplifier: a trained Agent-Cube and Agent-Point pair plus
@@ -27,20 +28,35 @@ impl Rl4Qdts {
     /// starting point of training.
     pub fn untrained(config: Rl4QdtsConfig, seed: u64) -> Self {
         let cube_agent = Dqn::new(
-            &[Rl4QdtsConfig::CUBE_STATE_DIM, 25, Rl4QdtsConfig::CUBE_ACTION_DIM],
+            &[
+                Rl4QdtsConfig::CUBE_STATE_DIM,
+                25,
+                Rl4QdtsConfig::CUBE_ACTION_DIM,
+            ],
             config.dqn,
             seed,
         );
-        let point_agent =
-            Dqn::new(&[config.point_state_dim(), 25, config.k], config.dqn, seed ^ 0x9e3779b97f4a7c15);
-        Self { config, cube_agent, point_agent }
+        let point_agent = Dqn::new(
+            &[config.point_state_dim(), 25, config.k],
+            config.dqn,
+            seed ^ 0x9e3779b97f4a7c15,
+        );
+        Self {
+            config,
+            cube_agent,
+            point_agent,
+        }
     }
 
     /// Rebuilds from deserialized agents (see [`crate::model_io`]).
     pub fn from_agents(config: Rl4QdtsConfig, cube_agent: Dqn, point_agent: Dqn) -> Self {
         assert_eq!(cube_agent.state_dim(), Rl4QdtsConfig::CUBE_STATE_DIM);
         assert_eq!(point_agent.state_dim(), config.point_state_dim());
-        Self { config, cube_agent, point_agent }
+        Self {
+            config,
+            cube_agent,
+            point_agent,
+        }
     }
 
     /// Access to the trained agents (serialization).
@@ -64,8 +80,9 @@ impl Rl4Qdts {
     }
 
     /// Algorithm 1 parameterized by the ablation variant (Table II).
-    /// Builds the configured index ([`IndexKind`]) and runs the insertion
-    /// loop against it.
+    /// Builds a [`QueryEngine`] with the configured index backend
+    /// ([`crate::config::IndexKind`]) and runs the insertion loop against
+    /// its shared cube hierarchy.
     pub fn simplify_variant(
         &self,
         db: &TrajectoryDb,
@@ -74,30 +91,12 @@ impl Rl4Qdts {
         seed: u64,
         variant: PolicyVariant,
     ) -> Simplification {
-        match self.config.index {
-            IndexKind::Octree => {
-                let mut tree = Octree::build(
-                    db,
-                    OctreeConfig {
-                        max_depth: self.config.max_depth,
-                        leaf_capacity: self.config.leaf_capacity,
-                    },
-                );
-                tree.assign_queries(state_queries);
-                self.simplify_with_index(db, budget, &tree, seed, variant)
-            }
-            IndexKind::MedianKdTree => {
-                let mut tree = MedianTree::build(
-                    db,
-                    MedianTreeConfig {
-                        max_depth: self.config.max_depth,
-                        leaf_capacity: self.config.leaf_capacity,
-                    },
-                );
-                tree.assign_queries(state_queries);
-                self.simplify_with_index(db, budget, &tree, seed, variant)
-            }
-        }
+        let mut engine = QueryEngine::over(db, self.config.engine_config());
+        engine.assign_queries(state_queries);
+        let tree = engine
+            .cube_index()
+            .expect("rl4qdts engines are always indexed");
+        self.simplify_with_index(db, budget, tree, seed, variant)
     }
 
     /// Algorithm 1 against an already-built, query-assigned index.
@@ -165,7 +164,12 @@ impl Rl4Qdts {
     }
 
     /// Algorithm 2: Agent-Cube's greedy top-down traversal from `node`.
-    fn descend<I: CubeIndex + ?Sized>(&self, tree: &I, mut node: NodeId, agent: &mut Dqn) -> NodeId {
+    fn descend<I: CubeIndex + ?Sized>(
+        &self,
+        tree: &I,
+        mut node: NodeId,
+        agent: &mut Dqn,
+    ) -> NodeId {
         loop {
             if forced_stop(tree, node, self.config.max_depth) {
                 return node;
@@ -222,8 +226,9 @@ fn fill_remaining(db: &TrajectoryDb, simp: &mut Simplification, budget: usize) {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use trajectory::gen::{generate, DatasetSpec, Scale};
+    use crate::config::IndexKind;
     use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+    use trajectory::gen::{generate, DatasetSpec, Scale};
 
     fn setup() -> (TrajectoryDb, Vec<Cube>, Rl4QdtsConfig) {
         let db = generate(&DatasetSpec::geolife(Scale::Smoke), 17);
@@ -289,7 +294,12 @@ mod tests {
             PolicyVariant::NEITHER,
         ] {
             let simp = model.simplify_variant(&db, budget, &queries, 9, v);
-            assert_eq!(simp.total_points(), budget.max(2 * db.len()), "{}", v.label());
+            assert_eq!(
+                simp.total_points(),
+                budget.max(2 * db.len()),
+                "{}",
+                v.label()
+            );
         }
     }
 
@@ -323,7 +333,10 @@ mod tests {
         let a = model_oct.simplify(&db, budget, &queries, 3);
         let b = model_kd.simplify(&db, budget, &queries, 3);
         assert_eq!(a.total_points(), b.total_points());
-        assert_ne!(a, b, "different partitionings should select different points");
+        assert_ne!(
+            a, b,
+            "different partitionings should select different points"
+        );
     }
 
     #[test]

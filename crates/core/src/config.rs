@@ -17,13 +17,25 @@ pub struct PolicyVariant {
 
 impl PolicyVariant {
     /// The full method.
-    pub const FULL: Self = Self { use_cube_agent: true, use_point_agent: true };
+    pub const FULL: Self = Self {
+        use_cube_agent: true,
+        use_point_agent: true,
+    };
     /// Table II row "w/o Agent-Cube".
-    pub const NO_CUBE: Self = Self { use_cube_agent: false, use_point_agent: true };
+    pub const NO_CUBE: Self = Self {
+        use_cube_agent: false,
+        use_point_agent: true,
+    };
     /// Table II row "w/o Agent-Point".
-    pub const NO_POINT: Self = Self { use_cube_agent: true, use_point_agent: false };
+    pub const NO_POINT: Self = Self {
+        use_cube_agent: true,
+        use_point_agent: false,
+    };
     /// Table II row "w/o Agent-Cube and Agent-Point".
-    pub const NEITHER: Self = Self { use_cube_agent: false, use_point_agent: false };
+    pub const NEITHER: Self = Self {
+        use_cube_agent: false,
+        use_point_agent: false,
+    };
 
     /// Display label matching Table II.
     pub fn label(&self) -> &'static str {
@@ -52,10 +64,22 @@ pub enum IndexKind {
 
 impl IndexKind {
     /// Display label for experiment tables.
+    #[must_use]
     pub fn label(self) -> &'static str {
         match self {
             IndexKind::Octree => "octree",
             IndexKind::MedianKdTree => "median-kd",
+        }
+    }
+
+    /// The query-engine backend corresponding to this index kind. RL4QDTS
+    /// always runs indexed (the agents need a cube hierarchy), so there is
+    /// no mapping to [`traj_query::BackendKind::Scan`].
+    #[must_use]
+    pub fn backend(self) -> traj_query::BackendKind {
+        match self {
+            IndexKind::Octree => traj_query::BackendKind::Octree,
+            IndexKind::MedianKdTree => traj_query::BackendKind::MedianKd,
         }
     }
 }
@@ -148,6 +172,18 @@ impl Rl4QdtsConfig {
         self
     }
 
+    /// The [`traj_query::QueryEngine`] configuration matching this config:
+    /// same index kind, same tree shape. Using one engine for both query
+    /// execution and Agent-Cube's traversal shares a single index build.
+    #[must_use]
+    pub fn engine_config(&self) -> traj_query::EngineConfig {
+        traj_query::EngineConfig {
+            backend: self.index.backend(),
+            max_depth: self.max_depth,
+            leaf_capacity: self.leaf_capacity,
+        }
+    }
+
     /// Agent-Cube's state dimension: 8 children × 2 features (Eq. 4).
     pub const CUBE_STATE_DIM: usize = 16;
     /// Agent-Cube's action dimension: 8 children + stop (Eq. 5).
@@ -188,7 +224,11 @@ mod tests {
 
     #[test]
     fn builders_override_fields() {
-        let c = Rl4QdtsConfig::paper().with_k(4).with_delta(10).with_start_level(2).with_max_depth(5);
+        let c = Rl4QdtsConfig::paper()
+            .with_k(4)
+            .with_delta(10)
+            .with_start_level(2)
+            .with_max_depth(5);
         assert_eq!(c.k, 4);
         assert_eq!(c.delta, 10);
         assert_eq!(c.start_level, 2);
@@ -201,6 +241,9 @@ mod tests {
         assert_eq!(PolicyVariant::FULL.label(), "RL4QDTS");
         assert_eq!(PolicyVariant::NO_CUBE.label(), "w/o Agent-Cube");
         assert_eq!(PolicyVariant::NO_POINT.label(), "w/o Agent-Point");
-        assert_eq!(PolicyVariant::NEITHER.label(), "w/o Agent-Cube and Agent-Point");
+        assert_eq!(
+            PolicyVariant::NEITHER.label(),
+            "w/o Agent-Cube and Agent-Point"
+        );
     }
 }

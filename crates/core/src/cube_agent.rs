@@ -57,7 +57,13 @@ mod tests {
 
     fn tree() -> Octree {
         let db = generate(&DatasetSpec::geolife(Scale::Smoke), 3);
-        let mut t = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 32 });
+        let mut t = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 6,
+                leaf_capacity: 32,
+            },
+        );
         let bc = db.bounding_cube();
         let (cx, cy, ct) = bc.center();
         t.assign_queries(&[Cube::centered(cx, cy, ct, 1000.0, 1000.0, 10_000.0)]);
@@ -80,7 +86,9 @@ mod tests {
     fn leaf_state_is_none() {
         let t = tree();
         // Find any leaf.
-        let leaf = (0..t.len() as NodeId).find(|&id| t.node(id).is_leaf()).unwrap();
+        let leaf = (0..t.len() as NodeId)
+            .find(|&id| t.node(id).is_leaf())
+            .unwrap();
         assert!(cube_state(&t, leaf).is_none());
         assert!(forced_stop(&t, leaf, 99));
     }

@@ -8,9 +8,7 @@ use crate::algorithm::Rl4Qdts;
 use crate::config::Rl4QdtsConfig;
 use std::io;
 use std::path::Path;
-use tiny_rl::nn::serialize::{
-    mlp_from_str, mlp_to_string, whitener_from_str, whitener_to_string,
-};
+use tiny_rl::nn::serialize::{mlp_from_str, mlp_to_string, whitener_from_str, whitener_to_string};
 use tiny_rl::Dqn;
 
 /// Error loading or saving a checkpoint.
@@ -44,9 +42,15 @@ pub fn save(model: &Rl4Qdts, dir: &Path) -> Result<(), CheckpointError> {
     std::fs::create_dir_all(dir)?;
     let (cube, point) = model.agents();
     std::fs::write(dir.join("cube.mlp"), mlp_to_string(cube.online()))?;
-    std::fs::write(dir.join("cube.whitener"), whitener_to_string(cube.whitener()))?;
+    std::fs::write(
+        dir.join("cube.whitener"),
+        whitener_to_string(cube.whitener()),
+    )?;
     std::fs::write(dir.join("point.mlp"), mlp_to_string(point.online()))?;
-    std::fs::write(dir.join("point.whitener"), whitener_to_string(point.whitener()))?;
+    std::fs::write(
+        dir.join("point.whitener"),
+        whitener_to_string(point.whitener()),
+    )?;
     Ok(())
 }
 
@@ -78,8 +82,8 @@ mod tests {
     use super::*;
     use rand::rngs::StdRng;
     use rand::SeedableRng;
-    use trajectory::gen::{generate, DatasetSpec, Scale};
     use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+    use trajectory::gen::{generate, DatasetSpec, Scale};
 
     #[test]
     fn checkpoint_round_trips_behaviour() {

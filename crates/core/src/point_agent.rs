@@ -36,11 +36,7 @@ pub struct PointState {
 /// Computes `(v_s, v_t)` (Eq. 6) of point `r` w.r.t. its *current* anchor
 /// segment in the simplified database. Returns `None` when the point is
 /// already inserted (kept points are excluded from the state definition).
-pub fn point_value(
-    db: &TrajectoryDb,
-    simp: &Simplification,
-    r: PointRef,
-) -> Option<(f64, f64)> {
+pub fn point_value(db: &TrajectoryDb, simp: &Simplification, r: PointRef) -> Option<(f64, f64)> {
     let (s, e) = simp.anchor(r.traj, r.idx);
     if s == e {
         return None; // already in D'
@@ -101,7 +97,11 @@ pub fn point_state<I: CubeIndex + ?Sized>(
         mask[i] = true;
     }
     state.resize(2 * k, 0.0);
-    Some(PointState { state, mask, candidates: nominations })
+    Some(PointState {
+        state,
+        mask,
+        candidates: nominations,
+    })
 }
 
 #[cfg(test)]
@@ -127,7 +127,13 @@ mod tests {
         ])
         .unwrap();
         let db = TrajectoryDb::new(vec![t1, t2]);
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 3, leaf_capacity: 100 });
+        let tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 3,
+                leaf_capacity: 100,
+            },
+        );
         let simp = Simplification::most_simplified(&db);
         (db, tree, simp)
     }
@@ -174,7 +180,9 @@ mod tests {
         simp.insert(0, 2);
         let ps = point_state(&db, &simp, &tree, tree.root(), &cfg).unwrap();
         assert!(
-            ps.candidates.iter().all(|c| c.point != PointRef { traj: 0, idx: 2 }),
+            ps.candidates
+                .iter()
+                .all(|c| c.point != PointRef { traj: 0, idx: 2 }),
             "inserted point must not be re-nominated"
         );
     }

@@ -6,81 +6,101 @@
 //! database are the ground truth). The telescoping argument of Eq. 11 makes
 //! maximizing ΣR equivalent to minimizing the final query-result
 //! difference — the QDTS objective itself.
+//!
+//! Execution goes through [`traj_query::QueryEngine`]: the ground truth
+//! `Q(D)` is computed once with index pruning, and the simplification's
+//! results are *maintained* as points are inserted
+//! ([`traj_query::MaintainedWorkload`]) — closing a reward window is O(W)
+//! counter reads instead of a full workload rescan.
 
-use traj_query::metrics::{f1_sets, F1Score};
-use trajectory::{Cube, Simplification, TrajId, TrajectoryDb};
+use traj_query::QueryEngine;
+use trajectory::{Cube, Point, Simplification, TrajId, TrajectoryDb};
 
 /// Evaluates range queries against a simplification *without*
 /// materializing the simplified database: a trajectory matches when one of
 /// its kept points falls inside the query cube.
-pub fn range_query_simplified(
-    db: &TrajectoryDb,
-    simp: &Simplification,
-    q: &Cube,
-) -> Vec<TrajId> {
+///
+/// This is the linear-scan reference semantic; the engine's
+/// [`QueryEngine::range_simplified`] executes the same query with index
+/// pruning.
+#[must_use]
+pub fn range_query_simplified(db: &TrajectoryDb, simp: &Simplification, q: &Cube) -> Vec<TrajId> {
     db.iter()
         .filter(|(id, t)| {
-            simp.kept(*id).iter().any(|&idx| q.contains(t.point(idx as usize)))
+            simp.kept(*id)
+                .iter()
+                .any(|&idx| q.contains(t.point(idx as usize)))
         })
         .map(|(id, _)| id)
         .collect()
 }
 
 /// Tracks `diff(Q(D), Q(D'))` across training and emits window rewards.
+///
+/// The tracker is fed every insertion through [`RewardTracker::on_insert`],
+/// so the current difference is always available in O(W) from maintained
+/// counters; [`RewardTracker::window_reward`] never touches the database.
 #[derive(Debug, Clone)]
 pub struct RewardTracker {
-    queries: Vec<Cube>,
-    truth: Vec<Vec<TrajId>>,
+    workload: traj_query::MaintainedWorkload,
     last_diff: f64,
 }
 
 impl RewardTracker {
-    /// Computes the ground truth `Q(D)` for the workload and initializes
-    /// the running difference against `simp` (usually the most simplified
-    /// database, making the first window's baseline the constant `C` of
-    /// Eq. 11).
-    pub fn new(db: &TrajectoryDb, queries: Vec<Cube>, simp: &Simplification) -> Self {
-        let truth: Vec<Vec<TrajId>> =
-            queries.iter().map(|q| traj_query::range_query(db, q)).collect();
-        let mut tracker = Self { queries, truth, last_diff: 0.0 };
-        tracker.last_diff = tracker.diff(db, simp);
-        tracker
+    /// Computes the ground truth `Q(D)` for the workload through `engine`
+    /// and initializes the running difference against `simp` (usually the
+    /// most simplified database, making the first window's baseline the
+    /// constant `C` of Eq. 11).
+    #[must_use]
+    pub fn new(engine: &QueryEngine<'_>, queries: Vec<Cube>, simp: &Simplification) -> Self {
+        let workload = engine.maintained_workload(queries, simp);
+        let last_diff = workload.diff();
+        Self {
+            workload,
+            last_diff,
+        }
     }
 
     /// Number of workload queries.
+    #[must_use]
     pub fn num_queries(&self) -> usize {
-        self.queries.len()
+        self.workload.len()
     }
 
-    /// `diff(Q(D), Q(D'))`: one minus the mean F1 of the workload on the
-    /// simplification.
-    pub fn diff(&self, db: &TrajectoryDb, simp: &Simplification) -> f64 {
-        if self.queries.is_empty() {
-            return 0.0;
-        }
-        let scores: Vec<F1Score> = self
-            .queries
-            .iter()
-            .zip(&self.truth)
-            .map(|(q, truth)| {
-                let result = range_query_simplified(db, simp, q);
-                f1_sets(truth, &result)
-            })
-            .collect();
-        traj_query::query_diff(&scores)
+    /// Records that point `idx` of trajectory `traj`, located at `p`, was
+    /// inserted into the simplification.
+    pub fn on_insert(&mut self, traj: TrajId, p: &Point) {
+        self.workload.insert(traj, p);
+    }
+
+    /// The current `diff(Q(D), Q(D'))` of the tracked simplification, from
+    /// maintained counters (no database access).
+    #[must_use]
+    pub fn diff(&self) -> f64 {
+        self.workload.diff()
+    }
+
+    /// `diff(Q(D), Q(D'))` for an *arbitrary* simplification of the same
+    /// database, recomputed from scratch through the engine. Useful for
+    /// scoring unrelated simplifications against the tracker's ground
+    /// truth.
+    #[must_use]
+    pub fn diff_of(&self, engine: &QueryEngine<'_>, simp: &Simplification) -> f64 {
+        self.workload.diff_of(engine, simp)
     }
 
     /// Closes a reward window (Eq. 10): returns
     /// `R = diff_before − diff_now` and makes `diff_now` the new baseline.
     /// Positive when the window's insertions improved query accuracy.
-    pub fn window_reward(&mut self, db: &TrajectoryDb, simp: &Simplification) -> f64 {
-        let now = self.diff(db, simp);
+    pub fn window_reward(&mut self) -> f64 {
+        let now = self.workload.diff();
         let r = self.last_diff - now;
         self.last_diff = now;
         r
     }
 
     /// The current baseline difference.
+    #[must_use]
     pub fn last_diff(&self) -> f64 {
         self.last_diff
     }
@@ -89,6 +109,7 @@ impl RewardTracker {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use traj_query::EngineConfig;
     use trajectory::{Point, Trajectory};
 
     /// A trajectory passing through the query box only at its midpoint.
@@ -111,6 +132,19 @@ mod tests {
         Cube::centered(50.0, 0.0, 50.0, 5.0, 5.0, 5.0)
     }
 
+    /// Inserts into both the simplification and the tracker.
+    fn insert(
+        tracker: &mut RewardTracker,
+        db: &TrajectoryDb,
+        simp: &mut Simplification,
+        id: usize,
+        idx: u32,
+    ) {
+        if simp.insert(id, idx) {
+            tracker.on_insert(id, db.get(id).point(idx as usize));
+        }
+    }
+
     #[test]
     fn simplified_query_sees_only_kept_points() {
         let db = db();
@@ -120,16 +154,21 @@ mod tests {
         let mut richer = simp.clone();
         richer.insert(0, 1);
         assert_eq!(range_query_simplified(&db, &richer, &mid_query()), vec![0]);
+        // The engine's pruned execution agrees.
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
+        assert_eq!(engine.range_simplified(&richer, &mid_query()), vec![0]);
+        assert!(engine.range_simplified(&simp, &mid_query()).is_empty());
     }
 
     #[test]
     fn reward_is_positive_when_accuracy_improves() {
         let db = db();
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
         let mut simp = Simplification::most_simplified(&db);
-        let mut tracker = RewardTracker::new(&db, vec![mid_query()], &simp);
+        let mut tracker = RewardTracker::new(&engine, vec![mid_query()], &simp);
         assert!(tracker.last_diff() > 0.99, "endpoints miss the query");
-        simp.insert(0, 1);
-        let r = tracker.window_reward(&db, &simp);
+        insert(&mut tracker, &db, &mut simp, 0, 1);
+        let r = tracker.window_reward();
         assert!(r > 0.99, "restoring the hit should earn ~1.0, got {r}");
         assert!(tracker.last_diff() < 1e-9);
     }
@@ -137,12 +176,13 @@ mod tests {
     #[test]
     fn useless_insertions_earn_zero() {
         let db = db();
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
         let mut simp = Simplification::most_simplified(&db);
-        let mut tracker = RewardTracker::new(&db, vec![mid_query()], &simp);
+        let mut tracker = RewardTracker::new(&engine, vec![mid_query()], &simp);
         let before = tracker.last_diff();
         // Inserting a point of the far trajectory changes nothing.
-        simp.insert(1, 0);
-        let r = tracker.window_reward(&db, &simp);
+        insert(&mut tracker, &db, &mut simp, 1, 0);
+        let r = tracker.window_reward();
         assert_eq!(r, 0.0);
         assert_eq!(tracker.last_diff(), before);
     }
@@ -151,24 +191,37 @@ mod tests {
     fn rewards_telescope_to_total_improvement() {
         // Eq. 11: the sum of window rewards equals initial minus final diff.
         let db = db();
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
         let mut simp = Simplification::most_simplified(&db);
-        let mut tracker = RewardTracker::new(&db, vec![mid_query()], &simp);
+        let mut tracker = RewardTracker::new(&engine, vec![mid_query()], &simp);
         let initial = tracker.last_diff();
         let mut total = 0.0;
-        simp.insert(1, 0);
-        total += tracker.window_reward(&db, &simp);
-        simp.insert(0, 1);
-        total += tracker.window_reward(&db, &simp);
+        insert(&mut tracker, &db, &mut simp, 1, 0);
+        total += tracker.window_reward();
+        insert(&mut tracker, &db, &mut simp, 0, 1);
+        total += tracker.window_reward();
         let final_diff = tracker.last_diff();
         assert!((total - (initial - final_diff)).abs() < 1e-12);
     }
 
     #[test]
+    fn maintained_diff_equals_scratch_recomputation() {
+        let db = db();
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
+        let mut simp = Simplification::most_simplified(&db);
+        let mut tracker = RewardTracker::new(&engine, vec![mid_query(), db.bounding_cube()], &simp);
+        assert!((tracker.diff() - tracker.diff_of(&engine, &simp)).abs() < 1e-12);
+        insert(&mut tracker, &db, &mut simp, 0, 1);
+        assert!((tracker.diff() - tracker.diff_of(&engine, &simp)).abs() < 1e-12);
+    }
+
+    #[test]
     fn empty_workload_is_neutral() {
         let db = db();
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
         let simp = Simplification::most_simplified(&db);
-        let mut tracker = RewardTracker::new(&db, vec![], &simp);
+        let mut tracker = RewardTracker::new(&engine, vec![], &simp);
         assert_eq!(tracker.last_diff(), 0.0);
-        assert_eq!(tracker.window_reward(&db, &simp), 0.0);
+        assert_eq!(tracker.window_reward(), 0.0);
     }
 }

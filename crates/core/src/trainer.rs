@@ -15,9 +15,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tiny_rl::{Dqn, Transition};
-use traj_index::{CubeIndex, MedianTree, MedianTreeConfig, Octree, OctreeConfig};
+use traj_query::{range_workload, QueryEngine, RangeWorkloadSpec};
 use trajectory::{Simplification, TrajectoryDb};
-use traj_query::{range_workload, RangeWorkloadSpec};
 
 /// Training-loop configuration.
 #[derive(Debug, Clone, Copy)]
@@ -38,7 +37,13 @@ pub struct TrainerConfig {
 impl TrainerConfig {
     /// A laptop-scale default: smaller pool, same structure.
     pub fn small(workload: RangeWorkloadSpec) -> Self {
-        Self { num_dbs: 4, trajs_per_db: 40, episodes_per_db: 2, ratio: 0.02, workload }
+        Self {
+            num_dbs: 4,
+            trajs_per_db: 40,
+            episodes_per_db: 2,
+            ratio: 0.02,
+            workload,
+        }
     }
 }
 
@@ -127,12 +132,18 @@ pub fn train(
         if db.is_empty() || db.total_points() < 8 {
             continue;
         }
+        // One engine per training database: the index is built once and
+        // shared between query execution (rewards) and Agent-Cube's
+        // traversal across all of the database's episodes.
+        let mut engine = QueryEngine::new(db, config.engine_config());
         for episode in 0..trainer.episodes_per_db {
             let ep_seed = seed
                 .wrapping_add(db_round as u64 * 7919)
                 .wrapping_add(episode as u64 * 104_729);
-            let (r, w, ins, trans) =
-                run_episode(&mut model, &db, trainer, ep_seed, &mut rng);
+            let mut wl_rng = StdRng::seed_from_u64(ep_seed);
+            let queries = range_workload(engine.db(), &trainer.workload, &mut wl_rng);
+            engine.assign_queries(&queries);
+            let (r, w, ins, trans) = run_episode(&mut model, &engine, trainer, queries, &mut rng);
             reward_sum += r;
             windows += w;
             stats.insertions += ins;
@@ -140,7 +151,11 @@ pub fn train(
             stats.episodes += 1;
         }
     }
-    stats.mean_window_reward = if windows > 0 { reward_sum / windows as f64 } else { 0.0 };
+    stats.mean_window_reward = if windows > 0 {
+        reward_sum / windows as f64
+    } else {
+        0.0
+    };
     stats.wall_seconds = started.elapsed().as_secs_f64();
     model.cube_agent.freeze();
     model.point_agent.freeze();
@@ -155,55 +170,27 @@ fn sample_db(pool: &TrajectoryDb, m: usize, rng: &mut StdRng) -> TrajectoryDb {
     ids.into_iter().map(|id| pool.get(id).clone()).collect()
 }
 
-/// One training episode over `db`. Returns
+/// One training episode against a built, query-assigned engine. Returns
 /// `(window_reward_sum, windows, insertions, transitions)`.
 fn run_episode(
     model: &mut Rl4Qdts,
-    db: &TrajectoryDb,
-    trainer: &TrainerConfig,
-    ep_seed: u64,
-    rng: &mut StdRng,
-) -> (f64, usize, usize, usize) {
-    let config = model.config;
-    let mut wl_rng = StdRng::seed_from_u64(ep_seed);
-    let queries = range_workload(db, &trainer.workload, &mut wl_rng);
-    match config.index {
-        crate::config::IndexKind::Octree => {
-            let mut tree = Octree::build(
-                db,
-                OctreeConfig { max_depth: config.max_depth, leaf_capacity: config.leaf_capacity },
-            );
-            tree.assign_queries(&queries);
-            run_episode_with_index(model, db, trainer, queries, &tree, rng)
-        }
-        crate::config::IndexKind::MedianKdTree => {
-            let mut tree = MedianTree::build(
-                db,
-                MedianTreeConfig { max_depth: config.max_depth, leaf_capacity: config.leaf_capacity },
-            );
-            tree.assign_queries(&queries);
-            run_episode_with_index(model, db, trainer, queries, &tree, rng)
-        }
-    }
-}
-
-/// The episode loop against a built, query-assigned index.
-fn run_episode_with_index<I: CubeIndex + ?Sized>(
-    model: &mut Rl4Qdts,
-    db: &TrajectoryDb,
+    engine: &QueryEngine<'_>,
     trainer: &TrainerConfig,
     queries: Vec<trajectory::Cube>,
-    tree: &I,
     rng: &mut StdRng,
 ) -> (f64, usize, usize, usize) {
     let config = model.config;
+    let db = engine.db();
+    let tree = engine
+        .cube_index()
+        .expect("rl4qdts engines are always indexed");
 
     let mut simp = Simplification::most_simplified(db);
     let floor = simp.total_points();
     let budget = ((db.total_points() as f64 * trainer.ratio) as usize)
         .max(floor + 2 * config.delta)
         .min(db.total_points());
-    let mut tracker = RewardTracker::new(db, queries, &simp);
+    let mut tracker = RewardTracker::new(engine, queries, &simp);
 
     let mut cube_buf = WindowBuffer::new();
     let mut point_buf = WindowBuffer::new();
@@ -221,7 +208,9 @@ fn run_episode_with_index<I: CubeIndex + ?Sized>(
             if forced_stop(tree, node, config.max_depth) {
                 break;
             }
-            let Some(raw) = cube_state(tree, node) else { break };
+            let Some(raw) = cube_state(tree, node) else {
+                break;
+            };
             let state = model.cube_agent.whiten(&raw, true);
             let mask = cube_mask(tree, node);
             let action = model.cube_agent.select_action(&state, &mask);
@@ -242,6 +231,10 @@ fn run_episode_with_index<I: CubeIndex + ?Sized>(
                 transitions += 1;
                 let c = ps.candidates[action.min(ps.candidates.len() - 1)];
                 if simp.insert(c.point.traj, c.point.idx) {
+                    tracker.on_insert(
+                        c.point.traj,
+                        db.get(c.point.traj).point(c.point.idx as usize),
+                    );
                     insertions += 1;
                     since_window += 1;
                     misses = 0;
@@ -257,7 +250,7 @@ fn run_episode_with_index<I: CubeIndex + ?Sized>(
 
         // --- Window close: shared reward + a burst of training. ---
         if since_window >= config.delta {
-            let r = tracker.window_reward(db, &simp);
+            let r = tracker.window_reward();
             reward_sum += r;
             windows += 1;
             since_window = 0;
@@ -271,7 +264,7 @@ fn run_episode_with_index<I: CubeIndex + ?Sized>(
     }
 
     // Final (possibly partial) window.
-    let r = tracker.window_reward(db, &simp);
+    let r = tracker.window_reward();
     if since_window > 0 {
         reward_sum += r;
         windows += 1;

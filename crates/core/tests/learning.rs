@@ -5,7 +5,7 @@
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl4qdts::{train, RewardTracker, Rl4QdtsConfig, TrainerConfig};
-use traj_query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use traj_query::{range_workload, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec};
 use traj_simp::{Simplifier, Uniform};
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::Simplification;
@@ -45,9 +45,10 @@ fn trained_model_beats_uniform_sampling_on_query_accuracy() {
     let uniform = Uniform.simplify(&test_db, budget);
 
     let base = Simplification::most_simplified(&test_db);
-    let tracker = RewardTracker::new(&test_db, eval_queries, &base);
-    let diff_ours = tracker.diff(&test_db, &ours);
-    let diff_uniform = tracker.diff(&test_db, &uniform);
+    let engine = QueryEngine::over(&test_db, EngineConfig::octree());
+    let tracker = RewardTracker::new(&engine, eval_queries, &base);
+    let diff_ours = tracker.diff_of(&engine, &ours);
+    let diff_uniform = tracker.diff_of(&engine, &uniform);
 
     // The RL model may not win every smoke-scale configuration, but it must
     // be clearly competitive (the paper's wins are 5-40% at full scale).
@@ -74,12 +75,13 @@ fn more_budget_never_hurts_much() {
     let state_queries = range_workload(&pool, &workload_spec(20), &mut rng);
     let eval_queries = range_workload(&pool, &workload_spec(40), &mut rng);
     let base = Simplification::most_simplified(&pool);
-    let tracker = RewardTracker::new(&pool, eval_queries, &base);
+    let engine = QueryEngine::over(&pool, EngineConfig::octree());
+    let tracker = RewardTracker::new(&engine, eval_queries, &base);
 
     let small = model.simplify(&pool, pool.total_points() / 40, &state_queries, 5);
     let large = model.simplify(&pool, pool.total_points() / 5, &state_queries, 5);
-    let d_small = tracker.diff(&pool, &small);
-    let d_large = tracker.diff(&pool, &large);
+    let d_small = tracker.diff_of(&engine, &small);
+    let d_large = tracker.diff_of(&engine, &large);
     assert!(
         d_large <= d_small + 0.05,
         "8x budget should not be noticeably worse: small {d_small:.3} vs large {d_large:.3}"

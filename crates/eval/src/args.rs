@@ -20,7 +20,11 @@ pub struct ExpArgs {
 
 impl Default for ExpArgs {
     fn default() -> Self {
-        Self { scale: Scale::Small, seed: 42, runs: 3 }
+        Self {
+            scale: Scale::Small,
+            seed: 42,
+            runs: 3,
+        }
     }
 }
 
@@ -43,17 +47,16 @@ impl ExpArgs {
         let mut it = args.into_iter();
         while let Some(flag) = it.next() {
             let mut value = || {
-                it.next().ok_or_else(|| format!("flag {flag} expects a value"))
+                it.next()
+                    .ok_or_else(|| format!("flag {flag} expects a value"))
             };
             match flag.as_str() {
                 "--scale" => out.scale = value()?.parse::<Scale>()?,
                 "--seed" => {
-                    out.seed =
-                        value()?.parse().map_err(|e| format!("--seed: {e}"))?;
+                    out.seed = value()?.parse().map_err(|e| format!("--seed: {e}"))?;
                 }
                 "--runs" => {
-                    out.runs =
-                        value()?.parse().map_err(|e| format!("--runs: {e}"))?;
+                    out.runs = value()?.parse().map_err(|e| format!("--runs: {e}"))?;
                     if out.runs == 0 {
                         return Err("--runs must be ≥ 1".into());
                     }

@@ -6,7 +6,10 @@ use qdts_eval::ExpArgs;
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("== Figure 3: skyline selection (scale: {:?}, seed {}) ==", args.scale, args.seed);
+    println!(
+        "== Figure 3: skyline selection (scale: {:?}, seed {}) ==",
+        args.scale, args.seed
+    );
     for outcome in skyline_sel::run(args.scale, args.seed) {
         println!("\n-- query distribution: {} --\n", outcome.distribution);
         println!("{}", outcome.table.render());

@@ -16,7 +16,10 @@ fn main() {
         &DatasetSpec::geolife(args.scale),
         &[
             QueryDistribution::Data,
-            QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 },
+            QueryDistribution::Gaussian {
+                mu: 0.5,
+                sigma: 0.25,
+            },
         ],
         &ratio_sweep(args.scale),
         args.scale,

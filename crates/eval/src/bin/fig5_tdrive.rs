@@ -15,7 +15,10 @@ fn main() {
         &DatasetSpec::tdrive(args.scale),
         &[
             QueryDistribution::Data,
-            QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 },
+            QueryDistribution::Gaussian {
+                mu: 0.5,
+                sigma: 0.25,
+            },
         ],
         &ratio_sweep(args.scale),
         args.scale,

@@ -10,7 +10,13 @@ fn main() {
         args.scale, args.seed
     );
     println!("\n(a) running time vs data size (fixed ratio)\n");
-    println!("{}", efficiency::run_varying_size(args.scale, args.seed).render());
+    println!(
+        "{}",
+        efficiency::run_varying_size(args.scale, args.seed).render()
+    );
     println!("\n(b) running time vs budget (fixed data size)\n");
-    println!("{}", efficiency::run_varying_budget(args.scale, args.seed).render());
+    println!(
+        "{}",
+        efficiency::run_varying_budget(args.scale, args.seed).render()
+    );
 }

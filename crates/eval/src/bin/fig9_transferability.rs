@@ -34,9 +34,24 @@ fn main() {
         println!("\n{label}:");
         print!("{}", heatmap::render(&queries, &bounds, 48, 14));
     };
-    show("(d) training distribution GAU(0.5, 0.25)", transferability::TRAIN_DIST);
-    show("(d') drifted GAU(mu=0.9)", QueryDistribution::Gaussian { mu: 0.9, sigma: 0.25 });
-    show("(e) drifted GAU(sigma=0.85)", QueryDistribution::Gaussian { mu: 0.5, sigma: 0.85 });
+    show(
+        "(d) training distribution GAU(0.5, 0.25)",
+        transferability::TRAIN_DIST,
+    );
+    show(
+        "(d') drifted GAU(mu=0.9)",
+        QueryDistribution::Gaussian {
+            mu: 0.9,
+            sigma: 0.25,
+        },
+    );
+    show(
+        "(e) drifted GAU(sigma=0.85)",
+        QueryDistribution::Gaussian {
+            mu: 0.5,
+            sigma: 0.85,
+        },
+    );
     show("(f) Zipf(a=4)", QueryDistribution::Zipf { a: 4.0 });
     show("(g) Zipf(a=8)", QueryDistribution::Zipf { a: 8.0 });
 }

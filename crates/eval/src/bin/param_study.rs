@@ -10,7 +10,10 @@ fn main() {
         args.scale, args.seed
     );
     println!("\n(5) start level S\n");
-    println!("{}", params::run_start_level(args.scale, args.seed).render());
+    println!(
+        "{}",
+        params::run_start_level(args.scale, args.seed).render()
+    );
     println!("\n(6) end level E\n");
     println!("{}", params::run_max_depth(args.scale, args.seed).render());
     println!("\n(7) Agent-Point K\n");

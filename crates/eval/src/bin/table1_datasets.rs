@@ -5,7 +5,10 @@ use qdts_eval::ExpArgs;
 
 fn main() {
     let args = ExpArgs::parse();
-    println!("== Table I: dataset statistics (scale: {:?}, seed {}) ==\n", args.scale, args.seed);
+    println!(
+        "== Table I: dataset statistics (scale: {:?}, seed {}) ==\n",
+        args.scale, args.seed
+    );
     println!("{}", datasets::run(args.scale, args.seed).render());
     println!(
         "Synthetic generators reproduce the paper's per-dataset shape \

@@ -9,7 +9,10 @@ fn main() {
         "== Table II: ablation study (scale: {:?}, seed {}, runs {}) ==\n",
         args.scale, args.seed, args.runs
     );
-    println!("{}", ablation::run(args.scale, args.seed, args.runs).render());
+    println!(
+        "{}",
+        ablation::run(args.scale, args.seed, args.runs).render()
+    );
     println!(
         "Expected shape (paper, Geolife): full 0.733 > w/o Agent-Point 0.716 \
          > w/o Agent-Cube 0.673 > w/o both 0.641; full method is the slowest."

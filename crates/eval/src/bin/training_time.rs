@@ -10,7 +10,10 @@ fn main() {
         args.scale, args.seed
     );
     println!("\n(a) varying the number of training trajectories\n");
-    println!("{}", training::run_pool_size(args.scale, args.seed).render());
+    println!(
+        "{}",
+        training::run_pool_size(args.scale, args.seed).render()
+    );
     println!("\n(b) varying the reward interval Δ\n");
     println!("{}", training::run_delta(args.scale, args.seed).render());
 }

@@ -20,7 +20,10 @@ use trajectory::gen::{generate, DatasetSpec, Scale};
 /// `variant, range F1 (mean ± std), time (s)`.
 pub fn run(scale: Scale, seed: u64, runs: usize) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
     let dist = QueryDistribution::Data;
     let model = train_rl4qdts(&train_db, dist, query_count(scale), seed);
 
@@ -28,8 +31,8 @@ pub fn run(scale: Scale, seed: u64, runs: usize) -> Table {
     let params = TaskParams::for_scale(scale, query_count(scale));
     let tasks = build_tasks(&test_db, dist, params, &mut rng);
     let ratio = ratio_sweep(scale)[0];
-    let budget = ((test_db.total_points() as f64 * ratio) as usize)
-        .max(traj_simp::min_points(&test_db));
+    let budget =
+        ((test_db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&test_db));
 
     let variants = [
         PolicyVariant::FULL,

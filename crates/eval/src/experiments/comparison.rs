@@ -38,7 +38,10 @@ pub fn run(
     runs: usize,
 ) -> Vec<ComparisonOutcome> {
     let db = trajectory::gen::generate(spec, seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
     dists
         .iter()
         .map(|&dist| run_one(&train_db, &test_db, dist, ratios, scale, seed, runs))
@@ -120,7 +123,10 @@ fn run_one(
         })
         .collect();
 
-    ComparisonOutcome { distribution: dist.to_string(), per_task }
+    ComparisonOutcome {
+        distribution: dist.to_string(),
+        per_task,
+    }
 }
 
 #[cfg(test)]

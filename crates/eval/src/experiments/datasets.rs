@@ -12,7 +12,14 @@ use trajectory::DatasetStats;
 /// `(name, trajectories, points, pts/traj, sampling-rate description,
 /// average step length)`.
 pub const PAPER_REFERENCE: [(&str, &str, &str, &str, &str, &str); 4] = [
-    ("geolife", "17,621", "24,876,978", "1,412", "1s ~ 5s", "9.96m"),
+    (
+        "geolife",
+        "17,621",
+        "24,876,978",
+        "1,412",
+        "1s ~ 5s",
+        "9.96m",
+    ),
     ("tdrive", "10,359", "17,740,902", "1,713", "177s", "623m"),
     ("chengdu", "179,756", "32,151,865", "178", "2s ~ 4s", "25m"),
     ("osm", "513,380", "2,913,478,785", "5,675", "53.5s", "180m"),
@@ -71,11 +78,12 @@ mod tests {
         // and takes far longer steps; Chengdu samples densely.
         let t = run(Scale::Smoke, 2);
         let rows = t.rows();
-        let interval = |i: usize| -> f64 {
-            rows[i][4].trim_end_matches('s').parse().unwrap()
-        };
+        let interval = |i: usize| -> f64 { rows[i][4].trim_end_matches('s').parse().unwrap() };
         let step = |i: usize| -> f64 { rows[i][5].trim_end_matches('m').parse().unwrap() };
-        assert!(interval(1) > 10.0 * interval(0), "tdrive sparser than geolife");
+        assert!(
+            interval(1) > 10.0 * interval(0),
+            "tdrive sparser than geolife"
+        );
         assert!(step(1) > 5.0 * step(0), "tdrive longer steps than geolife");
         assert!(interval(2) < 10.0, "chengdu samples densely");
         assert!(interval(3) > interval(0), "osm sparser than geolife");

@@ -49,7 +49,10 @@ pub fn returned_trajectory_sed(
 /// columns compression ratios, cells mean SED (meters — lower is better).
 pub fn run_one(scale: Scale, seed: u64, dist: QueryDistribution) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
     let suite = baseline_suite(&train_db, seed);
     let baselines = select_by_name(&suite, &paper_skyline_names(dist));
     let model = train_rl4qdts(&train_db, dist, query_count(scale), seed);
@@ -91,7 +94,10 @@ pub fn run_one(scale: Scale, seed: u64, dist: QueryDistribution) -> Table {
 pub fn run(scale: Scale, seed: u64) -> Vec<(String, Table)> {
     [
         QueryDistribution::Data,
-        QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 },
+        QueryDistribution::Gaussian {
+            mu: 0.5,
+            sigma: 0.25,
+        },
     ]
     .into_iter()
     .map(|d| (d.to_string(), run_one(scale, seed, d)))

@@ -17,7 +17,10 @@ use trajectory::{ErrorMeasure, TrajectoryDb};
 /// The method set timed in Fig. 8: the union of skyline members plus
 /// RLTS+ and Span-Search, as in the paper's legend.
 fn timed_baselines(train_db: &TrajectoryDb, seed: u64) -> Vec<Box<dyn Simplifier>> {
-    let rlts_cfg = RltsTrainConfig { episodes: 10, ..RltsTrainConfig::default() };
+    let rlts_cfg = RltsTrainConfig {
+        episodes: 10,
+        ..RltsTrainConfig::default()
+    };
     vec![
         Box::new(TopDown::new(ErrorMeasure::Ped, Adaptation::Each)),
         Box::new(TopDown::new(ErrorMeasure::Ped, Adaptation::Whole)),
@@ -83,8 +86,7 @@ pub fn run_varying_size(scale: Scale, seed: u64) -> Table {
     for &m in &sizes {
         let db = generate(&spec.clone().with_trajectories(m), seed);
         let ratio = budget_sweep(scale)[0];
-        let budget =
-            ((db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&db));
+        let budget = ((db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&db));
         for (i, b) in baselines.iter().enumerate() {
             rows[i].push(format!("{:.3}s", time_one(b.as_ref(), &db, budget)));
         }
@@ -124,8 +126,7 @@ pub fn run_varying_budget(scale: Scale, seed: u64) -> Table {
         .chain(std::iter::once(vec!["RL4QDTS".to_string()]))
         .collect();
     for &ratio in &ratios {
-        let budget =
-            ((db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&db));
+        let budget = ((db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(&db));
         for (i, b) in baselines.iter().enumerate() {
             rows[i].push(format!("{:.3}s", time_one(b.as_ref(), &db, budget)));
         }

@@ -48,7 +48,9 @@ pub fn run(scale: Scale, seed: u64) -> Table {
 
     let mut table = Table::new(&["index", "ratio", "Range F1", "Simplify time (s)"]);
     for kind in [IndexKind::Octree, IndexKind::MedianKdTree] {
-        let config = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25).with_index(kind);
+        let config = Rl4QdtsConfig::scaled_to(&train_db)
+            .with_delta(25)
+            .with_index(kind);
         let (model, _) = train(&train_db, config, &trainer, seed);
         for &ratio in &ratios {
             let budget = ((test_db.total_points() as f64 * ratio) as usize).max(floor);

@@ -5,13 +5,13 @@
 use crate::experiments::{query_count, ratio_sweep};
 use crate::suite::{state_workload, Rl4QdtsSimplifier};
 use crate::table::Table;
-use crate::tasks::{build_tasks, eval_range, TaskParams};
+use crate::tasks::{build_tasks, eval_range_with_engines, TaskParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl4qdts::{train, PolicyVariant, Rl4QdtsConfig, TrainerConfig};
 use traj_query::knn::{Dissimilarity, KnnQuery};
 use traj_query::workload::RangeWorkloadSpec;
-use traj_query::{f1_sets, mean_f1, QueryDistribution};
+use traj_query::{f1_sets, mean_f1, EngineConfig, QueryDistribution, QueryEngine};
 use traj_simp::Simplifier;
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::TrajectoryDb;
@@ -25,18 +25,26 @@ fn trainer_for(scale: Scale) -> TrainerConfig {
         temporal_extent: 7.0 * 86_400.0,
         dist: DIST,
     };
-    TrainerConfig { num_dbs: 2, trajs_per_db: 10, episodes_per_db: 1, ratio: 0.02, workload }
+    TrainerConfig {
+        num_dbs: 2,
+        trajs_per_db: 10,
+        episodes_per_db: 1,
+        ratio: 0.02,
+        workload,
+    }
 }
 
 /// Trains with `config`, then reports held-out range F1 and the combined
-/// train+simplify wall time.
+/// train+simplify wall time. `truth` is the sweep-wide engine over the
+/// test database, built once by the caller.
 fn score_config(
     config: Rl4QdtsConfig,
     train_db: &TrajectoryDb,
-    test_db: &TrajectoryDb,
+    truth: &QueryEngine<'_>,
     scale: Scale,
     seed: u64,
 ) -> (f64, f64) {
+    let test_db = truth.db();
     let started = std::time::Instant::now();
     let (model, _) = train(train_db, config, &trainer_for(scale), seed);
     let ratio = ratio_sweep(scale)[0];
@@ -51,19 +59,36 @@ fn score_config(
     let simp = rl.simplify(test_db, budget).materialize(test_db);
     let elapsed = started.elapsed().as_secs_f64();
     let mut rng = StdRng::seed_from_u64(seed ^ 0x9a);
-    let tasks = build_tasks(test_db, DIST, TaskParams::for_scale(scale, query_count(scale)), &mut rng);
-    (eval_range(test_db, &simp, &tasks), elapsed)
+    let tasks = build_tasks(
+        test_db,
+        DIST,
+        TaskParams::for_scale(scale, query_count(scale)),
+        &mut rng,
+    );
+    let simp_engine = QueryEngine::over(&simp, EngineConfig::octree());
+    (
+        eval_range_with_engines(truth, &simp_engine, &tasks),
+        elapsed,
+    )
 }
 
 /// Sweeps the start level `S` (with `E` fixed at the scaled default).
 pub fn run_start_level(scale: Scale, seed: u64) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
+    let truth = QueryEngine::over(&test_db, EngineConfig::octree());
     let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25);
     let mut table = Table::new(&["S", "Range F1", "Time (s)"]);
     for s in 1..=base.max_depth.saturating_sub(1) {
-        let (f1, time) = score_config(base.with_start_level(s), &train_db, &test_db, scale, seed);
-        table.row(vec![s.to_string(), format!("{f1:.3}"), format!("{time:.2}")]);
+        let (f1, time) = score_config(base.with_start_level(s), &train_db, &truth, scale, seed);
+        table.row(vec![
+            s.to_string(),
+            format!("{f1:.3}"),
+            format!("{time:.2}"),
+        ]);
     }
     table
 }
@@ -71,12 +96,22 @@ pub fn run_start_level(scale: Scale, seed: u64) -> Table {
 /// Sweeps the end level `E` (with `S` fixed at 1).
 pub fn run_max_depth(scale: Scale, seed: u64) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
-    let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25).with_start_level(1);
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
+    let truth = QueryEngine::over(&test_db, EngineConfig::octree());
+    let base = Rl4QdtsConfig::scaled_to(&train_db)
+        .with_delta(25)
+        .with_start_level(1);
     let mut table = Table::new(&["E", "Range F1", "Time (s)"]);
     for e in 3..=(base.max_depth + 2).min(10) {
-        let (f1, time) = score_config(base.with_max_depth(e), &train_db, &test_db, scale, seed);
-        table.row(vec![e.to_string(), format!("{f1:.3}"), format!("{time:.2}")]);
+        let (f1, time) = score_config(base.with_max_depth(e), &train_db, &truth, scale, seed);
+        table.row(vec![
+            e.to_string(),
+            format!("{f1:.3}"),
+            format!("{time:.2}"),
+        ]);
     }
     table
 }
@@ -84,12 +119,20 @@ pub fn run_max_depth(scale: Scale, seed: u64) -> Table {
 /// Sweeps Agent-Point's `K`.
 pub fn run_k(scale: Scale, seed: u64) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
+    let truth = QueryEngine::over(&test_db, EngineConfig::octree());
     let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25);
     let mut table = Table::new(&["K", "Range F1", "Time (s)"]);
     for k in [1usize, 2, 4, 8] {
-        let (f1, time) = score_config(base.with_k(k), &train_db, &test_db, scale, seed);
-        table.row(vec![k.to_string(), format!("{f1:.3}"), format!("{time:.2}")]);
+        let (f1, time) = score_config(base.with_k(k), &train_db, &truth, scale, seed);
+        table.row(vec![
+            k.to_string(),
+            format!("{f1:.3}"),
+            format!("{time:.2}"),
+        ]);
     }
     table
 }
@@ -98,7 +141,10 @@ pub fn run_k(scale: Scale, seed: u64) -> Table {
 /// kNN variants as `k` grows.
 pub fn run_knn_k(scale: Scale, seed: u64) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
     let model = crate::suite::train_rl4qdts(&train_db, DIST, query_count(scale), seed);
     let ratio = ratio_sweep(scale)[0];
     let budget =
@@ -119,15 +165,22 @@ pub fn run_knn_k(scale: Scale, seed: u64) -> Table {
     for k in [1usize, 3, 5, 10] {
         let mut cells = Vec::new();
         for measure in [
-            Dissimilarity::Edr { eps: params.edr_eps },
+            Dissimilarity::Edr {
+                eps: params.edr_eps,
+            },
             Dissimilarity::t2vec_default(),
         ] {
             let scores: Vec<_> = tasks
                 .knn_queries
                 .iter()
                 .map(|(q, ts, te)| {
-                    let query =
-                        KnnQuery { query: q.clone(), ts: *ts, te: *te, k, measure };
+                    let query = KnnQuery {
+                        query: q.clone(),
+                        ts: *ts,
+                        te: *te,
+                        k,
+                        measure,
+                    };
                     f1_sets(&query.execute(&test_db), &query.execute(&simplified))
                 })
                 .collect();

@@ -30,7 +30,10 @@ pub struct SkylineOutcome {
 pub fn run(scale: Scale, seed: u64) -> Vec<SkylineOutcome> {
     let dists = [
         QueryDistribution::Data,
-        QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 },
+        QueryDistribution::Gaussian {
+            mu: 0.5,
+            sigma: 0.25,
+        },
         QueryDistribution::Real,
     ];
     dists.iter().map(|&d| run_one(scale, seed, d)).collect()
@@ -41,11 +44,20 @@ pub fn run(scale: Scale, seed: u64) -> Vec<SkylineOutcome> {
 pub fn run_one(scale: Scale, seed: u64, dist: QueryDistribution) -> SkylineOutcome {
     let is_real = matches!(dist, QueryDistribution::Real);
     let (db, anchor_ratio) = if is_real {
-        (generate(&DatasetSpec::chengdu(scale), seed), chengdu_ratio_sweep(scale)[0])
+        (
+            generate(&DatasetSpec::chengdu(scale), seed),
+            chengdu_ratio_sweep(scale)[0],
+        )
     } else {
-        (generate(&DatasetSpec::geolife(scale), seed), ratio_sweep(scale)[0])
+        (
+            generate(&DatasetSpec::geolife(scale), seed),
+            ratio_sweep(scale)[0],
+        )
     };
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
 
     let suite = baseline_suite(&train_db, seed);
     let mut rng = StdRng::seed_from_u64(seed ^ 0xf00d);
@@ -54,29 +66,15 @@ pub fn run_one(scale: Scale, seed: u64, dist: QueryDistribution) -> SkylineOutco
     let budget = ((test_db.total_points() as f64 * anchor_ratio) as usize)
         .max(traj_simp::min_points(&test_db));
 
-    // The 25 baselines are independent: score them in parallel, workers
-    // pulling indices off a shared counter.
-    let slots: Vec<parking_lot::Mutex<Option<ScoredMethod>>> =
-        (0..suite.len()).map(|_| parking_lot::Mutex::new(None)).collect();
-    let next = std::sync::atomic::AtomicUsize::new(0);
-    let workers =
-        std::thread::available_parallelism().map(|n| n.get()).unwrap_or(4).min(8);
-    crossbeam::thread::scope(|scope| {
-        for _ in 0..workers {
-            scope.spawn(|_| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= suite.len() {
-                    break;
-                }
-                let s = score_method(suite[i].as_ref(), &test_db, budget, &tasks);
-                *slots[i].lock() =
-                    Some(ScoredMethod { name: suite[i].name(), scores: s.as_vec() });
-            });
+    // The 25 baselines are independent: score them in parallel (the same
+    // work-stealing helper the query engine's batch paths use).
+    let scored: Vec<ScoredMethod> = traj_query::parallel::par_map(&suite, |method| {
+        let s = score_method(method.as_ref(), &test_db, budget, &tasks);
+        ScoredMethod {
+            name: method.name(),
+            scores: s.as_vec(),
         }
-    })
-    .expect("evaluation worker panicked");
-    let scored: Vec<ScoredMethod> =
-        slots.into_iter().map(|m| m.into_inner().expect("scored")).collect();
+    });
     let sky = skyline(&scored);
 
     let mut header = vec!["method"];
@@ -86,7 +84,11 @@ pub fn run_one(scale: Scale, seed: u64, dist: QueryDistribution) -> SkylineOutco
     for (i, m) in scored.iter().enumerate() {
         let mut row = vec![m.name.clone()];
         row.extend(m.scores.iter().map(|v| format!("{v:.3}")));
-        row.push(if sky.contains(&i) { "*".into() } else { "".into() });
+        row.push(if sky.contains(&i) {
+            "*".into()
+        } else {
+            "".into()
+        });
         table.row(row);
     }
     SkylineOutcome {

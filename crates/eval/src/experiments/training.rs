@@ -29,7 +29,10 @@ fn workload(scale: Scale) -> RangeWorkloadSpec {
 /// (a) Training time and held-out range F1 vs. training-pool size.
 pub fn run_pool_size(scale: Scale, seed: u64) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_pool, test_db) = { let n = db.len() * 3 / 4; db.split_at(n) };
+    let (train_pool, test_db) = {
+        let n = db.len() * 3 / 4;
+        db.split_at(n)
+    };
     let sizes: Vec<usize> = match scale {
         Scale::Paper => vec![10, 50, 100, 200],
         Scale::Small => vec![8, 16, 32, 64],
@@ -60,7 +63,10 @@ pub fn run_pool_size(scale: Scale, seed: u64) -> Table {
 /// (b) Effect of the reward interval Δ on training time and accuracy.
 pub fn run_delta(scale: Scale, seed: u64) -> Table {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_pool, test_db) = { let n = db.len() * 3 / 4; db.split_at(n) };
+    let (train_pool, test_db) = {
+        let n = db.len() * 3 / 4;
+        db.split_at(n)
+    };
     let deltas: Vec<usize> = vec![10, 25, 50, 100];
     let mut table = Table::new(&["Δ", "Train time (s)", "Windows/episode", "Range F1"]);
     for &delta in &deltas {
@@ -106,7 +112,12 @@ fn held_out_f1(
     };
     let simp = rl.simplify(test_db, budget).materialize(test_db);
     let mut rng = StdRng::seed_from_u64(seed ^ 0x77);
-    let tasks = build_tasks(test_db, DIST, TaskParams::for_scale(scale, query_count(scale)), &mut rng);
+    let tasks = build_tasks(
+        test_db,
+        DIST,
+        TaskParams::for_scale(scale, query_count(scale)),
+        &mut rng,
+    );
     eval_range(test_db, &simp, &tasks)
 }
 

@@ -8,17 +8,20 @@
 use crate::experiments::{query_count, ratio_sweep};
 use crate::suite::{state_workload, train_rl4qdts, Rl4QdtsSimplifier};
 use crate::table::{mean, std_dev, Table};
-use crate::tasks::{build_tasks, eval_range, TaskParams};
+use crate::tasks::{build_tasks, eval_range_with_engines, TaskParams};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use rl4qdts::{PolicyVariant, Rl4Qdts};
-use traj_query::QueryDistribution;
+use traj_query::{EngineConfig, QueryDistribution, QueryEngine};
 use traj_simp::{Adaptation, BottomUp, Simplifier};
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::{ErrorMeasure, TrajectoryDb};
 
 /// The distribution RL4QDTS is trained with in this experiment.
-pub const TRAIN_DIST: QueryDistribution = QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 };
+pub const TRAIN_DIST: QueryDistribution = QueryDistribution::Gaussian {
+    mu: 0.5,
+    sigma: 0.25,
+};
 
 /// One transferability series: the varied parameter values and the F1 of
 /// baseline and RL4QDTS at each.
@@ -32,16 +35,29 @@ pub struct TransferOutcome {
 /// Runs all three sub-figures.
 pub fn run(scale: Scale, seed: u64, runs: usize) -> Vec<TransferOutcome> {
     let db = generate(&DatasetSpec::geolife(scale), seed);
-    let (train_db, test_db) = { let n = (db.len() / 4).max(2); db.split_at(n) };
+    let (train_db, test_db) = {
+        let n = (db.len() / 4).max(2);
+        db.split_at(n)
+    };
     let model = train_rl4qdts(&train_db, TRAIN_DIST, query_count(scale), seed);
 
     let mu_dists: Vec<(String, QueryDistribution)> = [0.5, 0.6, 0.7, 0.8, 0.9]
         .iter()
-        .map(|&mu| (format!("{mu}"), QueryDistribution::Gaussian { mu, sigma: 0.25 }))
+        .map(|&mu| {
+            (
+                format!("{mu}"),
+                QueryDistribution::Gaussian { mu, sigma: 0.25 },
+            )
+        })
         .collect();
     let sigma_dists: Vec<(String, QueryDistribution)> = [0.25, 0.4, 0.55, 0.7, 0.85]
         .iter()
-        .map(|&sigma| (format!("{sigma}"), QueryDistribution::Gaussian { mu: 0.5, sigma }))
+        .map(|&sigma| {
+            (
+                format!("{sigma}"),
+                QueryDistribution::Gaussian { mu: 0.5, sigma },
+            )
+        })
         .collect();
     let zipf_dists: Vec<(String, QueryDistribution)> = [4.0, 5.0, 6.0, 7.0, 8.0]
         .iter()
@@ -49,8 +65,24 @@ pub fn run(scale: Scale, seed: u64, runs: usize) -> Vec<TransferOutcome> {
         .collect();
 
     vec![
-        series(scale, seed, runs, &test_db, &model, "Gaussian mu", &mu_dists),
-        series(scale, seed, runs, &test_db, &model, "Gaussian sigma", &sigma_dists),
+        series(
+            scale,
+            seed,
+            runs,
+            &test_db,
+            &model,
+            "Gaussian mu",
+            &mu_dists,
+        ),
+        series(
+            scale,
+            seed,
+            runs,
+            &test_db,
+            &model,
+            "Gaussian sigma",
+            &sigma_dists,
+        ),
         series(scale, seed, runs, &test_db, &model, "Zipf a", &zipf_dists),
     ]
 }
@@ -69,6 +101,10 @@ fn series(
         ((test_db.total_points() as f64 * ratio) as usize).max(traj_simp::min_points(test_db));
     let baseline = BottomUp::new(ErrorMeasure::Sed, Adaptation::Each);
     let baseline_simp = baseline.simplify(test_db, budget).materialize(test_db);
+    // One ground-truth engine (and one over the fixed baseline) for the
+    // whole distribution sweep; only per-run simplifications re-index.
+    let truth_engine = QueryEngine::over(test_db, EngineConfig::octree());
+    let baseline_engine = QueryEngine::over(&baseline_simp, EngineConfig::octree());
 
     let mut header: Vec<String> = vec!["method".into()];
     header.extend(dists.iter().map(|(l, _)| l.clone()));
@@ -82,7 +118,10 @@ fn series(
         let mut rng = StdRng::seed_from_u64(seed ^ 0x7a);
         let params = TaskParams::for_scale(scale, query_count(scale));
         let tasks = build_tasks(test_db, *dist, params, &mut rng);
-        baseline_row.push(format!("{:.3}", eval_range(test_db, &baseline_simp, &tasks)));
+        baseline_row.push(format!(
+            "{:.3}",
+            eval_range_with_engines(&truth_engine, &baseline_engine, &tasks)
+        ));
 
         // …while RL4QDTS's state workload stays the *training* distribution
         // (at deployment the drift is unknown — that is the point).
@@ -100,13 +139,17 @@ fn series(
                 variant: PolicyVariant::FULL,
             };
             let simp = rl.simplify(test_db, budget).materialize(test_db);
-            f1s.push(eval_range(test_db, &simp, &tasks));
+            let simp_engine = QueryEngine::over(&simp, EngineConfig::octree());
+            f1s.push(eval_range_with_engines(&truth_engine, &simp_engine, &tasks));
         }
         ours_row.push(format!("{:.3}±{:.3}", mean(&f1s), std_dev(&f1s)));
     }
     table.row(baseline_row);
     table.row(ours_row);
-    TransferOutcome { label: label.to_string(), table }
+    TransferOutcome {
+        label: label.to_string(),
+        table,
+    }
 }
 
 #[cfg(test)]

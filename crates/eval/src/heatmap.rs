@@ -80,7 +80,10 @@ mod tests {
         let qs = vec![q(50.0, 95.0)];
         let s = render(&qs, &unit(), 5, 5);
         let first_line = s.lines().next().unwrap();
-        assert!(first_line.chars().any(|c| c != ' '), "top row should hold the mark");
+        assert!(
+            first_line.chars().any(|c| c != ' '),
+            "top row should hold the mark"
+        );
     }
 
     #[test]

@@ -46,7 +46,10 @@ mod tests {
     use super::*;
 
     fn m(name: &str, scores: &[f64]) -> ScoredMethod {
-        ScoredMethod { name: name.into(), scores: scores.to_vec() }
+        ScoredMethod {
+            name: name.into(),
+            scores: scores.to_vec(),
+        }
     }
 
     #[test]

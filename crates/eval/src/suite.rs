@@ -24,7 +24,10 @@ pub fn baseline_suite(train_db: &TrajectoryDb, seed: u64) -> Vec<Box<dyn Simplif
             suite.push(Box::new(BottomUp::new(m, a)));
         }
     }
-    let rlts_cfg = RltsTrainConfig { episodes: 20, ..RltsTrainConfig::default() };
+    let rlts_cfg = RltsTrainConfig {
+        episodes: 20,
+        ..RltsTrainConfig::default()
+    };
     for m in ErrorMeasure::ALL {
         let trained = RltsPlus::train(m, Adaptation::Each, 3, train_db, &rlts_cfg, seed);
         suite.push(Box::new(trained.with_adaptation(Adaptation::Whole)));
@@ -164,7 +167,10 @@ mod tests {
         let suite = baseline_suite(&db, 2);
         for dist in [
             QueryDistribution::Data,
-            QueryDistribution::Gaussian { mu: 0.5, sigma: 0.25 },
+            QueryDistribution::Gaussian {
+                mu: 0.5,
+                sigma: 0.25,
+            },
             QueryDistribution::Real,
         ] {
             let names = paper_skyline_names(dist);

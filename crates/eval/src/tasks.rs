@@ -5,8 +5,10 @@ use rand::rngs::StdRng;
 use traj_query::knn::{Dissimilarity, KnnQuery};
 use traj_query::similarity::SimilarityQuery;
 use traj_query::traclus::{traclus, TraclusParams};
-use traj_query::workload::{range_workload, traj_query_workload, QueryDistribution, RangeWorkloadSpec};
-use traj_query::{f1_pairs, f1_sets, mean_f1, F1Score};
+use traj_query::workload::{
+    range_workload, traj_query_workload, QueryDistribution, RangeWorkloadSpec,
+};
+use traj_query::{f1_pairs, f1_sets, mean_f1, EngineConfig, F1Score, QueryEngine};
 use trajectory::{Cube, Trajectory, TrajectoryDb};
 
 /// Parameters of the evaluation workloads, defaulting to the paper's
@@ -139,7 +141,12 @@ pub fn build_tasks(
         .iter()
         .map(|s| (db.get(s.query).clone(), s.ts, s.te))
         .collect();
-    QueryTasks { range_queries, knn_queries, sim_queries, params }
+    QueryTasks {
+        range_queries,
+        knn_queries,
+        sim_queries,
+        params,
+    }
 }
 
 /// Mean F1 per task: the five series every comparison figure plots.
@@ -159,101 +166,143 @@ pub struct TaskScores {
 
 impl TaskScores {
     /// Task names in figure order.
-    pub const NAMES: [&'static str; 5] =
-        ["Range", "kNN(EDR)", "kNN(t2vec)", "Similarity", "Clustering"];
+    pub const NAMES: [&'static str; 5] = [
+        "Range",
+        "kNN(EDR)",
+        "kNN(t2vec)",
+        "Similarity",
+        "Clustering",
+    ];
 
     /// Scores in the same order as [`TaskScores::NAMES`].
     pub fn as_vec(&self) -> Vec<f64> {
-        vec![self.range, self.knn_edr, self.knn_t2vec, self.similarity, self.clustering]
+        vec![
+            self.range,
+            self.knn_edr,
+            self.knn_t2vec,
+            self.similarity,
+            self.clustering,
+        ]
     }
 }
 
-/// Scores `simplified` against `original` on the full workload.
+/// Scores `simplified` against `original` on the full workload. Builds one
+/// octree-backed [`QueryEngine`] per database and executes every task
+/// through it (index pruning + data parallelism); see
+/// [`evaluate_with_engines`] when engines are already at hand.
 pub fn evaluate(
     original: &TrajectoryDb,
     simplified: &TrajectoryDb,
     tasks: &QueryTasks,
 ) -> TaskScores {
+    let orig = QueryEngine::over(original, EngineConfig::octree());
+    let simp = QueryEngine::over(simplified, EngineConfig::octree());
+    evaluate_with_engines(&orig, &simp, tasks)
+}
+
+/// [`evaluate`] against pre-built engines, amortizing index construction
+/// across repeated scorings of the same databases.
+pub fn evaluate_with_engines(
+    original: &QueryEngine<'_>,
+    simplified: &QueryEngine<'_>,
+    tasks: &QueryTasks,
+) -> TaskScores {
     TaskScores {
-        range: eval_range(original, simplified, tasks),
+        range: eval_range_with_engines(original, simplified, tasks),
         knn_edr: eval_knn(
             original,
             simplified,
             tasks,
-            Dissimilarity::Edr { eps: tasks.params.edr_eps },
+            Dissimilarity::Edr {
+                eps: tasks.params.edr_eps,
+            },
         ),
         knn_t2vec: eval_knn(original, simplified, tasks, Dissimilarity::t2vec_default()),
         similarity: eval_similarity(original, simplified, tasks),
-        clustering: eval_clustering(original, simplified, tasks),
+        clustering: eval_clustering(original.db(), simplified.db(), tasks),
     }
 }
 
 /// Range-query-only score (used by training-adjacent experiments where the
 /// full pipeline would dominate runtime).
 pub fn eval_range(original: &TrajectoryDb, simplified: &TrajectoryDb, tasks: &QueryTasks) -> f64 {
-    let scores: Vec<F1Score> = tasks
-        .range_queries
+    let orig = QueryEngine::over(original, EngineConfig::octree());
+    let simp = QueryEngine::over(simplified, EngineConfig::octree());
+    eval_range_with_engines(&orig, &simp, tasks)
+}
+
+/// [`eval_range`] against pre-built engines. Sweep loops that score many
+/// simplifications of one original database should build the ground-truth
+/// engine once and call this, instead of paying the index build per call.
+pub fn eval_range_with_engines(
+    original: &QueryEngine<'_>,
+    simplified: &QueryEngine<'_>,
+    tasks: &QueryTasks,
+) -> f64 {
+    let truth = original.range_batch(&tasks.range_queries);
+    let results = simplified.range_batch(&tasks.range_queries);
+    let scores: Vec<F1Score> = truth
         .iter()
-        .map(|q| {
-            f1_sets(
-                &traj_query::range_query(original, q),
-                &traj_query::range_query(simplified, q),
-            )
-        })
+        .zip(&results)
+        .map(|(t, r)| f1_sets(t, r))
         .collect();
     mean_f1(&scores)
 }
 
 fn eval_knn(
-    original: &TrajectoryDb,
-    simplified: &TrajectoryDb,
+    original: &QueryEngine<'_>,
+    simplified: &QueryEngine<'_>,
     tasks: &QueryTasks,
     measure: Dissimilarity,
 ) -> f64 {
-    let scores: Vec<F1Score> = tasks
+    let queries: Vec<KnnQuery> = tasks
         .knn_queries
         .iter()
-        .map(|(q, ts, te)| {
-            let query = KnnQuery {
-                query: q.clone(),
-                ts: *ts,
-                te: *te,
-                k: tasks.params.knn_k,
-                measure,
-            };
-            f1_sets(&query.execute(original), &query.execute(simplified))
+        .map(|(q, ts, te)| KnnQuery {
+            query: q.clone(),
+            ts: *ts,
+            te: *te,
+            k: tasks.params.knn_k,
+            measure,
         })
+        .collect();
+    let truth = original.knn_batch(&queries);
+    let results = simplified.knn_batch(&queries);
+    let scores: Vec<F1Score> = truth
+        .iter()
+        .zip(&results)
+        .map(|(t, r)| f1_sets(t, r))
         .collect();
     mean_f1(&scores)
 }
 
 fn eval_similarity(
-    original: &TrajectoryDb,
-    simplified: &TrajectoryDb,
+    original: &QueryEngine<'_>,
+    simplified: &QueryEngine<'_>,
     tasks: &QueryTasks,
 ) -> f64 {
-    let scores: Vec<F1Score> = tasks
+    let queries: Vec<SimilarityQuery> = tasks
         .sim_queries
         .iter()
-        .map(|(q, ts, te)| {
-            let query = SimilarityQuery {
-                query: q.clone(),
-                ts: *ts,
-                te: *te,
-                delta: tasks.params.sim_delta,
-                step: tasks.params.sim_step,
-            };
-            f1_sets(&query.execute(original), &query.execute(simplified))
+        .map(|(q, ts, te)| SimilarityQuery {
+            query: q.clone(),
+            ts: *ts,
+            te: *te,
+            delta: tasks.params.sim_delta,
+            step: tasks.params.sim_step,
         })
+        .collect();
+    let truth = original.similarity_batch(&queries);
+    let results = simplified.similarity_batch(&queries);
+    let scores: Vec<F1Score> = truth
+        .iter()
+        .zip(&results)
+        .map(|(t, r)| f1_sets(t, r))
         .collect();
     mean_f1(&scores)
 }
 
-fn eval_clustering(
-    original: &TrajectoryDb,
-    simplified: &TrajectoryDb,
-    tasks: &QueryTasks,
-) -> f64 {
+fn eval_clustering(original: &TrajectoryDb, simplified: &TrajectoryDb, tasks: &QueryTasks) -> f64 {
     let cap = tasks.params.cluster_cap;
     let head = |db: &TrajectoryDb| -> TrajectoryDb {
         db.trajectories().iter().take(cap).cloned().collect()
@@ -304,15 +353,24 @@ mod tests {
         let harsh = eval_range(&db, &endpoints, &tasks);
         let soft = eval_range(&db, &mild, &tasks);
         assert!(soft >= harsh, "mild {soft} >= harsh {harsh}");
-        assert!(harsh < 1.0, "endpoint-only cannot be perfect on data-centered queries");
+        assert!(
+            harsh < 1.0,
+            "endpoint-only cannot be perfect on data-centered queries"
+        );
     }
 
     #[test]
     fn task_workloads_have_requested_sizes() {
         let (_, tasks) = setup();
         assert_eq!(tasks.range_queries.len(), 10);
-        assert_eq!(tasks.knn_queries.len(), TaskParams::paper_scaled(10).num_knn);
-        assert_eq!(tasks.sim_queries.len(), TaskParams::paper_scaled(10).num_sim);
+        assert_eq!(
+            tasks.knn_queries.len(),
+            TaskParams::paper_scaled(10).num_knn
+        );
+        assert_eq!(
+            tasks.sim_queries.len(),
+            TaskParams::paper_scaled(10).num_sim
+        );
     }
 
     #[test]

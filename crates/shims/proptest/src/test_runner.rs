@@ -1,0 +1,90 @@
+//! Test-runner plumbing: configuration, case errors, and the per-test RNG.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Runner configuration (the subset used: case count).
+#[derive(Debug, Clone, Copy)]
+pub struct ProptestConfig {
+    /// Number of successful cases required per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` successful cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Why a single property case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// `prop_assume!` failed; the case is re-drawn.
+    Reject,
+    /// An assertion failed; the whole property fails.
+    Fail(String),
+}
+
+impl TestCaseError {
+    /// Builds the failure variant.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Deterministic RNG driving strategy generation.
+///
+/// Seeded from the property's name (plus an optional `PROPTEST_SEED`
+/// environment variable) so every run explores the same sequence — failures
+/// reproduce without a persistence file.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    rng: StdRng,
+}
+
+impl TestRng {
+    /// RNG for the named property.
+    pub fn deterministic(test_name: &str) -> Self {
+        // FNV-1a over the name, mixed with an optional env override.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        if let Ok(extra) = std::env::var("PROPTEST_SEED") {
+            if let Ok(n) = extra.trim().parse::<u64>() {
+                h ^= n.rotate_left(32);
+            }
+        }
+        Self {
+            rng: StdRng::seed_from_u64(h),
+        }
+    }
+
+    /// Next 64 random bits.
+    pub fn gen_u64(&mut self) -> u64 {
+        self.rng.gen_range(0..=u64::MAX)
+    }
+
+    /// Uniform f64 in `[0, 1)`.
+    pub fn gen_unit(&mut self) -> f64 {
+        self.rng.gen_range(0.0..1.0)
+    }
+
+    /// Uniform usize in `[lo, hi]`.
+    pub fn gen_usize(&mut self, lo: usize, hi: usize) -> usize {
+        self.rng.gen_range(lo..=hi)
+    }
+
+    /// Uniform bool.
+    pub fn gen_bool(&mut self) -> bool {
+        self.rng.gen_bool(0.5)
+    }
+}

@@ -216,8 +216,7 @@ impl Dqn {
                         // Double DQN: online net picks, target net scores.
                         let q_online = self.online.forward(ns);
                         let mut pick = None::<(usize, f64)>;
-                        for (a, (&qa, &ok)) in q_online.iter().zip(&t.next_mask).enumerate()
-                        {
+                        for (a, (&qa, &ok)) in q_online.iter().zip(&t.next_mask).enumerate() {
                             if ok && pick.is_none_or(|(_, bq)| qa > bq) {
                                 pick = Some((a, qa));
                             }
@@ -251,7 +250,10 @@ impl Dqn {
 
         self.train_steps += 1;
         self.epsilon = (self.epsilon * self.config.epsilon_decay).max(self.config.epsilon_min);
-        if self.train_steps.is_multiple_of(self.config.target_sync_every) {
+        if self
+            .train_steps
+            .is_multiple_of(self.config.target_sync_every)
+        {
             self.sync_target();
         }
         Some(loss)
@@ -414,7 +416,11 @@ mod tests {
 
     #[test]
     fn epsilon_decays_to_floor() {
-        let config = DqnConfig { epsilon_decay: 0.5, batch_size: 1, ..DqnConfig::default() };
+        let config = DqnConfig {
+            epsilon_decay: 0.5,
+            batch_size: 1,
+            ..DqnConfig::default()
+        };
         let mut agent = Dqn::new(&[1, 4, 2], config, 10);
         agent.remember(Transition {
             state: vec![0.0],
@@ -433,7 +439,11 @@ mod tests {
     fn terminal_targets_equal_reward() {
         // With a single terminal transition repeated, Q(s, a) must converge
         // to exactly the reward.
-        let config = DqnConfig { batch_size: 4, lr: 0.05, ..DqnConfig::default() };
+        let config = DqnConfig {
+            batch_size: 4,
+            lr: 0.05,
+            ..DqnConfig::default()
+        };
         let mut agent = Dqn::new(&[1, 8, 2], config, 11);
         for _ in 0..8 {
             agent.remember(Transition {

@@ -22,8 +22,7 @@ pub struct Adam {
 impl Adam {
     /// Adam with the paper's learning rate and standard betas.
     pub fn new(net: &Mlp, lr: f64) -> Self {
-        let shapes: Vec<usize> =
-            net.layers().iter().map(|l| l.w.len() + l.b.len()).collect();
+        let shapes: Vec<usize> = net.layers().iter().map(|l| l.w.len() + l.b.len()).collect();
         Self {
             lr,
             beta1: 0.9,
@@ -81,8 +80,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let mut net = Mlp::new(&[2, 8, 1], &mut rng);
         let mut adam = Adam::new(&net, 0.01);
-        let data: Vec<([f64; 2], f64)> =
-            vec![([0.0, 0.0], 0.0), ([1.0, 0.0], 1.0), ([0.0, 1.0], -1.0), ([1.0, 1.0], 0.0)];
+        let data: Vec<([f64; 2], f64)> = vec![
+            ([0.0, 0.0], 0.0),
+            ([1.0, 0.0], 1.0),
+            ([0.0, 1.0], -1.0),
+            ([1.0, 1.0], 0.0),
+        ];
         let mut final_loss = f64::INFINITY;
         for _ in 0..2000 {
             let mut grad = net.zero_grad();
@@ -106,8 +109,12 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(6);
         let mut net = Mlp::new(&[2, 8, 1], &mut rng);
         let mut adam = Adam::new(&net, 0.02);
-        let data: Vec<([f64; 2], f64)> =
-            vec![([0.0, 0.0], 0.0), ([1.0, 0.0], 1.0), ([0.0, 1.0], 1.0), ([1.0, 1.0], 0.0)];
+        let data: Vec<([f64; 2], f64)> = vec![
+            ([0.0, 0.0], 0.0),
+            ([1.0, 0.0], 1.0),
+            ([0.0, 1.0], 1.0),
+            ([1.0, 1.0], 0.0),
+        ];
         for _ in 0..3000 {
             let mut grad = net.zero_grad();
             for (x, t) in &data {

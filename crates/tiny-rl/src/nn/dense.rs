@@ -21,8 +21,15 @@ impl Dense {
     /// hidden layers the paper's FNNs use.
     pub fn xavier(input: usize, output: usize, rng: &mut StdRng) -> Self {
         let limit = (6.0 / (input + output) as f64).sqrt();
-        let w = (0..input * output).map(|_| rng.gen_range(-limit..limit)).collect();
-        Self { input, output, w, b: vec![0.0; output] }
+        let w = (0..input * output)
+            .map(|_| rng.gen_range(-limit..limit))
+            .collect();
+        Self {
+            input,
+            output,
+            w,
+            b: vec![0.0; output],
+        }
     }
 
     /// Forward pass into a caller-provided buffer (avoids allocation in
@@ -65,7 +72,10 @@ pub struct DenseGrad {
 impl DenseGrad {
     /// Zeroed gradients for `layer`.
     pub fn zeros_like(layer: &Dense) -> Self {
-        Self { w: vec![0.0; layer.w.len()], b: vec![0.0; layer.b.len()] }
+        Self {
+            w: vec![0.0; layer.w.len()],
+            b: vec![0.0; layer.b.len()],
+        }
     }
 
     /// Resets all gradients to zero (buffer reuse between batches).
@@ -102,7 +112,12 @@ mod tests {
 
     #[test]
     fn forward_computes_affine_map() {
-        let layer = Dense { input: 2, output: 2, w: vec![1.0, 2.0, 3.0, 4.0], b: vec![0.5, -0.5] };
+        let layer = Dense {
+            input: 2,
+            output: 2,
+            w: vec![1.0, 2.0, 3.0, 4.0],
+            b: vec![0.5, -0.5],
+        };
         let y = layer.forward(&[1.0, 1.0]);
         assert_eq!(y, vec![3.5, 6.5]);
     }
@@ -121,7 +136,12 @@ mod tests {
 
     #[test]
     fn gradient_accumulation_matches_manual_computation() {
-        let layer = Dense { input: 2, output: 1, w: vec![2.0, -1.0], b: vec![0.0] };
+        let layer = Dense {
+            input: 2,
+            output: 1,
+            w: vec![2.0, -1.0],
+            b: vec![0.0],
+        };
         let mut grad = DenseGrad::zeros_like(&layer);
         // y = 2x0 - x1; dL/dy = 1 => dW = x, db = 1, dx = W.
         let dx = grad.accumulate(&layer, &[3.0, 4.0], &[1.0]);
@@ -132,7 +152,12 @@ mod tests {
 
     #[test]
     fn zero_resets_buffers() {
-        let layer = Dense { input: 1, output: 1, w: vec![1.0], b: vec![1.0] };
+        let layer = Dense {
+            input: 1,
+            output: 1,
+            w: vec![1.0],
+            b: vec![1.0],
+        };
         let mut grad = DenseGrad::zeros_like(&layer);
         grad.accumulate(&layer, &[1.0], &[1.0]);
         grad.zero();

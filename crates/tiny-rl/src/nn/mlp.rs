@@ -25,8 +25,10 @@ impl Mlp {
     /// Requires at least an input and an output size.
     pub fn new(sizes: &[usize], rng: &mut StdRng) -> Self {
         assert!(sizes.len() >= 2, "need at least input and output sizes");
-        let layers =
-            sizes.windows(2).map(|w| Dense::xavier(w[0], w[1], rng)).collect();
+        let layers = sizes
+            .windows(2)
+            .map(|w| Dense::xavier(w[0], w[1], rng))
+            .collect();
         Self { layers }
     }
 
@@ -116,7 +118,9 @@ impl Mlp {
 
     /// Zeroed gradients matching this network.
     pub fn zero_grad(&self) -> MlpGrad {
-        MlpGrad { layers: self.layers.iter().map(DenseGrad::zeros_like).collect() }
+        MlpGrad {
+            layers: self.layers.iter().map(DenseGrad::zeros_like).collect(),
+        }
     }
 }
 
@@ -156,7 +160,10 @@ mod tests {
 
         let loss = |net: &Mlp| -> f64 {
             let y = net.forward(&x);
-            y.iter().zip(&target).map(|(a, b)| (a - b) * (a - b)).sum::<f64>()
+            y.iter()
+                .zip(&target)
+                .map(|(a, b)| (a - b) * (a - b))
+                .sum::<f64>()
         };
 
         // Analytic gradient.

@@ -19,7 +19,11 @@ pub struct Whitener {
 impl Whitener {
     /// A whitener for `dim`-dimensional features.
     pub fn new(dim: usize) -> Self {
-        Self { mean: vec![0.0; dim], m2: vec![0.0; dim], count: 0.0 }
+        Self {
+            mean: vec![0.0; dim],
+            m2: vec![0.0; dim],
+            count: 0.0,
+        }
     }
 
     /// Feature dimension.
@@ -86,7 +90,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         // Feature 0 in the millions, feature 1 in thousandths.
         for _ in 0..1000 {
-            w.observe(&[1e6 + 1e5 * rng.gen_range(-1.0..1.0), 1e-3 * rng.gen_range(-1.0..1.0)]);
+            w.observe(&[
+                1e6 + 1e5 * rng.gen_range(-1.0..1.0),
+                1e-3 * rng.gen_range(-1.0..1.0),
+            ]);
         }
         let mut x = [1e6, 0.0];
         w.transform(&mut x);

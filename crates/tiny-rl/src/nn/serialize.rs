@@ -25,7 +25,9 @@ impl std::fmt::Display for ParseError {
 impl std::error::Error for ParseError {}
 
 fn err(message: impl Into<String>) -> ParseError {
-    ParseError { message: message.into() }
+    ParseError {
+        message: message.into(),
+    }
 }
 
 /// Serializes an MLP.
@@ -51,18 +53,31 @@ pub fn mlp_from_str(text: &str) -> Result<Mlp, ParseError> {
     let n: usize = parse_tagged(lines.next(), "layers")?;
     let mut layers = Vec::with_capacity(n);
     for i in 0..n {
-        let spec = lines.next().ok_or_else(|| err(format!("missing layer {i}")))?;
+        let spec = lines
+            .next()
+            .ok_or_else(|| err(format!("missing layer {i}")))?;
         let mut parts = spec.split_whitespace();
         if parts.next() != Some("layer") {
             return Err(err(format!("expected 'layer', got {spec:?}")));
         }
-        let input: usize =
-            parts.next().ok_or_else(|| err("missing input dim"))?.parse().map_err(|e| err(format!("input dim: {e}")))?;
-        let output: usize =
-            parts.next().ok_or_else(|| err("missing output dim"))?.parse().map_err(|e| err(format!("output dim: {e}")))?;
+        let input: usize = parts
+            .next()
+            .ok_or_else(|| err("missing input dim"))?
+            .parse()
+            .map_err(|e| err(format!("input dim: {e}")))?;
+        let output: usize = parts
+            .next()
+            .ok_or_else(|| err("missing output dim"))?
+            .parse()
+            .map_err(|e| err(format!("output dim: {e}")))?;
         let w = read_floats(lines.next(), "w", input * output)?;
         let b = read_floats(lines.next(), "b", output)?;
-        layers.push(Dense { input, output, w, b });
+        layers.push(Dense {
+            input,
+            output,
+            w,
+            b,
+        });
     }
     Ok(Mlp::from_layers(layers))
 }
@@ -110,7 +125,10 @@ fn read_floats(line: Option<&str>, tag: &str, expect: usize) -> Result<Vec<f64>,
     let values: Result<Vec<f64>, _> = parts.map(str::parse).collect();
     let values = values.map_err(|e| err(format!("{tag}: {e}")))?;
     if values.len() != expect {
-        return Err(err(format!("{tag}: expected {expect} values, got {}", values.len())));
+        return Err(err(format!(
+            "{tag}: expected {expect} values, got {}",
+            values.len()
+        )));
     }
     Ok(values)
 }

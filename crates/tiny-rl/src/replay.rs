@@ -36,7 +36,11 @@ impl ReplayMemory {
     /// An empty memory of the given capacity (> 0).
     pub fn new(capacity: usize) -> Self {
         assert!(capacity > 0);
-        Self { buf: Vec::with_capacity(capacity.min(4096)), capacity, head: 0 }
+        Self {
+            buf: Vec::with_capacity(capacity.min(4096)),
+            capacity,
+            head: 0,
+        }
     }
 
     /// Number of stored transitions.
@@ -70,7 +74,9 @@ impl ReplayMemory {
         if self.buf.is_empty() {
             return Vec::new();
         }
-        (0..n).map(|_| &self.buf[rng.gen_range(0..self.buf.len())]).collect()
+        (0..n)
+            .map(|_| &self.buf[rng.gen_range(0..self.buf.len())])
+            .collect()
     }
 }
 

@@ -38,7 +38,10 @@ pub struct MedianTreeConfig {
 
 impl Default for MedianTreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, leaf_capacity: 64 }
+        Self {
+            max_depth: 12,
+            leaf_capacity: 64,
+        }
     }
 }
 
@@ -59,7 +62,13 @@ impl MedianTree {
         let mut entries: Vec<(PointRef, Point)> = Vec::with_capacity(db.total_points());
         for (traj, t) in db.iter() {
             for (idx, p) in t.points().iter().enumerate() {
-                entries.push((PointRef { traj, idx: idx as u32 }, *p));
+                entries.push((
+                    PointRef {
+                        traj,
+                        idx: idx as u32,
+                    },
+                    *p,
+                ));
             }
         }
         let mut tree = Self { nodes: Vec::new() };
@@ -133,8 +142,16 @@ impl MedianTree {
     }
 
     /// Point count of a node (subtree).
+    #[must_use]
     pub fn point_count(&self, id: NodeId) -> u32 {
         self.nodes[id as usize].point_count
+    }
+
+    /// Points stored directly at `id` (non-empty only for leaves).
+    #[inline]
+    #[must_use]
+    pub fn leaf_points(&self, id: NodeId) -> &[PointRef] {
+        &self.nodes[id as usize].points
     }
 
     fn count_query(&mut self, id: NodeId, q: &Cube) {
@@ -178,9 +195,7 @@ fn split_median(
 ) -> [&mut [(PointRef, Point)]; 2] {
     let mid = entries.len() / 2;
     if entries.len() >= 2 {
-        entries.select_nth_unstable_by(mid, |a, b| {
-            key(&a.1).total_cmp(&key(&b.1))
-        });
+        entries.select_nth_unstable_by(mid, |a, b| key(&a.1).total_cmp(&key(&b.1)));
     }
     let (lo, hi) = entries.split_at_mut(mid);
     [lo, hi]
@@ -191,7 +206,11 @@ fn bounding_cube_of(entries: &[(PointRef, Point)], parent: &Cube) -> Cube {
     if entries.is_empty() {
         // Keep a degenerate corner of the parent so geometry stays valid.
         return Cube::new(
-            parent.x_min, parent.x_min, parent.y_min, parent.y_min, parent.t_min,
+            parent.x_min,
+            parent.x_min,
+            parent.y_min,
+            parent.y_min,
+            parent.t_min,
             parent.t_min,
         );
     }
@@ -253,12 +272,17 @@ impl CubeIndex for MedianTree {
         if candidates.is_empty() {
             return 0;
         }
-        let by_query: Vec<f64> =
-            candidates.iter().map(|&id| CubeIndex::query_count(self, id) as f64).collect();
+        let by_query: Vec<f64> = candidates
+            .iter()
+            .map(|&id| CubeIndex::query_count(self, id) as f64)
+            .collect();
         let weights: Vec<f64> = if by_query.iter().sum::<f64>() > 0.0 {
             by_query
         } else {
-            candidates.iter().map(|&id| CubeIndex::traj_count(self, id) as f64).collect()
+            candidates
+                .iter()
+                .map(|&id| CubeIndex::traj_count(self, id) as f64)
+                .collect()
         };
         pick_weighted_kd(&candidates, &weights, rng)
     }
@@ -268,8 +292,10 @@ impl CubeIndex for MedianTree {
         if candidates.is_empty() {
             return 0;
         }
-        let weights: Vec<f64> =
-            candidates.iter().map(|&id| CubeIndex::traj_count(self, id) as f64).collect();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&id| CubeIndex::traj_count(self, id) as f64)
+            .collect();
         pick_weighted_kd(&candidates, &weights, rng)
     }
 
@@ -324,7 +350,13 @@ mod tests {
     #[test]
     fn indexes_every_point_exactly_once() {
         let db = db();
-        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 6, leaf_capacity: 32 });
+        let tree = MedianTree::build(
+            &db,
+            MedianTreeConfig {
+                max_depth: 6,
+                leaf_capacity: 32,
+            },
+        );
         assert_eq!(tree.point_count(0) as usize, db.total_points());
         let groups = tree.points_by_trajectory(0);
         let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
@@ -337,7 +369,13 @@ mod tests {
         // The defining property vs. the octree: median splits balance the
         // children even on skewed data.
         let db = db();
-        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 4, leaf_capacity: 16 });
+        let tree = MedianTree::build(
+            &db,
+            MedianTreeConfig {
+                max_depth: 4,
+                leaf_capacity: 16,
+            },
+        );
         let children = CubeIndex::children(&tree, 0).expect("root splits");
         let counts: Vec<u32> = children.iter().map(|&c| tree.point_count(c)).collect();
         let min = *counts.iter().min().unwrap();
@@ -351,7 +389,13 @@ mod tests {
     #[test]
     fn children_partition_counts() {
         let db = db();
-        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 5, leaf_capacity: 16 });
+        let tree = MedianTree::build(
+            &db,
+            MedianTreeConfig {
+                max_depth: 5,
+                leaf_capacity: 16,
+            },
+        );
         for id in 0..tree.len() as NodeId {
             if let Some(children) = CubeIndex::children(&tree, id) {
                 let sum: u32 = children.iter().map(|&c| tree.point_count(c)).sum();
@@ -363,9 +407,21 @@ mod tests {
     #[test]
     fn respects_max_depth_and_leaf_capacity() {
         let db = db();
-        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 3, leaf_capacity: 8 });
+        let tree = MedianTree::build(
+            &db,
+            MedianTreeConfig {
+                max_depth: 3,
+                leaf_capacity: 8,
+            },
+        );
         assert!(tree.actual_depth() <= 3);
-        let big = MedianTree::build(&db, MedianTreeConfig { max_depth: 10, leaf_capacity: 1_000_000 });
+        let big = MedianTree::build(
+            &db,
+            MedianTreeConfig {
+                max_depth: 10,
+                leaf_capacity: 1_000_000,
+            },
+        );
         assert_eq!(big.len(), 1, "everything fits in the root leaf");
     }
 
@@ -384,7 +440,13 @@ mod tests {
     #[test]
     fn sample_start_returns_populated_nodes() {
         let db = db();
-        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 5, leaf_capacity: 16 });
+        let tree = MedianTree::build(
+            &db,
+            MedianTreeConfig {
+                max_depth: 5,
+                leaf_capacity: 16,
+            },
+        );
         let mut rng = StdRng::seed_from_u64(9);
         for s in 1..5 {
             let id = CubeIndex::sample_start(&tree, s, &mut rng);
@@ -402,7 +464,13 @@ mod tests {
     #[test]
     fn child_cubes_contain_their_points() {
         let db = db();
-        let tree = MedianTree::build(&db, MedianTreeConfig { max_depth: 4, leaf_capacity: 32 });
+        let tree = MedianTree::build(
+            &db,
+            MedianTreeConfig {
+                max_depth: 4,
+                leaf_capacity: 32,
+            },
+        );
         for id in 0..tree.len() as NodeId {
             let cube = CubeIndex::cube(&tree, id);
             for (traj, idxs) in tree.points_by_trajectory(id) {

@@ -73,7 +73,10 @@ pub struct OctreeConfig {
 
 impl Default for OctreeConfig {
     fn default() -> Self {
-        Self { max_depth: 12, leaf_capacity: 64 }
+        Self {
+            max_depth: 12,
+            leaf_capacity: 64,
+        }
     }
 }
 
@@ -91,7 +94,10 @@ impl Octree {
         if cube.is_empty() {
             cube = Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0);
         }
-        let mut tree = Self { nodes: vec![Node::new_leaf(cube, 1)], config };
+        let mut tree = Self {
+            nodes: vec![Node::new_leaf(cube, 1)],
+            config,
+        };
         for (traj, t) in db.iter() {
             for idx in 0..t.len() as u32 {
                 let p = *t.point(idx as usize);
@@ -276,12 +282,17 @@ impl Octree {
         if candidates.is_empty() {
             return self.root();
         }
-        let by_query: Vec<f64> =
-            candidates.iter().map(|&id| self.node(id).query_count as f64).collect();
+        let by_query: Vec<f64> = candidates
+            .iter()
+            .map(|&id| self.node(id).query_count as f64)
+            .collect();
         let weights: Vec<f64> = if by_query.iter().sum::<f64>() > 0.0 {
             by_query
         } else {
-            candidates.iter().map(|&id| self.node(id).traj_count as f64).collect()
+            candidates
+                .iter()
+                .map(|&id| self.node(id).traj_count as f64)
+                .collect()
         };
         pick_weighted(&candidates, &weights, rng)
     }
@@ -293,9 +304,18 @@ impl Octree {
         if candidates.is_empty() {
             return self.root();
         }
-        let weights: Vec<f64> =
-            candidates.iter().map(|&id| self.node(id).traj_count as f64).collect();
+        let weights: Vec<f64> = candidates
+            .iter()
+            .map(|&id| self.node(id).traj_count as f64)
+            .collect();
         pick_weighted(&candidates, &weights, rng)
+    }
+
+    /// Points stored directly at `id` (non-empty only for leaves).
+    #[inline]
+    #[must_use]
+    pub fn leaf_points(&self, id: NodeId) -> &[PointRef] {
+        &self.nodes[id as usize].points
     }
 
     /// All points in the subtree rooted at `id` (DFS over leaves).
@@ -391,7 +411,10 @@ mod tests {
     fn build_indexes_every_point() {
         let db = small_db();
         let tree = Octree::build(&db, OctreeConfig::default());
-        assert_eq!(tree.node(tree.root()).point_count as usize, db.total_points());
+        assert_eq!(
+            tree.node(tree.root()).point_count as usize,
+            db.total_points()
+        );
         assert_eq!(tree.collect_points(tree.root()).len(), db.total_points());
     }
 
@@ -405,7 +428,13 @@ mod tests {
     #[test]
     fn children_partition_parent_points() {
         let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 32 });
+        let tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 6,
+                leaf_capacity: 32,
+            },
+        );
         for id in 0..tree.len() as NodeId {
             if let Some(children) = tree.node(id).children {
                 let child_sum: u32 = children.iter().map(|&c| tree.node(c).point_count).sum();
@@ -420,7 +449,13 @@ mod tests {
     #[test]
     fn points_live_in_their_cubes() {
         let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 8, leaf_capacity: 16 });
+        let tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 8,
+                leaf_capacity: 16,
+            },
+        );
         for id in 0..tree.len() as NodeId {
             let node = tree.node(id);
             if node.is_leaf() {
@@ -435,7 +470,13 @@ mod tests {
     #[test]
     fn max_depth_is_respected() {
         let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 4, leaf_capacity: 1 });
+        let tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 4,
+                leaf_capacity: 1,
+            },
+        );
         assert!(tree.actual_depth() <= 4);
     }
 
@@ -446,7 +487,13 @@ mod tests {
         // All share (x, y) but differ in t, plus truly identical spatial dups.
         let t = Trajectory::new(pts).unwrap();
         let db = TrajectoryDb::new(vec![t]);
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 5, leaf_capacity: 2 });
+        let tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 5,
+                leaf_capacity: 2,
+            },
+        );
         assert_eq!(tree.node(0).point_count, 100);
         assert!(tree.actual_depth() <= 5);
     }
@@ -470,7 +517,13 @@ mod tests {
     #[test]
     fn nodes_at_level_only_returns_populated_nodes() {
         let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 32 });
+        let tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 6,
+                leaf_capacity: 32,
+            },
+        );
         for s in 1..=6 {
             for id in tree.nodes_at_level(s) {
                 let n = tree.node(id);
@@ -484,7 +537,13 @@ mod tests {
     #[test]
     fn sample_start_prefers_query_heavy_cubes() {
         let db = small_db();
-        let mut tree = Octree::build(&db, OctreeConfig { max_depth: 5, leaf_capacity: 32 });
+        let mut tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 5,
+                leaf_capacity: 32,
+            },
+        );
         // Put all query mass in one level-2 child.
         let level2 = tree.nodes_at_level(2);
         assert!(!level2.is_empty());
@@ -499,7 +558,10 @@ mod tests {
                 hits += 1;
             }
         }
-        assert_eq!(hits, 50, "all samples should land on the only query-hit node");
+        assert_eq!(
+            hits, 50,
+            "all samples should land on the only query-hit node"
+        );
     }
 
     #[test]
@@ -521,7 +583,10 @@ mod tests {
         let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
         assert_eq!(total, db.total_points());
         for (traj, idxs) in &groups {
-            assert!(idxs.windows(2).all(|w| w[0] < w[1]), "unsorted for traj {traj}");
+            assert!(
+                idxs.windows(2).all(|w| w[0] < w[1]),
+                "unsorted for traj {traj}"
+            );
             assert_eq!(idxs.len(), db.get(*traj).len());
         }
     }
@@ -529,7 +594,13 @@ mod tests {
     #[test]
     fn child_stats_matches_nodes() {
         let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 32 });
+        let tree = Octree::build(
+            &db,
+            OctreeConfig {
+                max_depth: 6,
+                leaf_capacity: 32,
+            },
+        );
         let stats = tree.child_stats(tree.root()).expect("root has children");
         let children = tree.node(tree.root()).children.unwrap();
         for (k, &(m, q)) in stats.iter().enumerate() {

@@ -9,7 +9,77 @@
 use rand::rngs::StdRng;
 use trajectory::{Cube, TrajId};
 
-use crate::octree::{NodeId, Octree};
+use crate::kdtree::MedianTree;
+use crate::octree::{NodeId, Octree, PointRef};
+
+/// The structural view query execution needs from a spatio-temporal index:
+/// cube-pruned traversal down to per-leaf point lists.
+///
+/// [`CubeIndex`] is the *agents'* view (distribution statistics, weighted
+/// start sampling); this trait is the *query engine's* view. Both octree
+/// and median kd-tree implement both, so `traj-query`'s `QueryEngine` can
+/// execute range / kNN / similarity queries against either partitioning
+/// with the same pruning logic.
+pub trait SpatioTemporalIndex {
+    /// The root node.
+    fn root(&self) -> NodeId;
+
+    /// The node's bounding cube. Every point of the subtree lies inside.
+    fn cube(&self, id: NodeId) -> Cube;
+
+    /// Child ids in a fixed 8-ary order, `None` for leaves.
+    fn children(&self, id: NodeId) -> Option<[NodeId; 8]>;
+
+    /// Points stored directly at the node (non-empty only for leaves).
+    fn leaf_points(&self, id: NodeId) -> &[PointRef];
+
+    /// Number of points in the subtree of `id`.
+    fn point_count(&self, id: NodeId) -> u32;
+}
+
+impl SpatioTemporalIndex for Octree {
+    fn root(&self) -> NodeId {
+        Octree::root(self)
+    }
+
+    fn cube(&self, id: NodeId) -> Cube {
+        self.node(id).cube
+    }
+
+    fn children(&self, id: NodeId) -> Option<[NodeId; 8]> {
+        self.node(id).children
+    }
+
+    fn leaf_points(&self, id: NodeId) -> &[PointRef] {
+        Octree::leaf_points(self, id)
+    }
+
+    fn point_count(&self, id: NodeId) -> u32 {
+        self.node(id).point_count
+    }
+}
+
+impl SpatioTemporalIndex for MedianTree {
+    fn root(&self) -> NodeId {
+        0
+    }
+
+    fn cube(&self, id: NodeId) -> Cube {
+        CubeIndex::cube(self, id)
+    }
+
+    fn children(&self, id: NodeId) -> Option<[NodeId; 8]> {
+        CubeIndex::children(self, id)
+    }
+
+    fn leaf_points(&self, id: NodeId) -> &[PointRef] {
+        MedianTree::leaf_points(self, id)
+    }
+
+    fn point_count(&self, id: NodeId) -> u32 {
+        MedianTree::point_count(self, id)
+    }
+}
 
 /// A spatio-temporal cube index usable by RL4QDTS.
 pub trait CubeIndex {

@@ -1,0 +1,919 @@
+//! The canonical query-execution path: an index-accelerated, parallel
+//! [`QueryEngine`].
+//!
+//! Every query operator in this crate has a straightforward linear-scan
+//! definition (`range_query`, [`KnnQuery::execute`],
+//! [`SimilarityQuery::execute`]); those remain the semantic reference. The
+//! engine executes the *same* queries against a spatio-temporal index
+//! (octree or median kd-tree from `traj-index`) with cube pruning, and runs
+//! batch workloads data-parallel across all cores. Property tests assert
+//! result-set equality between the engine and the scans for every backend.
+//!
+//! Beyond one-shot execution, the engine supports the access pattern at the
+//! heart of RL4QDTS's training loop (Eq. 10): a fixed range-query workload
+//! repeatedly evaluated against a *growing* simplification. A
+//! [`MaintainedWorkload`] keeps every query's result set — and its F1
+//! against the ground truth — incrementally up to date as points are
+//! re-introduced, turning the per-window reward from a full O(W·N) rescan
+//! into O(W) bookkeeping per insertion.
+
+use std::borrow::Cow;
+use std::collections::HashMap;
+
+use traj_index::{
+    CubeIndex, MedianTree, MedianTreeConfig, NodeId, Octree, OctreeConfig, SpatioTemporalIndex,
+};
+use trajectory::{Cube, Point, Simplification, TrajId, TrajectoryDb};
+
+use crate::knn::KnnQuery;
+use crate::metrics::{f1_sets, F1Score};
+use crate::parallel::par_map;
+use crate::range::range_query;
+use crate::similarity::SimilarityQuery;
+
+/// Which index structure backs a [`QueryEngine`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum BackendKind {
+    /// No index: every query is a linear scan (the reference behaviour,
+    /// and the fallback for workloads too small to amortize an index).
+    Scan,
+    /// Spatio-temporal octree (the paper's index).
+    #[default]
+    Octree,
+    /// Median-split kd-tree bundled 8-ary.
+    MedianKd,
+}
+
+impl BackendKind {
+    /// Display label for tables and benchmark ids.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            BackendKind::Scan => "scan",
+            BackendKind::Octree => "octree",
+            BackendKind::MedianKd => "median-kd",
+        }
+    }
+}
+
+/// Build parameters for a [`QueryEngine`].
+#[derive(Debug, Clone, Copy)]
+pub struct EngineConfig {
+    /// The index backend.
+    pub backend: BackendKind,
+    /// Maximum index depth (root = 1).
+    pub max_depth: u32,
+    /// Leaf split threshold.
+    pub leaf_capacity: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        Self {
+            backend: BackendKind::Octree,
+            max_depth: 12,
+            leaf_capacity: 64,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// An octree-backed configuration with default tree shape.
+    #[must_use]
+    pub fn octree() -> Self {
+        Self::default()
+    }
+
+    /// A scan (no-index) configuration.
+    #[must_use]
+    pub fn scan() -> Self {
+        Self {
+            backend: BackendKind::Scan,
+            ..Self::default()
+        }
+    }
+
+    /// A median kd-tree configuration with default tree shape.
+    #[must_use]
+    pub fn median_kd() -> Self {
+        Self {
+            backend: BackendKind::MedianKd,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the backend.
+    #[must_use]
+    pub fn with_backend(mut self, backend: BackendKind) -> Self {
+        self.backend = backend;
+        self
+    }
+
+    /// Overrides the tree shape.
+    #[must_use]
+    pub fn with_tree_shape(mut self, max_depth: u32, leaf_capacity: usize) -> Self {
+        self.max_depth = max_depth;
+        self.leaf_capacity = leaf_capacity;
+        self
+    }
+}
+
+/// The constructed index.
+enum IndexBackend {
+    Scan,
+    Octree(Octree),
+    MedianKd(MedianTree),
+}
+
+/// Owns (or borrows) a [`TrajectoryDb`] plus an index over it, and executes
+/// all query types through one pruned, parallel path.
+///
+/// Construction is the only O(N log N) step; afterwards each range query
+/// touches only the index nodes intersecting its cube. The engine is the
+/// seam every consumer goes through: training rewards (`rl4qdts`), the
+/// evaluation suite, the benchmarks, and the serving examples.
+pub struct QueryEngine<'a> {
+    db: Cow<'a, TrajectoryDb>,
+    backend: IndexBackend,
+    config: EngineConfig,
+}
+
+impl QueryEngine<'static> {
+    /// Builds an engine owning `db`.
+    #[must_use]
+    pub fn new(db: TrajectoryDb, config: EngineConfig) -> Self {
+        let backend = build_backend(&db, config);
+        Self {
+            db: Cow::Owned(db),
+            backend,
+            config,
+        }
+    }
+}
+
+impl<'a> QueryEngine<'a> {
+    /// Builds an engine borrowing `db` (no copy; same execution paths).
+    #[must_use]
+    pub fn over(db: &'a TrajectoryDb, config: EngineConfig) -> Self {
+        let backend = build_backend(db, config);
+        Self {
+            db: Cow::Borrowed(db),
+            backend,
+            config,
+        }
+    }
+
+    /// The underlying database.
+    #[inline]
+    #[must_use]
+    pub fn db(&self) -> &TrajectoryDb {
+        &self.db
+    }
+
+    /// The build configuration.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// The backend actually in use.
+    #[must_use]
+    pub fn backend_kind(&self) -> BackendKind {
+        match self.backend {
+            IndexBackend::Scan => BackendKind::Scan,
+            IndexBackend::Octree(_) => BackendKind::Octree,
+            IndexBackend::MedianKd(_) => BackendKind::MedianKd,
+        }
+    }
+
+    /// The agents' statistical view of the index ([`CubeIndex`]), `None`
+    /// for the scan backend. This lets `rl4qdts` share one index build
+    /// between query execution and Agent-Cube's traversal.
+    #[must_use]
+    pub fn cube_index(&self) -> Option<&dyn CubeIndex> {
+        match &self.backend {
+            IndexBackend::Scan => None,
+            IndexBackend::Octree(t) => Some(t),
+            IndexBackend::MedianKd(t) => Some(t),
+        }
+    }
+
+    /// The structural traversal view, `None` for the scan backend.
+    #[must_use]
+    fn spatial_index(&self) -> Option<&dyn SpatioTemporalIndex> {
+        match &self.backend {
+            IndexBackend::Scan => None,
+            IndexBackend::Octree(t) => Some(t),
+            IndexBackend::MedianKd(t) => Some(t),
+        }
+    }
+
+    /// Registers a query workload on the index's per-node `Q_B` statistics
+    /// (no-op for the scan backend). Required before Agent-Cube sampling.
+    pub fn assign_queries(&mut self, queries: &[Cube]) {
+        match &mut self.backend {
+            IndexBackend::Scan => {}
+            IndexBackend::Octree(t) => t.assign_queries(queries),
+            IndexBackend::MedianKd(t) => CubeIndex::assign_queries(t, queries),
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Range queries.
+    // ------------------------------------------------------------------
+
+    /// Executes a range query, returning matching trajectory ids ascending.
+    /// Identical results to [`range_query`], via index pruning.
+    #[must_use]
+    pub fn range(&self, q: &Cube) -> Vec<TrajId> {
+        match self.spatial_index() {
+            None => range_query(&self.db, q),
+            Some(index) => {
+                let mut hit = vec![false; self.db.len()];
+                range_mark(index, &self.db, index.root(), q, &mut hit);
+                hit.iter()
+                    .enumerate()
+                    .filter_map(|(id, &h)| h.then_some(id))
+                    .collect()
+            }
+        }
+    }
+
+    /// Executes a whole batch of range queries in parallel.
+    #[must_use]
+    pub fn range_batch(&self, queries: &[Cube]) -> Vec<Vec<TrajId>> {
+        par_map(queries, |q| self.range(q))
+    }
+
+    /// Executes a range query against a *simplification* of the engine's
+    /// database without materializing it: a trajectory matches when one of
+    /// its kept points lies inside `q`. Identical results to
+    /// `rl4qdts::range_query_simplified`.
+    #[must_use]
+    pub fn range_simplified(&self, simp: &Simplification, q: &Cube) -> Vec<TrajId> {
+        match self.spatial_index() {
+            None => self
+                .db
+                .iter()
+                .filter(|(id, t)| {
+                    simp.kept(*id)
+                        .iter()
+                        .any(|&idx| q.contains(t.point(idx as usize)))
+                })
+                .map(|(id, _)| id)
+                .collect(),
+            Some(index) => {
+                let mut hit = vec![false; self.db.len()];
+                range_mark_simplified(index, &self.db, simp, index.root(), q, &mut hit);
+                hit.iter()
+                    .enumerate()
+                    .filter_map(|(id, &h)| h.then_some(id))
+                    .collect()
+            }
+        }
+    }
+
+    /// Batch variant of [`QueryEngine::range_simplified`], parallel across
+    /// queries.
+    #[must_use]
+    pub fn range_simplified_batch(
+        &self,
+        simp: &Simplification,
+        queries: &[Cube],
+    ) -> Vec<Vec<TrajId>> {
+        par_map(queries, |q| self.range_simplified(simp, q))
+    }
+
+    // ------------------------------------------------------------------
+    // kNN queries.
+    // ------------------------------------------------------------------
+
+    /// Executes a kNN query. Identical results to [`KnnQuery::execute`]:
+    /// the index narrows the candidate set to trajectories with points in
+    /// the query's time window (everything else ranks at infinity), and
+    /// candidate distances are computed in parallel.
+    #[must_use]
+    pub fn knn(&self, q: &KnnQuery) -> Vec<TrajId> {
+        let Some(index) = self.spatial_index() else {
+            return q.execute(&self.db);
+        };
+        let q_window = q.query_window();
+        if q_window.is_empty() {
+            // Degenerate window: distances collapse to trivial cases and
+            // the scan is already O(M).
+            return q.execute(&self.db);
+        }
+        // Time-slab pruning: only trajectories with a sampled point in
+        // [ts, te] can have a finite distance. The marking is conservative
+        // (a leaf partially overlapping the slab contributes all its
+        // trajectories), which only adds candidates whose exact distance is
+        // then computed — results never change.
+        let slab = time_slab(index.cube(index.root()), q.ts, q.te);
+        let mut in_window = vec![false; self.db.len()];
+        mark_trajectories_in(index, index.root(), &slab, &mut in_window);
+        let candidates: Vec<TrajId> = in_window
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &h)| h.then_some(id))
+            .collect();
+        let scored: Vec<(f64, TrajId)> = par_map(&candidates, |&id| {
+            (q.windowed_distance(q_window, self.db.get(id)), id)
+        });
+        // Every unmarked trajectory ranks at infinity — as do marked ones
+        // whose window turned out empty. The scan orders by (distance, id),
+        // so all finite distances come first and the infinite tail is
+        // filled in ascending id order across candidates and
+        // non-candidates alike.
+        let mut finite: Vec<(f64, TrajId)> =
+            scored.into_iter().filter(|(d, _)| d.is_finite()).collect();
+        finite.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mut in_finite = vec![false; self.db.len()];
+        for &(_, id) in &finite {
+            in_finite[id] = true;
+        }
+        let mut ids: Vec<TrajId> = finite.into_iter().take(q.k).map(|(_, id)| id).collect();
+        if ids.len() < q.k {
+            for (id, _) in in_finite.iter().enumerate().filter(|(_, &f)| !f) {
+                ids.push(id);
+                if ids.len() == q.k {
+                    break;
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Executes a batch of kNN queries (parallelism lives inside each
+    /// query's candidate scoring).
+    #[must_use]
+    pub fn knn_batch(&self, queries: &[KnnQuery]) -> Vec<Vec<TrajId>> {
+        queries.iter().map(|q| self.knn(q)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Similarity queries.
+    // ------------------------------------------------------------------
+
+    /// Executes a similarity query. Identical results to
+    /// [`SimilarityQuery::execute`]; the per-trajectory "within δ at every
+    /// instant" checks run in parallel. (Index pruning is unsound here: a
+    /// trajectory with no *sampled* point near the window can still match
+    /// through interpolation, so the engine parallelizes instead.)
+    #[must_use]
+    pub fn similarity(&self, q: &SimilarityQuery) -> Vec<TrajId> {
+        let matches = par_map(self.db.trajectories(), |t| q.matches(t));
+        matches
+            .iter()
+            .enumerate()
+            .filter_map(|(id, &m)| m.then_some(id))
+            .collect()
+    }
+
+    /// Executes a batch of similarity queries, parallel across queries.
+    /// Each query's per-trajectory checks run sequentially inside its
+    /// worker — one level of parallelism, not `cores²` threads.
+    #[must_use]
+    pub fn similarity_batch(&self, queries: &[SimilarityQuery]) -> Vec<Vec<TrajId>> {
+        par_map(queries, |q| q.execute(&self.db))
+    }
+
+    // ------------------------------------------------------------------
+    // Workload maintenance.
+    // ------------------------------------------------------------------
+
+    /// Builds a [`MaintainedWorkload`] over `queries`: ground truth comes
+    /// from this engine (index-accelerated, parallel), and the running
+    /// result sets start from `simp`.
+    #[must_use]
+    pub fn maintained_workload(
+        &self,
+        queries: Vec<Cube>,
+        simp: &Simplification,
+    ) -> MaintainedWorkload {
+        MaintainedWorkload::new(self, queries, simp)
+    }
+}
+
+/// Builds the configured index over `db`.
+fn build_backend(db: &TrajectoryDb, config: EngineConfig) -> IndexBackend {
+    match config.backend {
+        BackendKind::Scan => IndexBackend::Scan,
+        BackendKind::Octree => IndexBackend::Octree(Octree::build(
+            db,
+            OctreeConfig {
+                max_depth: config.max_depth,
+                leaf_capacity: config.leaf_capacity,
+            },
+        )),
+        BackendKind::MedianKd => IndexBackend::MedianKd(MedianTree::build(
+            db,
+            MedianTreeConfig {
+                max_depth: config.max_depth,
+                leaf_capacity: config.leaf_capacity,
+            },
+        )),
+    }
+}
+
+/// True when `inner` lies entirely inside `outer`.
+fn covers(outer: &Cube, inner: &Cube) -> bool {
+    outer.x_min <= inner.x_min
+        && inner.x_max <= outer.x_max
+        && outer.y_min <= inner.y_min
+        && inner.y_max <= outer.y_max
+        && outer.t_min <= inner.t_min
+        && inner.t_max <= outer.t_max
+}
+
+/// The root cube widened to cover all x/y but clipped to `[ts, te]` in time.
+fn time_slab(root: Cube, ts: f64, te: f64) -> Cube {
+    Cube {
+        x_min: f64::NEG_INFINITY,
+        x_max: f64::INFINITY,
+        y_min: f64::NEG_INFINITY,
+        y_max: f64::INFINITY,
+        t_min: ts.min(root.t_max),
+        t_max: te.max(root.t_min),
+    }
+}
+
+/// Marks every trajectory with a point inside `q` in the subtree of `id`.
+fn range_mark(
+    index: &dyn SpatioTemporalIndex,
+    db: &TrajectoryDb,
+    id: NodeId,
+    q: &Cube,
+    hit: &mut [bool],
+) {
+    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+        return;
+    }
+    match index.children(id) {
+        Some(children) => {
+            for c in children {
+                range_mark(index, db, c, q, hit);
+            }
+        }
+        None => {
+            let contained = covers(q, &index.cube(id));
+            for r in index.leaf_points(id) {
+                if hit[r.traj] {
+                    continue;
+                }
+                if contained || q.contains(db.get(r.traj).point(r.idx as usize)) {
+                    hit[r.traj] = true;
+                }
+            }
+        }
+    }
+}
+
+/// [`range_mark`] over only the *kept* points of a simplification.
+fn range_mark_simplified(
+    index: &dyn SpatioTemporalIndex,
+    db: &TrajectoryDb,
+    simp: &Simplification,
+    id: NodeId,
+    q: &Cube,
+    hit: &mut [bool],
+) {
+    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+        return;
+    }
+    match index.children(id) {
+        Some(children) => {
+            for c in children {
+                range_mark_simplified(index, db, simp, c, q, hit);
+            }
+        }
+        None => {
+            let contained = covers(q, &index.cube(id));
+            for r in index.leaf_points(id) {
+                if hit[r.traj] || !simp.contains(r.traj, r.idx) {
+                    continue;
+                }
+                if contained || q.contains(db.get(r.traj).point(r.idx as usize)) {
+                    hit[r.traj] = true;
+                }
+            }
+        }
+    }
+}
+
+/// Conservatively marks every trajectory that *may* have a point inside
+/// `q`: all trajectories of every leaf whose cube intersects `q`. A
+/// superset is fine for candidate pruning — exact per-candidate work
+/// decides membership afterwards.
+fn mark_trajectories_in(index: &dyn SpatioTemporalIndex, id: NodeId, q: &Cube, hit: &mut [bool]) {
+    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+        return;
+    }
+    match index.children(id) {
+        Some(children) => {
+            for c in children {
+                mark_trajectories_in(index, c, q, hit);
+            }
+        }
+        None => {
+            for r in index.leaf_points(id) {
+                hit[r.traj] = true;
+            }
+        }
+    }
+}
+
+/// A range-query workload whose results over a growing [`Simplification`]
+/// are maintained incrementally.
+///
+/// For each query `q` the structure tracks how many kept points of each
+/// trajectory lie inside `q`, the resulting result-set size, and its
+/// intersection with the ground truth `Q(D)`. [`MaintainedWorkload::insert`]
+/// updates all three in O(queries containing the point); the aggregate
+/// `diff` (Eq. 10's `1 − mean F1`) is then O(W) with no database access at
+/// all — the "maintain, don't rescan" half of the tentpole.
+#[derive(Debug, Clone)]
+pub struct MaintainedWorkload {
+    queries: Vec<Cube>,
+    /// Ground-truth result ids, sorted, per query.
+    truth: Vec<Vec<TrajId>>,
+    /// Kept-point hit counts per query, per matching trajectory.
+    counts: Vec<HashMap<TrajId, u32>>,
+    /// `|Rs|` per query.
+    result_len: Vec<usize>,
+    /// `|Ro ∩ Rs|` per query.
+    inter_len: Vec<usize>,
+}
+
+impl MaintainedWorkload {
+    /// Builds the workload state: ground truth via `engine` (indexed,
+    /// parallel), initial result sets from `simp`.
+    #[must_use]
+    pub fn new(engine: &QueryEngine<'_>, queries: Vec<Cube>, simp: &Simplification) -> Self {
+        let truth = engine.range_batch(&queries);
+        let db = engine.db();
+        let initial: Vec<HashMap<TrajId, u32>> = par_map(&queries, |q| {
+            let mut counts: HashMap<TrajId, u32> = HashMap::new();
+            for (id, t) in db.iter() {
+                let n = simp
+                    .kept(id)
+                    .iter()
+                    .filter(|&&idx| q.contains(t.point(idx as usize)))
+                    .count() as u32;
+                if n > 0 {
+                    counts.insert(id, n);
+                }
+            }
+            counts
+        });
+        let result_len: Vec<usize> = initial.iter().map(HashMap::len).collect();
+        let inter_len: Vec<usize> = initial
+            .iter()
+            .zip(&truth)
+            .map(|(counts, truth)| {
+                counts
+                    .keys()
+                    .filter(|id| truth.binary_search(id).is_ok())
+                    .count()
+            })
+            .collect();
+        Self {
+            queries,
+            truth,
+            counts: initial,
+            result_len,
+            inter_len,
+        }
+    }
+
+    /// Number of workload queries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queries.len()
+    }
+
+    /// True when the workload holds no queries.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queries.is_empty()
+    }
+
+    /// The workload's query cubes.
+    #[must_use]
+    pub fn queries(&self) -> &[Cube] {
+        &self.queries
+    }
+
+    /// The ground-truth result of query `i`.
+    #[must_use]
+    pub fn truth(&self, i: usize) -> &[TrajId] {
+        &self.truth[i]
+    }
+
+    /// Records that point `idx` of trajectory `traj` (located at `p`) was
+    /// inserted into the simplification. O(W) cube tests, O(1) updates.
+    pub fn insert(&mut self, traj: TrajId, p: &Point) {
+        for (i, q) in self.queries.iter().enumerate() {
+            if !q.contains(p) {
+                continue;
+            }
+            let count = self.counts[i].entry(traj).or_insert(0);
+            *count += 1;
+            if *count == 1 {
+                self.result_len[i] += 1;
+                if self.truth[i].binary_search(&traj).is_ok() {
+                    self.inter_len[i] += 1;
+                }
+            }
+        }
+    }
+
+    /// Records that a kept point was *removed* from the simplification.
+    pub fn remove(&mut self, traj: TrajId, p: &Point) {
+        for (i, q) in self.queries.iter().enumerate() {
+            if !q.contains(p) {
+                continue;
+            }
+            let Some(count) = self.counts[i].get_mut(&traj) else {
+                continue;
+            };
+            *count -= 1;
+            if *count == 0 {
+                self.counts[i].remove(&traj);
+                self.result_len[i] -= 1;
+                if self.truth[i].binary_search(&traj).is_ok() {
+                    self.inter_len[i] -= 1;
+                }
+            }
+        }
+    }
+
+    /// Current result of query `i`, sorted ascending (materialized from
+    /// the maintained counts; intended for verification and serving).
+    #[must_use]
+    pub fn result(&self, i: usize) -> Vec<TrajId> {
+        let mut ids: Vec<TrajId> = self.counts[i].keys().copied().collect();
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Per-query F1 of the maintained results against the ground truth.
+    #[must_use]
+    pub fn f1_scores(&self) -> Vec<F1Score> {
+        (0..self.queries.len())
+            .map(|i| {
+                F1Score::from_counts(self.inter_len[i], self.truth[i].len(), self.result_len[i])
+            })
+            .collect()
+    }
+
+    /// `diff(Q(D), Q(D'))` = `1 − mean F1` over the workload, from the
+    /// maintained counters alone.
+    #[must_use]
+    pub fn diff(&self) -> f64 {
+        crate::metrics::query_diff(&self.f1_scores())
+    }
+
+    /// From-scratch recomputation of [`MaintainedWorkload::diff`] for
+    /// `simp` via the engine — the O(W·N) path the incremental bookkeeping
+    /// replaces; kept for verification and for scoring unrelated
+    /// simplifications.
+    #[must_use]
+    pub fn diff_of(&self, engine: &QueryEngine<'_>, simp: &Simplification) -> f64 {
+        if self.queries.is_empty() {
+            return 0.0;
+        }
+        let results = engine.range_simplified_batch(simp, &self.queries);
+        let scores: Vec<F1Score> = results
+            .iter()
+            .zip(&self.truth)
+            .map(|(result, truth)| f1_sets(truth, result))
+            .collect();
+        crate::metrics::query_diff(&scores)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Dissimilarity;
+    use crate::workload::{range_workload, QueryDistribution, RangeWorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+
+    fn small_db() -> TrajectoryDb {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 4242)
+    }
+
+    fn workload(db: &TrajectoryDb, n: usize, seed: u64) -> Vec<Cube> {
+        let spec = RangeWorkloadSpec {
+            count: n,
+            spatial_extent: 2_000.0,
+            temporal_extent: 86_400.0,
+            dist: QueryDistribution::Data,
+        };
+        range_workload(db, &spec, &mut StdRng::seed_from_u64(seed))
+    }
+
+    fn all_backends() -> [EngineConfig; 3] {
+        [
+            EngineConfig::scan(),
+            EngineConfig::octree(),
+            EngineConfig::median_kd(),
+        ]
+    }
+
+    #[test]
+    fn range_matches_linear_scan_for_every_backend() {
+        let db = small_db();
+        let queries = workload(&db, 25, 1);
+        for cfg in all_backends() {
+            let engine = QueryEngine::over(&db, cfg);
+            for q in &queries {
+                assert_eq!(
+                    engine.range(q),
+                    range_query(&db, q),
+                    "backend {:?}",
+                    cfg.backend
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn range_batch_matches_single_queries() {
+        let db = small_db();
+        let queries = workload(&db, 40, 2);
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
+        let batch = engine.range_batch(&queries);
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(batch[i], engine.range(q));
+        }
+    }
+
+    #[test]
+    fn whole_space_query_returns_everything() {
+        let db = small_db();
+        for cfg in all_backends() {
+            let engine = QueryEngine::over(&db, cfg);
+            let all = engine.range(&db.bounding_cube());
+            assert_eq!(all, (0..db.len()).collect::<Vec<_>>(), "{:?}", cfg.backend);
+        }
+    }
+
+    #[test]
+    fn empty_database_serves_empty_results() {
+        let db = TrajectoryDb::default();
+        for cfg in all_backends() {
+            let engine = QueryEngine::over(&db, cfg);
+            assert!(engine
+                .range(&Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0))
+                .is_empty());
+        }
+    }
+
+    #[test]
+    fn knn_matches_linear_scan_for_every_backend() {
+        let db = small_db();
+        let (t0, t1) = db.time_span();
+        for cfg in all_backends() {
+            let engine = QueryEngine::over(&db, cfg);
+            for (k, ts, te) in [(3, t0, t1), (1, t0, (t0 + t1) / 2.0), (100, t1, t1 + 10.0)] {
+                let q = KnnQuery {
+                    query: db.get(0).clone(),
+                    ts,
+                    te,
+                    k,
+                    measure: Dissimilarity::Edr { eps: 1_000.0 },
+                };
+                assert_eq!(engine.knn(&q), q.execute(&db), "backend {:?}", cfg.backend);
+            }
+        }
+    }
+
+    #[test]
+    fn similarity_matches_linear_scan() {
+        let db = small_db();
+        let (t0, t1) = db.get(0).time_span();
+        let q = SimilarityQuery {
+            query: db.get(0).clone(),
+            ts: t0,
+            te: t1,
+            delta: 2_500.0,
+            step: 300.0,
+        };
+        for cfg in all_backends() {
+            let engine = QueryEngine::over(&db, cfg);
+            assert_eq!(engine.similarity(&q), q.execute(&db), "{:?}", cfg.backend);
+        }
+    }
+
+    #[test]
+    fn range_simplified_matches_materialized_database() {
+        let db = small_db();
+        let mut simp = Simplification::most_simplified(&db);
+        for (id, t) in db.iter() {
+            for idx in (0..t.len() as u32).step_by(5) {
+                simp.insert(id, idx);
+            }
+        }
+        let materialized = simp.materialize(&db);
+        let queries = workload(&db, 20, 3);
+        for cfg in all_backends() {
+            let engine = QueryEngine::over(&db, cfg);
+            for q in &queries {
+                assert_eq!(
+                    engine.range_simplified(&simp, q),
+                    range_query(&materialized, q),
+                    "backend {:?}",
+                    cfg.backend
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn maintained_workload_tracks_insertions_exactly() {
+        let db = small_db();
+        let queries = workload(&db, 30, 4);
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
+        let mut simp = Simplification::most_simplified(&db);
+        let mut maintained = engine.maintained_workload(queries.clone(), &simp);
+        assert!((maintained.diff() - maintained.diff_of(&engine, &simp)).abs() < 1e-12);
+
+        // Insert a scattering of points, checking the invariant as we go.
+        let mut rng = StdRng::seed_from_u64(9);
+        use rand::Rng;
+        for _ in 0..200 {
+            let traj = rng.gen_range(0..db.len());
+            let n = db.get(traj).len() as u32;
+            if n <= 2 {
+                continue;
+            }
+            let idx = rng.gen_range(1..n - 1);
+            if simp.insert(traj, idx) {
+                maintained.insert(traj, db.get(traj).point(idx as usize));
+            }
+        }
+        assert!(
+            (maintained.diff() - maintained.diff_of(&engine, &simp)).abs() < 1e-12,
+            "incremental diff must equal from-scratch diff"
+        );
+        for (i, q) in queries.iter().enumerate() {
+            assert_eq!(maintained.result(i), engine.range_simplified(&simp, q));
+        }
+    }
+
+    #[test]
+    fn maintained_workload_supports_removal() {
+        let db = small_db();
+        let queries = workload(&db, 10, 5);
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
+        let mut simp = Simplification::most_simplified(&db);
+        let mut maintained = engine.maintained_workload(queries, &simp);
+        let traj = 0;
+        let idx = 1u32;
+        if db.get(traj).len() > 2 && simp.insert(traj, idx) {
+            maintained.insert(traj, db.get(traj).point(idx as usize));
+            assert!((maintained.diff() - maintained.diff_of(&engine, &simp)).abs() < 1e-12);
+            simp.remove(traj, idx);
+            maintained.remove(traj, db.get(traj).point(idx as usize));
+            assert!((maintained.diff() - maintained.diff_of(&engine, &simp)).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn full_simplification_has_zero_diff() {
+        let db = small_db();
+        let queries = workload(&db, 15, 6);
+        let engine = QueryEngine::over(&db, EngineConfig::octree());
+        let full = Simplification::full(&db);
+        let maintained = engine.maintained_workload(queries, &full);
+        assert!(
+            maintained.diff().abs() < 1e-12,
+            "identity simplification must have diff 0"
+        );
+    }
+
+    #[test]
+    fn cube_index_is_shared_for_indexed_backends() {
+        let db = small_db();
+        let mut engine = QueryEngine::over(&db, EngineConfig::octree());
+        assert!(engine.cube_index().is_some());
+        let queries = workload(&db, 5, 7);
+        engine.assign_queries(&queries);
+        let idx = engine.cube_index().unwrap();
+        assert!(
+            idx.query_count(idx.root()) > 0,
+            "assigned workload must reach the index"
+        );
+        assert!(QueryEngine::over(&db, EngineConfig::scan())
+            .cube_index()
+            .is_none());
+    }
+}

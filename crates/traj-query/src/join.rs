@@ -23,7 +23,11 @@ pub struct JoinParams {
 
 impl Default for JoinParams {
     fn default() -> Self {
-        Self { delta: 1_000.0, min_overlap: 300.0, step: 60.0 }
+        Self {
+            delta: 1_000.0,
+            min_overlap: 300.0,
+            step: 60.0,
+        }
     }
 }
 
@@ -33,8 +37,11 @@ impl Default for JoinParams {
 pub fn similarity_join(db: &TrajectoryDb, params: &JoinParams) -> Vec<(TrajId, TrajId)> {
     let mut out = Vec::new();
     // Precompute bounding cubes once: cheap pair pruning.
-    let cubes: Vec<trajectory::Cube> =
-        db.trajectories().iter().map(Trajectory::bounding_cube).collect();
+    let cubes: Vec<trajectory::Cube> = db
+        .trajectories()
+        .iter()
+        .map(Trajectory::bounding_cube)
+        .collect();
     for i in 0..db.len() {
         for j in i + 1..db.len() {
             // Spatial prune: expand one box by δ and require intersection.
@@ -64,7 +71,11 @@ pub fn pair_matches(a: &Trajectory, b: &Trajectory, params: &JoinParams) -> bool
         return false;
     }
     // Regular grid plus both trajectories' own samples inside the overlap.
-    let step = if params.step > 0.0 { params.step } else { (hi - lo) / 16.0 };
+    let step = if params.step > 0.0 {
+        params.step
+    } else {
+        (hi - lo) / 16.0
+    };
     let mut t = lo;
     while t < hi {
         if a.position_at(t).spatial_distance(&b.position_at(t)) > params.delta {
@@ -91,7 +102,9 @@ mod tests {
 
     fn line(y: f64, t0: f64, n: usize) -> Trajectory {
         Trajectory::new(
-            (0..n).map(|i| Point::new(i as f64 * 100.0, y, t0 + i as f64 * 60.0)).collect(),
+            (0..n)
+                .map(|i| Point::new(i as f64 * 100.0, y, t0 + i as f64 * 60.0))
+                .collect(),
         )
         .unwrap()
     }
@@ -122,7 +135,10 @@ mod tests {
         let a = line(0.0, 0.0, 20); // spans [0, 1140]
         let b = line(100.0, 1100.0, 20); // overlap of only 40 s
         let db = TrajectoryDb::new(vec![a, b]);
-        let params = JoinParams { min_overlap: 300.0, ..JoinParams::default() };
+        let params = JoinParams {
+            min_overlap: 300.0,
+            ..JoinParams::default()
+        };
         assert!(similarity_join(&db, &params).is_empty());
     }
 
@@ -149,12 +165,20 @@ mod tests {
         for i in 0..30 {
             let wiggle = if i % 2 == 0 { 0.0 } else { 800.0 };
             pa.push(Point::new(i as f64 * 100.0, wiggle, i as f64 * 60.0));
-            pb.push(Point::new(i as f64 * 100.0, wiggle + 100.0, i as f64 * 60.0));
+            pb.push(Point::new(
+                i as f64 * 100.0,
+                wiggle + 100.0,
+                i as f64 * 60.0,
+            ));
         }
         let a = Trajectory::new(pa).unwrap();
         let b = Trajectory::new(pb).unwrap();
         let db = TrajectoryDb::new(vec![a.clone(), b.clone()]);
-        let params = JoinParams { delta: 500.0, min_overlap: 300.0, step: 30.0 };
+        let params = JoinParams {
+            delta: 500.0,
+            min_overlap: 300.0,
+            step: 30.0,
+        };
         assert_eq!(similarity_join(&db, &params), vec![(0, 1)]);
 
         // Simplify trajectory 1 to its endpoints: a straight line that the

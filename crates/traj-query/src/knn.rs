@@ -42,7 +42,7 @@ impl Dissimilarity {
     }
 
     /// Distance between two windowed point sequences.
-    fn distance(&self, a: &[Point], b: &[Point]) -> f64 {
+    pub(crate) fn distance(&self, a: &[Point], b: &[Point]) -> f64 {
         match self {
             Dissimilarity::Edr { eps } => edr_points(a, b, *eps),
             Dissimilarity::T2vec(e) => {
@@ -75,26 +75,41 @@ impl KnnQuery {
     /// Trajectories with no points in the window rank after all others;
     /// ties break by id, so results are stable across runs.
     pub fn execute(&self, db: &TrajectoryDb) -> Vec<TrajId> {
-        let q_window = window_points(&self.query, self.ts, self.te);
+        let q_window = self.query_window();
         let mut scored: Vec<(f64, TrajId)> = db
             .iter()
-            .map(|(id, t)| {
-                let pts = window_points(t, self.ts, self.te);
-                let d = if pts.is_empty() && q_window.is_empty() {
-                    0.0
-                } else if pts.is_empty() {
-                    f64::INFINITY
-                } else {
-                    self.measure.distance(q_window, pts)
-                };
-                (d, id)
-            })
+            .map(|(id, t)| (self.windowed_distance(q_window, t), id))
             .collect();
-        scored.sort_by(|a, b| a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal).then(a.1.cmp(&b.1)));
-        let mut ids: Vec<TrajId> =
-            scored.into_iter().take(self.k).map(|(_, id)| id).collect();
+        scored.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        let mut ids: Vec<TrajId> = scored.into_iter().take(self.k).map(|(_, id)| id).collect();
         ids.sort_unstable();
         ids
+    }
+
+    /// The query trajectory's windowed restriction (empty when the window
+    /// misses it entirely). Compute once per query, then feed to
+    /// [`KnnQuery::windowed_distance`] per candidate.
+    pub(crate) fn query_window(&self) -> &[Point] {
+        window_points(&self.query, self.ts, self.te)
+    }
+
+    /// Distance between the precomputed query window and `t`'s window.
+    /// This is the single definition of the empty-window conventions the
+    /// engine's pruned execution shares with the scan: both empty → 0,
+    /// candidate empty → ∞.
+    pub(crate) fn windowed_distance(&self, q_window: &[Point], t: &Trajectory) -> f64 {
+        let pts = window_points(t, self.ts, self.te);
+        if pts.is_empty() && q_window.is_empty() {
+            0.0
+        } else if pts.is_empty() {
+            f64::INFINITY
+        } else {
+            self.measure.distance(q_window, pts)
+        }
     }
 }
 

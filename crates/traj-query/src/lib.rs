@@ -6,19 +6,36 @@
 //! plus the query [`workload`] generators used for training and evaluation
 //! and the F1 quality [`metrics`] (Eq. 3) that compare results on the
 //! original and simplified databases.
+//!
+//! # The canonical execution path
+//!
+//! The per-operator functions ([`range_query`], [`KnnQuery::execute`],
+//! [`SimilarityQuery::execute`]) are O(N) linear scans and remain the
+//! semantic reference. Production consumers should construct a
+//! [`QueryEngine`] instead: it owns (or borrows) the database together with
+//! a spatio-temporal index backend ([`BackendKind`]: octree, median
+//! kd-tree, or the naive scan), prunes query execution through the index,
+//! runs batch workloads data-parallel across cores, and — via
+//! [`MaintainedWorkload`] — keeps a workload's results over a growing
+//! simplification incrementally up to date instead of rescanning.
+//! Property tests guarantee engine results equal the scans for every
+//! backend.
 
 #![warn(missing_docs)]
 
 pub mod edr;
+pub mod engine;
 pub mod join;
 pub mod knn;
 pub mod metrics;
+pub mod parallel;
 pub mod range;
 pub mod similarity;
 pub mod t2vec;
 pub mod traclus;
 pub mod workload;
 
+pub use engine::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine};
 pub use join::{similarity_join, JoinParams};
 pub use knn::{Dissimilarity, KnnQuery};
 pub use metrics::{f1_pairs, f1_sets, mean_f1, query_diff, F1Score};

@@ -22,16 +22,32 @@ impl F1Score {
     /// (the simplified database made no mistake the query could observe).
     pub fn from_counts(intersection: usize, truth: usize, result: usize) -> Self {
         if truth == 0 && result == 0 {
-            return Self { precision: 1.0, recall: 1.0, f1: 1.0 };
+            return Self {
+                precision: 1.0,
+                recall: 1.0,
+                f1: 1.0,
+            };
         }
-        let precision = if result == 0 { 0.0 } else { intersection as f64 / result as f64 };
-        let recall = if truth == 0 { 0.0 } else { intersection as f64 / truth as f64 };
+        let precision = if result == 0 {
+            0.0
+        } else {
+            intersection as f64 / result as f64
+        };
+        let recall = if truth == 0 {
+            0.0
+        } else {
+            intersection as f64 / truth as f64
+        };
         let f1 = if precision + recall == 0.0 {
             0.0
         } else {
             2.0 * precision * recall / (precision + recall)
         };
-        Self { precision, recall, f1 }
+        Self {
+            precision,
+            recall,
+            f1,
+        }
     }
 }
 
@@ -139,10 +155,7 @@ mod tests {
 
     #[test]
     fn diff_is_one_minus_mean_f1() {
-        let scores = vec![
-            f1_sets(&[1], &[1]),
-            f1_sets(&[1], &[2]),
-        ];
+        let scores = vec![f1_sets(&[1], &[1]), f1_sets(&[1], &[2])];
         assert!((mean_f1(&scores) - 0.5).abs() < 1e-12);
         assert!((query_diff(&scores) - 0.5).abs() < 1e-12);
         assert_eq!(query_diff(&[]), 0.0);

@@ -1,0 +1,130 @@
+//! Minimal data-parallel map over slices, built on scoped threads.
+//!
+//! The workspace has no external thread-pool dependency, so the engine's
+//! batch paths use this helper: a work-stealing index counter over `items`
+//! with one worker per available core. Results preserve input order, and a
+//! panic in any worker propagates to the caller, so `par_map` is a drop-in
+//! replacement for a sequential `iter().map().collect()`.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Number of worker threads used for a batch of `len` items.
+fn worker_count(len: usize) -> usize {
+    let cores = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4);
+    cores.min(len).max(1)
+}
+
+/// Maps `f` over `items` in parallel, preserving order.
+///
+/// Workers pull indices from a shared atomic counter, so uneven per-item
+/// cost (a selective query vs. a whole-database one) balances
+/// automatically. Falls back to a plain sequential map for tiny batches
+/// where thread startup would dominate.
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    par_map_indexed(items, |_, item| f(item))
+}
+
+/// [`par_map`] variant whose callback also receives the item index.
+pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(usize, &T) -> R + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 || items.len() < 2 {
+        return items
+            .iter()
+            .enumerate()
+            .map(|(i, item)| f(i, item))
+            .collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let next = AtomicUsize::new(0);
+    {
+        // Each worker collects (index, value) pairs; merging afterwards
+        // restores input order without sharing mutable state across threads.
+        let f = &f;
+        let next = &next;
+        let mut partials: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(i, &items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        for part in partials {
+            for (i, r) in part {
+                slots[i] = Some(r);
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_order_and_values() {
+        let items: Vec<usize> = (0..1000).collect();
+        let out = par_map(&items, |&x| x * 2);
+        assert_eq!(out, items.iter().map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn indexed_variant_sees_correct_indices() {
+        let items = vec!["a"; 257];
+        let out = par_map_indexed(&items, |i, _| i);
+        assert_eq!(out, (0..257).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn empty_and_single_item_batches() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map(&empty, |&x| x).is_empty());
+        assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn uneven_workloads_balance() {
+        // Items with wildly different costs still all complete.
+        let items: Vec<u64> = (0..64).collect();
+        let out = par_map(&items, |&x| {
+            if x % 7 == 0 {
+                (0..10_000u64).fold(x, |a, b| a.wrapping_add(b))
+            } else {
+                x
+            }
+        });
+        assert_eq!(out.len(), 64);
+        assert_eq!(out[1], 1);
+    }
+}

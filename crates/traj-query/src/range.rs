@@ -10,24 +10,53 @@ use trajectory::{Cube, TrajId, Trajectory, TrajectoryDb};
 
 /// Executes a range query, returning matching trajectory ids in ascending
 /// order.
+///
+/// This is the O(M) linear-scan reference; production code should prefer
+/// [`crate::QueryEngine::range`], which prunes through an index and returns
+/// identical results.
+#[must_use]
 pub fn range_query(db: &TrajectoryDb, q: &Cube) -> Vec<TrajId> {
-    db.iter().filter(|(_, t)| trajectory_matches(t, q)).map(|(id, _)| id).collect()
+    let mut out = Vec::new();
+    range_query_into(db, q, &mut out);
+    out
+}
+
+/// [`range_query`] writing into a caller-provided buffer (cleared first),
+/// so batch drivers can reuse one allocation across queries.
+pub fn range_query_into(db: &TrajectoryDb, q: &Cube, out: &mut Vec<TrajId>) {
+    out.clear();
+    out.extend(
+        db.iter()
+            .filter(|(_, t)| trajectory_matches(t, q))
+            .map(|(id, _)| id),
+    );
 }
 
 /// True when `t` has at least one point inside `q`. Uses the time dimension
 /// to narrow the scan before testing the spatial predicate.
+#[must_use]
 pub fn trajectory_matches(t: &Trajectory, q: &Cube) -> bool {
     match t.window_indices(q.t_min, q.t_max) {
         None => false,
-        Some((lo, hi)) => t.points()[lo..=hi].iter().any(|p| {
-            p.x >= q.x_min && p.x <= q.x_max && p.y >= q.y_min && p.y <= q.y_max
-        }),
+        Some((lo, hi)) => t.points()[lo..=hi]
+            .iter()
+            .any(|p| p.x >= q.x_min && p.x <= q.x_max && p.y >= q.y_min && p.y <= q.y_max),
     }
 }
 
 /// Executes a batch of range queries (the result of one workload).
+///
+/// The batch path of [`crate::QueryEngine::range_batch`] additionally
+/// spreads queries across cores and prunes each through the index.
+#[must_use]
 pub fn range_query_batch(db: &TrajectoryDb, queries: &[Cube]) -> Vec<Vec<TrajId>> {
-    queries.iter().map(|q| range_query(db, q)).collect()
+    let mut out = Vec::with_capacity(queries.len());
+    for q in queries {
+        let mut ids = Vec::new();
+        range_query_into(db, q, &mut ids);
+        out.push(ids);
+    }
+    out
 }
 
 #[cfg(test)]
@@ -37,11 +66,15 @@ mod tests {
 
     fn db() -> TrajectoryDb {
         let east = Trajectory::new(
-            (0..10).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect(),
+            (0..10)
+                .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64))
+                .collect(),
         )
         .unwrap();
         let north = Trajectory::new(
-            (0..10).map(|i| Point::new(0.0, i as f64 * 10.0, i as f64 + 100.0)).collect(),
+            (0..10)
+                .map(|i| Point::new(0.0, i as f64 * 10.0, i as f64 + 100.0))
+                .collect(),
         )
         .unwrap();
         TrajectoryDb::new(vec![east, north])

@@ -56,7 +56,11 @@ impl SimilarityQuery {
         }
 
         // Check at a regular grid plus both trajectories' sample times.
-        let step = if self.step > 0.0 { self.step } else { (te - ts).max(1.0) / 16.0 };
+        let step = if self.step > 0.0 {
+            self.step
+        } else {
+            (te - ts).max(1.0) / 16.0
+        };
         let mut check_times: Vec<f64> = Vec::new();
         let mut t_cursor = ts;
         while t_cursor < te {
@@ -84,13 +88,21 @@ mod tests {
 
     fn line(y: f64, t0: f64, n: usize) -> Trajectory {
         Trajectory::new(
-            (0..n).map(|i| Point::new(i as f64 * 10.0, y, t0 + i as f64)).collect(),
+            (0..n)
+                .map(|i| Point::new(i as f64 * 10.0, y, t0 + i as f64))
+                .collect(),
         )
         .unwrap()
     }
 
     fn query(delta: f64) -> SimilarityQuery {
-        SimilarityQuery { query: line(0.0, 0.0, 10), ts: 0.0, te: 9.0, delta, step: 0.5 }
+        SimilarityQuery {
+            query: line(0.0, 0.0, 10),
+            ts: 0.0,
+            te: 9.0,
+            delta,
+            step: 0.5,
+        }
     }
 
     #[test]

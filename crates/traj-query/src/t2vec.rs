@@ -30,7 +30,10 @@ pub struct T2vecEmbedder {
 
 impl Default for T2vecEmbedder {
     fn default() -> Self {
-        Self { cell_size: 250.0, dim: 64 }
+        Self {
+            cell_size: 250.0,
+            dim: 64,
+        }
     }
 }
 
@@ -70,7 +73,11 @@ impl T2vecEmbedder {
     /// Euclidean distance between two embeddings.
     pub fn distance(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter().zip(b).map(|(x, y)| (x - y) * (x - y)).sum::<f64>().sqrt()
+        a.iter()
+            .zip(b)
+            .map(|(x, y)| (x - y) * (x - y))
+            .sum::<f64>()
+            .sqrt()
     }
 
     /// The cell-token sequence of a point slice, with consecutive repeats
@@ -150,7 +157,11 @@ mod tests {
         // Small perturbation, same cells mostly.
         let near = traj(&[(10.0, 10.0), (310.0, 5.0), (620.0, -10.0), (890.0, 12.0)]);
         // Entirely different area.
-        let far = traj(&[(10_000.0, 10_000.0), (10_300.0, 10_300.0), (10_600.0, 10_600.0)]);
+        let far = traj(&[
+            (10_000.0, 10_000.0),
+            (10_300.0, 10_300.0),
+            (10_600.0, 10_600.0),
+        ]);
         let vb = e.embed(&base);
         let dn = T2vecEmbedder::distance(&vb, &e.embed(&near));
         let df = T2vecEmbedder::distance(&vb, &e.embed(&far));
@@ -171,7 +182,10 @@ mod tests {
             (600.0, 0.0),
         ]);
         let d = T2vecEmbedder::distance(&e.embed(&moving), &e.embed(&parked));
-        assert!(d < 0.5, "parking noise should barely move the embedding: {d}");
+        assert!(
+            d < 0.5,
+            "parking noise should barely move the embedding: {d}"
+        );
     }
 
     #[test]
@@ -194,7 +208,11 @@ mod tests {
             (1200.0, 500.0),
         ]);
         let simp = traj(&[(0.0, 0.0), (600.0, 150.0), (1200.0, 500.0)]);
-        let other = traj(&[(-5_000.0, 2_000.0), (-5_300.0, 2_300.0), (-5_600.0, 2_600.0)]);
+        let other = traj(&[
+            (-5_000.0, 2_000.0),
+            (-5_300.0, 2_300.0),
+            (-5_600.0, 2_600.0),
+        ]);
         let vo = e.embed(&orig);
         assert!(
             T2vecEmbedder::distance(&vo, &e.embed(&simp))

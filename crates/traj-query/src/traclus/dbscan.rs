@@ -55,9 +55,10 @@ pub fn dbscan(
                     labels[j] = Label::Cluster(cluster);
                     let nb = region_query(segments, j, eps, weights);
                     if nb.len() >= min_lns {
-                        queue.extend(nb.into_iter().filter(|&k| {
-                            matches!(labels[k], Label::Unvisited | Label::Noise)
-                        }));
+                        queue.extend(
+                            nb.into_iter()
+                                .filter(|&k| matches!(labels[k], Label::Unvisited | Label::Noise)),
+                        );
                     }
                 }
             }
@@ -68,12 +69,7 @@ pub fn dbscan(
 
 /// Indices of all segments within `eps` of segment `i` (including itself,
 /// per the DBSCAN convention).
-fn region_query(
-    segments: &[Segment],
-    i: usize,
-    eps: f64,
-    weights: &DistanceWeights,
-) -> Vec<usize> {
+fn region_query(segments: &[Segment], i: usize, eps: f64, weights: &DistanceWeights) -> Vec<usize> {
     let si = &segments[i];
     segments
         .iter()
@@ -89,7 +85,11 @@ mod tests {
     use trajectory::Point;
 
     fn seg(ax: f64, ay: f64, bx: f64, by: f64, traj: usize) -> Segment {
-        Segment { a: Point::new(ax, ay, 0.0), b: Point::new(bx, by, 1.0), traj }
+        Segment {
+            a: Point::new(ax, ay, 0.0),
+            b: Point::new(bx, by, 1.0),
+            traj,
+        }
     }
 
     /// Two bundles of parallel segments far apart, plus one outlier.
@@ -99,7 +99,13 @@ mod tests {
             v.push(seg(0.0, i as f64, 100.0, i as f64, i)); // bundle A
         }
         for i in 0..4 {
-            v.push(seg(0.0, 10_000.0 + i as f64, 100.0, 10_000.0 + i as f64, 4 + i)); // bundle B
+            v.push(seg(
+                0.0,
+                10_000.0 + i as f64,
+                100.0,
+                10_000.0 + i as f64,
+                4 + i,
+            )); // bundle B
         }
         v.push(seg(5_000.0, 5_000.0, 5_100.0, 5_100.0, 99)); // outlier
         v

@@ -31,7 +31,11 @@ pub struct TraclusParams {
 
 impl Default for TraclusParams {
     fn default() -> Self {
-        Self { eps: 300.0, min_lns: 3, weights: DistanceWeights::default() }
+        Self {
+            eps: 300.0,
+            min_lns: 3,
+            weights: DistanceWeights::default(),
+        }
     }
 }
 
@@ -85,7 +89,11 @@ pub fn traclus(db: &TrajectoryDb, params: &TraclusParams) -> TraclusResult {
     let segments = partition::partition_database(db);
     let (labels, num_clusters) =
         dbscan::dbscan(&segments, params.eps, params.min_lns, &params.weights);
-    TraclusResult { segments, labels, num_clusters }
+    TraclusResult {
+        segments,
+        labels,
+        num_clusters,
+    }
 }
 
 #[cfg(test)]
@@ -119,13 +127,20 @@ mod tests {
     #[test]
     fn clusters_corridors_separately() {
         let r = traclus(&corridor_db(), &TraclusParams::default());
-        assert!(r.num_clusters >= 2, "expected ≥2 clusters, got {}", r.num_clusters);
+        assert!(
+            r.num_clusters >= 2,
+            "expected ≥2 clusters, got {}",
+            r.num_clusters
+        );
         let pairs = r.co_clustered_pairs();
         // Same-corridor pairs must be present.
         assert!(pairs.contains(&(0, 1)), "pairs: {pairs:?}");
         assert!(pairs.contains(&(3, 4)), "pairs: {pairs:?}");
         // Cross-corridor pairs must be absent.
-        assert!(!pairs.iter().any(|&(a, b)| a < 3 && b >= 3), "pairs: {pairs:?}");
+        assert!(
+            !pairs.iter().any(|&(a, b)| a < 3 && b >= 3),
+            "pairs: {pairs:?}"
+        );
     }
 
     #[test]

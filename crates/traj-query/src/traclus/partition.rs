@@ -56,7 +56,11 @@ pub fn partition_database(db: &trajectory::TrajectoryDb) -> Vec<Segment> {
     for (id, t) in db.iter() {
         let cps = characteristic_points(t);
         for w in cps.windows(2) {
-            let s = Segment { a: *t.point(w[0]), b: *t.point(w[1]), traj: id };
+            let s = Segment {
+                a: *t.point(w[0]),
+                b: *t.point(w[1]),
+                traj: id,
+            };
             if !s.is_empty() {
                 segments.push(s);
             }
@@ -68,11 +72,19 @@ pub fn partition_database(db: &trajectory::TrajectoryDb) -> Vec<Segment> {
 /// `MDL_par(i, j) = L(H) + L(D|H)`: cost of replacing `p_i..p_j` with the
 /// single segment `(p_i, p_j)`.
 fn mdl_par(traj: &Trajectory, i: usize, j: usize) -> f64 {
-    let hyp = Segment { a: *traj.point(i), b: *traj.point(j), traj: 0 };
+    let hyp = Segment {
+        a: *traj.point(i),
+        b: *traj.point(j),
+        traj: 0,
+    };
     let lh = log2_clamped(hyp.len());
     let mut ldh = 0.0;
     for k in i..j {
-        let data = Segment { a: *traj.point(k), b: *traj.point(k + 1), traj: 0 };
+        let data = Segment {
+            a: *traj.point(k),
+            b: *traj.point(k + 1),
+            traj: 0,
+        };
         let (d_perp, _, d_angle) = components(&hyp, &data);
         ldh += log2_clamped(d_perp) + log2_clamped(d_angle);
     }
@@ -110,7 +122,13 @@ mod tests {
 
     #[test]
     fn straight_line_is_one_segment() {
-        let t = traj(&[(0.0, 0.0), (100.0, 0.0), (200.0, 0.0), (300.0, 0.0), (400.0, 0.0)]);
+        let t = traj(&[
+            (0.0, 0.0),
+            (100.0, 0.0),
+            (200.0, 0.0),
+            (300.0, 0.0),
+            (400.0, 0.0),
+        ]);
         let cps = characteristic_points(&t);
         assert_eq!(cps, vec![0, 4]);
     }
@@ -135,12 +153,21 @@ mod tests {
 
     #[test]
     fn short_trajectories_are_kept_whole() {
-        assert_eq!(characteristic_points(&traj(&[(0.0, 0.0), (1.0, 1.0)])), vec![0, 1]);
+        assert_eq!(
+            characteristic_points(&traj(&[(0.0, 0.0), (1.0, 1.0)])),
+            vec![0, 1]
+        );
     }
 
     #[test]
     fn endpoints_always_included() {
-        let t = traj(&[(0.0, 0.0), (50.0, 80.0), (120.0, 10.0), (30.0, -60.0), (0.0, 0.0)]);
+        let t = traj(&[
+            (0.0, 0.0),
+            (50.0, 80.0),
+            (120.0, 10.0),
+            (30.0, -60.0),
+            (0.0, 0.0),
+        ]);
         let cps = characteristic_points(&t);
         assert_eq!(*cps.first().unwrap(), 0);
         assert_eq!(*cps.last().unwrap(), t.len() - 1);

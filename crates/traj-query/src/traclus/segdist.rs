@@ -43,7 +43,11 @@ pub struct DistanceWeights {
 
 impl Default for DistanceWeights {
     fn default() -> Self {
-        Self { perpendicular: 1.0, parallel: 1.0, angular: 1.0 }
+        Self {
+            perpendicular: 1.0,
+            parallel: 1.0,
+            angular: 1.0,
+        }
     }
 }
 
@@ -118,7 +122,11 @@ mod tests {
     use super::*;
 
     fn seg(ax: f64, ay: f64, bx: f64, by: f64) -> Segment {
-        Segment { a: Point::new(ax, ay, 0.0), b: Point::new(bx, by, 1.0), traj: 0 }
+        Segment {
+            a: Point::new(ax, ay, 0.0),
+            b: Point::new(bx, by, 1.0),
+            traj: 0,
+        }
     }
 
     #[test]

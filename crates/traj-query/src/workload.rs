@@ -61,19 +61,29 @@ pub struct RangeWorkloadSpec {
 impl RangeWorkloadSpec {
     /// The paper's default query shape: 2 km × 2 km × 7 days.
     pub fn paper_default(count: usize, dist: QueryDistribution) -> Self {
-        Self { count, spatial_extent: 2_000.0, temporal_extent: 7.0 * 86_400.0, dist }
+        Self {
+            count,
+            spatial_extent: 2_000.0,
+            temporal_extent: 7.0 * 86_400.0,
+            dist,
+        }
     }
 }
 
 /// Generates a range-query workload over `db`.
+#[must_use]
 pub fn range_workload(db: &TrajectoryDb, spec: &RangeWorkloadSpec, rng: &mut StdRng) -> Vec<Cube> {
     let bc = db.bounding_cube();
     if bc.is_empty() {
         return Vec::new();
     }
+    let zipf = match spec.dist {
+        QueryDistribution::Zipf { a } => Some(ZipfSampler::new(a)),
+        _ => None,
+    };
     (0..spec.count)
         .map(|_| {
-            let (cx, cy, ct) = sample_center(db, &bc, spec.dist, rng);
+            let (cx, cy, ct) = sample_center(db, &bc, spec.dist, zipf.as_ref(), rng);
             Cube::centered(
                 cx,
                 cy,
@@ -90,6 +100,7 @@ fn sample_center(
     db: &TrajectoryDb,
     bc: &Cube,
     dist: QueryDistribution,
+    zipf: Option<&ZipfSampler>,
     rng: &mut StdRng,
 ) -> (f64, f64, f64) {
     match dist {
@@ -100,17 +111,34 @@ fn sample_center(
         QueryDistribution::Gaussian { mu, sigma } => {
             let (ex, ey, et) = bc.extents();
             let g = |rng: &mut StdRng| (mu + sigma * gaussian(rng)).clamp(0.0, 1.0);
-            (bc.x_min + g(rng) * ex, bc.y_min + g(rng) * ey, bc.t_min + g(rng) * et)
+            (
+                bc.x_min + g(rng) * ex,
+                bc.y_min + g(rng) * ey,
+                bc.t_min + g(rng) * et,
+            )
         }
-        QueryDistribution::Zipf { a } => {
+        QueryDistribution::Zipf { .. } => {
             let (ex, ey, et) = bc.extents();
-            let z = |rng: &mut StdRng| zipf_unit(a, rng);
-            (bc.x_min + z(rng) * ex, bc.y_min + z(rng) * ey, bc.t_min + z(rng) * et)
+            let sampler = zipf.expect("sampler prepared for zipf workloads");
+            let z = |rng: &mut StdRng| sampler.sample_unit(rng);
+            (
+                bc.x_min + z(rng) * ex,
+                bc.y_min + z(rng) * ey,
+                bc.t_min + z(rng) * et,
+            )
         }
         QueryDistribution::Real => {
             let t = db.get(rng.gen_range(0..db.len()));
-            let p = if rng.gen_bool(0.5) { t.first() } else { t.last() };
-            (p.x + 500.0 * gaussian(rng), p.y + 500.0 * gaussian(rng), p.t)
+            let p = if rng.gen_bool(0.5) {
+                t.first()
+            } else {
+                t.last()
+            };
+            (
+                p.x + 500.0 * gaussian(rng),
+                p.y + 500.0 * gaussian(rng),
+                p.t,
+            )
         }
     }
 }
@@ -137,23 +165,36 @@ fn gaussian(rng: &mut StdRng) -> f64 {
     (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
 }
 
-/// Zipf sample mapped to [0, 1): rank `k` drawn from `P(k) ∝ k^-a` over
-/// `K = 100` buckets, then jittered uniformly within the bucket.
-fn zipf_unit(a: f64, rng: &mut StdRng) -> f64 {
+/// Zipf sampler over `K = 100` buckets mapped to `[0, 1)`: rank `k` is
+/// drawn from `P(k) ∝ k^-a` by inverse-CDF binary search, then jittered
+/// uniformly within the bucket. The cumulative weights are computed once
+/// per workload generation, not per sample.
+struct ZipfSampler {
+    cumulative: Vec<f64>,
+}
+
+impl ZipfSampler {
     const K: usize = 100;
-    // Inverse-CDF sampling over the bucket weights.
-    let weights: Vec<f64> = (1..=K).map(|k| (k as f64).powf(-a)).collect();
-    let total: f64 = weights.iter().sum();
-    let mut pick = rng.gen_range(0.0..total);
-    let mut bucket = K - 1;
-    for (i, w) in weights.iter().enumerate() {
-        pick -= w;
-        if pick <= 0.0 {
-            bucket = i;
-            break;
+
+    fn new(a: f64) -> Self {
+        let mut cumulative = Vec::with_capacity(Self::K);
+        let mut total = 0.0;
+        for k in 1..=Self::K {
+            total += (k as f64).powf(-a);
+            cumulative.push(total);
         }
+        Self { cumulative }
     }
-    (bucket as f64 + rng.gen_range(0.0..1.0)) / K as f64
+
+    fn sample_unit(&self, rng: &mut StdRng) -> f64 {
+        let total = *self.cumulative.last().expect("non-empty buckets");
+        let pick = rng.gen_range(0.0..total);
+        let bucket = self
+            .cumulative
+            .partition_point(|&c| c < pick)
+            .min(Self::K - 1);
+        (bucket as f64 + rng.gen_range(0.0..1.0)) / Self::K as f64
+    }
 }
 
 /// A kNN or similarity query instance: a query trajectory (by id, taken
@@ -186,7 +227,11 @@ pub fn traj_query_workload(
             let (t0, t1) = db.get(query).time_span();
             // Center the window at a random instant of the trajectory.
             let c = rng.gen_range(t0..=t1.max(t0 + f64::EPSILON));
-            TrajQuerySpec { query, ts: c - window_len / 2.0, te: c + window_len / 2.0 }
+            TrajQuerySpec {
+                query,
+                ts: c - window_len / 2.0,
+                te: c + window_len / 2.0,
+            }
         })
         .collect()
 }
@@ -244,14 +289,20 @@ mod tests {
             count: 300,
             spatial_extent: 10.0,
             temporal_extent: 10.0,
-            dist: QueryDistribution::Gaussian { mu: 0.5, sigma: 0.1 },
+            dist: QueryDistribution::Gaussian {
+                mu: 0.5,
+                sigma: 0.1,
+            },
         };
         let mut rng = StdRng::seed_from_u64(3);
         let qs = range_workload(&db, &spec, &mut rng);
         let mean_x: f64 = qs.iter().map(|q| q.center().0).sum::<f64>() / qs.len() as f64;
         let mid_x = bc.center().0;
         let (ex, _, _) = bc.extents();
-        assert!((mean_x - mid_x).abs() < 0.05 * ex, "mean {mean_x} vs mid {mid_x}");
+        assert!(
+            (mean_x - mid_x).abs() < 0.05 * ex,
+            "mean {mean_x} vs mid {mid_x}"
+        );
     }
 
     #[test]
@@ -267,9 +318,15 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(4);
         let qs = range_workload(&db, &spec, &mut rng);
         let (ex, _, _) = bc.extents();
-        let near_min =
-            qs.iter().filter(|q| q.center().0 < bc.x_min + 0.1 * ex).count();
-        assert!(near_min > qs.len() / 2, "only {near_min}/{} near min", qs.len());
+        let near_min = qs
+            .iter()
+            .filter(|q| q.center().0 < bc.x_min + 0.1 * ex)
+            .count();
+        assert!(
+            near_min > qs.len() / 2,
+            "only {near_min}/{} near min",
+            qs.len()
+        );
     }
 
     #[test]

@@ -1,11 +1,74 @@
 //! Property-based tests for the query engine.
 
 use proptest::prelude::*;
+use traj_query::knn::{Dissimilarity, KnnQuery};
 use traj_query::{
-    edr::edr_points, f1_sets, metrics::F1Score, range_query, t2vec::T2vecEmbedder,
+    edr::edr_points,
+    f1_sets,
+    metrics::F1Score,
+    range_query,
+    t2vec::T2vecEmbedder,
     traclus::segdist::{components, segment_distance, DistanceWeights, Segment},
+    EngineConfig, QueryEngine,
 };
-use trajectory::{Cube, Point, Trajectory, TrajectoryDb};
+use trajectory::{Cube, Point, Simplification, Trajectory, TrajectoryDb};
+
+/// Strategy: a Geolife/T-Drive-shaped database of 1..8 trajectories with
+/// 2..40 points each (bounded coordinates, strictly increasing times).
+fn arb_db() -> impl Strategy<Value = TrajectoryDb> {
+    prop::collection::vec(
+        prop::collection::vec((-1e4..1e4f64, -1e4..1e4f64, 0.1..60.0f64), 2..40),
+        1..8,
+    )
+    .prop_map(|trajs| {
+        trajs
+            .into_iter()
+            .map(|steps| {
+                let mut t = 0.0;
+                let pts = steps
+                    .into_iter()
+                    .map(|(x, y, dt)| {
+                        t += dt;
+                        Point::new(x, y, t)
+                    })
+                    .collect();
+                Trajectory::new(pts).unwrap()
+            })
+            .collect()
+    })
+}
+
+/// Strategy: a query cube positioned relative to the database's bounding
+/// cube (fractional center + fractional half-extents), so queries range
+/// from empty corners to whole-space covers.
+fn arb_query(db: &TrajectoryDb) -> impl Strategy<Value = Cube> {
+    let bc = db.bounding_cube();
+    (
+        (0.0..1.0f64, 0.0..1.0f64, 0.0..1.0f64),
+        (0.01..0.8f64, 0.01..0.8f64, 0.01..0.8f64),
+    )
+        .prop_map(move |((fx, fy, ft), (hx, hy, ht))| {
+            let (ex, ey, et) = bc.extents();
+            Cube::centered(
+                bc.x_min + fx * ex,
+                bc.y_min + fy * ey,
+                bc.t_min + ft * et,
+                (hx * ex).max(1e-6),
+                (hy * ey).max(1e-6),
+                (ht * et).max(1e-6),
+            )
+        })
+}
+
+/// Every engine backend, small tree shape so smoke-size databases still
+/// split into multi-level structures.
+fn engine_configs() -> [EngineConfig; 3] {
+    [
+        EngineConfig::scan(),
+        EngineConfig::octree().with_tree_shape(6, 8),
+        EngineConfig::median_kd().with_tree_shape(6, 8),
+    ]
+}
 
 fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
     prop::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 0..max).prop_map(|coords| {
@@ -18,8 +81,10 @@ fn arb_points(max: usize) -> impl Strategy<Value = Vec<Point>> {
 }
 
 fn arb_segment() -> impl Strategy<Value = Segment> {
-    (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(ax, ay, bx, by)| {
-        Segment { a: Point::new(ax, ay, 0.0), b: Point::new(bx, by, 1.0), traj: 0 }
+    (-1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64, -1e3..1e3f64).prop_map(|(ax, ay, bx, by)| Segment {
+        a: Point::new(ax, ay, 0.0),
+        b: Point::new(bx, by, 1.0),
+        traj: 0,
     })
 }
 
@@ -126,6 +191,128 @@ proptest! {
         }
         if s.f1 == 1.0 {
             prop_assert_eq!(t, r);
+        }
+    }
+
+    #[test]
+    fn engine_range_equals_linear_scan_for_every_backend(
+        (db, qf) in arb_db().prop_flat_map(|db| {
+            let q = arb_query(&db);
+            (Just(db), q)
+        })
+    ) {
+        let expected = range_query(&db, &qf);
+        for cfg in engine_configs() {
+            let engine = QueryEngine::over(&db, cfg);
+            prop_assert_eq!(
+                engine.range(&qf),
+                expected.clone(),
+                "backend {:?}",
+                cfg.backend
+            );
+        }
+    }
+
+    #[test]
+    fn engine_batch_equals_per_query_execution(db in arb_db()) {
+        let bc = db.bounding_cube();
+        let (cx, cy, ct) = bc.center();
+        let (ex, ey, et) = bc.extents();
+        let queries: Vec<Cube> = (0..6)
+            .map(|i| {
+                let f = (i + 1) as f64 / 7.0;
+                Cube::centered(cx, cy, ct, f * ex / 2.0 + 1e-6, f * ey / 2.0 + 1e-6, f * et / 2.0 + 1e-6)
+            })
+            .collect();
+        let engine = QueryEngine::over(&db, EngineConfig::octree().with_tree_shape(6, 8));
+        let batch = engine.range_batch(&queries);
+        for (i, q) in queries.iter().enumerate() {
+            prop_assert_eq!(&batch[i], &range_query(&db, q));
+        }
+    }
+
+    #[test]
+    fn engine_knn_equals_linear_scan_for_every_backend(
+        (db, k, f0, f1) in (arb_db(), 1usize..6, 0.0..1.0f64, 0.0..1.0f64)
+    ) {
+        let (t0, t1) = db.time_span();
+        let (lo, hi) = if f0 <= f1 { (f0, f1) } else { (f1, f0) };
+        let q = KnnQuery {
+            query: db.get(0).clone(),
+            ts: t0 + lo * (t1 - t0),
+            te: t0 + hi * (t1 - t0),
+            k,
+            measure: Dissimilarity::Edr { eps: 1_000.0 },
+        };
+        let expected = q.execute(&db);
+        for cfg in engine_configs() {
+            let engine = QueryEngine::over(&db, cfg);
+            prop_assert_eq!(engine.knn(&q), expected.clone(), "backend {:?}", cfg.backend);
+        }
+    }
+
+    #[test]
+    fn engine_simplified_range_equals_materialized_scan(
+        (db, qf, keep_step) in arb_db().prop_flat_map(|db| {
+            let q = arb_query(&db);
+            (Just(db), q, 2usize..7)
+        })
+    ) {
+        let mut simp = Simplification::most_simplified(&db);
+        for (id, t) in db.iter() {
+            for idx in (0..t.len() as u32).step_by(keep_step) {
+                simp.insert(id, idx);
+            }
+        }
+        let materialized = simp.materialize(&db);
+        let expected = range_query(&materialized, &qf);
+        for cfg in engine_configs() {
+            let engine = QueryEngine::over(&db, cfg);
+            prop_assert_eq!(
+                engine.range_simplified(&simp, &qf),
+                expected.clone(),
+                "backend {:?}",
+                cfg.backend
+            );
+        }
+    }
+
+    #[test]
+    fn maintained_workload_diff_always_matches_scratch_diff(
+        (db, inserts) in arb_db().prop_flat_map(|db| {
+            let n = db.len();
+            let ins = prop::collection::vec((0..n, 0.0..1.0f64), 0..40);
+            (Just(db), ins)
+        })
+    ) {
+        let bc = db.bounding_cube();
+        let (cx, cy, ct) = bc.center();
+        let (ex, ey, et) = bc.extents();
+        let queries: Vec<Cube> = (1..5)
+            .map(|i| {
+                let f = i as f64 / 5.0;
+                Cube::centered(cx, cy, ct, f * ex / 2.0 + 1e-6, f * ey / 2.0 + 1e-6, f * et / 2.0 + 1e-6)
+            })
+            .collect();
+        let engine = QueryEngine::over(&db, EngineConfig::octree().with_tree_shape(6, 8));
+        let mut simp = Simplification::most_simplified(&db);
+        let mut maintained = engine.maintained_workload(queries, &simp);
+        for (traj, frac) in inserts {
+            let n = db.get(traj).len() as u32;
+            if n <= 2 {
+                continue;
+            }
+            let idx = 1 + ((frac * (n - 2) as f64) as u32).min(n - 3);
+            if simp.insert(traj, idx) {
+                maintained.insert(traj, db.get(traj).point(idx as usize));
+            }
+            prop_assert!(
+                (maintained.diff() - maintained.diff_of(&engine, &simp)).abs() < 1e-12,
+                "incremental diff diverged from scratch recomputation"
+            );
+        }
+        for (i, q) in maintained.queries().to_vec().iter().enumerate() {
+            prop_assert_eq!(maintained.result(i), engine.range_simplified(&simp, q));
         }
     }
 

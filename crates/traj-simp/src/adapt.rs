@@ -30,8 +30,7 @@ impl std::fmt::Display for Adaptation {
 /// `max(budget, Σ min(|T|, 2))`.
 pub fn per_trajectory_budgets(db: &TrajectoryDb, budget: usize) -> Vec<usize> {
     let n: usize = db.total_points();
-    let mut budgets: Vec<usize> =
-        db.trajectories().iter().map(|t| t.len().min(2)).collect();
+    let mut budgets: Vec<usize> = db.trajectories().iter().map(|t| t.len().min(2)).collect();
     let floor_total: usize = budgets.iter().sum();
     if n == 0 || budget <= floor_total {
         return budgets;
@@ -74,7 +73,9 @@ mod tests {
             lens.iter()
                 .map(|&n| {
                     Trajectory::new(
-                        (0..n).map(|i| Point::new(i as f64, 0.0, i as f64)).collect(),
+                        (0..n)
+                            .map(|i| Point::new(i as f64, 0.0, i as f64))
+                            .collect(),
                     )
                     .unwrap()
                 })

@@ -19,7 +19,10 @@ pub struct BottomUp {
 impl BottomUp {
     /// Creates a Bottom-Up simplifier.
     pub fn new(measure: ErrorMeasure, adaptation: Adaptation) -> Self {
-        Self { measure, adaptation }
+        Self {
+            measure,
+            adaptation,
+        }
     }
 }
 
@@ -45,7 +48,13 @@ impl Simplifier for BottomUp {
 
 /// The cost of dropping kept point `idx`: the Eq. 1 segment error of the
 /// merged anchor `(left, right)` that removal would create.
-fn drop_cost(traj: &Trajectory, simp: &Simplification, id: TrajId, idx: u32, m: ErrorMeasure) -> Option<f64> {
+fn drop_cost(
+    traj: &Trajectory,
+    simp: &Simplification,
+    id: TrajId,
+    idx: u32,
+    m: ErrorMeasure,
+) -> Option<f64> {
     let (l, r) = simp.kept_neighbors(id, idx)?;
     Some(m.segment_error(traj, l as usize, r as usize))
 }
@@ -81,8 +90,11 @@ fn run_bottomup_db(
 ) {
     // Version stamps: an entry for (id, idx) is valid only if the stamp
     // matches (neighbors unchanged since push) and the point is still kept.
-    let mut versions: Vec<Vec<u64>> =
-        db.trajectories().iter().map(|t| vec![0u64; t.len()]).collect();
+    let mut versions: Vec<Vec<u64>> = db
+        .trajectories()
+        .iter()
+        .map(|t| vec![0u64; t.len()])
+        .collect();
     let mut heap: LazyHeap<(TrajId, u32)> = LazyHeap::new();
     for (id, t) in db.iter() {
         for idx in 1..t.len().saturating_sub(1) as u32 {
@@ -93,9 +105,8 @@ fn run_bottomup_db(
     }
     let mut total = simp.total_points();
     while total > budget {
-        let popped = heap.pop_current(|&(id, idx), v| {
-            versions[id][idx as usize] == v && simp.contains(id, idx)
-        });
+        let popped = heap
+            .pop_current(|&(id, idx), v| versions[id][idx as usize] == v && simp.contains(id, idx));
         let Some((_, (id, idx))) = popped else { break };
         let (l, r) = simp.kept_neighbors(id, idx).expect("validated current");
         let removed = simp.remove(id, idx);
@@ -147,8 +158,9 @@ mod tests {
     fn drops_redundant_points_first() {
         // Straight line with one outlier: everything but the outlier is
         // free to drop, so the outlier must survive a budget of 3.
-        let mut pts: Vec<Point> =
-            (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let mut pts: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         pts[11] = Point::new(110.0, 400.0, 11.0);
         let t = Trajectory::new(pts).unwrap();
         let kept = bottomup_one(&t, 3, ErrorMeasure::Sed);
@@ -166,7 +178,9 @@ mod tests {
     fn whole_adaptation_prefers_dropping_from_simple_trajectories() {
         let wild = zigzag(30, 200.0);
         let straight = Trajectory::new(
-            (0..30).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect(),
+            (0..30)
+                .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64))
+                .collect(),
         )
         .unwrap();
         let db = TrajectoryDb::new(vec![wild, straight]);
@@ -219,6 +233,9 @@ mod tests {
         let td = crate::topdown::topdown_one(&t, 12, ErrorMeasure::Sed);
         let e_bu = ErrorMeasure::Sed.trajectory_error(&t, &bu);
         let e_td = ErrorMeasure::Sed.trajectory_error(&t, &td);
-        assert!(e_bu <= 3.0 * e_td + 1e-9, "bottom-up {e_bu} vs top-down {e_td}");
+        assert!(
+            e_bu <= 3.0 * e_td + 1e-9,
+            "bottom-up {e_bu} vs top-down {e_td}"
+        );
     }
 }

@@ -39,7 +39,10 @@ pub fn bounded_one(traj: &Trajectory, measure: ErrorMeasure, eps: f64) -> Vec<u3
 /// trajectory simplified independently (the error bound is local by
 /// definition).
 pub fn bounded_db(db: &TrajectoryDb, measure: ErrorMeasure, eps: f64) -> Simplification {
-    let kept = db.iter().map(|(_, t)| bounded_one(t, measure, eps)).collect();
+    let kept = db
+        .iter()
+        .map(|(_, t)| bounded_one(t, measure, eps))
+        .collect();
     Simplification::from_kept(db, kept)
 }
 
@@ -122,7 +125,9 @@ mod tests {
     #[test]
     fn straight_line_collapses_regardless() {
         let t = Trajectory::new(
-            (0..30).map(|i| Point::new(i as f64 * 5.0, 0.0, i as f64)).collect(),
+            (0..30)
+                .map(|i| Point::new(i as f64 * 5.0, 0.0, i as f64))
+                .collect(),
         )
         .unwrap();
         let kept = bounded_one(&t, ErrorMeasure::Sed, 1e-6);

@@ -57,7 +57,9 @@ pub struct LazyHeap<T: Eq> {
 
 impl<T: Eq> Default for LazyHeap<T> {
     fn default() -> Self {
-        Self { heap: BinaryHeap::new() }
+        Self {
+            heap: BinaryHeap::new(),
+        }
     }
 }
 
@@ -79,7 +81,11 @@ impl<T: Eq> LazyHeap<T> {
 
     /// Pushes an entry.
     pub fn push(&mut self, priority: f64, version: u64, payload: T) {
-        self.heap.push(Entry { priority: OrdF64(priority), version, payload });
+        self.heap.push(Entry {
+            priority: OrdF64(priority),
+            version,
+            payload,
+        });
     }
 
     /// Pops the highest-priority entry whose version is still current.
@@ -99,7 +105,12 @@ mod tests {
 
     #[test]
     fn ordf64_total_order() {
-        let mut v = [OrdF64(3.0), OrdF64(-1.0), OrdF64(f64::INFINITY), OrdF64(0.0)];
+        let mut v = [
+            OrdF64(3.0),
+            OrdF64(-1.0),
+            OrdF64(f64::INFINITY),
+            OrdF64(0.0),
+        ];
         v.sort();
         assert_eq!(v[0], OrdF64(-1.0));
         assert_eq!(v[3], OrdF64(f64::INFINITY));

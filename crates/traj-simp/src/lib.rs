@@ -33,8 +33,8 @@ pub mod topdown;
 pub mod uniform;
 
 pub use adapt::{per_trajectory_budgets, Adaptation};
-pub use bounded::{bounded_db, bounded_one, min_eps_for_budget};
 pub use bottomup::BottomUp;
+pub use bounded::{bounded_db, bounded_one, min_eps_for_budget};
 pub use rlts::RltsPlus;
 pub use spansearch::SpanSearch;
 pub use streaming::{streaming_simplify, StreamingSimplifier};
@@ -73,8 +73,12 @@ mod tests {
     fn min_points_counts_endpoints() {
         let db = TrajectoryDb::new(vec![
             Trajectory::new(vec![Point::new(0.0, 0.0, 0.0)]).unwrap(),
-            Trajectory::new((0..5).map(|i| Point::new(i as f64, 0.0, i as f64)).collect())
-                .unwrap(),
+            Trajectory::new(
+                (0..5)
+                    .map(|i| Point::new(i as f64, 0.0, i as f64))
+                    .collect(),
+            )
+            .unwrap(),
         ]);
         assert_eq!(min_points(&db), 3);
     }

@@ -44,7 +44,11 @@ pub struct RltsTrainConfig {
 
 impl Default for RltsTrainConfig {
     fn default() -> Self {
-        Self { episodes: 60, ratio: 0.1, dqn: DqnConfig::default() }
+        Self {
+            episodes: 60,
+            ratio: 0.1,
+            dqn: DqnConfig::default(),
+        }
     }
 }
 
@@ -76,12 +80,22 @@ impl RltsPlus {
             run_policy_drop(&single, &mut simp, budget, measure, k, &mut agent, true);
         }
         agent.freeze();
-        Self { measure, adaptation, k, agent }
+        Self {
+            measure,
+            adaptation,
+            k,
+            agent,
+        }
     }
 
     /// Wraps an already-trained agent (deserialization).
     pub fn from_agent(measure: ErrorMeasure, adaptation: Adaptation, k: usize, agent: Dqn) -> Self {
-        Self { measure, adaptation, k, agent }
+        Self {
+            measure,
+            adaptation,
+            k,
+            agent,
+        }
     }
 
     /// Re-targets the trained policy at the other adaptation without
@@ -126,7 +140,15 @@ impl Simplifier for RltsPlus {
             Adaptation::Whole => {
                 let mut simp = Simplification::full(db);
                 let budget = budget.max(crate::min_points(db));
-                run_policy_drop(db, &mut simp, budget, self.measure, self.k, &mut agent, false);
+                run_policy_drop(
+                    db,
+                    &mut simp,
+                    budget,
+                    self.measure,
+                    self.k,
+                    &mut agent,
+                    false,
+                );
                 simp
             }
         }
@@ -157,8 +179,11 @@ fn run_policy_drop(
     agent: &mut Dqn,
     learn: bool,
 ) {
-    let mut versions: Vec<Vec<u64>> =
-        db.trajectories().iter().map(|t| vec![0u64; t.len()]).collect();
+    let mut versions: Vec<Vec<u64>> = db
+        .trajectories()
+        .iter()
+        .map(|t| vec![0u64; t.len()])
+        .collect();
     let mut heap: LazyHeap<(TrajId, u32)> = LazyHeap::new();
     for (id, t) in db.iter() {
         for idx in 1..t.len().saturating_sub(1) as u32 {
@@ -275,8 +300,18 @@ mod tests {
     }
 
     fn trained() -> RltsPlus {
-        let cfg = RltsTrainConfig { episodes: 10, ..RltsTrainConfig::default() };
-        RltsPlus::train(ErrorMeasure::Sed, Adaptation::Each, 3, &train_db(), &cfg, 42)
+        let cfg = RltsTrainConfig {
+            episodes: 10,
+            ..RltsTrainConfig::default()
+        };
+        RltsPlus::train(
+            ErrorMeasure::Sed,
+            Adaptation::Each,
+            3,
+            &train_db(),
+            &cfg,
+            42,
+        )
     }
 
     #[test]

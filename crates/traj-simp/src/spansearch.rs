@@ -26,7 +26,10 @@ impl Simplifier for SpanSearch {
 
     fn simplify(&self, db: &TrajectoryDb, budget: usize) -> Simplification {
         let budgets = per_trajectory_budgets(db, budget);
-        let kept = db.iter().map(|(id, t)| spansearch_one(t, budgets[id])).collect();
+        let kept = db
+            .iter()
+            .map(|(id, t)| spansearch_one(t, budgets[id]))
+            .collect();
         Simplification::from_kept(db, kept)
     }
 }

@@ -69,7 +69,13 @@ impl StreamingSimplifier {
         let slot = self.next_slot;
         self.next_slot += 1;
         let prev = self.last_alive();
-        self.points.push(Buffered { p, compensation: 0.0, prev, next: NONE, alive: true });
+        self.points.push(Buffered {
+            p,
+            compensation: 0.0,
+            prev,
+            next: NONE,
+            alive: true,
+        });
         self.versions.push(0);
         if prev != NONE {
             self.points[prev].next = slot;
@@ -115,8 +121,7 @@ impl StreamingSimplifier {
         if !b.alive || b.prev == NONE || b.next == NONE {
             return None;
         }
-        let cost =
-            b.compensation + sed(&self.points[b.prev].p, &self.points[b.next].p, &b.p);
+        let cost = b.compensation + sed(&self.points[b.prev].p, &self.points[b.next].p, &b.p);
         Some(cost)
     }
 
@@ -227,16 +232,23 @@ mod tests {
         let e_stream = ErrorMeasure::Sed.trajectory_error(&t, &kept_stream);
         let kept_batch = crate::bottomup::bottomup_one(&t, 12, ErrorMeasure::Sed);
         let e_batch = ErrorMeasure::Sed.trajectory_error(&t, &kept_batch);
-        assert!(e_batch <= e_stream + 1e-9, "batch must win: {e_batch} vs {e_stream}");
-        assert!(e_stream <= 10.0 * e_batch + 20.0, "stream unreasonably bad: {e_stream}");
+        assert!(
+            e_batch <= e_stream + 1e-9,
+            "batch must win: {e_batch} vs {e_stream}"
+        );
+        assert!(
+            e_stream <= 10.0 * e_batch + 20.0,
+            "stream unreasonably bad: {e_stream}"
+        );
     }
 
     #[test]
     fn prefers_keeping_spikes() {
         // A flat run with one big spike: the spike should survive a
         // tiny buffer (its drop cost dominates).
-        let mut pts: Vec<Point> =
-            (0..50).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let mut pts: Vec<Point> = (0..50)
+            .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         pts[25] = Point::new(250.0, 300.0, 25.0);
         let t = Trajectory::new(pts).unwrap();
         let out = streaming_simplify(&t, 5);

@@ -20,7 +20,10 @@ pub struct TopDown {
 impl TopDown {
     /// Creates a Top-Down simplifier.
     pub fn new(measure: ErrorMeasure, adaptation: Adaptation) -> Self {
-        Self { measure, adaptation }
+        Self {
+            measure,
+            adaptation,
+        }
     }
 }
 
@@ -188,8 +191,9 @@ mod tests {
     fn picks_the_outlier_first() {
         // A flat line with one huge detour: the first inserted point must be
         // the detour.
-        let mut pts: Vec<Point> =
-            (0..20).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect();
+        let mut pts: Vec<Point> = (0..20)
+            .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect();
         pts[7] = Point::new(70.0, 500.0, 7.0);
         let t = Trajectory::new(pts).unwrap();
         let kept = topdown_one(&t, 3, ErrorMeasure::Sed);
@@ -202,7 +206,9 @@ mod tests {
         // whole spare budget on the wild one.
         let wild = zigzag(40, 100.0);
         let straight = Trajectory::new(
-            (0..40).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect(),
+            (0..40)
+                .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64))
+                .collect(),
         )
         .unwrap();
         let db = TrajectoryDb::new(vec![wild, straight]);

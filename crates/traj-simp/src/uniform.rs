@@ -17,7 +17,10 @@ impl Simplifier for Uniform {
 
     fn simplify(&self, db: &TrajectoryDb, budget: usize) -> Simplification {
         let budgets = per_trajectory_budgets(db, budget);
-        let kept = db.iter().map(|(id, t)| uniform_one(t, budgets[id])).collect();
+        let kept = db
+            .iter()
+            .map(|(id, t)| uniform_one(t, budgets[id]))
+            .collect();
         Simplification::from_kept(db, kept)
     }
 }
@@ -42,7 +45,12 @@ mod tests {
     use trajectory::Point;
 
     fn traj(n: usize) -> Trajectory {
-        Trajectory::new((0..n).map(|i| Point::new(i as f64, 0.0, i as f64)).collect()).unwrap()
+        Trajectory::new(
+            (0..n)
+                .map(|i| Point::new(i as f64, 0.0, i as f64))
+                .collect(),
+        )
+        .unwrap()
     }
 
     #[test]

@@ -33,7 +33,11 @@ fn arb_db() -> impl Strategy<Value = TrajectoryDb> {
     })
 }
 
-fn check_simplification(db: &TrajectoryDb, s: &dyn Simplifier, budget: usize) -> Result<(), TestCaseError> {
+fn check_simplification(
+    db: &TrajectoryDb,
+    s: &dyn Simplifier,
+    budget: usize,
+) -> Result<(), TestCaseError> {
     let simp = s.simplify(db, budget);
     let floor = traj_simp::min_points(db);
     prop_assert!(
@@ -53,8 +57,16 @@ fn check_simplification(db: &TrajectoryDb, s: &dyn Simplifier, budget: usize) ->
             "{}: last point lost",
             s.name()
         );
-        prop_assert!(kept.windows(2).all(|w| w[0] < w[1]), "{}: unsorted", s.name());
-        prop_assert!(*kept.last().unwrap() < t.len() as u32, "{}: out of range", s.name());
+        prop_assert!(
+            kept.windows(2).all(|w| w[0] < w[1]),
+            "{}: unsorted",
+            s.name()
+        );
+        prop_assert!(
+            *kept.last().unwrap() < t.len() as u32,
+            "{}: out of range",
+            s.name()
+        );
     }
     Ok(())
 }

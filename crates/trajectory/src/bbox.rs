@@ -29,7 +29,14 @@ impl Cube {
     /// minimum exceeds the corresponding maximum.
     pub fn new(x_min: f64, x_max: f64, y_min: f64, y_max: f64, t_min: f64, t_max: f64) -> Self {
         debug_assert!(x_min <= x_max && y_min <= y_max && t_min <= t_max);
-        Self { x_min, x_max, y_min, y_max, t_min, t_max }
+        Self {
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+            t_min,
+            t_max,
+        }
     }
 
     /// The empty cube: contains nothing, absorbs nothing under union until
@@ -97,7 +104,11 @@ impl Cube {
 
     /// Extent along each axis.
     pub fn extents(&self) -> (f64, f64, f64) {
-        (self.x_max - self.x_min, self.y_max - self.y_min, self.t_max - self.t_min)
+        (
+            self.x_max - self.x_min,
+            self.y_max - self.y_min,
+            self.t_max - self.t_min,
+        )
     }
 
     /// The eight octants obtained by splitting at the center, ordered by
@@ -109,9 +120,21 @@ impl Cube {
     pub fn octants(&self) -> [Cube; 8] {
         let (cx, cy, ct) = self.center();
         std::array::from_fn(|k| {
-            let (x_min, x_max) = if k & 1 == 0 { (self.x_min, cx) } else { (cx, self.x_max) };
-            let (y_min, y_max) = if k & 2 == 0 { (self.y_min, cy) } else { (cy, self.y_max) };
-            let (t_min, t_max) = if k & 4 == 0 { (self.t_min, ct) } else { (ct, self.t_max) };
+            let (x_min, x_max) = if k & 1 == 0 {
+                (self.x_min, cx)
+            } else {
+                (cx, self.x_max)
+            };
+            let (y_min, y_max) = if k & 2 == 0 {
+                (self.y_min, cy)
+            } else {
+                (cy, self.y_max)
+            };
+            let (t_min, t_max) = if k & 4 == 0 {
+                (self.t_min, ct)
+            } else {
+                (ct, self.t_max)
+            };
             Cube::new(x_min, x_max, y_min, y_max, t_min, t_max)
         })
     }

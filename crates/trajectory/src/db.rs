@@ -22,29 +22,34 @@ impl TrajectoryDb {
 
     /// Number of trajectories `M`.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.trajectories.len()
     }
 
     /// True when the database holds no trajectories.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.trajectories.is_empty()
     }
 
     /// Total number of points `N` across all trajectories.
+    #[must_use]
     pub fn total_points(&self) -> usize {
         self.trajectories.iter().map(Trajectory::len).sum()
     }
 
     /// Immutable access to all trajectories.
     #[inline]
+    #[must_use]
     pub fn trajectories(&self) -> &[Trajectory] {
         &self.trajectories
     }
 
     /// The trajectory with the given id.
     #[inline]
+    #[must_use]
     pub fn get(&self, id: TrajId) -> &Trajectory {
         &self.trajectories[id]
     }
@@ -61,6 +66,7 @@ impl TrajectoryDb {
     }
 
     /// Smallest cube covering every point of every trajectory.
+    #[must_use]
     pub fn bounding_cube(&self) -> Cube {
         let mut c = Cube::empty();
         for t in &self.trajectories {
@@ -72,6 +78,7 @@ impl TrajectoryDb {
     }
 
     /// Time span covered by the whole database.
+    #[must_use]
     pub fn time_span(&self) -> (f64, f64) {
         let c = self.bounding_cube();
         (c.t_min, c.t_max)
@@ -126,7 +133,11 @@ impl Simplification {
 
     /// A simplification that keeps everything (identity).
     pub fn full(db: &TrajectoryDb) -> Self {
-        let kept = db.trajectories().iter().map(|t| (0..t.len() as u32).collect()).collect();
+        let kept = db
+            .trajectories()
+            .iter()
+            .map(|t| (0..t.len() as u32).collect())
+            .collect();
         Self { kept }
     }
 
@@ -139,37 +150,49 @@ impl Simplification {
             let n = db.get(id).len() as u32;
             assert!(!ks.is_empty());
             assert_eq!(ks[0], 0, "trajectory {id} must keep its first point");
-            assert_eq!(*ks.last().unwrap(), n - 1, "trajectory {id} must keep its last point");
-            assert!(ks.windows(2).all(|w| w[0] < w[1]), "kept indices must be strictly sorted");
+            assert_eq!(
+                *ks.last().unwrap(),
+                n - 1,
+                "trajectory {id} must keep its last point"
+            );
+            assert!(
+                ks.windows(2).all(|w| w[0] < w[1]),
+                "kept indices must be strictly sorted"
+            );
         }
         Self { kept }
     }
 
     /// Number of trajectories.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.kept.len()
     }
 
     /// True when the simplification covers no trajectories.
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.kept.is_empty()
     }
 
     /// Kept indices of one trajectory.
     #[inline]
+    #[must_use]
     pub fn kept(&self, id: TrajId) -> &[u32] {
         &self.kept[id]
     }
 
     /// Total number of retained points (the quantity bounded by the storage
     /// budget `W`).
+    #[must_use]
     pub fn total_points(&self) -> usize {
         self.kept.iter().map(Vec::len).sum()
     }
 
     /// True when point `idx` of trajectory `id` is retained.
+    #[must_use]
     pub fn contains(&self, id: TrajId, idx: u32) -> bool {
         self.kept[id].binary_search(&idx).is_ok()
     }
@@ -209,6 +232,7 @@ impl Simplification {
     /// points the anchor is `(idx, idx)` conceptually — callers that need
     /// the bracketing kept neighbours of a *kept* point should use
     /// [`Simplification::kept_neighbors`].
+    #[must_use]
     pub fn anchor(&self, id: TrajId, idx: u32) -> (u32, u32) {
         let ks = &self.kept[id];
         match ks.binary_search(&idx) {
@@ -223,6 +247,7 @@ impl Simplification {
     /// For a *kept* point at `idx`, the kept indices immediately before and
     /// after it (used by Bottom-Up to evaluate the error of dropping it).
     /// Returns `None` for endpoints or non-kept points.
+    #[must_use]
     pub fn kept_neighbors(&self, id: TrajId, idx: u32) -> Option<(u32, u32)> {
         let ks = &self.kept[id];
         match ks.binary_search(&idx) {
@@ -232,6 +257,7 @@ impl Simplification {
     }
 
     /// Materializes the simplified database `D'` as standalone trajectories.
+    #[must_use]
     pub fn materialize(&self, db: &TrajectoryDb) -> TrajectoryDb {
         let trajectories = self
             .kept
@@ -248,6 +274,7 @@ impl Simplification {
 
     /// Per-trajectory compression ratios `|T'| / |T|` (diagnostics for the
     /// paper's "uniform compression ratio" discussion).
+    #[must_use]
     pub fn compression_ratios(&self, db: &TrajectoryDb) -> Vec<f64> {
         self.kept
             .iter()
@@ -263,11 +290,15 @@ mod tests {
 
     fn db() -> TrajectoryDb {
         let t1 = Trajectory::new(
-            (0..5).map(|i| Point::new(i as f64, 0.0, i as f64)).collect(),
+            (0..5)
+                .map(|i| Point::new(i as f64, 0.0, i as f64))
+                .collect(),
         )
         .unwrap();
         let t2 = Trajectory::new(
-            (0..3).map(|i| Point::new(0.0, i as f64, i as f64)).collect(),
+            (0..3)
+                .map(|i| Point::new(0.0, i as f64, i as f64))
+                .collect(),
         )
         .unwrap();
         TrajectoryDb::new(vec![t1, t2])

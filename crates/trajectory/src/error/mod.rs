@@ -33,8 +33,12 @@ pub enum ErrorMeasure {
 
 impl ErrorMeasure {
     /// All four measures, in the order the paper lists them.
-    pub const ALL: [ErrorMeasure; 4] =
-        [ErrorMeasure::Sed, ErrorMeasure::Ped, ErrorMeasure::Dad, ErrorMeasure::Sad];
+    pub const ALL: [ErrorMeasure; 4] = [
+        ErrorMeasure::Sed,
+        ErrorMeasure::Ped,
+        ErrorMeasure::Dad,
+        ErrorMeasure::Sad,
+    ];
 
     /// Short uppercase name as used in the paper's figures.
     pub fn name(self) -> &'static str {
@@ -101,8 +105,10 @@ impl ErrorMeasure {
         if db.is_empty() {
             return 0.0;
         }
-        let sum: f64 =
-            db.iter().map(|(id, t)| self.trajectory_error(t, simp.kept(id))).sum();
+        let sum: f64 = db
+            .iter()
+            .map(|(id, t)| self.trajectory_error(t, simp.kept(id)))
+            .sum();
         sum / db.len() as f64
     }
 }

@@ -67,7 +67,11 @@ pub fn simulate(params: &GridParams, rng: &mut StdRng) -> Trajectory {
                 to_next = block;
                 if rng.gen_bool(params.turn_prob) {
                     // Turn left or right, never a U-turn.
-                    dir = if rng.gen_bool(0.5) { (dir + 1) % 4 } else { (dir + 3) % 4 };
+                    dir = if rng.gen_bool(0.5) {
+                        (dir + 1) % 4
+                    } else {
+                        (dir + 3) % 4
+                    };
                 }
             }
         }

@@ -54,7 +54,9 @@ impl std::str::FromStr for Scale {
             "smoke" => Ok(Scale::Smoke),
             "small" => Ok(Scale::Small),
             "paper" => Ok(Scale::Paper),
-            other => Err(format!("unknown scale: {other} (expected smoke|small|paper)")),
+            other => Err(format!(
+                "unknown scale: {other} (expected smoke|small|paper)"
+            )),
         }
     }
 }
@@ -173,7 +175,12 @@ impl DatasetSpec {
 
     /// All four presets at the given scale (Table I order).
     pub fn all(scale: Scale) -> [DatasetSpec; 4] {
-        [Self::geolife(scale), Self::tdrive(scale), Self::chengdu(scale), Self::osm(scale)]
+        [
+            Self::geolife(scale),
+            Self::tdrive(scale),
+            Self::chengdu(scale),
+            Self::osm(scale),
+        ]
     }
 
     /// Overrides the trajectory count (scalability sweeps).
@@ -203,17 +210,28 @@ pub fn generate(spec: &DatasetSpec, seed: u64) -> TrajectoryDb {
 /// Hub locations (e.g. taxi stands, popular pickup corners).
 fn sample_hubs(spec: &DatasetSpec, rng: &mut StdRng) -> Vec<(f64, f64)> {
     (0..spec.hubs)
-        .map(|_| (rng.gen_range(0.0..spec.region), rng.gen_range(0.0..spec.region)))
+        .map(|_| {
+            (
+                rng.gen_range(0.0..spec.region),
+                rng.gen_range(0.0..spec.region),
+            )
+        })
         .collect()
 }
 
 fn start_position(spec: &DatasetSpec, hubs: &[(f64, f64)], rng: &mut StdRng) -> (f64, f64) {
     if hubs.is_empty() || rng.gen_bool(0.25) {
-        (rng.gen_range(0.0..spec.region), rng.gen_range(0.0..spec.region))
+        (
+            rng.gen_range(0.0..spec.region),
+            rng.gen_range(0.0..spec.region),
+        )
     } else {
         // Near a hub, with ~400 m spread.
         let (hx, hy) = hubs[rng.gen_range(0..hubs.len())];
-        (hx + 400.0 * sample_gaussian(rng), hy + 400.0 * sample_gaussian(rng))
+        (
+            hx + 400.0 * sample_gaussian(rng),
+            hy + 400.0 * sample_gaussian(rng),
+        )
     }
 }
 

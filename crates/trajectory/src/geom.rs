@@ -140,12 +140,21 @@ mod tests {
         let a = Point::new(0.0, 0.0, 0.0);
         let b = Point::new(10.0, 0.0, 10.0);
         // Perpendicular case.
-        assert_eq!(point_segment_distance(&a, &b, &Point::new(5.0, 3.0, 0.0)), 3.0);
+        assert_eq!(
+            point_segment_distance(&a, &b, &Point::new(5.0, 3.0, 0.0)),
+            3.0
+        );
         // Beyond endpoint: distance to the endpoint, not the infinite line.
-        assert_eq!(point_segment_distance(&a, &b, &Point::new(14.0, 3.0, 0.0)), 5.0);
+        assert_eq!(
+            point_segment_distance(&a, &b, &Point::new(14.0, 3.0, 0.0)),
+            5.0
+        );
         // Zero-length segment.
         let z = Point::new(1.0, 1.0, 0.0);
-        assert_eq!(point_segment_distance(&z, &z, &Point::new(4.0, 5.0, 0.0)), 5.0);
+        assert_eq!(
+            point_segment_distance(&z, &z, &Point::new(4.0, 5.0, 0.0)),
+            5.0
+        );
     }
 
     #[test]
@@ -155,7 +164,10 @@ mod tests {
         // p projects onto x=5, i.e. halfway, i.e. t=10.
         assert_eq!(closest_point_time(&a, &b, &Point::new(5.0, 7.0, 3.0)), 10.0);
         // p beyond the far endpoint clamps to b's time.
-        assert_eq!(closest_point_time(&a, &b, &Point::new(50.0, 0.0, 3.0)), 20.0);
+        assert_eq!(
+            closest_point_time(&a, &b, &Point::new(50.0, 0.0, 3.0)),
+            20.0
+        );
     }
 
     #[test]

@@ -94,10 +94,16 @@ pub fn read_csv<R: Read>(input: R) -> Result<TrajectoryDb, ReadError> {
         let id = parts.next().unwrap_or("").to_string();
         let parse = |field: Option<&str>, name: &str| -> Result<f64, ReadError> {
             field
-                .ok_or(ReadError::Parse { line: line_1, message: format!("missing {name}") })?
+                .ok_or(ReadError::Parse {
+                    line: line_1,
+                    message: format!("missing {name}"),
+                })?
                 .trim()
                 .parse::<f64>()
-                .map_err(|e| ReadError::Parse { line: line_1, message: format!("{name}: {e}") })
+                .map_err(|e| ReadError::Parse {
+                    line: line_1,
+                    message: format!("{name}: {e}"),
+                })
         };
         let x = parse(parts.next(), "x")?;
         let y = parse(parts.next(), "y")?;
@@ -171,7 +177,10 @@ mod tests {
     #[test]
     fn read_rejects_unordered_times() {
         let text = "a,1.0,1.0,5.0\na,2.0,2.0,4.0\n";
-        assert!(matches!(read_csv(text.as_bytes()), Err(ReadError::Parse { .. })));
+        assert!(matches!(
+            read_csv(text.as_bytes()),
+            Err(ReadError::Parse { .. })
+        ));
     }
 
     #[test]

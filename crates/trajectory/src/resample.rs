@@ -40,7 +40,11 @@ pub fn resample_uniform(traj: &Trajectory, interval: f64) -> Trajectory {
 /// span), producing a trajectory aligned point-for-point with `clock` —
 /// the preprocessing step for synchronized pairwise comparison.
 pub fn resample_at(traj: &Trajectory, clock: &Trajectory) -> Trajectory {
-    let pts = clock.points().iter().map(|p| traj.position_at(p.t)).collect();
+    let pts = clock
+        .points()
+        .iter()
+        .map(|p| traj.position_at(p.t))
+        .collect();
     Trajectory::from_sorted_unchecked(pts)
 }
 
@@ -138,10 +142,10 @@ mod tests {
 
     #[test]
     fn disjoint_spans_yield_none() {
-        let a = Trajectory::new(vec![Point::new(0.0, 0.0, 0.0), Point::new(1.0, 0.0, 1.0)])
-            .unwrap();
-        let b = Trajectory::new(vec![Point::new(0.0, 0.0, 5.0), Point::new(1.0, 0.0, 6.0)])
-            .unwrap();
+        let a =
+            Trajectory::new(vec![Point::new(0.0, 0.0, 0.0), Point::new(1.0, 0.0, 1.0)]).unwrap();
+        let b =
+            Trajectory::new(vec![Point::new(0.0, 0.0, 5.0), Point::new(1.0, 0.0, 6.0)]).unwrap();
         assert!(mean_sync_distance(&a, &b, 1.0).is_none());
     }
 

@@ -47,8 +47,16 @@ impl DatasetStats {
             num_trajectories,
             total_points,
             mean_points_per_traj,
-            mean_sampling_interval: if interval_n == 0 { 0.0 } else { interval_sum / interval_n as f64 },
-            mean_segment_length: if seg_n == 0 { 0.0 } else { seg_sum / seg_n as f64 },
+            mean_sampling_interval: if interval_n == 0 {
+                0.0
+            } else {
+                interval_sum / interval_n as f64
+            },
+            mean_segment_length: if seg_n == 0 {
+                0.0
+            } else {
+                seg_sum / seg_n as f64
+            },
         }
     }
 }

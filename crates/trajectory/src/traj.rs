@@ -36,6 +36,7 @@ impl Trajectory {
 
     /// Number of points `n = |T|`.
     #[inline]
+    #[must_use]
     pub fn len(&self) -> usize {
         self.points.len()
     }
@@ -43,42 +44,51 @@ impl Trajectory {
     /// True when the trajectory has no points (never constructible through
     /// [`Trajectory::new`], but kept for API completeness).
     #[inline]
+    #[must_use]
     pub fn is_empty(&self) -> bool {
         self.points.is_empty()
     }
 
     /// Immutable view of the points.
     #[inline]
+    #[must_use]
     pub fn points(&self) -> &[Point] {
         &self.points
     }
 
     /// The `i`-th point.
     #[inline]
+    #[must_use]
     pub fn point(&self, i: usize) -> &Point {
         &self.points[i]
     }
 
     /// First point.
     #[inline]
+    #[must_use]
     pub fn first(&self) -> &Point {
         &self.points[0]
     }
 
     /// Last point.
     #[inline]
+    #[must_use]
     pub fn last(&self) -> &Point {
         &self.points[self.points.len() - 1]
     }
 
     /// Time span `[t1, tn]` of the trajectory.
+    #[must_use]
     pub fn time_span(&self) -> (f64, f64) {
         (self.first().t, self.last().t)
     }
 
     /// Total travelled spatial length (sum of segment lengths).
     pub fn path_length(&self) -> f64 {
-        self.points.windows(2).map(|w| w[0].spatial_distance(&w[1])).sum()
+        self.points
+            .windows(2)
+            .map(|w| w[0].spatial_distance(&w[1]))
+            .sum()
     }
 
     /// Mean sampling interval in seconds (0 for single-point trajectories).
@@ -120,6 +130,7 @@ impl Trajectory {
 
     /// Indices `[lo, hi]` (inclusive) of points whose timestamps fall within
     /// `[ts, te]`, or `None` when the window misses the trajectory entirely.
+    #[must_use]
     pub fn window_indices(&self, ts: f64, te: f64) -> Option<(usize, usize)> {
         if ts > te {
             return None;
@@ -139,7 +150,9 @@ impl Trajectory {
     /// sampled points inside the window; `None` when empty.
     pub fn window(&self, ts: f64, te: f64) -> Option<Trajectory> {
         let (lo, hi) = self.window_indices(ts, te)?;
-        Some(Trajectory::from_sorted_unchecked(self.points[lo..=hi].to_vec()))
+        Some(Trajectory::from_sorted_unchecked(
+            self.points[lo..=hi].to_vec(),
+        ))
     }
 
     /// Consumes the trajectory, returning its points.
@@ -165,22 +178,18 @@ mod tests {
     #[test]
     fn rejects_empty_and_unordered() {
         assert!(Trajectory::new(vec![]).is_none());
-        assert!(Trajectory::new(vec![
-            Point::new(0.0, 0.0, 5.0),
-            Point::new(1.0, 1.0, 4.0),
-        ])
-        .is_none());
+        assert!(
+            Trajectory::new(vec![Point::new(0.0, 0.0, 5.0), Point::new(1.0, 1.0, 4.0),]).is_none()
+        );
         assert!(Trajectory::new(vec![Point::new(f64::NAN, 0.0, 0.0)]).is_none());
     }
 
     #[test]
     fn accepts_duplicate_timestamps() {
         // Real GPS data contains duplicate timestamps; they must be allowed.
-        assert!(Trajectory::new(vec![
-            Point::new(0.0, 0.0, 5.0),
-            Point::new(1.0, 1.0, 5.0),
-        ])
-        .is_some());
+        assert!(
+            Trajectory::new(vec![Point::new(0.0, 0.0, 5.0), Point::new(1.0, 1.0, 5.0),]).is_some()
+        );
     }
 
     #[test]

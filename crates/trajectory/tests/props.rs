@@ -1,7 +1,9 @@
 //! Property-based tests for the trajectory substrate.
 
 use proptest::prelude::*;
-use trajectory::{error::ErrorMeasure, geom, Cube, Point, Simplification, Trajectory, TrajectoryDb};
+use trajectory::{
+    error::ErrorMeasure, geom, Cube, Point, Simplification, Trajectory, TrajectoryDb,
+};
 
 /// Strategy: a valid trajectory of 2..=40 points with strictly increasing
 /// times and bounded coordinates.

@@ -24,7 +24,10 @@ fn main() {
     };
     let config = Rl4QdtsConfig::scaled_to(&pool).with_delta(25);
     let (model, stats) = train(&pool, config, &TrainerConfig::small(workload), 13);
-    println!("trained in {:.2}s ({} transitions)", stats.wall_seconds, stats.transitions);
+    println!(
+        "trained in {:.2}s ({} transitions)",
+        stats.wall_seconds, stats.transitions
+    );
 
     // Checkpoint: four plain-text artifacts.
     let dir = std::env::temp_dir().join("rl4qdts_example_ckpt");
@@ -32,7 +35,11 @@ fn main() {
     println!("checkpoint written to {}", dir.display());
     for entry in std::fs::read_dir(&dir).unwrap() {
         let entry = entry.unwrap();
-        println!("  {} ({} bytes)", entry.file_name().to_string_lossy(), entry.metadata().unwrap().len());
+        println!(
+            "  {} ({} bytes)",
+            entry.file_name().to_string_lossy(),
+            entry.metadata().unwrap().len()
+        );
     }
 
     // Reload and verify bit-identical behaviour on *new* data.
@@ -44,6 +51,9 @@ fn main() {
     let a = model.simplify(&fresh, budget, &queries, 5);
     let b = loaded.simplify(&fresh, budget, &queries, 5);
     assert_eq!(a, b);
-    println!("reloaded model reproduces the original's output exactly ({} points kept)", a.total_points());
+    println!(
+        "reloaded model reproduces the original's output exactly ({} points kept)",
+        a.total_points()
+    );
     std::fs::remove_dir_all(&dir).ok();
 }

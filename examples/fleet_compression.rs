@@ -8,7 +8,9 @@
 //!
 //! Run with: `cargo run --release --example fleet_compression`
 
-use qdts::query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use qdts::query::{
+    range_workload, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
+};
 use qdts::rl4qdts::{train, RewardTracker, Rl4QdtsConfig, TrainerConfig};
 use qdts::simp::{Adaptation, BottomUp, Simplifier, TopDown, Uniform};
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
@@ -36,7 +38,8 @@ fn main() {
     let state_queries = range_workload(&archive, &workload, &mut rng);
     let eval_queries = range_workload(&archive, &workload, &mut rng);
     let baseline = Simplification::most_simplified(&archive);
-    let tracker = RewardTracker::new(&archive, eval_queries, &baseline);
+    let engine = QueryEngine::over(&archive, EngineConfig::octree());
+    let tracker = RewardTracker::new(&engine, eval_queries, &baseline);
 
     let config = Rl4QdtsConfig::scaled_to(&train_pool).with_delta(25);
     let (model, _) = train(&train_pool, config, &TrainerConfig::small(workload), 5);
@@ -50,7 +53,7 @@ fn main() {
             "{:<22} {:>8} {:>10.3}",
             name,
             simp.total_points(),
-            1.0 - tracker.diff(&archive, simp)
+            1.0 - tracker.diff_of(&engine, simp)
         );
     };
 
@@ -63,7 +66,10 @@ fn main() {
         "Bottom-Up(W,PED)",
         &BottomUp::new(ErrorMeasure::Ped, Adaptation::Whole).simplify(&archive, budget),
     );
-    report("RL4QDTS", &model.simplify(&archive, budget, &state_queries, 3));
+    report(
+        "RL4QDTS",
+        &model.simplify(&archive, budget, &state_queries, 3),
+    );
 
     // Where did RL4QDTS spend the budget? Show the spread of per-trip
     // compression ratios — collective simplification is deliberately

@@ -4,23 +4,36 @@
 //! fly with a bounded buffer (no revisiting dropped points — the paper's
 //! online mode), and the archived result still supports the ridesharing
 //! use case from the paper's introduction: finding trajectory pairs that
-//! travelled together, via the similarity join.
+//! travelled together, via the similarity join — plus hotspot (range)
+//! lookups served from a [`qdts::query::QueryEngine`] built over the
+//! archive.
 //!
 //! Run with: `cargo run --release --example online_pipeline`
 
 use qdts::query::join::{similarity_join, JoinParams};
+use qdts::query::{EngineConfig, QueryEngine};
 use qdts::simp::StreamingSimplifier;
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
-use qdts::trajectory::{Point, Trajectory, TrajectoryDb};
+use qdts::trajectory::{Cube, Point, Trajectory, TrajectoryDb};
 
 fn main() {
     // A fleet, plus two vehicles deliberately convoying.
-    let mut fleet: Vec<Trajectory> =
-        generate(&DatasetSpec::chengdu(Scale::Smoke), 99).trajectories().to_vec();
-    let lead: Vec<Point> =
-        (0..120).map(|i| Point::new(i as f64 * 40.0, (i as f64 * 0.2).sin() * 30.0, i as f64 * 15.0)).collect();
-    let wing: Vec<Point> =
-        lead.iter().map(|p| Point::new(p.x, p.y + 80.0, p.t)).collect();
+    let mut fleet: Vec<Trajectory> = generate(&DatasetSpec::chengdu(Scale::Smoke), 99)
+        .trajectories()
+        .to_vec();
+    let lead: Vec<Point> = (0..120)
+        .map(|i| {
+            Point::new(
+                i as f64 * 40.0,
+                (i as f64 * 0.2).sin() * 30.0,
+                i as f64 * 15.0,
+            )
+        })
+        .collect();
+    let wing: Vec<Point> = lead
+        .iter()
+        .map(|p| Point::new(p.x, p.y + 80.0, p.t))
+        .collect();
     let lead_id = fleet.len();
     fleet.push(Trajectory::new(lead).unwrap());
     let wing_id = fleet.len();
@@ -48,7 +61,11 @@ fn main() {
     );
 
     // The ridesharing question, asked of the *archived* data.
-    let params = JoinParams { delta: 400.0, min_overlap: 600.0, step: 30.0 };
+    let params = JoinParams {
+        delta: 400.0,
+        min_overlap: 600.0,
+        step: 30.0,
+    };
     let truth = similarity_join(&original, &params);
     let found = similarity_join(&archived, &params);
     println!("co-travelling pairs on original: {truth:?}");
@@ -58,4 +75,17 @@ fn main() {
         "the convoy must survive online simplification"
     );
     println!("convoy ({lead_id}, {wing_id}) detected in both — online archive keeps the answer");
+
+    // Serve hotspot lookups from the archive: the engine indexes the
+    // archived points once, then answers each range query by cube-pruned
+    // traversal instead of rescanning every vehicle.
+    let engine = QueryEngine::new(archived, EngineConfig::octree());
+    let convoy_area = Cube::new(0.0, 4_800.0, -120.0, 120.0, 0.0, 1_800.0);
+    let vehicles = engine.range(&convoy_area);
+    println!(
+        "hotspot lookup over the convoy corridor: {} vehicles (engine: {} backend)",
+        vehicles.len(),
+        engine.backend_kind().label()
+    );
+    assert!(vehicles.contains(&lead_id) && vehicles.contains(&wing_id));
 }

@@ -6,14 +6,19 @@
 //! (trained only on range queries) and then measures how every query type
 //! fares — the cross-query transferability claim.
 //!
+//! All serving goes through [`qdts::query::QueryEngine`]: one engine over
+//! the original database (the ground truth) and one over the simplified
+//! archive, each owning an octree that prunes execution and parallelizes
+//! batches — the production path, not the O(N) reference scans.
+//!
 //! Run with: `cargo run --release --example query_serving`
 
 use qdts::query::knn::{Dissimilarity, KnnQuery};
 use qdts::query::similarity::SimilarityQuery;
 use qdts::query::traclus::{traclus, TraclusParams};
 use qdts::query::{
-    f1_pairs, f1_sets, mean_f1, range_workload, traj_query_workload, QueryDistribution,
-    RangeWorkloadSpec,
+    f1_pairs, f1_sets, mean_f1, range_workload, traj_query_workload, EngineConfig,
+    QueryDistribution, QueryEngine, RangeWorkloadSpec,
 };
 use qdts::rl4qdts::{train, Rl4QdtsConfig, TrainerConfig};
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
@@ -38,18 +43,28 @@ fn main() {
     let mut rng = StdRng::seed_from_u64(3);
     let state_queries = range_workload(&db, &workload, &mut rng);
     let budget = db.total_points() / 30;
-    let simplified = model.simplify(&db, budget, &state_queries, 4).materialize(&db);
+    let simplified = model
+        .simplify(&db, budget, &state_queries, 4)
+        .materialize(&db);
     println!(
         "one simplified database: {} -> {} points\n",
         db.total_points(),
         budget
     );
 
-    // 1. Range queries.
+    // Two engines: ground truth and archive. Index built once each; every
+    // query below is served with cube pruning + parallel batches.
+    let truth_engine = QueryEngine::over(&db, EngineConfig::octree());
+    let served_engine = QueryEngine::new(simplified, EngineConfig::octree());
+
+    // 1. Range queries (whole batch, parallel).
     let range_qs = range_workload(&db, &workload, &mut rng);
-    let range_scores: Vec<_> = range_qs
+    let truth_results = truth_engine.range_batch(&range_qs);
+    let served_results = served_engine.range_batch(&range_qs);
+    let range_scores: Vec<_> = truth_results
         .iter()
-        .map(|q| f1_sets(&qdts::query::range_query(&db, q), &qdts::query::range_query(&simplified, q)))
+        .zip(&served_results)
+        .map(|(t, r)| f1_sets(t, r))
         .collect();
     println!("range query F1:       {:.3}", mean_f1(&range_scores));
 
@@ -59,42 +74,50 @@ fn main() {
         ("kNN (EDR) F1:      ", Dissimilarity::Edr { eps: 100.0 }),
         ("kNN (t2vec) F1:    ", Dissimilarity::t2vec_default()),
     ] {
-        let scores: Vec<_> = knn_specs
+        let queries: Vec<KnnQuery> = knn_specs
             .iter()
-            .map(|s| {
-                let q = KnnQuery {
-                    query: db.get(s.query).clone(),
-                    ts: s.ts,
-                    te: s.te,
-                    k: 3,
-                    measure,
-                };
-                f1_sets(&q.execute(&db), &q.execute(&simplified))
+            .map(|s| KnnQuery {
+                query: db.get(s.query).clone(),
+                ts: s.ts,
+                te: s.te,
+                k: 3,
+                measure,
             })
+            .collect();
+        let truth = truth_engine.knn_batch(&queries);
+        let served = served_engine.knn_batch(&queries);
+        let scores: Vec<_> = truth
+            .iter()
+            .zip(&served)
+            .map(|(t, r)| f1_sets(t, r))
             .collect();
         println!("{name}  {:.3}", mean_f1(&scores));
     }
 
-    // 3. Similarity queries.
+    // 3. Similarity queries (parallel per-candidate checks).
     let sim_specs = traj_query_workload(&db, 8, 7.0 * 86_400.0, &mut rng);
-    let sim_scores: Vec<_> = sim_specs
+    let sim_queries: Vec<SimilarityQuery> = sim_specs
         .iter()
-        .map(|s| {
-            let q = SimilarityQuery {
-                query: db.get(s.query).clone(),
-                ts: s.ts,
-                te: s.te,
-                delta: 1_000.0,
-                step: 600.0,
-            };
-            f1_sets(&q.execute(&db), &q.execute(&simplified))
+        .map(|s| SimilarityQuery {
+            query: db.get(s.query).clone(),
+            ts: s.ts,
+            te: s.te,
+            delta: 1_000.0,
+            step: 600.0,
         })
+        .collect();
+    let truth = truth_engine.similarity_batch(&sim_queries);
+    let served = served_engine.similarity_batch(&sim_queries);
+    let sim_scores: Vec<_> = truth
+        .iter()
+        .zip(&served)
+        .map(|(t, r)| f1_sets(t, r))
         .collect();
     println!("similarity query F1:  {:.3}", mean_f1(&sim_scores));
 
     // 4. TRACLUS clustering (co-clustered trajectory pairs).
     let params = TraclusParams::default();
-    let truth = traclus(&db, &params).co_clustered_pairs();
-    let ours = traclus(&simplified, &params).co_clustered_pairs();
+    let truth = traclus(truth_engine.db(), &params).co_clustered_pairs();
+    let ours = traclus(served_engine.db(), &params).co_clustered_pairs();
     println!("clustering pair F1:   {:.3}", f1_pairs(&truth, &ours).f1);
 }

@@ -3,7 +3,9 @@
 //!
 //! Run with: `cargo run --release --example quickstart`
 
-use qdts::query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use qdts::query::{
+    range_workload, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
+};
 use qdts::rl4qdts::{train, RewardTracker, Rl4QdtsConfig, TrainerConfig};
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
 use qdts::trajectory::{DatasetStats, Simplification};
@@ -50,12 +52,14 @@ fn main() {
     );
 
     // 5. How much query accuracy survived? (1.0 = identical results)
+    //    Query execution runs through the index-accelerated engine.
     let eval_queries = range_workload(&db, &workload, &mut rng);
     let baseline = Simplification::most_simplified(&db);
-    let tracker = RewardTracker::new(&db, eval_queries, &baseline);
+    let engine = QueryEngine::over(&db, EngineConfig::octree());
+    let tracker = RewardTracker::new(&engine, eval_queries, &baseline);
     println!(
         "range-query F1 endpoints-only: {:.3}, RL4QDTS: {:.3}",
-        1.0 - tracker.diff(&db, &baseline),
-        1.0 - tracker.diff(&db, &simplified),
+        1.0 - tracker.diff_of(&engine, &baseline),
+        1.0 - tracker.diff_of(&engine, &simplified),
     );
 }

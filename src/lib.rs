@@ -4,23 +4,33 @@
 //! crate:
 //!
 //! - [`trajectory`]: data model, geometry, error measures, generators, I/O;
-//! - [`index`]: the spatio-temporal octree;
-//! - [`query`]: range / kNN / similarity / clustering engine + F1 metrics;
+//! - [`index`]: the spatio-temporal octree and median kd-tree;
+//! - [`query`]: range / kNN / similarity / clustering operators, F1
+//!   metrics, and the canonical execution path — the index-accelerated,
+//!   parallel [`QueryEngine`] with incremental workload maintenance;
 //! - [`simp`]: the EDTS baselines (Top-Down, Bottom-Up, Span-Search, RLTS+);
 //! - [`rl`]: the from-scratch NN/DQN toolkit;
 //! - [`rl4qdts`]: the paper's contribution — query-accuracy-driven
 //!   collective simplification.
 //!
+//! Query execution should go through a [`QueryEngine`] (see
+//! `examples/query_serving.rs`): it owns a [`TrajectoryDb`] plus a
+//! pluggable index backend, prunes every query through the index, runs
+//! batches data-parallel, and keeps workload results over a growing
+//! simplification incrementally maintained. The per-operator scan
+//! functions in [`query`] remain the semantic reference.
+//!
 //! See `examples/quickstart.rs` for the 60-second tour.
 
+pub use tiny_rl as rl;
 pub use traj_index as index;
 pub use traj_query as query;
 pub use traj_simp as simp;
-pub use tiny_rl as rl;
 pub use trajectory;
 
 pub use rl4qdts;
 
 pub use rl4qdts::{PolicyVariant, Rl4Qdts, Rl4QdtsConfig, TrainerConfig};
+pub use traj_query::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine};
 pub use traj_simp::Simplifier;
 pub use trajectory::{Point, Simplification, Trajectory, TrajectoryDb};

@@ -1,7 +1,9 @@
 //! Cross-crate integration tests: the full pipeline from synthetic data
 //! through training, simplification, and all five query tasks.
 
-use qdts::query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use qdts::query::{
+    range_workload, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
+};
 use qdts::rl4qdts::{train, RewardTracker, Rl4QdtsConfig, TrainerConfig};
 use qdts::simp::{Adaptation, BottomUp, Simplifier, TopDown, Uniform};
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
@@ -55,7 +57,8 @@ fn all_simplifier_families_integrate_with_query_engine() {
     let mut rng = StdRng::seed_from_u64(7);
     let eval_queries = range_workload(&db, &workload(), &mut rng);
     let base = Simplification::most_simplified(&db);
-    let tracker = RewardTracker::new(&db, eval_queries, &base);
+    let engine = QueryEngine::over(&db, EngineConfig::octree());
+    let tracker = RewardTracker::new(&engine, eval_queries, &base);
 
     let methods: Vec<Box<dyn Simplifier>> = vec![
         Box::new(Uniform),
@@ -67,8 +70,8 @@ fn all_simplifier_families_integrate_with_query_engine() {
     for m in &methods {
         let small = m.simplify(&db, db.total_points() / 20);
         let large = m.simplify(&db, db.total_points() / 2);
-        let d_small = tracker.diff(&db, &small);
-        let d_large = tracker.diff(&db, &large);
+        let d_small = tracker.diff_of(&engine, &small);
+        let d_large = tracker.diff_of(&engine, &large);
         assert!(
             d_large <= d_small + 1e-9,
             "{}: more budget must not hurt ({d_small:.3} -> {d_large:.3})",
@@ -79,7 +82,8 @@ fn all_simplifier_families_integrate_with_query_engine() {
 
 /// The octree, query engine, and simplification layers agree on what a
 /// range query returns: querying the materialized database equals querying
-/// the kept points in place.
+/// the kept points in place — through the linear scan and through the
+/// index-accelerated engine alike.
 #[test]
 fn materialized_and_in_place_range_queries_agree() {
     let db = generate(&DatasetSpec::chengdu(Scale::Smoke), 1003);
@@ -93,10 +97,22 @@ fn materialized_and_in_place_range_queries_agree() {
         }
     }
     let materialized = simp.materialize(&db);
+    let engine = QueryEngine::over(&db, EngineConfig::octree());
+    let served = QueryEngine::over(&materialized, EngineConfig::octree());
     for q in &queries {
         let in_place = qdts::rl4qdts::range_query_simplified(&db, &simp, q);
         let on_materialized = qdts::query::range_query(&materialized, q);
         assert_eq!(in_place, on_materialized, "query {q:?}");
+        assert_eq!(
+            engine.range_simplified(&simp, q),
+            in_place,
+            "engine in-place {q:?}"
+        );
+        assert_eq!(
+            served.range(q),
+            on_materialized,
+            "engine materialized {q:?}"
+        );
     }
 }
 

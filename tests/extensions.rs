@@ -4,8 +4,8 @@
 //! would combine them.
 
 use qdts::query::join::{similarity_join, JoinParams};
-use qdts::simp::{bounded_db, min_eps_for_budget, streaming_simplify, BottomUp, Simplifier};
 use qdts::simp::Adaptation;
+use qdts::simp::{bounded_db, min_eps_for_budget, streaming_simplify, BottomUp, Simplifier};
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
 use qdts::trajectory::resample::{mean_sync_distance, resample_uniform};
 use qdts::trajectory::{ErrorMeasure, Trajectory, TrajectoryDb};
@@ -70,7 +70,11 @@ fn joins_behave_under_simplification() {
     trajs.push(Trajectory::new(buddy).unwrap());
     let db = TrajectoryDb::new(trajs);
 
-    let params = JoinParams { delta: 500.0, min_overlap: 600.0, step: 60.0 };
+    let params = JoinParams {
+        delta: 500.0,
+        min_overlap: 600.0,
+        step: 60.0,
+    };
     let pairs = similarity_join(&db, &params);
     assert!(pairs.contains(&(a, b)), "companions must join: {pairs:?}");
 
@@ -80,7 +84,10 @@ fn joins_behave_under_simplification() {
         .simplify(&db, db.total_points() / 4)
         .materialize(&db);
     let pairs_simp = similarity_join(&simp, &params);
-    assert!(pairs_simp.contains(&(a, b)), "linear companions must still join");
+    assert!(
+        pairs_simp.contains(&(a, b)),
+        "linear companions must still join"
+    );
 }
 
 /// The kd-tree index slots into the full train→simplify pipeline.
@@ -120,14 +127,19 @@ fn resampled_sync_distance_tracks_sed() {
     // average step (pure interpolation error between irregular fixes).
     let mean_step = t.path_length() / (t.len() - 1) as f64;
     let d = mean_sync_distance(t, &uniform, 5.0).unwrap();
-    assert!(d < mean_step, "resampling moved the trajectory {d} (step {mean_step})");
+    assert!(
+        d < mean_step,
+        "resampling moved the trajectory {d} (step {mean_step})"
+    );
 
     // Endpoint-only simplification has sync distance comparable to its SED.
-    let endpoints =
-        Trajectory::new(vec![*t.first(), *t.last()]).unwrap();
+    let endpoints = Trajectory::new(vec![*t.first(), *t.last()]).unwrap();
     let d_endpoints = mean_sync_distance(t, &endpoints, 5.0).unwrap();
     let kept: Vec<u32> = vec![0, t.len() as u32 - 1];
     let sed = ErrorMeasure::Sed.trajectory_error(t, &kept);
-    assert!(d_endpoints <= sed + 1e-9, "mean ≤ max: {d_endpoints} vs {sed}");
+    assert!(
+        d_endpoints <= sed + 1e-9,
+        "mean ≤ max: {d_endpoints} vs {sed}"
+    );
     assert!(d_endpoints > 0.0);
 }

@@ -3,7 +3,9 @@
 //! they do not check absolute numbers, only orderings and behaviours the
 //! paper predicts.
 
-use qdts::query::{range_workload, QueryDistribution, RangeWorkloadSpec};
+use qdts::query::{
+    range_workload, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
+};
 use qdts::rl4qdts::{PolicyVariant, RewardTracker, Rl4QdtsConfig, TrainerConfig};
 use qdts::simp::{Adaptation, BottomUp, Simplifier, TopDown};
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
@@ -17,7 +19,9 @@ use rand::SeedableRng;
 #[test]
 fn whole_adaptation_beats_each_on_heterogeneous_complexity() {
     let straight = Trajectory::new(
-        (0..60).map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64)).collect(),
+        (0..60)
+            .map(|i| Point::new(i as f64 * 10.0, 0.0, i as f64))
+            .collect(),
     )
     .unwrap();
     let wiggly = Trajectory::new(
@@ -58,14 +62,17 @@ fn rewards_telescope_over_many_windows() {
     let mut rng = StdRng::seed_from_u64(3);
     let queries = range_workload(&db, &spec, &mut rng);
     let mut simp = Simplification::most_simplified(&db);
-    let mut tracker = RewardTracker::new(&db, queries, &simp);
+    let engine = QueryEngine::over(&db, EngineConfig::octree());
+    let mut tracker = RewardTracker::new(&engine, queries, &simp);
     let initial = tracker.last_diff();
 
     let mut total_reward = 0.0;
     for (id, t) in db.iter() {
         for idx in (1..t.len() as u32 - 1).step_by(11) {
-            simp.insert(id, idx);
-            total_reward += tracker.window_reward(&db, &simp);
+            if simp.insert(id, idx) {
+                tracker.on_insert(id, t.point(idx as usize));
+            }
+            total_reward += tracker.window_reward();
         }
     }
     let residual = tracker.last_diff();
