@@ -13,17 +13,18 @@ fn bench_octree(c: &mut Criterion) {
     let mut group = c.benchmark_group("octree_build");
     group.sample_size(10);
     for m in [8usize, 16, 32] {
-        let db = generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(m), 1);
+        let store =
+            generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(m), 1).to_store();
         group.bench_with_input(
-            BenchmarkId::from_parameter(format!("N={}", db.total_points())),
-            &db,
-            |b, db| b.iter(|| Octree::build(db, OctreeConfig::default())),
+            BenchmarkId::from_parameter(format!("N={}", store.total_points())),
+            &store,
+            |b, store| b.iter(|| Octree::build(store, OctreeConfig::default())),
         );
     }
     group.finish();
 
     let db = generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(16), 1);
-    let mut tree = Octree::build(&db, OctreeConfig::default());
+    let mut tree = Octree::build(&db.to_store(), OctreeConfig::default());
     let spec = RangeWorkloadSpec::paper_default(100, QueryDistribution::Data);
     let mut rng = StdRng::seed_from_u64(2);
     let queries = range_workload(&db, &spec, &mut rng);

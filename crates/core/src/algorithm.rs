@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use tiny_rl::Dqn;
 use traj_index::{CubeIndex, NodeId};
 use traj_query::QueryEngine;
-use trajectory::{Cube, Simplification, TrajectoryDb};
+use trajectory::{Cube, PointStore, Simplification, TrajectoryDb};
 
 /// The RL4QDTS simplifier: a trained Agent-Cube and Agent-Point pair plus
 /// their hyperparameters. Produced by [`crate::trainer::train`] (or
@@ -96,13 +96,14 @@ impl Rl4Qdts {
         let tree = engine
             .cube_index()
             .expect("rl4qdts engines are always indexed");
-        self.simplify_with_index(db, budget, tree, seed, variant)
+        self.simplify_with_index(engine.store(), budget, tree, seed, variant)
     }
 
-    /// Algorithm 1 against an already-built, query-assigned index.
+    /// Algorithm 1 against an already-built, query-assigned index over the
+    /// columnar `store`.
     pub fn simplify_with_index<I: CubeIndex + ?Sized>(
         &self,
-        db: &TrajectoryDb,
+        store: &PointStore,
         budget: usize,
         tree: &I,
         seed: u64,
@@ -110,8 +111,8 @@ impl Rl4Qdts {
     ) -> Simplification {
         let mut rng = StdRng::seed_from_u64(seed);
 
-        let mut simp = Simplification::most_simplified(db);
-        let total_points = db.total_points();
+        let mut simp = Simplification::most_simplified_store(store);
+        let total_points = store.total_points();
         let budget = budget.clamp(simp.total_points(), total_points);
 
         // Inference clones so `&self` stays shareable and runs independent.
@@ -134,7 +135,7 @@ impl Rl4Qdts {
             } else {
                 tree.sample_start_by_data(self.config.start_level, &mut rng)
             };
-            let inserted = match point_state(db, &simp, tree, node, &self.config) {
+            let inserted = match point_state(store, &simp, tree, node, &self.config) {
                 Some(ps) => {
                     let action = if variant.use_point_agent {
                         let ws = point_agent.whiten(&ps.state, false);
@@ -155,7 +156,7 @@ impl Rl4Qdts {
                     // The sampled region is exhausted; fill the remaining
                     // budget deterministically so the contract (exactly
                     // `budget` points when available) holds.
-                    fill_remaining(db, &mut simp, budget);
+                    fill_remaining(store, &mut simp, budget);
                     break;
                 }
             }
@@ -192,7 +193,7 @@ impl Rl4Qdts {
 /// Deterministically inserts not-yet-kept points (highest-SED first per
 /// trajectory, round-robin) until `budget` is reached. Only used as the
 /// exhaustion fallback; normal operation inserts via the agents.
-fn fill_remaining(db: &TrajectoryDb, simp: &mut Simplification, budget: usize) {
+fn fill_remaining(store: &PointStore, simp: &mut Simplification, budget: usize) {
     use crate::point_agent::point_value;
     use traj_index::PointRef;
     let mut total = simp.total_points();
@@ -204,10 +205,10 @@ fn fill_remaining(db: &TrajectoryDb, simp: &mut Simplification, budget: usize) {
     // refreshed as anchors change — acceptable for the rare exhaustion
     // fallback, and it keeps the worst case out of O(N·W).
     let mut candidates: Vec<(f64, PointRef)> = Vec::new();
-    for (traj, t) in db.iter() {
-        for idx in 1..t.len().saturating_sub(1) as u32 {
+    for (traj, v) in store.iter() {
+        for idx in 1..v.len().saturating_sub(1) as u32 {
             let r = PointRef { traj, idx };
-            if let Some((vs, _)) = point_value(db, simp, r) {
+            if let Some((vs, _)) = point_value(store, simp, r) {
                 candidates.push((vs, r));
             }
         }
@@ -306,9 +307,10 @@ mod tests {
     #[test]
     fn fill_remaining_completes_budgets() {
         let (db, _, _) = setup();
-        let mut simp = Simplification::most_simplified(&db);
+        let store = db.to_store();
+        let mut simp = Simplification::most_simplified_store(&store);
         let budget = simp.total_points() + 17;
-        fill_remaining(&db, &mut simp, budget);
+        fill_remaining(&store, &mut simp, budget);
         assert_eq!(simp.total_points(), budget);
     }
 

@@ -56,15 +56,15 @@ mod tests {
     use trajectory::Cube;
 
     fn tree() -> Octree {
-        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 3);
+        let store = generate(&DatasetSpec::geolife(Scale::Smoke), 3).to_store();
         let mut t = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 6,
                 leaf_capacity: 32,
             },
         );
-        let bc = db.bounding_cube();
+        let bc = store.bounding_cube();
         let (cx, cy, ct) = bc.center();
         t.assign_queries(&[Cube::centered(cx, cy, ct, 1000.0, 1000.0, 10_000.0)]);
         t

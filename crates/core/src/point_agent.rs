@@ -8,7 +8,7 @@
 
 use crate::config::Rl4QdtsConfig;
 use traj_index::{CubeIndex, NodeId, PointRef};
-use trajectory::{error::sed, geom, Simplification, TrajectoryDb};
+use trajectory::{error::sed, geom, PointStore, Simplification};
 
 /// One nominated insertion candidate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -36,17 +36,18 @@ pub struct PointState {
 /// Computes `(v_s, v_t)` (Eq. 6) of point `r` w.r.t. its *current* anchor
 /// segment in the simplified database. Returns `None` when the point is
 /// already inserted (kept points are excluded from the state definition).
-pub fn point_value(db: &TrajectoryDb, simp: &Simplification, r: PointRef) -> Option<(f64, f64)> {
+/// Point lookups are column reads on the store's zero-copy view.
+pub fn point_value(store: &PointStore, simp: &Simplification, r: PointRef) -> Option<(f64, f64)> {
     let (s, e) = simp.anchor(r.traj, r.idx);
     if s == e {
         return None; // already in D'
     }
-    let traj = db.get(r.traj);
-    let ps = traj.point(s as usize);
-    let pe = traj.point(e as usize);
-    let p = traj.point(r.idx as usize);
-    let vs = sed(ps, pe, p);
-    let vt = (p.t - geom::closest_point_time(ps, pe, p)).abs();
+    let v = store.view(r.traj);
+    let ps = v.point(s as usize);
+    let pe = v.point(e as usize);
+    let p = v.point(r.idx as usize);
+    let vs = sed(&ps, &pe, &p);
+    let vt = (p.t - geom::closest_point_time(&ps, &pe, &p)).abs();
     Some((vs, vt))
 }
 
@@ -57,7 +58,7 @@ pub fn point_value(db: &TrajectoryDb, simp: &Simplification, r: PointRef) -> Opt
 /// largest `v_s` (Eq. 8). Returns `None` when the cube holds no insertable
 /// point at all.
 pub fn point_state<I: CubeIndex + ?Sized>(
-    db: &TrajectoryDb,
+    store: &PointStore,
     simp: &Simplification,
     tree: &I,
     cube: NodeId,
@@ -69,7 +70,7 @@ pub fn point_state<I: CubeIndex + ?Sized>(
         let mut best: Option<Candidate> = None;
         for idx in idxs {
             let r = PointRef { traj, idx };
-            if let Some((vs, vt)) = point_value(db, simp, r) {
+            if let Some((vs, vt)) = point_value(store, simp, r) {
                 if best.is_none_or(|b| vs > b.vs) {
                     best = Some(Candidate { point: r, vs, vt });
                 }
@@ -108,10 +109,10 @@ pub fn point_state<I: CubeIndex + ?Sized>(
 mod tests {
     use super::*;
     use traj_index::{Octree, OctreeConfig};
-    use trajectory::{Point, Trajectory};
+    use trajectory::{Point, Trajectory, TrajectoryDb};
 
     /// Two trajectories; t1 has a large detour at index 2, t2 a small one.
-    fn setup() -> (TrajectoryDb, Octree, Simplification) {
+    fn setup() -> (PointStore, Octree, Simplification) {
         let t1 = Trajectory::new(vec![
             Point::new(0.0, 0.0, 0.0),
             Point::new(10.0, 0.0, 10.0),
@@ -126,16 +127,16 @@ mod tests {
             Point::new(20.0, 50.0, 20.0),
         ])
         .unwrap();
-        let db = TrajectoryDb::new(vec![t1, t2]);
+        let store = TrajectoryDb::new(vec![t1, t2]).to_store();
         let tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 3,
                 leaf_capacity: 100,
             },
         );
-        let simp = Simplification::most_simplified(&db);
-        (db, tree, simp)
+        let simp = Simplification::most_simplified_store(&store);
+        (store, tree, simp)
     }
 
     #[test]
@@ -191,7 +192,7 @@ mod tests {
     fn exhausted_cube_returns_none() {
         let (db, tree, _) = setup();
         let cfg = Rl4QdtsConfig::paper();
-        let full = Simplification::full(&db);
+        let full = Simplification::full_store(&db);
         assert!(point_state(&db, &full, &tree, tree.root(), &cfg).is_none());
     }
 

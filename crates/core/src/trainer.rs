@@ -15,8 +15,8 @@ use rand::rngs::StdRng;
 use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tiny_rl::{Dqn, Transition};
-use traj_query::{range_workload, QueryEngine, RangeWorkloadSpec};
-use trajectory::{Simplification, TrajectoryDb};
+use traj_query::{range_workload_store, QueryEngine, RangeWorkloadSpec};
+use trajectory::{PointStore, Simplification, TrajectoryDb};
 
 /// Training-loop configuration.
 #[derive(Debug, Clone, Copy)]
@@ -127,21 +127,24 @@ pub fn train(
     let mut reward_sum = 0.0;
     let mut windows = 0usize;
 
+    // One columnar conversion of the pool; per-round training databases
+    // are gathers over its columns, not `Vec<Point>` clones.
+    let pool_store = pool.to_store();
     for db_round in 0..trainer.num_dbs {
-        let db = sample_db(pool, trainer.trajs_per_db, &mut rng);
+        let db = sample_db(&pool_store, trainer.trajs_per_db, &mut rng);
         if db.is_empty() || db.total_points() < 8 {
             continue;
         }
         // One engine per training database: the index is built once and
         // shared between query execution (rewards) and Agent-Cube's
         // traversal across all of the database's episodes.
-        let mut engine = QueryEngine::new(db, config.engine_config());
+        let mut engine = QueryEngine::from_store(db, config.engine_config());
         for episode in 0..trainer.episodes_per_db {
             let ep_seed = seed
                 .wrapping_add(db_round as u64 * 7919)
                 .wrapping_add(episode as u64 * 104_729);
             let mut wl_rng = StdRng::seed_from_u64(ep_seed);
-            let queries = range_workload(engine.db(), &trainer.workload, &mut wl_rng);
+            let queries = range_workload_store(engine.store(), &trainer.workload, &mut wl_rng);
             engine.assign_queries(&queries);
             let (r, w, ins, trans) = run_episode(&mut model, &engine, trainer, queries, &mut rng);
             reward_sum += r;
@@ -162,12 +165,14 @@ pub fn train(
     (model, stats)
 }
 
-/// Samples a training database of `m` trajectories without replacement.
-fn sample_db(pool: &TrajectoryDb, m: usize, rng: &mut StdRng) -> TrajectoryDb {
+/// Samples a training database of `m` trajectories without replacement —
+/// a columnar gather over the pool store (the points are copied once into
+/// fresh columns; no per-trajectory allocations).
+fn sample_db(pool: &PointStore, m: usize, rng: &mut StdRng) -> PointStore {
     let mut ids: Vec<usize> = (0..pool.len()).collect();
     ids.shuffle(rng);
     ids.truncate(m.max(1));
-    ids.into_iter().map(|id| pool.get(id).clone()).collect()
+    pool.gather_trajs(&ids)
 }
 
 /// One training episode against a built, query-assigned engine. Returns
@@ -180,16 +185,16 @@ fn run_episode(
     rng: &mut StdRng,
 ) -> (f64, usize, usize, usize) {
     let config = model.config;
-    let db = engine.db();
+    let store = engine.store();
     let tree = engine
         .cube_index()
         .expect("rl4qdts engines are always indexed");
 
-    let mut simp = Simplification::most_simplified(db);
+    let mut simp = Simplification::most_simplified_store(store);
     let floor = simp.total_points();
-    let budget = ((db.total_points() as f64 * trainer.ratio) as usize)
+    let budget = ((store.total_points() as f64 * trainer.ratio) as usize)
         .max(floor + 2 * config.delta)
-        .min(db.total_points());
+        .min(store.total_points());
     let mut tracker = RewardTracker::new(engine, queries, &simp);
 
     let mut cube_buf = WindowBuffer::new();
@@ -223,7 +228,7 @@ fn run_episode(
         }
 
         // --- Agent-Point: choose and insert a point (Algorithm 3). ---
-        match point_state(db, &simp, tree, node, &config) {
+        match point_state(store, &simp, tree, node, &config) {
             Some(ps) => {
                 let state = model.point_agent.whiten(&ps.state, true);
                 let action = model.point_agent.select_action(&state, &ps.mask);
@@ -231,10 +236,8 @@ fn run_episode(
                 transitions += 1;
                 let c = ps.candidates[action.min(ps.candidates.len() - 1)];
                 if simp.insert(c.point.traj, c.point.idx) {
-                    tracker.on_insert(
-                        c.point.traj,
-                        db.get(c.point.traj).point(c.point.idx as usize),
-                    );
+                    let p = store.view(c.point.traj).point(c.point.idx as usize);
+                    tracker.on_insert(c.point.traj, &p);
                     insertions += 1;
                     since_window += 1;
                     misses = 0;
@@ -281,7 +284,7 @@ fn run_episode(
 #[cfg(test)]
 mod tests {
     use super::*;
-    use traj_query::QueryDistribution;
+    use traj_query::{range_workload, QueryDistribution};
     use trajectory::gen::{generate, DatasetSpec, Scale};
 
     fn quick_trainer() -> TrainerConfig {

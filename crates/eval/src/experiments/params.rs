@@ -40,11 +40,11 @@ fn trainer_for(scale: Scale) -> TrainerConfig {
 fn score_config(
     config: Rl4QdtsConfig,
     train_db: &TrajectoryDb,
+    test_db: &TrajectoryDb,
     truth: &QueryEngine<'_>,
     scale: Scale,
     seed: u64,
 ) -> (f64, f64) {
-    let test_db = truth.db();
     let started = std::time::Instant::now();
     let (model, _) = train(train_db, config, &trainer_for(scale), seed);
     let ratio = ratio_sweep(scale)[0];
@@ -83,7 +83,14 @@ pub fn run_start_level(scale: Scale, seed: u64) -> Table {
     let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25);
     let mut table = Table::new(&["S", "Range F1", "Time (s)"]);
     for s in 1..=base.max_depth.saturating_sub(1) {
-        let (f1, time) = score_config(base.with_start_level(s), &train_db, &truth, scale, seed);
+        let (f1, time) = score_config(
+            base.with_start_level(s),
+            &train_db,
+            &test_db,
+            &truth,
+            scale,
+            seed,
+        );
         table.row(vec![
             s.to_string(),
             format!("{f1:.3}"),
@@ -106,7 +113,14 @@ pub fn run_max_depth(scale: Scale, seed: u64) -> Table {
         .with_start_level(1);
     let mut table = Table::new(&["E", "Range F1", "Time (s)"]);
     for e in 3..=(base.max_depth + 2).min(10) {
-        let (f1, time) = score_config(base.with_max_depth(e), &train_db, &truth, scale, seed);
+        let (f1, time) = score_config(
+            base.with_max_depth(e),
+            &train_db,
+            &test_db,
+            &truth,
+            scale,
+            seed,
+        );
         table.row(vec![
             e.to_string(),
             format!("{f1:.3}"),
@@ -127,7 +141,7 @@ pub fn run_k(scale: Scale, seed: u64) -> Table {
     let base = Rl4QdtsConfig::scaled_to(&train_db).with_delta(25);
     let mut table = Table::new(&["K", "Range F1", "Time (s)"]);
     for k in [1usize, 2, 4, 8] {
-        let (f1, time) = score_config(base.with_k(k), &train_db, &truth, scale, seed);
+        let (f1, time) = score_config(base.with_k(k), &train_db, &test_db, &truth, scale, seed);
         table.row(vec![
             k.to_string(),
             format!("{f1:.3}"),

@@ -219,7 +219,7 @@ pub fn evaluate_with_engines(
         ),
         knn_t2vec: eval_knn(original, simplified, tasks, Dissimilarity::t2vec_default()),
         similarity: eval_similarity(original, simplified, tasks),
-        clustering: eval_clustering(original.db(), simplified.db(), tasks),
+        clustering: eval_clustering(original.store(), simplified.store(), tasks),
     }
 }
 
@@ -302,10 +302,15 @@ fn eval_similarity(
     mean_f1(&scores)
 }
 
-fn eval_clustering(original: &TrajectoryDb, simplified: &TrajectoryDb, tasks: &QueryTasks) -> f64 {
+fn eval_clustering(
+    original: &trajectory::PointStore,
+    simplified: &trajectory::PointStore,
+    tasks: &QueryTasks,
+) -> f64 {
     let cap = tasks.params.cluster_cap;
-    let head = |db: &TrajectoryDb| -> TrajectoryDb {
-        db.trajectories().iter().take(cap).cloned().collect()
+    // TRACLUS consumes AoS trajectories; materialize only the capped head.
+    let head = |store: &trajectory::PointStore| -> TrajectoryDb {
+        store.views().take(cap).map(|v| v.to_trajectory()).collect()
     };
     let truth = traclus(&head(original), &tasks.params.traclus).co_clustered_pairs();
     let result = traclus(&head(simplified), &tasks.params.traclus).co_clustered_pairs();

@@ -8,12 +8,15 @@
 //! children + stop). This realizes the "other indexes, e.g. kd-tree"
 //! future-work direction of §I; the `index_ablation` experiment compares
 //! the two.
+//!
+//! Like the octree, the tree is built over a columnar
+//! [`PointStore`] and its leaves hold bare global [`PointId`]s.
 
-use crate::octree::{NodeId, PointRef};
+use crate::octree::{group_by_trajectory, LeafSlab, NodeId, PackedPoints};
 use crate::traits::CubeIndex;
 use rand::rngs::StdRng;
 use rand::Rng;
-use trajectory::{Cube, Point, TrajId, TrajectoryDb};
+use trajectory::{Cube, Point, PointId, PointStore, TrajId, TrajectoryDb};
 
 /// One node of the median tree.
 #[derive(Debug, Clone)]
@@ -21,7 +24,9 @@ struct Node {
     cube: Cube,
     depth: u32,
     children: Option<[NodeId; 8]>,
-    points: Vec<PointRef>, // leaves only
+    /// Start/length of the leaf's run in the packed arrays (leaves only).
+    points_start: u32,
+    points_len: u32,
     traj_count: u32,
     point_count: u32,
     query_count: u32,
@@ -49,50 +54,62 @@ impl Default for MedianTreeConfig {
 #[derive(Debug, Clone)]
 pub struct MedianTree {
     nodes: Vec<Node>,
+    /// Leaf-major packed coordinates/owners/ids (see [`LeafSlab`]).
+    packed: PackedPoints,
+    /// Copy of the store's offset table (global id → trajectory mapping).
+    starts: Vec<u32>,
 }
 
 impl MedianTree {
-    /// Builds the tree over all points of `db`.
-    pub fn build(db: &TrajectoryDb, config: MedianTreeConfig) -> Self {
-        let mut cube = db.bounding_cube();
+    /// Builds the tree over all points of a columnar `store`. Leaves are
+    /// packed into contiguous coordinate runs as the recursion bottoms
+    /// out (the recursion visits leaves in DFS order).
+    pub fn build(store: &PointStore, config: MedianTreeConfig) -> Self {
+        let mut cube = store.bounding_cube();
         if cube.is_empty() {
             cube = Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0);
         }
-        // Collect (ref, coords) once; recursion partitions index ranges.
-        let mut entries: Vec<(PointRef, Point)> = Vec::with_capacity(db.total_points());
-        for (traj, t) in db.iter() {
-            for (idx, p) in t.points().iter().enumerate() {
-                entries.push((
-                    PointRef {
-                        traj,
-                        idx: idx as u32,
-                    },
-                    *p,
-                ));
-            }
-        }
-        let mut tree = Self { nodes: Vec::new() };
-        tree.build_node(&mut entries[..], cube, 1, &config);
+        // Collect (gid, coords) once; recursion partitions index ranges.
+        let mut entries: Vec<(PointId, Point)> = (0..store.total_points() as PointId)
+            .map(|gid| (gid, store.point(gid)))
+            .collect();
+        let owners = store.owner_column();
+        let mut tree = Self {
+            nodes: Vec::new(),
+            packed: PackedPoints::with_capacity(store.total_points()),
+            starts: store.offsets().to_vec(),
+        };
+        tree.build_node(&mut entries[..], &owners, cube, 1, &config);
         tree
+    }
+
+    /// Compat constructor from an AoS database (converts to columns first).
+    pub fn build_db(db: &TrajectoryDb, config: MedianTreeConfig) -> Self {
+        Self::build(&db.to_store(), config)
     }
 
     /// Recursively builds the subtree over `entries`, returning its id.
     fn build_node(
         &mut self,
-        entries: &mut [(PointRef, Point)],
+        entries: &mut [(PointId, Point)],
+        owners: &[u32],
         cube: Cube,
         depth: u32,
         config: &MedianTreeConfig,
     ) -> NodeId {
         let id = self.nodes.len() as NodeId;
-        let mut distinct: Vec<TrajId> = entries.iter().map(|(r, _)| r.traj).collect();
+        let mut distinct: Vec<u32> = entries
+            .iter()
+            .map(|(gid, _)| owners[*gid as usize])
+            .collect();
         distinct.sort_unstable();
         distinct.dedup();
         self.nodes.push(Node {
             cube,
             depth,
             children: None,
-            points: Vec::new(),
+            points_start: 0,
+            points_len: 0,
             traj_count: distinct.len() as u32,
             point_count: entries.len() as u32,
             query_count: 0,
@@ -100,13 +117,18 @@ impl MedianTree {
 
         let must_leaf = entries.len() <= config.leaf_capacity || depth >= config.max_depth;
         if must_leaf {
-            self.nodes[id as usize].points = entries.iter().map(|(r, _)| *r).collect();
+            let start = self.packed.gids.len() as u32;
+            for (gid, p) in entries.iter() {
+                self.packed.push(*gid, p.x, p.y, p.t, owners[*gid as usize]);
+            }
+            self.nodes[id as usize].points_start = start;
+            self.nodes[id as usize].points_len = entries.len() as u32;
             return id;
         }
 
         // Three successive median splits: x, y, t — eight balanced parts.
         let by_x = split_median(entries, |p| p.x);
-        let mut parts: Vec<&mut [(PointRef, Point)]> = Vec::with_capacity(8);
+        let mut parts: Vec<&mut [(PointId, Point)]> = Vec::with_capacity(8);
         for half in by_x {
             let by_y = split_median(half, |p| p.y);
             for quarter in by_y {
@@ -120,7 +142,7 @@ impl MedianTree {
         let mut children = [0 as NodeId; 8];
         for (k, part) in parts.into_iter().enumerate() {
             let child_cube = bounding_cube_of(part, &cube);
-            children[k] = self.build_node(part, child_cube, depth + 1, config);
+            children[k] = self.build_node(part, owners, child_cube, depth + 1, config);
         }
         self.nodes[id as usize].children = Some(children);
         id
@@ -147,11 +169,22 @@ impl MedianTree {
         self.nodes[id as usize].point_count
     }
 
-    /// Points stored directly at `id` (non-empty only for leaves).
+    /// Global point ids stored directly at `id` (non-empty only for
+    /// leaves).
     #[inline]
     #[must_use]
-    pub fn leaf_points(&self, id: NodeId) -> &[PointRef] {
-        &self.nodes[id as usize].points
+    pub fn leaf_points(&self, id: NodeId) -> &[PointId] {
+        let node = &self.nodes[id as usize];
+        let r = node.points_start as usize..(node.points_start + node.points_len) as usize;
+        &self.packed.gids[r]
+    }
+
+    /// The leaf's packed coordinate/owner runs (empty for interior nodes).
+    #[inline]
+    #[must_use]
+    pub fn leaf_slab(&self, id: NodeId) -> LeafSlab<'_> {
+        let node = &self.nodes[id as usize];
+        self.packed.slab(node.points_start, node.points_len)
     }
 
     fn count_query(&mut self, id: NodeId, q: &Cube) {
@@ -167,6 +200,8 @@ impl MedianTree {
     }
 
     /// Node ids at traversal level `s` (see [`Octree::nodes_at_level`]).
+    ///
+    /// [`Octree::nodes_at_level`]: crate::octree::Octree::nodes_at_level
     fn nodes_at_level(&self, s: u32) -> Vec<NodeId> {
         let mut out = Vec::new();
         let mut stack = vec![0 as NodeId];
@@ -190,9 +225,9 @@ impl MedianTree {
 /// Splits a slice at its median of `key` (lower half gets the extra
 /// element), using `select_nth_unstable` for O(n).
 fn split_median(
-    entries: &mut [(PointRef, Point)],
+    entries: &mut [(PointId, Point)],
     key: impl Fn(&Point) -> f64,
-) -> [&mut [(PointRef, Point)]; 2] {
+) -> [&mut [(PointId, Point)]; 2] {
     let mid = entries.len() / 2;
     if entries.len() >= 2 {
         entries.select_nth_unstable_by(mid, |a, b| key(&a.1).total_cmp(&key(&b.1)));
@@ -202,7 +237,7 @@ fn split_median(
 }
 
 /// Tight bounding cube of `entries`, falling back to `parent` when empty.
-fn bounding_cube_of(entries: &[(PointRef, Point)], parent: &Cube) -> Cube {
+fn bounding_cube_of(entries: &[(PointId, Point)], parent: &Cube) -> Cube {
     if entries.is_empty() {
         // Keep a degenerate corner of the parent so geometry stays valid.
         return Cube::new(
@@ -300,24 +335,15 @@ impl CubeIndex for MedianTree {
     }
 
     fn points_by_trajectory(&self, id: NodeId) -> Vec<(TrajId, Vec<u32>)> {
-        let mut points: Vec<PointRef> = Vec::with_capacity(self.point_count(id) as usize);
+        let mut points: Vec<PointId> = Vec::with_capacity(self.point_count(id) as usize);
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
-            let node = &self.nodes[n as usize];
-            match node.children {
-                None => points.extend_from_slice(&node.points),
+            match self.nodes[n as usize].children {
+                None => points.extend_from_slice(self.leaf_points(n)),
                 Some(children) => stack.extend(children),
             }
         }
-        points.sort_unstable_by_key(|r| (r.traj, r.idx));
-        let mut out: Vec<(TrajId, Vec<u32>)> = Vec::new();
-        for r in points {
-            match out.last_mut() {
-                Some((traj, idxs)) if *traj == r.traj => idxs.push(r.idx),
-                _ => out.push((r.traj, vec![r.idx])),
-            }
-        }
-        out
+        group_by_trajectory(points, &self.starts)
     }
 }
 
@@ -343,34 +369,34 @@ mod tests {
     use rand::SeedableRng;
     use trajectory::gen::{generate, DatasetSpec, Scale};
 
-    fn db() -> TrajectoryDb {
-        generate(&DatasetSpec::geolife(Scale::Smoke), 71)
+    fn store() -> PointStore {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 71).to_store()
     }
 
     #[test]
     fn indexes_every_point_exactly_once() {
-        let db = db();
+        let store = store();
         let tree = MedianTree::build(
-            &db,
+            &store,
             MedianTreeConfig {
                 max_depth: 6,
                 leaf_capacity: 32,
             },
         );
-        assert_eq!(tree.point_count(0) as usize, db.total_points());
+        assert_eq!(tree.point_count(0) as usize, store.total_points());
         let groups = tree.points_by_trajectory(0);
         let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
-        assert_eq!(total, db.total_points());
-        assert_eq!(groups.len(), db.len());
+        assert_eq!(total, store.total_points());
+        assert_eq!(groups.len(), store.len());
     }
 
     #[test]
     fn children_are_balanced_in_point_count() {
         // The defining property vs. the octree: median splits balance the
         // children even on skewed data.
-        let db = db();
+        let store = store();
         let tree = MedianTree::build(
-            &db,
+            &store,
             MedianTreeConfig {
                 max_depth: 4,
                 leaf_capacity: 16,
@@ -388,9 +414,9 @@ mod tests {
 
     #[test]
     fn children_partition_counts() {
-        let db = db();
+        let store = store();
         let tree = MedianTree::build(
-            &db,
+            &store,
             MedianTreeConfig {
                 max_depth: 5,
                 leaf_capacity: 16,
@@ -406,9 +432,9 @@ mod tests {
 
     #[test]
     fn respects_max_depth_and_leaf_capacity() {
-        let db = db();
+        let store = store();
         let tree = MedianTree::build(
-            &db,
+            &store,
             MedianTreeConfig {
                 max_depth: 3,
                 leaf_capacity: 8,
@@ -416,7 +442,7 @@ mod tests {
         );
         assert!(tree.actual_depth() <= 3);
         let big = MedianTree::build(
-            &db,
+            &store,
             MedianTreeConfig {
                 max_depth: 10,
                 leaf_capacity: 1_000_000,
@@ -427,9 +453,9 @@ mod tests {
 
     #[test]
     fn query_assignment_counts_intersections() {
-        let db = db();
-        let mut tree = MedianTree::build(&db, MedianTreeConfig::default());
-        let whole = db.bounding_cube();
+        let store = store();
+        let mut tree = MedianTree::build(&store, MedianTreeConfig::default());
+        let whole = store.bounding_cube();
         CubeIndex::assign_queries(&mut tree, &[whole, whole]);
         assert_eq!(CubeIndex::query_count(&tree, 0), 2);
         let far = Cube::centered(1e12, 1e12, 1e12, 1.0, 1.0, 1.0);
@@ -439,9 +465,9 @@ mod tests {
 
     #[test]
     fn sample_start_returns_populated_nodes() {
-        let db = db();
+        let store = store();
         let tree = MedianTree::build(
-            &db,
+            &store,
             MedianTreeConfig {
                 max_depth: 5,
                 leaf_capacity: 16,
@@ -456,16 +482,16 @@ mod tests {
 
     #[test]
     fn empty_database_is_a_single_leaf() {
-        let tree = MedianTree::build(&TrajectoryDb::default(), MedianTreeConfig::default());
+        let tree = MedianTree::build(&PointStore::new(), MedianTreeConfig::default());
         assert!(tree.is_empty());
         assert_eq!(tree.len(), 1);
     }
 
     #[test]
     fn child_cubes_contain_their_points() {
-        let db = db();
+        let store = store();
         let tree = MedianTree::build(
-            &db,
+            &store,
             MedianTreeConfig {
                 max_depth: 4,
                 leaf_capacity: 32,
@@ -474,9 +500,10 @@ mod tests {
         for id in 0..tree.len() as NodeId {
             let cube = CubeIndex::cube(&tree, id);
             for (traj, idxs) in tree.points_by_trajectory(id) {
+                let v = store.view(traj);
                 for idx in idxs {
-                    let p = db.get(traj).point(idx as usize);
-                    assert!(cube.contains(p), "node {id}: point {p} outside cube");
+                    let p = v.point(idx as usize);
+                    assert!(cube.contains(&p), "node {id}: point {p} outside cube");
                 }
             }
         }

@@ -16,5 +16,5 @@ pub mod octree;
 pub mod traits;
 
 pub use kdtree::{MedianTree, MedianTreeConfig};
-pub use octree::{Node, NodeId, Octree, OctreeConfig, PointRef};
+pub use octree::{LeafSlab, Node, NodeId, Octree, OctreeConfig, PointRef};
 pub use traits::{CubeIndex, SpatioTemporalIndex};

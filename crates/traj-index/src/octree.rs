@@ -5,21 +5,106 @@
 //! statistics Agent-Cube's state (Eq. 4) is built from: the number of
 //! distinct trajectories with a point in the cube (`M_B`) and the number of
 //! workload queries intersecting the cube (`Q_B`).
+//!
+//! The tree is built directly over a columnar [`PointStore`] and finishes
+//! with a *packing* pass: every leaf's points are laid out contiguously in
+//! leaf-major coordinate/owner arrays ([`LeafSlab`]), so a range query
+//! scans each intersecting leaf as straight `f64` runs — no per-point
+//! pointer chase, no strided column gather. `M_B` is computed during
+//! insertion with a per-node last-seen marker (points arrive in
+//! trajectory-major global-id order), replacing the allocation-heavy
+//! sorted-list merges of the AoS design.
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use trajectory::{Cube, TrajId, TrajectoryDb};
+use trajectory::{Cube, PointId, PointStore, TrajId, TrajectoryDb};
 
 /// Index of a node in the octree arena.
 pub type NodeId = u32;
 
-/// Reference to one original point: trajectory id + point index.
+/// Reference to one original point: trajectory id + point index. This is
+/// the agents' per-trajectory addressing; inside the index itself points
+/// are bare [`PointId`] column indices.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct PointRef {
     /// Trajectory id within the indexed database.
     pub traj: TrajId,
     /// Point index within that trajectory.
     pub idx: u32,
+}
+
+/// A leaf's points in packed struct-of-arrays form: parallel runs of
+/// coordinates, owning trajectory ids, and global point ids, contiguous in
+/// memory per leaf. This is the view query execution scans.
+#[derive(Debug, Clone, Copy)]
+pub struct LeafSlab<'a> {
+    /// x coordinates.
+    pub xs: &'a [f64],
+    /// y coordinates.
+    pub ys: &'a [f64],
+    /// Timestamps.
+    pub ts: &'a [f64],
+    /// Owning trajectory per point.
+    pub owners: &'a [u32],
+    /// Global point ids (column indices into the backing store).
+    pub gids: &'a [PointId],
+}
+
+impl LeafSlab<'_> {
+    /// Number of points in the slab.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.gids.len()
+    }
+
+    /// True when the slab holds no points.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.gids.is_empty()
+    }
+}
+
+/// Leaf-major packed point storage shared by both index backends.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct PackedPoints {
+    pub xs: Vec<f64>,
+    pub ys: Vec<f64>,
+    pub ts: Vec<f64>,
+    pub owners: Vec<u32>,
+    pub gids: Vec<PointId>,
+}
+
+impl PackedPoints {
+    pub(crate) fn with_capacity(n: usize) -> Self {
+        Self {
+            xs: Vec::with_capacity(n),
+            ys: Vec::with_capacity(n),
+            ts: Vec::with_capacity(n),
+            owners: Vec::with_capacity(n),
+            gids: Vec::with_capacity(n),
+        }
+    }
+
+    pub(crate) fn push(&mut self, gid: PointId, x: f64, y: f64, t: f64, owner: u32) {
+        self.xs.push(x);
+        self.ys.push(y);
+        self.ts.push(t);
+        self.owners.push(owner);
+        self.gids.push(gid);
+    }
+
+    pub(crate) fn slab(&self, start: u32, len: u32) -> LeafSlab<'_> {
+        let r = start as usize..(start + len) as usize;
+        LeafSlab {
+            xs: &self.xs[r.clone()],
+            ys: &self.ys[r.clone()],
+            ts: &self.ts[r.clone()],
+            owners: &self.owners[r.clone()],
+            gids: &self.gids[r],
+        }
+    }
 }
 
 /// One octree node.
@@ -32,8 +117,10 @@ pub struct Node {
     pub depth: u32,
     /// Child node ids (octant order of [`Cube::octants`]); `None` for leaves.
     pub children: Option<[NodeId; 8]>,
-    /// Points stored here (leaves only; interior nodes are empty).
-    points: Vec<PointRef>,
+    /// Start of the leaf's run in the packed arrays (leaves only).
+    points_start: u32,
+    /// Length of the leaf's packed run (leaves only).
+    points_len: u32,
     /// `M_B`: number of distinct trajectories with ≥1 point in the cube.
     pub traj_count: u32,
     /// `N_B`: number of points in the cube (all descendants).
@@ -48,7 +135,8 @@ impl Node {
             cube,
             depth,
             children: None,
-            points: Vec::new(),
+            points_start: 0,
+            points_len: 0,
             traj_count: 0,
             point_count: 0,
             query_count: 0,
@@ -85,27 +173,149 @@ impl Default for OctreeConfig {
 pub struct Octree {
     nodes: Vec<Node>,
     config: OctreeConfig,
+    /// Leaf-major packed coordinates/owners/ids (see [`LeafSlab`]).
+    packed: PackedPoints,
+    /// Copy of the store's offset table, so global ids translate to
+    /// `(trajectory, local index)` without holding the store itself.
+    starts: Vec<u32>,
 }
 
 impl Octree {
-    /// Builds the octree over all points of `db`.
-    pub fn build(db: &TrajectoryDb, config: OctreeConfig) -> Self {
-        let mut cube = db.bounding_cube();
+    /// Builds the octree over all points of a columnar `store` with a bulk
+    /// top-down partition: every node's point set is a contiguous slice of
+    /// one global-id array, split per level by a stable counting scatter
+    /// between two ping-pong buffers. Compared to point-at-a-time
+    /// insertion this touches each point once per level with mostly
+    /// sequential array traffic and allocates nothing inside the
+    /// recursion; `M_B` falls out of the scatter as a run count — global
+    /// ids are trajectory-major, so a node's ascending id list groups each
+    /// trajectory into one consecutive run.
+    pub fn build(store: &PointStore, config: OctreeConfig) -> Self {
+        let mut cube = store.bounding_cube();
         if cube.is_empty() {
             cube = Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0);
         }
+        let n = store.total_points();
         let mut tree = Self {
-            nodes: vec![Node::new_leaf(cube, 1)],
+            nodes: Vec::new(),
             config,
+            packed: PackedPoints::with_capacity(n),
+            starts: store.offsets().to_vec(),
         };
-        for (traj, t) in db.iter() {
-            for idx in 0..t.len() as u32 {
-                let p = *t.point(idx as usize);
-                tree.insert(PointRef { traj, idx }, &p, db);
+        let owners = store.owner_column();
+        let mut gids: Vec<PointId> = (0..n as PointId).collect();
+        let mut aux: Vec<PointId> = vec![0; n];
+        let mut octs: Vec<u8> = vec![0; n];
+        let root_trajs = count_runs(&owners);
+        tree.build_node(
+            &mut gids[..],
+            &mut aux[..],
+            &mut octs[..],
+            cube,
+            1,
+            root_trajs,
+            store,
+            &owners,
+        );
+        tree
+    }
+
+    /// Recursively builds the subtree holding the `gids` slice (ascending),
+    /// returning its node id. `aux` and `octs` are same-length scratch
+    /// slices; `traj_count` (`M_B`) was computed by the parent's scatter.
+    /// Leaves pack their points into the leaf-major [`LeafSlab`] arrays.
+    #[allow(clippy::too_many_arguments)]
+    fn build_node(
+        &mut self,
+        gids: &mut [PointId],
+        aux: &mut [PointId],
+        octs: &mut [u8],
+        cube: Cube,
+        depth: u32,
+        traj_count: u32,
+        store: &PointStore,
+        owners: &[u32],
+    ) -> NodeId {
+        let id = self.nodes.len() as NodeId;
+        let mut node = Node::new_leaf(cube, depth);
+        node.point_count = gids.len() as u32;
+        node.traj_count = traj_count;
+        self.nodes.push(node);
+
+        let (xs, ys, ts) = (store.xs(), store.ys(), store.ts());
+        let must_leaf = gids.len() <= self.config.leaf_capacity || depth >= self.config.max_depth;
+        if must_leaf {
+            let start = self.packed.gids.len() as u32;
+            for &gid in gids.iter() {
+                let g = gid as usize;
+                self.packed.push(gid, xs[g], ys[g], ts[g], owners[g]);
+            }
+            self.nodes[id as usize].points_start = start;
+            self.nodes[id as usize].points_len = gids.len() as u32;
+            return id;
+        }
+
+        // Octant code + histogram, one coordinate pass.
+        let mut counts = [0usize; 8];
+        let (cx, cy, ct) = cube.center();
+        for (i, &gid) in gids.iter().enumerate() {
+            let g = gid as usize;
+            let k = usize::from(xs[g] >= cx)
+                | (usize::from(ys[g] >= cy) << 1)
+                | (usize::from(ts[g] >= ct) << 2);
+            octs[i] = k as u8;
+            counts[k] += 1;
+        }
+        // Stable scatter into `aux` (preserves ascending ids per octant);
+        // children recurse with the buffer roles swapped (ping-pong), so
+        // nothing is copied back. The children's `M_B` falls out of the
+        // same pass: per-octant runs of the (trajectory-major) owners.
+        let mut cursors = [0usize; 8];
+        let mut acc = 0;
+        for k in 0..8 {
+            cursors[k] = acc;
+            acc += counts[k];
+        }
+        let mut child_trajs = [0u32; 8];
+        let mut last_owner = [u32::MAX; 8];
+        for (i, &gid) in gids.iter().enumerate() {
+            let k = octs[i] as usize;
+            aux[cursors[k]] = gid;
+            cursors[k] += 1;
+            let owner = owners[gid as usize];
+            if owner != last_owner[k] {
+                last_owner[k] = owner;
+                child_trajs[k] += 1;
             }
         }
-        tree.aggregate_counts(db);
-        tree
+
+        let octants = cube.octants();
+        let mut children = [0 as NodeId; 8];
+        let (mut rest_g, mut rest_a, mut rest_o) = (gids, aux, octs);
+        for k in 0..8 {
+            let (g, rg) = std::mem::take(&mut rest_g).split_at_mut(counts[k]);
+            let (a, ra) = std::mem::take(&mut rest_a).split_at_mut(counts[k]);
+            let (o, ro) = std::mem::take(&mut rest_o).split_at_mut(counts[k]);
+            // `a` holds this child's scattered ids: swap buffer roles.
+            children[k] = self.build_node(
+                a,
+                g,
+                o,
+                octants[k],
+                depth + 1,
+                child_trajs[k],
+                store,
+                owners,
+            );
+            (rest_g, rest_a, rest_o) = (rg, ra, ro);
+        }
+        self.nodes[id as usize].children = Some(children);
+        id
+    }
+
+    /// Compat constructor from an AoS database (converts to columns first).
+    pub fn build_db(db: &TrajectoryDb, config: OctreeConfig) -> Self {
+        Self::build(&db.to_store(), config)
     }
 
     /// The root node id.
@@ -133,6 +343,16 @@ impl Octree {
         self.config
     }
 
+    /// The trajectory owning global point `gid` (binary search over the
+    /// captured offset table).
+    pub fn traj_of(&self, gid: PointId) -> TrajId {
+        debug_assert!(
+            gid < *self.starts.last().expect("sentinel"),
+            "global id {gid} out of range"
+        );
+        self.starts.partition_point(|&o| o <= gid) - 1
+    }
+
     /// `(M, Q)` statistics of each child of `id`, in octant order.
     /// `None` for leaves.
     pub fn child_stats(&self, id: NodeId) -> Option<[(u32, u32); 8]> {
@@ -141,91 +361,6 @@ impl Octree {
             let c = self.node(children[k]);
             (c.traj_count, c.query_count)
         }))
-    }
-
-    fn insert(&mut self, r: PointRef, p: &trajectory::Point, db: &TrajectoryDb) {
-        let mut id = self.root();
-        loop {
-            let node = &mut self.nodes[id as usize];
-            node.point_count += 1;
-            match node.children {
-                Some(children) => {
-                    let k = node.cube.octant_of(p);
-                    id = children[k];
-                }
-                None => {
-                    node.points.push(r);
-                    let should_split = node.points.len() > self.config.leaf_capacity
-                        && node.depth < self.config.max_depth;
-                    if should_split {
-                        self.split(id, db);
-                    }
-                    return;
-                }
-            }
-        }
-    }
-
-    fn split(&mut self, id: NodeId, db: &TrajectoryDb) {
-        let (cube, depth, points) = {
-            let node = &mut self.nodes[id as usize];
-            (node.cube, node.depth, std::mem::take(&mut node.points))
-        };
-        let octants = cube.octants();
-        let base = self.nodes.len() as NodeId;
-        for cube in octants {
-            self.nodes.push(Node::new_leaf(cube, depth + 1));
-        }
-        let children: [NodeId; 8] = std::array::from_fn(|k| base + k as NodeId);
-        self.nodes[id as usize].children = Some(children);
-        for r in points {
-            let p = db.get(r.traj).point(r.idx as usize);
-            let k = cube.octant_of(p);
-            let child = &mut self.nodes[children[k] as usize];
-            child.points.push(r);
-            child.point_count += 1;
-        }
-        // A split can leave one child over capacity (duplicate locations
-        // land in the same octant); recurse while depth allows.
-        for &c in &children {
-            if self.nodes[c as usize].points.len() > self.config.leaf_capacity
-                && self.nodes[c as usize].depth < self.config.max_depth
-            {
-                self.split(c, db);
-            }
-        }
-    }
-
-    /// Computes `M_B` for every node bottom-up. Returns the distinct
-    /// trajectory id list of the subtree (sorted), which is merged upward
-    /// and discarded — only counts are stored.
-    fn aggregate_counts(&mut self, _db: &TrajectoryDb) {
-        fn rec(tree: &mut Octree, id: NodeId) -> Vec<TrajId> {
-            let node = &tree.nodes[id as usize];
-            let mut ids: Vec<TrajId> = match node.children {
-                None => {
-                    let mut v: Vec<TrajId> = node.points.iter().map(|r| r.traj).collect();
-                    v.sort_unstable();
-                    v.dedup();
-                    v
-                }
-                Some(children) => {
-                    let mut merged: Vec<TrajId> = Vec::new();
-                    for &c in &children {
-                        let child_ids = rec(tree, c);
-                        merged = merge_dedup(&merged, &child_ids);
-                    }
-                    merged
-                }
-            };
-            ids.shrink_to_fit();
-            self_count(tree, id, ids.len() as u32);
-            ids
-        }
-        fn self_count(tree: &mut Octree, id: NodeId, count: u32) {
-            tree.nodes[id as usize].traj_count = count;
-        }
-        rec(self, 0);
     }
 
     /// Registers a query workload: `Q_B` of every node becomes the number of
@@ -311,21 +446,32 @@ impl Octree {
         pick_weighted(&candidates, &weights, rng)
     }
 
-    /// Points stored directly at `id` (non-empty only for leaves).
+    /// Global point ids stored directly at `id` (non-empty only for
+    /// leaves).
     #[inline]
     #[must_use]
-    pub fn leaf_points(&self, id: NodeId) -> &[PointRef] {
-        &self.nodes[id as usize].points
+    pub fn leaf_points(&self, id: NodeId) -> &[PointId] {
+        let node = &self.nodes[id as usize];
+        let r = node.points_start as usize..(node.points_start + node.points_len) as usize;
+        &self.packed.gids[r]
     }
 
-    /// All points in the subtree rooted at `id` (DFS over leaves).
-    pub fn collect_points(&self, id: NodeId) -> Vec<PointRef> {
+    /// The leaf's packed coordinate/owner runs (empty for interior nodes).
+    #[inline]
+    #[must_use]
+    pub fn leaf_slab(&self, id: NodeId) -> LeafSlab<'_> {
+        let node = &self.nodes[id as usize];
+        self.packed.slab(node.points_start, node.points_len)
+    }
+
+    /// All global point ids in the subtree rooted at `id` (DFS over
+    /// leaves).
+    pub fn collect_points(&self, id: NodeId) -> Vec<PointId> {
         let mut out = Vec::with_capacity(self.node(id).point_count as usize);
         let mut stack = vec![id];
         while let Some(n) = stack.pop() {
-            let node = self.node(n);
-            match node.children {
-                None => out.extend_from_slice(&node.points),
+            match self.node(n).children {
+                None => out.extend_from_slice(self.leaf_points(n)),
                 Some(children) => stack.extend(children),
             }
         }
@@ -336,22 +482,51 @@ impl Octree {
     /// trajectory's point indices sorted ascending. This is exactly the
     /// view Agent-Point's state construction (Eq. 6–8) needs.
     pub fn points_by_trajectory(&self, id: NodeId) -> Vec<(TrajId, Vec<u32>)> {
-        let mut points = self.collect_points(id);
-        points.sort_unstable_by_key(|r| (r.traj, r.idx));
-        let mut out: Vec<(TrajId, Vec<u32>)> = Vec::new();
-        for r in points {
-            match out.last_mut() {
-                Some((traj, idxs)) if *traj == r.traj => idxs.push(r.idx),
-                _ => out.push((r.traj, vec![r.idx])),
-            }
-        }
-        out
+        group_by_trajectory(self.collect_points(id), &self.starts)
     }
 
     /// Maximum depth of any node actually present.
     pub fn actual_depth(&self) -> u32 {
         self.nodes.iter().map(|n| n.depth).max().unwrap_or(1)
     }
+}
+
+/// Number of runs of equal values — the distinct count for a
+/// trajectory-major owner sequence.
+fn count_runs(owners: &[u32]) -> u32 {
+    let mut count = 0u32;
+    let mut last = u32::MAX;
+    for &owner in owners {
+        if owner != last {
+            last = owner;
+            count += 1;
+        }
+    }
+    count
+}
+
+/// Sorts raw global ids and groups them into per-trajectory local index
+/// lists using an offset table — shared by both index backends.
+pub(crate) fn group_by_trajectory(
+    mut points: Vec<PointId>,
+    starts: &[u32],
+) -> Vec<(TrajId, Vec<u32>)> {
+    points.sort_unstable();
+    let mut out: Vec<(TrajId, Vec<u32>)> = Vec::new();
+    // Sorted global ids visit trajectories in id order: advance the offset
+    // cursor instead of binary-searching per point.
+    let mut traj = 0usize;
+    for gid in points {
+        while starts[traj + 1] <= gid {
+            traj += 1;
+        }
+        let idx = gid - starts[traj];
+        match out.last_mut() {
+            Some((last, idxs)) if *last == traj => idxs.push(idx),
+            _ => out.push((traj, vec![idx])),
+        }
+    }
+    out
 }
 
 /// Weighted pick over candidate node ids; uniform when all weights vanish.
@@ -370,32 +545,6 @@ fn pick_weighted(candidates: &[NodeId], weights: &[f64], rng: &mut StdRng) -> No
     *candidates.last().expect("non-empty")
 }
 
-/// Merges two sorted, deduplicated id lists into one.
-fn merge_dedup(a: &[TrajId], b: &[TrajId]) -> Vec<TrajId> {
-    let mut out = Vec::with_capacity(a.len() + b.len());
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => {
-                out.push(a[i]);
-                i += 1;
-            }
-            std::cmp::Ordering::Greater => {
-                out.push(b[j]);
-                j += 1;
-            }
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out.extend_from_slice(&a[i..]);
-    out.extend_from_slice(&b[j..]);
-    out
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -403,33 +552,71 @@ mod tests {
     use trajectory::gen::{generate, DatasetSpec, Scale};
     use trajectory::{Point, Trajectory};
 
-    fn small_db() -> TrajectoryDb {
-        generate(&DatasetSpec::geolife(Scale::Smoke), 7)
+    fn small_store() -> PointStore {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 7).to_store()
     }
 
     #[test]
     fn build_indexes_every_point() {
-        let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig::default());
+        let store = small_store();
+        let tree = Octree::build(&store, OctreeConfig::default());
         assert_eq!(
             tree.node(tree.root()).point_count as usize,
-            db.total_points()
+            store.total_points()
         );
-        assert_eq!(tree.collect_points(tree.root()).len(), db.total_points());
+        assert_eq!(tree.collect_points(tree.root()).len(), store.total_points());
     }
 
     #[test]
     fn root_counts_cover_whole_database() {
-        let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig::default());
-        assert_eq!(tree.node(tree.root()).traj_count as usize, db.len());
+        let store = small_store();
+        let tree = Octree::build(&store, OctreeConfig::default());
+        assert_eq!(tree.node(tree.root()).traj_count as usize, store.len());
+    }
+
+    #[test]
+    fn traj_counts_are_exact_distinct_counts() {
+        // The incremental last-seen counting must match a from-scratch
+        // distinct count at every node, leaf and interior alike.
+        let store = small_store();
+        let tree = Octree::build(
+            &store,
+            OctreeConfig {
+                max_depth: 6,
+                leaf_capacity: 8,
+            },
+        );
+        for id in 0..tree.len() as NodeId {
+            let distinct: std::collections::BTreeSet<_> = tree
+                .collect_points(id)
+                .iter()
+                .map(|&gid| store.traj_of(gid))
+                .collect();
+            assert_eq!(
+                distinct.len(),
+                tree.node(id).traj_count as usize,
+                "node {id}"
+            );
+        }
+    }
+
+    #[test]
+    fn build_db_matches_store_build() {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 7);
+        let via_db = Octree::build_db(&db, OctreeConfig::default());
+        let via_store = Octree::build(&db.to_store(), OctreeConfig::default());
+        assert_eq!(via_db.len(), via_store.len());
+        assert_eq!(
+            via_db.collect_points(0).len(),
+            via_store.collect_points(0).len()
+        );
     }
 
     #[test]
     fn children_partition_parent_points() {
-        let db = small_db();
+        let store = small_store();
         let tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 6,
                 leaf_capacity: 32,
@@ -448,9 +635,9 @@ mod tests {
 
     #[test]
     fn points_live_in_their_cubes() {
-        let db = small_db();
+        let store = small_store();
         let tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 8,
                 leaf_capacity: 16,
@@ -459,19 +646,24 @@ mod tests {
         for id in 0..tree.len() as NodeId {
             let node = tree.node(id);
             if node.is_leaf() {
-                for r in tree.collect_points(id) {
-                    let p = db.get(r.traj).point(r.idx as usize);
-                    assert!(node.cube.contains(p), "point {p} outside leaf cube");
+                let slab = tree.leaf_slab(id);
+                for i in 0..slab.len() {
+                    let p = Point::new(slab.xs[i], slab.ys[i], slab.ts[i]);
+                    assert!(node.cube.contains(&p), "point {p} outside leaf cube");
+                    assert_eq!(p, store.point(slab.gids[i]), "packed coords diverge");
+                    assert_eq!(slab.owners[i] as usize, store.traj_of(slab.gids[i]));
                 }
+            } else {
+                assert!(tree.leaf_slab(id).is_empty());
             }
         }
     }
 
     #[test]
     fn max_depth_is_respected() {
-        let db = small_db();
+        let store = small_store();
         let tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 4,
                 leaf_capacity: 1,
@@ -486,9 +678,9 @@ mod tests {
         let pts: Vec<Point> = (0..100).map(|i| Point::new(5.0, 5.0, i as f64)).collect();
         // All share (x, y) but differ in t, plus truly identical spatial dups.
         let t = Trajectory::new(pts).unwrap();
-        let db = TrajectoryDb::new(vec![t]);
+        let store = TrajectoryDb::new(vec![t]).to_store();
         let tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 5,
                 leaf_capacity: 2,
@@ -500,9 +692,9 @@ mod tests {
 
     #[test]
     fn query_counts_follow_intersection() {
-        let db = small_db();
-        let mut tree = Octree::build(&db, OctreeConfig::default());
-        let whole = db.bounding_cube();
+        let store = small_store();
+        let mut tree = Octree::build(&store, OctreeConfig::default());
+        let whole = store.bounding_cube();
         tree.assign_queries(&[whole]);
         assert_eq!(tree.node(tree.root()).query_count, 1);
         // A query far outside touches nothing.
@@ -516,9 +708,9 @@ mod tests {
 
     #[test]
     fn nodes_at_level_only_returns_populated_nodes() {
-        let db = small_db();
+        let store = small_store();
         let tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 6,
                 leaf_capacity: 32,
@@ -536,9 +728,9 @@ mod tests {
 
     #[test]
     fn sample_start_prefers_query_heavy_cubes() {
-        let db = small_db();
+        let store = small_store();
         let mut tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 5,
                 leaf_capacity: 32,
@@ -566,8 +758,8 @@ mod tests {
 
     #[test]
     fn sample_start_falls_back_to_data_distribution() {
-        let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig::default());
+        let store = small_store();
+        let tree = Octree::build(&store, OctreeConfig::default());
         // No queries assigned at all: still returns a valid populated node.
         let mut rng = StdRng::seed_from_u64(2);
         let id = tree.sample_start(3, &mut rng);
@@ -576,26 +768,35 @@ mod tests {
 
     #[test]
     fn points_by_trajectory_groups_and_sorts() {
-        let db = small_db();
-        let tree = Octree::build(&db, OctreeConfig::default());
+        let store = small_store();
+        let tree = Octree::build(&store, OctreeConfig::default());
         let groups = tree.points_by_trajectory(tree.root());
-        assert_eq!(groups.len(), db.len());
+        assert_eq!(groups.len(), store.len());
         let total: usize = groups.iter().map(|(_, v)| v.len()).sum();
-        assert_eq!(total, db.total_points());
+        assert_eq!(total, store.total_points());
         for (traj, idxs) in &groups {
             assert!(
                 idxs.windows(2).all(|w| w[0] < w[1]),
                 "unsorted for traj {traj}"
             );
-            assert_eq!(idxs.len(), db.get(*traj).len());
+            assert_eq!(idxs.len(), store.view(*traj).len());
+        }
+    }
+
+    #[test]
+    fn traj_of_matches_store_locate() {
+        let store = small_store();
+        let tree = Octree::build(&store, OctreeConfig::default());
+        for gid in (0..store.total_points() as PointId).step_by(7) {
+            assert_eq!(tree.traj_of(gid), store.traj_of(gid));
         }
     }
 
     #[test]
     fn child_stats_matches_nodes() {
-        let db = small_db();
+        let store = small_store();
         let tree = Octree::build(
-            &db,
+            &store,
             OctreeConfig {
                 max_depth: 6,
                 leaf_capacity: 32,
@@ -611,17 +812,10 @@ mod tests {
 
     #[test]
     fn empty_database_builds_empty_tree() {
-        let tree = Octree::build(&TrajectoryDb::default(), OctreeConfig::default());
+        let tree = Octree::build(&PointStore::new(), OctreeConfig::default());
         assert!(tree.is_empty());
         assert_eq!(tree.len(), 1);
         let mut rng = StdRng::seed_from_u64(3);
         assert_eq!(tree.sample_start(4, &mut rng), tree.root());
-    }
-
-    #[test]
-    fn merge_dedup_merges_sorted_lists() {
-        assert_eq!(merge_dedup(&[1, 3, 5], &[2, 3, 6]), vec![1, 2, 3, 5, 6]);
-        assert_eq!(merge_dedup(&[], &[1]), vec![1]);
-        assert_eq!(merge_dedup(&[1, 2], &[]), vec![1, 2]);
     }
 }

@@ -7,10 +7,10 @@
 //! ([`crate::kdtree::MedianTree`]) can be swapped in and ablated.
 
 use rand::rngs::StdRng;
-use trajectory::{Cube, TrajId};
+use trajectory::{Cube, PointId, TrajId};
 
 use crate::kdtree::MedianTree;
-use crate::octree::{NodeId, Octree, PointRef};
+use crate::octree::{LeafSlab, NodeId, Octree};
 
 /// The structural view query execution needs from a spatio-temporal index:
 /// cube-pruned traversal down to per-leaf point lists.
@@ -30,8 +30,14 @@ pub trait SpatioTemporalIndex {
     /// Child ids in a fixed 8-ary order, `None` for leaves.
     fn children(&self, id: NodeId) -> Option<[NodeId; 8]>;
 
-    /// Points stored directly at the node (non-empty only for leaves).
-    fn leaf_points(&self, id: NodeId) -> &[PointRef];
+    /// Global point ids stored directly at the node (non-empty only for
+    /// leaves). Ids are column indices into the backing
+    /// [`trajectory::PointStore`].
+    fn leaf_points(&self, id: NodeId) -> &[PointId];
+
+    /// The node's points as packed, leaf-contiguous coordinate/owner runs
+    /// (empty for interior nodes) — the layout range execution scans.
+    fn leaf_slab(&self, id: NodeId) -> LeafSlab<'_>;
 
     /// Number of points in the subtree of `id`.
     fn point_count(&self, id: NodeId) -> u32;
@@ -50,8 +56,12 @@ impl SpatioTemporalIndex for Octree {
         self.node(id).children
     }
 
-    fn leaf_points(&self, id: NodeId) -> &[PointRef] {
+    fn leaf_points(&self, id: NodeId) -> &[PointId] {
         Octree::leaf_points(self, id)
+    }
+
+    fn leaf_slab(&self, id: NodeId) -> LeafSlab<'_> {
+        Octree::leaf_slab(self, id)
     }
 
     fn point_count(&self, id: NodeId) -> u32 {
@@ -72,8 +82,12 @@ impl SpatioTemporalIndex for MedianTree {
         CubeIndex::children(self, id)
     }
 
-    fn leaf_points(&self, id: NodeId) -> &[PointRef] {
+    fn leaf_points(&self, id: NodeId) -> &[PointId] {
         MedianTree::leaf_points(self, id)
+    }
+
+    fn leaf_slab(&self, id: NodeId) -> LeafSlab<'_> {
+        MedianTree::leaf_slab(self, id)
     }
 
     fn point_count(&self, id: NodeId) -> u32 {
@@ -183,12 +197,12 @@ mod tests {
     /// The trait view of the octree must agree with its inherent methods.
     #[test]
     fn octree_trait_impl_is_consistent() {
-        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 61);
-        let tree = Octree::build(&db, OctreeConfig::default());
+        let store = generate(&DatasetSpec::geolife(Scale::Smoke), 61).to_store();
+        let tree = Octree::build(&store, OctreeConfig::default());
         let dyn_tree: &dyn CubeIndex = &tree;
         assert_eq!(dyn_tree.root(), 0);
         assert_eq!(dyn_tree.depth(0), 1);
-        assert_eq!(dyn_tree.traj_count(0) as usize, db.len());
+        assert_eq!(dyn_tree.traj_count(0) as usize, store.len());
         assert_eq!(
             dyn_tree.points_by_trajectory(0).len(),
             tree.points_by_trajectory(0).len()

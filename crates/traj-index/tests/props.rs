@@ -32,29 +32,34 @@ proptest! {
 
     #[test]
     fn every_point_is_indexed_exactly_once(db in arb_db()) {
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 8 });
-        let mut refs = tree.collect_points(tree.root());
-        refs.sort_unstable_by_key(|r| (r.traj, r.idx));
-        prop_assert_eq!(refs.len(), db.total_points());
-        refs.dedup();
-        prop_assert_eq!(refs.len(), db.total_points(), "duplicate PointRef");
+        let store = db.to_store();
+        let tree = Octree::build(&store, OctreeConfig { max_depth: 6, leaf_capacity: 8 });
+        let mut gids = tree.collect_points(tree.root());
+        gids.sort_unstable();
+        prop_assert_eq!(gids.len(), db.total_points());
+        gids.dedup();
+        prop_assert_eq!(gids.len(), db.total_points(), "duplicate point id");
     }
 
     #[test]
     fn subtree_counts_are_consistent(db in arb_db()) {
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 5, leaf_capacity: 4 });
+        let store = db.to_store();
+        let tree = Octree::build(&store, OctreeConfig { max_depth: 5, leaf_capacity: 4 });
         for id in 0..tree.len() as u32 {
             let n = tree.node(id);
             prop_assert_eq!(tree.collect_points(id).len(), n.point_count as usize);
-            let distinct: std::collections::BTreeSet<_> =
-                tree.collect_points(id).iter().map(|r| r.traj).collect();
+            let distinct: std::collections::BTreeSet<_> = tree
+                .collect_points(id)
+                .iter()
+                .map(|&gid| store.traj_of(gid))
+                .collect();
             prop_assert_eq!(distinct.len(), n.traj_count as usize);
         }
     }
 
     #[test]
     fn query_count_monotone_down_the_tree(db in arb_db()) {
-        let mut tree = Octree::build(&db, OctreeConfig { max_depth: 5, leaf_capacity: 4 });
+        let mut tree = Octree::build(&db.to_store(), OctreeConfig { max_depth: 5, leaf_capacity: 4 });
         let bc = db.bounding_cube();
         let (cx, cy, ct) = bc.center();
         let (ex, ey, et) = bc.extents();
@@ -75,7 +80,7 @@ proptest! {
 
     #[test]
     fn points_by_trajectory_is_a_partition(db in arb_db()) {
-        let tree = Octree::build(&db, OctreeConfig { max_depth: 6, leaf_capacity: 8 });
+        let tree = Octree::build(&db.to_store(), OctreeConfig { max_depth: 6, leaf_capacity: 8 });
         let groups = tree.points_by_trajectory(tree.root());
         let mut seen = std::collections::BTreeSet::new();
         for (traj, idxs) in groups {

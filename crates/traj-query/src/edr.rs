@@ -6,20 +6,26 @@
 //! the non-learning dissimilarity the paper uses to instantiate kNN
 //! queries (ε = 2 km in the experiments).
 
-use trajectory::{Point, Trajectory};
+use trajectory::{Point, PointSeq, Trajectory};
 
 /// Computes `EDR(a, b)` with matching tolerance `eps` (meters, per axis).
 ///
 /// Runs the standard O(|a|·|b|) dynamic program with a rolling row.
 /// An empty sequence is at distance `|other|` (all inserts).
 pub fn edr(a: &Trajectory, b: &Trajectory, eps: f64) -> f64 {
-    edr_points(a.points(), b.points(), eps)
+    edr_seq(a, b, eps)
 }
 
 /// EDR over raw point slices (used by windowed kNN without re-allocating
 /// sub-trajectories).
 pub fn edr_points(a: &[Point], b: &[Point], eps: f64) -> f64 {
-    let (n, m) = (a.len(), b.len());
+    edr_seq(a, b, eps)
+}
+
+/// EDR over any pair of point sequences — the one dynamic program serving
+/// AoS slices and zero-copy column views alike.
+pub fn edr_seq<A: PointSeq + ?Sized, B: PointSeq + ?Sized>(a: &A, b: &B, eps: f64) -> f64 {
+    let (n, m) = (a.n_points(), b.n_points());
     if n == 0 {
         return m as f64;
     }
@@ -31,10 +37,10 @@ pub fn edr_points(a: &[Point], b: &[Point], eps: f64) -> f64 {
     let mut curr: Vec<u32> = vec![0; m + 1];
     for i in 1..=n {
         curr[0] = i as u32;
-        let pa = &a[i - 1];
+        let pa = a.point_at(i - 1);
         for j in 1..=m {
-            let pb = &b[j - 1];
-            let sub = if matches(pa, pb, eps) { 0 } else { 1 };
+            let pb = b.point_at(j - 1);
+            let sub = if matches(&pa, &pb, eps) { 0 } else { 1 };
             curr[j] = (prev[j - 1] + sub).min(prev[j] + 1).min(curr[j - 1] + 1);
         }
         std::mem::swap(&mut prev, &mut curr);

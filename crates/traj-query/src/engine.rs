@@ -23,12 +23,12 @@ use std::collections::HashMap;
 use traj_index::{
     CubeIndex, MedianTree, MedianTreeConfig, NodeId, Octree, OctreeConfig, SpatioTemporalIndex,
 };
-use trajectory::{Cube, Point, Simplification, TrajId, TrajectoryDb};
+use trajectory::{Cube, KeptBitmap, Point, PointStore, Simplification, TrajId, TrajectoryDb};
 
 use crate::knn::KnnQuery;
 use crate::metrics::{f1_sets, F1Score};
 use crate::parallel::par_map;
-use crate::range::range_query;
+use crate::range::range_query_store;
 use crate::similarity::SimilarityQuery;
 
 /// Which index structure backs a [`QueryEngine`].
@@ -125,26 +125,48 @@ enum IndexBackend {
     MedianKd(MedianTree),
 }
 
-/// Owns (or borrows) a [`TrajectoryDb`] plus an index over it, and executes
-/// all query types through one pruned, parallel path.
+/// Owns (or borrows) a columnar [`PointStore`] plus an index over it, and
+/// executes all query types through one pruned, parallel path.
 ///
 /// Construction is the only O(N log N) step; afterwards each range query
-/// touches only the index nodes intersecting its cube. The engine is the
-/// seam every consumer goes through: training rewards (`rl4qdts`), the
-/// evaluation suite, the benchmarks, and the serving examples.
+/// touches only the index nodes intersecting its cube, and every point
+/// test is three contiguous column loads. The engine is the seam every
+/// consumer goes through: training rewards (`rl4qdts`), the evaluation
+/// suite, the benchmarks, and the serving examples.
 pub struct QueryEngine<'a> {
-    db: Cow<'a, TrajectoryDb>,
+    store: Cow<'a, PointStore>,
+    /// `owners[gid]` = trajectory owning global point `gid`. Only
+    /// [`QueryEngine::range_kept`]'s scan-backend sweep needs it (indexed
+    /// paths read the packed per-leaf owner runs instead), so it is built
+    /// lazily on first use.
+    owners: std::sync::OnceLock<Vec<u32>>,
     backend: IndexBackend,
     config: EngineConfig,
 }
 
 impl QueryEngine<'static> {
-    /// Builds an engine owning `db`.
+    /// Builds an engine owning the columnar conversion of `db`.
     #[must_use]
     pub fn new(db: TrajectoryDb, config: EngineConfig) -> Self {
-        let backend = build_backend(&db, config);
+        Self::from_store(db.to_store(), config)
+    }
+
+    /// Builds an engine from an AoS database reference (converted to
+    /// columns once; the engine owns the columns, so the returned engine
+    /// does not borrow `db`).
+    #[must_use]
+    pub fn over(db: &TrajectoryDb, config: EngineConfig) -> Self {
+        Self::from_store(db.to_store(), config)
+    }
+
+    /// Builds an engine owning `store` — the canonical, copy-free
+    /// constructor.
+    #[must_use]
+    pub fn from_store(store: PointStore, config: EngineConfig) -> Self {
+        let backend = build_backend(&store, config);
         Self {
-            db: Cow::Owned(db),
+            store: Cow::Owned(store),
+            owners: std::sync::OnceLock::new(),
             backend,
             config,
         }
@@ -152,22 +174,24 @@ impl QueryEngine<'static> {
 }
 
 impl<'a> QueryEngine<'a> {
-    /// Builds an engine borrowing `db` (no copy; same execution paths).
+    /// Builds an engine borrowing `store` (zero copy; same execution
+    /// paths).
     #[must_use]
-    pub fn over(db: &'a TrajectoryDb, config: EngineConfig) -> Self {
-        let backend = build_backend(db, config);
+    pub fn over_store(store: &'a PointStore, config: EngineConfig) -> Self {
+        let backend = build_backend(store, config);
         Self {
-            db: Cow::Borrowed(db),
+            store: Cow::Borrowed(store),
+            owners: std::sync::OnceLock::new(),
             backend,
             config,
         }
     }
 
-    /// The underlying database.
+    /// The underlying columnar storage.
     #[inline]
     #[must_use]
-    pub fn db(&self) -> &TrajectoryDb {
-        &self.db
+    pub fn store(&self) -> &PointStore {
+        &self.store
     }
 
     /// The build configuration.
@@ -223,20 +247,23 @@ impl<'a> QueryEngine<'a> {
     // ------------------------------------------------------------------
 
     /// Executes a range query, returning matching trajectory ids ascending.
-    /// Identical results to [`range_query`], via index pruning.
+    /// Identical results to [`crate::range::range_query`], via index
+    /// pruning over the columns.
     #[must_use]
     pub fn range(&self, q: &Cube) -> Vec<TrajId> {
-        match self.spatial_index() {
-            None => range_query(&self.db, q),
-            Some(index) => {
-                let mut hit = vec![false; self.db.len()];
-                range_mark(index, &self.db, index.root(), q, &mut hit);
-                hit.iter()
-                    .enumerate()
-                    .filter_map(|(id, &h)| h.then_some(id))
-                    .collect()
-            }
+        // Dispatch on the concrete index type so the per-node traversal
+        // (cube tests, slab scans) monomorphizes and inlines.
+        match &self.backend {
+            IndexBackend::Scan => range_query_store(&self.store, q),
+            IndexBackend::Octree(t) => self.range_marked(t, q),
+            IndexBackend::MedianKd(t) => self.range_marked(t, q),
         }
+    }
+
+    fn range_marked<I: SpatioTemporalIndex>(&self, index: &I, q: &Cube) -> Vec<TrajId> {
+        let mut hit = vec![false; self.store.len()];
+        range_mark(index, index.root(), q, &mut hit);
+        collect_hits(&hit)
     }
 
     /// Executes a whole batch of range queries in parallel.
@@ -248,40 +275,91 @@ impl<'a> QueryEngine<'a> {
     /// Executes a range query against a *simplification* of the engine's
     /// database without materializing it: a trajectory matches when one of
     /// its kept points lies inside `q`. Identical results to
-    /// `rl4qdts::range_query_simplified`.
+    /// `rl4qdts::range_query_simplified`. One-shot calls test kept
+    /// membership per leaf point (no O(N) setup); batches should prefer
+    /// [`QueryEngine::range_simplified_batch`], which builds the kept
+    /// bitmap once.
     #[must_use]
     pub fn range_simplified(&self, simp: &Simplification, q: &Cube) -> Vec<TrajId> {
-        match self.spatial_index() {
-            None => self
-                .db
-                .iter()
-                .filter(|(id, t)| {
-                    simp.kept(*id)
-                        .iter()
-                        .any(|&idx| q.contains(t.point(idx as usize)))
-                })
-                .map(|(id, _)| id)
-                .collect(),
-            Some(index) => {
-                let mut hit = vec![false; self.db.len()];
-                range_mark_simplified(index, &self.db, simp, index.root(), q, &mut hit);
-                hit.iter()
-                    .enumerate()
-                    .filter_map(|(id, &h)| h.then_some(id))
-                    .collect()
-            }
+        match &self.backend {
+            IndexBackend::Scan => self.range_simplified_scan(simp, q),
+            IndexBackend::Octree(t) => self.range_marked_simplified(t, simp, q),
+            IndexBackend::MedianKd(t) => self.range_marked_simplified(t, simp, q),
         }
     }
 
+    /// Kept-list scan: output-sensitive in the number of *kept* points.
+    fn range_simplified_scan(&self, simp: &Simplification, q: &Cube) -> Vec<TrajId> {
+        self.store
+            .iter()
+            .filter(|(id, v)| {
+                simp.kept(*id).iter().any(|&idx| {
+                    let i = idx as usize;
+                    q.contains_xyz(v.xs[i], v.ys[i], v.ts[i])
+                })
+            })
+            .map(|(id, _)| id)
+            .collect()
+    }
+
+    /// Pruned traversal testing per-trajectory kept membership per leaf
+    /// point — no per-call bitmap construction.
+    fn range_marked_simplified<I: SpatioTemporalIndex>(
+        &self,
+        index: &I,
+        simp: &Simplification,
+        q: &Cube,
+    ) -> Vec<TrajId> {
+        let mut hit = vec![false; self.store.len()];
+        range_mark_simplified(index, simp, self.store.offsets(), index.root(), q, &mut hit);
+        collect_hits(&hit)
+    }
+
+    /// [`QueryEngine::range_simplified`] against a pre-built kept-point
+    /// bitmap. The scan-backend arm is a whole-store sweep (O(N)); with an
+    /// index only leaves intersecting `q` are touched.
+    #[must_use]
+    pub fn range_kept(&self, kept: &KeptBitmap, q: &Cube) -> Vec<TrajId> {
+        let mut hit = vec![false; self.store.len()];
+        match &self.backend {
+            IndexBackend::Scan => {
+                let owners = self.owners.get_or_init(|| self.store.owner_column());
+                let (xs, ys, ts) = (self.store.xs(), self.store.ys(), self.store.ts());
+                for g in 0..self.store.total_points() {
+                    let traj = owners[g] as usize;
+                    if !hit[traj] && kept.contains(g as u32) && q.contains_xyz(xs[g], ys[g], ts[g])
+                    {
+                        hit[traj] = true;
+                    }
+                }
+            }
+            IndexBackend::Octree(t) => {
+                range_mark_kept(t, kept, SpatioTemporalIndex::root(t), q, &mut hit)
+            }
+            IndexBackend::MedianKd(t) => {
+                range_mark_kept(t, kept, SpatioTemporalIndex::root(t), q, &mut hit)
+            }
+        }
+        collect_hits(&hit)
+    }
+
     /// Batch variant of [`QueryEngine::range_simplified`], parallel across
-    /// queries.
+    /// queries. Indexed backends build the kept-point bitmap once for the
+    /// whole batch; the scan backend stays on the output-sensitive
+    /// kept-list sweep.
     #[must_use]
     pub fn range_simplified_batch(
         &self,
         simp: &Simplification,
         queries: &[Cube],
     ) -> Vec<Vec<TrajId>> {
-        par_map(queries, |q| self.range_simplified(simp, q))
+        match &self.backend {
+            IndexBackend::Scan => par_map(queries, |q| self.range_simplified_scan(simp, q)),
+            _ => {
+                let bitmap = simp.to_bitmap(&self.store);
+                par_map(queries, |q| self.range_kept(&bitmap, q))
+            }
+        }
     }
 
     // ------------------------------------------------------------------
@@ -295,13 +373,13 @@ impl<'a> QueryEngine<'a> {
     #[must_use]
     pub fn knn(&self, q: &KnnQuery) -> Vec<TrajId> {
         let Some(index) = self.spatial_index() else {
-            return q.execute(&self.db);
+            return q.execute_store(&self.store);
         };
         let q_window = q.query_window();
         if q_window.is_empty() {
             // Degenerate window: distances collapse to trivial cases and
             // the scan is already O(M).
-            return q.execute(&self.db);
+            return q.execute_store(&self.store);
         }
         // Time-slab pruning: only trajectories with a sampled point in
         // [ts, te] can have a finite distance. The marking is conservative
@@ -309,15 +387,19 @@ impl<'a> QueryEngine<'a> {
         // trajectories), which only adds candidates whose exact distance is
         // then computed — results never change.
         let slab = time_slab(index.cube(index.root()), q.ts, q.te);
-        let mut in_window = vec![false; self.db.len()];
-        mark_trajectories_in(index, index.root(), &slab, &mut in_window);
-        let candidates: Vec<TrajId> = in_window
-            .iter()
-            .enumerate()
-            .filter_map(|(id, &h)| h.then_some(id))
-            .collect();
+        let mut in_window = vec![false; self.store.len()];
+        match &self.backend {
+            IndexBackend::Scan => unreachable!("scan handled above"),
+            IndexBackend::Octree(t) => {
+                mark_trajectories_in(t, SpatioTemporalIndex::root(t), &slab, &mut in_window)
+            }
+            IndexBackend::MedianKd(t) => {
+                mark_trajectories_in(t, SpatioTemporalIndex::root(t), &slab, &mut in_window)
+            }
+        }
+        let candidates: Vec<TrajId> = collect_hits(&in_window);
         let scored: Vec<(f64, TrajId)> = par_map(&candidates, |&id| {
-            (q.windowed_distance(q_window, self.db.get(id)), id)
+            (q.windowed_distance_view(q_window, self.store.view(id)), id)
         });
         // Every unmarked trajectory ranks at infinity — as do marked ones
         // whose window turned out empty. The scan orders by (distance, id),
@@ -331,7 +413,7 @@ impl<'a> QueryEngine<'a> {
                 .unwrap_or(std::cmp::Ordering::Equal)
                 .then(a.1.cmp(&b.1))
         });
-        let mut in_finite = vec![false; self.db.len()];
+        let mut in_finite = vec![false; self.store.len()];
         for &(_, id) in &finite {
             in_finite[id] = true;
         }
@@ -361,16 +443,17 @@ impl<'a> QueryEngine<'a> {
 
     /// Executes a similarity query. Identical results to
     /// [`SimilarityQuery::execute`]; the per-trajectory "within δ at every
-    /// instant" checks run in parallel. (Index pruning is unsound here: a
-    /// trajectory with no *sampled* point near the window can still match
-    /// through interpolation, so the engine parallelizes instead.)
+    /// instant" checks run in parallel over zero-copy views. (Index pruning
+    /// is unsound here: a trajectory with no *sampled* point near the
+    /// window can still match through interpolation, so the engine
+    /// parallelizes instead.)
     #[must_use]
     pub fn similarity(&self, q: &SimilarityQuery) -> Vec<TrajId> {
-        let matches = par_map(self.db.trajectories(), |t| q.matches(t));
-        matches
-            .iter()
-            .enumerate()
-            .filter_map(|(id, &m)| m.then_some(id))
+        let ids: Vec<TrajId> = (0..self.store.len()).collect();
+        let matches = par_map(&ids, |&id| q.matches_seq(&self.store.view(id)));
+        ids.into_iter()
+            .zip(matches)
+            .filter_map(|(id, m)| m.then_some(id))
             .collect()
     }
 
@@ -379,7 +462,7 @@ impl<'a> QueryEngine<'a> {
     /// worker — one level of parallelism, not `cores²` threads.
     #[must_use]
     pub fn similarity_batch(&self, queries: &[SimilarityQuery]) -> Vec<Vec<TrajId>> {
-        par_map(queries, |q| q.execute(&self.db))
+        par_map(queries, |q| q.execute_store(&self.store))
     }
 
     // ------------------------------------------------------------------
@@ -399,25 +482,33 @@ impl<'a> QueryEngine<'a> {
     }
 }
 
-/// Builds the configured index over `db`.
-fn build_backend(db: &TrajectoryDb, config: EngineConfig) -> IndexBackend {
+/// Builds the configured index over the columns of `store`.
+fn build_backend(store: &PointStore, config: EngineConfig) -> IndexBackend {
     match config.backend {
         BackendKind::Scan => IndexBackend::Scan,
         BackendKind::Octree => IndexBackend::Octree(Octree::build(
-            db,
+            store,
             OctreeConfig {
                 max_depth: config.max_depth,
                 leaf_capacity: config.leaf_capacity,
             },
         )),
         BackendKind::MedianKd => IndexBackend::MedianKd(MedianTree::build(
-            db,
+            store,
             MedianTreeConfig {
                 max_depth: config.max_depth,
                 leaf_capacity: config.leaf_capacity,
             },
         )),
     }
+}
+
+/// Ascending ids of the set `hit` flags.
+fn collect_hits(hit: &[bool]) -> Vec<TrajId> {
+    hit.iter()
+        .enumerate()
+        .filter_map(|(id, &h)| h.then_some(id))
+        .collect()
 }
 
 /// True when `inner` lies entirely inside `outer`.
@@ -443,41 +534,45 @@ fn time_slab(root: Cube, ts: f64, te: f64) -> Cube {
 }
 
 /// Marks every trajectory with a point inside `q` in the subtree of `id`.
-fn range_mark(
-    index: &dyn SpatioTemporalIndex,
-    db: &TrajectoryDb,
-    id: NodeId,
-    q: &Cube,
-    hit: &mut [bool],
-) {
+/// Leaves are scanned as packed coordinate/owner runs ([`LeafSlab`]) —
+/// straight-line `f64` reads, no per-point indirection.
+fn range_mark<I: SpatioTemporalIndex + ?Sized>(index: &I, id: NodeId, q: &Cube, hit: &mut [bool]) {
     if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
         return;
     }
     match index.children(id) {
         Some(children) => {
             for c in children {
-                range_mark(index, db, c, q, hit);
+                range_mark(index, c, q, hit);
             }
         }
         None => {
-            let contained = covers(q, &index.cube(id));
-            for r in index.leaf_points(id) {
-                if hit[r.traj] {
-                    continue;
+            let slab = index.leaf_slab(id);
+            if covers(q, &index.cube(id)) {
+                for &owner in slab.owners {
+                    hit[owner as usize] = true;
                 }
-                if contained || q.contains(db.get(r.traj).point(r.idx as usize)) {
-                    hit[r.traj] = true;
+            } else {
+                // Zipped iteration over the packed runs: bounds checks
+                // elide and the containment test vectorizes.
+                let coords = slab.xs.iter().zip(slab.ys).zip(slab.ts).zip(slab.owners);
+                for (((&x, &y), &t), &owner) in coords {
+                    if q.contains_xyz(x, y, t) {
+                        hit[owner as usize] = true;
+                    }
                 }
             }
         }
     }
 }
 
-/// [`range_mark`] over only the *kept* points of a simplification.
-fn range_mark_simplified(
-    index: &dyn SpatioTemporalIndex,
-    db: &TrajectoryDb,
+/// [`range_mark`] over only the *kept* points of a simplification,
+/// resolving kept membership per leaf point (owner from the slab, local
+/// index from the offset table) — the bitmap-free single-query path.
+fn range_mark_simplified<I: SpatioTemporalIndex + ?Sized>(
+    index: &I,
     simp: &Simplification,
+    offsets: &[u32],
     id: NodeId,
     q: &Cube,
     hit: &mut [bool],
@@ -488,17 +583,52 @@ fn range_mark_simplified(
     match index.children(id) {
         Some(children) => {
             for c in children {
-                range_mark_simplified(index, db, simp, c, q, hit);
+                range_mark_simplified(index, simp, offsets, c, q, hit);
             }
         }
         None => {
             let contained = covers(q, &index.cube(id));
-            for r in index.leaf_points(id) {
-                if hit[r.traj] || !simp.contains(r.traj, r.idx) {
+            let slab = index.leaf_slab(id);
+            for i in 0..slab.len() {
+                let traj = slab.owners[i] as usize;
+                if hit[traj] || !simp.contains(traj, slab.gids[i] - offsets[traj]) {
                     continue;
                 }
-                if contained || q.contains(db.get(r.traj).point(r.idx as usize)) {
-                    hit[r.traj] = true;
+                if contained || q.contains_xyz(slab.xs[i], slab.ys[i], slab.ts[i]) {
+                    hit[traj] = true;
+                }
+            }
+        }
+    }
+}
+
+/// [`range_mark`] over only the points set in the kept bitmap.
+fn range_mark_kept<I: SpatioTemporalIndex + ?Sized>(
+    index: &I,
+    kept: &KeptBitmap,
+    id: NodeId,
+    q: &Cube,
+    hit: &mut [bool],
+) {
+    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+        return;
+    }
+    match index.children(id) {
+        Some(children) => {
+            for c in children {
+                range_mark_kept(index, kept, c, q, hit);
+            }
+        }
+        None => {
+            let contained = covers(q, &index.cube(id));
+            let slab = index.leaf_slab(id);
+            for i in 0..slab.len() {
+                let traj = slab.owners[i] as usize;
+                if hit[traj] || !kept.contains(slab.gids[i]) {
+                    continue;
+                }
+                if contained || q.contains_xyz(slab.xs[i], slab.ys[i], slab.ts[i]) {
+                    hit[traj] = true;
                 }
             }
         }
@@ -509,7 +639,12 @@ fn range_mark_simplified(
 /// `q`: all trajectories of every leaf whose cube intersects `q`. A
 /// superset is fine for candidate pruning — exact per-candidate work
 /// decides membership afterwards.
-fn mark_trajectories_in(index: &dyn SpatioTemporalIndex, id: NodeId, q: &Cube, hit: &mut [bool]) {
+fn mark_trajectories_in<I: SpatioTemporalIndex + ?Sized>(
+    index: &I,
+    id: NodeId,
+    q: &Cube,
+    hit: &mut [bool],
+) {
     if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
         return;
     }
@@ -520,8 +655,8 @@ fn mark_trajectories_in(index: &dyn SpatioTemporalIndex, id: NodeId, q: &Cube, h
             }
         }
         None => {
-            for r in index.leaf_points(id) {
-                hit[r.traj] = true;
+            for &owner in index.leaf_slab(id).owners {
+                hit[owner as usize] = true;
             }
         }
     }
@@ -555,14 +690,17 @@ impl MaintainedWorkload {
     #[must_use]
     pub fn new(engine: &QueryEngine<'_>, queries: Vec<Cube>, simp: &Simplification) -> Self {
         let truth = engine.range_batch(&queries);
-        let db = engine.db();
+        let store = engine.store();
         let initial: Vec<HashMap<TrajId, u32>> = par_map(&queries, |q| {
             let mut counts: HashMap<TrajId, u32> = HashMap::new();
-            for (id, t) in db.iter() {
+            for (id, v) in store.iter() {
                 let n = simp
                     .kept(id)
                     .iter()
-                    .filter(|&&idx| q.contains(t.point(idx as usize)))
+                    .filter(|&&idx| {
+                        let i = idx as usize;
+                        q.contains_xyz(v.xs[i], v.ys[i], v.ts[i])
+                    })
                     .count() as u32;
                 if n > 0 {
                     counts.insert(id, n);
@@ -701,6 +839,7 @@ impl MaintainedWorkload {
 mod tests {
     use super::*;
     use crate::knn::Dissimilarity;
+    use crate::range::range_query;
     use crate::workload::{range_workload, QueryDistribution, RangeWorkloadSpec};
     use rand::rngs::StdRng;
     use rand::SeedableRng;

@@ -6,9 +6,9 @@
 //! embedding (the solution is orthogonal to the choice, as the paper
 //! notes).
 
-use crate::edr::edr_points;
+use crate::edr::edr_seq;
 use crate::t2vec::T2vecEmbedder;
-use trajectory::{Point, TrajId, Trajectory, TrajectoryDb};
+use trajectory::{Point, PointSeq, PointStore, TrajId, TrajView, Trajectory, TrajectoryDb};
 
 /// The dissimilarity Θ used by a kNN query.
 #[derive(Debug, Clone, Copy)]
@@ -41,13 +41,15 @@ impl Dissimilarity {
         }
     }
 
-    /// Distance between two windowed point sequences.
-    pub(crate) fn distance(&self, a: &[Point], b: &[Point]) -> f64 {
+    /// Distance between two windowed point sequences (any layout).
+    pub(crate) fn distance_seq<A: PointSeq + ?Sized, B: PointSeq + ?Sized>(
+        &self,
+        a: &A,
+        b: &B,
+    ) -> f64 {
         match self {
-            Dissimilarity::Edr { eps } => edr_points(a, b, *eps),
-            Dissimilarity::T2vec(e) => {
-                T2vecEmbedder::distance(&e.embed_points(a), &e.embed_points(b))
-            }
+            Dissimilarity::Edr { eps } => edr_seq(a, b, *eps),
+            Dissimilarity::T2vec(e) => T2vecEmbedder::distance(&e.embed_seq(a), &e.embed_seq(b)),
         }
     }
 }
@@ -76,18 +78,22 @@ impl KnnQuery {
     /// ties break by id, so results are stable across runs.
     pub fn execute(&self, db: &TrajectoryDb) -> Vec<TrajId> {
         let q_window = self.query_window();
-        let mut scored: Vec<(f64, TrajId)> = db
+        let scored: Vec<(f64, TrajId)> = db
             .iter()
             .map(|(id, t)| (self.windowed_distance(q_window, t), id))
             .collect();
-        scored.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
-        let mut ids: Vec<TrajId> = scored.into_iter().take(self.k).map(|(_, id)| id).collect();
-        ids.sort_unstable();
-        ids
+        rank_ids(scored, self.k)
+    }
+
+    /// [`KnnQuery::execute`] over columnar storage: candidate windows are
+    /// zero-copy column sub-views, no `Vec<Point>` is materialized.
+    pub fn execute_store(&self, store: &PointStore) -> Vec<TrajId> {
+        let q_window = self.query_window();
+        let scored: Vec<(f64, TrajId)> = store
+            .iter()
+            .map(|(id, v)| (self.windowed_distance_view(q_window, v), id))
+            .collect();
+        rank_ids(scored, self.k)
     }
 
     /// The query trajectory's windowed restriction (empty when the window
@@ -108,9 +114,33 @@ impl KnnQuery {
         } else if pts.is_empty() {
             f64::INFINITY
         } else {
-            self.measure.distance(q_window, pts)
+            self.measure.distance_seq(q_window, pts)
         }
     }
+
+    /// [`KnnQuery::windowed_distance`] against a zero-copy column view —
+    /// the same empty-window conventions, the same kernels, no copies.
+    pub(crate) fn windowed_distance_view(&self, q_window: &[Point], v: TrajView<'_>) -> f64 {
+        match v.window(self.ts, self.te) {
+            None if q_window.is_empty() => 0.0,
+            None => f64::INFINITY,
+            Some(w) => self.measure.distance_seq(q_window, &w),
+        }
+    }
+}
+
+/// Sorts `(distance, id)` scores by `(distance, id)` and returns the top
+/// `k` ids in ascending id order (the set-based F1 comparison downstream
+/// is order-insensitive, and sorted output is deterministic).
+fn rank_ids(mut scored: Vec<(f64, TrajId)>, k: usize) -> Vec<TrajId> {
+    scored.sort_by(|a, b| {
+        a.0.partial_cmp(&b.0)
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(a.1.cmp(&b.1))
+    });
+    let mut ids: Vec<TrajId> = scored.into_iter().take(k).map(|(_, id)| id).collect();
+    ids.sort_unstable();
+    ids
 }
 
 /// The windowed restriction `T[ts, te]` as a point slice (no allocation).
@@ -195,6 +225,27 @@ mod tests {
             measure: Dissimilarity::edr_paper(),
         };
         assert_eq!(q.execute(&db()).len(), 4);
+    }
+
+    #[test]
+    fn execute_store_matches_aos_execute() {
+        let db = db();
+        let store = db.to_store();
+        for measure in [
+            Dissimilarity::Edr { eps: 100.0 },
+            Dissimilarity::t2vec_default(),
+        ] {
+            for (ts, te, k) in [(0.0, 10.0, 2), (0.0, 1.0, 3), (5e5, 6e5, 1)] {
+                let q = KnnQuery {
+                    query: traj(&[(0.0, 10.0), (100.0, 10.0), (200.0, 10.0)], 0.0),
+                    ts,
+                    te,
+                    k,
+                    measure,
+                };
+                assert_eq!(q.execute(&db), q.execute_store(&store), "{ts}..{te} k={k}");
+            }
+        }
     }
 
     #[test]

@@ -10,16 +10,18 @@
 //! # The canonical execution path
 //!
 //! The per-operator functions ([`range_query`], [`KnnQuery::execute`],
-//! [`SimilarityQuery::execute`]) are O(N) linear scans and remain the
-//! semantic reference. Production consumers should construct a
-//! [`QueryEngine`] instead: it owns (or borrows) the database together with
+//! [`SimilarityQuery::execute`]) are O(N) linear scans over the AoS
+//! [`trajectory::TrajectoryDb`] and remain the semantic reference.
+//! Production consumers should construct a [`QueryEngine`] instead: it
+//! owns (or borrows) a columnar [`trajectory::PointStore`] together with
 //! a spatio-temporal index backend ([`BackendKind`]: octree, median
-//! kd-tree, or the naive scan), prunes query execution through the index,
-//! runs batch workloads data-parallel across cores, and — via
-//! [`MaintainedWorkload`] — keeps a workload's results over a growing
-//! simplification incrementally up to date instead of rescanning.
-//! Property tests guarantee engine results equal the scans for every
-//! backend.
+//! kd-tree, or the naive scan), prunes query execution through the index
+//! straight over the coordinate columns, runs batch workloads
+//! data-parallel across cores, and — via [`MaintainedWorkload`] — keeps a
+//! workload's results over a growing simplification incrementally up to
+//! date instead of rescanning. Property tests guarantee engine results
+//! equal the AoS scans for every backend — the SoA/AoS equality the
+//! storage refactor is pinned to.
 
 #![warn(missing_docs)]
 
@@ -39,10 +41,11 @@ pub use engine::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine};
 pub use join::{similarity_join, JoinParams};
 pub use knn::{Dissimilarity, KnnQuery};
 pub use metrics::{f1_pairs, f1_sets, mean_f1, query_diff, F1Score};
-pub use range::{range_query, range_query_batch};
+pub use range::{range_query, range_query_batch, range_query_store};
 pub use similarity::SimilarityQuery;
 pub use t2vec::T2vecEmbedder;
 pub use traclus::{traclus, TraclusParams, TraclusResult};
 pub use workload::{
-    range_workload, traj_query_workload, QueryDistribution, RangeWorkloadSpec, TrajQuerySpec,
+    range_workload, range_workload_store, traj_query_workload, QueryDistribution,
+    RangeWorkloadSpec, TrajQuerySpec,
 };

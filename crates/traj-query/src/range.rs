@@ -6,7 +6,7 @@
 //! result sets is the core accuracy signal of the paper (both for training
 //! rewards and for evaluation).
 
-use trajectory::{Cube, TrajId, Trajectory, TrajectoryDb};
+use trajectory::{Cube, PointStore, TrajId, TrajView, Trajectory, TrajectoryDb};
 
 /// Executes a range query, returning matching trajectory ids in ascending
 /// order.
@@ -42,6 +42,29 @@ pub fn trajectory_matches(t: &Trajectory, q: &Cube) -> bool {
             .iter()
             .any(|p| p.x >= q.x_min && p.x <= q.x_max && p.y >= q.y_min && p.y <= q.y_max),
     }
+}
+
+/// [`trajectory_matches`] over a zero-copy column view: the time window is
+/// narrowed on the contiguous `ts` column, then only the matching x/y runs
+/// are scanned.
+#[must_use]
+pub fn view_matches(v: TrajView<'_>, q: &Cube) -> bool {
+    match v.window_indices(q.t_min, q.t_max) {
+        None => false,
+        Some((lo, hi)) => (lo..=hi).any(|i| {
+            v.xs[i] >= q.x_min && v.xs[i] <= q.x_max && v.ys[i] >= q.y_min && v.ys[i] <= q.y_max
+        }),
+    }
+}
+
+/// [`range_query`] over columnar storage, returning matching ids ascending.
+#[must_use]
+pub fn range_query_store(store: &PointStore, q: &Cube) -> Vec<TrajId> {
+    store
+        .iter()
+        .filter(|(_, v)| view_matches(*v, q))
+        .map(|(id, _)| id)
+        .collect()
 }
 
 /// Executes a batch of range queries (the result of one workload).
@@ -119,6 +142,20 @@ mod tests {
         let db = TrajectoryDb::new(vec![t]);
         let q = Cube::new(40.0, 60.0, -1.0, 1.0, 0.0, 10.0);
         assert!(range_query(&db, &q).is_empty());
+    }
+
+    #[test]
+    fn store_scan_matches_aos_scan() {
+        let db = db();
+        let store = db.to_store();
+        for q in [
+            Cube::new(45.0, 55.0, -1.0, 1.0, 0.0, 10.0),
+            Cube::new(-1.0, 1.0, 45.0, 55.0, 100.0, 110.0),
+            Cube::new(45.0, 55.0, -1.0, 1.0, 500.0, 600.0),
+            db.bounding_cube(),
+        ] {
+            assert_eq!(range_query(&db, &q), range_query_store(&store, &q));
+        }
     }
 
     #[test]

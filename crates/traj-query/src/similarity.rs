@@ -7,7 +7,7 @@
 //! all times `i` in the window, so (unlike the point-based range query)
 //! this query interpolates on both databases.
 
-use trajectory::{TrajId, Trajectory, TrajectoryDb};
+use trajectory::{PointSeq, PointStore, TrajId, Trajectory, TrajectoryDb};
 
 /// A similarity query instance.
 #[derive(Debug, Clone)]
@@ -35,14 +35,30 @@ impl SimilarityQuery {
             .collect()
     }
 
+    /// [`SimilarityQuery::execute`] over columnar storage — candidates are
+    /// zero-copy views, the checking logic is shared.
+    pub fn execute_store(&self, store: &PointStore) -> Vec<TrajId> {
+        store
+            .iter()
+            .filter(|(_, v)| self.matches_seq(v))
+            .map(|(id, _)| id)
+            .collect()
+    }
+
     /// True when `t` stays within δ of the query over the whole window.
+    pub fn matches(&self, t: &Trajectory) -> bool {
+        self.matches_seq(t)
+    }
+
+    /// Layout-agnostic core of [`SimilarityQuery::matches`]: `t` may be an
+    /// AoS [`Trajectory`] or a zero-copy column view.
     ///
     /// A trajectory that does not overlap the window temporally cannot
     /// testify about it and is rejected; the window is first clipped to the
     /// *query* trajectory's own span (the query cannot demand testimony
     /// about times it does not cover itself).
-    pub fn matches(&self, t: &Trajectory) -> bool {
-        let (q0, q1) = self.query.time_span();
+    pub fn matches_seq<S: PointSeq + ?Sized>(&self, t: &S) -> bool {
+        let (q0, q1) = self.query.seq_time_span();
         let ts = self.ts.max(q0);
         let te = self.te.min(q1);
         if ts > te {
@@ -50,7 +66,7 @@ impl SimilarityQuery {
             // would make every trajectory match; reject instead.
             return false;
         }
-        let (t0, t1) = t.time_span();
+        let (t0, t1) = t.seq_time_span();
         if t1 < ts || t0 > te {
             return false;
         }
@@ -68,14 +84,15 @@ impl SimilarityQuery {
             t_cursor += step;
         }
         check_times.push(te);
-        for src in [&self.query, t] {
-            if let Some((lo, hi)) = src.window_indices(ts, te) {
-                check_times.extend(src.points()[lo..=hi].iter().map(|p| p.t));
-            }
+        if let Some((lo, hi)) = self.query.seq_window_indices(ts, te) {
+            check_times.extend((lo..=hi).map(|i| self.query.point_at(i).t));
+        }
+        if let Some((lo, hi)) = t.seq_window_indices(ts, te) {
+            check_times.extend((lo..=hi).map(|i| t.point_at(i).t));
         }
         check_times.iter().all(|&time| {
-            let qp = self.query.position_at(time);
-            let tp = t.position_at(time);
+            let qp = self.query.seq_position_at(time);
+            let tp = t.seq_position_at(time);
             qp.spatial_distance(&tp) <= self.delta
         })
     }
@@ -170,5 +187,19 @@ mod tests {
     fn query_matches_itself() {
         let db = TrajectoryDb::new(vec![line(0.0, 0.0, 10)]);
         assert_eq!(query(0.1).execute(&db), vec![0]);
+    }
+
+    #[test]
+    fn execute_store_matches_aos_execute() {
+        let db = TrajectoryDb::new(vec![
+            line(3.0, 0.0, 10),
+            line(100.0, 0.0, 10),
+            line(0.0, 1_000.0, 10),
+        ]);
+        let store = db.to_store();
+        for delta in [0.1, 5.0, 500.0] {
+            let q = query(delta);
+            assert_eq!(q.execute(&db), q.execute_store(&store), "delta {delta}");
+        }
     }
 }

@@ -17,7 +17,7 @@
 //! points removes cells/transitions and moves the vector — exactly the
 //! degradation signal kNN accuracy measurement needs.
 
-use trajectory::{Point, Trajectory};
+use trajectory::{Point, PointSeq, Trajectory};
 
 /// The embedder configuration.
 #[derive(Debug, Clone, Copy)]
@@ -38,9 +38,14 @@ impl Default for T2vecEmbedder {
 }
 
 impl T2vecEmbedder {
-    /// Embeds a point sequence into a `dim`-dimensional unit vector.
+    /// Embeds a point slice into a `dim`-dimensional unit vector.
     /// An empty sequence embeds to the zero vector.
     pub fn embed_points(&self, pts: &[Point]) -> Vec<f64> {
+        self.embed_seq(pts)
+    }
+
+    /// Embeds any point sequence — slice or zero-copy column view.
+    pub fn embed_seq<S: PointSeq + ?Sized>(&self, pts: &S) -> Vec<f64> {
         let mut v = vec![0.0f64; self.dim];
         let cells = self.cell_sequence(pts);
         if cells.is_empty() {
@@ -80,11 +85,13 @@ impl T2vecEmbedder {
             .sqrt()
     }
 
-    /// The cell-token sequence of a point slice, with consecutive repeats
-    /// collapsed (a stationary object shouldn't dominate the embedding).
-    fn cell_sequence(&self, pts: &[Point]) -> Vec<(i64, i64)> {
-        let mut cells: Vec<(i64, i64)> = Vec::with_capacity(pts.len());
-        for p in pts {
+    /// The cell-token sequence of a point sequence, with consecutive
+    /// repeats collapsed (a stationary object shouldn't dominate the
+    /// embedding).
+    fn cell_sequence<S: PointSeq + ?Sized>(&self, pts: &S) -> Vec<(i64, i64)> {
+        let mut cells: Vec<(i64, i64)> = Vec::with_capacity(pts.n_points());
+        for i in 0..pts.n_points() {
+            let p = pts.point_at(i);
             let c = (
                 (p.x / self.cell_size).floor() as i64,
                 (p.y / self.cell_size).floor() as i64,

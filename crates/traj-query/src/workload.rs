@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use trajectory::{Cube, TrajId, TrajectoryDb};
+use trajectory::{Cube, PointStore, TrajId, TrajectoryDb};
 
 /// Where query centers come from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -70,10 +70,50 @@ impl RangeWorkloadSpec {
     }
 }
 
-/// Generates a range-query workload over `db`.
+/// Where point-anchored distributions (`Data`, `Real`) draw their anchor
+/// points from: either storage layout, borrowed with zero copies.
+/// Cube-only distributions (Gaussian, Zipf) never touch it.
+enum Anchor<'a> {
+    /// No point data needed.
+    None,
+    /// Columnar storage: O(1) data-point sampling by column index.
+    Store(&'a PointStore),
+    /// AoS compat: the pre-columnar O(M) walk, but no conversion copy.
+    Db(&'a TrajectoryDb),
+}
+
+/// Generates a range-query workload over `db` (deterministic parity with
+/// [`range_workload_store`] for the same seed; no columnar conversion —
+/// the database is only borrowed for anchor sampling).
 #[must_use]
 pub fn range_workload(db: &TrajectoryDb, spec: &RangeWorkloadSpec, rng: &mut StdRng) -> Vec<Cube> {
-    let bc = db.bounding_cube();
+    let anchor = match spec.dist {
+        QueryDistribution::Data | QueryDistribution::Real => Anchor::Db(db),
+        _ => Anchor::None,
+    };
+    workload_impl(db.bounding_cube(), anchor, spec, rng)
+}
+
+/// Generates a range-query workload over columnar storage. Data-centered
+/// queries sample their anchor point in O(1) straight from the columns
+/// (the AoS path walks the trajectory list per sample).
+#[must_use]
+pub fn range_workload_store(
+    store: &PointStore,
+    spec: &RangeWorkloadSpec,
+    rng: &mut StdRng,
+) -> Vec<Cube> {
+    workload_impl(store.bounding_cube(), Anchor::Store(store), spec, rng)
+}
+
+/// Shared generator core. `anchor` must carry point data for the
+/// point-anchored distributions (`Data`, `Real`).
+fn workload_impl(
+    bc: Cube,
+    anchor: Anchor<'_>,
+    spec: &RangeWorkloadSpec,
+    rng: &mut StdRng,
+) -> Vec<Cube> {
     if bc.is_empty() {
         return Vec::new();
     }
@@ -83,7 +123,7 @@ pub fn range_workload(db: &TrajectoryDb, spec: &RangeWorkloadSpec, rng: &mut Std
     };
     (0..spec.count)
         .map(|_| {
-            let (cx, cy, ct) = sample_center(db, &bc, spec.dist, zipf.as_ref(), rng);
+            let (cx, cy, ct) = sample_center(&anchor, &bc, spec.dist, zipf.as_ref(), rng);
             Cube::centered(
                 cx,
                 cy,
@@ -97,7 +137,7 @@ pub fn range_workload(db: &TrajectoryDb, spec: &RangeWorkloadSpec, rng: &mut Std
 }
 
 fn sample_center(
-    db: &TrajectoryDb,
+    anchor: &Anchor<'_>,
     bc: &Cube,
     dist: QueryDistribution,
     zipf: Option<&ZipfSampler>,
@@ -105,7 +145,14 @@ fn sample_center(
 ) -> (f64, f64, f64) {
     match dist {
         QueryDistribution::Data => {
-            let p = sample_data_point(db, rng);
+            // Uniform over points (trajectories weighted by length). Both
+            // layouts consume one identical RNG draw.
+            let k = rng.gen_range(0..anchor.total_points());
+            let p = match anchor {
+                Anchor::Store(store) => store.point(k as u32),
+                Anchor::Db(db) => *sample_nth_point(db, k),
+                Anchor::None => unreachable!("data-anchored workload without point data"),
+            };
             (p.x, p.y, p.t)
         }
         QueryDistribution::Gaussian { mu, sigma } => {
@@ -128,11 +175,26 @@ fn sample_center(
             )
         }
         QueryDistribution::Real => {
-            let t = db.get(rng.gen_range(0..db.len()));
-            let p = if rng.gen_bool(0.5) {
-                t.first()
-            } else {
-                t.last()
+            let id = rng.gen_range(0..anchor.len());
+            let first = rng.gen_bool(0.5);
+            let p = match anchor {
+                Anchor::Store(store) => {
+                    let v = store.view(id);
+                    if first {
+                        v.first()
+                    } else {
+                        v.last()
+                    }
+                }
+                Anchor::Db(db) => {
+                    let t = db.get(id);
+                    if first {
+                        *t.first()
+                    } else {
+                        *t.last()
+                    }
+                }
+                Anchor::None => unreachable!("endpoint-anchored workload without point data"),
             };
             (
                 p.x + 500.0 * gaussian(rng),
@@ -143,12 +205,27 @@ fn sample_center(
     }
 }
 
-/// Samples a uniformly random point of the database (trajectories weighted
-/// by their length, i.e. uniform over points).
-fn sample_data_point<'a>(db: &'a TrajectoryDb, rng: &mut StdRng) -> &'a trajectory::Point {
-    let total = db.total_points();
-    debug_assert!(total > 0);
-    let mut k = rng.gen_range(0..total);
+impl Anchor<'_> {
+    fn total_points(&self) -> usize {
+        match self {
+            Anchor::Store(store) => store.total_points(),
+            Anchor::Db(db) => db.total_points(),
+            Anchor::None => 0,
+        }
+    }
+
+    fn len(&self) -> usize {
+        match self {
+            Anchor::Store(store) => store.len(),
+            Anchor::Db(db) => db.len(),
+            Anchor::None => 0,
+        }
+    }
+}
+
+/// The `k`-th point of the database in global (trajectory-major) order —
+/// the AoS twin of `PointStore::point(k)`.
+fn sample_nth_point(db: &TrajectoryDb, mut k: usize) -> &trajectory::Point {
     for (_, t) in db.iter() {
         if k < t.len() {
             return t.point(k);
@@ -351,6 +428,33 @@ mod tests {
                 .iter()
                 .any(|(ex, ey)| ((cx - ex).powi(2) + (cy - ey).powi(2)).sqrt() < 3_000.0);
             assert!(near, "query center ({cx},{cy}) not near any endpoint");
+        }
+    }
+
+    #[test]
+    fn db_and_store_workloads_are_identical() {
+        // Both anchor layouts must consume the same RNG stream and pick
+        // the same centers — the determinism the trainer relies on.
+        let db = db();
+        let store = db.to_store();
+        for dist in [
+            QueryDistribution::Data,
+            QueryDistribution::Real,
+            QueryDistribution::Gaussian {
+                mu: 0.5,
+                sigma: 0.25,
+            },
+            QueryDistribution::Zipf { a: 2.0 },
+        ] {
+            let spec = RangeWorkloadSpec {
+                count: 20,
+                spatial_extent: 500.0,
+                temporal_extent: 500.0,
+                dist,
+            };
+            let a = range_workload(&db, &spec, &mut StdRng::seed_from_u64(17));
+            let b = range_workload_store(&store, &spec, &mut StdRng::seed_from_u64(17));
+            assert_eq!(a, b, "{dist}");
         }
     }
 

@@ -252,6 +252,44 @@ proptest! {
     }
 
     #[test]
+    fn engine_results_identical_on_aos_and_soa_backing(
+        (db, qf, k) in arb_db().prop_flat_map(|db| {
+            let q = arb_query(&db);
+            (Just(db), q, 1usize..5)
+        })
+    ) {
+        // The same database through both storage layouts — an engine built
+        // from the AoS `TrajectoryDb` versus one borrowing the columnar
+        // `PointStore` — must serve bit-identical range and kNN results on
+        // every index backend.
+        let store = db.to_store();
+        let (t0, t1) = db.time_span();
+        let knn = KnnQuery {
+            query: db.get(0).clone(),
+            ts: t0,
+            te: t0 + 0.7 * (t1 - t0),
+            k,
+            measure: Dissimilarity::Edr { eps: 1_000.0 },
+        };
+        for cfg in engine_configs() {
+            let via_db = QueryEngine::over(&db, cfg);
+            let via_store = QueryEngine::over_store(&store, cfg);
+            prop_assert_eq!(
+                via_db.range(&qf),
+                via_store.range(&qf),
+                "range, backend {:?}",
+                cfg.backend
+            );
+            prop_assert_eq!(
+                via_db.knn(&knn),
+                via_store.knn(&knn),
+                "knn, backend {:?}",
+                cfg.backend
+            );
+        }
+    }
+
+    #[test]
     fn engine_simplified_range_equals_materialized_scan(
         (db, qf, keep_step) in arb_db().prop_flat_map(|db| {
             let q = arb_query(&db);

@@ -3,7 +3,7 @@
 //! proportional budget; **Whole** ("W") treats the database as one global
 //! pool of insertion/drop candidates.
 
-use trajectory::TrajectoryDb;
+use trajectory::{PointStore, TrajectoryDb};
 
 /// How a trajectory-level algorithm is adapted to a database.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -29,8 +29,21 @@ impl std::fmt::Display for Adaptation {
 /// (largest-remainder rounding), and the total never exceeds
 /// `max(budget, Σ min(|T|, 2))`.
 pub fn per_trajectory_budgets(db: &TrajectoryDb, budget: usize) -> Vec<usize> {
-    let n: usize = db.total_points();
-    let mut budgets: Vec<usize> = db.trajectories().iter().map(|t| t.len().min(2)).collect();
+    let lens: Vec<usize> = db.trajectories().iter().map(|t| t.len()).collect();
+    budgets_for_lengths(&lens, budget)
+}
+
+/// [`per_trajectory_budgets`] over columnar storage (only the per-
+/// trajectory lengths matter, which are offset-table differences).
+pub fn per_trajectory_budgets_store(store: &PointStore, budget: usize) -> Vec<usize> {
+    let lens: Vec<usize> = store.views().map(|v| v.len()).collect();
+    budgets_for_lengths(&lens, budget)
+}
+
+/// Layout-independent core of the proportional budget split.
+fn budgets_for_lengths(lens: &[usize], budget: usize) -> Vec<usize> {
+    let n: usize = lens.iter().sum();
+    let mut budgets: Vec<usize> = lens.iter().map(|&len| len.min(2)).collect();
     let floor_total: usize = budgets.iter().sum();
     if n == 0 || budget <= floor_total {
         return budgets;
@@ -38,11 +51,11 @@ pub fn per_trajectory_budgets(db: &TrajectoryDb, budget: usize) -> Vec<usize> {
     let spare = budget - floor_total;
     let r = spare as f64 / n as f64;
     // Proportional shares beyond the endpoint floor, capped by capacity.
-    let mut fractional: Vec<(f64, usize)> = Vec::with_capacity(db.len());
+    let mut fractional: Vec<(f64, usize)> = Vec::with_capacity(lens.len());
     let mut assigned = 0usize;
-    for (id, t) in db.iter() {
-        let capacity = t.len() - budgets[id];
-        let share = (r * t.len() as f64).min(capacity as f64);
+    for (id, &len) in lens.iter().enumerate() {
+        let capacity = len - budgets[id];
+        let share = (r * len as f64).min(capacity as f64);
         let whole = share.floor() as usize;
         budgets[id] += whole;
         assigned += whole;
@@ -55,7 +68,7 @@ pub fn per_trajectory_budgets(db: &TrajectoryDb, budget: usize) -> Vec<usize> {
         if leftover == 0 {
             break;
         }
-        if budgets[id] < db.get(id).len() {
+        if budgets[id] < lens[id] {
             budgets[id] += 1;
             leftover -= 1;
         }

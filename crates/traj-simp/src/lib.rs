@@ -41,7 +41,7 @@ pub use streaming::{streaming_simplify, StreamingSimplifier};
 pub use topdown::TopDown;
 pub use uniform::Uniform;
 
-use trajectory::{Simplification, TrajectoryDb};
+use trajectory::{PointStore, Simplification, TrajectoryDb};
 
 /// A database simplification algorithm: reduce `db` to at most `budget`
 /// total points (every trajectory always keeps its endpoints, so the
@@ -57,11 +57,28 @@ pub trait Simplifier: Send + Sync {
 
     /// Produces the simplification.
     fn simplify(&self, db: &TrajectoryDb, budget: usize) -> Simplification;
+
+    /// Produces the simplification of a columnar store. The resulting
+    /// kept-index sets line up with the store's per-trajectory views, so
+    /// `simp.materialize_store(store)` (a column gather) yields `D'`
+    /// without round-tripping through `Vec<Point>` trajectories.
+    ///
+    /// The default implementation materializes an AoS copy and delegates
+    /// to [`Simplifier::simplify`]; algorithms migrate to native column
+    /// walks incrementally.
+    fn simplify_store(&self, store: &PointStore, budget: usize) -> Simplification {
+        self.simplify(&store.to_db(), budget)
+    }
 }
 
 /// Effective lower bound on the number of points any simplification keeps.
 pub fn min_points(db: &TrajectoryDb) -> usize {
     db.trajectories().iter().map(|t| t.len().min(2)).sum()
+}
+
+/// [`min_points`] over columnar storage.
+pub fn min_points_store(store: &PointStore) -> usize {
+    store.views().map(|v| v.len().min(2)).sum()
 }
 
 #[cfg(test)]

@@ -87,20 +87,25 @@ impl StreamingSimplifier {
         }
     }
 
-    /// The retained points, time-ordered.
-    pub fn current(&self) -> Vec<Point> {
-        let mut out = Vec::with_capacity(self.len());
+    /// The retained points, time-ordered, as a lazy walk over the buffer's
+    /// neighbour links — no `Vec<Point>` is allocated per call. Collect
+    /// with [`StreamingSimplifier::finish`] (or `.collect()`) when an
+    /// owned sequence is needed.
+    pub fn current(&self) -> impl Iterator<Item = Point> + '_ {
         let mut slot = self.first_alive();
-        while slot != NONE {
-            out.push(self.points[slot].p);
+        std::iter::from_fn(move || {
+            if slot == NONE {
+                return None;
+            }
+            let p = self.points[slot].p;
             slot = self.points[slot].next;
-        }
-        out
+            Some(p)
+        })
     }
 
     /// Finalizes into a [`Trajectory`] (None when < 1 point was fed).
     pub fn finish(&self) -> Option<Trajectory> {
-        Trajectory::new(self.current())
+        Trajectory::new(self.current().collect())
     }
 
     fn first_alive(&self) -> usize {
@@ -208,6 +213,21 @@ mod tests {
         for p in out.points() {
             assert!(t.points().iter().any(|q| q == p), "invented point {p}");
         }
+    }
+
+    #[test]
+    fn current_is_a_lazy_walk_matching_finish() {
+        let mut s = StreamingSimplifier::new(4);
+        for i in 0..10 {
+            s.push(Point::new(i as f64, (i % 2) as f64, i as f64));
+        }
+        // Two traversals of the same state agree (the iterator borrows, it
+        // does not drain), and finish() sees the identical sequence.
+        let a: Vec<Point> = s.current().collect();
+        let b: Vec<Point> = s.current().collect();
+        assert_eq!(a, b);
+        assert_eq!(a.len(), s.len());
+        assert_eq!(s.finish().unwrap().points(), &a[..]);
     }
 
     #[test]

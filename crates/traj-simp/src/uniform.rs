@@ -2,9 +2,9 @@
 //! baselines, but a useful floor for sanity checks and examples — any
 //! error-aware method should beat it.
 
-use crate::adapt::per_trajectory_budgets;
+use crate::adapt::{per_trajectory_budgets, per_trajectory_budgets_store};
 use crate::Simplifier;
-use trajectory::{Simplification, Trajectory, TrajectoryDb};
+use trajectory::{PointStore, Simplification, Trajectory, TrajectoryDb};
 
 /// The uniform-sampling baseline.
 #[derive(Debug, Clone, Copy, Default)]
@@ -23,11 +23,27 @@ impl Simplifier for Uniform {
             .collect();
         Simplification::from_kept(db, kept)
     }
+
+    /// Native columnar path: only lengths are consulted, no AoS
+    /// materialization happens.
+    fn simplify_store(&self, store: &PointStore, budget: usize) -> Simplification {
+        let budgets = per_trajectory_budgets_store(store, budget);
+        let kept = store
+            .views()
+            .enumerate()
+            .map(|(id, v)| uniform_indices(v.len(), budgets[id]))
+            .collect();
+        Simplification::from_kept_store(store, kept)
+    }
 }
 
 /// Evenly spaced `budget` indices over `[0, n-1]`, endpoints included.
 pub fn uniform_one(traj: &Trajectory, budget: usize) -> Vec<u32> {
-    let n = traj.len();
+    uniform_indices(traj.len(), budget)
+}
+
+/// Evenly spaced `budget` indices for a trajectory of `n` points.
+pub fn uniform_indices(n: usize, budget: usize) -> Vec<u32> {
     if n <= 2 || budget >= n {
         return (0..n as u32).collect();
     }
@@ -74,5 +90,18 @@ mod tests {
         let db = TrajectoryDb::new(vec![traj(100), traj(50)]);
         let simp = Uniform.simplify(&db, 15);
         assert!(simp.total_points() <= 15);
+    }
+
+    #[test]
+    fn store_path_matches_aos_path() {
+        let db = TrajectoryDb::new(vec![traj(100), traj(50), traj(3)]);
+        let store = db.to_store();
+        for budget in [7, 15, 60, 1_000] {
+            assert_eq!(
+                Uniform.simplify(&db, budget),
+                Uniform.simplify_store(&store, budget),
+                "budget {budget}"
+            );
+        }
     }
 }

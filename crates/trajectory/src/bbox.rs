@@ -72,18 +72,26 @@ impl Cube {
         self.t_max = self.t_max.max(p.t);
     }
 
+    /// Inclusive containment test on raw coordinates — the columnar hot
+    /// path (no `Point` needs to be assembled from the columns first).
+    #[inline]
+    pub fn contains_xyz(&self, x: f64, y: f64, t: f64) -> bool {
+        x >= self.x_min
+            && x <= self.x_max
+            && y >= self.y_min
+            && y <= self.y_max
+            && t >= self.t_min
+            && t <= self.t_max
+    }
+
     /// Inclusive containment test for a point.
     #[inline]
     pub fn contains(&self, p: &Point) -> bool {
-        p.x >= self.x_min
-            && p.x <= self.x_max
-            && p.y >= self.y_min
-            && p.y <= self.y_max
-            && p.t >= self.t_min
-            && p.t <= self.t_max
+        self.contains_xyz(p.x, p.y, p.t)
     }
 
     /// True when the two cubes share any volume (inclusive bounds).
+    #[inline]
     pub fn intersects(&self, other: &Cube) -> bool {
         self.x_min <= other.x_max
             && self.x_max >= other.x_min

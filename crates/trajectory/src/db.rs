@@ -2,6 +2,7 @@
 
 use crate::bbox::Cube;
 use crate::point::Point;
+use crate::store::{KeptBitmap, PointStore};
 use crate::traj::Trajectory;
 
 /// Identifier of a trajectory inside a [`TrajectoryDb`] (its index).
@@ -84,6 +85,19 @@ impl TrajectoryDb {
         (c.t_min, c.t_max)
     }
 
+    /// Converts the database into columnar storage (see
+    /// [`PointStore`]) — the layout the index and query engine operate on.
+    #[must_use]
+    pub fn to_store(&self) -> PointStore {
+        PointStore::from_db(self)
+    }
+
+    /// Materializes an AoS database from columnar storage.
+    #[must_use]
+    pub fn from_store(store: &PointStore) -> TrajectoryDb {
+        store.to_db()
+    }
+
     /// Splits the database into `(head, tail)` where `head` keeps the first
     /// `n` trajectories. Used to carve train/test splits.
     pub fn split_at(mut self, n: usize) -> (TrajectoryDb, TrajectoryDb) {
@@ -141,26 +155,65 @@ impl Simplification {
         Self { kept }
     }
 
+    /// [`Simplification::most_simplified`] over columnar storage.
+    pub fn most_simplified_store(store: &PointStore) -> Self {
+        let kept = store
+            .views()
+            .map(|v| {
+                if v.len() <= 1 {
+                    vec![0]
+                } else {
+                    vec![0, (v.len() - 1) as u32]
+                }
+            })
+            .collect();
+        Self { kept }
+    }
+
+    /// [`Simplification::full`] over columnar storage.
+    pub fn full_store(store: &PointStore) -> Self {
+        let kept = store
+            .views()
+            .map(|v| (0..v.len() as u32).collect())
+            .collect();
+        Self { kept }
+    }
+
     /// Builds from per-trajectory kept-index lists. Lists must be sorted,
     /// deduplicated, and contain the endpoints; debug builds assert this.
     pub fn from_kept(db: &TrajectoryDb, kept: Vec<Vec<u32>>) -> Self {
         debug_assert_eq!(kept.len(), db.len());
         #[cfg(debug_assertions)]
         for (id, ks) in kept.iter().enumerate() {
-            let n = db.get(id).len() as u32;
-            assert!(!ks.is_empty());
-            assert_eq!(ks[0], 0, "trajectory {id} must keep its first point");
-            assert_eq!(
-                *ks.last().unwrap(),
-                n - 1,
-                "trajectory {id} must keep its last point"
-            );
-            assert!(
-                ks.windows(2).all(|w| w[0] < w[1]),
-                "kept indices must be strictly sorted"
-            );
+            Self::assert_kept_list(id, ks, db.get(id).len() as u32);
         }
         Self { kept }
+    }
+
+    /// [`Simplification::from_kept`] validated against a columnar store's
+    /// per-trajectory lengths.
+    pub fn from_kept_store(store: &PointStore, kept: Vec<Vec<u32>>) -> Self {
+        debug_assert_eq!(kept.len(), store.len());
+        #[cfg(debug_assertions)]
+        for (id, ks) in kept.iter().enumerate() {
+            Self::assert_kept_list(id, ks, store.view(id).len() as u32);
+        }
+        Self { kept }
+    }
+
+    #[cfg(debug_assertions)]
+    fn assert_kept_list(id: usize, ks: &[u32], n: u32) {
+        assert!(!ks.is_empty());
+        assert_eq!(ks[0], 0, "trajectory {id} must keep its first point");
+        assert_eq!(
+            *ks.last().unwrap(),
+            n - 1,
+            "trajectory {id} must keep its last point"
+        );
+        assert!(
+            ks.windows(2).all(|w| w[0] < w[1]),
+            "kept indices must be strictly sorted"
+        );
     }
 
     /// Number of trajectories.
@@ -256,9 +309,21 @@ impl Simplification {
         }
     }
 
+    /// True when the simplification keeps every point of `db` (cheap
+    /// total-count check: kept lists are sorted subsets, so count equality
+    /// implies identity).
+    #[must_use]
+    pub fn is_full(&self, total_points: usize) -> bool {
+        self.total_points() == total_points
+    }
+
     /// Materializes the simplified database `D'` as standalone trajectories.
+    /// When everything is kept, this is a plain clone of `db`.
     #[must_use]
     pub fn materialize(&self, db: &TrajectoryDb) -> TrajectoryDb {
+        if self.is_full(db.total_points()) {
+            return db.clone();
+        }
         let trajectories = self
             .kept
             .iter()
@@ -272,10 +337,39 @@ impl Simplification {
         TrajectoryDb::new(trajectories)
     }
 
+    /// Materializes `D'` in columnar form: a straight gather over the
+    /// store's columns (no per-trajectory re-validation, no `Vec<Point>`
+    /// intermediaries). The identity simplification short-circuits to a
+    /// column clone.
+    #[must_use]
+    pub fn materialize_store(&self, store: &PointStore) -> PointStore {
+        store.gather(self)
+    }
+
+    /// The simplification as a bitmap over the store's global point ids —
+    /// the representation query execution consumes (`contains` becomes one
+    /// mask test instead of a per-trajectory binary search).
+    #[must_use]
+    pub fn to_bitmap(&self, store: &PointStore) -> KeptBitmap {
+        debug_assert_eq!(self.kept.len(), store.len());
+        let mut bitmap = KeptBitmap::zeros(store.total_points());
+        for (id, ks) in self.kept.iter().enumerate() {
+            let base = store.offsets()[id];
+            for &idx in ks {
+                bitmap.insert(base + idx);
+            }
+        }
+        bitmap
+    }
+
     /// Per-trajectory compression ratios `|T'| / |T|` (diagnostics for the
-    /// paper's "uniform compression ratio" discussion).
+    /// paper's "uniform compression ratio" discussion). The fully-kept
+    /// case short-circuits to all-ones.
     #[must_use]
     pub fn compression_ratios(&self, db: &TrajectoryDb) -> Vec<f64> {
+        if self.is_full(db.total_points()) {
+            return vec![1.0; self.kept.len()];
+        }
         self.kept
             .iter()
             .enumerate()
@@ -392,6 +486,55 @@ mod tests {
         let s = Simplification::most_simplified(&db);
         let r = s.compression_ratios(&db);
         assert_eq!(r, vec![2.0 / 5.0, 2.0 / 3.0]);
+    }
+
+    #[test]
+    fn store_constructors_match_aos_constructors() {
+        let db = db();
+        let store = db.to_store();
+        assert_eq!(
+            Simplification::most_simplified_store(&store),
+            Simplification::most_simplified(&db)
+        );
+        assert_eq!(
+            Simplification::full_store(&store),
+            Simplification::full(&db)
+        );
+    }
+
+    #[test]
+    fn bitmap_agrees_with_contains() {
+        let db = db();
+        let store = db.to_store();
+        let mut s = Simplification::most_simplified(&db);
+        s.insert(0, 2);
+        let bitmap = s.to_bitmap(&store);
+        for (id, t) in db.iter() {
+            for idx in 0..t.len() as u32 {
+                assert_eq!(
+                    bitmap.contains(store.global_id(id, idx)),
+                    s.contains(id, idx),
+                    "traj {id} idx {idx}"
+                );
+            }
+        }
+        assert_eq!(bitmap.count(), s.total_points());
+    }
+
+    #[test]
+    fn materialize_store_is_a_gather() {
+        let db = db();
+        let store = db.to_store();
+        let mut s = Simplification::most_simplified(&db);
+        s.insert(0, 2);
+        let gathered = s.materialize_store(&store);
+        let materialized = s.materialize(&db);
+        assert_eq!(
+            gathered.to_db().get(0).points(),
+            materialized.get(0).points()
+        );
+        // Fully-kept fast path is the identity.
+        assert_eq!(Simplification::full(&db).materialize_store(&store), store);
     }
 
     #[test]

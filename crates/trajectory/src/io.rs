@@ -6,7 +6,7 @@
 
 use crate::db::TrajectoryDb;
 use crate::point::Point;
-use crate::traj::Trajectory;
+use crate::store::PointStore;
 use std::io::{self, BufRead, BufReader, BufWriter, Read, Write};
 use std::path::Path;
 
@@ -58,27 +58,70 @@ pub fn write_csv_file<P: AsRef<Path>>(db: &TrajectoryDb, path: P) -> io::Result<
     write_csv(db, std::fs::File::create(path)?)
 }
 
-/// Reads a `traj_id,x,y,t` CSV. Points of one trajectory must be contiguous
-/// and time-ordered; trajectory ids are re-assigned densely in order of
-/// first appearance. A single header line is skipped when present.
-pub fn read_csv<R: Read>(input: R) -> Result<TrajectoryDb, ReadError> {
-    let reader = BufReader::new(input);
-    let mut db = TrajectoryDb::default();
-    let mut current_id: Option<String> = None;
-    let mut points: Vec<Point> = Vec::new();
+/// One parsed CSV record: `(traj_id, point)`.
+struct Record {
+    id: String,
+    p: Point,
+}
 
-    let flush =
-        |points: &mut Vec<Point>, db: &mut TrajectoryDb, line: usize| -> Result<(), ReadError> {
-            if points.is_empty() {
-                return Ok(());
-            }
-            let t = Trajectory::new(std::mem::take(points)).ok_or(ReadError::Parse {
-                line,
-                message: "trajectory points are not time-ordered or not finite".into(),
-            })?;
-            db.push(t);
-            Ok(())
-        };
+/// Parses one non-empty, non-header line. Every failure mode yields a
+/// typed [`ReadError::Parse`] carrying the 1-based line number — including
+/// a missing or empty `traj_id` field, which older readers silently
+/// collapsed into an anonymous `""` trajectory.
+fn parse_line(trimmed: &str, line_1: usize) -> Result<Record, ReadError> {
+    let mut parts = trimmed.split(',');
+    let id = parts
+        .next()
+        .map(str::trim)
+        .filter(|id| !id.is_empty())
+        .ok_or(ReadError::Parse {
+            line: line_1,
+            message: "missing traj_id".into(),
+        })?
+        .to_string();
+    let parse = |field: Option<&str>, name: &str| -> Result<f64, ReadError> {
+        field
+            .ok_or(ReadError::Parse {
+                line: line_1,
+                message: format!("missing {name}"),
+            })?
+            .trim()
+            .parse::<f64>()
+            .map_err(|e| ReadError::Parse {
+                line: line_1,
+                message: format!("{name}: {e}"),
+            })
+    };
+    let x = parse(parts.next(), "x")?;
+    let y = parse(parts.next(), "y")?;
+    let t = parse(parts.next(), "t")?;
+    Ok(Record {
+        id,
+        p: Point::new(x, y, t),
+    })
+}
+
+/// How the CSV readers treat malformed lines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum MalformedLines {
+    /// The first malformed line aborts the read with its parse error.
+    Fail,
+    /// Malformed lines are skipped and counted.
+    Skip,
+}
+
+/// Shared reader core: streams records into a [`PointStore`], returning the
+/// store and the number of skipped lines (always 0 in [`MalformedLines::Fail`]
+/// mode).
+fn read_csv_core<R: Read>(
+    input: R,
+    mode: MalformedLines,
+) -> Result<(PointStore, usize), ReadError> {
+    let reader = BufReader::new(input);
+    let mut store = PointStore::new();
+    let mut current_id: Option<String> = None;
+    let mut open = false;
+    let mut skipped = 0usize;
 
     for (lineno, line) in reader.lines().enumerate() {
         let line = line?;
@@ -90,33 +133,66 @@ pub fn read_csv<R: Read>(input: R) -> Result<TrajectoryDb, ReadError> {
         if lineno == 0 && trimmed.starts_with("traj_id") {
             continue;
         }
-        let mut parts = trimmed.split(',');
-        let id = parts.next().unwrap_or("").to_string();
-        let parse = |field: Option<&str>, name: &str| -> Result<f64, ReadError> {
-            field
-                .ok_or(ReadError::Parse {
-                    line: line_1,
-                    message: format!("missing {name}"),
-                })?
-                .trim()
-                .parse::<f64>()
-                .map_err(|e| ReadError::Parse {
-                    line: line_1,
-                    message: format!("{name}: {e}"),
-                })
+        let record = match parse_line(trimmed, line_1) {
+            Ok(r) => r,
+            Err(e) => match mode {
+                MalformedLines::Fail => return Err(e),
+                MalformedLines::Skip => {
+                    skipped += 1;
+                    continue;
+                }
+            },
         };
-        let x = parse(parts.next(), "x")?;
-        let y = parse(parts.next(), "y")?;
-        let t = parse(parts.next(), "t")?;
-
-        if current_id.as_deref() != Some(id.as_str()) {
-            flush(&mut points, &mut db, line_1)?;
-            current_id = Some(id);
+        if current_id.as_deref() != Some(record.id.as_str()) {
+            if open {
+                store.end_traj();
+            }
+            store.begin_traj();
+            open = true;
+            current_id = Some(record.id);
         }
-        points.push(Point::new(x, y, t));
+        if !store.push_point(record.p) {
+            match mode {
+                MalformedLines::Fail => {
+                    return Err(ReadError::Parse {
+                        line: line_1,
+                        message: "trajectory points are not time-ordered or not finite".into(),
+                    })
+                }
+                MalformedLines::Skip => skipped += 1,
+            }
+        }
     }
-    flush(&mut points, &mut db, usize::MAX)?;
-    Ok(db)
+    if open {
+        store.end_traj();
+    }
+    Ok((store, skipped))
+}
+
+/// Reads a `traj_id,x,y,t` CSV. Points of one trajectory must be contiguous
+/// and time-ordered; trajectory ids are re-assigned densely in order of
+/// first appearance. A single header line is skipped when present. Any
+/// malformed line — including a missing or empty `traj_id` — aborts with a
+/// [`ReadError::Parse`] carrying its 1-based line number.
+pub fn read_csv<R: Read>(input: R) -> Result<TrajectoryDb, ReadError> {
+    Ok(read_csv_store(input)?.to_db())
+}
+
+/// [`read_csv`] straight into columnar storage: records stream through the
+/// [`PointStore`] append API without building per-trajectory `Vec<Point>`
+/// intermediaries.
+pub fn read_csv_store<R: Read>(input: R) -> Result<PointStore, ReadError> {
+    read_csv_core(input, MalformedLines::Fail).map(|(store, _)| store)
+}
+
+/// Lenient variant of [`read_csv`]: malformed lines (unparsable fields,
+/// missing ids, time regressions, non-finite coordinates) are skipped
+/// instead of aborting. Returns the database plus the number of skipped
+/// lines, so callers can surface data-quality problems instead of silently
+/// absorbing them. I/O errors still abort.
+pub fn read_csv_skip_malformed<R: Read>(input: R) -> Result<(TrajectoryDb, usize), ReadError> {
+    let (store, skipped) = read_csv_core(input, MalformedLines::Skip)?;
+    Ok((store.to_db(), skipped))
 }
 
 /// Convenience wrapper reading from a file path.
@@ -181,6 +257,58 @@ mod tests {
             read_csv(text.as_bytes()),
             Err(ReadError::Parse { .. })
         ));
+    }
+
+    #[test]
+    fn read_rejects_missing_or_empty_id() {
+        for text in [",1.0,2.0,3.0\n", "  ,1.0,2.0,3.0\n"] {
+            match read_csv(text.as_bytes()) {
+                Err(ReadError::Parse { line, message }) => {
+                    assert_eq!(line, 1);
+                    assert!(message.contains("traj_id"), "{message}");
+                }
+                other => panic!("expected id parse error, got {other:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn read_reports_the_offending_line() {
+        let text = "a,1.0,2.0,3.0\na,2.0,3.0,4.0\na,oops,3.0,5.0\n";
+        match read_csv(text.as_bytes()) {
+            Err(ReadError::Parse { line, .. }) => assert_eq!(line, 3),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn skip_malformed_counts_and_continues() {
+        let text = "traj_id,x,y,t\n\
+                    a,1.0,2.0,3.0\n\
+                    a,bad,2.0,4.0\n\
+                    a,2.0,3.0,5.0\n\
+                    ,9.0,9.0,9.0\n\
+                    b,0.0,0.0,0.0\n\
+                    b,1.0,1.0,-5.0\n\
+                    b,1.0,1.0,2.0\n";
+        let (db, skipped) = read_csv_skip_malformed(text.as_bytes()).unwrap();
+        assert_eq!(skipped, 3, "bad x, missing id, time regression");
+        assert_eq!(db.len(), 2);
+        assert_eq!(db.get(0).len(), 2);
+        assert_eq!(db.get(1).len(), 2);
+    }
+
+    #[test]
+    fn csv_streams_into_columnar_storage() {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 5);
+        let mut buf = Vec::new();
+        write_csv(&db, &mut buf).unwrap();
+        let store = read_csv_store(&buf[..]).unwrap();
+        assert_eq!(store.len(), db.len());
+        assert_eq!(store.total_points(), db.total_points());
+        for (id, t) in db.iter() {
+            assert_eq!(store.view(id).len(), t.len());
+        }
     }
 
     #[test]

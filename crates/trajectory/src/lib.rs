@@ -5,6 +5,11 @@
 //!
 //! - the data model: [`Point`], [`Trajectory`], [`TrajectoryDb`],
 //!   [`Simplification`] (a database-level set of kept point indices);
+//! - columnar storage ([`store`]): the struct-of-arrays [`PointStore`]
+//!   with zero-copy [`TrajView`]s and the [`KeptBitmap`] face of a
+//!   simplification — what the index and query engine iterate;
+//! - the layout-agnostic sequence abstraction ([`seq`]): [`PointSeq`]
+//!   lets one query kernel serve AoS trajectories and SoA views;
 //! - the geometry kernel ([`geom`]): synchronized interpolation, segment
 //!   projections, headings, speeds;
 //! - the four error measures of the paper ([`error`]): SED, PED, DAD, SAD
@@ -23,12 +28,16 @@ pub mod geom;
 pub mod io;
 pub mod point;
 pub mod resample;
+pub mod seq;
 pub mod stats;
+pub mod store;
 pub mod traj;
 
 pub use bbox::Cube;
 pub use db::{Simplification, TrajId, TrajectoryDb};
 pub use error::ErrorMeasure;
 pub use point::Point;
+pub use seq::PointSeq;
 pub use stats::DatasetStats;
+pub use store::{KeptBitmap, PointId, PointStore, TrajView};
 pub use traj::Trajectory;

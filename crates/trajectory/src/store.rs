@@ -1,0 +1,783 @@
+//! Columnar (struct-of-arrays) trajectory storage.
+//!
+//! The simplified database is what gets queried at scale, and every hot
+//! path — octree construction, range/kNN scans, Eq. 10 workload
+//! maintenance, materializing `D'` — walks *points*, not trajectories. The
+//! classic `Vec<Trajectory>` of `Vec<Point>` layout makes each of those
+//! walks chase a pointer per trajectory and interleave x/y/t in memory.
+//!
+//! [`PointStore`] instead keeps the whole database as three contiguous
+//! `f64` columns (`xs`, `ys`, `ts`) plus a per-trajectory offset table:
+//!
+//! ```text
+//!  xs: [ x0 x1 x2 | x3 x4 | x5 x6 x7 x8 | ... ]
+//!  ys: [ y0 y1 y2 | y3 y4 | y5 y6 y7 y8 | ... ]
+//!  ts: [ t0 t1 t2 | t3 t4 | t5 t6 t7 t8 | ... ]
+//!           traj 0 | traj 1 |    traj 2  | ...
+//!  offsets: [0, 3, 5, 9, ...]
+//! ```
+//!
+//! A point's *global id* ([`PointId`]) is simply its column index, so an
+//! index leaf can store bare `u32`s instead of `(TrajId, u32)` pairs, and a
+//! query engine tests containment with three contiguous loads. Trajectories
+//! are exposed as zero-copy [`TrajView`]s (three sub-slices), which
+//! implement the whole read-side API of [`Trajectory`].
+//!
+//! The store is **append-only**: whole trajectories via
+//! [`PointStore::push_traj`] / [`PointStore::push_points`], or point-at-a-
+//! time streaming ingestion via [`PointStore::begin_traj`] /
+//! [`PointStore::push_point`] / [`PointStore::end_traj`] (the access
+//! pattern of one-pass error-bounded streaming simplifiers). This layout is
+//! also the stepping stone to mmap persistence and sharded stores: the
+//! columns are plain `f64` runs with no interior pointers.
+
+use crate::bbox::Cube;
+use crate::db::{Simplification, TrajId, TrajectoryDb};
+use crate::point::Point;
+use crate::traj::Trajectory;
+
+/// Global identifier of a point inside a [`PointStore`]: its column index.
+pub type PointId = u32;
+
+/// A trajectory database stored as struct-of-arrays columns.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PointStore {
+    xs: Vec<f64>,
+    ys: Vec<f64>,
+    ts: Vec<f64>,
+    /// `offsets[id]..offsets[id + 1]` is trajectory `id`'s column range.
+    /// Always ends with the committed point count; points past the last
+    /// sentinel belong to a still-open streaming trajectory.
+    offsets: Vec<u32>,
+    /// True between [`PointStore::begin_traj`] and
+    /// [`PointStore::end_traj`].
+    open: bool,
+}
+
+impl PointStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self {
+            xs: Vec::new(),
+            ys: Vec::new(),
+            ts: Vec::new(),
+            offsets: vec![0],
+            open: false,
+        }
+    }
+
+    /// An empty store with room for `trajs` trajectories of `points` total
+    /// points.
+    #[must_use]
+    pub fn with_capacity(trajs: usize, points: usize) -> Self {
+        let mut offsets = Vec::with_capacity(trajs + 1);
+        offsets.push(0);
+        Self {
+            xs: Vec::with_capacity(points),
+            ys: Vec::with_capacity(points),
+            ts: Vec::with_capacity(points),
+            offsets,
+            open: false,
+        }
+    }
+
+    /// Converts an AoS database into columns (the compat path for `io`,
+    /// generators, and existing call sites).
+    #[must_use]
+    pub fn from_db(db: &TrajectoryDb) -> Self {
+        let mut store = Self::with_capacity(db.len(), db.total_points());
+        for (_, t) in db.iter() {
+            store.push_traj(t);
+        }
+        store
+    }
+
+    /// Materializes the columns back into an AoS [`TrajectoryDb`].
+    #[must_use]
+    pub fn to_db(&self) -> TrajectoryDb {
+        self.views()
+            .map(|v| Trajectory::from_sorted_unchecked(v.collect_points()))
+            .collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Append-only ingestion.
+    // ------------------------------------------------------------------
+
+    /// Appends an already-validated trajectory, returning its id.
+    pub fn push_traj(&mut self, t: &Trajectory) -> TrajId {
+        assert!(!self.open, "finish the open trajectory first");
+        for p in t.points() {
+            self.xs.push(p.x);
+            self.ys.push(p.y);
+            self.ts.push(p.t);
+        }
+        self.commit_traj()
+    }
+
+    /// Seals the points appended since the last sentinel as one
+    /// trajectory, enforcing the u32 global-id capacity loudly instead of
+    /// letting offsets wrap.
+    fn commit_traj(&mut self) -> TrajId {
+        assert!(
+            self.xs.len() < u32::MAX as usize,
+            "PointStore exceeds u32 point capacity; shard the store"
+        );
+        self.offsets.push(self.xs.len() as u32);
+        self.offsets.len() - 2
+    }
+
+    /// Appends a trajectory from raw points with the same validation as
+    /// [`Trajectory::new`] (non-empty, finite, time-ordered). On invalid
+    /// input nothing is appended and `None` is returned.
+    pub fn push_points(&mut self, pts: &[Point]) -> Option<TrajId> {
+        assert!(!self.open, "finish the open trajectory first");
+        if pts.is_empty()
+            || !pts.iter().all(Point::is_finite)
+            || pts.windows(2).any(|w| w[1].t < w[0].t)
+        {
+            return None;
+        }
+        for p in pts {
+            self.xs.push(p.x);
+            self.ys.push(p.y);
+            self.ts.push(p.t);
+        }
+        Some(self.commit_traj())
+    }
+
+    /// Appends a (possibly foreign) view as a new trajectory. Empty views
+    /// append nothing and return `None` — a zero-length trajectory would
+    /// break every store invariant. Debug builds also assert the view's
+    /// time order (views of a valid store always satisfy it).
+    pub fn push_view(&mut self, v: TrajView<'_>) -> Option<TrajId> {
+        assert!(!self.open, "finish the open trajectory first");
+        if v.is_empty() {
+            return None;
+        }
+        debug_assert!(v.ts.windows(2).all(|w| w[1] >= w[0]));
+        self.xs.extend_from_slice(v.xs);
+        self.ys.extend_from_slice(v.ys);
+        self.ts.extend_from_slice(v.ts);
+        Some(self.commit_traj())
+    }
+
+    /// Opens a new trajectory for streaming ingestion.
+    ///
+    /// # Panics
+    /// When a trajectory is already open.
+    pub fn begin_traj(&mut self) {
+        assert!(!self.open, "a trajectory is already open");
+        self.open = true;
+    }
+
+    /// Streams one point into the open trajectory. Returns `false` (and
+    /// appends nothing) when the point is non-finite or regresses in time
+    /// relative to the previous streamed point.
+    ///
+    /// # Panics
+    /// When no trajectory is open.
+    pub fn push_point(&mut self, p: Point) -> bool {
+        assert!(self.open, "begin_traj before push_point");
+        if !p.is_finite() {
+            return false;
+        }
+        if let Some(&last_t) = self.ts.last() {
+            // Only constrain against points of the *open* trajectory.
+            if self.xs.len() as u32 > *self.offsets.last().expect("sentinel") && p.t < last_t {
+                return false;
+            }
+        }
+        self.xs.push(p.x);
+        self.ys.push(p.y);
+        self.ts.push(p.t);
+        true
+    }
+
+    /// Closes the open trajectory, returning its id — or `None` (and
+    /// discarding nothing, as nothing was buffered) when no point was
+    /// streamed since [`PointStore::begin_traj`].
+    pub fn end_traj(&mut self) -> Option<TrajId> {
+        assert!(self.open, "no open trajectory");
+        self.open = false;
+        let committed = *self.offsets.last().expect("sentinel") as usize;
+        if self.xs.len() == committed {
+            return None;
+        }
+        Some(self.commit_traj())
+    }
+
+    // ------------------------------------------------------------------
+    // Shape.
+    // ------------------------------------------------------------------
+
+    /// Number of (committed) trajectories `M`.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.offsets.len() - 1
+    }
+
+    /// True when the store holds no committed trajectory.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.offsets.len() == 1
+    }
+
+    /// Total number of committed points `N`.
+    #[inline]
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        *self.offsets.last().expect("sentinel") as usize
+    }
+
+    /// The per-trajectory offset table (length `M + 1`, starts at 0).
+    #[inline]
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        &self.offsets
+    }
+
+    /// The x column (committed points).
+    #[inline]
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        &self.xs[..self.total_points()]
+    }
+
+    /// The y column (committed points).
+    #[inline]
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        &self.ys[..self.total_points()]
+    }
+
+    /// The t column (committed points).
+    #[inline]
+    #[must_use]
+    pub fn ts(&self) -> &[f64] {
+        &self.ts[..self.total_points()]
+    }
+
+    // ------------------------------------------------------------------
+    // Access.
+    // ------------------------------------------------------------------
+
+    /// Zero-copy view of trajectory `id`.
+    #[inline]
+    #[must_use]
+    pub fn view(&self, id: TrajId) -> TrajView<'_> {
+        let lo = self.offsets[id] as usize;
+        let hi = self.offsets[id + 1] as usize;
+        TrajView {
+            xs: &self.xs[lo..hi],
+            ys: &self.ys[lo..hi],
+            ts: &self.ts[lo..hi],
+        }
+    }
+
+    /// Iterator over all trajectory views in id order.
+    pub fn views(&self) -> impl Iterator<Item = TrajView<'_>> {
+        (0..self.len()).map(move |id| self.view(id))
+    }
+
+    /// Iterator over `(id, view)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (TrajId, TrajView<'_>)> {
+        (0..self.len()).map(move |id| (id, self.view(id)))
+    }
+
+    /// The point with global id `gid`.
+    #[inline]
+    #[must_use]
+    pub fn point(&self, gid: PointId) -> Point {
+        let i = gid as usize;
+        Point::new(self.xs[i], self.ys[i], self.ts[i])
+    }
+
+    /// Global column range of trajectory `id`.
+    #[inline]
+    #[must_use]
+    pub fn global_range(&self, id: TrajId) -> std::ops::Range<usize> {
+        self.offsets[id] as usize..self.offsets[id + 1] as usize
+    }
+
+    /// Global id of point `idx` of trajectory `id`.
+    #[inline]
+    #[must_use]
+    pub fn global_id(&self, id: TrajId, idx: u32) -> PointId {
+        self.offsets[id] + idx
+    }
+
+    /// The trajectory owning global point `gid` (binary search over the
+    /// offset table). For O(1) lookups in hot loops, materialize
+    /// [`PointStore::owner_column`] once instead.
+    #[must_use]
+    pub fn traj_of(&self, gid: PointId) -> TrajId {
+        debug_assert!((gid as usize) < self.total_points());
+        self.offsets.partition_point(|&o| o <= gid) - 1
+    }
+
+    /// Splits a global id into `(trajectory, local point index)`.
+    #[must_use]
+    pub fn locate(&self, gid: PointId) -> (TrajId, u32) {
+        let id = self.traj_of(gid);
+        (id, gid - self.offsets[id])
+    }
+
+    /// Materializes the owner column: `owners[gid]` = owning trajectory.
+    /// O(N) once, then O(1) per lookup — what the query engine uses to mark
+    /// result trajectories while scanning index leaves.
+    #[must_use]
+    pub fn owner_column(&self) -> Vec<u32> {
+        let mut owners = Vec::with_capacity(self.total_points());
+        for id in 0..self.len() {
+            owners.resize(self.offsets[id + 1] as usize, id as u32);
+        }
+        owners
+    }
+
+    /// Smallest cube covering every committed point: three straight-line
+    /// column scans instead of a pointer chase per trajectory (the fold
+    /// lives in [`TrajView::bounding_cube`], applied to the whole store).
+    #[must_use]
+    pub fn bounding_cube(&self) -> Cube {
+        TrajView {
+            xs: self.xs(),
+            ys: self.ys(),
+            ts: self.ts(),
+        }
+        .bounding_cube()
+    }
+
+    /// Time span covered by the whole store.
+    #[must_use]
+    pub fn time_span(&self) -> (f64, f64) {
+        let c = self.bounding_cube();
+        (c.t_min, c.t_max)
+    }
+
+    // ------------------------------------------------------------------
+    // Gathers.
+    // ------------------------------------------------------------------
+
+    /// Gathers the listed trajectories (in the given order) into a new
+    /// store — how training samples sub-databases without cloning
+    /// `Vec<Point>`s.
+    #[must_use]
+    pub fn gather_trajs(&self, ids: &[TrajId]) -> PointStore {
+        let points = ids.iter().map(|&id| self.view(id).len()).sum();
+        let mut out = PointStore::with_capacity(ids.len(), points);
+        for &id in ids {
+            // Views of a valid store are never empty.
+            let _ = out.push_view(self.view(id));
+        }
+        out
+    }
+
+    /// Gathers the kept points of `simp` into a new store (the columnar
+    /// `materialize`): one pass over the kept lists, no re-validation.
+    #[must_use]
+    pub fn gather(&self, simp: &Simplification) -> PointStore {
+        debug_assert_eq!(simp.len(), self.len());
+        if simp.total_points() == self.total_points() {
+            // Fully-kept fast path: the gather is the identity.
+            return self.clone();
+        }
+        let mut out = PointStore::with_capacity(self.len(), simp.total_points());
+        for id in 0..self.len() {
+            let base = self.offsets[id] as usize;
+            for &idx in simp.kept(id) {
+                let i = base + idx as usize;
+                out.xs.push(self.xs[i]);
+                out.ys.push(self.ys[i]);
+                out.ts.push(self.ts[i]);
+            }
+            out.offsets.push(out.xs.len() as u32);
+        }
+        out
+    }
+}
+
+impl From<&TrajectoryDb> for PointStore {
+    fn from(db: &TrajectoryDb) -> Self {
+        PointStore::from_db(db)
+    }
+}
+
+impl From<&PointStore> for TrajectoryDb {
+    fn from(store: &PointStore) -> Self {
+        store.to_db()
+    }
+}
+
+impl FromIterator<Trajectory> for PointStore {
+    fn from_iter<I: IntoIterator<Item = Trajectory>>(iter: I) -> Self {
+        let mut store = PointStore::new();
+        for t in iter {
+            store.push_traj(&t);
+        }
+        store
+    }
+}
+
+/// A zero-copy view of one trajectory inside a [`PointStore`]: three column
+/// sub-slices. `Copy`, 48 bytes, no allocation — this is what read paths
+/// take instead of `&Trajectory`.
+#[derive(Debug, Clone, Copy)]
+pub struct TrajView<'a> {
+    /// x coordinates.
+    pub xs: &'a [f64],
+    /// y coordinates.
+    pub ys: &'a [f64],
+    /// Timestamps (non-decreasing).
+    pub ts: &'a [f64],
+}
+
+impl<'a> TrajView<'a> {
+    /// Number of points.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.xs.len()
+    }
+
+    /// True when the view covers no points.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.xs.is_empty()
+    }
+
+    /// The `i`-th point, assembled from the columns.
+    #[inline]
+    #[must_use]
+    pub fn point(&self, i: usize) -> Point {
+        Point::new(self.xs[i], self.ys[i], self.ts[i])
+    }
+
+    /// First point.
+    #[inline]
+    #[must_use]
+    pub fn first(&self) -> Point {
+        self.point(0)
+    }
+
+    /// Last point.
+    #[inline]
+    #[must_use]
+    pub fn last(&self) -> Point {
+        self.point(self.len() - 1)
+    }
+
+    /// Time span `[t1, tn]`.
+    #[must_use]
+    pub fn time_span(&self) -> (f64, f64) {
+        (self.ts[0], self.ts[self.len() - 1])
+    }
+
+    /// Iterator over the points in time order.
+    pub fn points(&self) -> impl Iterator<Item = Point> + '_ {
+        (0..self.len()).map(move |i| self.point(i))
+    }
+
+    /// Materializes the view's points.
+    #[must_use]
+    pub fn collect_points(&self) -> Vec<Point> {
+        self.points().collect()
+    }
+
+    /// Materializes the view as an owned [`Trajectory`].
+    #[must_use]
+    pub fn to_trajectory(&self) -> Trajectory {
+        Trajectory::from_sorted_unchecked(self.collect_points())
+    }
+
+    /// Indices `[lo, hi]` (inclusive) of points with timestamps in
+    /// `[ts, te]`, or `None` when the window misses the view. The search
+    /// runs on the contiguous `ts` column.
+    #[must_use]
+    pub fn window_indices(&self, ts: f64, te: f64) -> Option<(usize, usize)> {
+        if ts > te {
+            return None;
+        }
+        let lo = self.ts.partition_point(|&t| t < ts);
+        let hi = self.ts.partition_point(|&t| t <= te);
+        if lo >= hi {
+            None
+        } else {
+            Some((lo, hi - 1))
+        }
+    }
+
+    /// The zero-copy sub-view restricted to the time window `[ts, te]`
+    /// (`T[ts, te]`); `None` when no sampled point falls inside.
+    #[must_use]
+    pub fn window(&self, ts: f64, te: f64) -> Option<TrajView<'a>> {
+        let (lo, hi) = self.window_indices(ts, te)?;
+        Some(self.slice(lo, hi + 1))
+    }
+
+    /// The sub-view over point indices `lo..hi`.
+    #[must_use]
+    pub fn slice(&self, lo: usize, hi: usize) -> TrajView<'a> {
+        TrajView {
+            xs: &self.xs[lo..hi],
+            ys: &self.ys[lo..hi],
+            ts: &self.ts[lo..hi],
+        }
+    }
+
+    /// Synchronized position at time `t` (linear interpolation, clamped to
+    /// the endpoints) — the view-side twin of
+    /// [`Trajectory::position_at`](crate::Trajectory::position_at),
+    /// delegating to the shared [`PointSeq`](crate::PointSeq)
+    /// implementation so both layouts interpolate identically.
+    #[must_use]
+    pub fn position_at(&self, t: f64) -> Point {
+        crate::seq::PointSeq::seq_position_at(self, t)
+    }
+
+    /// Smallest cube covering the view's points.
+    #[must_use]
+    pub fn bounding_cube(&self) -> Cube {
+        let mut c = Cube::empty();
+        for i in 0..self.len() {
+            c.x_min = c.x_min.min(self.xs[i]);
+            c.x_max = c.x_max.max(self.xs[i]);
+            c.y_min = c.y_min.min(self.ys[i]);
+            c.y_max = c.y_max.max(self.ys[i]);
+            c.t_min = c.t_min.min(self.ts[i]);
+            c.t_max = c.t_max.max(self.ts[i]);
+        }
+        c
+    }
+}
+
+/// A bitmap of kept points over a [`PointStore`]'s global ids — the
+/// query-time face of a [`Simplification`]: `contains(gid)` is one shift
+/// and mask instead of a per-trajectory binary search.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct KeptBitmap {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl KeptBitmap {
+    /// An all-zero bitmap over `n` points.
+    #[must_use]
+    pub fn zeros(n: usize) -> Self {
+        Self {
+            words: vec![0; n.div_ceil(64)],
+            len: n,
+        }
+    }
+
+    /// Number of point slots.
+    #[inline]
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when the bitmap covers no points.
+    #[inline]
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Marks global point `gid` as kept.
+    #[inline]
+    pub fn insert(&mut self, gid: PointId) {
+        self.words[gid as usize / 64] |= 1u64 << (gid % 64);
+    }
+
+    /// Clears global point `gid`.
+    #[inline]
+    pub fn remove(&mut self, gid: PointId) {
+        self.words[gid as usize / 64] &= !(1u64 << (gid % 64));
+    }
+
+    /// True when global point `gid` is kept.
+    #[inline]
+    #[must_use]
+    pub fn contains(&self, gid: PointId) -> bool {
+        self.words[gid as usize / 64] & (1u64 << (gid % 64)) != 0
+    }
+
+    /// Number of kept points.
+    #[must_use]
+    pub fn count(&self) -> usize {
+        self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DatasetSpec, Scale};
+
+    fn sample_db() -> TrajectoryDb {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 42)
+    }
+
+    #[test]
+    fn round_trips_through_columns() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        assert_eq!(store.len(), db.len());
+        assert_eq!(store.total_points(), db.total_points());
+        let back = store.to_db();
+        for (id, t) in db.iter() {
+            assert_eq!(back.get(id).points(), t.points());
+        }
+    }
+
+    #[test]
+    fn views_match_trajectories() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        for (id, t) in db.iter() {
+            let v = store.view(id);
+            assert_eq!(v.len(), t.len());
+            assert_eq!(v.first(), *t.first());
+            assert_eq!(v.last(), *t.last());
+            for i in 0..t.len() {
+                assert_eq!(v.point(i), *t.point(i));
+            }
+        }
+    }
+
+    #[test]
+    fn global_ids_locate_and_round_trip() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        let owners = store.owner_column();
+        for gid in 0..store.total_points() as u32 {
+            let (traj, idx) = store.locate(gid);
+            assert_eq!(owners[gid as usize] as usize, traj);
+            assert_eq!(store.global_id(traj, idx), gid);
+            assert_eq!(store.point(gid), *db.get(traj).point(idx as usize));
+        }
+    }
+
+    #[test]
+    fn bounding_cube_matches_aos() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        assert_eq!(store.bounding_cube(), db.bounding_cube());
+        assert_eq!(store.time_span(), db.time_span());
+    }
+
+    #[test]
+    fn streaming_ingestion_builds_trajectories() {
+        let mut store = PointStore::new();
+        store.begin_traj();
+        assert!(store.push_point(Point::new(0.0, 0.0, 0.0)));
+        assert!(store.push_point(Point::new(1.0, 1.0, 1.0)));
+        assert!(!store.push_point(Point::new(2.0, 2.0, 0.5)), "time regress");
+        assert!(!store.push_point(Point::new(f64::NAN, 0.0, 2.0)));
+        assert_eq!(store.end_traj(), Some(0));
+        assert_eq!(store.view(0).len(), 2);
+
+        // A fresh trajectory may restart time from zero.
+        store.begin_traj();
+        assert!(store.push_point(Point::new(5.0, 5.0, 0.0)));
+        assert_eq!(store.end_traj(), Some(1));
+        assert_eq!(store.len(), 2);
+
+        // Empty open trajectory commits nothing.
+        store.begin_traj();
+        assert_eq!(store.end_traj(), None);
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn push_points_validates_like_trajectory_new() {
+        let mut store = PointStore::new();
+        assert_eq!(store.push_points(&[]), None);
+        assert_eq!(
+            store.push_points(&[Point::new(0.0, 0.0, 5.0), Point::new(1.0, 1.0, 4.0)]),
+            None
+        );
+        assert_eq!(store.total_points(), 0, "failed pushes append nothing");
+        assert_eq!(
+            store.push_points(&[Point::new(0.0, 0.0, 5.0), Point::new(1.0, 1.0, 5.0)]),
+            Some(0)
+        );
+    }
+
+    #[test]
+    fn window_and_position_match_trajectory_semantics() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        for (id, t) in db.iter().take(4) {
+            let v = store.view(id);
+            let (t0, t1) = t.time_span();
+            let mid = 0.5 * (t0 + t1);
+            assert_eq!(v.window_indices(t0, mid), t.window_indices(t0, mid));
+            assert_eq!(v.window_indices(t1 + 1.0, t1 + 2.0), None);
+            for probe in [t0 - 10.0, t0, mid, t1, t1 + 10.0] {
+                assert_eq!(v.position_at(probe), t.position_at(probe));
+            }
+            if let Some(w) = v.window(t0, mid) {
+                let tw = t.window(t0, mid).unwrap();
+                assert_eq!(w.collect_points(), tw.points());
+            }
+        }
+    }
+
+    #[test]
+    fn gather_trajs_subsets_without_cloning_points() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        let ids = vec![2usize, 0];
+        let sub = store.gather_trajs(&ids);
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.view(0).collect_points(), store.view(2).collect_points());
+        assert_eq!(sub.view(1).collect_points(), store.view(0).collect_points());
+    }
+
+    #[test]
+    fn gather_simplification_matches_materialize() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        let mut simp = Simplification::most_simplified(&db);
+        for (id, t) in db.iter() {
+            for idx in (0..t.len() as u32).step_by(3) {
+                simp.insert(id, idx);
+            }
+        }
+        let gathered = store.gather(&simp);
+        let materialized = simp.materialize(&db);
+        assert_eq!(gathered.len(), materialized.len());
+        for (id, t) in materialized.iter() {
+            assert_eq!(gathered.view(id).collect_points(), t.points());
+        }
+    }
+
+    #[test]
+    fn gather_full_simplification_is_identity() {
+        let db = sample_db();
+        let store = PointStore::from_db(&db);
+        let full = Simplification::full(&db);
+        assert_eq!(store.gather(&full), store);
+    }
+
+    #[test]
+    fn bitmap_sets_and_clears() {
+        let mut b = KeptBitmap::zeros(130);
+        assert_eq!(b.len(), 130);
+        assert!(!b.contains(129));
+        b.insert(129);
+        b.insert(0);
+        b.insert(64);
+        assert!(b.contains(129) && b.contains(0) && b.contains(64));
+        assert_eq!(b.count(), 3);
+        b.remove(64);
+        assert!(!b.contains(64));
+        assert_eq!(b.count(), 2);
+    }
+}

@@ -168,6 +168,80 @@ proptest! {
     }
 
     #[test]
+    fn store_round_trips_any_database(
+        trajs in prop::collection::vec(arb_trajectory(), 1..8)
+    ) {
+        // PointStore ↔ Vec<Trajectory> is lossless: every coordinate of
+        // every point survives the SoA conversion bit-exactly.
+        let db = TrajectoryDb::new(trajs);
+        let store = db.to_store();
+        prop_assert_eq!(store.len(), db.len());
+        prop_assert_eq!(store.total_points(), db.total_points());
+        let back = store.to_db();
+        for (id, t) in db.iter() {
+            prop_assert_eq!(back.get(id).points(), t.points());
+            let v = store.view(id);
+            for i in 0..t.len() {
+                prop_assert_eq!(v.point(i), *t.point(i));
+            }
+        }
+        prop_assert_eq!(back.to_store(), store, "second conversion is stable");
+    }
+
+    #[test]
+    fn views_answer_reads_identically_to_trajectories(
+        (trajs, f0, f1) in (prop::collection::vec(arb_trajectory(), 1..5), 0.0..1.0f64, 0.0..1.0f64)
+    ) {
+        let db = TrajectoryDb::new(trajs);
+        let store = db.to_store();
+        for (id, t) in db.iter() {
+            let v = store.view(id);
+            let (t0, t1) = t.time_span();
+            prop_assert_eq!(v.time_span(), (t0, t1));
+            let (lo, hi) = if f0 <= f1 { (f0, f1) } else { (f1, f0) };
+            let (ws, we) = (t0 + lo * (t1 - t0), t0 + hi * (t1 - t0));
+            prop_assert_eq!(v.window_indices(ws, we), t.window_indices(ws, we));
+            prop_assert_eq!(v.bounding_cube(), t.bounding_cube());
+        }
+    }
+
+    #[test]
+    fn gather_equals_materialize(
+        (trajs, step) in (prop::collection::vec(arb_trajectory(), 1..6), 2usize..7)
+    ) {
+        let db = TrajectoryDb::new(trajs);
+        let store = db.to_store();
+        let kepts: Vec<Vec<u32>> = db
+            .trajectories()
+            .iter()
+            .map(|t| {
+                let n = t.len() as u32;
+                let mut ks: Vec<u32> = (0..n).step_by(step).collect();
+                if *ks.last().unwrap() != n - 1 {
+                    ks.push(n - 1);
+                }
+                ks
+            })
+            .collect();
+        let simp = Simplification::from_kept(&db, kepts);
+        let gathered = simp.materialize_store(&store);
+        let materialized = simp.materialize(&db);
+        prop_assert_eq!(gathered, materialized.to_store(),
+            "column gather must equal AoS materialize");
+        // The bitmap view agrees with per-trajectory membership.
+        let bitmap = simp.to_bitmap(&store);
+        prop_assert_eq!(bitmap.count(), simp.total_points());
+        for (id, t) in db.iter() {
+            for idx in 0..t.len() as u32 {
+                prop_assert_eq!(
+                    bitmap.contains(store.global_id(id, idx)),
+                    simp.contains(id, idx)
+                );
+            }
+        }
+    }
+
+    #[test]
     fn csv_round_trip_preserves_structure(traj in arb_trajectory()) {
         let db = TrajectoryDb::new(vec![traj]);
         let mut buf = Vec::new();

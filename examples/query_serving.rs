@@ -115,9 +115,10 @@ fn main() {
         .collect();
     println!("similarity query F1:  {:.3}", mean_f1(&sim_scores));
 
-    // 4. TRACLUS clustering (co-clustered trajectory pairs).
+    // 4. TRACLUS clustering (co-clustered trajectory pairs). TRACLUS is
+    // the one AoS consumer left, so materialize from the engines' columns.
     let params = TraclusParams::default();
-    let truth = traclus(truth_engine.db(), &params).co_clustered_pairs();
-    let ours = traclus(served_engine.db(), &params).co_clustered_pairs();
+    let truth = traclus(&truth_engine.store().to_db(), &params).co_clustered_pairs();
+    let ours = traclus(&served_engine.store().to_db(), &params).co_clustered_pairs();
     println!("clustering pair F1:   {:.3}", f1_pairs(&truth, &ours).f1);
 }
