@@ -9,7 +9,7 @@ use rand::SeedableRng;
 use tiny_rl::Dqn;
 use traj_index::{CubeIndex, NodeId};
 use traj_query::QueryEngine;
-use trajectory::{Cube, PointStore, Simplification, TrajectoryDb};
+use trajectory::{AsColumns, Cube, Simplification, TrajectoryDb};
 
 /// The RL4QDTS simplifier: a trained Agent-Cube and Agent-Point pair plus
 /// their hyperparameters. Produced by [`crate::trainer::train`] (or
@@ -100,10 +100,10 @@ impl Rl4Qdts {
     }
 
     /// Algorithm 1 against an already-built, query-assigned index over the
-    /// columnar `store`.
-    pub fn simplify_with_index<I: CubeIndex + ?Sized>(
+    /// columnar `store` (owned or mapped — anything [`AsColumns`]).
+    pub fn simplify_with_index<S: AsColumns + ?Sized, I: CubeIndex + ?Sized>(
         &self,
-        store: &PointStore,
+        store: &S,
         budget: usize,
         tree: &I,
         seed: u64,
@@ -193,7 +193,7 @@ impl Rl4Qdts {
 /// Deterministically inserts not-yet-kept points (highest-SED first per
 /// trajectory, round-robin) until `budget` is reached. Only used as the
 /// exhaustion fallback; normal operation inserts via the agents.
-fn fill_remaining(store: &PointStore, simp: &mut Simplification, budget: usize) {
+fn fill_remaining<S: AsColumns + ?Sized>(store: &S, simp: &mut Simplification, budget: usize) {
     use crate::point_agent::point_value;
     use traj_index::PointRef;
     let mut total = simp.total_points();

@@ -8,7 +8,7 @@
 
 use crate::config::Rl4QdtsConfig;
 use traj_index::{CubeIndex, NodeId, PointRef};
-use trajectory::{error::sed, geom, PointStore, Simplification};
+use trajectory::{error::sed, geom, AsColumns, Simplification};
 
 /// One nominated insertion candidate.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -37,7 +37,11 @@ pub struct PointState {
 /// segment in the simplified database. Returns `None` when the point is
 /// already inserted (kept points are excluded from the state definition).
 /// Point lookups are column reads on the store's zero-copy view.
-pub fn point_value(store: &PointStore, simp: &Simplification, r: PointRef) -> Option<(f64, f64)> {
+pub fn point_value<S: AsColumns + ?Sized>(
+    store: &S,
+    simp: &Simplification,
+    r: PointRef,
+) -> Option<(f64, f64)> {
     let (s, e) = simp.anchor(r.traj, r.idx);
     if s == e {
         return None; // already in D'
@@ -57,8 +61,8 @@ pub fn point_value(store: &PointStore, simp: &Simplification, r: PointRef) -> Op
 /// nominated (Eq. 7); the global state takes the `K` nominations with the
 /// largest `v_s` (Eq. 8). Returns `None` when the cube holds no insertable
 /// point at all.
-pub fn point_state<I: CubeIndex + ?Sized>(
-    store: &PointStore,
+pub fn point_state<S: AsColumns + ?Sized, I: CubeIndex + ?Sized>(
+    store: &S,
     simp: &Simplification,
     tree: &I,
     cube: NodeId,
@@ -109,7 +113,7 @@ pub fn point_state<I: CubeIndex + ?Sized>(
 mod tests {
     use super::*;
     use traj_index::{Octree, OctreeConfig};
-    use trajectory::{Point, Trajectory, TrajectoryDb};
+    use trajectory::{Point, PointStore, Trajectory, TrajectoryDb};
 
     /// Two trajectories; t1 has a large detour at index 2, t2 a small one.
     fn setup() -> (PointStore, Octree, Simplification) {

@@ -16,7 +16,7 @@ use rand::seq::SliceRandom;
 use rand::SeedableRng;
 use tiny_rl::{Dqn, Transition};
 use traj_query::{range_workload_store, QueryEngine, RangeWorkloadSpec};
-use trajectory::{PointStore, Simplification, TrajectoryDb};
+use trajectory::{AsColumns, PointStore, Simplification, TrajectoryDb};
 
 /// Training-loop configuration.
 #[derive(Debug, Clone, Copy)]

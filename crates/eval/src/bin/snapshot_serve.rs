@@ -1,0 +1,99 @@
+//! `snapshot` / `serve`: persist a trajectory database once, then serve
+//! queries straight from the mapped file.
+//!
+//! ```text
+//! snapshot_serve snapshot [--csv FILE] [--out FILE.snap] [--scale smoke|small|paper]
+//!                         [--ratio R] [--seed N]
+//! snapshot_serve serve    [--snap FILE.snap] [--queries N] [--seed N]
+//! ```
+
+use std::path::PathBuf;
+
+use qdts_eval::serving::{serve_task, snapshot_task, SnapshotSource};
+use trajectory::gen::Scale;
+
+fn usage() -> ! {
+    eprintln!(
+        "usage:\n  snapshot_serve snapshot [--csv FILE] [--out FILE.snap] \
+         [--scale smoke|small|paper] [--ratio R] [--seed N]\n  \
+         snapshot_serve serve [--snap FILE.snap] [--queries N] [--seed N]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let task = args.next().unwrap_or_else(|| usage());
+    let rest: Vec<String> = args.collect();
+    let result = match task.as_str() {
+        "snapshot" => run_snapshot(&rest),
+        "serve" => run_serve(&rest),
+        _ => usage(),
+    };
+    if let Err(e) = result {
+        eprintln!("error: {e}");
+        std::process::exit(1);
+    }
+}
+
+fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
+    rest.iter()
+        .position(|a| a == flag)
+        .and_then(|i| rest.get(i + 1))
+        .map(String::as_str)
+}
+
+fn run_snapshot(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let out = PathBuf::from(flag_value(rest, "--out").unwrap_or("db.snap"));
+    let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
+    let ratio: Option<f64> = flag_value(rest, "--ratio").map(str::parse).transpose()?;
+    let source = match flag_value(rest, "--csv") {
+        Some(csv) => SnapshotSource::Csv(PathBuf::from(csv)),
+        None => {
+            let scale: Scale = flag_value(rest, "--scale").unwrap_or("small").parse()?;
+            SnapshotSource::Synthetic(scale)
+        }
+    };
+    let r = snapshot_task(&source, ratio, &out, seed)?;
+    println!("== snapshot task ==");
+    println!(
+        "ingested  {} trajectories / {} points in {:.3}s",
+        r.trajectories, r.points, r.ingest_seconds
+    );
+    if let Some(kept) = r.kept_points {
+        println!(
+            "simplified to {kept} kept points ({:.1}%) in {:.3}s",
+            100.0 * kept as f64 / r.points as f64,
+            r.simplify_seconds
+        );
+    }
+    println!(
+        "wrote {} ({} bytes) in {:.3}s",
+        out.display(),
+        r.file_bytes,
+        r.write_seconds
+    );
+    Ok(())
+}
+
+fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
+    let snap = PathBuf::from(flag_value(rest, "--snap").unwrap_or("db.snap"));
+    let queries: usize = flag_value(rest, "--queries").unwrap_or("100").parse()?;
+    let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
+    let r = serve_task(&snap, queries, seed)?;
+    println!("== serve task ({}) ==", snap.display());
+    println!(
+        "mapped {} trajectories / {} points in {:.6}s (zero-copy open)",
+        r.trajectories, r.points, r.open_seconds
+    );
+    println!("octree over mapped columns in {:.3}s", r.index_seconds);
+    println!(
+        "{} range queries on full DB in {:.4}s ({} result ids)",
+        r.queries, r.full_batch_seconds, r.full_result_ids
+    );
+    match r.simplified_batch_seconds {
+        Some(s) => println!("{} range queries on kept bitmap (D') in {s:.4}s", r.queries),
+        None => println!("no kept bitmap in snapshot (full database only)"),
+    }
+    Ok(())
+}

@@ -6,6 +6,8 @@
 //! - [`suite`]: the 25 EDTS baselines plus RL4QDTS behind one interface;
 //! - [`skyline`]: Pareto skyline selection (Fig. 3's methodology);
 //! - [`experiments`]: one module per table/figure;
+//! - [`serving`]: the `snapshot` / `serve` persistence pipeline (CSV →
+//!   snapshot once, then query from the mapping);
 //! - [`args`], [`table`]: CLI parsing and plain-text table rendering.
 //!
 //! Each experiment is exposed both as a library function (tested at smoke
@@ -18,6 +20,7 @@
 pub mod args;
 pub mod experiments;
 pub mod heatmap;
+pub mod serving;
 pub mod skyline;
 pub mod suite;
 pub mod table;

@@ -1,0 +1,254 @@
+//! The `snapshot` / `serve` tasks: CSV → snapshot once, then query
+//! straight from the mapping.
+//!
+//! This is the operational pipeline the snapshot format exists for. The
+//! **snapshot** task pays the expensive ingestion exactly once — parse
+//! CSV (or generate a synthetic database), optionally simplify to a
+//! budget, write one `.snap` file. The **serve** task then stands up a
+//! query engine from that file: `MappedStore::open` copies and decodes
+//! nothing (its one full-file pass is the checksum verification),
+//! the octree build walks the mapped columns directly, and range
+//! workloads execute with zero deserialization — including against the
+//! simplified database via the file's kept bitmap.
+//!
+//! Both tasks are exposed as library functions (smoke-tested) and
+//! through the `snapshot_serve` binary:
+//!
+//! ```text
+//! cargo run -p qdts-eval --release --bin snapshot_serve -- \
+//!     snapshot --out /tmp/tdrive.snap --scale small --ratio 0.25
+//! cargo run -p qdts-eval --release --bin snapshot_serve -- \
+//!     serve --snap /tmp/tdrive.snap --queries 100
+//! ```
+
+use std::path::Path;
+use std::time::Instant;
+
+use traj_query::{
+    range_workload_store, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
+};
+use traj_simp::{Simplifier, Uniform};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::io::read_csv_store;
+use trajectory::snapshot::{write_snapshot_with, MappedStore};
+use trajectory::{AsColumns, PointStore};
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Where the `snapshot` task's database comes from.
+#[derive(Debug, Clone)]
+pub enum SnapshotSource {
+    /// Parse a `traj_id,x,y,t` CSV file.
+    Csv(std::path::PathBuf),
+    /// Generate a T-Drive-shaped synthetic database at `scale`.
+    Synthetic(Scale),
+}
+
+/// What the `snapshot` task produced.
+#[derive(Debug, Clone)]
+pub struct SnapshotReport {
+    /// Trajectories in the store.
+    pub trajectories: usize,
+    /// Total points in the store.
+    pub points: usize,
+    /// Points the kept bitmap selects, when a simplification was applied.
+    pub kept_points: Option<usize>,
+    /// Size of the written snapshot file in bytes.
+    pub file_bytes: u64,
+    /// Seconds spent acquiring the store (CSV parse or generation).
+    pub ingest_seconds: f64,
+    /// Seconds spent simplifying (0 when `ratio` is `None`).
+    pub simplify_seconds: f64,
+    /// Seconds spent writing the snapshot.
+    pub write_seconds: f64,
+}
+
+/// The `snapshot` task: acquire a database, optionally simplify it to
+/// `ratio · N` points (uniform baseline — the cheapest simplifier; swap
+/// in RL4QDTS offline), and persist everything as one snapshot file.
+pub fn snapshot_task(
+    source: &SnapshotSource,
+    ratio: Option<f64>,
+    out: &Path,
+    seed: u64,
+) -> Result<SnapshotReport, Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let store: PointStore = match source {
+        SnapshotSource::Csv(path) => read_csv_store(std::fs::File::open(path)?)?,
+        SnapshotSource::Synthetic(scale) => {
+            generate(&DatasetSpec::tdrive(*scale).with_trajectories(1000), seed).to_store()
+        }
+    };
+    let ingest_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let (kept, kept_points, simplify_seconds) = match ratio {
+        Some(r) => {
+            let budget = ((store.total_points() as f64 * r) as usize).max(1);
+            let simp = Uniform.simplify_store(&store, budget);
+            let kept_points = simp.total_points();
+            (
+                Some(simp.to_bitmap(&store)),
+                Some(kept_points),
+                t1.elapsed().as_secs_f64(),
+            )
+        }
+        None => (None, None, 0.0),
+    };
+
+    let t2 = Instant::now();
+    write_snapshot_with(&store, kept.as_ref(), out)?;
+    let write_seconds = t2.elapsed().as_secs_f64();
+
+    Ok(SnapshotReport {
+        trajectories: store.len(),
+        points: store.total_points(),
+        kept_points,
+        file_bytes: std::fs::metadata(out)?.len(),
+        ingest_seconds,
+        simplify_seconds,
+        write_seconds,
+    })
+}
+
+/// What the `serve` task measured.
+#[derive(Debug, Clone)]
+pub struct ServeReport {
+    /// Trajectories served.
+    pub trajectories: usize,
+    /// Points served.
+    pub points: usize,
+    /// Seconds from path to validated, query-ready mapping.
+    pub open_seconds: f64,
+    /// Seconds spent building the octree over the mapped columns.
+    pub index_seconds: f64,
+    /// Number of range queries executed.
+    pub queries: usize,
+    /// Seconds for the whole query batch against the full database.
+    pub full_batch_seconds: f64,
+    /// Seconds for the batch against the kept bitmap (`None` when the
+    /// snapshot carries no simplification).
+    pub simplified_batch_seconds: Option<f64>,
+    /// Total result-set size over the full-database batch (a cheap
+    /// fingerprint for cross-checking serving paths).
+    pub full_result_ids: usize,
+}
+
+/// The `serve` task: open a snapshot, build an engine **over the
+/// mapping**, and execute a data-distribution range workload — against
+/// the full columns, and additionally against the kept bitmap when the
+/// file carries one.
+pub fn serve_task(
+    snap: &Path,
+    queries: usize,
+    seed: u64,
+) -> Result<ServeReport, Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let mapped = MappedStore::open(snap)?;
+    let open_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let engine = QueryEngine::over_mapped(&mapped, EngineConfig::octree());
+    let index_seconds = t1.elapsed().as_secs_f64();
+
+    let spec = RangeWorkloadSpec::paper_default(queries, QueryDistribution::Data);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let workload = range_workload_store(&mapped, &spec, &mut rng);
+
+    let t2 = Instant::now();
+    let full = engine.range_batch(&workload);
+    let full_batch_seconds = t2.elapsed().as_secs_f64();
+    let full_result_ids = full.iter().map(Vec::len).sum();
+
+    let simplified_batch_seconds = mapped.kept_bitmap().map(|bitmap| {
+        let t3 = Instant::now();
+        for q in &workload {
+            std::hint::black_box(engine.range_kept(&bitmap, q));
+        }
+        t3.elapsed().as_secs_f64()
+    });
+
+    Ok(ServeReport {
+        trajectories: mapped.offsets().len() - 1,
+        points: AsColumns::total_points(&mapped),
+        open_seconds,
+        index_seconds,
+        queries: workload.len(),
+        full_batch_seconds,
+        simplified_batch_seconds,
+        full_result_ids,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use traj_query::range_query_store;
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qdts_eval_serving_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn snapshot_then_serve_round_trips_at_smoke_scale() {
+        let path = temp("smoke.snap");
+        let report = snapshot_task(
+            &SnapshotSource::Synthetic(Scale::Smoke),
+            Some(0.3),
+            &path,
+            7,
+        )
+        .unwrap();
+        assert!(report.points > 0);
+        let kept = report.kept_points.unwrap();
+        assert!(kept > 0 && kept <= (report.points * 3) / 10 + 2 * report.trajectories);
+        assert_eq!(report.file_bytes, std::fs::metadata(&path).unwrap().len());
+
+        let served = serve_task(&path, 20, 11).unwrap();
+        assert_eq!(served.points, report.points);
+        assert_eq!(served.trajectories, report.trajectories);
+        assert_eq!(served.queries, 20);
+        assert!(served.simplified_batch_seconds.is_some());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn served_results_match_owned_store_results() {
+        // The acceptance bar: a database written with write_snapshot is
+        // served over a MappedStore with byte-identical query results to
+        // the owned store.
+        let store = generate(&DatasetSpec::tdrive(Scale::Smoke), 3).to_store();
+        let path = temp("parity.snap");
+        trajectory::snapshot::write_snapshot(&store, &path).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+
+        let spec = RangeWorkloadSpec::paper_default(25, QueryDistribution::Data);
+        let workload = range_workload_store(&store, &spec, &mut StdRng::seed_from_u64(5));
+        let owned_engine = QueryEngine::over_store(&store, EngineConfig::octree());
+        let mapped_engine = QueryEngine::over_mapped(&mapped, EngineConfig::octree());
+        for q in &workload {
+            assert_eq!(owned_engine.range(q), mapped_engine.range(q));
+            assert_eq!(mapped_engine.range(q), range_query_store(&store, q));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn csv_source_feeds_the_pipeline() {
+        let db = generate(&DatasetSpec::geolife(Scale::Smoke), 13);
+        let csv = temp("source.csv");
+        trajectory::io::write_csv_file(&db, &csv).unwrap();
+        let snap = temp("from_csv.snap");
+        let report = snapshot_task(&SnapshotSource::Csv(csv.clone()), None, &snap, 1).unwrap();
+        assert_eq!(report.trajectories, db.len());
+        assert_eq!(report.points, db.total_points());
+        assert_eq!(report.kept_points, None);
+        let served = serve_task(&snap, 5, 2).unwrap();
+        assert!(served.simplified_batch_seconds.is_none());
+        std::fs::remove_file(&csv).ok();
+        std::fs::remove_file(&snap).ok();
+    }
+}

@@ -9,7 +9,7 @@ use traj_query::workload::{
     range_workload, traj_query_workload, QueryDistribution, RangeWorkloadSpec,
 };
 use traj_query::{f1_pairs, f1_sets, mean_f1, EngineConfig, F1Score, QueryEngine};
-use trajectory::{Cube, Trajectory, TrajectoryDb};
+use trajectory::{AsColumns, Cube, Trajectory, TrajectoryDb};
 
 /// Parameters of the evaluation workloads, defaulting to the paper's
 /// setup: range 2 km × 2 km × 7 days, kNN k = 3 over 7-day windows with
@@ -302,14 +302,10 @@ fn eval_similarity(
     mean_f1(&scores)
 }
 
-fn eval_clustering(
-    original: &trajectory::PointStore,
-    simplified: &trajectory::PointStore,
-    tasks: &QueryTasks,
-) -> f64 {
+fn eval_clustering<S: AsColumns + ?Sized>(original: &S, simplified: &S, tasks: &QueryTasks) -> f64 {
     let cap = tasks.params.cluster_cap;
     // TRACLUS consumes AoS trajectories; materialize only the capped head.
-    let head = |store: &trajectory::PointStore| -> TrajectoryDb {
+    let head = |store: &S| -> TrajectoryDb {
         store.views().take(cap).map(|v| v.to_trajectory()).collect()
     };
     let truth = traclus(&head(original), &tasks.params.traclus).co_clustered_pairs();

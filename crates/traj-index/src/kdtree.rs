@@ -10,13 +10,13 @@
 //! the two.
 //!
 //! Like the octree, the tree is built over a columnar
-//! [`PointStore`] and its leaves hold bare global [`PointId`]s.
+//! [`trajectory::PointStore`] and its leaves hold bare global [`PointId`]s.
 
 use crate::octree::{group_by_trajectory, LeafSlab, NodeId, PackedPoints};
 use crate::traits::CubeIndex;
 use rand::rngs::StdRng;
 use rand::Rng;
-use trajectory::{Cube, Point, PointId, PointStore, TrajId, TrajectoryDb};
+use trajectory::{AsColumns, Cube, Point, PointId, TrajId, TrajectoryDb};
 
 /// One node of the median tree.
 #[derive(Debug, Clone)]
@@ -63,8 +63,10 @@ pub struct MedianTree {
 impl MedianTree {
     /// Builds the tree over all points of a columnar `store`. Leaves are
     /// packed into contiguous coordinate runs as the recursion bottoms
-    /// out (the recursion visits leaves in DFS order).
-    pub fn build(store: &PointStore, config: MedianTreeConfig) -> Self {
+    /// out (the recursion visits leaves in DFS order). Like
+    /// [`crate::Octree::build`], the build is generic over [`AsColumns`],
+    /// so owned and mmap-backed stores index identically.
+    pub fn build<S: AsColumns + ?Sized>(store: &S, config: MedianTreeConfig) -> Self {
         let mut cube = store.bounding_cube();
         if cube.is_empty() {
             cube = Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0);
@@ -368,6 +370,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use trajectory::gen::{generate, DatasetSpec, Scale};
+    use trajectory::PointStore;
 
     fn store() -> PointStore {
         generate(&DatasetSpec::geolife(Scale::Smoke), 71).to_store()

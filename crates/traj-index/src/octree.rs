@@ -6,7 +6,7 @@
 //! distinct trajectories with a point in the cube (`M_B`) and the number of
 //! workload queries intersecting the cube (`Q_B`).
 //!
-//! The tree is built directly over a columnar [`PointStore`] and finishes
+//! The tree is built directly over a columnar [`trajectory::PointStore`] and finishes
 //! with a *packing* pass: every leaf's points are laid out contiguously in
 //! leaf-major coordinate/owner arrays ([`LeafSlab`]), so a range query
 //! scans each intersecting leaf as straight `f64` runs — no per-point
@@ -17,7 +17,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use trajectory::{Cube, PointId, PointStore, TrajId, TrajectoryDb};
+use trajectory::{AsColumns, Cube, PointId, TrajId, TrajectoryDb};
 
 /// Index of a node in the octree arena.
 pub type NodeId = u32;
@@ -190,7 +190,12 @@ impl Octree {
     /// recursion; `M_B` falls out of the scatter as a run count — global
     /// ids are trajectory-major, so a node's ascending id list groups each
     /// trajectory into one consecutive run.
-    pub fn build(store: &PointStore, config: OctreeConfig) -> Self {
+    ///
+    /// The build is generic over [`AsColumns`], so it runs identically
+    /// over an owned `PointStore`, a borrowed one, or an mmap-backed
+    /// [`trajectory::MappedStore`] — the index never holds the store, only
+    /// a copy of its offset table.
+    pub fn build<S: AsColumns + ?Sized>(store: &S, config: OctreeConfig) -> Self {
         let mut cube = store.bounding_cube();
         if cube.is_empty() {
             cube = Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0);
@@ -225,7 +230,7 @@ impl Octree {
     /// slices; `traj_count` (`M_B`) was computed by the parent's scatter.
     /// Leaves pack their points into the leaf-major [`LeafSlab`] arrays.
     #[allow(clippy::too_many_arguments)]
-    fn build_node(
+    fn build_node<S: AsColumns + ?Sized>(
         &mut self,
         gids: &mut [PointId],
         aux: &mut [PointId],
@@ -233,7 +238,7 @@ impl Octree {
         cube: Cube,
         depth: u32,
         traj_count: u32,
-        store: &PointStore,
+        store: &S,
         owners: &[u32],
     ) -> NodeId {
         let id = self.nodes.len() as NodeId;
@@ -550,7 +555,7 @@ mod tests {
     use super::*;
     use rand::SeedableRng;
     use trajectory::gen::{generate, DatasetSpec, Scale};
-    use trajectory::{Point, Trajectory};
+    use trajectory::{Point, PointStore, Trajectory};
 
     fn small_store() -> PointStore {
         generate(&DatasetSpec::geolife(Scale::Smoke), 7).to_store()

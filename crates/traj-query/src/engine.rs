@@ -17,13 +17,15 @@
 //! re-introduced, turning the per-window reward from a full O(W·N) rescan
 //! into O(W) bookkeeping per insertion.
 
-use std::borrow::Cow;
 use std::collections::HashMap;
 
 use traj_index::{
     CubeIndex, MedianTree, MedianTreeConfig, NodeId, Octree, OctreeConfig, SpatioTemporalIndex,
 };
-use trajectory::{Cube, KeptBitmap, Point, PointStore, Simplification, TrajId, TrajectoryDb};
+use trajectory::{
+    AsColumns, Cube, KeptBitmap, MappedStore, Point, PointStore, Simplification, StoreRef, TrajId,
+    TrajectoryDb,
+};
 
 use crate::knn::KnnQuery;
 use crate::metrics::{f1_sets, F1Score};
@@ -125,16 +127,20 @@ enum IndexBackend {
     MedianKd(MedianTree),
 }
 
-/// Owns (or borrows) a columnar [`PointStore`] plus an index over it, and
-/// executes all query types through one pruned, parallel path.
+/// Owns (or borrows) a columnar store — heap-backed [`PointStore`] or
+/// mmap-backed [`MappedStore`], behind a [`StoreRef`] — plus an index over
+/// it, and executes all query types through one pruned, parallel path.
 ///
 /// Construction is the only O(N log N) step; afterwards each range query
 /// touches only the index nodes intersecting its cube, and every point
 /// test is three contiguous column loads. The engine is the seam every
 /// consumer goes through: training rewards (`rl4qdts`), the evaluation
-/// suite, the benchmarks, and the serving examples.
+/// suite, the benchmarks, and the serving examples. Because every access
+/// goes through [`AsColumns`], a snapshot file opened with
+/// [`MappedStore::open`] serves queries with zero deserialization
+/// ([`QueryEngine::from_mapped`] / [`QueryEngine::over_mapped`]).
 pub struct QueryEngine<'a> {
-    store: Cow<'a, PointStore>,
+    store: StoreRef<'a>,
     /// `owners[gid]` = trajectory owning global point `gid`. Only
     /// [`QueryEngine::range_kept`]'s scan-backend sweep needs it (indexed
     /// paths read the packed per-leaf owner runs instead), so it is built
@@ -165,7 +171,21 @@ impl QueryEngine<'static> {
     pub fn from_store(store: PointStore, config: EngineConfig) -> Self {
         let backend = build_backend(&store, config);
         Self {
-            store: Cow::Owned(store),
+            store: StoreRef::Owned(store),
+            owners: std::sync::OnceLock::new(),
+            backend,
+            config,
+        }
+    }
+
+    /// Builds an engine owning an mmap-backed store: queries execute
+    /// straight off the file mapping, so cold start is the index build
+    /// alone — no CSV parse, no column deserialization.
+    #[must_use]
+    pub fn from_mapped(store: MappedStore, config: EngineConfig) -> Self {
+        let backend = build_backend(&store, config);
+        Self {
+            store: StoreRef::Mapped(store),
             owners: std::sync::OnceLock::new(),
             backend,
             config,
@@ -180,17 +200,33 @@ impl<'a> QueryEngine<'a> {
     pub fn over_store(store: &'a PointStore, config: EngineConfig) -> Self {
         let backend = build_backend(store, config);
         Self {
-            store: Cow::Borrowed(store),
+            store: StoreRef::Borrowed(store),
             owners: std::sync::OnceLock::new(),
             backend,
             config,
         }
     }
 
-    /// The underlying columnar storage.
+    /// Builds an engine borrowing an mmap-backed store (zero copy; same
+    /// execution paths as [`QueryEngine::over_store`]).
+    #[must_use]
+    pub fn over_mapped(store: &'a MappedStore, config: EngineConfig) -> Self {
+        let backend = build_backend(store, config);
+        Self {
+            store: StoreRef::MappedRef(store),
+            owners: std::sync::OnceLock::new(),
+            backend,
+            config,
+        }
+    }
+
+    /// The underlying columnar storage (owned, borrowed, or mapped). All
+    /// read access goes through [`AsColumns`]; call
+    /// [`StoreRef::as_point_store`] when a heap-backed store specifically
+    /// is required.
     #[inline]
     #[must_use]
-    pub fn store(&self) -> &PointStore {
+    pub fn store(&self) -> &StoreRef<'a> {
         &self.store
     }
 
@@ -482,8 +518,9 @@ impl<'a> QueryEngine<'a> {
     }
 }
 
-/// Builds the configured index over the columns of `store`.
-fn build_backend(store: &PointStore, config: EngineConfig) -> IndexBackend {
+/// Builds the configured index over the columns of `store` (any
+/// [`AsColumns`] backend).
+fn build_backend<S: AsColumns + ?Sized>(store: &S, config: EngineConfig) -> IndexBackend {
     match config.backend {
         BackendKind::Scan => IndexBackend::Scan,
         BackendKind::Octree => IndexBackend::Octree(Octree::build(

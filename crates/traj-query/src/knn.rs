@@ -8,7 +8,7 @@
 
 use crate::edr::edr_seq;
 use crate::t2vec::T2vecEmbedder;
-use trajectory::{Point, PointSeq, PointStore, TrajId, TrajView, Trajectory, TrajectoryDb};
+use trajectory::{AsColumns, Point, PointSeq, TrajId, TrajView, Trajectory, TrajectoryDb};
 
 /// The dissimilarity Θ used by a kNN query.
 #[derive(Debug, Clone, Copy)]
@@ -85,9 +85,10 @@ impl KnnQuery {
         rank_ids(scored, self.k)
     }
 
-    /// [`KnnQuery::execute`] over columnar storage: candidate windows are
-    /// zero-copy column sub-views, no `Vec<Point>` is materialized.
-    pub fn execute_store(&self, store: &PointStore) -> Vec<TrajId> {
+    /// [`KnnQuery::execute`] over columnar storage (anything
+    /// [`AsColumns`]): candidate windows are zero-copy column sub-views,
+    /// no `Vec<Point>` is materialized.
+    pub fn execute_store<S: AsColumns + ?Sized>(&self, store: &S) -> Vec<TrajId> {
         let q_window = self.query_window();
         let scored: Vec<(f64, TrajId)> = store
             .iter()

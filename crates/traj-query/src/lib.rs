@@ -22,6 +22,32 @@
 //! date instead of rescanning. Property tests guarantee engine results
 //! equal the AoS scans for every backend — the SoA/AoS equality the
 //! storage refactor is pinned to.
+//!
+//! Every store access goes through [`trajectory::AsColumns`], so the
+//! engine serves heap-owned stores and mmap-backed snapshot files
+//! ([`trajectory::MappedStore`]) through identical code paths — see
+//! [`QueryEngine::over_mapped`] and `docs/ARCHITECTURE.md`.
+//!
+//! # Example: build once, serve ranges, kNN, and similarity
+//!
+//! ```
+//! use traj_query::{
+//!     range_workload_store, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
+//! };
+//! use trajectory::gen::{generate, DatasetSpec, Scale};
+//! use rand::rngs::StdRng;
+//! use rand::SeedableRng;
+//!
+//! let store = generate(&DatasetSpec::geolife(Scale::Smoke), 9).to_store();
+//! let engine = QueryEngine::over_store(&store, EngineConfig::octree());
+//!
+//! let spec = RangeWorkloadSpec::paper_default(10, QueryDistribution::Data);
+//! let queries = range_workload_store(&store, &spec, &mut StdRng::seed_from_u64(1));
+//! let results = engine.range_batch(&queries);
+//! assert_eq!(results.len(), 10);
+//! // Data-centered queries always contain the point they were centered on.
+//! assert!(results.iter().all(|ids| !ids.is_empty()));
+//! ```
 
 #![warn(missing_docs)]
 

@@ -6,7 +6,7 @@
 //! result sets is the core accuracy signal of the paper (both for training
 //! rewards and for evaluation).
 
-use trajectory::{Cube, PointStore, TrajId, TrajView, Trajectory, TrajectoryDb};
+use trajectory::{AsColumns, Cube, TrajId, TrajView, Trajectory, TrajectoryDb};
 
 /// Executes a range query, returning matching trajectory ids in ascending
 /// order.
@@ -57,9 +57,10 @@ pub fn view_matches(v: TrajView<'_>, q: &Cube) -> bool {
     }
 }
 
-/// [`range_query`] over columnar storage, returning matching ids ascending.
+/// [`range_query`] over columnar storage — owned or mmap-backed, anything
+/// [`AsColumns`] — returning matching ids ascending.
 #[must_use]
-pub fn range_query_store(store: &PointStore, q: &Cube) -> Vec<TrajId> {
+pub fn range_query_store<S: AsColumns + ?Sized>(store: &S, q: &Cube) -> Vec<TrajId> {
     store
         .iter()
         .filter(|(_, v)| view_matches(*v, q))

@@ -7,7 +7,7 @@
 //! all times `i` in the window, so (unlike the point-based range query)
 //! this query interpolates on both databases.
 
-use trajectory::{PointSeq, PointStore, TrajId, Trajectory, TrajectoryDb};
+use trajectory::{AsColumns, PointSeq, TrajId, Trajectory, TrajectoryDb};
 
 /// A similarity query instance.
 #[derive(Debug, Clone)]
@@ -35,9 +35,10 @@ impl SimilarityQuery {
             .collect()
     }
 
-    /// [`SimilarityQuery::execute`] over columnar storage — candidates are
-    /// zero-copy views, the checking logic is shared.
-    pub fn execute_store(&self, store: &PointStore) -> Vec<TrajId> {
+    /// [`SimilarityQuery::execute`] over columnar storage (anything
+    /// [`AsColumns`]) — candidates are zero-copy views, the checking logic
+    /// is shared.
+    pub fn execute_store<S: AsColumns + ?Sized>(&self, store: &S) -> Vec<TrajId> {
         store
             .iter()
             .filter(|(_, v)| self.matches_seq(v))

@@ -9,7 +9,7 @@
 
 use rand::rngs::StdRng;
 use rand::Rng;
-use trajectory::{Cube, PointStore, TrajId, TrajectoryDb};
+use trajectory::{AsColumns, Cube, PointStore, TrajId, TrajectoryDb};
 
 /// Where query centers come from.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -73,11 +73,12 @@ impl RangeWorkloadSpec {
 /// Where point-anchored distributions (`Data`, `Real`) draw their anchor
 /// points from: either storage layout, borrowed with zero copies.
 /// Cube-only distributions (Gaussian, Zipf) never touch it.
-enum Anchor<'a> {
+enum Anchor<'a, S: AsColumns + ?Sized> {
     /// No point data needed.
     None,
-    /// Columnar storage: O(1) data-point sampling by column index.
-    Store(&'a PointStore),
+    /// Columnar storage (owned or mapped): O(1) data-point sampling by
+    /// column index.
+    Store(&'a S),
     /// AoS compat: the pre-columnar O(M) walk, but no conversion copy.
     Db(&'a TrajectoryDb),
 }
@@ -87,7 +88,7 @@ enum Anchor<'a> {
 /// the database is only borrowed for anchor sampling).
 #[must_use]
 pub fn range_workload(db: &TrajectoryDb, spec: &RangeWorkloadSpec, rng: &mut StdRng) -> Vec<Cube> {
-    let anchor = match spec.dist {
+    let anchor: Anchor<'_, PointStore> = match spec.dist {
         QueryDistribution::Data | QueryDistribution::Real => Anchor::Db(db),
         _ => Anchor::None,
     };
@@ -98,8 +99,8 @@ pub fn range_workload(db: &TrajectoryDb, spec: &RangeWorkloadSpec, rng: &mut Std
 /// queries sample their anchor point in O(1) straight from the columns
 /// (the AoS path walks the trajectory list per sample).
 #[must_use]
-pub fn range_workload_store(
-    store: &PointStore,
+pub fn range_workload_store<S: AsColumns + ?Sized>(
+    store: &S,
     spec: &RangeWorkloadSpec,
     rng: &mut StdRng,
 ) -> Vec<Cube> {
@@ -108,9 +109,9 @@ pub fn range_workload_store(
 
 /// Shared generator core. `anchor` must carry point data for the
 /// point-anchored distributions (`Data`, `Real`).
-fn workload_impl(
+fn workload_impl<S: AsColumns + ?Sized>(
     bc: Cube,
-    anchor: Anchor<'_>,
+    anchor: Anchor<'_, S>,
     spec: &RangeWorkloadSpec,
     rng: &mut StdRng,
 ) -> Vec<Cube> {
@@ -136,8 +137,8 @@ fn workload_impl(
         .collect()
 }
 
-fn sample_center(
-    anchor: &Anchor<'_>,
+fn sample_center<S: AsColumns + ?Sized>(
+    anchor: &Anchor<'_, S>,
     bc: &Cube,
     dist: QueryDistribution,
     zipf: Option<&ZipfSampler>,
@@ -205,7 +206,7 @@ fn sample_center(
     }
 }
 
-impl Anchor<'_> {
+impl<S: AsColumns + ?Sized> Anchor<'_, S> {
     fn total_points(&self) -> usize {
         match self {
             Anchor::Store(store) => store.total_points(),

@@ -11,7 +11,8 @@ use traj_query::{
     traclus::segdist::{components, segment_distance, DistanceWeights, Segment},
     EngineConfig, QueryEngine,
 };
-use trajectory::{Cube, Point, Simplification, Trajectory, TrajectoryDb};
+use trajectory::snapshot::{write_snapshot_with, MappedStore};
+use trajectory::{Cube, KeptBitmap, Point, Simplification, Trajectory, TrajectoryDb};
 
 /// Strategy: a Geolife/T-Drive-shaped database of 1..8 trajectories with
 /// 2..40 points each (bounded coordinates, strictly increasing times).
@@ -367,5 +368,80 @@ proptest! {
             let expect = 2.0 * s.precision * s.recall / (s.precision + s.recall);
             prop_assert!((s.f1 - expect).abs() < 1e-12);
         }
+    }
+}
+
+/// A unique temp path per case so parallel test binaries never collide.
+fn unique_snapshot_path() -> std::path::PathBuf {
+    use std::sync::atomic::{AtomicU64, Ordering};
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("qdts_query_props");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "engine_{}_{}.snap",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn engine_results_identical_on_owned_and_mapped_stores(
+        (db, qf, k, keep_flags) in arb_db().prop_flat_map(|db| {
+            let q = arb_query(&db);
+            let n = db.total_points();
+            (Just(db), q, 1usize..6, prop::collection::vec(any::<bool>(), n))
+        })
+    ) {
+        // The acceptance bar of the persistence layer: a database written
+        // with write_snapshot and served over a MappedStore must return
+        // byte-identical query results to the owned store — for range,
+        // kNN, and kept-bitmap (simplified) execution, on every index
+        // backend.
+        let store = db.to_store();
+        let mut kept = KeptBitmap::zeros(store.total_points());
+        for (gid, keep) in keep_flags.iter().enumerate() {
+            if *keep {
+                kept.insert(gid as u32);
+            }
+        }
+        let path = unique_snapshot_path();
+        write_snapshot_with(&store, Some(&kept), &path).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+        let mapped_kept = mapped.kept_bitmap().unwrap();
+
+        let (t0, t1) = db.time_span();
+        let knn = KnnQuery {
+            query: db.get(0).clone(),
+            ts: t0,
+            te: t0 + 0.6 * (t1 - t0),
+            k,
+            measure: Dissimilarity::Edr { eps: 1_000.0 },
+        };
+        for cfg in engine_configs() {
+            let owned = QueryEngine::over_store(&store, cfg);
+            let served = QueryEngine::over_mapped(&mapped, cfg);
+            prop_assert_eq!(
+                owned.range(&qf),
+                served.range(&qf),
+                "range, backend {:?}",
+                cfg.backend
+            );
+            prop_assert_eq!(
+                owned.knn(&knn),
+                served.knn(&knn),
+                "knn, backend {:?}",
+                cfg.backend
+            );
+            prop_assert_eq!(
+                owned.range_kept(&kept, &qf),
+                served.range_kept(&mapped_kept, &qf),
+                "range_kept, backend {:?}",
+                cfg.backend
+            );
+        }
+        std::fs::remove_file(&path).ok();
     }
 }

@@ -26,6 +26,7 @@ pub mod adapt;
 pub mod bottomup;
 pub mod bounded;
 pub mod heap;
+pub mod persist;
 pub mod rlts;
 pub mod spansearch;
 pub mod streaming;
@@ -35,6 +36,7 @@ pub mod uniform;
 pub use adapt::{per_trajectory_budgets, Adaptation};
 pub use bottomup::BottomUp;
 pub use bounded::{bounded_db, bounded_one, min_eps_for_budget};
+pub use persist::{simplify_to_snapshot, write_simplified_snapshot};
 pub use rlts::RltsPlus;
 pub use spansearch::SpanSearch;
 pub use streaming::{streaming_simplify, StreamingSimplifier};

@@ -1,0 +1,87 @@
+//! Persisting simplified databases as kept-bitmap snapshots.
+//!
+//! The paper's output artifact is a *simplified database* `D'` that will
+//! be queried many times. The snapshot format
+//! ([`trajectory::snapshot`]) persists exactly that pairing: the full
+//! columns of `D` plus a kept-point bitmap selecting `D'`. Serving then
+//! opens the file with [`trajectory::MappedStore::open`] and queries the
+//! bitmap in place (`QueryEngine::range_kept`) — no CSV re-parse, no
+//! materialization of `D'`, and the original columns stay addressable
+//! for error measures or re-simplification under a different budget.
+
+use std::path::Path;
+
+use trajectory::snapshot::{write_snapshot_with, SnapshotError};
+use trajectory::{AsColumns, PointStore, Simplification};
+
+use crate::Simplifier;
+
+/// Writes `store` with `simp`'s kept-point bitmap as one snapshot file:
+/// the persisted form of a simplified database.
+///
+/// The bitmap is derived with [`Simplification::to_bitmap`], so the file
+/// stays valid for any store whose offsets `simp` was produced against —
+/// including a [`trajectory::MappedStore`] being re-simplified in place.
+pub fn write_simplified_snapshot<S, P>(
+    store: &S,
+    simp: &Simplification,
+    path: P,
+) -> Result<(), SnapshotError>
+where
+    S: AsColumns + ?Sized,
+    P: AsRef<Path>,
+{
+    let bitmap = simp.to_bitmap(store);
+    write_snapshot_with(store, Some(&bitmap), path)
+}
+
+/// One-shot pipeline: simplify `store` to `budget` points with
+/// `simplifier`, then persist the result as a kept-bitmap snapshot.
+/// Returns the simplification so callers can report its statistics.
+pub fn simplify_to_snapshot<P: AsRef<Path>>(
+    simplifier: &dyn Simplifier,
+    store: &PointStore,
+    budget: usize,
+    path: P,
+) -> Result<Simplification, SnapshotError> {
+    let simp = simplifier.simplify_store(store, budget);
+    write_simplified_snapshot(store, &simp, path)?;
+    Ok(simp)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Uniform;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+    use trajectory::snapshot::{read_snapshot, MappedStore};
+
+    fn temp(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qdts_simp_persist_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn simplified_snapshot_round_trips_store_and_bitmap() {
+        let store = generate(&DatasetSpec::geolife(Scale::Smoke), 21).to_store();
+        let budget = store.total_points() / 3;
+        let path = temp("uniform_simplified.snap");
+
+        let simp = simplify_to_snapshot(&Uniform, &store, budget, &path).unwrap();
+        let expected = simp.to_bitmap(&store);
+
+        let snap = read_snapshot(&path).unwrap();
+        assert_eq!(snap.store, store, "full columns persist alongside D'");
+        assert_eq!(snap.kept.as_ref(), Some(&expected));
+
+        let mapped = MappedStore::open(&path).unwrap();
+        assert_eq!(mapped.kept_bitmap().as_ref(), Some(&expected));
+        assert_eq!(
+            mapped.kept_bitmap().unwrap().count(),
+            simp.total_points(),
+            "bitmap population = |D'|"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+}

@@ -2,7 +2,7 @@
 
 use crate::bbox::Cube;
 use crate::point::Point;
-use crate::store::{KeptBitmap, PointStore};
+use crate::store::{AsColumns, KeptBitmap, PointStore};
 use crate::traj::Trajectory;
 
 /// Identifier of a trajectory inside a [`TrajectoryDb`] (its index).
@@ -155,8 +155,9 @@ impl Simplification {
         Self { kept }
     }
 
-    /// [`Simplification::most_simplified`] over columnar storage.
-    pub fn most_simplified_store(store: &PointStore) -> Self {
+    /// [`Simplification::most_simplified`] over columnar storage (owned
+    /// or mapped — anything [`AsColumns`]).
+    pub fn most_simplified_store<S: AsColumns + ?Sized>(store: &S) -> Self {
         let kept = store
             .views()
             .map(|v| {
@@ -171,7 +172,7 @@ impl Simplification {
     }
 
     /// [`Simplification::full`] over columnar storage.
-    pub fn full_store(store: &PointStore) -> Self {
+    pub fn full_store<S: AsColumns + ?Sized>(store: &S) -> Self {
         let kept = store
             .views()
             .map(|v| (0..v.len() as u32).collect())
@@ -192,7 +193,7 @@ impl Simplification {
 
     /// [`Simplification::from_kept`] validated against a columnar store's
     /// per-trajectory lengths.
-    pub fn from_kept_store(store: &PointStore, kept: Vec<Vec<u32>>) -> Self {
+    pub fn from_kept_store<S: AsColumns + ?Sized>(store: &S, kept: Vec<Vec<u32>>) -> Self {
         debug_assert_eq!(kept.len(), store.len());
         #[cfg(debug_assertions)]
         for (id, ks) in kept.iter().enumerate() {
@@ -350,7 +351,7 @@ impl Simplification {
     /// the representation query execution consumes (`contains` becomes one
     /// mask test instead of a per-trajectory binary search).
     #[must_use]
-    pub fn to_bitmap(&self, store: &PointStore) -> KeptBitmap {
+    pub fn to_bitmap<S: AsColumns + ?Sized>(&self, store: &S) -> KeptBitmap {
         debug_assert_eq!(self.kept.len(), store.len());
         let mut bitmap = KeptBitmap::zeros(store.total_points());
         for (id, ks) in self.kept.iter().enumerate() {

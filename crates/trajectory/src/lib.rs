@@ -16,7 +16,36 @@
 //!   with the Eq. 1/Eq. 2 aggregations;
 //! - synthetic dataset generators ([`gen`]) reproducing the statistical
 //!   shape of Geolife / T-Drive / Chengdu / OSM (Table I);
-//! - CSV I/O and dataset statistics ([`io`], [`stats`]).
+//! - CSV I/O and dataset statistics ([`io`], [`stats`]);
+//! - zero-copy persistence ([`snapshot`]): a versioned little-endian
+//!   file format whose sections *are* the columns, with an owned loader
+//!   and an mmap-backed [`MappedStore`] served through the same
+//!   [`AsColumns`] abstraction as the in-memory store.
+//!
+//! The architecture across crates is documented in
+//! `docs/ARCHITECTURE.md`; the snapshot format is specified byte-by-byte
+//! in `docs/SNAPSHOT_FORMAT.md` (doc-tested, see [`snapshot::format_spec`]).
+//!
+//! # Example: ingest, snapshot, serve
+//!
+//! ```
+//! use trajectory::io::read_csv_store;
+//! use trajectory::snapshot::{write_snapshot, MappedStore};
+//! use trajectory::AsColumns;
+//!
+//! // Streaming CSV ingestion straight into columns.
+//! let csv = "traj_id,x,y,t\na,0.0,0.0,0.0\na,10.0,5.0,60.0\nb,3.0,4.0,0.0\n";
+//! let store = read_csv_store(csv.as_bytes()).unwrap();
+//! assert_eq!((store.len(), store.total_points()), (2, 3));
+//!
+//! // Persist once; serve forever with zero deserialization.
+//! let path = std::env::temp_dir().join("trajectory_crate_doc.snap");
+//! write_snapshot(&store, &path).unwrap();
+//! let mapped = MappedStore::open(&path).unwrap();
+//! assert_eq!(mapped.xs(), store.xs());
+//! assert_eq!(AsColumns::view(&mapped, 0).last().t, 60.0);
+//! # std::fs::remove_file(&path).ok();
+//! ```
 
 #![warn(missing_docs)]
 
@@ -29,6 +58,7 @@ pub mod io;
 pub mod point;
 pub mod resample;
 pub mod seq;
+pub mod snapshot;
 pub mod stats;
 pub mod store;
 pub mod traj;
@@ -38,6 +68,9 @@ pub use db::{Simplification, TrajId, TrajectoryDb};
 pub use error::ErrorMeasure;
 pub use point::Point;
 pub use seq::PointSeq;
+pub use snapshot::{
+    read_snapshot, write_snapshot, write_snapshot_with, MappedStore, Snapshot, SnapshotError,
+};
 pub use stats::DatasetStats;
-pub use store::{KeptBitmap, PointId, PointStore, TrajView};
+pub use store::{AsColumns, KeptBitmap, PointId, PointStore, StoreRef, TrajView};
 pub use traj::Trajectory;

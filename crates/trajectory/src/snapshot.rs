@@ -1,0 +1,1339 @@
+//! Zero-copy snapshot persistence for columnar trajectory databases.
+//!
+//! A *snapshot* is the on-disk twin of a [`PointStore`]: the four plain
+//! column runs (`xs`/`ys`/`ts`/`offsets`) written little-endian into one
+//! file behind a fixed 128-byte header, every section 64-byte aligned, an
+//! optional [`KeptBitmap`] section for simplified databases, and a
+//! trailing FNV-1a checksum. Because the in-memory layout already is
+//! "plain `f64` runs, no interior pointers", the file needs no
+//! deserialization step at all — three access paths share the format:
+//!
+//! - [`write_snapshot`] / [`write_snapshot_with`]: store → file;
+//! - [`read_snapshot`]: file → owned [`Snapshot`] (heap copy, works
+//!   everywhere);
+//! - [`MappedStore::open`]: file → queryable store whose columns are
+//!   backed by a **read-only `mmap`**. No bytes are copied or decoded;
+//!   the only full-file pass at open is the checksum verification (one
+//!   sequential read at memory bandwidth), after which the query engine
+//!   reads pages on demand.
+//!
+//! The byte-level specification lives in `docs/SNAPSHOT_FORMAT.md`
+//! (doc-tested against this implementation via
+//! [`format_spec`]). All load paths reject malformed
+//! input with a typed [`SnapshotError`] instead of panicking, mirroring
+//! the CSV reader's [`ReadError`](crate::io::ReadError) style.
+//!
+//! ```
+//! use trajectory::gen::{generate, DatasetSpec, Scale};
+//! use trajectory::snapshot::{read_snapshot, write_snapshot, MappedStore};
+//! use trajectory::AsColumns;
+//!
+//! let store = generate(&DatasetSpec::geolife(Scale::Smoke), 1).to_store();
+//! let path = std::env::temp_dir().join("snapshot_doc_example.snap");
+//! write_snapshot(&store, &path).unwrap();
+//!
+//! // Owned load: a heap copy, byte-identical columns.
+//! let owned = read_snapshot(&path).unwrap();
+//! assert_eq!(owned.store, store);
+//!
+//! // Zero-copy load: the same columns served straight from the mapping.
+//! let mapped = MappedStore::open(&path).unwrap();
+//! assert_eq!(mapped.xs(), store.xs());
+//! assert_eq!(mapped.offsets(), store.offsets());
+//! # std::fs::remove_file(&path).ok();
+//! ```
+
+use std::fs::File;
+use std::io;
+#[cfg(not(unix))]
+use std::io::Read;
+use std::path::Path;
+
+use crate::store::{AsColumns, KeptBitmap, PointStore};
+
+/// The byte-level format specification, doc-tested against this module.
+///
+/// The module exists so `docs/SNAPSHOT_FORMAT.md` — the human-readable
+/// spec — compiles and runs as part of `cargo test`: its examples assert
+/// the exact header bytes [`write_snapshot`] produces, so the book cannot
+/// drift from the implementation.
+#[doc = include_str!("../../../docs/SNAPSHOT_FORMAT.md")]
+pub mod format_spec {}
+
+/// Magic bytes opening every snapshot file.
+pub const MAGIC: [u8; 8] = *b"QDTSNAP\0";
+
+/// Current (and only) format version.
+pub const VERSION: u32 = 1;
+
+/// Header flag bit: the file carries a kept-point bitmap section.
+pub const FLAG_KEPT_BITMAP: u32 = 1;
+
+/// Fixed header length in bytes; the first section starts here.
+pub const HEADER_LEN: usize = 128;
+
+/// Alignment of every section start, in bytes. 64 keeps `f64` loads
+/// aligned from any page-aligned mapping base and starts each column on
+/// its own cache line.
+pub const SECTION_ALIGN: usize = 64;
+
+/// All flag bits this version understands; anything else is rejected.
+const KNOWN_FLAGS: u32 = FLAG_KEPT_BITMAP;
+
+/// Rounds `n` up to the next multiple of [`SECTION_ALIGN`].
+#[inline]
+fn align_up(n: usize) -> usize {
+    n.div_ceil(SECTION_ALIGN) * SECTION_ALIGN
+}
+
+// ---------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------
+
+/// Typed failure modes of the snapshot load paths.
+///
+/// Every corrupt-file condition maps to a distinct variant so callers can
+/// distinguish "not a snapshot at all" from "a snapshot from the future"
+/// from "bit rot" — the same philosophy as the CSV reader's line-numbered
+/// [`ReadError`](crate::io::ReadError).
+#[derive(Debug)]
+pub enum SnapshotError {
+    /// Underlying I/O failure (open, read, map).
+    Io(io::Error),
+    /// The file does not start with [`MAGIC`].
+    BadMagic {
+        /// The first 8 bytes actually found.
+        found: [u8; 8],
+    },
+    /// The file's format version is not supported by this build.
+    UnsupportedVersion {
+        /// Version stored in the file.
+        found: u32,
+        /// Version this build reads and writes.
+        supported: u32,
+    },
+    /// The header carries flag bits this version does not understand.
+    UnknownFlags {
+        /// The offending flag word.
+        flags: u32,
+    },
+    /// The file is shorter than a structurally valid snapshot.
+    Truncated {
+        /// Actual file length in bytes.
+        len: u64,
+        /// Minimum length implied by the header (or the fixed header
+        /// size, when even that is missing).
+        needed: u64,
+    },
+    /// A section's offset/length lands outside the file or breaks the
+    /// required [`SECTION_ALIGN`] alignment.
+    SectionOutOfBounds {
+        /// Which section ("xs", "ys", "ts", "offsets", "kept").
+        section: &'static str,
+        /// Byte offset stored in the header.
+        offset: u64,
+        /// Section length in bytes implied by the counts.
+        len: u64,
+        /// Actual file length.
+        file_len: u64,
+    },
+    /// The trailing checksum does not match the file contents.
+    ChecksumMismatch {
+        /// Checksum stored in the file.
+        stored: u64,
+        /// Checksum recomputed over the file bytes.
+        computed: u64,
+    },
+    /// The offset table violates a store invariant (not starting at 0,
+    /// decreasing, empty trajectory, or not ending at the point count).
+    InvalidOffsets {
+        /// Human-readable description of the violated invariant.
+        reason: String,
+    },
+    /// The kept-bitmap section has bits set at positions past the point
+    /// count (the format requires tail padding bits to be zero).
+    InvalidKeptBitmap {
+        /// Number of points the bitmap should cover.
+        points: u64,
+    },
+    /// Counts in the header exceed what a [`PointStore`] can address
+    /// (`u32` global point ids) or what this platform can map.
+    TooLarge {
+        /// The offending point count.
+        points: u64,
+    },
+}
+
+impl std::fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SnapshotError::Io(e) => write!(f, "io error: {e}"),
+            SnapshotError::BadMagic { found } => {
+                write!(f, "bad magic {found:?} (not a snapshot file)")
+            }
+            SnapshotError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported snapshot version {found} (supported: {supported})"
+                )
+            }
+            SnapshotError::UnknownFlags { flags } => {
+                write!(f, "unknown header flags {flags:#x}")
+            }
+            SnapshotError::Truncated { len, needed } => {
+                write!(f, "truncated snapshot: {len} bytes, need {needed}")
+            }
+            SnapshotError::SectionOutOfBounds {
+                section,
+                offset,
+                len,
+                file_len,
+            } => write!(
+                f,
+                "section {section} ({len} bytes at offset {offset}) exceeds or misaligns \
+                 within the {file_len}-byte file"
+            ),
+            SnapshotError::ChecksumMismatch { stored, computed } => {
+                write!(
+                    f,
+                    "checksum mismatch: stored {stored:#x}, computed {computed:#x}"
+                )
+            }
+            SnapshotError::InvalidOffsets { reason } => {
+                write!(f, "invalid offset table: {reason}")
+            }
+            SnapshotError::InvalidKeptBitmap { points } => {
+                write!(f, "kept bitmap has bits set past the point count {points}")
+            }
+            SnapshotError::TooLarge { points } => {
+                write!(f, "snapshot too large: {points} points exceed u32 ids")
+            }
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+impl From<io::Error> for SnapshotError {
+    fn from(e: io::Error) -> Self {
+        SnapshotError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Checksum.
+// ---------------------------------------------------------------------
+
+/// FNV-1a 64-bit over `bytes` — dependency-free, byte-order independent,
+/// and fast enough to verify gigabyte snapshots at memory bandwidth
+/// fractions that never dominate a cold start.
+#[must_use]
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    const OFFSET: u64 = 0xcbf2_9ce4_8422_2325;
+    const PRIME: u64 = 0x0000_0100_0000_01b3;
+    let mut h = OFFSET;
+    for &b in bytes {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(PRIME);
+    }
+    h
+}
+
+// ---------------------------------------------------------------------
+// Little-endian (de)serialization helpers.
+// ---------------------------------------------------------------------
+
+fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+    buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+    buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
+}
+
+fn get_u32(buf: &[u8], off: usize) -> u32 {
+    u32::from_le_bytes(buf[off..off + 4].try_into().expect("bounds checked"))
+}
+
+fn get_u64(buf: &[u8], off: usize) -> u64 {
+    u64::from_le_bytes(buf[off..off + 8].try_into().expect("bounds checked"))
+}
+
+/// Copies `src` into `dst` as little-endian bytes. On little-endian
+/// targets this is one `memcpy`; big-endian targets byte-swap per element.
+fn copy_f64s_le(dst: &mut [u8], src: &[f64]) {
+    debug_assert_eq!(dst.len(), src.len() * 8);
+    if cfg!(target_endian = "little") {
+        // SAFETY: f64 has no padding; reinterpreting its memory as bytes
+        // is always valid, and on LE targets the bytes are already in
+        // file order.
+        let bytes = unsafe { std::slice::from_raw_parts(src.as_ptr().cast::<u8>(), src.len() * 8) };
+        dst.copy_from_slice(bytes);
+    } else {
+        for (chunk, v) in dst.chunks_exact_mut(8).zip(src) {
+            chunk.copy_from_slice(&v.to_bits().to_le_bytes());
+        }
+    }
+}
+
+/// [`copy_f64s_le`] for `u32` runs.
+fn copy_u32s_le(dst: &mut [u8], src: &[u32]) {
+    debug_assert_eq!(dst.len(), src.len() * 4);
+    if cfg!(target_endian = "little") {
+        // SAFETY: as in `copy_f64s_le`.
+        let bytes = unsafe { std::slice::from_raw_parts(src.as_ptr().cast::<u8>(), src.len() * 4) };
+        dst.copy_from_slice(bytes);
+    } else {
+        for (chunk, v) in dst.chunks_exact_mut(4).zip(src) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+/// [`copy_f64s_le`] for `u64` runs.
+fn copy_u64s_le(dst: &mut [u8], src: &[u64]) {
+    debug_assert_eq!(dst.len(), src.len() * 8);
+    if cfg!(target_endian = "little") {
+        // SAFETY: as in `copy_f64s_le`.
+        let bytes = unsafe { std::slice::from_raw_parts(src.as_ptr().cast::<u8>(), src.len() * 8) };
+        dst.copy_from_slice(bytes);
+    } else {
+        for (chunk, v) in dst.chunks_exact_mut(8).zip(src) {
+            chunk.copy_from_slice(&v.to_le_bytes());
+        }
+    }
+}
+
+fn read_f64s_le(bytes: &[u8]) -> Vec<f64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| f64::from_bits(u64::from_le_bytes(c.try_into().expect("chunked by 8"))))
+        .collect()
+}
+
+fn read_u32s_le(bytes: &[u8]) -> Vec<u32> {
+    bytes
+        .chunks_exact(4)
+        .map(|c| u32::from_le_bytes(c.try_into().expect("chunked by 4")))
+        .collect()
+}
+
+fn read_u64s_le(bytes: &[u8]) -> Vec<u64> {
+    bytes
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("chunked by 8")))
+        .collect()
+}
+
+// ---------------------------------------------------------------------
+// Layout resolution + validation.
+// ---------------------------------------------------------------------
+
+/// Resolved section geometry of a validated snapshot: element counts plus
+/// byte offsets, everything bounds- and alignment-checked against the
+/// actual file length.
+#[derive(Debug, Clone, Copy)]
+struct Layout {
+    traj_count: usize,
+    point_count: usize,
+    xs_off: usize,
+    ys_off: usize,
+    ts_off: usize,
+    offsets_off: usize,
+    /// Byte offset of the kept-bitmap section, when present.
+    kept_off: Option<usize>,
+    /// Number of `u64` words in the kept section.
+    kept_words: usize,
+    checksum_off: usize,
+}
+
+impl Layout {
+    /// Computes the layout a store of `m` trajectories / `n` points (and
+    /// optionally a kept bitmap) serializes to.
+    fn plan(m: usize, n: usize, with_kept: bool) -> Layout {
+        let kept_words = if with_kept { n.div_ceil(64) } else { 0 };
+        let xs_off = HEADER_LEN;
+        let ys_off = align_up(xs_off + n * 8);
+        let ts_off = align_up(ys_off + n * 8);
+        let offsets_off = align_up(ts_off + n * 8);
+        let offsets_end = offsets_off + (m + 1) * 4;
+        let (kept_off, kept_end) = if with_kept {
+            let off = align_up(offsets_end);
+            (Some(off), off + kept_words * 8)
+        } else {
+            (None, offsets_end)
+        };
+        // The checksum needs only 8-byte alignment, but aligning it like a
+        // section keeps the rule uniform ("everything after the header
+        // starts on a 64-byte boundary").
+        let checksum_off = align_up(kept_end);
+        Layout {
+            traj_count: m,
+            point_count: n,
+            xs_off,
+            ys_off,
+            ts_off,
+            offsets_off,
+            kept_off,
+            kept_words,
+            checksum_off,
+        }
+    }
+
+    /// Total file size in bytes.
+    fn file_len(&self) -> usize {
+        self.checksum_off + 8
+    }
+}
+
+/// Validates the full byte image of a snapshot: magic, version, flags,
+/// section geometry, checksum, and offset-table invariants. Returns the
+/// resolved [`Layout`] on success.
+fn validate(bytes: &[u8]) -> Result<Layout, SnapshotError> {
+    if bytes.len() < HEADER_LEN + 8 {
+        return Err(SnapshotError::Truncated {
+            len: bytes.len() as u64,
+            needed: (HEADER_LEN + 8) as u64,
+        });
+    }
+    let mut found = [0u8; 8];
+    found.copy_from_slice(&bytes[0..8]);
+    if found != MAGIC {
+        return Err(SnapshotError::BadMagic { found });
+    }
+    let version = get_u32(bytes, 8);
+    if version != VERSION {
+        return Err(SnapshotError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let flags = get_u32(bytes, 12);
+    if flags & !KNOWN_FLAGS != 0 {
+        return Err(SnapshotError::UnknownFlags { flags });
+    }
+    let traj_count = get_u64(bytes, 16);
+    let point_count = get_u64(bytes, 24);
+    if point_count >= u64::from(u32::MAX) || traj_count >= u64::from(u32::MAX) {
+        return Err(SnapshotError::TooLarge {
+            points: point_count,
+        });
+    }
+    let m = traj_count as usize;
+    let n = point_count as usize;
+    let with_kept = flags & FLAG_KEPT_BITMAP != 0;
+
+    // The header's stored offsets must agree with the canonical layout
+    // for these counts — the format admits exactly one geometry per
+    // (m, n, flags), which is what makes blind mapping safe.
+    let layout = Layout::plan(m, n, with_kept);
+    let file_len = bytes.len() as u64;
+    let stored = [
+        ("xs", get_u64(bytes, 32), layout.xs_off, n as u64 * 8),
+        ("ys", get_u64(bytes, 40), layout.ys_off, n as u64 * 8),
+        ("ts", get_u64(bytes, 48), layout.ts_off, n as u64 * 8),
+        (
+            "offsets",
+            get_u64(bytes, 56),
+            layout.offsets_off,
+            (m as u64 + 1) * 4,
+        ),
+        (
+            "kept",
+            get_u64(bytes, 64),
+            layout.kept_off.unwrap_or(0),
+            layout.kept_words as u64 * 8,
+        ),
+    ];
+    for (section, got, expect, sec_len) in stored {
+        if got != expect as u64
+            || got % SECTION_ALIGN as u64 != 0
+            || got.checked_add(sec_len).is_none_or(|end| end > file_len)
+        {
+            return Err(SnapshotError::SectionOutOfBounds {
+                section,
+                offset: got,
+                len: sec_len,
+                file_len,
+            });
+        }
+    }
+    let checksum_off = get_u64(bytes, 72);
+    if checksum_off != layout.checksum_off as u64 || layout.file_len() as u64 != file_len {
+        return Err(SnapshotError::Truncated {
+            len: file_len,
+            needed: layout.file_len() as u64,
+        });
+    }
+
+    let stored_sum = get_u64(bytes, layout.checksum_off);
+    let computed = fnv1a64(&bytes[..layout.checksum_off]);
+    if stored_sum != computed {
+        return Err(SnapshotError::ChecksumMismatch {
+            stored: stored_sum,
+            computed,
+        });
+    }
+
+    // Offset-table invariants: starts at 0, monotone, ends at N. These
+    // are what every downstream `view()` slice relies on.
+    let offs = &bytes[layout.offsets_off..layout.offsets_off + (m + 1) * 4];
+    let mut prev = 0u32;
+    for (i, c) in offs.chunks_exact(4).enumerate() {
+        let o = u32::from_le_bytes(c.try_into().expect("chunked by 4"));
+        if i == 0 && o != 0 {
+            return Err(SnapshotError::InvalidOffsets {
+                reason: format!("offsets[0] = {o}, expected 0"),
+            });
+        }
+        if o < prev {
+            return Err(SnapshotError::InvalidOffsets {
+                reason: format!("offsets[{i}] = {o} decreases below {prev}"),
+            });
+        }
+        if i > 0 && o == prev {
+            // Every store API (push_points, push_view, end_traj, gather)
+            // refuses zero-length trajectories; a file containing one
+            // would panic kNN windowing and mis-anchor kept bitmaps.
+            return Err(SnapshotError::InvalidOffsets {
+                reason: format!(
+                    "trajectory {} is empty (offsets[{i}] == offsets[{}])",
+                    i - 1,
+                    i - 1
+                ),
+            });
+        }
+        prev = o;
+    }
+    if prev as usize != n {
+        return Err(SnapshotError::InvalidOffsets {
+            reason: format!("offsets end at {prev}, expected point count {n}"),
+        });
+    }
+    // Kept-bitmap tail padding must be zero, so KeptBitmap::from_words
+    // can never panic downstream — corrupt bitmaps are a typed error
+    // here, not an abort during serving.
+    if let Some(off) = layout.kept_off {
+        if !n.is_multiple_of(64) && layout.kept_words > 0 {
+            let last_off = off + (layout.kept_words - 1) * 8;
+            let last = get_u64(bytes, last_off);
+            if last >> (n % 64) != 0 {
+                return Err(SnapshotError::InvalidKeptBitmap { points: n as u64 });
+            }
+        }
+    }
+    Ok(layout)
+}
+
+// ---------------------------------------------------------------------
+// Writing.
+// ---------------------------------------------------------------------
+
+/// Serializes the full byte image of a snapshot (header, padded sections,
+/// trailing checksum) — the single source of truth both file writers and
+/// the in-memory round-trip tests use.
+#[must_use]
+pub fn snapshot_bytes<S: AsColumns + ?Sized>(store: &S, kept: Option<&KeptBitmap>) -> Vec<u8> {
+    let m = store.len();
+    let n = store.total_points();
+    if let Some(k) = kept {
+        assert_eq!(
+            k.len(),
+            n,
+            "kept bitmap covers {} points, store has {n}",
+            k.len()
+        );
+    }
+    let layout = Layout::plan(m, n, kept.is_some());
+    let mut buf = vec![0u8; layout.file_len()];
+
+    buf[0..8].copy_from_slice(&MAGIC);
+    put_u32(&mut buf, 8, VERSION);
+    put_u32(
+        &mut buf,
+        12,
+        if kept.is_some() { FLAG_KEPT_BITMAP } else { 0 },
+    );
+    put_u64(&mut buf, 16, m as u64);
+    put_u64(&mut buf, 24, n as u64);
+    put_u64(&mut buf, 32, layout.xs_off as u64);
+    put_u64(&mut buf, 40, layout.ys_off as u64);
+    put_u64(&mut buf, 48, layout.ts_off as u64);
+    put_u64(&mut buf, 56, layout.offsets_off as u64);
+    put_u64(&mut buf, 64, layout.kept_off.unwrap_or(0) as u64);
+    put_u64(&mut buf, 72, layout.checksum_off as u64);
+    // Bytes 80..128 stay reserved (zero).
+
+    copy_f64s_le(&mut buf[layout.xs_off..layout.xs_off + n * 8], store.xs());
+    copy_f64s_le(&mut buf[layout.ys_off..layout.ys_off + n * 8], store.ys());
+    copy_f64s_le(&mut buf[layout.ts_off..layout.ts_off + n * 8], store.ts());
+    copy_u32s_le(
+        &mut buf[layout.offsets_off..layout.offsets_off + (m + 1) * 4],
+        store.offsets(),
+    );
+    if let (Some(off), Some(k)) = (layout.kept_off, kept) {
+        copy_u64s_le(&mut buf[off..off + layout.kept_words * 8], k.words());
+    }
+
+    let sum = fnv1a64(&buf[..layout.checksum_off]);
+    put_u64(&mut buf, layout.checksum_off, sum);
+    buf
+}
+
+/// Writes `store` as a snapshot file at `path` (no kept bitmap).
+pub fn write_snapshot<S, P>(store: &S, path: P) -> Result<(), SnapshotError>
+where
+    S: AsColumns + ?Sized,
+    P: AsRef<Path>,
+{
+    write_snapshot_with(store, None, path)
+}
+
+/// Writes `store` plus an optional kept-point bitmap — the persisted form
+/// of a simplified database: the full columns stay addressable (so error
+/// measures and re-simplification still see `D`), while query serving
+/// reads `D'` straight off the bitmap.
+///
+/// # Panics
+/// When `kept` covers a different number of points than `store` holds.
+pub fn write_snapshot_with<S, P>(
+    store: &S,
+    kept: Option<&KeptBitmap>,
+    path: P,
+) -> Result<(), SnapshotError>
+where
+    S: AsColumns + ?Sized,
+    P: AsRef<Path>,
+{
+    let bytes = snapshot_bytes(store, kept);
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// Owned reading.
+// ---------------------------------------------------------------------
+
+/// An owned, heap-backed snapshot load: the store plus the kept bitmap
+/// when the file carries one.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Snapshot {
+    /// The reconstructed columnar database.
+    pub store: PointStore,
+    /// The kept-point bitmap, for files written by
+    /// [`write_snapshot_with`].
+    pub kept: Option<KeptBitmap>,
+}
+
+/// Decodes a validated byte image into owned columns.
+fn decode(bytes: &[u8], layout: &Layout) -> Snapshot {
+    let n = layout.point_count;
+    let m = layout.traj_count;
+    let xs = read_f64s_le(&bytes[layout.xs_off..layout.xs_off + n * 8]);
+    let ys = read_f64s_le(&bytes[layout.ys_off..layout.ys_off + n * 8]);
+    let ts = read_f64s_le(&bytes[layout.ts_off..layout.ts_off + n * 8]);
+    let offsets = read_u32s_le(&bytes[layout.offsets_off..layout.offsets_off + (m + 1) * 4]);
+    let kept = layout.kept_off.map(|off| {
+        KeptBitmap::from_words(read_u64s_le(&bytes[off..off + layout.kept_words * 8]), n)
+    });
+    Snapshot {
+        store: PointStore::from_raw_columns(xs, ys, ts, offsets),
+        kept,
+    }
+}
+
+/// Reads a snapshot file into owned memory, validating magic, version,
+/// section geometry, checksum, and offset-table invariants. Use
+/// [`MappedStore::open`] instead when the file should be served in place.
+pub fn read_snapshot<P: AsRef<Path>>(path: P) -> Result<Snapshot, SnapshotError> {
+    let bytes = std::fs::read(path)?;
+    let layout = validate(&bytes)?;
+    Ok(decode(&bytes, &layout))
+}
+
+/// [`read_snapshot`] over an in-memory byte image (the writer's
+/// round-trip twin; useful for tests and network transports).
+pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
+    let layout = validate(bytes)?;
+    Ok(decode(bytes, &layout))
+}
+
+// ---------------------------------------------------------------------
+// Zero-copy mapping.
+// ---------------------------------------------------------------------
+
+/// The bytes behind a [`MappedStore`]: a real `mmap` on unix targets, an
+/// 8-byte-aligned heap copy elsewhere (same API, one extra read).
+#[derive(Debug)]
+enum Backing {
+    #[cfg(unix)]
+    Map(Mmap),
+    #[allow(dead_code)] // the only variant on non-unix targets
+    Heap(AlignedBytes),
+}
+
+impl Backing {
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        match self {
+            #[cfg(unix)]
+            Backing::Map(m) => m.bytes(),
+            Backing::Heap(h) => h.bytes(),
+        }
+    }
+}
+
+/// A read-only `mmap` of a whole file, unmapped on drop. Declared against
+/// raw libc symbols — this workspace builds offline, so no `libc`/
+/// `memmap2` crates.
+#[cfg(unix)]
+#[derive(Debug)]
+struct Mmap {
+    ptr: *mut std::ffi::c_void,
+    len: usize,
+}
+
+#[cfg(unix)]
+mod sys {
+    use std::ffi::c_void;
+    use std::os::raw::c_int;
+
+    pub const PROT_READ: c_int = 1;
+    pub const MAP_PRIVATE: c_int = 2;
+
+    extern "C" {
+        pub fn mmap(
+            addr: *mut c_void,
+            len: usize,
+            prot: c_int,
+            flags: c_int,
+            fd: c_int,
+            offset: i64,
+        ) -> *mut c_void;
+        pub fn munmap(addr: *mut c_void, len: usize) -> c_int;
+    }
+
+    pub const MAP_FAILED: *mut c_void = usize::MAX as *mut c_void;
+}
+
+#[cfg(unix)]
+impl Mmap {
+    fn map(file: &File, len: usize) -> Result<Self, SnapshotError> {
+        use std::os::unix::io::AsRawFd;
+        // SAFETY: a fresh private read-only mapping of `len` bytes over an
+        // open fd; the pointer is checked against MAP_FAILED before use.
+        let ptr = unsafe {
+            sys::mmap(
+                std::ptr::null_mut(),
+                len,
+                sys::PROT_READ,
+                sys::MAP_PRIVATE,
+                file.as_raw_fd(),
+                0,
+            )
+        };
+        if ptr == sys::MAP_FAILED {
+            return Err(SnapshotError::Io(io::Error::last_os_error()));
+        }
+        Ok(Self { ptr, len })
+    }
+
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: the mapping is valid for `len` bytes for the lifetime of
+        // `self` (munmap happens only in Drop), and PROT_READ makes it
+        // immutable through this pointer.
+        unsafe { std::slice::from_raw_parts(self.ptr.cast::<u8>(), self.len) }
+    }
+}
+
+#[cfg(unix)]
+impl Drop for Mmap {
+    fn drop(&mut self) {
+        // SAFETY: `ptr`/`len` came from a successful mmap and are
+        // unmapped exactly once.
+        unsafe {
+            sys::munmap(self.ptr, self.len);
+        }
+    }
+}
+
+// SAFETY: the mapping is read-only (PROT_READ, private) for its whole
+// lifetime; shared references to immutable memory are Send + Sync. The
+// usual mmap caveat applies and is documented on `MappedStore`: external
+// truncation of the underlying file turns reads into SIGBUS, as with any
+// memory-mapped I/O.
+#[cfg(unix)]
+unsafe impl Send for Mmap {}
+#[cfg(unix)]
+unsafe impl Sync for Mmap {}
+
+/// A heap buffer guaranteed 8-byte aligned (backed by `Vec<u64>`), so the
+/// same zero-copy column casts work where `mmap` is unavailable.
+#[derive(Debug)]
+struct AlignedBytes {
+    words: Vec<u64>,
+    len: usize,
+}
+
+impl AlignedBytes {
+    #[cfg(not(unix))]
+    fn from_file(file: &mut File, len: usize) -> Result<Self, SnapshotError> {
+        let mut words = vec![0u64; len.div_ceil(8)];
+        // SAFETY: the Vec<u64> allocation is valid for words.len() * 8
+        // bytes and u64 has no invalid bit patterns, so filling it through
+        // a &mut [u8] view is sound.
+        let buf = unsafe {
+            std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8)
+        };
+        file.read_exact(&mut buf[..len])?;
+        Ok(Self { words, len })
+    }
+
+    #[inline]
+    fn bytes(&self) -> &[u8] {
+        // SAFETY: the Vec<u64> allocation is valid for at least `len`
+        // bytes (len <= words.len() * 8 by construction).
+        unsafe { std::slice::from_raw_parts(self.words.as_ptr().cast::<u8>(), self.len) }
+    }
+}
+
+/// A [`PointStore`]-shaped database whose columns live in a **read-only
+/// file mapping** instead of the heap. Opening copies and decodes
+/// nothing; the one full-file pass is the mandatory checksum
+/// verification (a sequential read at memory bandwidth — at the 349k-
+/// point bench scale the whole open is ~25x faster than a CSV parse),
+/// after which pages are faulted in as queries touch them.
+///
+/// `MappedStore` implements [`AsColumns`], so everything generic over
+/// columns — `TrajView`s, octree/kd-tree construction, the whole
+/// `QueryEngine` — runs over it unchanged, and a simplified database
+/// written with [`write_snapshot_with`] serves queries with zero
+/// deserialization. [`StoreRef`](crate::store::StoreRef) is the
+/// non-generic handle for code that must own "either kind of store".
+///
+/// On non-unix targets the "mapping" degrades to one aligned heap read of
+/// the file; the API and validation are identical. On big-endian targets
+/// the columns are decoded (the format is little-endian), again behind
+/// the same API.
+///
+/// # File stability
+/// As with all memory-mapped I/O, the file must not be truncated while
+/// the store is open — the OS would deliver `SIGBUS` on a fault into the
+/// removed range. Writing snapshots to a temp path and `rename(2)`-ing
+/// them into place (what [`write_snapshot`] callers should do for live
+/// republishing) avoids the hazard.
+#[derive(Debug)]
+pub struct MappedStore {
+    backing: Backing,
+    xs_off: usize,
+    ys_off: usize,
+    ts_off: usize,
+    offsets_off: usize,
+    kept_off: Option<usize>,
+    kept_words: usize,
+    traj_count: usize,
+    point_count: usize,
+}
+
+impl MappedStore {
+    /// Opens and validates a snapshot file, backing the columns by a
+    /// read-only mapping. All of [`read_snapshot`]'s rejection cases
+    /// apply (bad magic, version mismatch, truncation, section bounds,
+    /// checksum, offset invariants) — corruption is caught here, once,
+    /// not during query execution.
+    pub fn open<P: AsRef<Path>>(path: P) -> Result<Self, SnapshotError> {
+        let file = File::open(path)?;
+        let file_len = file.metadata()?.len();
+        if file_len < (HEADER_LEN + 8) as u64 {
+            return Err(SnapshotError::Truncated {
+                len: file_len,
+                needed: (HEADER_LEN + 8) as u64,
+            });
+        }
+        let len = usize::try_from(file_len).map_err(|_| SnapshotError::TooLarge {
+            points: file_len / 24,
+        })?;
+
+        #[cfg(unix)]
+        let backing = Backing::Map(Mmap::map(&file, len)?);
+        #[cfg(not(unix))]
+        let backing = {
+            let mut file = file;
+            Backing::Heap(AlignedBytes::from_file(&mut file, len)?)
+        };
+
+        let layout = validate(backing.bytes())?;
+
+        if cfg!(target_endian = "big") {
+            // The format is little-endian; decode into a native-order
+            // aligned heap image with the same section layout so the
+            // zero-copy accessors stay correct.
+            let snap = decode(backing.bytes(), &layout);
+            let native = snapshot_bytes_native(&snap.store, snap.kept.as_ref(), &layout);
+            return Ok(Self::from_parts(Backing::Heap(native), &layout));
+        }
+        Ok(Self::from_parts(backing, &layout))
+    }
+
+    fn from_parts(backing: Backing, layout: &Layout) -> Self {
+        Self {
+            backing,
+            xs_off: layout.xs_off,
+            ys_off: layout.ys_off,
+            ts_off: layout.ts_off,
+            offsets_off: layout.offsets_off,
+            kept_off: layout.kept_off,
+            kept_words: layout.kept_words,
+            traj_count: layout.traj_count,
+            point_count: layout.point_count,
+        }
+    }
+
+    /// Casts the mapped byte range at `off` into a typed column slice.
+    #[inline]
+    fn typed<T>(&self, off: usize, count: usize) -> &[T] {
+        let bytes = &self.backing.bytes()[off..off + count * std::mem::size_of::<T>()];
+        debug_assert_eq!(bytes.as_ptr() as usize % std::mem::align_of::<T>(), 0);
+        // SAFETY: `validate` proved the range lies inside the file and
+        // starts 64-byte aligned; the mapping base is page aligned (and
+        // the heap fallback 8-byte aligned), so the cast pointer is
+        // aligned for T ∈ {f64, u32, u64}, all of which accept any bit
+        // pattern. The slice borrows `self`, which owns the mapping.
+        unsafe { std::slice::from_raw_parts(bytes.as_ptr().cast::<T>(), count) }
+    }
+
+    /// The x column, served from the mapping.
+    #[inline]
+    #[must_use]
+    pub fn xs(&self) -> &[f64] {
+        self.typed(self.xs_off, self.point_count)
+    }
+
+    /// The y column, served from the mapping.
+    #[inline]
+    #[must_use]
+    pub fn ys(&self) -> &[f64] {
+        self.typed(self.ys_off, self.point_count)
+    }
+
+    /// The t column, served from the mapping.
+    #[inline]
+    #[must_use]
+    pub fn ts(&self) -> &[f64] {
+        self.typed(self.ts_off, self.point_count)
+    }
+
+    /// The offset table, served from the mapping.
+    #[inline]
+    #[must_use]
+    pub fn offsets(&self) -> &[u32] {
+        self.typed(self.offsets_off, self.traj_count + 1)
+    }
+
+    /// The kept-bitmap words, served from the mapping — `None` when the
+    /// snapshot was written without one.
+    #[must_use]
+    pub fn kept_words(&self) -> Option<&[u64]> {
+        self.kept_off.map(|off| self.typed(off, self.kept_words))
+    }
+
+    /// An owned [`KeptBitmap`] copy of the kept section, for APIs that
+    /// need one (`QueryEngine::range_kept`). O(N/64) words copied — tiny
+    /// next to the columns, which stay mapped.
+    #[must_use]
+    pub fn kept_bitmap(&self) -> Option<KeptBitmap> {
+        self.kept_words()
+            .map(|w| KeptBitmap::from_words(w.to_vec(), self.point_count))
+    }
+}
+
+impl AsColumns for MappedStore {
+    #[inline]
+    fn xs(&self) -> &[f64] {
+        MappedStore::xs(self)
+    }
+
+    #[inline]
+    fn ys(&self) -> &[f64] {
+        MappedStore::ys(self)
+    }
+
+    #[inline]
+    fn ts(&self) -> &[f64] {
+        MappedStore::ts(self)
+    }
+
+    #[inline]
+    fn offsets(&self) -> &[u32] {
+        MappedStore::offsets(self)
+    }
+}
+
+/// Re-encodes a decoded snapshot into a native-endian aligned heap image
+/// with the given layout — the big-endian fallback for [`MappedStore`].
+fn snapshot_bytes_native(
+    store: &PointStore,
+    kept: Option<&KeptBitmap>,
+    layout: &Layout,
+) -> AlignedBytes {
+    let len = layout.file_len();
+    let mut words = vec![0u64; len.div_ceil(8)];
+    // SAFETY: as in `AlignedBytes::from_file` — a u64 allocation viewed
+    // as bytes.
+    let buf =
+        unsafe { std::slice::from_raw_parts_mut(words.as_mut_ptr().cast::<u8>(), words.len() * 8) };
+    let n = layout.point_count;
+    let m = layout.traj_count;
+    let copy_native = |dst: &mut [u8], src: *const u8, bytes: usize| {
+        // SAFETY: caller passes a live slice pointer with `bytes` valid.
+        dst.copy_from_slice(unsafe { std::slice::from_raw_parts(src, bytes) });
+    };
+    copy_native(
+        &mut buf[layout.xs_off..layout.xs_off + n * 8],
+        store.xs().as_ptr().cast(),
+        n * 8,
+    );
+    copy_native(
+        &mut buf[layout.ys_off..layout.ys_off + n * 8],
+        store.ys().as_ptr().cast(),
+        n * 8,
+    );
+    copy_native(
+        &mut buf[layout.ts_off..layout.ts_off + n * 8],
+        store.ts().as_ptr().cast(),
+        n * 8,
+    );
+    copy_native(
+        &mut buf[layout.offsets_off..layout.offsets_off + (m + 1) * 4],
+        store.offsets().as_ptr().cast(),
+        (m + 1) * 4,
+    );
+    if let (Some(off), Some(k)) = (layout.kept_off, kept) {
+        copy_native(
+            &mut buf[off..off + layout.kept_words * 8],
+            k.words().as_ptr().cast(),
+            layout.kept_words * 8,
+        );
+    }
+    AlignedBytes { words, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::db::Simplification;
+    use crate::gen::{generate, DatasetSpec, Scale};
+
+    fn sample_store() -> PointStore {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 99).to_store()
+    }
+
+    fn temp_path(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("qdts_snapshot_tests");
+        std::fs::create_dir_all(&dir).expect("temp dir");
+        dir.join(name)
+    }
+
+    #[test]
+    fn owned_round_trip_is_identity() {
+        let store = sample_store();
+        let path = temp_path("owned_round_trip.snap");
+        write_snapshot(&store, &path).unwrap();
+        let snap = read_snapshot(&path).unwrap();
+        assert_eq!(snap.store, store);
+        assert_eq!(snap.kept, None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_round_trip_matches_columns_and_views() {
+        let store = sample_store();
+        let path = temp_path("mapped_round_trip.snap");
+        write_snapshot(&store, &path).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+        assert_eq!(mapped.xs(), store.xs());
+        assert_eq!(mapped.ys(), store.ys());
+        assert_eq!(mapped.ts(), store.ts());
+        assert_eq!(mapped.offsets(), store.offsets());
+        assert_eq!(AsColumns::len(&mapped), store.len());
+        assert_eq!(AsColumns::total_points(&mapped), store.total_points());
+        for id in 0..store.len() {
+            let (a, b) = (AsColumns::view(&mapped, id), store.view(id));
+            assert_eq!(a.xs, b.xs);
+            assert_eq!(a.ys, b.ys);
+            assert_eq!(a.ts, b.ts);
+        }
+        assert_eq!(mapped.kept_words(), None);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kept_bitmap_round_trips() {
+        let store = sample_store();
+        let db = store.to_db();
+        let mut simp = Simplification::most_simplified(&db);
+        for (id, t) in db.iter() {
+            for idx in (0..t.len() as u32).step_by(4) {
+                simp.insert(id, idx);
+            }
+        }
+        let bitmap = simp.to_bitmap(&store);
+        let path = temp_path("kept_round_trip.snap");
+        write_snapshot_with(&store, Some(&bitmap), &path).unwrap();
+
+        let snap = read_snapshot(&path).unwrap();
+        assert_eq!(snap.kept.as_ref(), Some(&bitmap));
+
+        let mapped = MappedStore::open(&path).unwrap();
+        assert_eq!(mapped.kept_bitmap().as_ref(), Some(&bitmap));
+        assert_eq!(mapped.kept_words(), Some(bitmap.words()));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn empty_store_round_trips() {
+        let store = PointStore::new();
+        let bytes = snapshot_bytes(&store, None);
+        let snap = read_snapshot_bytes(&bytes).unwrap();
+        assert_eq!(snap.store, store);
+
+        let path = temp_path("empty.snap");
+        write_snapshot(&store, &path).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+        assert_eq!(AsColumns::len(&mapped), 0);
+        assert_eq!(AsColumns::total_points(&mapped), 0);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn sections_are_aligned_and_header_is_exact() {
+        let store = sample_store();
+        let bytes = snapshot_bytes(&store, None);
+        assert_eq!(&bytes[0..8], &MAGIC);
+        assert_eq!(get_u32(&bytes, 8), VERSION);
+        assert_eq!(get_u32(&bytes, 12), 0);
+        assert_eq!(get_u64(&bytes, 16), store.len() as u64);
+        assert_eq!(get_u64(&bytes, 24), store.total_points() as u64);
+        for field in [32, 40, 48, 56] {
+            assert_eq!(get_u64(&bytes, field) % SECTION_ALIGN as u64, 0);
+        }
+        assert_eq!(get_u64(&bytes, 32), HEADER_LEN as u64);
+        // Reserved region stays zero.
+        assert!(bytes[80..128].iter().all(|&b| b == 0));
+        // Trailing checksum self-verifies.
+        let sum_off = get_u64(&bytes, 72) as usize;
+        assert_eq!(get_u64(&bytes, sum_off), fnv1a64(&bytes[..sum_off]));
+        assert_eq!(bytes.len(), sum_off + 8);
+    }
+
+    #[test]
+    fn rejects_bad_magic() {
+        let store = sample_store();
+        let mut bytes = snapshot_bytes(&store, None);
+        bytes[0] = b'X';
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::BadMagic { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_future_version() {
+        let store = sample_store();
+        let mut bytes = snapshot_bytes(&store, None);
+        put_u32(&mut bytes, 8, VERSION + 1);
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::UnsupportedVersion { found, supported })
+                if found == VERSION + 1 && supported == VERSION
+        ));
+    }
+
+    #[test]
+    fn rejects_unknown_flags() {
+        let store = sample_store();
+        let mut bytes = snapshot_bytes(&store, None);
+        put_u32(&mut bytes, 12, 0x80);
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::UnknownFlags { flags: 0x80 })
+        ));
+    }
+
+    #[test]
+    fn rejects_truncation_at_every_boundary() {
+        let store = sample_store();
+        let bytes = snapshot_bytes(&store, None);
+        for cut in [0, 7, HEADER_LEN - 1, HEADER_LEN + 8, bytes.len() - 1] {
+            let err = read_snapshot_bytes(&bytes[..cut]).unwrap_err();
+            assert!(
+                matches!(
+                    err,
+                    SnapshotError::Truncated { .. } | SnapshotError::SectionOutOfBounds { .. }
+                ),
+                "cut at {cut}: {err}"
+            );
+        }
+    }
+
+    #[test]
+    fn rejects_out_of_bounds_section() {
+        let store = sample_store();
+        let mut bytes = snapshot_bytes(&store, None);
+        let huge = (bytes.len() as u64) * 2;
+        put_u64(&mut bytes, 48, huge); // ts offset past EOF
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::SectionOutOfBounds { section: "ts", .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_flipped_payload_bits() {
+        let store = sample_store();
+        let mut bytes = snapshot_bytes(&store, None);
+        let mid = HEADER_LEN + (bytes.len() - HEADER_LEN) / 2;
+        bytes[mid] ^= 0x40;
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_invalid_offset_table() {
+        // Hand-build a store whose offsets we then corrupt (fixing up the
+        // checksum so only the offset invariant can fail).
+        let store = sample_store();
+        let mut bytes = snapshot_bytes(&store, None);
+        let offsets_off = get_u64(&bytes, 56) as usize;
+        // offsets[1] := offsets[2] + 1 breaks monotonicity for any store
+        // with at least 2 trajectories.
+        let o2 = get_u32(&bytes, offsets_off + 8);
+        put_u32(&mut bytes, offsets_off + 4, o2 + 1);
+        let sum_off = get_u64(&bytes, 72) as usize;
+        let sum = fnv1a64(&bytes[..sum_off]);
+        put_u64(&mut bytes, sum_off, sum);
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::InvalidOffsets { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_empty_trajectories_in_offset_table() {
+        // No store API can produce a zero-length trajectory, so a file
+        // claiming one is corrupt — and must not reach kNN windowing
+        // (first()/last() on an empty view) or bitmap anchoring.
+        let store = sample_store();
+        let mut bytes = snapshot_bytes(&store, None);
+        let offsets_off = get_u64(&bytes, 56) as usize;
+        // offsets[1] := offsets[0] (= 0) empties trajectory 0 while
+        // keeping the table monotone.
+        put_u32(&mut bytes, offsets_off + 4, 0);
+        let sum_off = get_u64(&bytes, 72) as usize;
+        let sum = fnv1a64(&bytes[..sum_off]);
+        put_u64(&mut bytes, sum_off, sum);
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::InvalidOffsets { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_kept_bitmap_tail_bits_without_panicking() {
+        // A checksum-valid file whose kept bitmap sets a bit past N must
+        // come back as a typed error from BOTH load paths — never the
+        // KeptBitmap::from_words panic.
+        let store = sample_store();
+        let n = store.total_points();
+        assert_ne!(n % 64, 0, "sample store must leave tail padding bits");
+        let kept = KeptBitmap::zeros(n);
+        let mut bytes = snapshot_bytes(&store, Some(&kept));
+        let kept_off = get_u64(&bytes, 64) as usize;
+        let words = n.div_ceil(64);
+        let last_off = kept_off + (words - 1) * 8;
+        put_u64(&mut bytes, last_off, 1u64 << 63); // bit 63 of last word > n
+        let sum_off = get_u64(&bytes, 72) as usize;
+        let sum = fnv1a64(&bytes[..sum_off]);
+        put_u64(&mut bytes, sum_off, sum);
+
+        assert!(matches!(
+            read_snapshot_bytes(&bytes),
+            Err(SnapshotError::InvalidKeptBitmap { .. })
+        ));
+        let path = temp_path("tail_bits.snap");
+        std::fs::write(&path, &bytes).unwrap();
+        assert!(matches!(
+            MappedStore::open(&path),
+            Err(SnapshotError::InvalidKeptBitmap { .. })
+        ));
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn mapped_open_rejects_corrupt_files_with_typed_errors() {
+        let store = sample_store();
+        let ok = snapshot_bytes(&store, None);
+
+        let cases: Vec<(&str, Vec<u8>)> = vec![
+            ("empty", Vec::new()),
+            ("short", ok[..64].to_vec()),
+            ("bad_magic", {
+                let mut b = ok.clone();
+                b[3] = 0;
+                b
+            }),
+            ("bit_rot", {
+                let mut b = ok.clone();
+                let last = b.len() - 9; // inside checksummed range
+                b[last] ^= 1;
+                b
+            }),
+        ];
+        for (name, data) in cases {
+            let path = temp_path(&format!("corrupt_{name}.snap"));
+            std::fs::write(&path, &data).unwrap();
+            let err = MappedStore::open(&path).unwrap_err();
+            assert!(
+                !matches!(err, SnapshotError::Io(_)),
+                "{name}: expected typed rejection, got {err}"
+            );
+            std::fs::remove_file(&path).ok();
+        }
+    }
+
+    #[test]
+    fn store_ref_serves_all_four_backends_identically() {
+        use crate::store::StoreRef;
+        let store = sample_store();
+        let path = temp_path("store_ref.snap");
+        write_snapshot(&store, &path).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+        let mapped2 = MappedStore::open(&path).unwrap();
+        let refs = [
+            StoreRef::Owned(store.clone()),
+            StoreRef::Borrowed(&store),
+            StoreRef::Mapped(mapped),
+            StoreRef::MappedRef(&mapped2),
+        ];
+        for r in &refs {
+            assert_eq!(r.xs(), store.xs());
+            assert_eq!(r.offsets(), store.offsets());
+            assert_eq!(r.bounding_cube(), PointStore::bounding_cube(&store));
+        }
+        assert!(refs[0].as_point_store().is_some());
+        assert!(refs[2].as_mapped().is_some());
+        assert!(refs[2].as_point_store().is_none());
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn fnv_matches_reference_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x85944171f73967e8);
+    }
+}

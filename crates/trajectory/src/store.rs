@@ -34,6 +34,7 @@
 use crate::bbox::Cube;
 use crate::db::{Simplification, TrajId, TrajectoryDb};
 use crate::point::Point;
+use crate::snapshot::MappedStore;
 use crate::traj::Trajectory;
 
 /// Global identifier of a point inside a [`PointStore`]: its column index.
@@ -77,6 +78,29 @@ impl PointStore {
             xs: Vec::with_capacity(points),
             ys: Vec::with_capacity(points),
             ts: Vec::with_capacity(points),
+            offsets,
+            open: false,
+        }
+    }
+
+    /// Assembles a store directly from already-validated columns (the
+    /// snapshot loader's path). The caller guarantees the usual invariants:
+    /// equal column lengths, `offsets` monotone starting at 0 and ending at
+    /// the point count, per-trajectory time order.
+    pub(crate) fn from_raw_columns(
+        xs: Vec<f64>,
+        ys: Vec<f64>,
+        ts: Vec<f64>,
+        offsets: Vec<u32>,
+    ) -> Self {
+        debug_assert_eq!(xs.len(), ys.len());
+        debug_assert_eq!(xs.len(), ts.len());
+        debug_assert_eq!(*offsets.last().expect("sentinel") as usize, xs.len());
+        debug_assert!(offsets.windows(2).all(|w| w[0] <= w[1]));
+        Self {
+            xs,
+            ys,
+            ts,
             offsets,
             open: false,
         }
@@ -611,6 +635,313 @@ impl KeptBitmap {
     #[must_use]
     pub fn count(&self) -> usize {
         self.words.iter().map(|w| w.count_ones() as usize).sum()
+    }
+
+    /// The raw 64-bit words backing the bitmap (bit `gid % 64` of word
+    /// `gid / 64` is point `gid`). This is the exact run the snapshot
+    /// format persists.
+    #[inline]
+    #[must_use]
+    pub fn words(&self) -> &[u64] {
+        &self.words
+    }
+
+    /// Reassembles a bitmap from its raw words (the snapshot loader's
+    /// path).
+    ///
+    /// # Panics
+    /// When `words` is not exactly `n.div_ceil(64)` long, or a bit above
+    /// `n` is set — either would silently corrupt membership tests.
+    #[must_use]
+    pub fn from_words(words: Vec<u64>, n: usize) -> Self {
+        assert_eq!(words.len(), n.div_ceil(64), "word count mismatch for {n}");
+        if !n.is_multiple_of(64) {
+            if let Some(&last) = words.last() {
+                assert_eq!(last >> (n % 64), 0, "bits set past the point count");
+            }
+        }
+        Self { words, len: n }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Layout-agnostic column access.
+// ---------------------------------------------------------------------
+
+/// Read-side access to columnar trajectory storage: the four plain runs
+/// (`xs`/`ys`/`ts`/`offsets`) plus every derived read operation the index
+/// builders and the query engine consume.
+///
+/// [`PointStore`] (heap-owned columns) and [`MappedStore`] (columns
+/// backed by a read-only file mapping) both implement it, so one index build and one
+/// query path serve either backend — a snapshot on disk is queryable with
+/// zero deserialization. [`StoreRef`] is the enum that lets a struct hold
+/// "some store" without going generic.
+///
+/// All provided methods mirror the semantics of [`PointStore`]'s inherent
+/// methods of the same name; implementors only supply the four column
+/// accessors.
+pub trait AsColumns {
+    /// The x column (committed points).
+    fn xs(&self) -> &[f64];
+
+    /// The y column (committed points).
+    fn ys(&self) -> &[f64];
+
+    /// The t column (committed points, non-decreasing per trajectory).
+    fn ts(&self) -> &[f64];
+
+    /// The per-trajectory offset table (length `M + 1`, starts at 0, ends
+    /// at the total point count).
+    fn offsets(&self) -> &[u32];
+
+    /// Number of trajectories `M`.
+    #[inline]
+    fn len(&self) -> usize {
+        self.offsets().len() - 1
+    }
+
+    /// True when the store holds no trajectory.
+    #[inline]
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total number of points `N`.
+    #[inline]
+    fn total_points(&self) -> usize {
+        *self.offsets().last().expect("sentinel") as usize
+    }
+
+    /// Zero-copy view of trajectory `id`.
+    #[inline]
+    fn view(&self, id: TrajId) -> TrajView<'_> {
+        let lo = self.offsets()[id] as usize;
+        let hi = self.offsets()[id + 1] as usize;
+        TrajView {
+            xs: &self.xs()[lo..hi],
+            ys: &self.ys()[lo..hi],
+            ts: &self.ts()[lo..hi],
+        }
+    }
+
+    /// Iterator over all trajectory views in id order.
+    fn views(&self) -> impl Iterator<Item = TrajView<'_>> {
+        (0..self.len()).map(move |id| self.view(id))
+    }
+
+    /// Iterator over `(id, view)` pairs.
+    fn iter(&self) -> impl Iterator<Item = (TrajId, TrajView<'_>)> {
+        (0..self.len()).map(move |id| (id, self.view(id)))
+    }
+
+    /// The point with global id `gid`.
+    #[inline]
+    fn point(&self, gid: PointId) -> Point {
+        let i = gid as usize;
+        Point::new(self.xs()[i], self.ys()[i], self.ts()[i])
+    }
+
+    /// Global column range of trajectory `id`.
+    #[inline]
+    fn global_range(&self, id: TrajId) -> std::ops::Range<usize> {
+        self.offsets()[id] as usize..self.offsets()[id + 1] as usize
+    }
+
+    /// Global id of point `idx` of trajectory `id`.
+    #[inline]
+    fn global_id(&self, id: TrajId, idx: u32) -> PointId {
+        self.offsets()[id] + idx
+    }
+
+    /// The trajectory owning global point `gid` (binary search over the
+    /// offset table).
+    fn traj_of(&self, gid: PointId) -> TrajId {
+        debug_assert!((gid as usize) < self.total_points());
+        self.offsets().partition_point(|&o| o <= gid) - 1
+    }
+
+    /// Splits a global id into `(trajectory, local point index)`.
+    fn locate(&self, gid: PointId) -> (TrajId, u32) {
+        let id = self.traj_of(gid);
+        (id, gid - self.offsets()[id])
+    }
+
+    /// Materializes the owner column: `owners[gid]` = owning trajectory.
+    fn owner_column(&self) -> Vec<u32> {
+        let offsets = self.offsets();
+        let mut owners = Vec::with_capacity(self.total_points());
+        for id in 0..self.len() {
+            owners.resize(offsets[id + 1] as usize, id as u32);
+        }
+        owners
+    }
+
+    /// Smallest cube covering every point.
+    fn bounding_cube(&self) -> Cube {
+        TrajView {
+            xs: self.xs(),
+            ys: self.ys(),
+            ts: self.ts(),
+        }
+        .bounding_cube()
+    }
+
+    /// Time span covered by the whole store.
+    fn time_span(&self) -> (f64, f64) {
+        let c = self.bounding_cube();
+        (c.t_min, c.t_max)
+    }
+
+    /// Materializes an owned, heap-backed copy of the columns. For an
+    /// already-owned [`PointStore`] this is a full clone — it exists so a
+    /// mapped store can be detached from its file.
+    fn to_point_store(&self) -> PointStore {
+        PointStore::from_raw_columns(
+            self.xs().to_vec(),
+            self.ys().to_vec(),
+            self.ts().to_vec(),
+            self.offsets().to_vec(),
+        )
+    }
+
+    /// Materializes the columns into an AoS [`TrajectoryDb`].
+    fn to_db(&self) -> TrajectoryDb {
+        self.views()
+            .map(|v| Trajectory::from_sorted_unchecked(v.collect_points()))
+            .collect()
+    }
+}
+
+impl AsColumns for PointStore {
+    #[inline]
+    fn xs(&self) -> &[f64] {
+        PointStore::xs(self)
+    }
+
+    #[inline]
+    fn ys(&self) -> &[f64] {
+        PointStore::ys(self)
+    }
+
+    #[inline]
+    fn ts(&self) -> &[f64] {
+        PointStore::ts(self)
+    }
+
+    #[inline]
+    fn offsets(&self) -> &[u32] {
+        PointStore::offsets(self)
+    }
+}
+
+/// A query engine's handle on "some columnar store": owned or borrowed,
+/// heap-backed or mmap-backed, behind one non-generic type.
+///
+/// This is the seam that lets `traj_query::QueryEngine` (and anything else
+/// holding a store long-term) serve queries straight off a
+/// [`MappedStore`] without a generic parameter rippling through every
+/// consumer. All read access goes through
+/// the [`AsColumns`] impl.
+#[derive(Debug)]
+pub enum StoreRef<'a> {
+    /// An owned heap-backed store.
+    Owned(PointStore),
+    /// A borrowed heap-backed store.
+    Borrowed(&'a PointStore),
+    /// An owned read-only file mapping.
+    Mapped(MappedStore),
+    /// A borrowed read-only file mapping.
+    MappedRef(&'a MappedStore),
+}
+
+impl StoreRef<'_> {
+    /// The heap-backed [`PointStore`] behind this handle, when there is
+    /// one (`None` for mapped stores — use
+    /// [`AsColumns::to_point_store`] to materialize a copy).
+    #[must_use]
+    pub fn as_point_store(&self) -> Option<&PointStore> {
+        match self {
+            StoreRef::Owned(s) => Some(s),
+            StoreRef::Borrowed(s) => Some(s),
+            StoreRef::Mapped(_) | StoreRef::MappedRef(_) => None,
+        }
+    }
+
+    /// The file mapping behind this handle, when there is one.
+    #[must_use]
+    pub fn as_mapped(&self) -> Option<&MappedStore> {
+        match self {
+            StoreRef::Mapped(m) => Some(m),
+            StoreRef::MappedRef(m) => Some(m),
+            StoreRef::Owned(_) | StoreRef::Borrowed(_) => None,
+        }
+    }
+}
+
+impl AsColumns for StoreRef<'_> {
+    #[inline]
+    fn xs(&self) -> &[f64] {
+        match self {
+            StoreRef::Owned(s) => PointStore::xs(s),
+            StoreRef::Borrowed(s) => PointStore::xs(s),
+            StoreRef::Mapped(m) => m.xs(),
+            StoreRef::MappedRef(m) => m.xs(),
+        }
+    }
+
+    #[inline]
+    fn ys(&self) -> &[f64] {
+        match self {
+            StoreRef::Owned(s) => PointStore::ys(s),
+            StoreRef::Borrowed(s) => PointStore::ys(s),
+            StoreRef::Mapped(m) => m.ys(),
+            StoreRef::MappedRef(m) => m.ys(),
+        }
+    }
+
+    #[inline]
+    fn ts(&self) -> &[f64] {
+        match self {
+            StoreRef::Owned(s) => PointStore::ts(s),
+            StoreRef::Borrowed(s) => PointStore::ts(s),
+            StoreRef::Mapped(m) => m.ts(),
+            StoreRef::MappedRef(m) => m.ts(),
+        }
+    }
+
+    #[inline]
+    fn offsets(&self) -> &[u32] {
+        match self {
+            StoreRef::Owned(s) => PointStore::offsets(s),
+            StoreRef::Borrowed(s) => PointStore::offsets(s),
+            StoreRef::Mapped(m) => m.offsets(),
+            StoreRef::MappedRef(m) => m.offsets(),
+        }
+    }
+}
+
+impl From<PointStore> for StoreRef<'static> {
+    fn from(s: PointStore) -> Self {
+        StoreRef::Owned(s)
+    }
+}
+
+impl<'a> From<&'a PointStore> for StoreRef<'a> {
+    fn from(s: &'a PointStore) -> Self {
+        StoreRef::Borrowed(s)
+    }
+}
+
+impl From<MappedStore> for StoreRef<'static> {
+    fn from(m: MappedStore) -> Self {
+        StoreRef::Mapped(m)
+    }
+}
+
+impl<'a> From<&'a MappedStore> for StoreRef<'a> {
+    fn from(m: &'a MappedStore) -> Self {
+        StoreRef::MappedRef(m)
     }
 }
 

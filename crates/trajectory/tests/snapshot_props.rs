@@ -1,0 +1,190 @@
+//! Property-based tests for the snapshot persistence layer: every store
+//! round-trips byte-identically through both load paths (owned read and
+//! zero-copy mapping), kept bitmaps survive alongside, and *any*
+//! single-byte corruption is rejected with a typed error — never a panic,
+//! never silently wrong data.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use proptest::prelude::*;
+use trajectory::snapshot::{
+    read_snapshot_bytes, snapshot_bytes, MappedStore, SnapshotError, HEADER_LEN,
+};
+use trajectory::{AsColumns, KeptBitmap, Point, PointStore, Trajectory};
+
+/// Strategy: a database of 1..8 trajectories with 1..30 points each
+/// (bounded coordinates, non-decreasing times), as a columnar store.
+fn arb_store() -> impl Strategy<Value = PointStore> {
+    prop::collection::vec(
+        prop::collection::vec((-1e5..1e5f64, -1e5..1e5f64, 0.0..60.0f64), 1..30),
+        1..8,
+    )
+    .prop_map(|trajs| {
+        trajs
+            .into_iter()
+            .map(|steps| {
+                let mut t = 0.0;
+                let pts = steps
+                    .into_iter()
+                    .map(|(x, y, dt)| {
+                        t += dt;
+                        Point::new(x, y, t)
+                    })
+                    .collect();
+                Trajectory::new(pts).unwrap()
+            })
+            .collect()
+    })
+}
+
+/// Strategy: a kept bitmap over `n` points with roughly the given keep
+/// probability (endpoints not special-cased — the format does not care).
+fn arb_bitmap(n: usize) -> impl Strategy<Value = KeptBitmap> {
+    prop::collection::vec(any::<bool>(), n).prop_map(move |bits| {
+        let mut b = KeptBitmap::zeros(n);
+        for (i, keep) in bits.iter().enumerate() {
+            if *keep {
+                b.insert(i as u32);
+            }
+        }
+        b
+    })
+}
+
+/// A unique temp path per invocation so property cases never collide.
+fn unique_temp(tag: &str) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("qdts_snapshot_props");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}_{}_{}.snap",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn owned_and_mapped_round_trips_are_byte_identical(store in arb_store()) {
+        let bytes = snapshot_bytes(&store, None);
+
+        // Owned path: full structural equality.
+        let snap = read_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(&snap.store, &store);
+        prop_assert!(snap.kept.is_none());
+
+        // Mapped path: identical columns, offsets, and per-trajectory
+        // views straight off the file.
+        let path = unique_temp("round_trip");
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+        prop_assert_eq!(mapped.xs(), store.xs());
+        prop_assert_eq!(mapped.ys(), store.ys());
+        prop_assert_eq!(mapped.ts(), store.ts());
+        prop_assert_eq!(mapped.offsets(), store.offsets());
+        prop_assert_eq!(AsColumns::len(&mapped), store.len());
+        for id in 0..store.len() {
+            let (m, o) = (AsColumns::view(&mapped, id), store.view(id));
+            prop_assert_eq!(m.xs, o.xs);
+            prop_assert_eq!(m.ys, o.ys);
+            prop_assert_eq!(m.ts, o.ts);
+        }
+        prop_assert_eq!(
+            AsColumns::bounding_cube(&mapped),
+            PointStore::bounding_cube(&store)
+        );
+        // Detaching the mapping yields the original store again.
+        prop_assert_eq!(&mapped.to_point_store(), &store);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn kept_bitmaps_survive_both_load_paths(
+        (store, bitmap) in arb_store().prop_flat_map(|s| {
+            let n = s.total_points();
+            (Just(s), arb_bitmap(n))
+        })
+    ) {
+        let bytes = snapshot_bytes(&store, Some(&bitmap));
+        let snap = read_snapshot_bytes(&bytes).unwrap();
+        prop_assert_eq!(&snap.store, &store);
+        prop_assert_eq!(snap.kept.as_ref(), Some(&bitmap));
+
+        let path = unique_temp("kept");
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+        let mapped_bitmap = mapped.kept_bitmap();
+        prop_assert_eq!(mapped_bitmap.as_ref(), Some(&bitmap));
+        // Membership agrees bit-for-bit through the mapped words.
+        let roundtrip = mapped_bitmap.unwrap();
+        for gid in 0..store.total_points() as u32 {
+            prop_assert_eq!(roundtrip.contains(gid), bitmap.contains(gid));
+        }
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_rejected_with_a_typed_error(
+        (store, flip, bit) in (arb_store(), 0.0..1.0f64, 0u8..8)
+    ) {
+        // The checksum covers everything before it, and the header's
+        // geometry is canonical — so flipping ANY bit of the file must
+        // surface as a typed SnapshotError from both load paths.
+        let mut bytes = snapshot_bytes(&store, None);
+        let idx = ((bytes.len() - 1) as f64 * flip) as usize;
+        bytes[idx] ^= 1 << bit;
+
+        let owned = read_snapshot_bytes(&bytes);
+        prop_assert!(owned.is_err(), "flip at {idx} accepted by owned read");
+        prop_assert!(
+            !matches!(owned.unwrap_err(), SnapshotError::Io(_)),
+            "owned read surfaced corruption as Io"
+        );
+
+        let path = unique_temp("corrupt");
+        std::fs::write(&path, &bytes).unwrap();
+        let mapped = MappedStore::open(&path);
+        prop_assert!(mapped.is_err(), "flip at {idx} accepted by mmap open");
+        prop_assert!(
+            !matches!(mapped.unwrap_err(), SnapshotError::Io(_)),
+            "mmap open surfaced corruption as Io"
+        );
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(
+        (store, frac) in (arb_store(), 0.0..1.0f64)
+    ) {
+        let bytes = snapshot_bytes(&store, None);
+        let cut = ((bytes.len() - 1) as f64 * frac) as usize;
+        let err = read_snapshot_bytes(&bytes[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(
+                err,
+                SnapshotError::Truncated { .. } | SnapshotError::SectionOutOfBounds { .. }
+            ),
+            "cut at {cut}/{} gave {err}",
+            bytes.len()
+        );
+    }
+
+    #[test]
+    fn header_example_constants_hold_for_all_stores(store in arb_store()) {
+        // The invariants the format spec documents: canonical section
+        // offsets, 64-byte alignment, zero reserved region, trailing
+        // checksum position.
+        let bytes = snapshot_bytes(&store, None);
+        let u64_at = |o: usize| u64::from_le_bytes(bytes[o..o + 8].try_into().unwrap());
+        prop_assert_eq!(u64_at(16) as usize, store.len());
+        prop_assert_eq!(u64_at(24) as usize, store.total_points());
+        prop_assert_eq!(u64_at(32) as usize, HEADER_LEN);
+        for field in [32usize, 40, 48, 56, 72] {
+            prop_assert_eq!(u64_at(field) % 64, 0, "field at {} misaligned", field);
+        }
+        prop_assert!(bytes[80..128].iter().all(|&b| b == 0));
+        prop_assert_eq!(bytes.len(), u64_at(72) as usize + 8);
+    }
+}

@@ -22,6 +22,7 @@ use qdts::query::{
 };
 use qdts::rl4qdts::{train, Rl4QdtsConfig, TrainerConfig};
 use qdts::trajectory::gen::{generate, DatasetSpec, Scale};
+use qdts::trajectory::AsColumns;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 

@@ -20,7 +20,16 @@
 //! simplification incrementally maintained. The per-operator scan
 //! functions in [`query`] remain the semantic reference.
 //!
-//! See `examples/quickstart.rs` for the 60-second tour.
+//! See `examples/quickstart.rs` for the 60-second tour,
+//! `docs/ARCHITECTURE.md` (the [`architecture`] module) for the crate
+//! map and system invariants, and `docs/SNAPSHOT_FORMAT.md` for the
+//! on-disk snapshot specification — both books are doc-tested against
+//! the implementation.
+
+/// The architecture book (`docs/ARCHITECTURE.md`), included here so its
+/// end-to-end pipeline example compiles and runs under `cargo test`.
+#[doc = include_str!("../docs/ARCHITECTURE.md")]
+pub mod architecture {}
 
 pub use tiny_rl as rl;
 pub use traj_index as index;
