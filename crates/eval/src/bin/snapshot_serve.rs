@@ -1,22 +1,34 @@
 //! `snapshot` / `serve`: persist a trajectory database once, then serve
-//! queries straight from the mapped file.
+//! queries straight from the mapped file(s).
 //!
 //! ```text
-//! snapshot_serve snapshot [--csv FILE] [--out FILE.snap] [--scale smoke|small|paper]
+//! snapshot_serve snapshot [--csv FILE] [--out FILE.snap|DIR] [--scale smoke|small|paper]
 //!                         [--ratio R] [--seed N]
-//! snapshot_serve serve    [--snap FILE.snap] [--queries N] [--seed N]
+//!                         [--shards N] [--partition grid|time|hash]
+//! snapshot_serve serve    [--snap FILE.snap|DIR] [--queries N] [--seed N]
 //! ```
+//!
+//! With `--shards N` the snapshot task writes a *sharded* database: a
+//! directory of per-shard snapshot files plus a manifest, partitioned by
+//! `--partition` (default `hash`). The serve task auto-detects the
+//! layout: a directory serves through the fan-out `ShardedQueryEngine`
+//! (per-shard indexes built in parallel over the mappings), a single
+//! file through the plain `QueryEngine`.
 
 use std::path::PathBuf;
 
-use qdts_eval::serving::{serve_task, snapshot_task, SnapshotSource};
+use qdts_eval::serving::{
+    serve_task, shard_serve_task, shard_snapshot_task, snapshot_task, SnapshotSource,
+};
 use trajectory::gen::Scale;
+use trajectory::shard::PartitionStrategy;
 
 fn usage() -> ! {
     eprintln!(
-        "usage:\n  snapshot_serve snapshot [--csv FILE] [--out FILE.snap] \
-         [--scale smoke|small|paper] [--ratio R] [--seed N]\n  \
-         snapshot_serve serve [--snap FILE.snap] [--queries N] [--seed N]"
+        "usage:\n  snapshot_serve snapshot [--csv FILE] [--out FILE.snap|DIR] \
+         [--scale smoke|small|paper] [--ratio R] [--seed N] \
+         [--shards N] [--partition grid|time|hash]\n  \
+         snapshot_serve serve [--snap FILE.snap|DIR] [--queries N] [--seed N]"
     );
     std::process::exit(2);
 }
@@ -43,10 +55,23 @@ fn flag_value<'a>(rest: &'a [String], flag: &str) -> Option<&'a str> {
         .map(String::as_str)
 }
 
+/// Resolves `--shards` / `--partition` into a strategy (hash by default).
+fn partition_strategy(
+    rest: &[String],
+    shards: usize,
+) -> Result<PartitionStrategy, Box<dyn std::error::Error>> {
+    Ok(match flag_value(rest, "--partition").unwrap_or("hash") {
+        "grid" => PartitionStrategy::grid_for(shards),
+        "time" => PartitionStrategy::Time { parts: shards },
+        "hash" => PartitionStrategy::Hash { parts: shards },
+        other => return Err(format!("unknown partition strategy: {other}").into()),
+    })
+}
+
 fn run_snapshot(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
-    let out = PathBuf::from(flag_value(rest, "--out").unwrap_or("db.snap"));
     let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
     let ratio: Option<f64> = flag_value(rest, "--ratio").map(str::parse).transpose()?;
+    let shards: Option<usize> = flag_value(rest, "--shards").map(str::parse).transpose()?;
     let source = match flag_value(rest, "--csv") {
         Some(csv) => SnapshotSource::Csv(PathBuf::from(csv)),
         None => {
@@ -54,6 +79,39 @@ fn run_snapshot(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
             SnapshotSource::Synthetic(scale)
         }
     };
+
+    if let Some(shards) = shards {
+        let out = PathBuf::from(flag_value(rest, "--out").unwrap_or("db.shards"));
+        let strategy = partition_strategy(rest, shards)?;
+        let r = shard_snapshot_task(&source, &strategy, ratio, &out, seed)?;
+        println!("== sharded snapshot task ==");
+        println!(
+            "ingested  {} trajectories / {} points in {:.3}s",
+            r.trajectories, r.points, r.ingest_seconds
+        );
+        println!(
+            "partitioned into {} shards ({}) in {:.3}s",
+            r.shards,
+            strategy.label(),
+            r.partition_seconds
+        );
+        if let Some(kept) = r.kept_points {
+            println!(
+                "simplified to {kept} kept points ({:.1}%) across shards in {:.3}s",
+                100.0 * kept as f64 / r.points as f64,
+                r.simplify_seconds
+            );
+        }
+        println!(
+            "wrote {} ({} snapshot bytes + manifest) in {:.3}s",
+            out.display(),
+            r.file_bytes,
+            r.write_seconds
+        );
+        return Ok(());
+    }
+
+    let out = PathBuf::from(flag_value(rest, "--out").unwrap_or("db.snap"));
     let r = snapshot_task(&source, ratio, &out, seed)?;
     println!("== snapshot task ==");
     println!(
@@ -80,6 +138,32 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let snap = PathBuf::from(flag_value(rest, "--snap").unwrap_or("db.snap"));
     let queries: usize = flag_value(rest, "--queries").unwrap_or("100").parse()?;
     let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
+
+    if snap.is_dir() {
+        let r = shard_serve_task(&snap, queries, seed)?;
+        println!("== sharded serve task ({}) ==", snap.display());
+        println!(
+            "mapped {} shards / {} trajectories / {} points in {:.6}s (zero-copy open)",
+            r.shards, r.trajectories, r.points, r.open_seconds
+        );
+        println!(
+            "parallel per-shard octrees over mapped columns in {:.3}s",
+            r.index_seconds
+        );
+        println!(
+            "{} range queries fanned out in {:.4}s ({} result ids)",
+            r.queries, r.full_batch_seconds, r.full_result_ids
+        );
+        match r.simplified_batch_seconds {
+            Some(s) => println!(
+                "{} range queries on per-shard kept bitmaps (D') in {s:.4}s",
+                r.queries
+            ),
+            None => println!("no kept bitmaps in shard set (full database only)"),
+        }
+        return Ok(());
+    }
+
     let r = serve_task(&snap, queries, seed)?;
     println!("== serve task ({}) ==", snap.display());
     println!(

@@ -26,10 +26,12 @@ use std::time::Instant;
 
 use traj_query::{
     range_workload_store, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
+    ShardedQueryEngine,
 };
 use traj_simp::{Simplifier, Uniform};
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::io::read_csv_store;
+use trajectory::shard::{partition, PartitionStrategy, Shard, ShardSet};
 use trajectory::snapshot::{write_snapshot_with, MappedStore};
 use trajectory::{AsColumns, PointStore};
 
@@ -74,12 +76,7 @@ pub fn snapshot_task(
     seed: u64,
 ) -> Result<SnapshotReport, Box<dyn std::error::Error>> {
     let t0 = Instant::now();
-    let store: PointStore = match source {
-        SnapshotSource::Csv(path) => read_csv_store(std::fs::File::open(path)?)?,
-        SnapshotSource::Synthetic(scale) => {
-            generate(&DatasetSpec::tdrive(*scale).with_trajectories(1000), seed).to_store()
-        }
-    };
+    let store = acquire_store(source, seed)?;
     let ingest_seconds = t0.elapsed().as_secs_f64();
 
     let t1 = Instant::now();
@@ -135,6 +132,20 @@ pub struct ServeReport {
     pub full_result_ids: usize,
 }
 
+/// Acquires the source database (CSV parse or synthetic generation) —
+/// shared between the single-snapshot and sharded snapshot tasks.
+fn acquire_store(
+    source: &SnapshotSource,
+    seed: u64,
+) -> Result<PointStore, Box<dyn std::error::Error>> {
+    Ok(match source {
+        SnapshotSource::Csv(path) => read_csv_store(std::fs::File::open(path)?)?,
+        SnapshotSource::Synthetic(scale) => {
+            generate(&DatasetSpec::tdrive(*scale).with_trajectories(1000), seed).to_store()
+        }
+    })
+}
+
 /// The `serve` task: open a snapshot, build an engine **over the
 /// mapping**, and execute a data-distribution range workload — against
 /// the full columns, and additionally against the kept bitmap when the
@@ -172,6 +183,182 @@ pub fn serve_task(
     Ok(ServeReport {
         trajectories: mapped.offsets().len() - 1,
         points: AsColumns::total_points(&mapped),
+        open_seconds,
+        index_seconds,
+        queries: workload.len(),
+        full_batch_seconds,
+        simplified_batch_seconds,
+        full_result_ids,
+    })
+}
+
+// ---------------------------------------------------------------------
+// Sharded snapshot / serve.
+// ---------------------------------------------------------------------
+
+/// What the sharded `snapshot` task produced.
+#[derive(Debug, Clone)]
+pub struct ShardSnapshotReport {
+    /// Number of shards written.
+    pub shards: usize,
+    /// Trajectories across all shards.
+    pub trajectories: usize,
+    /// Points across all shards.
+    pub points: usize,
+    /// Kept points across all shards, when a simplification was applied.
+    pub kept_points: Option<usize>,
+    /// Total bytes across all shard snapshot files (manifest excluded).
+    pub file_bytes: u64,
+    /// Seconds spent acquiring the store.
+    pub ingest_seconds: f64,
+    /// Seconds spent partitioning.
+    pub partition_seconds: f64,
+    /// Seconds spent simplifying all shards (0 when `ratio` is `None`).
+    pub simplify_seconds: f64,
+    /// Seconds spent writing snapshots + manifest.
+    pub write_seconds: f64,
+}
+
+/// The sharded `snapshot` task: acquire a database, partition it with
+/// `strategy`, optionally simplify every shard to its proportional slice
+/// of `ratio · N` points, and persist the whole set as one snapshot file
+/// per shard plus the manifest.
+pub fn shard_snapshot_task(
+    source: &SnapshotSource,
+    strategy: &PartitionStrategy,
+    ratio: Option<f64>,
+    out_dir: &Path,
+    seed: u64,
+) -> Result<ShardSnapshotReport, Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let store = acquire_store(source, seed)?;
+    let ingest_seconds = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let shards: Vec<Shard> = partition(&store, strategy);
+    let partition_seconds = t1.elapsed().as_secs_f64();
+
+    let (set, kept_points, simplify_seconds, write_seconds) = match ratio {
+        Some(r) => {
+            let budget = ((store.total_points() as f64 * r) as usize).max(1);
+            let t2 = Instant::now();
+            let simps = traj_simp::simplify_shards(&Uniform, &shards, budget);
+            let simplify_seconds = t2.elapsed().as_secs_f64();
+            let kept: usize = simps.iter().map(|s| s.total_points()).sum();
+            let t3 = Instant::now();
+            let set = traj_simp::write_simplified_shard_set(out_dir, &shards, &simps)?;
+            (
+                set,
+                Some(kept),
+                simplify_seconds,
+                t3.elapsed().as_secs_f64(),
+            )
+        }
+        None => {
+            let t3 = Instant::now();
+            let set = ShardSet::write(out_dir, &shards)?;
+            (set, None, 0.0, t3.elapsed().as_secs_f64())
+        }
+    };
+
+    let mut file_bytes = 0;
+    for entry in set.entries() {
+        file_bytes += std::fs::metadata(out_dir.join(&entry.file))?.len();
+    }
+    Ok(ShardSnapshotReport {
+        shards: shards.len(),
+        trajectories: store.len(),
+        points: store.total_points(),
+        kept_points,
+        file_bytes,
+        ingest_seconds,
+        partition_seconds,
+        simplify_seconds,
+        write_seconds,
+    })
+}
+
+/// What the sharded `serve` task measured.
+#[derive(Debug, Clone)]
+pub struct ShardServeReport {
+    /// Shards served.
+    pub shards: usize,
+    /// Trajectories served.
+    pub trajectories: usize,
+    /// Points served.
+    pub points: usize,
+    /// Seconds from directory to validated, query-ready mappings.
+    pub open_seconds: f64,
+    /// Seconds for the parallel per-shard index builds.
+    pub index_seconds: f64,
+    /// Number of range queries executed.
+    pub queries: usize,
+    /// Seconds for the whole query batch against the full database.
+    pub full_batch_seconds: f64,
+    /// Seconds for the batch against the per-shard kept bitmaps (`None`
+    /// when the shards carry no simplification).
+    pub simplified_batch_seconds: Option<f64>,
+    /// Total result-set size over the full-database batch.
+    pub full_result_ids: usize,
+}
+
+/// The sharded `serve` task: load and validate the manifest, mmap every
+/// shard, build the fan-out engine (per-shard indexes in parallel over
+/// the mapped columns), and execute a data-distribution range workload —
+/// against the full database, and additionally against the per-shard
+/// kept bitmaps when the set was written simplified.
+pub fn shard_serve_task(
+    dir: &Path,
+    queries: usize,
+    seed: u64,
+) -> Result<ShardServeReport, Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let set = ShardSet::load(dir)?;
+    let mapped = set.open_mapped()?;
+    let open_seconds = t0.elapsed().as_secs_f64();
+
+    // Data-distribution workload over the union: each shard contributes
+    // queries proportional to its share of the points, anchored on its
+    // own mapped columns.
+    let total_points: usize = mapped
+        .iter()
+        .map(|s| AsColumns::total_points(&s.store))
+        .sum();
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut workload = Vec::with_capacity(queries);
+    for (i, shard) in mapped.iter().enumerate() {
+        let share = if total_points == 0 {
+            0
+        } else if i + 1 == mapped.len() {
+            queries - workload.len()
+        } else {
+            queries * AsColumns::total_points(&shard.store) / total_points
+        };
+        let spec = RangeWorkloadSpec::paper_default(share, QueryDistribution::Data);
+        workload.extend(range_workload_store(&shard.store, &spec, &mut rng));
+    }
+
+    let t1 = Instant::now();
+    let engine = ShardedQueryEngine::from_mapped_shards(mapped, EngineConfig::octree());
+    let index_seconds = t1.elapsed().as_secs_f64();
+
+    let t2 = Instant::now();
+    let full = engine.range_batch(&workload);
+    let full_batch_seconds = t2.elapsed().as_secs_f64();
+    let full_result_ids = full.iter().map(Vec::len).sum();
+
+    let simplified_batch_seconds = engine.has_kept_bitmaps().then(|| {
+        let t3 = Instant::now();
+        for q in &workload {
+            std::hint::black_box(engine.range_kept(q));
+        }
+        t3.elapsed().as_secs_f64()
+    });
+
+    Ok(ShardServeReport {
+        shards: engine.shard_count(),
+        trajectories: engine.len(),
+        points: engine.total_points(),
         open_seconds,
         index_seconds,
         queries: workload.len(),
@@ -234,6 +421,67 @@ mod tests {
             assert_eq!(mapped_engine.range(q), range_query_store(&store, q));
         }
         std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn shard_snapshot_then_serve_round_trips() {
+        let dir = temp(&format!("sharded_smoke_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let report = shard_snapshot_task(
+            &SnapshotSource::Synthetic(Scale::Smoke),
+            &PartitionStrategy::Hash { parts: 3 },
+            Some(0.3),
+            &dir,
+            7,
+        )
+        .unwrap();
+        assert_eq!(report.shards, 3);
+        assert!(report.points > 0);
+        assert!(report.kept_points.unwrap() > 0);
+
+        let served = shard_serve_task(&dir, 20, 11).unwrap();
+        assert_eq!(served.shards, 3);
+        assert_eq!(served.points, report.points);
+        assert_eq!(served.trajectories, report.trajectories);
+        assert_eq!(served.queries, 20);
+        assert!(served.simplified_batch_seconds.is_some());
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn sharded_serving_matches_single_store_serving() {
+        // The acceptance bar: a mapped sharded engine returns the same
+        // range results as a single-store engine over the unsharded
+        // database, for every partitioner.
+        let store = generate(&DatasetSpec::tdrive(Scale::Smoke), 3).to_store();
+        let spec = RangeWorkloadSpec::paper_default(25, QueryDistribution::Data);
+        let workload = range_workload_store(&store, &spec, &mut StdRng::seed_from_u64(5));
+        let single = QueryEngine::over_store(&store, EngineConfig::octree());
+        for strategy in [
+            PartitionStrategy::grid_for(4),
+            PartitionStrategy::Time { parts: 3 },
+            PartitionStrategy::Hash { parts: 4 },
+        ] {
+            let dir = temp(&format!(
+                "sharded_parity_{}_{}",
+                strategy.label(),
+                std::process::id()
+            ));
+            std::fs::remove_dir_all(&dir).ok();
+            let shards = partition(&store, &strategy);
+            ShardSet::write(&dir, &shards).unwrap();
+            let mapped = ShardSet::load(&dir).unwrap().open_mapped().unwrap();
+            let sharded = ShardedQueryEngine::from_mapped_shards(mapped, EngineConfig::octree());
+            for q in &workload {
+                assert_eq!(
+                    sharded.range(q),
+                    single.range(q),
+                    "{} diverges",
+                    strategy.label()
+                );
+            }
+            std::fs::remove_dir_all(&dir).ok();
+        }
     }
 
     #[test]

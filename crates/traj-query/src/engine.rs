@@ -121,7 +121,7 @@ impl EngineConfig {
 }
 
 /// The constructed index.
-enum IndexBackend {
+pub(crate) enum IndexBackend {
     Scan,
     Octree(Octree),
     MedianKd(MedianTree),
@@ -214,6 +214,24 @@ impl<'a> QueryEngine<'a> {
         let backend = build_backend(store, config);
         Self {
             store: StoreRef::MappedRef(store),
+            owners: std::sync::OnceLock::new(),
+            backend,
+            config,
+        }
+    }
+
+    /// Assembles an engine from a store handle and an index already built
+    /// over it (with [`build_backend`]) — the seam that lets the sharded
+    /// engine run all shard index builds in parallel first and attach the
+    /// stores afterwards. The caller guarantees `backend` was built over
+    /// exactly these columns.
+    pub(crate) fn from_backend(
+        store: StoreRef<'a>,
+        backend: IndexBackend,
+        config: EngineConfig,
+    ) -> Self {
+        Self {
+            store,
             owners: std::sync::OnceLock::new(),
             backend,
             config,
@@ -408,47 +426,10 @@ impl<'a> QueryEngine<'a> {
     /// candidate distances are computed in parallel.
     #[must_use]
     pub fn knn(&self, q: &KnnQuery) -> Vec<TrajId> {
-        let Some(index) = self.spatial_index() else {
-            return q.execute_store(&self.store);
-        };
-        let q_window = q.query_window();
-        if q_window.is_empty() {
-            // Degenerate window: distances collapse to trivial cases and
-            // the scan is already O(M).
-            return q.execute_store(&self.store);
-        }
-        // Time-slab pruning: only trajectories with a sampled point in
-        // [ts, te] can have a finite distance. The marking is conservative
-        // (a leaf partially overlapping the slab contributes all its
-        // trajectories), which only adds candidates whose exact distance is
-        // then computed — results never change.
-        let slab = time_slab(index.cube(index.root()), q.ts, q.te);
-        let mut in_window = vec![false; self.store.len()];
-        match &self.backend {
-            IndexBackend::Scan => unreachable!("scan handled above"),
-            IndexBackend::Octree(t) => {
-                mark_trajectories_in(t, SpatioTemporalIndex::root(t), &slab, &mut in_window)
-            }
-            IndexBackend::MedianKd(t) => {
-                mark_trajectories_in(t, SpatioTemporalIndex::root(t), &slab, &mut in_window)
-            }
-        }
-        let candidates: Vec<TrajId> = collect_hits(&in_window);
-        let scored: Vec<(f64, TrajId)> = par_map(&candidates, |&id| {
-            (q.windowed_distance_view(q_window, self.store.view(id)), id)
-        });
-        // Every unmarked trajectory ranks at infinity — as do marked ones
-        // whose window turned out empty. The scan orders by (distance, id),
-        // so all finite distances come first and the infinite tail is
-        // filled in ascending id order across candidates and
-        // non-candidates alike.
-        let mut finite: Vec<(f64, TrajId)> =
-            scored.into_iter().filter(|(d, _)| d.is_finite()).collect();
-        finite.sort_by(|a, b| {
-            a.0.partial_cmp(&b.0)
-                .unwrap_or(std::cmp::Ordering::Equal)
-                .then(a.1.cmp(&b.1))
-        });
+        let finite = self.knn_finite_scored(q);
+        // Every trajectory absent from `finite` ranks at infinity. The
+        // reference scan orders by (distance, id), so all finite distances
+        // come first and the infinite tail fills in ascending id order.
         let mut in_finite = vec![false; self.store.len()];
         for &(_, id) in &finite {
             in_finite[id] = true;
@@ -464,6 +445,54 @@ impl<'a> QueryEngine<'a> {
         }
         ids.sort_unstable();
         ids
+    }
+
+    /// The finite-distance half of a kNN execution: every trajectory whose
+    /// windowed distance to the query is finite, as `(distance, id)` pairs
+    /// sorted ascending by `(distance, id)`. [`QueryEngine::knn`] is this
+    /// plus the take-`k` / infinite-fill policy; the sharded engine merges
+    /// these lists across shards (mapping ids to global ones) and applies
+    /// the same policy once, globally — which is what makes fan-out kNN
+    /// byte-identical to the single-store execution.
+    pub(crate) fn knn_finite_scored(&self, q: &KnnQuery) -> Vec<(f64, TrajId)> {
+        let q_window = q.query_window();
+        let candidates: Vec<TrajId> = match (self.spatial_index(), q_window.is_empty()) {
+            // No index, or a degenerate window (where even trajectories
+            // outside [ts, te] score finite): every trajectory is a
+            // candidate.
+            (None, _) | (_, true) => (0..self.store.len()).collect(),
+            (Some(index), false) => {
+                // Time-slab pruning: only trajectories with a sampled
+                // point in [ts, te] can have a finite distance. The
+                // marking is conservative (a leaf partially overlapping
+                // the slab contributes all its trajectories), which only
+                // adds candidates whose exact distance is then computed —
+                // results never change.
+                let slab = time_slab(index.cube(index.root()), q.ts, q.te);
+                let mut in_window = vec![false; self.store.len()];
+                match &self.backend {
+                    IndexBackend::Scan => unreachable!("scan handled above"),
+                    IndexBackend::Octree(t) => {
+                        mark_trajectories_in(t, SpatioTemporalIndex::root(t), &slab, &mut in_window)
+                    }
+                    IndexBackend::MedianKd(t) => {
+                        mark_trajectories_in(t, SpatioTemporalIndex::root(t), &slab, &mut in_window)
+                    }
+                }
+                collect_hits(&in_window)
+            }
+        };
+        let scored: Vec<(f64, TrajId)> = par_map(&candidates, |&id| {
+            (q.windowed_distance_view(q_window, self.store.view(id)), id)
+        });
+        let mut finite: Vec<(f64, TrajId)> =
+            scored.into_iter().filter(|(d, _)| d.is_finite()).collect();
+        finite.sort_by(|a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        finite
     }
 
     /// Executes a batch of kNN queries (parallelism lives inside each
@@ -519,8 +548,12 @@ impl<'a> QueryEngine<'a> {
 }
 
 /// Builds the configured index over the columns of `store` (any
-/// [`AsColumns`] backend).
-fn build_backend<S: AsColumns + ?Sized>(store: &S, config: EngineConfig) -> IndexBackend {
+/// [`AsColumns`] backend). `pub(crate)` so the sharded engine can run
+/// per-shard builds in parallel before assembling its [`QueryEngine`]s.
+pub(crate) fn build_backend<S: AsColumns + ?Sized>(
+    store: &S,
+    config: EngineConfig,
+) -> IndexBackend {
     match config.backend {
         BackendKind::Scan => IndexBackend::Scan,
         BackendKind::Octree => IndexBackend::Octree(Octree::build(
@@ -745,8 +778,20 @@ impl MaintainedWorkload {
             }
             counts
         });
-        let result_len: Vec<usize> = initial.iter().map(HashMap::len).collect();
-        let inter_len: Vec<usize> = initial
+        Self::from_parts(queries, truth, initial)
+    }
+
+    /// Assembles the workload state from already-computed ground truth and
+    /// kept-point hit counts — the seam the sharded engine uses: truth and
+    /// counts come from a fan-out over shards (with ids mapped back to
+    /// global), the derived `|Rs|` / `|Ro ∩ Rs|` bookkeeping is shared.
+    pub(crate) fn from_parts(
+        queries: Vec<Cube>,
+        truth: Vec<Vec<TrajId>>,
+        counts: Vec<HashMap<TrajId, u32>>,
+    ) -> Self {
+        let result_len: Vec<usize> = counts.iter().map(HashMap::len).collect();
+        let inter_len: Vec<usize> = counts
             .iter()
             .zip(&truth)
             .map(|(counts, truth)| {
@@ -759,7 +804,7 @@ impl MaintainedWorkload {
         Self {
             queries,
             truth,
-            counts: initial,
+            counts,
             result_len,
             inter_len,
         }

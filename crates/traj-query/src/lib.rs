@@ -28,6 +28,11 @@
 //! ([`trajectory::MappedStore`]) through identical code paths — see
 //! [`QueryEngine::over_mapped`] and `docs/ARCHITECTURE.md`.
 //!
+//! Sharded databases (`trajectory::shard`) are served by a
+//! [`ShardedQueryEngine`]: per-shard indexes built in parallel, queries
+//! routed to the shards whose bounds can contribute, results merged to
+//! match the single-store engine byte-for-byte (see [`sharded`]).
+//!
 //! # Example: build once, serve ranges, kNN, and similarity
 //!
 //! ```
@@ -56,8 +61,8 @@ pub mod engine;
 pub mod join;
 pub mod knn;
 pub mod metrics;
-pub mod parallel;
 pub mod range;
+pub mod sharded;
 pub mod similarity;
 pub mod t2vec;
 pub mod traclus;
@@ -68,9 +73,13 @@ pub use join::{similarity_join, JoinParams};
 pub use knn::{Dissimilarity, KnnQuery};
 pub use metrics::{f1_pairs, f1_sets, mean_f1, query_diff, F1Score};
 pub use range::{range_query, range_query_batch, range_query_store};
+pub use sharded::{ShardedQueryEngine, ShardedSimplification};
 pub use similarity::SimilarityQuery;
 pub use t2vec::T2vecEmbedder;
 pub use traclus::{traclus, TraclusParams, TraclusResult};
+/// The shared scoped-thread parallel map (re-exported from the data
+/// substrate so existing `traj_query::parallel` users keep working).
+pub use trajectory::parallel;
 pub use workload::{
     range_workload, range_workload_store, traj_query_workload, QueryDistribution,
     RangeWorkloadSpec, TrajQuerySpec,

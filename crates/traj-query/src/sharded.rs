@@ -1,0 +1,748 @@
+//! Fan-out query execution over a sharded database.
+//!
+//! A [`ShardedQueryEngine`] holds one [`QueryEngine`] per shard (each over
+//! its own columns — heap-owned or mmap-backed — with its own index, all
+//! built **in parallel** via [`par_map`]) plus the shard-local → global
+//! trajectory id maps and per-shard bounding cubes. Queries are routed to
+//! the shards that can contribute and the per-shard results merged so
+//! that every query returns **byte-identical answers** to a single-store
+//! [`QueryEngine`] over the unsharded database:
+//!
+//! - **range**: only shards whose bounds intersect the query cube execute
+//!   it (shard-bound pruning); local hits map to global ids and merge
+//!   sorted.
+//! - **kNN**: each contributing shard produces its finite-distance
+//!   candidates best-first; a global k-heap merges the per-shard streams
+//!   by `(distance, global id)` and the single-store infinite-fill policy
+//!   is applied once, globally.
+//! - **similarity** and [`MaintainedWorkload`]: per-shard candidate
+//!   generation (interpolation makes spatial pruning unsound, exactly as
+//!   in the single-store engine), then a global merge.
+//!
+//! The equality is property-tested in `tests/sharded_props.rs` across all
+//! partitioners and index backends, including mmap-backed shards.
+
+use std::cmp::Ordering;
+use std::collections::{BinaryHeap, HashMap};
+
+use trajectory::shard::{partition, OpenShard, PartitionStrategy, Shard};
+use trajectory::{
+    AsColumns, Cube, KeptBitmap, MappedStore, PointStore, Simplification, StoreRef, TrajId,
+};
+
+use crate::engine::{build_backend, EngineConfig, MaintainedWorkload, QueryEngine};
+use crate::knn::KnnQuery;
+use crate::parallel::{par_map, par_map_indexed};
+use crate::similarity::SimilarityQuery;
+
+/// One shard as the router sees it: its engine, its id translation, its
+/// bounds, and (for persisted simplified databases) its kept bitmap.
+struct ShardHandle<'a> {
+    engine: QueryEngine<'a>,
+    /// `global_ids[local]` = global trajectory id; strictly ascending, so
+    /// shard-local result order is global order.
+    global_ids: Vec<TrajId>,
+    /// Smallest cube covering the shard's points — what range routing and
+    /// kNN time pruning test against.
+    bounds: Cube,
+    /// The shard snapshot's kept bitmap, when it was written with one.
+    kept: Option<KeptBitmap>,
+}
+
+/// A query engine over a sharded database: per-shard indexes built in
+/// parallel, queries fanned out to the shards whose bounds can
+/// contribute, results merged to match the single-store [`QueryEngine`]
+/// exactly. See the [module docs](self) for the routing/merge rules.
+pub struct ShardedQueryEngine<'a> {
+    shards: Vec<ShardHandle<'a>>,
+    total_trajs: usize,
+    config: EngineConfig,
+}
+
+impl ShardedQueryEngine<'static> {
+    /// Partitions `store` with `strategy` and builds one engine per shard
+    /// (index builds run in parallel). The convenience constructor for
+    /// "shard this database now"; use [`ShardedQueryEngine::from_shards`]
+    /// when the partition is reused.
+    #[must_use]
+    pub fn from_partition(
+        store: &PointStore,
+        strategy: &PartitionStrategy,
+        config: EngineConfig,
+    ) -> Self {
+        Self::from_shards(partition(store, strategy), config)
+    }
+
+    /// Builds the fan-out engine over already-partitioned shards,
+    /// consuming their stores. All shard index builds run in parallel via
+    /// [`par_map`], then each store moves into its engine — no column is
+    /// copied.
+    #[must_use]
+    pub fn from_shards(shards: Vec<Shard>, config: EngineConfig) -> Self {
+        Self::build(
+            shards
+                .into_iter()
+                .map(|sh| (StoreRef::Owned(sh.store), sh.global_ids, None))
+                .collect(),
+            config,
+        )
+    }
+
+    /// Builds the fan-out engine over shards reopened from a
+    /// [`ShardSet`](trajectory::ShardSet) as owned stores
+    /// (`open_owned`). Kept bitmaps carried by the shard snapshots are
+    /// retained for [`ShardedQueryEngine::range_kept`].
+    #[must_use]
+    pub fn from_open_shards(shards: Vec<OpenShard<PointStore>>, config: EngineConfig) -> Self {
+        Self::build(
+            shards
+                .into_iter()
+                .map(|sh| (StoreRef::Owned(sh.store), sh.global_ids, sh.kept))
+                .collect(),
+            config,
+        )
+    }
+
+    /// Builds the fan-out engine over mmap-backed shards (`open_mapped`):
+    /// per-shard index builds walk the mapped columns in parallel and
+    /// queries execute with zero deserialization, exactly as
+    /// [`QueryEngine::from_mapped`] does for a single store.
+    #[must_use]
+    pub fn from_mapped_shards(shards: Vec<OpenShard<MappedStore>>, config: EngineConfig) -> Self {
+        Self::build(
+            shards
+                .into_iter()
+                .map(|sh| (StoreRef::Mapped(sh.store), sh.global_ids, sh.kept))
+                .collect(),
+            config,
+        )
+    }
+}
+
+impl<'a> ShardedQueryEngine<'a> {
+    /// Builds the fan-out engine *borrowing* already-partitioned shards —
+    /// the zero-copy twin of [`ShardedQueryEngine::from_shards`], for
+    /// callers (benchmarks, repeated builds) that keep the partition
+    /// around.
+    #[must_use]
+    pub fn over_shards(shards: &'a [Shard], config: EngineConfig) -> Self {
+        Self::build(
+            shards
+                .iter()
+                .map(|sh| (StoreRef::Borrowed(&sh.store), sh.global_ids.clone(), None))
+                .collect(),
+            config,
+        )
+    }
+
+    /// The shared constructor core: per-shard index builds run in
+    /// parallel via [`par_map`] over the store handles (owned, borrowed,
+    /// or mapped — [`StoreRef`] implements `AsColumns`), then each store
+    /// moves into its engine alongside its bounds and id map.
+    fn build(
+        shards: Vec<(StoreRef<'a>, Vec<TrajId>, Option<KeptBitmap>)>,
+        config: EngineConfig,
+    ) -> Self {
+        let backends = par_map(&shards, |(store, _, _)| build_backend(store, config));
+        let handles = shards
+            .into_iter()
+            .zip(backends)
+            .map(|((store, global_ids, kept), backend)| {
+                let bounds = store.bounding_cube();
+                ShardHandle {
+                    engine: QueryEngine::from_backend(store, backend, config),
+                    global_ids,
+                    bounds,
+                    kept,
+                }
+            })
+            .collect();
+        Self::from_handles(handles, config)
+    }
+
+    fn from_handles(shards: Vec<ShardHandle<'a>>, config: EngineConfig) -> Self {
+        let total_trajs = shards.iter().map(|sh| sh.global_ids.len()).sum();
+        debug_assert!(
+            {
+                let mut seen = vec![false; total_trajs];
+                shards
+                    .iter()
+                    .flat_map(|sh| &sh.global_ids)
+                    .all(|&g| g < total_trajs && !std::mem::replace(&mut seen[g], true))
+            },
+            "shard global ids must partition 0..total"
+        );
+        Self {
+            shards,
+            total_trajs,
+            config,
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total trajectories across all shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.total_trajs
+    }
+
+    /// True when the engine serves no trajectories.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.total_trajs == 0
+    }
+
+    /// Total points across all shards.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|sh| sh.engine.store().total_points())
+            .sum()
+    }
+
+    /// The per-shard build configuration.
+    #[must_use]
+    pub fn config(&self) -> EngineConfig {
+        self.config
+    }
+
+    /// Per-shard bounding cubes (the router's pruning bounds).
+    pub fn shard_bounds(&self) -> impl Iterator<Item = Cube> + '_ {
+        self.shards.iter().map(|sh| sh.bounds)
+    }
+
+    /// True when every shard carries a persisted kept bitmap — i.e. the
+    /// set was written as a simplified database and
+    /// [`ShardedQueryEngine::range_kept`] can serve `D'`.
+    #[must_use]
+    pub fn has_kept_bitmaps(&self) -> bool {
+        !self.shards.is_empty() && self.shards.iter().all(|sh| sh.kept.is_some())
+    }
+
+    /// Maps per-shard local result lists to global ids and merges them
+    /// ascending.
+    fn merge_local(&self, per_shard: Vec<Vec<TrajId>>) -> Vec<TrajId> {
+        let mut out = Vec::with_capacity(per_shard.iter().map(Vec::len).sum());
+        for (sh, ids) in self.shards.iter().zip(per_shard) {
+            out.extend(ids.into_iter().map(|local| sh.global_ids[local]));
+        }
+        out.sort_unstable();
+        out
+    }
+
+    // ------------------------------------------------------------------
+    // Range queries.
+    // ------------------------------------------------------------------
+
+    /// Executes a range query, fanning out across shards in parallel.
+    /// Shards whose bounds miss `q` are pruned without touching their
+    /// index. Identical results to [`QueryEngine::range`] over the
+    /// unsharded store.
+    #[must_use]
+    pub fn range(&self, q: &Cube) -> Vec<TrajId> {
+        self.merge_local(par_map(&self.shards, |sh| shard_range(sh, q)))
+    }
+
+    /// Executes a whole batch of range queries, parallel across queries
+    /// (each query walks its shards sequentially — one level of
+    /// parallelism, not `cores²` threads).
+    #[must_use]
+    pub fn range_batch(&self, queries: &[Cube]) -> Vec<Vec<TrajId>> {
+        par_map(queries, |q| {
+            self.merge_local(self.shards.iter().map(|sh| shard_range(sh, q)).collect())
+        })
+    }
+
+    /// Executes a range query against the *persisted* per-shard kept
+    /// bitmaps (a simplified shard set) — `None` when the shards carry no
+    /// bitmaps. Identical results to [`QueryEngine::range_kept`] with the
+    /// equivalent global bitmap.
+    #[must_use]
+    pub fn range_kept(&self, q: &Cube) -> Option<Vec<TrajId>> {
+        if !self.has_kept_bitmaps() {
+            return None;
+        }
+        Some(self.merge_local(par_map(&self.shards, |sh| {
+            if !sh.bounds.intersects(q) {
+                return Vec::new();
+            }
+            let kept = sh.kept.as_ref().expect("checked by has_kept_bitmaps");
+            sh.engine.range_kept(kept, q)
+        })))
+    }
+
+    // ------------------------------------------------------------------
+    // kNN queries.
+    // ------------------------------------------------------------------
+
+    /// Executes a kNN query: contributing shards produce their
+    /// finite-distance candidates best-first (shards temporally disjoint
+    /// from the window are pruned), a global k-heap merges the streams by
+    /// `(distance, global id)`, and the infinite tail fills in ascending
+    /// global id order — the exact single-store policy, applied once
+    /// globally. Identical results to [`QueryEngine::knn`].
+    #[must_use]
+    pub fn knn(&self, q: &KnnQuery) -> Vec<TrajId> {
+        // With an empty query window even temporally disjoint trajectories
+        // score finite (the both-empty convention), so time pruning is
+        // only sound when the window is non-empty.
+        let window_empty = q.query_window().is_empty();
+        let per_shard: Vec<Vec<(f64, TrajId)>> = par_map(&self.shards, |sh| {
+            if !window_empty && (sh.bounds.t_max < q.ts || sh.bounds.t_min > q.te) {
+                return Vec::new();
+            }
+            let mut scored = sh.engine.knn_finite_scored(q);
+            // Only a shard's best k can reach the global top k; anything
+            // past that is dead weight in the merge. (The infinite-fill
+            // path is unaffected: it only triggers when the global finite
+            // count is below k, in which case no shard was truncated.)
+            scored.truncate(q.k);
+            for entry in &mut scored {
+                entry.1 = sh.global_ids[entry.1];
+                entry.0 += 0.0; // normalize -0.0 so total_cmp == partial_cmp
+            }
+            scored
+        });
+
+        // Global k-heap: a best-first k-way merge over the sorted
+        // per-shard streams. Ties on distance break by global id, exactly
+        // like the single-store sort.
+        let mut heap: BinaryHeap<std::cmp::Reverse<KnnHeapEntry>> = BinaryHeap::new();
+        for (shard, list) in per_shard.iter().enumerate() {
+            if let Some(&(d, id)) = list.first() {
+                heap.push(std::cmp::Reverse(KnnHeapEntry {
+                    d,
+                    id,
+                    shard,
+                    pos: 0,
+                }));
+            }
+        }
+        let mut ids: Vec<TrajId> = Vec::with_capacity(q.k);
+        while ids.len() < q.k {
+            let Some(std::cmp::Reverse(e)) = heap.pop() else {
+                break;
+            };
+            ids.push(e.id);
+            if let Some(&(d, id)) = per_shard[e.shard].get(e.pos + 1) {
+                heap.push(std::cmp::Reverse(KnnHeapEntry {
+                    d,
+                    id,
+                    shard: e.shard,
+                    pos: e.pos + 1,
+                }));
+            }
+        }
+        if ids.len() < q.k {
+            // Fewer finite candidates than k: fill with the
+            // infinite-distance trajectories in ascending global id order.
+            let mut finite = vec![false; self.total_trajs];
+            for list in &per_shard {
+                for &(_, id) in list {
+                    finite[id] = true;
+                }
+            }
+            for (id, _) in finite.iter().enumerate().filter(|(_, &f)| !f) {
+                ids.push(id);
+                if ids.len() == q.k {
+                    break;
+                }
+            }
+        }
+        ids.sort_unstable();
+        ids
+    }
+
+    /// Executes a batch of kNN queries (parallelism lives inside each
+    /// query's shard fan-out).
+    #[must_use]
+    pub fn knn_batch(&self, queries: &[KnnQuery]) -> Vec<Vec<TrajId>> {
+        queries.iter().map(|q| self.knn(q)).collect()
+    }
+
+    // ------------------------------------------------------------------
+    // Similarity queries.
+    // ------------------------------------------------------------------
+
+    /// Executes a similarity query: per-shard candidate generation in
+    /// parallel, global merge. Spatial pruning stays unsound here (a
+    /// trajectory can match through interpolation with no sampled point
+    /// near the window), but a shard temporally disjoint from the window
+    /// cannot match. Identical results to [`QueryEngine::similarity`].
+    #[must_use]
+    pub fn similarity(&self, q: &SimilarityQuery) -> Vec<TrajId> {
+        self.merge_local(par_map(&self.shards, |sh| shard_similarity(sh, q)))
+    }
+
+    /// Executes a batch of similarity queries, parallel across queries.
+    #[must_use]
+    pub fn similarity_batch(&self, queries: &[SimilarityQuery]) -> Vec<Vec<TrajId>> {
+        par_map(queries, |q| {
+            self.merge_local(
+                self.shards
+                    .iter()
+                    .map(|sh| shard_similarity(sh, q))
+                    .collect(),
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Simplified-database execution.
+    // ------------------------------------------------------------------
+
+    /// Splits a global [`Simplification`] into per-shard local ones —
+    /// compute once, then serve [`ShardedQueryEngine::range_simplified`]
+    /// / [`ShardedQueryEngine::range_simplified_batch`] against it.
+    #[must_use]
+    pub fn shard_simplification(&self, simp: &Simplification) -> ShardedSimplification {
+        let locals = self
+            .shards
+            .iter()
+            .map(|sh| {
+                let kept: Vec<Vec<u32>> = sh
+                    .global_ids
+                    .iter()
+                    .map(|&g| simp.kept(g).to_vec())
+                    .collect();
+                Simplification::from_kept_store(sh.engine.store(), kept)
+            })
+            .collect();
+        ShardedSimplification { locals }
+    }
+
+    /// Executes a range query against a sharded simplification without
+    /// materializing `D'`. Identical results to
+    /// [`QueryEngine::range_simplified`] with the corresponding global
+    /// simplification.
+    #[must_use]
+    pub fn range_simplified(&self, simp: &ShardedSimplification, q: &Cube) -> Vec<TrajId> {
+        assert_eq!(simp.locals.len(), self.shards.len(), "shard count mismatch");
+        self.merge_local(par_map_indexed(&self.shards, |i, sh| {
+            if !sh.bounds.intersects(q) {
+                return Vec::new();
+            }
+            sh.engine.range_simplified(&simp.locals[i], q)
+        }))
+    }
+
+    /// Batch variant of [`ShardedQueryEngine::range_simplified`],
+    /// parallel across queries.
+    #[must_use]
+    pub fn range_simplified_batch(
+        &self,
+        simp: &ShardedSimplification,
+        queries: &[Cube],
+    ) -> Vec<Vec<TrajId>> {
+        assert_eq!(simp.locals.len(), self.shards.len(), "shard count mismatch");
+        par_map(queries, |q| {
+            self.merge_local(
+                self.shards
+                    .iter()
+                    .enumerate()
+                    .map(|(i, sh)| {
+                        if !sh.bounds.intersects(q) {
+                            return Vec::new();
+                        }
+                        sh.engine.range_simplified(&simp.locals[i], q)
+                    })
+                    .collect(),
+            )
+        })
+    }
+
+    // ------------------------------------------------------------------
+    // Workload maintenance.
+    // ------------------------------------------------------------------
+
+    /// Builds a [`MaintainedWorkload`] over `queries` with ground truth
+    /// from this sharded engine and running result sets from `simp`
+    /// (global trajectory ids throughout): per-shard candidate
+    /// generation, global merge. The returned workload is
+    /// indistinguishable from one built by the single-store engine —
+    /// every subsequent `insert`/`remove`/`diff` is pure bookkeeping on
+    /// global ids.
+    #[must_use]
+    pub fn maintained_workload(
+        &self,
+        queries: Vec<Cube>,
+        simp: &Simplification,
+    ) -> MaintainedWorkload {
+        let truth = self.range_batch(&queries);
+        let counts: Vec<HashMap<TrajId, u32>> = par_map(&queries, |q| {
+            let mut counts: HashMap<TrajId, u32> = HashMap::new();
+            for sh in &self.shards {
+                // Kept points inside q lie inside the shard's bounds.
+                if !sh.bounds.intersects(q) {
+                    continue;
+                }
+                for (local, v) in sh.engine.store().iter() {
+                    let global = sh.global_ids[local];
+                    let n = simp
+                        .kept(global)
+                        .iter()
+                        .filter(|&&idx| {
+                            let i = idx as usize;
+                            q.contains_xyz(v.xs[i], v.ys[i], v.ts[i])
+                        })
+                        .count() as u32;
+                    if n > 0 {
+                        counts.insert(global, n);
+                    }
+                }
+            }
+            counts
+        });
+        MaintainedWorkload::from_parts(queries, truth, counts)
+    }
+}
+
+/// A global [`Simplification`] split into per-shard local ones (see
+/// [`ShardedQueryEngine::shard_simplification`]).
+#[derive(Debug, Clone)]
+pub struct ShardedSimplification {
+    /// `locals[shard]` = the simplification restricted to that shard, in
+    /// shard-local trajectory ids.
+    locals: Vec<Simplification>,
+}
+
+impl ShardedSimplification {
+    /// Total number of retained points across all shards.
+    #[must_use]
+    pub fn total_points(&self) -> usize {
+        self.locals.iter().map(Simplification::total_points).sum()
+    }
+}
+
+/// One shard's share of a range query (shard-local ids).
+fn shard_range(sh: &ShardHandle<'_>, q: &Cube) -> Vec<TrajId> {
+    if !sh.bounds.intersects(q) {
+        return Vec::new();
+    }
+    sh.engine.range(q)
+}
+
+/// One shard's share of a similarity query (shard-local ids). Only the
+/// time axis prunes: every candidate in a shard disjoint from `[ts, te]`
+/// fails the window-overlap test the matcher applies per trajectory.
+fn shard_similarity(sh: &ShardHandle<'_>, q: &SimilarityQuery) -> Vec<TrajId> {
+    if sh.bounds.t_max < q.ts || sh.bounds.t_min > q.te {
+        return Vec::new();
+    }
+    q.execute_store(sh.engine.store())
+}
+
+/// Heap entry of the global kNN merge: ordered by `(distance, global
+/// id)`; `shard`/`pos` locate the successor in that shard's stream.
+/// Distances are finite and `-0.0`-normalized, so `total_cmp` agrees with
+/// the single-store sort's `partial_cmp`.
+struct KnnHeapEntry {
+    d: f64,
+    id: TrajId,
+    shard: usize,
+    pos: usize,
+}
+
+impl PartialEq for KnnHeapEntry {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+
+impl Eq for KnnHeapEntry {}
+
+impl PartialOrd for KnnHeapEntry {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for KnnHeapEntry {
+    fn cmp(&self, other: &Self) -> Ordering {
+        self.d
+            .total_cmp(&other.d)
+            .then(self.id.cmp(&other.id))
+            .then(self.shard.cmp(&other.shard))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::knn::Dissimilarity;
+    use crate::workload::{range_workload_store, QueryDistribution, RangeWorkloadSpec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use trajectory::gen::{generate, DatasetSpec, Scale};
+
+    fn sample_store() -> PointStore {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 4242).to_store()
+    }
+
+    fn workload(store: &PointStore, n: usize, seed: u64) -> Vec<Cube> {
+        let spec = RangeWorkloadSpec {
+            count: n,
+            spatial_extent: 2_000.0,
+            temporal_extent: 86_400.0,
+            dist: QueryDistribution::Data,
+        };
+        range_workload_store(store, &spec, &mut StdRng::seed_from_u64(seed))
+    }
+
+    #[test]
+    fn sharded_range_matches_single_store() {
+        let store = sample_store();
+        let queries = workload(&store, 25, 1);
+        let single = QueryEngine::over_store(&store, EngineConfig::octree());
+        for strategy in [
+            PartitionStrategy::Grid { nx: 2, ny: 2 },
+            PartitionStrategy::Time { parts: 3 },
+            PartitionStrategy::Hash { parts: 4 },
+        ] {
+            let sharded =
+                ShardedQueryEngine::from_partition(&store, &strategy, EngineConfig::octree());
+            assert!(sharded.shard_count() >= 1);
+            assert_eq!(sharded.len(), store.len());
+            assert_eq!(sharded.total_points(), store.total_points());
+            for q in &queries {
+                assert_eq!(sharded.range(q), single.range(q), "{strategy:?}");
+            }
+            assert_eq!(sharded.range_batch(&queries), single.range_batch(&queries));
+        }
+    }
+
+    #[test]
+    fn sharded_knn_matches_single_store() {
+        let store = sample_store();
+        let db = store.to_db();
+        let (t0, t1) = store.time_span();
+        let single = QueryEngine::over_store(&store, EngineConfig::octree());
+        let sharded = ShardedQueryEngine::from_partition(
+            &store,
+            &PartitionStrategy::Hash { parts: 3 },
+            EngineConfig::octree(),
+        );
+        for (k, ts, te) in [
+            (3, t0, t1),
+            (1, t0, (t0 + t1) / 2.0),
+            (100, t1 + 1.0, t1 + 10.0), // empty window: degenerate scoring
+        ] {
+            let q = KnnQuery {
+                query: db.get(0).clone(),
+                ts,
+                te,
+                k,
+                measure: Dissimilarity::Edr { eps: 1_000.0 },
+            };
+            assert_eq!(sharded.knn(&q), single.knn(&q), "k={k} ts={ts} te={te}");
+        }
+    }
+
+    #[test]
+    fn sharded_similarity_matches_single_store() {
+        let store = sample_store();
+        let db = store.to_db();
+        let (t0, t1) = db.get(0).time_span();
+        let q = SimilarityQuery {
+            query: db.get(0).clone(),
+            ts: t0,
+            te: t1,
+            delta: 2_500.0,
+            step: 300.0,
+        };
+        let single = QueryEngine::over_store(&store, EngineConfig::octree());
+        let sharded = ShardedQueryEngine::from_partition(
+            &store,
+            &PartitionStrategy::Time { parts: 4 },
+            EngineConfig::octree(),
+        );
+        assert_eq!(sharded.similarity(&q), single.similarity(&q));
+        assert_eq!(
+            sharded.similarity_batch(std::slice::from_ref(&q)),
+            single.similarity_batch(std::slice::from_ref(&q))
+        );
+    }
+
+    #[test]
+    fn sharded_simplified_and_workload_match_single_store() {
+        let store = sample_store();
+        let db = store.to_db();
+        let mut simp = Simplification::most_simplified(&db);
+        for (id, t) in db.iter() {
+            for idx in (0..t.len() as u32).step_by(4) {
+                simp.insert(id, idx);
+            }
+        }
+        let queries = workload(&store, 15, 9);
+        let single = QueryEngine::over_store(&store, EngineConfig::octree());
+        let sharded = ShardedQueryEngine::from_partition(
+            &store,
+            &PartitionStrategy::Grid { nx: 2, ny: 2 },
+            EngineConfig::octree(),
+        );
+        let local = sharded.shard_simplification(&simp);
+        assert_eq!(local.total_points(), simp.total_points());
+        for q in &queries {
+            assert_eq!(
+                sharded.range_simplified(&local, q),
+                single.range_simplified(&simp, q)
+            );
+        }
+        assert_eq!(
+            sharded.range_simplified_batch(&local, &queries),
+            single.range_simplified_batch(&simp, &queries)
+        );
+
+        let mut single_w = single.maintained_workload(queries.clone(), &simp);
+        let mut sharded_w = sharded.maintained_workload(queries.clone(), &simp);
+        assert!((single_w.diff() - sharded_w.diff()).abs() < 1e-12);
+        for i in 0..queries.len() {
+            assert_eq!(single_w.truth(i), sharded_w.truth(i));
+            assert_eq!(single_w.result(i), sharded_w.result(i));
+        }
+        // The maintained state evolves identically under insertions.
+        for id in 0..db.len().min(8) {
+            let n = db.get(id).len() as u32;
+            if n > 2 && simp.insert(id, 1) {
+                single_w.insert(id, db.get(id).point(1));
+                sharded_w.insert(id, db.get(id).point(1));
+            }
+        }
+        assert!((single_w.diff() - sharded_w.diff()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn borrowed_shards_serve_identically() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let owned = ShardedQueryEngine::from_shards(shards.clone(), EngineConfig::median_kd());
+        let borrowed = ShardedQueryEngine::over_shards(&shards, EngineConfig::median_kd());
+        for q in workload(&store, 10, 3) {
+            assert_eq!(owned.range(&q), borrowed.range(&q));
+        }
+    }
+
+    #[test]
+    fn empty_database_serves_empty_results() {
+        let sharded = ShardedQueryEngine::from_partition(
+            &PointStore::new(),
+            &PartitionStrategy::Hash { parts: 4 },
+            EngineConfig::octree(),
+        );
+        assert_eq!(sharded.shard_count(), 0);
+        assert!(sharded.is_empty());
+        assert!(sharded
+            .range(&Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0))
+            .is_empty());
+        assert!(!sharded.has_kept_bitmaps());
+        assert!(sharded
+            .range_kept(&Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0))
+            .is_none());
+    }
+}

@@ -36,7 +36,10 @@ pub mod uniform;
 pub use adapt::{per_trajectory_budgets, Adaptation};
 pub use bottomup::BottomUp;
 pub use bounded::{bounded_db, bounded_one, min_eps_for_budget};
-pub use persist::{simplify_to_snapshot, write_simplified_snapshot};
+pub use persist::{
+    per_shard_budgets, simplify_shards, simplify_to_shard_set, simplify_to_snapshot,
+    write_simplified_shard_set, write_simplified_snapshot,
+};
 pub use rlts::RltsPlus;
 pub use spansearch::SpanSearch;
 pub use streaming::{streaming_simplify, StreamingSimplifier};

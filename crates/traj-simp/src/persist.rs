@@ -8,11 +8,21 @@
 //! bitmap in place (`QueryEngine::range_kept`) — no CSV re-parse, no
 //! materialization of `D'`, and the original columns stay addressable
 //! for error measures or re-simplification under a different budget.
+//!
+//! Sharded databases get the same treatment per shard: the database
+//! budget splits across shards proportional to their point counts
+//! ([`per_shard_budgets`]), every shard simplifies independently — and
+//! in parallel, since shards share nothing — and
+//! [`write_simplified_shard_set`] persists one kept-bitmap snapshot per
+//! shard plus the manifest, ready for a fan-out engine to serve `D'`
+//! straight off the mappings.
 
 use std::path::Path;
 
+use trajectory::parallel;
+use trajectory::shard::{Shard, ShardSet, ShardSetError};
 use trajectory::snapshot::{write_snapshot_with, SnapshotError};
-use trajectory::{AsColumns, PointStore, Simplification};
+use trajectory::{AsColumns, KeptBitmap, PointStore, Simplification};
 
 use crate::Simplifier;
 
@@ -49,6 +59,97 @@ pub fn simplify_to_snapshot<P: AsRef<Path>>(
     Ok(simp)
 }
 
+// ---------------------------------------------------------------------
+// Sharded simplification.
+// ---------------------------------------------------------------------
+
+/// Splits a database-level point budget across shards proportional to
+/// their point counts (largest-remainder rounding, total never exceeds
+/// `budget`). Per-shard floors are left to the simplifiers themselves —
+/// every algorithm already clamps to its endpoint minimum.
+#[must_use]
+pub fn per_shard_budgets(shards: &[Shard], budget: usize) -> Vec<usize> {
+    let total: usize = shards.iter().map(|s| s.store.total_points()).sum();
+    if total == 0 {
+        return vec![0; shards.len()];
+    }
+    let mut budgets = Vec::with_capacity(shards.len());
+    let mut fractional: Vec<(f64, usize)> = Vec::with_capacity(shards.len());
+    let mut assigned = 0usize;
+    for (i, shard) in shards.iter().enumerate() {
+        let share = budget as f64 * shard.store.total_points() as f64 / total as f64;
+        let whole = (share.floor() as usize).min(shard.store.total_points());
+        budgets.push(whole);
+        assigned += whole;
+        fractional.push((share - whole as f64, i));
+    }
+    let mut leftover = budget.saturating_sub(assigned);
+    fractional.sort_by(|a, b| b.0.partial_cmp(&a.0).unwrap_or(std::cmp::Ordering::Equal));
+    for (_, i) in fractional {
+        if leftover == 0 {
+            break;
+        }
+        if budgets[i] < shards[i].store.total_points() {
+            budgets[i] += 1;
+            leftover -= 1;
+        }
+    }
+    budgets
+}
+
+/// Simplifies every shard independently with its proportional slice of
+/// `budget`, in parallel across shards (shards share nothing, and
+/// [`Simplifier`] is `Send + Sync`). Returns one shard-local
+/// [`Simplification`] per shard, in shard order.
+#[must_use]
+pub fn simplify_shards(
+    simplifier: &dyn Simplifier,
+    shards: &[Shard],
+    budget: usize,
+) -> Vec<Simplification> {
+    let budgets = per_shard_budgets(shards, budget);
+    parallel::par_map_indexed(shards, |i, shard| {
+        simplifier.simplify_store(&shard.store, budgets[i])
+    })
+}
+
+/// Persists a sharded simplified database: one snapshot per shard
+/// carrying that shard's full columns plus its kept bitmap, tied together
+/// by the manifest. `simps[i]` must be shard-local (as produced by
+/// [`simplify_shards`]).
+pub fn write_simplified_shard_set(
+    dir: impl AsRef<Path>,
+    shards: &[Shard],
+    simps: &[Simplification],
+) -> Result<ShardSet, ShardSetError> {
+    assert_eq!(
+        shards.len(),
+        simps.len(),
+        "one simplification per shard required"
+    );
+    let kept: Vec<KeptBitmap> = shards
+        .iter()
+        .zip(simps)
+        .map(|(shard, simp)| simp.to_bitmap(&shard.store))
+        .collect();
+    ShardSet::write_with(dir, shards, &kept)
+}
+
+/// One-shot sharded pipeline: simplify every shard to its proportional
+/// budget slice (in parallel), then persist the whole set as kept-bitmap
+/// snapshots. Returns the per-shard simplifications so callers can report
+/// statistics.
+pub fn simplify_to_shard_set(
+    simplifier: &dyn Simplifier,
+    shards: &[Shard],
+    budget: usize,
+    dir: impl AsRef<Path>,
+) -> Result<Vec<Simplification>, ShardSetError> {
+    let simps = simplify_shards(simplifier, shards, budget);
+    write_simplified_shard_set(dir, shards, &simps)?;
+    Ok(simps)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -60,6 +161,48 @@ mod tests {
         let dir = std::env::temp_dir().join("qdts_simp_persist_tests");
         std::fs::create_dir_all(&dir).expect("temp dir");
         dir.join(name)
+    }
+
+    #[test]
+    fn sharded_simplify_respects_budget_and_round_trips() {
+        use trajectory::shard::{partition, PartitionStrategy, ShardSet};
+
+        let store = generate(&DatasetSpec::geolife(Scale::Smoke), 31).to_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 3 });
+        let budget = store.total_points() / 2;
+
+        let budgets = per_shard_budgets(&shards, budget);
+        assert_eq!(budgets.len(), shards.len());
+        assert!(budgets.iter().sum::<usize>() <= budget);
+        // Proportionality: bigger shards get bigger slices.
+        for (a, b) in shards.iter().zip(&budgets) {
+            assert!(*b <= a.store.total_points());
+        }
+
+        let dir = std::env::temp_dir()
+            .join("qdts_simp_persist_tests")
+            .join(format!("sharded_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let simps = simplify_to_shard_set(&Uniform, &shards, budget, &dir).unwrap();
+        assert_eq!(simps.len(), shards.len());
+        let kept_total: usize = simps.iter().map(Simplification::total_points).sum();
+        assert!(
+            kept_total <= budget + 2 * store.len(),
+            "endpoint floors only"
+        );
+
+        // Reopen: every shard carries its bitmap, populations match.
+        let set = ShardSet::load(&dir).unwrap();
+        for (open, simp) in set.open_mapped().unwrap().iter().zip(&simps) {
+            let bitmap = open.kept.as_ref().expect("kept bitmap persisted");
+            assert_eq!(bitmap.count(), simp.total_points());
+        }
+        // Parallel per-shard simplify equals the sequential definition.
+        let budgets = per_shard_budgets(&shards, budget);
+        for (i, shard) in shards.iter().enumerate() {
+            assert_eq!(simps[i], Uniform.simplify_store(&shard.store, budgets[i]));
+        }
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

@@ -2,11 +2,20 @@
 //! priority queue (Hershberger & Snoeyink). Start from the endpoints-only
 //! simplification and repeatedly *insert* the point with the largest error
 //! until the budget is reached.
+//!
+//! The core is generic over [`PointSeq`], so the same best-first loop
+//! serves the AoS [`Trajectory`] path and the **native columnar** path
+//! ([`Simplifier::simplify_store`]): the store variant walks zero-copy
+//! [`TrajView`]s directly — no `Vec<Point>` trajectories are
+//! materialized, no AoS round-trip.
 
-use crate::adapt::{per_trajectory_budgets, Adaptation};
+use crate::adapt::{per_trajectory_budgets, per_trajectory_budgets_store, Adaptation};
 use crate::heap::LazyHeap;
 use crate::Simplifier;
-use trajectory::{ErrorMeasure, Simplification, TrajId, Trajectory, TrajectoryDb};
+use trajectory::{
+    AsColumns, ErrorMeasure, PointSeq, PointStore, Simplification, TrajId, TrajView, Trajectory,
+    TrajectoryDb,
+};
 
 /// The Top-Down baseline, parameterized by error measure and adaptation.
 #[derive(Debug, Clone, Copy)]
@@ -45,12 +54,30 @@ impl Simplifier for TopDown {
             Adaptation::Whole => topdown_whole(db, budget, self.measure),
         }
     }
+
+    /// Native columnar Top-Down: the best-first loops run directly over
+    /// zero-copy [`TrajView`]s — no AoS round-trip, identical kept sets
+    /// to [`Simplifier::simplify`] on the equivalent database.
+    fn simplify_store(&self, store: &PointStore, budget: usize) -> Simplification {
+        match self.adaptation {
+            Adaptation::Each => {
+                let budgets = per_trajectory_budgets_store(store, budget);
+                let kept = store
+                    .views()
+                    .enumerate()
+                    .map(|(id, v)| topdown_one_seq(&v, budgets[id], self.measure))
+                    .collect();
+                Simplification::from_kept_store(store, kept)
+            }
+            Adaptation::Whole => topdown_whole_store(store, budget, self.measure),
+        }
+    }
 }
 
 /// Evaluates the insertable point of `(s, e)` with the largest error.
 /// Returns `None` when the anchor spans a single original segment.
-fn worst_insertable(
-    traj: &Trajectory,
+fn worst_insertable<S: PointSeq + ?Sized>(
+    seq: &S,
     s: usize,
     e: usize,
     measure: ErrorMeasure,
@@ -60,7 +87,7 @@ fn worst_insertable(
     }
     let mut best: Option<(f64, usize)> = None;
     for i in s + 1..e {
-        let err = measure.point_error(traj, s, e, i);
+        let err = measure.point_error_seq(seq, s, e, i);
         if best.is_none_or(|(b, _)| err > b) {
             best = Some((err, i));
         }
@@ -70,7 +97,17 @@ fn worst_insertable(
 
 /// Top-Down for a single trajectory under a point budget.
 pub fn topdown_one(traj: &Trajectory, budget: usize, measure: ErrorMeasure) -> Vec<u32> {
-    let n = traj.len();
+    topdown_one_seq(traj, budget, measure)
+}
+
+/// Layout-agnostic core of [`topdown_one`]: the same best-first insertion
+/// over any [`PointSeq`] — an AoS trajectory or a zero-copy column view.
+pub fn topdown_one_seq<S: PointSeq + ?Sized>(
+    seq: &S,
+    budget: usize,
+    measure: ErrorMeasure,
+) -> Vec<u32> {
+    let n = seq.n_points();
     if n <= 2 {
         return (0..n as u32).collect();
     }
@@ -80,7 +117,7 @@ pub fn topdown_one(traj: &Trajectory, budget: usize, measure: ErrorMeasure) -> V
     // pushed (they are only ever split after being popped), so no versions
     // are needed.
     let mut heap: LazyHeap<(usize, usize, usize)> = LazyHeap::new();
-    if let Some((err, idx)) = worst_insertable(traj, 0, n - 1, measure) {
+    if let Some((err, idx)) = worst_insertable(seq, 0, n - 1, measure) {
         heap.push(err, 0, (0, n - 1, idx));
     }
     while kept.len() < budget {
@@ -91,10 +128,10 @@ pub fn topdown_one(traj: &Trajectory, budget: usize, measure: ErrorMeasure) -> V
             Ok(_) => unreachable!("insertable points are never already kept"),
             Err(pos) => kept.insert(pos, idx as u32),
         }
-        if let Some((err, i)) = worst_insertable(traj, s, idx, measure) {
+        if let Some((err, i)) = worst_insertable(seq, s, idx, measure) {
             heap.push(err, 0, (s, idx, i));
         }
-        if let Some((err, i)) = worst_insertable(traj, idx, e, measure) {
+        if let Some((err, i)) = worst_insertable(seq, idx, e, measure) {
             heap.push(err, 0, (idx, e, i));
         }
     }
@@ -127,6 +164,40 @@ fn topdown_whole(db: &TrajectoryDb, budget: usize, measure: ErrorMeasure) -> Sim
             heap.push(err, 0, (id, s, idx, i));
         }
         if let Some((err, i)) = worst_insertable(t, idx, e, measure) {
+            heap.push(err, 0, (id, idx, e, i));
+        }
+    }
+    simp
+}
+
+/// [`topdown_whole`] walking columns natively: the per-trajectory point
+/// access is a [`TrajView`] sub-slice lookup instead of a pointer chase
+/// through `Vec<Trajectory>`. Heap order, tie-breaking, and therefore the
+/// kept sets are identical to the AoS path.
+fn topdown_whole_store(store: &PointStore, budget: usize, measure: ErrorMeasure) -> Simplification {
+    let mut simp = Simplification::most_simplified_store(store);
+    let mut total = simp.total_points();
+    let budget = budget.max(total);
+    let mut heap: LazyHeap<(TrajId, usize, usize, usize)> = LazyHeap::new();
+    for (id, v) in AsColumns::iter(store) {
+        if v.len() > 2 {
+            if let Some((err, idx)) = worst_insertable(&v, 0, v.len() - 1, measure) {
+                heap.push(err, 0, (id, 0, v.len() - 1, idx));
+            }
+        }
+    }
+    while total < budget {
+        let Some((_, (id, s, e, idx))) = heap.pop_current(|_, _| true) else {
+            break;
+        };
+        let inserted = simp.insert(id, idx as u32);
+        debug_assert!(inserted);
+        total += 1;
+        let v: TrajView<'_> = store.view(id);
+        if let Some((err, i)) = worst_insertable(&v, s, idx, measure) {
+            heap.push(err, 0, (id, s, idx, i));
+        }
+        if let Some((err, i)) = worst_insertable(&v, idx, e, measure) {
             heap.push(err, 0, (id, idx, e, i));
         }
     }
@@ -242,6 +313,26 @@ mod tests {
             TopDown::new(ErrorMeasure::Sad, Adaptation::Whole).name(),
             "Top-Down(W,SAD)"
         );
+    }
+
+    #[test]
+    fn simplify_store_matches_aos_for_all_measures_and_adaptations() {
+        // The native columnar path must produce the exact kept sets of
+        // the AoS path: same best-first order, same tie-breaking.
+        let db = TrajectoryDb::new(vec![zigzag(40, 8.0), zigzag(25, 3.0), zigzag(7, 30.0)]);
+        let store = db.to_store();
+        for m in ErrorMeasure::ALL {
+            for a in [Adaptation::Each, Adaptation::Whole] {
+                for budget in [6, 20, 50, 200] {
+                    let td = TopDown::new(m, a);
+                    assert_eq!(
+                        td.simplify_store(&store, budget),
+                        td.simplify(&db, budget),
+                        "{m} {a} budget {budget}"
+                    );
+                }
+            }
+        }
     }
 
     #[test]

@@ -11,6 +11,7 @@ pub mod sad;
 pub mod sed;
 
 use crate::db::{Simplification, TrajectoryDb};
+use crate::seq::PointSeq;
 use crate::traj::Trajectory;
 
 pub use dad::dad;
@@ -57,14 +58,28 @@ impl ErrorMeasure {
     /// is the deviation of the original segment `i → i+1` that the anchor
     /// replaces.
     pub fn point_error(self, traj: &Trajectory, s: usize, e: usize, i: usize) -> f64 {
-        debug_assert!(s <= i && i < e && e < traj.len());
-        let ps = traj.point(s);
-        let pe = traj.point(e);
+        self.point_error_seq(traj, s, e, i)
+    }
+
+    /// [`ErrorMeasure::point_error`] over any layout ([`PointSeq`]): the
+    /// same Eq. 1 semantics computed from assembled points, so native
+    /// columnar simplifiers (walking zero-copy
+    /// [`TrajView`](crate::TrajView)s) and the AoS path score identically.
+    pub fn point_error_seq<S: PointSeq + ?Sized>(
+        self,
+        seq: &S,
+        s: usize,
+        e: usize,
+        i: usize,
+    ) -> f64 {
+        debug_assert!(s <= i && i < e && e < seq.n_points());
+        let ps = seq.point_at(s);
+        let pe = seq.point_at(e);
         match self {
-            ErrorMeasure::Sed => sed(ps, pe, traj.point(i)),
-            ErrorMeasure::Ped => ped(ps, pe, traj.point(i)),
-            ErrorMeasure::Dad => dad(ps, pe, traj.point(i), traj.point(i + 1)),
-            ErrorMeasure::Sad => sad(ps, pe, traj.point(i), traj.point(i + 1)),
+            ErrorMeasure::Sed => sed(&ps, &pe, &seq.point_at(i)),
+            ErrorMeasure::Ped => ped(&ps, &pe, &seq.point_at(i)),
+            ErrorMeasure::Dad => dad(&ps, &pe, &seq.point_at(i), &seq.point_at(i + 1)),
+            ErrorMeasure::Sad => sad(&ps, &pe, &seq.point_at(i), &seq.point_at(i + 1)),
         }
     }
 

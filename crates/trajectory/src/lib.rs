@@ -20,7 +20,11 @@
 //! - zero-copy persistence ([`snapshot`]): a versioned little-endian
 //!   file format whose sections *are* the columns, with an owned loader
 //!   and an mmap-backed [`MappedStore`] served through the same
-//!   [`AsColumns`] abstraction as the in-memory store.
+//!   [`AsColumns`] abstraction as the in-memory store;
+//! - sharding ([`shard`]): grid / time / hash partitioners that split a
+//!   store into whole-trajectory shards, and the [`ShardSet`] manifest
+//!   that persists a sharded database as a directory of snapshot files
+//!   and reopens it owned or mmap-backed.
 //!
 //! The architecture across crates is documented in
 //! `docs/ARCHITECTURE.md`; the snapshot format is specified byte-by-byte
@@ -55,9 +59,11 @@ pub mod error;
 pub mod gen;
 pub mod geom;
 pub mod io;
+pub mod parallel;
 pub mod point;
 pub mod resample;
 pub mod seq;
+pub mod shard;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -68,6 +74,7 @@ pub use db::{Simplification, TrajId, TrajectoryDb};
 pub use error::ErrorMeasure;
 pub use point::Point;
 pub use seq::PointSeq;
+pub use shard::{partition, OpenShard, PartitionStrategy, Shard, ShardSet, ShardSetError};
 pub use snapshot::{
     read_snapshot, write_snapshot, write_snapshot_with, MappedStore, Snapshot, SnapshotError,
 };

@@ -1,10 +1,14 @@
 //! Minimal data-parallel map over slices, built on scoped threads.
 //!
-//! The workspace has no external thread-pool dependency, so the engine's
-//! batch paths use this helper: a work-stealing index counter over `items`
-//! with one worker per available core. Results preserve input order, and a
-//! panic in any worker propagates to the caller, so `par_map` is a drop-in
-//! replacement for a sequential `iter().map().collect()`.
+//! The workspace has no external thread-pool dependency, so every
+//! embarrassingly-parallel loop — the query engine's batch paths, the
+//! sharded engine's per-shard index builds, per-shard simplification —
+//! uses this helper: a work-stealing index counter over `items` with one
+//! worker per available core. Results preserve input order, and a panic
+//! in any worker propagates to the caller, so `par_map` is a drop-in
+//! replacement for a sequential `iter().map().collect()`. (It lives in
+//! the data-substrate crate so both `traj-query` and `traj-simp` can
+//! share it; `traj_query::parallel` re-exports it.)
 
 use std::sync::atomic::{AtomicUsize, Ordering};
 

@@ -1,0 +1,1000 @@
+//! Partitioning a database into shards, and persisting the result.
+//!
+//! A *shard* is an ordinary [`PointStore`] holding a subset of the
+//! database's trajectories — whole trajectories, never split — together
+//! with the sorted list of *global* trajectory ids its local ids map back
+//! to. Because a shard is just a store, everything downstream (snapshot
+//! files, mmap serving, index builds, query engines) works on it
+//! unchanged; the sharding layer only adds the partitioning policy, the
+//! manifest that ties a directory of snapshot files back into one
+//! database, and the id translation.
+//!
+//! Three [`PartitionStrategy`] families cover the classic axes:
+//!
+//! - **Grid**: an `nx × ny` spatial grid over the database's bounding
+//!   box; a trajectory goes to the cell containing its bounding-box
+//!   center. Spatially selective queries then touch few shards.
+//! - **Time**: equal-width ranges over the database's time span; a
+//!   trajectory goes to the range containing its start time. Recent-data
+//!   queries prune old shards.
+//! - **Hash**: FNV-1a of the trajectory id. No pruning, but perfectly
+//!   balanced — the right default for parallel index builds.
+//!
+//! Persistence ([`ShardSet`]) writes one snapshot file per shard
+//! (spec-compatible with `docs/SNAPSHOT_FORMAT.md`, including optional
+//! per-shard kept bitmaps for simplified databases) plus a small text
+//! manifest recording each shard's global ids. All load paths validate
+//! the manifest with typed [`ShardSetError`]s — missing or duplicate
+//! shard files, overlapping or non-covering trajectory ids — instead of
+//! panicking, mirroring [`SnapshotError`].
+
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+
+use crate::bbox::Cube;
+use crate::db::TrajId;
+use crate::snapshot::{fnv1a64, read_snapshot, write_snapshot_with, MappedStore, SnapshotError};
+use crate::store::{AsColumns, KeptBitmap, PointStore};
+
+/// First line of every shard-set manifest.
+pub const MANIFEST_MAGIC: &str = "QDTSHARDSET v1";
+
+/// File name of the manifest inside a shard-set directory.
+pub const MANIFEST_FILE: &str = "shardset.manifest";
+
+// ---------------------------------------------------------------------
+// Partitioning.
+// ---------------------------------------------------------------------
+
+/// How a database is split into shards. Every strategy assigns each
+/// trajectory to exactly one shard (trajectories are never split across
+/// shards — a split trajectory would break kNN windowing and kept-bitmap
+/// anchoring).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum PartitionStrategy {
+    /// Spatial `nx × ny` grid over the store's bounding box; assignment
+    /// by the trajectory's bounding-box center.
+    Grid {
+        /// Grid columns (x axis).
+        nx: usize,
+        /// Grid rows (y axis).
+        ny: usize,
+    },
+    /// `parts` equal-width temporal ranges over the store's time span;
+    /// assignment by the trajectory's start time.
+    Time {
+        /// Number of temporal ranges.
+        parts: usize,
+    },
+    /// FNV-1a hash of the trajectory id modulo `parts`.
+    Hash {
+        /// Number of hash buckets.
+        parts: usize,
+    },
+}
+
+impl PartitionStrategy {
+    /// A grid strategy producing roughly `shards` cells (`nx = ⌈√shards⌉`,
+    /// `ny = ⌈shards / nx⌉`).
+    #[must_use]
+    pub fn grid_for(shards: usize) -> Self {
+        let shards = shards.max(1);
+        let nx = (shards as f64).sqrt().ceil() as usize;
+        PartitionStrategy::Grid {
+            nx,
+            ny: shards.div_ceil(nx),
+        }
+    }
+
+    /// Display label for tables and benchmark ids.
+    #[must_use]
+    pub fn label(&self) -> &'static str {
+        match self {
+            PartitionStrategy::Grid { .. } => "grid",
+            PartitionStrategy::Time { .. } => "time",
+            PartitionStrategy::Hash { .. } => "hash",
+        }
+    }
+}
+
+/// One shard of a partitioned database: a self-contained [`PointStore`]
+/// plus the mapping from shard-local trajectory ids back to global ones.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Shard {
+    /// The shard's trajectories, re-packed as a dense store (local ids
+    /// `0..store.len()`).
+    pub store: PointStore,
+    /// `global_ids[local]` = the trajectory's id in the unsharded
+    /// database. Strictly ascending, so local id order equals global id
+    /// order within a shard.
+    pub global_ids: Vec<TrajId>,
+}
+
+impl Shard {
+    /// Smallest cube covering the shard's points — the bound the fan-out
+    /// router prunes with.
+    #[must_use]
+    pub fn bounds(&self) -> Cube {
+        self.store.bounding_cube()
+    }
+}
+
+/// Splits `store` into shards according to `strategy`. Whole trajectories
+/// stay intact; every trajectory lands in exactly one shard; shards that
+/// would be empty are dropped, so every returned shard is non-empty and
+/// the union of all `global_ids` is exactly `0..store.len()` in order.
+#[must_use]
+pub fn partition(store: &PointStore, strategy: &PartitionStrategy) -> Vec<Shard> {
+    if store.is_empty() {
+        return Vec::new();
+    }
+    let parts = match *strategy {
+        PartitionStrategy::Grid { nx, ny } => nx.max(1) * ny.max(1),
+        PartitionStrategy::Time { parts } | PartitionStrategy::Hash { parts } => parts.max(1),
+    };
+    let bc = store.bounding_cube();
+    let mut buckets: Vec<Vec<TrajId>> = vec![Vec::new(); parts];
+    for (id, view) in store.iter() {
+        let bucket = match *strategy {
+            PartitionStrategy::Grid { nx, ny } => {
+                let (nx, ny) = (nx.max(1), ny.max(1));
+                let vb = view.bounding_cube();
+                let cx = 0.5 * (vb.x_min + vb.x_max);
+                let cy = 0.5 * (vb.y_min + vb.y_max);
+                let ix = cell_of(cx, bc.x_min, bc.x_max, nx);
+                let iy = cell_of(cy, bc.y_min, bc.y_max, ny);
+                iy * nx + ix
+            }
+            PartitionStrategy::Time { parts } => {
+                cell_of(view.ts[0], bc.t_min, bc.t_max, parts.max(1))
+            }
+            PartitionStrategy::Hash { parts } => {
+                (fnv1a64(&(id as u64).to_le_bytes()) % parts.max(1) as u64) as usize
+            }
+        };
+        buckets[bucket].push(id);
+    }
+    buckets
+        .into_iter()
+        .filter(|ids| !ids.is_empty())
+        .map(|ids| Shard {
+            store: store.gather_trajs(&ids),
+            global_ids: ids,
+        })
+        .collect()
+}
+
+/// Index of the cell containing `v` when `[lo, hi]` is split into `n`
+/// equal cells; degenerate extents collapse to cell 0, and `v == hi`
+/// clamps into the last cell.
+fn cell_of(v: f64, lo: f64, hi: f64, n: usize) -> usize {
+    let extent = hi - lo;
+    if extent <= 0.0 || !extent.is_finite() {
+        return 0;
+    }
+    (((v - lo) / extent * n as f64) as usize).min(n - 1)
+}
+
+// ---------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------
+
+/// Typed failure modes of shard-set persistence and reopening.
+#[derive(Debug)]
+pub enum ShardSetError {
+    /// Underlying I/O failure (create, read, write).
+    Io(io::Error),
+    /// The manifest's first line is not [`MANIFEST_MAGIC`] or the header
+    /// line is malformed.
+    BadManifest {
+        /// Human-readable description of what is wrong.
+        reason: String,
+    },
+    /// A manifest line failed to parse.
+    Parse {
+        /// 1-based line number inside the manifest.
+        line: usize,
+        /// Human-readable description of the parse failure.
+        reason: String,
+    },
+    /// The manifest references a shard file that does not exist in the
+    /// shard-set directory.
+    MissingShardFile {
+        /// The missing file name as written in the manifest.
+        file: String,
+    },
+    /// The manifest references the same shard file twice.
+    DuplicateShardFile {
+        /// The duplicated file name.
+        file: String,
+    },
+    /// A shard's id list is not strictly ascending (the fan-out merge
+    /// relies on local order equalling global order).
+    UnsortedTrajIds {
+        /// The offending shard file.
+        file: String,
+    },
+    /// Two shards both claim the same global trajectory id.
+    OverlappingTrajIds {
+        /// The doubly-assigned global trajectory id.
+        id: TrajId,
+    },
+    /// The union of all shards' ids is not exactly `0..trajs` as declared
+    /// by the header (a gap or out-of-range id).
+    IncompleteCover {
+        /// Trajectory count the header declares.
+        expected: usize,
+        /// Distinct in-range ids the shard lines actually cover.
+        found: usize,
+    },
+    /// A shard snapshot holds a different number of trajectories than the
+    /// manifest assigns to it.
+    TrajCountMismatch {
+        /// The shard file.
+        file: String,
+        /// Ids the manifest lists for it.
+        manifest: usize,
+        /// Trajectories the snapshot actually holds.
+        snapshot: usize,
+    },
+    /// Opening a shard snapshot failed (corruption, version mismatch, …).
+    Snapshot {
+        /// The shard file.
+        file: String,
+        /// The underlying snapshot error.
+        source: SnapshotError,
+    },
+}
+
+impl std::fmt::Display for ShardSetError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ShardSetError::Io(e) => write!(f, "io error: {e}"),
+            ShardSetError::BadManifest { reason } => write!(f, "bad manifest: {reason}"),
+            ShardSetError::Parse { line, reason } => {
+                write!(f, "manifest line {line}: {reason}")
+            }
+            ShardSetError::MissingShardFile { file } => {
+                write!(f, "manifest references missing shard file {file}")
+            }
+            ShardSetError::DuplicateShardFile { file } => {
+                write!(f, "manifest references shard file {file} twice")
+            }
+            ShardSetError::UnsortedTrajIds { file } => {
+                write!(f, "shard {file} lists trajectory ids out of order")
+            }
+            ShardSetError::OverlappingTrajIds { id } => {
+                write!(f, "trajectory id {id} is assigned to more than one shard")
+            }
+            ShardSetError::IncompleteCover { expected, found } => {
+                write!(
+                    f,
+                    "shards cover {found} of {expected} declared trajectories"
+                )
+            }
+            ShardSetError::TrajCountMismatch {
+                file,
+                manifest,
+                snapshot,
+            } => write!(
+                f,
+                "shard {file}: manifest assigns {manifest} trajectories, snapshot holds {snapshot}"
+            ),
+            ShardSetError::Snapshot { file, source } => {
+                write!(f, "shard {file}: {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShardSetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShardSetError::Io(e) => Some(e),
+            ShardSetError::Snapshot { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for ShardSetError {
+    fn from(e: io::Error) -> Self {
+        ShardSetError::Io(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// The manifest.
+// ---------------------------------------------------------------------
+
+/// One manifest entry: a shard snapshot file plus the global ids of the
+/// trajectories it holds (in shard-local order, strictly ascending).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardEntry {
+    /// File name of the shard snapshot, relative to the shard-set
+    /// directory.
+    pub file: String,
+    /// `global_ids[local]` = global trajectory id.
+    pub global_ids: Vec<TrajId>,
+}
+
+/// A reopened shard: the store (owned [`PointStore`] or zero-copy
+/// [`MappedStore`]), its global id mapping, and the kept bitmap when the
+/// shard snapshot was written with one (a simplified database).
+#[derive(Debug)]
+pub struct OpenShard<S> {
+    /// The shard's columns.
+    pub store: S,
+    /// Shard-local → global trajectory id mapping (strictly ascending).
+    pub global_ids: Vec<TrajId>,
+    /// Per-shard kept-point bitmap for simplified shard sets.
+    pub kept: Option<KeptBitmap>,
+}
+
+/// A sharded database on disk: a directory of per-shard snapshot files
+/// plus the manifest tying them back together. [`ShardSet::write`]
+/// persists a partition; [`ShardSet::load`] validates a manifest (typed
+/// errors, never panics); [`ShardSet::open_owned`] /
+/// [`ShardSet::open_mapped`] reopen every shard heap-backed or
+/// mmap-backed respectively.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardSet {
+    dir: PathBuf,
+    trajs: usize,
+    entries: Vec<ShardEntry>,
+}
+
+impl ShardSet {
+    /// Writes `shards` as one snapshot file each (no kept bitmaps) plus
+    /// the manifest into `dir` (created if absent).
+    pub fn write(dir: impl AsRef<Path>, shards: &[Shard]) -> Result<ShardSet, ShardSetError> {
+        Self::write_impl(dir.as_ref(), shards, None)
+    }
+
+    /// [`ShardSet::write`] with one kept-point bitmap per shard — the
+    /// persisted form of a *sharded simplified* database. Each bitmap
+    /// must cover its shard's points (the snapshot writer enforces it).
+    pub fn write_with(
+        dir: impl AsRef<Path>,
+        shards: &[Shard],
+        kept: &[KeptBitmap],
+    ) -> Result<ShardSet, ShardSetError> {
+        assert_eq!(
+            shards.len(),
+            kept.len(),
+            "one kept bitmap per shard required"
+        );
+        Self::write_impl(dir.as_ref(), shards, Some(kept))
+    }
+
+    fn write_impl(
+        dir: &Path,
+        shards: &[Shard],
+        kept: Option<&[KeptBitmap]>,
+    ) -> Result<ShardSet, ShardSetError> {
+        std::fs::create_dir_all(dir)?;
+        let trajs: usize = shards.iter().map(|s| s.global_ids.len()).sum();
+        let mut entries = Vec::with_capacity(shards.len());
+        for (i, shard) in shards.iter().enumerate() {
+            debug_assert_eq!(shard.store.len(), shard.global_ids.len());
+            let file = format!("shard-{i:04}.snap");
+            let bitmap = kept.map(|ks| &ks[i]);
+            write_snapshot_with(&shard.store, bitmap, dir.join(&file)).map_err(|source| {
+                ShardSetError::Snapshot {
+                    file: file.clone(),
+                    source,
+                }
+            })?;
+            entries.push(ShardEntry {
+                file,
+                global_ids: shard.global_ids.clone(),
+            });
+        }
+        let mut manifest = Vec::new();
+        writeln!(manifest, "{MANIFEST_MAGIC}")?;
+        writeln!(manifest, "shards {} trajs {trajs}", entries.len())?;
+        for e in &entries {
+            write!(manifest, "shard {}", e.file)?;
+            for id in &e.global_ids {
+                write!(manifest, " {id}")?;
+            }
+            writeln!(manifest)?;
+        }
+        std::fs::write(dir.join(MANIFEST_FILE), manifest)?;
+        Ok(ShardSet {
+            dir: dir.to_path_buf(),
+            trajs,
+            entries,
+        })
+    }
+
+    /// Parses and validates the manifest in `dir`. Rejects — with typed
+    /// errors — manifests referencing missing or duplicate shard files,
+    /// shards with overlapping or unsorted trajectory ids, and id sets
+    /// that do not cover exactly `0..trajs`. Shard snapshots themselves
+    /// are opened (and further validated) by [`ShardSet::open_owned`] /
+    /// [`ShardSet::open_mapped`].
+    pub fn load(dir: impl AsRef<Path>) -> Result<ShardSet, ShardSetError> {
+        let dir = dir.as_ref();
+        let text = std::fs::read_to_string(dir.join(MANIFEST_FILE))?;
+        let mut lines = text.lines().enumerate();
+
+        let (_, magic) = lines.next().ok_or_else(|| ShardSetError::BadManifest {
+            reason: "empty manifest".into(),
+        })?;
+        if magic.trim_end() != MANIFEST_MAGIC {
+            return Err(ShardSetError::BadManifest {
+                reason: format!("first line {magic:?} is not {MANIFEST_MAGIC:?}"),
+            });
+        }
+        let (_, header) = lines.next().ok_or_else(|| ShardSetError::BadManifest {
+            reason: "missing header line".into(),
+        })?;
+        let header_fields: Vec<&str> = header.split_whitespace().collect();
+        let (shard_count, trajs) = match header_fields.as_slice() {
+            ["shards", s, "trajs", m] => match (s.parse::<usize>(), m.parse::<usize>()) {
+                (Ok(s), Ok(m)) => (s, m),
+                _ => {
+                    return Err(ShardSetError::BadManifest {
+                        reason: format!("unparseable header counts in {header:?}"),
+                    })
+                }
+            },
+            _ => {
+                return Err(ShardSetError::BadManifest {
+                    reason: format!("malformed header line {header:?}"),
+                })
+            }
+        };
+
+        // Counts from the header are still untrusted here: nothing is
+        // allocated from them until they have been cross-checked against
+        // what the manifest actually contains, so a corrupt header cannot
+        // trigger a huge allocation (it must fail with a typed error).
+        let mut entries = Vec::new();
+        for (lineno, line) in lines {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let mut fields = line.split_whitespace();
+            match fields.next() {
+                Some("shard") => {}
+                other => {
+                    return Err(ShardSetError::Parse {
+                        line: lineno + 1,
+                        reason: format!("expected a `shard` line, found {other:?}"),
+                    })
+                }
+            }
+            let file = fields
+                .next()
+                .ok_or_else(|| ShardSetError::Parse {
+                    line: lineno + 1,
+                    reason: "missing shard file name".into(),
+                })?
+                .to_string();
+            if file.contains(['/', '\\']) || file == ".." {
+                // Writers only emit bare file names; a manifest pointing
+                // outside its own directory is hostile or corrupt.
+                return Err(ShardSetError::Parse {
+                    line: lineno + 1,
+                    reason: format!("shard file name {file:?} escapes the shard-set directory"),
+                });
+            }
+            let mut global_ids = Vec::new();
+            for tok in fields {
+                let id: TrajId = tok.parse().map_err(|_| ShardSetError::Parse {
+                    line: lineno + 1,
+                    reason: format!("unparseable trajectory id {tok:?}"),
+                })?;
+                global_ids.push(id);
+            }
+            entries.push(ShardEntry { file, global_ids });
+        }
+        if entries.len() != shard_count {
+            return Err(ShardSetError::BadManifest {
+                reason: format!(
+                    "header declares {shard_count} shards, manifest lists {}",
+                    entries.len()
+                ),
+            });
+        }
+
+        // File-level validation: every referenced file exists, none twice.
+        for (i, e) in entries.iter().enumerate() {
+            if entries[..i].iter().any(|prev| prev.file == e.file) {
+                return Err(ShardSetError::DuplicateShardFile {
+                    file: e.file.clone(),
+                });
+            }
+            if !dir.join(&e.file).is_file() {
+                return Err(ShardSetError::MissingShardFile {
+                    file: e.file.clone(),
+                });
+            }
+        }
+
+        // Id-level validation: sorted within shards, disjoint across
+        // shards, covering exactly 0..trajs. The header's `trajs` is
+        // bounded by the ids the manifest actually lists before it sizes
+        // an allocation — an inflated header count is a typed error, not
+        // an out-of-memory abort.
+        let listed: usize = entries.iter().map(|e| e.global_ids.len()).sum();
+        if trajs > listed {
+            return Err(ShardSetError::IncompleteCover {
+                expected: trajs,
+                found: listed,
+            });
+        }
+        let mut seen = vec![false; trajs];
+        let mut covered = 0usize;
+        for e in &entries {
+            if e.global_ids.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(ShardSetError::UnsortedTrajIds {
+                    file: e.file.clone(),
+                });
+            }
+            for &id in &e.global_ids {
+                if id >= trajs {
+                    return Err(ShardSetError::IncompleteCover {
+                        expected: trajs,
+                        found: covered,
+                    });
+                }
+                if seen[id] {
+                    return Err(ShardSetError::OverlappingTrajIds { id });
+                }
+                seen[id] = true;
+                covered += 1;
+            }
+        }
+        if covered != trajs {
+            return Err(ShardSetError::IncompleteCover {
+                expected: trajs,
+                found: covered,
+            });
+        }
+
+        Ok(ShardSet {
+            dir: dir.to_path_buf(),
+            trajs,
+            entries,
+        })
+    }
+
+    /// The shard-set directory.
+    #[must_use]
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Total trajectories across all shards.
+    #[must_use]
+    pub fn total_trajs(&self) -> usize {
+        self.trajs
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True when the set holds no shards.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The manifest entries.
+    #[must_use]
+    pub fn entries(&self) -> &[ShardEntry] {
+        &self.entries
+    }
+
+    /// Opens every shard as an owned, heap-backed store (plus its kept
+    /// bitmap when present), validating that each snapshot's trajectory
+    /// count matches the manifest. Shard files are independent, so the
+    /// opens (decode + checksum pass each) run in parallel.
+    pub fn open_owned(&self) -> Result<Vec<OpenShard<PointStore>>, ShardSetError> {
+        crate::parallel::par_map(&self.entries, |e| {
+            let snap = read_snapshot(self.dir.join(&e.file)).map_err(|source| {
+                ShardSetError::Snapshot {
+                    file: e.file.clone(),
+                    source,
+                }
+            })?;
+            check_traj_count(&e.file, e.global_ids.len(), snap.store.len())?;
+            Ok(OpenShard {
+                store: snap.store,
+                global_ids: e.global_ids.clone(),
+                kept: snap.kept,
+            })
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Opens every shard zero-copy behind a read-only mapping (plus its
+    /// kept bitmap when present) — the serving path: no column is copied
+    /// or decoded, each file's one full pass is its checksum
+    /// verification, and the per-file opens run in parallel.
+    pub fn open_mapped(&self) -> Result<Vec<OpenShard<MappedStore>>, ShardSetError> {
+        crate::parallel::par_map(&self.entries, |e| {
+            let mapped = MappedStore::open(self.dir.join(&e.file)).map_err(|source| {
+                ShardSetError::Snapshot {
+                    file: e.file.clone(),
+                    source,
+                }
+            })?;
+            check_traj_count(&e.file, e.global_ids.len(), AsColumns::len(&mapped))?;
+            let kept = mapped.kept_bitmap();
+            Ok(OpenShard {
+                store: mapped,
+                global_ids: e.global_ids.clone(),
+                kept,
+            })
+        })
+        .into_iter()
+        .collect()
+    }
+
+    /// Reassembles the unsharded database: one store with every
+    /// trajectory back at its global id. The inverse of [`partition`]
+    /// (for any strategy), used by audits and re-partitioning.
+    pub fn unify(&self) -> Result<PointStore, ShardSetError> {
+        let shards = self.open_owned()?;
+        let parts: Vec<(&PointStore, &[TrajId])> = shards
+            .iter()
+            .map(|s| (&s.store, s.global_ids.as_slice()))
+            .collect();
+        Ok(unify_parts(&parts))
+    }
+}
+
+fn check_traj_count(file: &str, manifest: usize, snapshot: usize) -> Result<(), ShardSetError> {
+    if manifest != snapshot {
+        return Err(ShardSetError::TrajCountMismatch {
+            file: file.to_string(),
+            manifest,
+            snapshot,
+        });
+    }
+    Ok(())
+}
+
+/// Merges shards back into one store with trajectories at their global
+/// ids. Panics (via indexing) when ids do not cover `0..M` exactly —
+/// guaranteed by [`partition`] and by [`ShardSet::load`] validation.
+#[must_use]
+pub fn unify_shards(shards: &[Shard]) -> PointStore {
+    let parts: Vec<(&PointStore, &[TrajId])> = shards
+        .iter()
+        .map(|s| (&s.store, s.global_ids.as_slice()))
+        .collect();
+    unify_parts(&parts)
+}
+
+/// Layout-agnostic core of [`unify_shards`]: merges `(store, global_ids)`
+/// pairs without cloning any shard's columns — the stores may be owned or
+/// mapped, borrowed straight from wherever they already live.
+fn unify_parts<S: AsColumns>(parts: &[(&S, &[TrajId])]) -> PointStore {
+    let total: usize = parts.iter().map(|(_, ids)| ids.len()).sum();
+    let points: usize = parts.iter().map(|(s, _)| s.total_points()).sum();
+    // locate[global] = (shard, local).
+    let mut locate = vec![(0usize, 0usize); total];
+    for (si, (_, ids)) in parts.iter().enumerate() {
+        for (local, &global) in ids.iter().enumerate() {
+            locate[global] = (si, local);
+        }
+    }
+    let mut out = PointStore::with_capacity(total, points);
+    for &(si, local) in &locate {
+        let _ = out.push_view(parts[si].0.view(local));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::gen::{generate, DatasetSpec, Scale};
+
+    fn sample_store() -> PointStore {
+        generate(&DatasetSpec::geolife(Scale::Smoke), 77).to_store()
+    }
+
+    fn all_strategies() -> [PartitionStrategy; 3] {
+        [
+            PartitionStrategy::Grid { nx: 2, ny: 2 },
+            PartitionStrategy::Time { parts: 3 },
+            PartitionStrategy::Hash { parts: 4 },
+        ]
+    }
+
+    fn temp_dir(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir()
+            .join("qdts_shard_tests")
+            .join(format!("{}_{name}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        dir
+    }
+
+    #[test]
+    fn partition_covers_every_trajectory_exactly_once() {
+        let store = sample_store();
+        for strategy in all_strategies() {
+            let shards = partition(&store, &strategy);
+            assert!(!shards.is_empty(), "{strategy:?}");
+            let mut seen = vec![false; store.len()];
+            for shard in &shards {
+                assert!(!shard.store.is_empty(), "empty shard survived");
+                assert_eq!(shard.store.len(), shard.global_ids.len());
+                assert!(
+                    shard.global_ids.windows(2).all(|w| w[0] < w[1]),
+                    "ids must stay sorted"
+                );
+                for (local, &global) in shard.global_ids.iter().enumerate() {
+                    assert!(!seen[global], "trajectory {global} in two shards");
+                    seen[global] = true;
+                    // Whole trajectories, bit-identical columns.
+                    let (a, b) = (shard.store.view(local), store.view(global));
+                    assert_eq!(a.xs, b.xs);
+                    assert_eq!(a.ys, b.ys);
+                    assert_eq!(a.ts, b.ts);
+                }
+            }
+            assert!(seen.iter().all(|&s| s), "{strategy:?} lost trajectories");
+        }
+    }
+
+    #[test]
+    fn unify_inverts_partition() {
+        let store = sample_store();
+        for strategy in all_strategies() {
+            let shards = partition(&store, &strategy);
+            assert_eq!(unify_shards(&shards), store, "{strategy:?}");
+        }
+    }
+
+    #[test]
+    fn hash_partition_balances_trajectories() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 4 });
+        assert_eq!(shards.len(), 4);
+        let max = shards.iter().map(|s| s.store.len()).max().unwrap();
+        let min = shards.iter().map(|s| s.store.len()).min().unwrap();
+        assert!(
+            max <= min * 3 + 2,
+            "hash shards badly unbalanced: {min}..{max}"
+        );
+    }
+
+    #[test]
+    fn empty_store_partitions_to_no_shards() {
+        let store = PointStore::new();
+        for strategy in all_strategies() {
+            assert!(partition(&store, &strategy).is_empty());
+        }
+    }
+
+    #[test]
+    fn grid_for_produces_at_least_requested_cells() {
+        for n in 1..=9 {
+            let PartitionStrategy::Grid { nx, ny } = PartitionStrategy::grid_for(n) else {
+                panic!("grid_for must return a grid");
+            };
+            assert!(nx * ny >= n);
+        }
+    }
+
+    #[test]
+    fn shard_set_round_trips_owned_and_mapped() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 3 });
+        let dir = temp_dir("round_trip");
+        let written = ShardSet::write(&dir, &shards).unwrap();
+        assert_eq!(written.len(), shards.len());
+
+        let set = ShardSet::load(&dir).unwrap();
+        assert_eq!(set, written);
+        assert_eq!(set.total_trajs(), store.len());
+
+        let owned = set.open_owned().unwrap();
+        for (shard, open) in shards.iter().zip(&owned) {
+            assert_eq!(open.store, shard.store);
+            assert_eq!(open.global_ids, shard.global_ids);
+            assert_eq!(open.kept, None);
+        }
+        let mapped = set.open_mapped().unwrap();
+        for (shard, open) in shards.iter().zip(&mapped) {
+            assert_eq!(open.store.xs(), shard.store.xs());
+            assert_eq!(open.store.offsets(), shard.store.offsets());
+        }
+        assert_eq!(set.unify().unwrap(), store);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn missing_shard_file_is_a_typed_error() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let dir = temp_dir("missing_file");
+        ShardSet::write(&dir, &shards).unwrap();
+        std::fs::remove_file(dir.join("shard-0001.snap")).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::MissingShardFile { file }) if file == "shard-0001.snap"
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn duplicate_and_overlapping_manifests_are_typed_errors() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let dir = temp_dir("dup_overlap");
+        ShardSet::write(&dir, &shards).unwrap();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let original = std::fs::read_to_string(&manifest_path).unwrap();
+
+        // Duplicate file reference.
+        let dup = original.replace("shard-0001.snap", "shard-0000.snap");
+        std::fs::write(&manifest_path, &dup).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::DuplicateShardFile { .. })
+        ));
+
+        // Overlapping trajectory ids: make shard 1's line repeat shard
+        // 0's ids (counts unchanged).
+        let lines: Vec<&str> = original.lines().collect();
+        let shard0_ids = lines[2]
+            .split_whitespace()
+            .skip(2)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let first = lines[3]
+            .split_whitespace()
+            .take(2)
+            .collect::<Vec<_>>()
+            .join(" ");
+        let mut overlapped = lines[..3].join("\n");
+        overlapped.push('\n');
+        overlapped.push_str(&format!("{first} {shard0_ids}\n"));
+        std::fs::write(&manifest_path, &overlapped).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::OverlappingTrajIds { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn incomplete_cover_and_bad_headers_are_typed_errors() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let dir = temp_dir("cover");
+        ShardSet::write(&dir, &shards).unwrap();
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let original = std::fs::read_to_string(&manifest_path).unwrap();
+
+        // Drop one shard line (header now over-declares).
+        let mut lines: Vec<&str> = original.lines().collect();
+        lines.pop();
+        std::fs::write(&manifest_path, lines.join("\n")).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::BadManifest { .. })
+        ));
+
+        // Claim one more trajectory than the shards cover.
+        let inflated = original.replacen(
+            &format!("trajs {}", store.len()),
+            &format!("trajs {}", store.len() + 1),
+            1,
+        );
+        std::fs::write(&manifest_path, inflated).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::IncompleteCover { .. })
+        ));
+
+        // An absurd header count must come back as a typed error, not an
+        // allocation abort.
+        let huge = original.replacen(
+            &format!("trajs {}", store.len()),
+            &format!("trajs {}", u64::MAX),
+            1,
+        );
+        std::fs::write(&manifest_path, huge).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::IncompleteCover { .. })
+        ));
+
+        // A shard file name escaping the directory is rejected before any
+        // file access.
+        let escape = original.replacen("shard-0000.snap", "../outside.snap", 1);
+        std::fs::write(&manifest_path, escape).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::Parse { .. })
+        ));
+
+        // Garbage magic.
+        std::fs::write(&manifest_path, "NOTASHARDSET\n").unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::BadManifest { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn traj_count_mismatch_is_detected_on_open() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let dir = temp_dir("count_mismatch");
+        ShardSet::write(&dir, &shards).unwrap();
+        // Overwrite shard 0's snapshot with a smaller, valid snapshot:
+        // the manifest still lists the original ids.
+        let tiny = store.gather_trajs(&[0]);
+        crate::snapshot::write_snapshot(&tiny, dir.join("shard-0000.snap")).unwrap();
+        let set = ShardSet::load(&dir).unwrap();
+        assert!(matches!(
+            set.open_owned(),
+            Err(ShardSetError::TrajCountMismatch { .. })
+        ));
+        assert!(matches!(
+            set.open_mapped(),
+            Err(ShardSetError::TrajCountMismatch { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn corrupt_shard_snapshot_surfaces_as_typed_error() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Time { parts: 2 });
+        let dir = temp_dir("corrupt_shard");
+        ShardSet::write(&dir, &shards).unwrap();
+        let victim = dir.join("shard-0000.snap");
+        let mut bytes = std::fs::read(&victim).unwrap();
+        let mid = bytes.len() / 2;
+        bytes[mid] ^= 0x10;
+        std::fs::write(&victim, &bytes).unwrap();
+        let set = ShardSet::load(&dir).unwrap();
+        assert!(matches!(
+            set.open_owned(),
+            Err(ShardSetError::Snapshot { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn kept_bitmaps_round_trip_per_shard() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let kept: Vec<KeptBitmap> = shards
+            .iter()
+            .map(|s| {
+                let mut b = KeptBitmap::zeros(s.store.total_points());
+                for g in (0..s.store.total_points()).step_by(3) {
+                    b.insert(g as u32);
+                }
+                b
+            })
+            .collect();
+        let dir = temp_dir("kept");
+        ShardSet::write_with(&dir, &shards, &kept).unwrap();
+        let set = ShardSet::load(&dir).unwrap();
+        for (open, expected) in set.open_owned().unwrap().iter().zip(&kept) {
+            assert_eq!(open.kept.as_ref(), Some(expected));
+        }
+        for (open, expected) in set.open_mapped().unwrap().iter().zip(&kept) {
+            assert_eq!(open.kept.as_ref(), Some(expected));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}
