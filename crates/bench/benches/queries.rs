@@ -12,10 +12,11 @@ use traj_query::similarity::SimilarityQuery;
 use traj_query::t2vec::T2vecEmbedder;
 use traj_query::traclus::{traclus, TraclusParams};
 use traj_query::{
-    edr, range_workload, BackendKind, EngineConfig, QueryDistribution, QueryEngine,
-    RangeWorkloadSpec,
+    edr, range_workload, range_workload_store, BackendKind, DbOptions, EngineConfig, QueryBatch,
+    QueryDistribution, QueryEngine, QueryExecutor, RangeWorkloadSpec, TrajDb,
 };
 use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::shard::PartitionStrategy;
 
 fn bench_queries(c: &mut Criterion) {
     let db = generate(&DatasetSpec::geolife(Scale::Smoke).with_trajectories(16), 1);
@@ -102,5 +103,81 @@ fn bench_batch_workload_indexed_vs_scan(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_queries, bench_batch_workload_indexed_vs_scan);
+/// The API-redesign number: one *mixed* workload — ranges, kNNs, and
+/// similarities, the shape of the paper's Eq. 10 evaluation — executed
+/// the pre-façade way (three homogeneous `*_batch` calls, serial per
+/// kind, a synchronization barrier between kinds) versus as one
+/// heterogeneous `QueryBatch` in a single work-stealing pass, on both
+/// the single-store and the sharded executor.
+fn bench_heterogeneous_batch(c: &mut Criterion) {
+    let store = generate(&DatasetSpec::tdrive(Scale::Small).with_trajectories(200), 7).to_store();
+    let db_aos = store.to_db();
+    let mut rng = StdRng::seed_from_u64(23);
+    let spec = RangeWorkloadSpec::paper_default(60, QueryDistribution::Data);
+    let cubes = range_workload_store(&store, &spec, &mut rng);
+    let (t0, t1) = store.time_span();
+    let knns: Vec<KnnQuery> = (0..12)
+        .map(|i| KnnQuery {
+            query: db_aos.get(i * db_aos.len() / 12).clone(),
+            ts: t0,
+            te: t1,
+            k: 3,
+            measure: Dissimilarity::Edr { eps: 2_000.0 },
+        })
+        .collect();
+    let sims: Vec<SimilarityQuery> = (0..12)
+        .map(|i| {
+            let q = db_aos.get(i * db_aos.len() / 12).clone();
+            let (ts, te) = q.time_span();
+            SimilarityQuery {
+                query: q,
+                ts,
+                te,
+                delta: 5_000.0,
+                step: 600.0,
+            }
+        })
+        .collect();
+    // Interleave kinds so the heterogeneous plan cannot win by accident
+    // of ordering.
+    let mut batch = QueryBatch::new();
+    for (i, q) in cubes.iter().enumerate() {
+        batch.push_range(*q);
+        if i % 5 == 0 && i / 5 < knns.len() {
+            batch.push_knn(knns[i / 5].clone());
+            batch.push_similarity(sims[i / 5].clone());
+        }
+    }
+
+    let single = TrajDb::from_store(store.clone(), DbOptions::new());
+    let sharded = TrajDb::from_store(
+        store,
+        DbOptions::new().partition(PartitionStrategy::Hash { parts: 4 }),
+    );
+    let mut group = c.benchmark_group("mixed_workload");
+    group.sample_size(10);
+    for (label, db) in [("single", &single), ("sharded", &sharded)] {
+        group.bench_function(BenchmarkId::new("per_kind_batches", label), |b| {
+            b.iter(|| {
+                let db = std::hint::black_box(db);
+                (
+                    db.range_batch(&cubes),
+                    db.knn_batch(&knns),
+                    db.similarity_batch(&sims),
+                )
+            })
+        });
+        group.bench_function(BenchmarkId::new("heterogeneous_batch", label), |b| {
+            b.iter(|| std::hint::black_box(db).execute_batch(&batch))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_queries,
+    bench_batch_workload_indexed_vs_scan,
+    bench_heterogeneous_batch
+);
 criterion_main!(benches);

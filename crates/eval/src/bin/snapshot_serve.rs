@@ -10,16 +10,17 @@
 //!
 //! With `--shards N` the snapshot task writes a *sharded* database: a
 //! directory of per-shard snapshot files plus a manifest, partitioned by
-//! `--partition` (default `hash`). The serve task auto-detects the
-//! layout: a directory serves through the fan-out `ShardedQueryEngine`
-//! (per-shard indexes built in parallel over the mappings), a single
-//! file through the plain `QueryEngine`.
+//! `--partition` (default `hash`). The serve task opens whatever is at
+//! `--snap` through `TrajDb::open`, which auto-detects the layout — a
+//! shard directory fans out through the sharded engine (per-shard
+//! indexes built in parallel over the mappings), a snapshot file serves
+//! zero-copy through the single engine, and a raw CSV parses into owned
+//! columns — then executes a mixed range+kNN+similarity workload as one
+//! heterogeneous batch.
 
 use std::path::PathBuf;
 
-use qdts_eval::serving::{
-    serve_task, shard_serve_task, shard_snapshot_task, snapshot_task, SnapshotSource,
-};
+use qdts_eval::serving::{serve_task, shard_snapshot_task, snapshot_task, SnapshotSource};
 use trajectory::gen::Scale;
 use trajectory::shard::PartitionStrategy;
 
@@ -139,45 +140,29 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let queries: usize = flag_value(rest, "--queries").unwrap_or("100").parse()?;
     let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
 
-    if snap.is_dir() {
-        let r = shard_serve_task(&snap, queries, seed)?;
-        println!("== sharded serve task ({}) ==", snap.display());
-        println!(
-            "mapped {} shards / {} trajectories / {} points in {:.6}s (zero-copy open)",
-            r.shards, r.trajectories, r.points, r.open_seconds
-        );
-        println!(
-            "parallel per-shard octrees over mapped columns in {:.3}s",
-            r.index_seconds
-        );
-        println!(
-            "{} range queries fanned out in {:.4}s ({} result ids)",
-            r.queries, r.full_batch_seconds, r.full_result_ids
-        );
-        match r.simplified_batch_seconds {
-            Some(s) => println!(
-                "{} range queries on per-shard kept bitmaps (D') in {s:.4}s",
-                r.queries
-            ),
-            None => println!("no kept bitmaps in shard set (full database only)"),
-        }
-        return Ok(());
-    }
-
     let r = serve_task(&snap, queries, seed)?;
     println!("== serve task ({}) ==", snap.display());
+    if r.sharded {
+        println!(
+            "opened {} shards / {} trajectories / {} points in {:.4}s \
+             (auto-detected shard set; mapped + parallel per-shard octrees)",
+            r.shards, r.trajectories, r.points, r.open_seconds
+        );
+    } else {
+        println!(
+            "opened {} trajectories / {} points in {:.4}s (auto-detected layout)",
+            r.trajectories, r.points, r.open_seconds
+        );
+    }
+    let [n_range, n_knn, n_sim, _] = r.kind_counts;
     println!(
-        "mapped {} trajectories / {} points in {:.6}s (zero-copy open)",
-        r.trajectories, r.points, r.open_seconds
-    );
-    println!("octree over mapped columns in {:.3}s", r.index_seconds);
-    println!(
-        "{} range queries on full DB in {:.4}s ({} result ids)",
-        r.queries, r.full_batch_seconds, r.full_result_ids
+        "mixed batch ({n_range} range + {n_knn} knn + {n_sim} similarity) \
+         in one pass: {:.4}s ({} result ids)",
+        r.batch_seconds, r.full_result_ids
     );
     match r.simplified_batch_seconds {
-        Some(s) => println!("{} range queries on kept bitmap (D') in {s:.4}s", r.queries),
-        None => println!("no kept bitmap in snapshot (full database only)"),
+        Some(s) => println!("{n_range} range queries on kept bitmap(s) (D') in {s:.4}s"),
+        None => println!("no kept bitmap in source (full database only)"),
     }
     Ok(())
 }

@@ -4,12 +4,15 @@
 //! This is the operational pipeline the snapshot format exists for. The
 //! **snapshot** task pays the expensive ingestion exactly once — parse
 //! CSV (or generate a synthetic database), optionally simplify to a
-//! budget, write one `.snap` file. The **serve** task then stands up a
-//! query engine from that file: `MappedStore::open` copies and decodes
-//! nothing (its one full-file pass is the checksum verification),
-//! the octree build walks the mapped columns directly, and range
-//! workloads execute with zero deserialization — including against the
-//! simplified database via the file's kept bitmap.
+//! budget, write one `.snap` file (or a shard-set directory). The
+//! **serve** task then stands up a database from whatever is at the
+//! path with one call — [`TrajDb::open`] auto-detects snapshot file vs.
+//! shard directory vs. raw CSV, mmaps what can be mmapped, builds the
+//! configured indexes (per shard, in parallel), and retains any
+//! persisted kept bitmap — and executes a *mixed* range + kNN +
+//! similarity workload as **one** heterogeneous [`QueryBatch`] pass,
+//! plus a kept-bitmap range batch when the source was written
+//! simplified.
 //!
 //! Both tasks are exposed as library functions (smoke-tested) and
 //! through the `snapshot_serve` binary:
@@ -24,16 +27,17 @@
 use std::path::Path;
 use std::time::Instant;
 
+use traj_query::knn::Dissimilarity;
 use traj_query::{
-    range_workload_store, EngineConfig, QueryDistribution, QueryEngine, RangeWorkloadSpec,
-    ShardedQueryEngine,
+    DbOptions, KnnQuery, QueryBatch, QueryDistribution, QueryExecutor, RangeWorkloadSpec,
+    SimilarityQuery, TrajDb,
 };
 use traj_simp::{Simplifier, Uniform};
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::io::read_csv_store;
 use trajectory::shard::{partition, PartitionStrategy, Shard, ShardSet};
-use trajectory::snapshot::{write_snapshot_with, MappedStore};
-use trajectory::{AsColumns, PointStore};
+use trajectory::snapshot::write_snapshot_with;
+use trajectory::PointStore;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -112,20 +116,26 @@ pub fn snapshot_task(
 /// What the `serve` task measured.
 #[derive(Debug, Clone)]
 pub struct ServeReport {
+    /// Shards served (1 for a single-store source).
+    pub shards: usize,
+    /// True when the source resolved to a sharded fan-out engine.
+    pub sharded: bool,
     /// Trajectories served.
     pub trajectories: usize,
     /// Points served.
     pub points: usize,
-    /// Seconds from path to validated, query-ready mapping.
+    /// Seconds from path to query-ready database: format detection,
+    /// mapping/validation, and index construction (per shard, in
+    /// parallel) — everything [`TrajDb::open`] does.
     pub open_seconds: f64,
-    /// Seconds spent building the octree over the mapped columns.
-    pub index_seconds: f64,
-    /// Number of range queries executed.
-    pub queries: usize,
-    /// Seconds for the whole query batch against the full database.
-    pub full_batch_seconds: f64,
-    /// Seconds for the batch against the kept bitmap (`None` when the
-    /// snapshot carries no simplification).
+    /// Queries in the mixed batch, per kind: `[range, knn, similarity,
+    /// range-kept]` (indexed like [`traj_query::QueryKind::ALL`]).
+    pub kind_counts: [usize; 4],
+    /// Seconds for the whole mixed batch — one heterogeneous
+    /// data-parallel pass.
+    pub batch_seconds: f64,
+    /// Seconds for the range batch against the persisted kept bitmap(s)
+    /// (`None` when the source carries no simplification).
     pub simplified_batch_seconds: Option<f64>,
     /// Total result-set size over the full-database batch (a cheap
     /// fingerprint for cross-checking serving paths).
@@ -146,47 +156,78 @@ fn acquire_store(
     })
 }
 
-/// The `serve` task: open a snapshot, build an engine **over the
-/// mapping**, and execute a data-distribution range workload — against
-/// the full columns, and additionally against the kept bitmap when the
-/// file carries one.
+/// The `serve` task: open whatever is at `path` through the façade
+/// ([`TrajDb::open`] auto-detects snapshot file, shard-set directory, or
+/// CSV) and execute a mixed data-distribution workload — `queries` range
+/// queries plus `max(queries/5, 1)` each of kNN and similarity queries,
+/// planned as **one** heterogeneous [`QueryBatch`] — and additionally a
+/// kept-bitmap range batch when the source persists a simplification.
 pub fn serve_task(
-    snap: &Path,
+    path: &Path,
     queries: usize,
     seed: u64,
 ) -> Result<ServeReport, Box<dyn std::error::Error>> {
     let t0 = Instant::now();
-    let mapped = MappedStore::open(snap)?;
+    let db = TrajDb::open(path, DbOptions::new())?;
     let open_seconds = t0.elapsed().as_secs_f64();
-
-    let t1 = Instant::now();
-    let engine = QueryEngine::over_mapped(&mapped, EngineConfig::octree());
-    let index_seconds = t1.elapsed().as_secs_f64();
 
     let spec = RangeWorkloadSpec::paper_default(queries, QueryDistribution::Data);
     let mut rng = StdRng::seed_from_u64(seed);
-    let workload = range_workload_store(&mapped, &spec, &mut rng);
+    let ranges = db.range_workload(&spec, &mut rng);
 
-    let t2 = Instant::now();
-    let full = engine.range_batch(&workload);
-    let full_batch_seconds = t2.elapsed().as_secs_f64();
-    let full_result_ids = full.iter().map(Vec::len).sum();
+    let mut batch = QueryBatch::new();
+    for q in &ranges {
+        batch.push_range(*q);
+    }
+    // kNN and similarity queries anchor on served trajectories (stride
+    // through the database so shards all contribute), windowed to each
+    // query trajectory's own span.
+    let traj_queries = (queries / 5).max(1).min(db.len());
+    for i in 0..traj_queries {
+        let stride = db.len() / traj_queries;
+        let t = db.trajectory(i * stride);
+        let (ts, te) = t.time_span();
+        batch.push_knn(KnnQuery {
+            query: t.clone(),
+            ts,
+            te,
+            k: 3,
+            measure: Dissimilarity::edr_paper(),
+        });
+        batch.push_similarity(SimilarityQuery {
+            query: t,
+            ts,
+            te,
+            delta: 5_000.0,
+            step: 600.0,
+        });
+    }
+    let kind_counts = batch.kind_counts();
 
-    let simplified_batch_seconds = mapped.kept_bitmap().map(|bitmap| {
-        let t3 = Instant::now();
-        for q in &workload {
-            std::hint::black_box(engine.range_kept(&bitmap, q));
+    let t1 = Instant::now();
+    let results = db.execute_batch(&batch);
+    let batch_seconds = t1.elapsed().as_secs_f64();
+    let full_result_ids = results
+        .iter()
+        .map(|r| r.ids().map_or(0, <[usize]>::len))
+        .sum();
+
+    let simplified_batch_seconds = db.has_kept_bitmap().then(|| {
+        let t2 = Instant::now();
+        for q in &ranges {
+            std::hint::black_box(db.range_kept(q));
         }
-        t3.elapsed().as_secs_f64()
+        t2.elapsed().as_secs_f64()
     });
 
     Ok(ServeReport {
-        trajectories: mapped.offsets().len() - 1,
-        points: AsColumns::total_points(&mapped),
+        shards: db.shard_count(),
+        sharded: db.is_sharded(),
+        trajectories: db.len(),
+        points: db.total_points(),
         open_seconds,
-        index_seconds,
-        queries: workload.len(),
-        full_batch_seconds,
+        kind_counts,
+        batch_seconds,
         simplified_batch_seconds,
         full_result_ids,
     })
@@ -278,100 +319,10 @@ pub fn shard_snapshot_task(
     })
 }
 
-/// What the sharded `serve` task measured.
-#[derive(Debug, Clone)]
-pub struct ShardServeReport {
-    /// Shards served.
-    pub shards: usize,
-    /// Trajectories served.
-    pub trajectories: usize,
-    /// Points served.
-    pub points: usize,
-    /// Seconds from directory to validated, query-ready mappings.
-    pub open_seconds: f64,
-    /// Seconds for the parallel per-shard index builds.
-    pub index_seconds: f64,
-    /// Number of range queries executed.
-    pub queries: usize,
-    /// Seconds for the whole query batch against the full database.
-    pub full_batch_seconds: f64,
-    /// Seconds for the batch against the per-shard kept bitmaps (`None`
-    /// when the shards carry no simplification).
-    pub simplified_batch_seconds: Option<f64>,
-    /// Total result-set size over the full-database batch.
-    pub full_result_ids: usize,
-}
-
-/// The sharded `serve` task: load and validate the manifest, mmap every
-/// shard, build the fan-out engine (per-shard indexes in parallel over
-/// the mapped columns), and execute a data-distribution range workload —
-/// against the full database, and additionally against the per-shard
-/// kept bitmaps when the set was written simplified.
-pub fn shard_serve_task(
-    dir: &Path,
-    queries: usize,
-    seed: u64,
-) -> Result<ShardServeReport, Box<dyn std::error::Error>> {
-    let t0 = Instant::now();
-    let set = ShardSet::load(dir)?;
-    let mapped = set.open_mapped()?;
-    let open_seconds = t0.elapsed().as_secs_f64();
-
-    // Data-distribution workload over the union: each shard contributes
-    // queries proportional to its share of the points, anchored on its
-    // own mapped columns.
-    let total_points: usize = mapped
-        .iter()
-        .map(|s| AsColumns::total_points(&s.store))
-        .sum();
-    let mut rng = StdRng::seed_from_u64(seed);
-    let mut workload = Vec::with_capacity(queries);
-    for (i, shard) in mapped.iter().enumerate() {
-        let share = if total_points == 0 {
-            0
-        } else if i + 1 == mapped.len() {
-            queries - workload.len()
-        } else {
-            queries * AsColumns::total_points(&shard.store) / total_points
-        };
-        let spec = RangeWorkloadSpec::paper_default(share, QueryDistribution::Data);
-        workload.extend(range_workload_store(&shard.store, &spec, &mut rng));
-    }
-
-    let t1 = Instant::now();
-    let engine = ShardedQueryEngine::from_mapped_shards(mapped, EngineConfig::octree());
-    let index_seconds = t1.elapsed().as_secs_f64();
-
-    let t2 = Instant::now();
-    let full = engine.range_batch(&workload);
-    let full_batch_seconds = t2.elapsed().as_secs_f64();
-    let full_result_ids = full.iter().map(Vec::len).sum();
-
-    let simplified_batch_seconds = engine.has_kept_bitmaps().then(|| {
-        let t3 = Instant::now();
-        for q in &workload {
-            std::hint::black_box(engine.range_kept(q));
-        }
-        t3.elapsed().as_secs_f64()
-    });
-
-    Ok(ShardServeReport {
-        shards: engine.shard_count(),
-        trajectories: engine.len(),
-        points: engine.total_points(),
-        open_seconds,
-        index_seconds,
-        queries: workload.len(),
-        full_batch_seconds,
-        simplified_batch_seconds,
-        full_result_ids,
-    })
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;
-    use traj_query::range_query_store;
+    use traj_query::{range_query_store, range_workload_store};
 
     fn temp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("qdts_eval_serving_tests");
@@ -395,30 +346,33 @@ mod tests {
         assert_eq!(report.file_bytes, std::fs::metadata(&path).unwrap().len());
 
         let served = serve_task(&path, 20, 11).unwrap();
+        assert!(!served.sharded);
+        assert_eq!(served.shards, 1);
         assert_eq!(served.points, report.points);
         assert_eq!(served.trajectories, report.trajectories);
-        assert_eq!(served.queries, 20);
+        assert_eq!(served.kind_counts[0], 20, "20 range queries");
+        assert!(served.kind_counts[1] >= 1 && served.kind_counts[2] >= 1);
         assert!(served.simplified_batch_seconds.is_some());
         std::fs::remove_file(&path).ok();
     }
 
     #[test]
     fn served_results_match_owned_store_results() {
-        // The acceptance bar: a database written with write_snapshot is
-        // served over a MappedStore with byte-identical query results to
-        // the owned store.
+        // The acceptance bar: a database written with write_snapshot and
+        // reopened through the façade serves byte-identical query results
+        // to the owned store.
         let store = generate(&DatasetSpec::tdrive(Scale::Smoke), 3).to_store();
         let path = temp("parity.snap");
         trajectory::snapshot::write_snapshot(&store, &path).unwrap();
-        let mapped = MappedStore::open(&path).unwrap();
+        let served = TrajDb::open(&path, DbOptions::new()).unwrap();
+        assert!(!served.is_sharded());
 
         let spec = RangeWorkloadSpec::paper_default(25, QueryDistribution::Data);
         let workload = range_workload_store(&store, &spec, &mut StdRng::seed_from_u64(5));
-        let owned_engine = QueryEngine::over_store(&store, EngineConfig::octree());
-        let mapped_engine = QueryEngine::over_mapped(&mapped, EngineConfig::octree());
+        let owned = TrajDb::from_store(store.clone(), DbOptions::new());
         for q in &workload {
-            assert_eq!(owned_engine.range(q), mapped_engine.range(q));
-            assert_eq!(mapped_engine.range(q), range_query_store(&store, q));
+            assert_eq!(owned.range(q), served.range(q));
+            assert_eq!(served.range(q), range_query_store(&store, q));
         }
         std::fs::remove_file(&path).ok();
     }
@@ -439,24 +393,25 @@ mod tests {
         assert!(report.points > 0);
         assert!(report.kept_points.unwrap() > 0);
 
-        let served = shard_serve_task(&dir, 20, 11).unwrap();
+        // The same serve task auto-detects the directory layout.
+        let served = serve_task(&dir, 20, 11).unwrap();
+        assert!(served.sharded);
         assert_eq!(served.shards, 3);
         assert_eq!(served.points, report.points);
         assert_eq!(served.trajectories, report.trajectories);
-        assert_eq!(served.queries, 20);
+        assert_eq!(served.kind_counts[0], 20);
         assert!(served.simplified_batch_seconds.is_some());
         std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]
     fn sharded_serving_matches_single_store_serving() {
-        // The acceptance bar: a mapped sharded engine returns the same
-        // range results as a single-store engine over the unsharded
-        // database, for every partitioner.
+        // The acceptance bar: an opened shard directory returns the same
+        // range results as the unsharded database, for every partitioner.
         let store = generate(&DatasetSpec::tdrive(Scale::Smoke), 3).to_store();
         let spec = RangeWorkloadSpec::paper_default(25, QueryDistribution::Data);
         let workload = range_workload_store(&store, &spec, &mut StdRng::seed_from_u64(5));
-        let single = QueryEngine::over_store(&store, EngineConfig::octree());
+        let single = TrajDb::from_store(store.clone(), DbOptions::new());
         for strategy in [
             PartitionStrategy::grid_for(4),
             PartitionStrategy::Time { parts: 3 },
@@ -470,8 +425,8 @@ mod tests {
             std::fs::remove_dir_all(&dir).ok();
             let shards = partition(&store, &strategy);
             ShardSet::write(&dir, &shards).unwrap();
-            let mapped = ShardSet::load(&dir).unwrap().open_mapped().unwrap();
-            let sharded = ShardedQueryEngine::from_mapped_shards(mapped, EngineConfig::octree());
+            let sharded = TrajDb::open(&dir, DbOptions::new()).unwrap();
+            assert!(sharded.is_sharded());
             for q in &workload {
                 assert_eq!(
                     sharded.range(q),
@@ -496,6 +451,11 @@ mod tests {
         assert_eq!(report.kept_points, None);
         let served = serve_task(&snap, 5, 2).unwrap();
         assert!(served.simplified_batch_seconds.is_none());
+        // The façade also serves the raw CSV directly (owned columns).
+        let from_csv = serve_task(&csv, 5, 2).unwrap();
+        assert_eq!(from_csv.trajectories, served.trajectories);
+        assert_eq!(from_csv.points, served.points);
+        assert_eq!(from_csv.full_result_ids, served.full_result_ids);
         std::fs::remove_file(&csv).ok();
         std::fs::remove_file(&snap).ok();
     }

@@ -1,5 +1,12 @@
 //! The five query tasks of the evaluation (§V-A) and the F1 pipeline that
 //! scores a simplified database against the original.
+//!
+//! Scoring is written against the [`QueryExecutor`] façade, so the same
+//! pipeline evaluates a single-store engine, a sharded fan-out engine, or
+//! an opened [`traj_query::TrajDb`] — and the whole mixed workload
+//! (range + kNN(EDR) + kNN(t2vec) + similarity, the shape of the paper's
+//! Eq. 10 evaluation) executes as **one** heterogeneous [`QueryBatch`]
+//! pass per database instead of four serial per-kind batches.
 
 use rand::rngs::StdRng;
 use traj_query::knn::{Dissimilarity, KnnQuery};
@@ -8,8 +15,11 @@ use traj_query::traclus::{traclus, TraclusParams};
 use traj_query::workload::{
     range_workload, traj_query_workload, QueryDistribution, RangeWorkloadSpec,
 };
-use traj_query::{f1_pairs, f1_sets, mean_f1, EngineConfig, F1Score, QueryEngine};
-use trajectory::{AsColumns, Cube, Trajectory, TrajectoryDb};
+use traj_query::{
+    f1_pairs, f1_sets, mean_f1, EngineConfig, F1Score, QueryBatch, QueryEngine, QueryExecutor,
+    QueryResult,
+};
+use trajectory::{Cube, Trajectory, TrajectoryDb};
 
 /// Parameters of the evaluation workloads, defaulting to the paper's
 /// setup: range 2 km × 2 km × 7 days, kNN k = 3 over 7-day windows with
@@ -149,6 +159,68 @@ pub fn build_tasks(
     }
 }
 
+impl QueryTasks {
+    /// The kNN queries instantiated with `measure`.
+    fn knn_with(&self, measure: Dissimilarity) -> impl Iterator<Item = KnnQuery> + '_ {
+        self.knn_queries.iter().map(move |(q, ts, te)| KnnQuery {
+            query: q.clone(),
+            ts: *ts,
+            te: *te,
+            k: self.params.knn_k,
+            measure,
+        })
+    }
+
+    /// The similarity queries as typed [`SimilarityQuery`]s.
+    fn sim_typed(&self) -> impl Iterator<Item = SimilarityQuery> + '_ {
+        self.sim_queries.iter().map(|(q, ts, te)| SimilarityQuery {
+            query: q.clone(),
+            ts: *ts,
+            te: *te,
+            delta: self.params.sim_delta,
+            step: self.params.sim_step,
+        })
+    }
+
+    /// Plans the whole workload as one heterogeneous [`QueryBatch`], in
+    /// task order: ranges, kNN(EDR), kNN(t2vec), similarities. The
+    /// per-task sections are recovered positionally after execution.
+    #[must_use]
+    pub fn to_batch(&self) -> QueryBatch {
+        let mut batch = QueryBatch::new();
+        for q in &self.range_queries {
+            batch.push_range(*q);
+        }
+        for q in self.knn_with(Dissimilarity::Edr {
+            eps: self.params.edr_eps,
+        }) {
+            batch.push_knn(q);
+        }
+        for q in self.knn_with(Dissimilarity::t2vec_default()) {
+            batch.push_knn(q);
+        }
+        for q in self.sim_typed() {
+            batch.push_similarity(q);
+        }
+        batch
+    }
+
+    /// Splits a [`QueryTasks::to_batch`] result vector back into the four
+    /// per-task sections, in plan order.
+    fn split_results<'r>(&self, results: &'r [QueryResult]) -> [&'r [QueryResult]; 4] {
+        let r = self.range_queries.len();
+        let k = self.knn_queries.len();
+        let s = self.sim_queries.len();
+        assert_eq!(results.len(), r + 2 * k + s, "batch/task shape mismatch");
+        [
+            &results[..r],
+            &results[r..r + k],
+            &results[r + k..r + 2 * k],
+            &results[r + 2 * k..],
+        ]
+    }
+}
+
 /// Mean F1 per task: the five series every comparison figure plots.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TaskScores {
@@ -189,7 +261,7 @@ impl TaskScores {
 /// Scores `simplified` against `original` on the full workload. Builds one
 /// octree-backed [`QueryEngine`] per database and executes every task
 /// through it (index pruning + data parallelism); see
-/// [`evaluate_with_engines`] when engines are already at hand.
+/// [`evaluate_with_engines`] when executors are already at hand.
 pub fn evaluate(
     original: &TrajectoryDb,
     simplified: &TrajectoryDb,
@@ -200,26 +272,31 @@ pub fn evaluate(
     evaluate_with_engines(&orig, &simp, tasks)
 }
 
-/// [`evaluate`] against pre-built engines, amortizing index construction
-/// across repeated scorings of the same databases.
-pub fn evaluate_with_engines(
-    original: &QueryEngine<'_>,
-    simplified: &QueryEngine<'_>,
-    tasks: &QueryTasks,
-) -> TaskScores {
+/// [`evaluate`] against pre-built [`QueryExecutor`]s (a [`QueryEngine`],
+/// a sharded engine, or an opened [`traj_query::TrajDb`] — any layout),
+/// amortizing index construction across repeated scorings of the same
+/// databases.
+///
+/// The four query tasks run as one heterogeneous [`QueryBatch`] per
+/// database: a single data-parallel pass whose work-stealing scheduler
+/// overlaps cheap range queries with expensive kNN dynamic programs,
+/// instead of four serial per-kind batches.
+pub fn evaluate_with_engines<O, S>(original: &O, simplified: &S, tasks: &QueryTasks) -> TaskScores
+where
+    O: QueryExecutor + ?Sized,
+    S: QueryExecutor + ?Sized,
+{
+    let batch = tasks.to_batch();
+    let truth = original.execute_batch(&batch);
+    let results = simplified.execute_batch(&batch);
+    let truth = tasks.split_results(&truth);
+    let results = tasks.split_results(&results);
     TaskScores {
-        range: eval_range_with_engines(original, simplified, tasks),
-        knn_edr: eval_knn(
-            original,
-            simplified,
-            tasks,
-            Dissimilarity::Edr {
-                eps: tasks.params.edr_eps,
-            },
-        ),
-        knn_t2vec: eval_knn(original, simplified, tasks, Dissimilarity::t2vec_default()),
-        similarity: eval_similarity(original, simplified, tasks),
-        clustering: eval_clustering(original.store(), simplified.store(), tasks),
+        range: mean_f1_section(truth[0], results[0]),
+        knn_edr: mean_f1_section(truth[1], results[1]),
+        knn_t2vec: mean_f1_section(truth[2], results[2]),
+        similarity: mean_f1_section(truth[3], results[3]),
+        clustering: eval_clustering(original, simplified, tasks),
     }
 }
 
@@ -231,14 +308,15 @@ pub fn eval_range(original: &TrajectoryDb, simplified: &TrajectoryDb, tasks: &Qu
     eval_range_with_engines(&orig, &simp, tasks)
 }
 
-/// [`eval_range`] against pre-built engines. Sweep loops that score many
+/// [`eval_range`] against pre-built executors. Sweep loops that score many
 /// simplifications of one original database should build the ground-truth
-/// engine once and call this, instead of paying the index build per call.
-pub fn eval_range_with_engines(
-    original: &QueryEngine<'_>,
-    simplified: &QueryEngine<'_>,
-    tasks: &QueryTasks,
-) -> f64 {
+/// executor once and call this, instead of paying the index build per
+/// call.
+pub fn eval_range_with_engines<O, S>(original: &O, simplified: &S, tasks: &QueryTasks) -> f64
+where
+    O: QueryExecutor + ?Sized,
+    S: QueryExecutor + ?Sized,
+{
     let truth = original.range_batch(&tasks.range_queries);
     let results = simplified.range_batch(&tasks.range_queries);
     let scores: Vec<F1Score> = truth
@@ -249,67 +327,36 @@ pub fn eval_range_with_engines(
     mean_f1(&scores)
 }
 
-fn eval_knn(
-    original: &QueryEngine<'_>,
-    simplified: &QueryEngine<'_>,
-    tasks: &QueryTasks,
-    measure: Dissimilarity,
-) -> f64 {
-    let queries: Vec<KnnQuery> = tasks
-        .knn_queries
-        .iter()
-        .map(|(q, ts, te)| KnnQuery {
-            query: q.clone(),
-            ts: *ts,
-            te: *te,
-            k: tasks.params.knn_k,
-            measure,
-        })
-        .collect();
-    let truth = original.knn_batch(&queries);
-    let results = simplified.knn_batch(&queries);
+/// Mean F1 of one batch section against its ground-truth section.
+fn mean_f1_section(truth: &[QueryResult], results: &[QueryResult]) -> f64 {
     let scores: Vec<F1Score> = truth
         .iter()
-        .zip(&results)
-        .map(|(t, r)| f1_sets(t, r))
+        .zip(results)
+        .map(|(t, r)| {
+            f1_sets(
+                t.ids().expect("evaluation batches carry no RangeKept"),
+                r.ids().expect("evaluation batches carry no RangeKept"),
+            )
+        })
         .collect();
     mean_f1(&scores)
 }
 
-fn eval_similarity(
-    original: &QueryEngine<'_>,
-    simplified: &QueryEngine<'_>,
-    tasks: &QueryTasks,
-) -> f64 {
-    let queries: Vec<SimilarityQuery> = tasks
-        .sim_queries
-        .iter()
-        .map(|(q, ts, te)| SimilarityQuery {
-            query: q.clone(),
-            ts: *ts,
-            te: *te,
-            delta: tasks.params.sim_delta,
-            step: tasks.params.sim_step,
-        })
-        .collect();
-    let truth = original.similarity_batch(&queries);
-    let results = simplified.similarity_batch(&queries);
-    let scores: Vec<F1Score> = truth
-        .iter()
-        .zip(&results)
-        .map(|(t, r)| f1_sets(t, r))
-        .collect();
-    mean_f1(&scores)
-}
-
-fn eval_clustering<S: AsColumns + ?Sized>(original: &S, simplified: &S, tasks: &QueryTasks) -> f64 {
+fn eval_clustering<O, S>(original: &O, simplified: &S, tasks: &QueryTasks) -> f64
+where
+    O: QueryExecutor + ?Sized,
+    S: QueryExecutor + ?Sized,
+{
     let cap = tasks.params.cluster_cap;
     // TRACLUS consumes AoS trajectories; materialize only the capped head.
-    let head = |store: &S| -> TrajectoryDb {
-        store.views().take(cap).map(|v| v.to_trajectory()).collect()
-    };
-    let truth = traclus(&head(original), &tasks.params.traclus).co_clustered_pairs();
-    let result = traclus(&head(simplified), &tasks.params.traclus).co_clustered_pairs();
+    let truth_head: TrajectoryDb = (0..original.len().min(cap))
+        .map(|id| original.trajectory(id))
+        .collect();
+    let result_head: TrajectoryDb = (0..simplified.len().min(cap))
+        .map(|id| simplified.trajectory(id))
+        .collect();
+    let truth = traclus(&truth_head, &tasks.params.traclus).co_clustered_pairs();
+    let result = traclus(&result_head, &tasks.params.traclus).co_clustered_pairs();
     f1_pairs(&truth, &result).f1
 }
 

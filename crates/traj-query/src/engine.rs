@@ -142,10 +142,17 @@ pub(crate) enum IndexBackend {
 pub struct QueryEngine<'a> {
     store: StoreRef<'a>,
     /// `owners[gid]` = trajectory owning global point `gid`. Only
-    /// [`QueryEngine::range_kept`]'s scan-backend sweep needs it (indexed
-    /// paths read the packed per-leaf owner runs instead), so it is built
-    /// lazily on first use.
+    /// [`QueryEngine::range_with_bitmap`]'s scan-backend sweep needs it
+    /// (indexed paths read the packed per-leaf owner runs instead), so it
+    /// is built lazily on first use.
     owners: std::sync::OnceLock<Vec<u32>>,
+    /// The engine's own simplified-database selection, when it serves one:
+    /// populated automatically from a mapped snapshot's kept-bitmap
+    /// section, or attached with [`QueryEngine::set_kept_bitmap`]. This is
+    /// what [`QueryEngine::range_kept`] queries — the same `Option`
+    /// semantics as the sharded engine, so both sides of
+    /// [`QueryExecutor`](crate::QueryExecutor) agree.
+    kept: Option<KeptBitmap>,
     backend: IndexBackend,
     config: EngineConfig,
 }
@@ -173,6 +180,7 @@ impl QueryEngine<'static> {
         Self {
             store: StoreRef::Owned(store),
             owners: std::sync::OnceLock::new(),
+            kept: None,
             backend,
             config,
         }
@@ -180,13 +188,17 @@ impl QueryEngine<'static> {
 
     /// Builds an engine owning an mmap-backed store: queries execute
     /// straight off the file mapping, so cold start is the index build
-    /// alone — no CSV parse, no column deserialization.
+    /// alone — no CSV parse, no column deserialization. When the snapshot
+    /// carries a kept bitmap (a persisted simplified database), it is
+    /// retained so [`QueryEngine::range_kept`] serves `D'` immediately.
     #[must_use]
     pub fn from_mapped(store: MappedStore, config: EngineConfig) -> Self {
         let backend = build_backend(&store, config);
+        let kept = store.kept_bitmap();
         Self {
             store: StoreRef::Mapped(store),
             owners: std::sync::OnceLock::new(),
+            kept,
             backend,
             config,
         }
@@ -202,19 +214,23 @@ impl<'a> QueryEngine<'a> {
         Self {
             store: StoreRef::Borrowed(store),
             owners: std::sync::OnceLock::new(),
+            kept: None,
             backend,
             config,
         }
     }
 
     /// Builds an engine borrowing an mmap-backed store (zero copy; same
-    /// execution paths as [`QueryEngine::over_store`]).
+    /// execution paths as [`QueryEngine::over_store`]). A kept bitmap in
+    /// the snapshot is retained for [`QueryEngine::range_kept`].
     #[must_use]
     pub fn over_mapped(store: &'a MappedStore, config: EngineConfig) -> Self {
         let backend = build_backend(store, config);
+        let kept = store.kept_bitmap();
         Self {
             store: StoreRef::MappedRef(store),
             owners: std::sync::OnceLock::new(),
+            kept,
             backend,
             config,
         }
@@ -233,9 +249,53 @@ impl<'a> QueryEngine<'a> {
         Self {
             store,
             owners: std::sync::OnceLock::new(),
+            kept: None,
             backend,
             config,
         }
+    }
+
+    /// Attaches (or clears) the kept bitmap [`QueryEngine::range_kept`]
+    /// serves. Callers that computed a [`Simplification`] attach its
+    /// bitmap (`simp.to_bitmap(engine.store())`) to serve `D'` through
+    /// the same engine that serves `D`.
+    ///
+    /// # Panics
+    /// Panics when the bitmap's point count differs from the store's —
+    /// a bitmap built for a different store would otherwise surface as
+    /// an index-out-of-bounds (or silently wrong results) deep inside
+    /// query execution.
+    pub fn set_kept_bitmap(&mut self, kept: Option<KeptBitmap>) {
+        if let Some(kept) = &kept {
+            assert_eq!(
+                kept.len(),
+                self.store.total_points(),
+                "kept bitmap covers a different point count than the store"
+            );
+        }
+        self.kept = kept;
+    }
+
+    /// Builder form of [`QueryEngine::set_kept_bitmap`] (same length
+    /// validation).
+    #[must_use]
+    pub fn with_kept_bitmap(mut self, kept: KeptBitmap) -> Self {
+        self.set_kept_bitmap(Some(kept));
+        self
+    }
+
+    /// The kept bitmap this engine serves through
+    /// [`QueryEngine::range_kept`], if any.
+    #[must_use]
+    pub fn kept_bitmap(&self) -> Option<&KeptBitmap> {
+        self.kept.as_ref()
+    }
+
+    /// True when the engine carries a kept bitmap — i.e.
+    /// [`QueryEngine::range_kept`] serves a simplified database.
+    #[must_use]
+    pub fn has_kept_bitmap(&self) -> bool {
+        self.kept.is_some()
     }
 
     /// The underlying columnar storage (owned, borrowed, or mapped). All
@@ -246,6 +306,15 @@ impl<'a> QueryEngine<'a> {
     #[must_use]
     pub fn store(&self) -> &StoreRef<'a> {
         &self.store
+    }
+
+    /// Materializes trajectory `id` as an AoS
+    /// [`Trajectory`](trajectory::Trajectory) (a column gather) — the
+    /// executor-level accessor consumers use when an operator needs
+    /// whole trajectories (e.g. TRACLUS clustering).
+    #[must_use]
+    pub fn trajectory(&self, id: TrajId) -> trajectory::Trajectory {
+        self.store.view(id).to_trajectory()
     }
 
     /// The build configuration.
@@ -369,11 +438,23 @@ impl<'a> QueryEngine<'a> {
         collect_hits(&hit)
     }
 
+    /// Executes a range query against the engine's *own* kept bitmap (a
+    /// persisted or attached simplified database) — `None` when the engine
+    /// carries none. Same signature and `Option` semantics as
+    /// [`ShardedQueryEngine::range_kept`](crate::ShardedQueryEngine::range_kept),
+    /// so both executors present one `D'`-serving surface.
+    #[must_use]
+    pub fn range_kept(&self, q: &Cube) -> Option<Vec<TrajId>> {
+        self.kept
+            .as_ref()
+            .map(|kept| self.range_with_bitmap(kept, q))
+    }
+
     /// [`QueryEngine::range_simplified`] against a pre-built kept-point
     /// bitmap. The scan-backend arm is a whole-store sweep (O(N)); with an
     /// index only leaves intersecting `q` are touched.
     #[must_use]
-    pub fn range_kept(&self, kept: &KeptBitmap, q: &Cube) -> Vec<TrajId> {
+    pub fn range_with_bitmap(&self, kept: &KeptBitmap, q: &Cube) -> Vec<TrajId> {
         let mut hit = vec![false; self.store.len()];
         match &self.backend {
             IndexBackend::Scan => {
@@ -411,7 +492,7 @@ impl<'a> QueryEngine<'a> {
             IndexBackend::Scan => par_map(queries, |q| self.range_simplified_scan(simp, q)),
             _ => {
                 let bitmap = simp.to_bitmap(&self.store);
-                par_map(queries, |q| self.range_kept(&bitmap, q))
+                par_map(queries, |q| self.range_with_bitmap(&bitmap, q))
             }
         }
     }
@@ -426,19 +507,32 @@ impl<'a> QueryEngine<'a> {
     /// candidate distances are computed in parallel.
     #[must_use]
     pub fn knn(&self, q: &KnnQuery) -> Vec<TrajId> {
-        let finite = self.knn_finite_scored(q);
-        // Every trajectory absent from `finite` ranks at infinity. The
-        // reference scan orders by (distance, id), so all finite distances
-        // come first and the infinite tail fills in ascending id order.
+        self.knn_from_finite(q.k, self.knn_finite_scored(q))
+    }
+
+    /// [`QueryEngine::knn`] with candidate scoring run sequentially in the
+    /// calling thread — the per-query unit a batch-level [`par_map`] pass
+    /// schedules without nesting thread pools (`cores` workers, not
+    /// `cores²`). Identical results to [`QueryEngine::knn`].
+    pub(crate) fn knn_seq(&self, q: &KnnQuery) -> Vec<TrajId> {
+        self.knn_from_finite(q.k, self.knn_finite_scored_impl(q, false))
+    }
+
+    /// The take-`k` / infinite-fill policy shared by the parallel and
+    /// sequential kNN paths. Every trajectory absent from `finite` ranks
+    /// at infinity. The reference scan orders by (distance, id), so all
+    /// finite distances come first and the infinite tail fills in
+    /// ascending id order.
+    fn knn_from_finite(&self, k: usize, finite: Vec<(f64, TrajId)>) -> Vec<TrajId> {
         let mut in_finite = vec![false; self.store.len()];
         for &(_, id) in &finite {
             in_finite[id] = true;
         }
-        let mut ids: Vec<TrajId> = finite.into_iter().take(q.k).map(|(_, id)| id).collect();
-        if ids.len() < q.k {
+        let mut ids: Vec<TrajId> = finite.into_iter().take(k).map(|(_, id)| id).collect();
+        if ids.len() < k {
             for (id, _) in in_finite.iter().enumerate().filter(|(_, &f)| !f) {
                 ids.push(id);
-                if ids.len() == q.k {
+                if ids.len() == k {
                     break;
                 }
             }
@@ -455,6 +549,17 @@ impl<'a> QueryEngine<'a> {
     /// the same policy once, globally — which is what makes fan-out kNN
     /// byte-identical to the single-store execution.
     pub(crate) fn knn_finite_scored(&self, q: &KnnQuery) -> Vec<(f64, TrajId)> {
+        self.knn_finite_scored_impl(q, true)
+    }
+
+    /// [`QueryEngine::knn_finite_scored`] with the candidate scoring loop
+    /// either parallel (`par_map`) or sequential — results are identical
+    /// (both preserve candidate order before the final sort).
+    pub(crate) fn knn_finite_scored_impl(
+        &self,
+        q: &KnnQuery,
+        parallel: bool,
+    ) -> Vec<(f64, TrajId)> {
         let q_window = q.query_window();
         let candidates: Vec<TrajId> = match (self.spatial_index(), q_window.is_empty()) {
             // No index, or a degenerate window (where even trajectories
@@ -482,9 +587,12 @@ impl<'a> QueryEngine<'a> {
                 collect_hits(&in_window)
             }
         };
-        let scored: Vec<(f64, TrajId)> = par_map(&candidates, |&id| {
-            (q.windowed_distance_view(q_window, self.store.view(id)), id)
-        });
+        let score = |&id: &TrajId| (q.windowed_distance_view(q_window, self.store.view(id)), id);
+        let scored: Vec<(f64, TrajId)> = if parallel {
+            par_map(&candidates, score)
+        } else {
+            candidates.iter().map(score).collect()
+        };
         let mut finite: Vec<(f64, TrajId)> =
             scored.into_iter().filter(|(d, _)| d.is_finite()).collect();
         finite.sort_by(|a, b| {
@@ -527,7 +635,13 @@ impl<'a> QueryEngine<'a> {
     /// worker — one level of parallelism, not `cores²` threads.
     #[must_use]
     pub fn similarity_batch(&self, queries: &[SimilarityQuery]) -> Vec<Vec<TrajId>> {
-        par_map(queries, |q| q.execute_store(&self.store))
+        par_map(queries, |q| self.similarity_seq(q))
+    }
+
+    /// [`QueryEngine::similarity`] with the per-trajectory checks run
+    /// sequentially — the per-query unit batch passes parallelize over.
+    pub(crate) fn similarity_seq(&self, q: &SimilarityQuery) -> Vec<TrajId> {
+        q.execute_store(&self.store)
     }
 
     // ------------------------------------------------------------------
@@ -1119,6 +1233,14 @@ mod tests {
             maintained.diff().abs() < 1e-12,
             "identity simplification must have diff 0"
         );
+    }
+
+    #[test]
+    #[should_panic(expected = "different point count")]
+    fn attaching_a_mismatched_kept_bitmap_fails_fast() {
+        let db = small_db();
+        let mut engine = QueryEngine::over(&db, EngineConfig::octree());
+        engine.set_kept_bitmap(Some(KeptBitmap::zeros(db.total_points() + 1)));
     }
 
     #[test]

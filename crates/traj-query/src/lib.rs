@@ -33,6 +33,13 @@
 //! routed to the shards whose bounds can contribute, results merged to
 //! match the single-store engine byte-for-byte (see [`sharded`]).
 //!
+//! Both engines sit behind the public façade in [`db`]: the
+//! [`QueryExecutor`] trait (one signature set over every layout), typed
+//! [`Query`]/[`QueryResult`] pairs with heterogeneous [`QueryBatch`]
+//! plans executed in a single data-parallel pass, and [`TrajDb`] —
+//! [`TrajDb::open`] auto-detects CSV vs snapshot vs shard directory and
+//! serves whatever it finds through the same API.
+//!
 //! # Example: build once, serve ranges, kNN, and similarity
 //!
 //! ```
@@ -56,6 +63,7 @@
 
 #![warn(missing_docs)]
 
+pub mod db;
 pub mod edr;
 pub mod engine;
 pub mod join;
@@ -68,6 +76,10 @@ pub mod t2vec;
 pub mod traclus;
 pub mod workload;
 
+pub use db::{
+    DbOptions, OpenMode, Query, QueryBatch, QueryExecutor, QueryKind, QueryResult, TrajDb,
+    TrajDbError,
+};
 pub use engine::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine};
 pub use join::{similarity_join, JoinParams};
 pub use knn::{Dissimilarity, KnnQuery};

@@ -35,8 +35,9 @@ use crate::knn::KnnQuery;
 use crate::parallel::{par_map, par_map_indexed};
 use crate::similarity::SimilarityQuery;
 
-/// One shard as the router sees it: its engine, its id translation, its
-/// bounds, and (for persisted simplified databases) its kept bitmap.
+/// One shard as the router sees it: its engine (which carries the shard
+/// snapshot's kept bitmap, when one was persisted), its id translation,
+/// and its bounds.
 struct ShardHandle<'a> {
     engine: QueryEngine<'a>,
     /// `global_ids[local]` = global trajectory id; strictly ascending, so
@@ -45,8 +46,6 @@ struct ShardHandle<'a> {
     /// Smallest cube covering the shard's points — what range routing and
     /// kNN time pruning test against.
     bounds: Cube,
-    /// The shard snapshot's kept bitmap, when it was written with one.
-    kept: Option<KeptBitmap>,
 }
 
 /// A query engine over a sharded database: per-shard indexes built in
@@ -149,11 +148,12 @@ impl<'a> ShardedQueryEngine<'a> {
             .zip(backends)
             .map(|((store, global_ids, kept), backend)| {
                 let bounds = store.bounding_cube();
+                let mut engine = QueryEngine::from_backend(store, backend, config);
+                engine.set_kept_bitmap(kept);
                 ShardHandle {
-                    engine: QueryEngine::from_backend(store, backend, config),
+                    engine,
                     global_ids,
                     bounds,
-                    kept,
                 }
             })
             .collect();
@@ -222,7 +222,30 @@ impl<'a> ShardedQueryEngine<'a> {
     /// [`ShardedQueryEngine::range_kept`] can serve `D'`.
     #[must_use]
     pub fn has_kept_bitmaps(&self) -> bool {
-        !self.shards.is_empty() && self.shards.iter().all(|sh| sh.kept.is_some())
+        !self.shards.is_empty() && self.shards.iter().all(|sh| sh.engine.has_kept_bitmap())
+    }
+
+    /// Per-shard store handles, in shard order (owned, borrowed, or
+    /// mapped). The accessor workload generators and statistics use; query
+    /// execution itself goes through the fan-out methods.
+    pub fn shard_stores(&self) -> impl Iterator<Item = &StoreRef<'a>> {
+        self.shards.iter().map(|sh| sh.engine.store())
+    }
+
+    /// Materializes the trajectory with *global* id `id` (a binary search
+    /// for the owning shard, then a column gather).
+    ///
+    /// # Panics
+    /// Panics when `id >= self.len()`.
+    #[must_use]
+    pub fn trajectory(&self, id: TrajId) -> trajectory::Trajectory {
+        assert!(id < self.total_trajs, "trajectory id out of range");
+        for sh in &self.shards {
+            if let Ok(local) = sh.global_ids.binary_search(&id) {
+                return sh.engine.trajectory(local);
+            }
+        }
+        unreachable!("shard global ids partition 0..total")
     }
 
     /// Maps per-shard local result lists to global ids and merges them
@@ -254,9 +277,13 @@ impl<'a> ShardedQueryEngine<'a> {
     /// parallelism, not `cores²` threads).
     #[must_use]
     pub fn range_batch(&self, queries: &[Cube]) -> Vec<Vec<TrajId>> {
-        par_map(queries, |q| {
-            self.merge_local(self.shards.iter().map(|sh| shard_range(sh, q)).collect())
-        })
+        par_map(queries, |q| self.range_seq(q))
+    }
+
+    /// [`ShardedQueryEngine::range`] walking the shards sequentially —
+    /// the per-query unit batch passes parallelize over.
+    pub(crate) fn range_seq(&self, q: &Cube) -> Vec<TrajId> {
+        self.merge_local(self.shards.iter().map(|sh| shard_range(sh, q)).collect())
     }
 
     /// Executes a range query against the *persisted* per-shard kept
@@ -268,13 +295,23 @@ impl<'a> ShardedQueryEngine<'a> {
         if !self.has_kept_bitmaps() {
             return None;
         }
-        Some(self.merge_local(par_map(&self.shards, |sh| {
-            if !sh.bounds.intersects(q) {
-                return Vec::new();
-            }
-            let kept = sh.kept.as_ref().expect("checked by has_kept_bitmaps");
-            sh.engine.range_kept(kept, q)
-        })))
+        Some(self.merge_local(par_map(&self.shards, |sh| shard_range_kept(sh, q))))
+    }
+
+    /// [`ShardedQueryEngine::range_kept`] walking the shards sequentially
+    /// — the per-query unit batch passes parallelize over.
+    pub(crate) fn range_kept_seq(&self, q: &Cube) -> Option<Vec<TrajId>> {
+        if !self.has_kept_bitmaps() {
+            return None;
+        }
+        Some(
+            self.merge_local(
+                self.shards
+                    .iter()
+                    .map(|sh| shard_range_kept(sh, q))
+                    .collect(),
+            ),
+        )
     }
 
     // ------------------------------------------------------------------
@@ -289,27 +326,25 @@ impl<'a> ShardedQueryEngine<'a> {
     /// globally. Identical results to [`QueryEngine::knn`].
     #[must_use]
     pub fn knn(&self, q: &KnnQuery) -> Vec<TrajId> {
-        // With an empty query window even temporally disjoint trajectories
-        // score finite (the both-empty convention), so time pruning is
-        // only sound when the window is non-empty.
-        let window_empty = q.query_window().is_empty();
-        let per_shard: Vec<Vec<(f64, TrajId)>> = par_map(&self.shards, |sh| {
-            if !window_empty && (sh.bounds.t_max < q.ts || sh.bounds.t_min > q.te) {
-                return Vec::new();
-            }
-            let mut scored = sh.engine.knn_finite_scored(q);
-            // Only a shard's best k can reach the global top k; anything
-            // past that is dead weight in the merge. (The infinite-fill
-            // path is unaffected: it only triggers when the global finite
-            // count is below k, in which case no shard was truncated.)
-            scored.truncate(q.k);
-            for entry in &mut scored {
-                entry.1 = sh.global_ids[entry.1];
-                entry.0 += 0.0; // normalize -0.0 so total_cmp == partial_cmp
-            }
-            scored
-        });
+        let per_shard = par_map(&self.shards, |sh| shard_knn_candidates(sh, q, true));
+        self.knn_merge(q.k, per_shard)
+    }
 
+    /// [`ShardedQueryEngine::knn`] walking the shards sequentially with
+    /// sequential per-shard scoring — the per-query unit batch passes
+    /// parallelize over. Identical results to [`ShardedQueryEngine::knn`].
+    pub(crate) fn knn_seq(&self, q: &KnnQuery) -> Vec<TrajId> {
+        let per_shard = self
+            .shards
+            .iter()
+            .map(|sh| shard_knn_candidates(sh, q, false))
+            .collect();
+        self.knn_merge(q.k, per_shard)
+    }
+
+    /// The global merge half of a kNN fan-out (see
+    /// [`ShardedQueryEngine::knn`]).
+    fn knn_merge(&self, k: usize, per_shard: Vec<Vec<(f64, TrajId)>>) -> Vec<TrajId> {
         // Global k-heap: a best-first k-way merge over the sorted
         // per-shard streams. Ties on distance break by global id, exactly
         // like the single-store sort.
@@ -324,8 +359,8 @@ impl<'a> ShardedQueryEngine<'a> {
                 }));
             }
         }
-        let mut ids: Vec<TrajId> = Vec::with_capacity(q.k);
-        while ids.len() < q.k {
+        let mut ids: Vec<TrajId> = Vec::with_capacity(k);
+        while ids.len() < k {
             let Some(std::cmp::Reverse(e)) = heap.pop() else {
                 break;
             };
@@ -339,7 +374,7 @@ impl<'a> ShardedQueryEngine<'a> {
                 }));
             }
         }
-        if ids.len() < q.k {
+        if ids.len() < k {
             // Fewer finite candidates than k: fill with the
             // infinite-distance trajectories in ascending global id order.
             let mut finite = vec![false; self.total_trajs];
@@ -350,7 +385,7 @@ impl<'a> ShardedQueryEngine<'a> {
             }
             for (id, _) in finite.iter().enumerate().filter(|(_, &f)| !f) {
                 ids.push(id);
-                if ids.len() == q.k {
+                if ids.len() == k {
                     break;
                 }
             }
@@ -383,23 +418,51 @@ impl<'a> ShardedQueryEngine<'a> {
     /// Executes a batch of similarity queries, parallel across queries.
     #[must_use]
     pub fn similarity_batch(&self, queries: &[SimilarityQuery]) -> Vec<Vec<TrajId>> {
-        par_map(queries, |q| {
-            self.merge_local(
-                self.shards
-                    .iter()
-                    .map(|sh| shard_similarity(sh, q))
-                    .collect(),
-            )
-        })
+        par_map(queries, |q| self.similarity_seq(q))
+    }
+
+    /// [`ShardedQueryEngine::similarity`] walking the shards sequentially
+    /// — the per-query unit batch passes parallelize over.
+    pub(crate) fn similarity_seq(&self, q: &SimilarityQuery) -> Vec<TrajId> {
+        self.merge_local(
+            self.shards
+                .iter()
+                .map(|sh| shard_similarity(sh, q))
+                .collect(),
+        )
     }
 
     // ------------------------------------------------------------------
     // Simplified-database execution.
     // ------------------------------------------------------------------
 
+    /// Executes a range query against a global [`Simplification`] without
+    /// materializing `D'` — the per-shard split happens internally.
+    /// Identical results to [`QueryEngine::range_simplified`]; batches
+    /// should prefer [`ShardedQueryEngine::range_simplified_batch`] (or a
+    /// pre-split [`ShardedQueryEngine::range_simplified_local`]), which
+    /// splits once.
+    #[must_use]
+    pub fn range_simplified(&self, simp: &Simplification, q: &Cube) -> Vec<TrajId> {
+        self.range_simplified_local(&self.shard_simplification(simp), q)
+    }
+
+    /// Batch variant of [`ShardedQueryEngine::range_simplified`]: the
+    /// global simplification splits into shard-local ones once for the
+    /// whole batch.
+    #[must_use]
+    pub fn range_simplified_batch(
+        &self,
+        simp: &Simplification,
+        queries: &[Cube],
+    ) -> Vec<Vec<TrajId>> {
+        self.range_simplified_local_batch(&self.shard_simplification(simp), queries)
+    }
+
     /// Splits a global [`Simplification`] into per-shard local ones —
-    /// compute once, then serve [`ShardedQueryEngine::range_simplified`]
-    /// / [`ShardedQueryEngine::range_simplified_batch`] against it.
+    /// compute once, then serve
+    /// [`ShardedQueryEngine::range_simplified_local`] /
+    /// [`ShardedQueryEngine::range_simplified_local_batch`] against it.
     #[must_use]
     pub fn shard_simplification(&self, simp: &Simplification) -> ShardedSimplification {
         let locals = self
@@ -417,12 +480,12 @@ impl<'a> ShardedQueryEngine<'a> {
         ShardedSimplification { locals }
     }
 
-    /// Executes a range query against a sharded simplification without
-    /// materializing `D'`. Identical results to
+    /// Executes a range query against a pre-split sharded simplification
+    /// without materializing `D'`. Identical results to
     /// [`QueryEngine::range_simplified`] with the corresponding global
     /// simplification.
     #[must_use]
-    pub fn range_simplified(&self, simp: &ShardedSimplification, q: &Cube) -> Vec<TrajId> {
+    pub fn range_simplified_local(&self, simp: &ShardedSimplification, q: &Cube) -> Vec<TrajId> {
         assert_eq!(simp.locals.len(), self.shards.len(), "shard count mismatch");
         self.merge_local(par_map_indexed(&self.shards, |i, sh| {
             if !sh.bounds.intersects(q) {
@@ -432,10 +495,10 @@ impl<'a> ShardedQueryEngine<'a> {
         }))
     }
 
-    /// Batch variant of [`ShardedQueryEngine::range_simplified`],
+    /// Batch variant of [`ShardedQueryEngine::range_simplified_local`],
     /// parallel across queries.
     #[must_use]
-    pub fn range_simplified_batch(
+    pub fn range_simplified_local_batch(
         &self,
         simp: &ShardedSimplification,
         queries: &[Cube],
@@ -526,6 +589,39 @@ fn shard_range(sh: &ShardHandle<'_>, q: &Cube) -> Vec<TrajId> {
         return Vec::new();
     }
     sh.engine.range(q)
+}
+
+/// One shard's share of a kept-bitmap range query (shard-local ids). The
+/// caller guarantees every shard engine carries a bitmap.
+fn shard_range_kept(sh: &ShardHandle<'_>, q: &Cube) -> Vec<TrajId> {
+    if !sh.bounds.intersects(q) {
+        return Vec::new();
+    }
+    sh.engine
+        .range_kept(q)
+        .expect("checked by has_kept_bitmaps")
+}
+
+/// One shard's finite-distance kNN candidates, mapped to global ids and
+/// truncated to the query's `k` (only a shard's best `k` can reach the
+/// global top `k`; anything past that is dead weight in the merge — the
+/// infinite-fill path is unaffected, since it only triggers when the
+/// global finite count is below `k`, in which case no shard was
+/// truncated). With an empty query window even temporally disjoint
+/// trajectories score finite (the both-empty convention), so time pruning
+/// is only sound when the window is non-empty.
+fn shard_knn_candidates(sh: &ShardHandle<'_>, q: &KnnQuery, parallel: bool) -> Vec<(f64, TrajId)> {
+    let window_empty = q.query_window().is_empty();
+    if !window_empty && (sh.bounds.t_max < q.ts || sh.bounds.t_min > q.te) {
+        return Vec::new();
+    }
+    let mut scored = sh.engine.knn_finite_scored_impl(q, parallel);
+    scored.truncate(q.k);
+    for entry in &mut scored {
+        entry.1 = sh.global_ids[entry.1];
+        entry.0 += 0.0; // normalize -0.0 so total_cmp == partial_cmp
+    }
+    scored
 }
 
 /// One shard's share of a similarity query (shard-local ids). Only the
@@ -690,12 +786,16 @@ mod tests {
         assert_eq!(local.total_points(), simp.total_points());
         for q in &queries {
             assert_eq!(
-                sharded.range_simplified(&local, q),
+                sharded.range_simplified_local(&local, q),
+                single.range_simplified(&simp, q)
+            );
+            assert_eq!(
+                sharded.range_simplified(&simp, q),
                 single.range_simplified(&simp, q)
             );
         }
         assert_eq!(
-            sharded.range_simplified_batch(&local, &queries),
+            sharded.range_simplified_batch(&simp, &queries),
             single.range_simplified_batch(&simp, &queries)
         );
 

@@ -436,8 +436,17 @@ proptest! {
                 cfg.backend
             );
             prop_assert_eq!(
-                owned.range_kept(&kept, &qf),
-                served.range_kept(&mapped_kept, &qf),
+                owned.range_with_bitmap(&kept, &qf),
+                served.range_with_bitmap(&mapped_kept, &qf),
+                "range_with_bitmap, backend {:?}",
+                cfg.backend
+            );
+            // A mapped snapshot with a kept section auto-attaches its
+            // bitmap, so the reconciled Option-returning surface serves
+            // D' with no further plumbing.
+            prop_assert_eq!(
+                Some(owned.range_with_bitmap(&kept, &qf)),
+                served.range_kept(&qf),
                 "range_kept, backend {:?}",
                 cfg.backend
             );

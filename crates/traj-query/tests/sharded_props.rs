@@ -202,7 +202,14 @@ proptest! {
                 let sharded = ShardedQueryEngine::from_partition(&store, &strategy, cfg);
                 let local = sharded.shard_simplification(&simp);
                 prop_assert_eq!(
-                    sharded.range_simplified(&local, &qf),
+                    sharded.range_simplified_local(&local, &qf),
+                    expected.clone(),
+                    "range_simplified_local: {:?} over {:?}",
+                    strategy,
+                    cfg.backend
+                );
+                prop_assert_eq!(
+                    sharded.range_simplified(&simp, &qf),
                     expected.clone(),
                     "range_simplified: {:?} over {:?}",
                     strategy,

@@ -1,11 +1,22 @@
 //! Bottom-Up simplification (Marteau & Ménier): start from the full
 //! trajectory and repeatedly *drop* the point whose removal introduces the
 //! smallest error, until the budget is met.
+//!
+//! The drop loop is implemented twice over the same heap discipline: the
+//! AoS path walks [`Trajectory`] point slices, the **native columnar**
+//! path ([`Simplifier::simplify_store`]) walks zero-copy
+//! [`TrajView`](trajectory::TrajView)s straight off the columns — no
+//! `Vec<Point>` trajectories are materialized, no AoS round-trip. Both
+//! paths push and pop identical cost sequences through the shared
+//! [`LazyHeap`], so their kept sets are equal point-for-point
+//! (equality-tested for all four error measures and both adaptations).
 
-use crate::adapt::{per_trajectory_budgets, Adaptation};
+use crate::adapt::{per_trajectory_budgets, per_trajectory_budgets_store, Adaptation};
 use crate::heap::LazyHeap;
 use crate::Simplifier;
-use trajectory::{ErrorMeasure, Simplification, TrajId, Trajectory, TrajectoryDb};
+use trajectory::{
+    AsColumns, ErrorMeasure, PointSeq, PointStore, Simplification, TrajId, Trajectory, TrajectoryDb,
+};
 
 /// The Bottom-Up baseline, parameterized by error measure and adaptation.
 #[derive(Debug, Clone, Copy)]
@@ -44,6 +55,24 @@ impl Simplifier for BottomUp {
             Adaptation::Whole => bottomup_whole(db, budget, self.measure),
         }
     }
+
+    /// Native columnar Bottom-Up: the drop loops run directly over
+    /// zero-copy [`TrajView`](trajectory::TrajView)s — identical kept
+    /// sets to [`Simplifier::simplify`] on the equivalent database.
+    fn simplify_store(&self, store: &PointStore, budget: usize) -> Simplification {
+        match self.adaptation {
+            Adaptation::Each => {
+                let budgets = per_trajectory_budgets_store(store, budget);
+                let kept = store
+                    .views()
+                    .enumerate()
+                    .map(|(id, v)| bottomup_one_seq(&v, budgets[id], self.measure))
+                    .collect();
+                Simplification::from_kept_store(store, kept)
+            }
+            Adaptation::Whole => bottomup_whole_store(store, budget, self.measure),
+        }
+    }
 }
 
 /// The cost of dropping kept point `idx`: the Eq. 1 segment error of the
@@ -72,12 +101,121 @@ pub fn bottomup_one(traj: &Trajectory, budget: usize, measure: ErrorMeasure) -> 
     simp.kept(0).to_vec()
 }
 
+/// Layout-agnostic single-trajectory Bottom-Up: the same drop loop over
+/// any [`PointSeq`] — kept indices are maintained in a doubly-linked
+/// prev/next list instead of a [`Simplification`], but costs, version
+/// stamps, and heap operations occur in exactly the order of
+/// [`bottomup_one`], so the kept sets are identical.
+pub fn bottomup_one_seq<S: PointSeq + ?Sized>(
+    seq: &S,
+    budget: usize,
+    measure: ErrorMeasure,
+) -> Vec<u32> {
+    let n = seq.n_points();
+    if n <= 2 {
+        return (0..n as u32).collect();
+    }
+    let budget = budget.clamp(2, n);
+    let last = n as u32 - 1;
+    // Doubly-linked kept list: prev/next of every still-kept index.
+    let mut prev: Vec<u32> = (0..n as u32).map(|i| i.wrapping_sub(1)).collect();
+    let mut next: Vec<u32> = (1..=n as u32).collect();
+    let mut kept = vec![true; n];
+    let mut versions = vec![0u64; n];
+    let mut heap: LazyHeap<u32> = LazyHeap::new();
+    for idx in 1..last {
+        let c = measure.segment_error_seq(
+            seq,
+            prev[idx as usize] as usize,
+            next[idx as usize] as usize,
+        );
+        heap.push(-c, 0, idx); // negate: LazyHeap is a max-heap
+    }
+    let mut total = n;
+    while total > budget {
+        let popped = heap.pop_current(|&idx, v| versions[idx as usize] == v && kept[idx as usize]);
+        let Some((_, idx)) = popped else { break };
+        let i = idx as usize;
+        let (l, r) = (prev[i], next[i]);
+        kept[i] = false;
+        next[l as usize] = r;
+        prev[r as usize] = l;
+        total -= 1;
+        // The bracketing neighbors' drop costs changed: re-push with fresh
+        // stamps (endpoints are never dropped, so they never enter).
+        for nb in [l, r] {
+            if nb != 0 && nb != last {
+                let nbi = nb as usize;
+                versions[nbi] += 1;
+                let c = measure.segment_error_seq(seq, prev[nbi] as usize, next[nbi] as usize);
+                heap.push(-c, versions[nbi], nb);
+            }
+        }
+    }
+    (0..n as u32).filter(|&i| kept[i as usize]).collect()
+}
+
 /// Bottom-Up over the whole database: one global min-heap of drop costs.
 fn bottomup_whole(db: &TrajectoryDb, budget: usize, measure: ErrorMeasure) -> Simplification {
     let mut simp = Simplification::full(db);
     let budget = budget.max(crate::min_points(db));
     run_bottomup_db(db, &mut simp, budget, measure);
     simp
+}
+
+/// [`bottomup_whole`] walking columns natively: per-trajectory point
+/// access is a [`TrajView`](trajectory::TrajView) sub-slice lookup
+/// instead of a pointer chase through `Vec<Trajectory>`. Heap order,
+/// tie-breaking, and therefore the kept sets are identical to the AoS
+/// path.
+fn bottomup_whole_store(
+    store: &PointStore,
+    budget: usize,
+    measure: ErrorMeasure,
+) -> Simplification {
+    let mut simp = Simplification::full_store(store);
+    let budget = budget.max(crate::min_points_store(store));
+    let mut versions: Vec<Vec<u64>> = store.views().map(|v| vec![0u64; v.len()]).collect();
+    let mut heap: LazyHeap<(TrajId, u32)> = LazyHeap::new();
+    for (id, v) in AsColumns::iter(store) {
+        for idx in 1..v.len().saturating_sub(1) as u32 {
+            if let Some(c) = drop_cost_seq(&v, &simp, id, idx, measure) {
+                heap.push(-c, 0, (id, idx));
+            }
+        }
+    }
+    let mut total = simp.total_points();
+    while total > budget {
+        let popped = heap
+            .pop_current(|&(id, idx), v| versions[id][idx as usize] == v && simp.contains(id, idx));
+        let Some((_, (id, idx))) = popped else { break };
+        let (l, r) = simp.kept_neighbors(id, idx).expect("validated current");
+        let removed = simp.remove(id, idx);
+        debug_assert!(removed);
+        total -= 1;
+        let v = store.view(id);
+        for nb in [l, r] {
+            if simp.kept_neighbors(id, nb).is_some() {
+                versions[id][nb as usize] += 1;
+                if let Some(c) = drop_cost_seq(&v, &simp, id, nb, measure) {
+                    heap.push(-c, versions[id][nb as usize], (id, nb));
+                }
+            }
+        }
+    }
+    simp
+}
+
+/// [`drop_cost`] over any [`PointSeq`] (same Eq. 1 segment error).
+fn drop_cost_seq<S: PointSeq + ?Sized>(
+    seq: &S,
+    simp: &Simplification,
+    id: TrajId,
+    idx: u32,
+    m: ErrorMeasure,
+) -> Option<f64> {
+    let (l, r) = simp.kept_neighbors(id, idx)?;
+    Some(m.segment_error_seq(seq, l as usize, r as usize))
 }
 
 /// Core drop loop shared by both adaptations (the per-trajectory case is a
@@ -222,6 +360,42 @@ mod tests {
             BottomUp::new(ErrorMeasure::Dad, Adaptation::Each).name(),
             "Bottom-Up(E,DAD)"
         );
+    }
+
+    #[test]
+    fn simplify_store_matches_aos_for_all_measures_and_adaptations() {
+        // The native columnar path must produce the exact kept sets of
+        // the AoS path: same drop order, same tie-breaking.
+        let db = TrajectoryDb::new(vec![zigzag(40, 8.0), zigzag(25, 3.0), zigzag(7, 30.0)]);
+        let store = db.to_store();
+        for m in ErrorMeasure::ALL {
+            for a in [Adaptation::Each, Adaptation::Whole] {
+                for budget in [6, 20, 50, 200] {
+                    let bu = BottomUp::new(m, a);
+                    assert_eq!(
+                        bu.simplify_store(&store, budget),
+                        bu.simplify(&db, budget),
+                        "{m} {a} budget {budget}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn one_seq_matches_one_on_views() {
+        let t = zigzag(33, 6.0);
+        let db = TrajectoryDb::new(vec![t.clone()]);
+        let store = db.to_store();
+        for m in ErrorMeasure::ALL {
+            for budget in [2, 5, 12, 33] {
+                assert_eq!(
+                    bottomup_one_seq(&store.view(0), budget, m),
+                    bottomup_one(&t, budget, m),
+                    "{m} budget {budget}"
+                );
+            }
+        }
     }
 
     #[test]

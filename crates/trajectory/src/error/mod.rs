@@ -87,10 +87,18 @@ impl ErrorMeasure {
     /// points anchored by segment `(s, e)`. Zero when the anchor spans a
     /// single original segment.
     pub fn segment_error(self, traj: &Trajectory, s: usize, e: usize) -> f64 {
-        debug_assert!(s < e && e < traj.len());
+        self.segment_error_seq(traj, s, e)
+    }
+
+    /// [`ErrorMeasure::segment_error`] over any layout ([`PointSeq`]): the
+    /// max runs over the same index range in the same order, so a columnar
+    /// simplifier's drop/insert costs are bitwise identical to the AoS
+    /// path's.
+    pub fn segment_error_seq<S: PointSeq + ?Sized>(self, seq: &S, s: usize, e: usize) -> f64 {
+        debug_assert!(s < e && e < seq.n_points());
         let mut worst = 0.0f64;
         for i in s..e {
-            worst = worst.max(self.point_error(traj, s, e, i));
+            worst = worst.max(self.point_error_seq(seq, s, e, i));
         }
         worst
     }

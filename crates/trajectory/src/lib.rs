@@ -76,7 +76,8 @@ pub use point::Point;
 pub use seq::PointSeq;
 pub use shard::{partition, OpenShard, PartitionStrategy, Shard, ShardSet, ShardSetError};
 pub use snapshot::{
-    read_snapshot, write_snapshot, write_snapshot_with, MappedStore, Snapshot, SnapshotError,
+    is_snapshot_file, read_snapshot, write_snapshot, write_snapshot_with, MappedStore, Snapshot,
+    SnapshotError,
 };
 pub use stats::DatasetStats;
 pub use store::{AsColumns, KeptBitmap, PointId, PointStore, StoreRef, TrajView};

@@ -658,6 +658,22 @@ pub fn read_snapshot_bytes(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
     Ok(decode(bytes, &layout))
 }
 
+/// True when the file at `path` starts with the snapshot [`MAGIC`] — the
+/// cheap format sniff database-open auto-detection uses to distinguish a
+/// snapshot file from a CSV before committing to a full parse. A positive
+/// answer does **not** validate the file; the subsequent
+/// [`read_snapshot`] / [`MappedStore::open`] still runs every check.
+pub fn is_snapshot_file<P: AsRef<Path>>(path: P) -> std::io::Result<bool> {
+    use std::io::Read;
+    let mut head = [0u8; 8];
+    let mut file = std::fs::File::open(path)?;
+    match file.read_exact(&mut head) {
+        Ok(()) => Ok(head == MAGIC),
+        Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => Ok(false),
+        Err(e) => Err(e),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Zero-copy mapping.
 // ---------------------------------------------------------------------

@@ -13,12 +13,14 @@
 //! - [`rl4qdts`]: the paper's contribution — query-accuracy-driven
 //!   collective simplification.
 //!
-//! Query execution should go through a [`QueryEngine`] (see
-//! `examples/query_serving.rs`): it owns a [`TrajectoryDb`] plus a
-//! pluggable index backend, prunes every query through the index, runs
-//! batches data-parallel, and keeps workload results over a growing
-//! simplification incrementally maintained. The per-operator scan
-//! functions in [`query`] remain the semantic reference.
+//! Query execution should go through the public façade: [`TrajDb::open`]
+//! resolves any supported on-disk layout (CSV, zero-copy snapshot,
+//! sharded directory) into one object serving the typed
+//! [`QueryExecutor`] surface, with mixed workloads planned as
+//! heterogeneous [`QueryBatch`]es. The underlying [`QueryEngine`] (and
+//! its sharded fan-out twin) stay available for layout-specific work;
+//! the per-operator scan functions in [`query`] remain the semantic
+//! reference.
 //!
 //! See `examples/quickstart.rs` for the 60-second tour,
 //! `docs/ARCHITECTURE.md` (the [`architecture`] module) for the crate
@@ -40,6 +42,9 @@ pub use trajectory;
 pub use rl4qdts;
 
 pub use rl4qdts::{PolicyVariant, Rl4Qdts, Rl4QdtsConfig, TrainerConfig};
-pub use traj_query::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine};
+pub use traj_query::{
+    BackendKind, DbOptions, EngineConfig, MaintainedWorkload, Query, QueryBatch, QueryEngine,
+    QueryExecutor, QueryResult, ShardedQueryEngine, TrajDb,
+};
 pub use traj_simp::Simplifier;
 pub use trajectory::{Point, Simplification, Trajectory, TrajectoryDb};
