@@ -417,10 +417,189 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
+// ---------------------------------------------------------------------
+// Per-kernel throughput: the vectorized primitives vs their scalar
+// references, on the same 349k-point T-Drive columns every group above
+// uses. Each benchmark touches all N points per iteration (the probe
+// cube is disjoint from the data, so `any_in_cube` never early-exits),
+// which makes points/sec = N / mean-iteration-time. Dispatch is flipped
+// at runtime via `set_force_scalar`, so one binary measures both sides;
+// the acceptance bar for the SIMD PR is ≥ 2x on the range-scan or
+// distance kernels. On this machine (1 core, AVX2) the measured ratios
+// are recorded in BENCH_simd.json at the repo root.
+// ---------------------------------------------------------------------
+
+fn bench_kernels(c: &mut Criterion) {
+    let db = generate(
+        &DatasetSpec::tdrive(Scale::Small).with_trajectories(1000),
+        7,
+    );
+    let store = db.to_store();
+    let n = store.total_points();
+    let (xs, ys, ts) = (store.xs(), store.ys(), store.ts());
+    let offsets = store.offsets();
+    // Covers the data spatially but misses every timestamp: containment
+    // runs to the end of every run (no early exit) and each point is
+    // tested on the full x/y/t chain — the shape of an index-pruned leaf
+    // whose cube intersects the query spatially. A cube disjoint on x
+    // would instead let the scalar chain short-circuit after one compare
+    // per point, which benchmarks branch prediction, not the scan.
+    let bc = store.bounding_cube();
+    let miss = Cube {
+        t_min: bc.t_max + 1.0,
+        t_max: bc.t_max + 2.0,
+        ..bc
+    };
+    // A half-set kept bitmap (every other point) for the masked kernel.
+    let mut kept = trajectory::KeptBitmap::zeros(n);
+    for g in (0..n as u32).step_by(2) {
+        kept.insert(g);
+    }
+    let (half_a, half_b) = xs.split_at(n / 2);
+
+    let mut group = c.benchmark_group("kernels");
+    group.sample_size(10);
+    for (label, force_scalar) in [("simd", false), ("scalar", true)] {
+        trajectory::simd::set_force_scalar(force_scalar);
+        if force_scalar {
+            assert!(!trajectory::simd::simd_active(), "force_scalar not honored");
+        }
+
+        // Range-scan kernel: per-trajectory cube containment over the
+        // whole store, as the engine's leaf runs and scan backend do.
+        group.bench_function(BenchmarkId::new(format!("range_scan_{label}"), n), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for w in offsets.windows(2) {
+                    let (s, e) = (w[0] as usize, w[1] as usize);
+                    if trajectory::simd::any_in_cube(
+                        std::hint::black_box(&xs[s..e]),
+                        &ys[s..e],
+                        &ts[s..e],
+                        &miss,
+                    ) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+
+        // Masked range-scan kernel: the same sweep through the kept
+        // bitmap (the D'-serving path on the scan backend).
+        group.bench_function(BenchmarkId::new(format!("masked_scan_{label}"), n), |b| {
+            b.iter(|| {
+                let mut hits = 0usize;
+                for w in offsets.windows(2) {
+                    let (s, e) = (w[0] as usize, w[1] as usize);
+                    if trajectory::simd::any_masked_in_cube(
+                        std::hint::black_box(&xs[s..e]),
+                        &ys[s..e],
+                        &ts[s..e],
+                        kept.words(),
+                        s,
+                        &miss,
+                    ) {
+                        hits += 1;
+                    }
+                }
+                hits
+            })
+        });
+
+        // Distance-accumulation kernel (kNN / embedding distances).
+        group.bench_function(
+            BenchmarkId::new(format!("squared_distance_{label}"), n),
+            |b| {
+                b.iter(|| {
+                    trajectory::simd::squared_distance(
+                        std::hint::black_box(half_a),
+                        &half_b[..half_a.len()],
+                    )
+                })
+            },
+        );
+
+        // Bounds-fold kernel (tight cubes, bounding boxes).
+        group.bench_function(BenchmarkId::new(format!("min_max_{label}"), n), |b| {
+            b.iter(|| trajectory::simd::min_max(std::hint::black_box(xs)))
+        });
+    }
+    trajectory::simd::set_force_scalar(false);
+    group.finish();
+}
+
+// ---------------------------------------------------------------------
+// Raw vs quantized storage: cold load and file size at a 0.5-unit error
+// bound. The quantized path pays a decode on open (it is not zero-copy)
+// in exchange for the smaller file; both end query-ready and must agree
+// on the probe within the bound's cube expansion.
+// ---------------------------------------------------------------------
+
+fn bench_quantized_load(c: &mut Criterion) {
+    use trajectory::snapshot::write_snapshot_quantized;
+
+    let db = generate(
+        &DatasetSpec::tdrive(Scale::Small).with_trajectories(1000),
+        7,
+    );
+    let store = db.to_store();
+    let n = store.total_points();
+
+    let dir = std::env::temp_dir().join("qdts_storage_bench");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    let raw_path = dir.join("quant_cmp_raw.snap");
+    let q_path = dir.join("quant_cmp.snap");
+    write_snapshot(&store, &raw_path).expect("raw write");
+    write_snapshot_quantized(&store, None, 0.5, &q_path).expect("quantized write");
+
+    let raw_len = std::fs::metadata(&raw_path).expect("raw meta").len();
+    let q_len = std::fs::metadata(&q_path).expect("q meta").len();
+    assert!(q_len * 2 < raw_len, "quantized {q_len} vs raw {raw_len}");
+    eprintln!(
+        "quantized_load: raw {raw_len} bytes, quantized {q_len} bytes ({:.2}x smaller)",
+        raw_len as f64 / q_len as f64
+    );
+
+    let probe = {
+        let spec = RangeWorkloadSpec::paper_default(1, QueryDistribution::Data);
+        range_workload(&db, &spec, &mut StdRng::seed_from_u64(3))[0]
+    };
+
+    let mut group = c.benchmark_group("quantized_load");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::new("raw_mmap_open", n), |b| {
+        b.iter(|| {
+            let mapped = MappedStore::open(std::hint::black_box(&raw_path)).expect("map");
+            traj_query::range_query_store(&mapped, &probe)
+        })
+    });
+    group.bench_function(BenchmarkId::new("quantized_open_decode", n), |b| {
+        b.iter(|| {
+            let mapped = MappedStore::open(std::hint::black_box(&q_path)).expect("decode");
+            traj_query::range_query_store(&mapped, &probe)
+        })
+    });
+
+    // Sanity: decoded coordinates honor the bound.
+    {
+        let decoded = MappedStore::open(&q_path).expect("decode");
+        for (a, b) in store.xs().iter().zip(decoded.xs()) {
+            assert!((a - b).abs() <= 0.5 * 1.000_001, "bound violated");
+        }
+    }
+    group.finish();
+
+    std::fs::remove_file(&raw_path).ok();
+    std::fs::remove_file(&q_path).ok();
+}
+
 criterion_group!(
     benches,
     bench_storage_layouts,
     bench_cold_load,
-    bench_sharded
+    bench_sharded,
+    bench_kernels,
+    bench_quantized_load
 );
 criterion_main!(benches);

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! snapshot_serve snapshot [--csv FILE] [--out FILE.snap|DIR] [--scale smoke|small|paper]
-//!                         [--ratio R] [--seed N]
+//!                         [--ratio R] [--quantize E] [--seed N]
 //!                         [--shards N] [--partition grid|time|hash]
 //! snapshot_serve serve    [--snap FILE.snap|DIR] [--queries N] [--seed N]
 //! ```
@@ -17,6 +17,12 @@
 //! zero-copy through the single engine, and a raw CSV parses into owned
 //! columns — then executes a mixed range+kNN+similarity workload as one
 //! heterogeneous batch.
+//!
+//! With `--quantize E` the snapshot task writes the coordinate columns
+//! through the delta + uniform-quantization codec with max absolute
+//! error `E` (metres/seconds in the raw units of each column). The serve
+//! task needs no flag: `TrajDb::open` decodes quantized sections
+//! transparently.
 
 use std::path::PathBuf;
 
@@ -27,7 +33,7 @@ use trajectory::shard::PartitionStrategy;
 fn usage() -> ! {
     eprintln!(
         "usage:\n  snapshot_serve snapshot [--csv FILE] [--out FILE.snap|DIR] \
-         [--scale smoke|small|paper] [--ratio R] [--seed N] \
+         [--scale smoke|small|paper] [--ratio R] [--quantize E] [--seed N] \
          [--shards N] [--partition grid|time|hash]\n  \
          snapshot_serve serve [--snap FILE.snap|DIR] [--queries N] [--seed N]"
     );
@@ -73,6 +79,7 @@ fn run_snapshot(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
     let ratio: Option<f64> = flag_value(rest, "--ratio").map(str::parse).transpose()?;
     let shards: Option<usize> = flag_value(rest, "--shards").map(str::parse).transpose()?;
+    let quantize: Option<f64> = flag_value(rest, "--quantize").map(str::parse).transpose()?;
     let source = match flag_value(rest, "--csv") {
         Some(csv) => SnapshotSource::Csv(PathBuf::from(csv)),
         None => {
@@ -84,7 +91,7 @@ fn run_snapshot(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     if let Some(shards) = shards {
         let out = PathBuf::from(flag_value(rest, "--out").unwrap_or("db.shards"));
         let strategy = partition_strategy(rest, shards)?;
-        let r = shard_snapshot_task(&source, &strategy, ratio, &out, seed)?;
+        let r = shard_snapshot_task(&source, &strategy, ratio, quantize, &out, seed)?;
         println!("== sharded snapshot task ==");
         println!(
             "ingested  {} trajectories / {} points in {:.3}s",
@@ -113,7 +120,7 @@ fn run_snapshot(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let out = PathBuf::from(flag_value(rest, "--out").unwrap_or("db.snap"));
-    let r = snapshot_task(&source, ratio, &out, seed)?;
+    let r = snapshot_task(&source, ratio, quantize, &out, seed)?;
     println!("== snapshot task ==");
     println!(
         "ingested  {} trajectories / {} points in {:.3}s",

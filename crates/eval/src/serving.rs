@@ -36,7 +36,7 @@ use traj_simp::{Simplifier, Uniform};
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::io::read_csv_store;
 use trajectory::shard::{partition, PartitionStrategy, Shard, ShardSet};
-use trajectory::snapshot::write_snapshot_with;
+use trajectory::snapshot::{write_snapshot_quantized, write_snapshot_with};
 use trajectory::PointStore;
 
 use rand::rngs::StdRng;
@@ -73,9 +73,14 @@ pub struct SnapshotReport {
 /// The `snapshot` task: acquire a database, optionally simplify it to
 /// `ratio · N` points (uniform baseline — the cheapest simplifier; swap
 /// in RL4QDTS offline), and persist everything as one snapshot file.
+///
+/// `quantize` switches the columns to the delta-quantized codec with the
+/// given maximum per-coordinate error (meters / seconds): the file
+/// shrinks severalfold and [`TrajDb::open`] decodes it transparently.
 pub fn snapshot_task(
     source: &SnapshotSource,
     ratio: Option<f64>,
+    quantize: Option<f64>,
     out: &Path,
     seed: u64,
 ) -> Result<SnapshotReport, Box<dyn std::error::Error>> {
@@ -99,7 +104,10 @@ pub fn snapshot_task(
     };
 
     let t2 = Instant::now();
-    write_snapshot_with(&store, kept.as_ref(), out)?;
+    match quantize {
+        Some(max_error) => write_snapshot_quantized(&store, kept.as_ref(), max_error, out)?,
+        None => write_snapshot_with(&store, kept.as_ref(), out)?,
+    }
     let write_seconds = t2.elapsed().as_secs_f64();
 
     Ok(SnapshotReport {
@@ -268,6 +276,7 @@ pub fn shard_snapshot_task(
     source: &SnapshotSource,
     strategy: &PartitionStrategy,
     ratio: Option<f64>,
+    quantize: Option<f64>,
     out_dir: &Path,
     seed: u64,
 ) -> Result<ShardSnapshotReport, Box<dyn std::error::Error>> {
@@ -287,7 +296,12 @@ pub fn shard_snapshot_task(
             let simplify_seconds = t2.elapsed().as_secs_f64();
             let kept: usize = simps.iter().map(|s| s.total_points()).sum();
             let t3 = Instant::now();
-            let set = traj_simp::write_simplified_shard_set(out_dir, &shards, &simps)?;
+            let set = match quantize {
+                Some(max_error) => traj_simp::write_simplified_shard_set_quantized(
+                    out_dir, &shards, &simps, max_error,
+                )?,
+                None => traj_simp::write_simplified_shard_set(out_dir, &shards, &simps)?,
+            };
             (
                 set,
                 Some(kept),
@@ -297,7 +311,10 @@ pub fn shard_snapshot_task(
         }
         None => {
             let t3 = Instant::now();
-            let set = ShardSet::write(out_dir, &shards)?;
+            let set = match quantize {
+                Some(max_error) => ShardSet::write_quantized(out_dir, &shards, None, max_error)?,
+                None => ShardSet::write(out_dir, &shards)?,
+            };
             (set, None, 0.0, t3.elapsed().as_secs_f64())
         }
     };
@@ -323,6 +340,7 @@ pub fn shard_snapshot_task(
 mod tests {
     use super::*;
     use traj_query::{range_query_store, range_workload_store};
+    use trajectory::AsColumns;
 
     fn temp(name: &str) -> std::path::PathBuf {
         let dir = std::env::temp_dir().join("qdts_eval_serving_tests");
@@ -336,6 +354,7 @@ mod tests {
         let report = snapshot_task(
             &SnapshotSource::Synthetic(Scale::Smoke),
             Some(0.3),
+            None,
             &path,
             7,
         )
@@ -385,6 +404,7 @@ mod tests {
             &SnapshotSource::Synthetic(Scale::Smoke),
             &PartitionStrategy::Hash { parts: 3 },
             Some(0.3),
+            None,
             &dir,
             7,
         )
@@ -440,12 +460,108 @@ mod tests {
     }
 
     #[test]
+    fn quantized_snapshot_is_smaller_and_serves_within_bound() {
+        // End-to-end: snapshot_task with a quantize bound writes a file
+        // measurably smaller than the raw one, serve_task opens it with no
+        // extra flags, and every coordinate decodes within the bound.
+        let raw_path = temp("quant_raw.snap");
+        let q_path = temp("quant_q.snap");
+        let raw = snapshot_task(
+            &SnapshotSource::Synthetic(Scale::Smoke),
+            Some(0.3),
+            None,
+            &raw_path,
+            7,
+        )
+        .unwrap();
+        let quant = snapshot_task(
+            &SnapshotSource::Synthetic(Scale::Smoke),
+            Some(0.3),
+            Some(0.5),
+            &q_path,
+            7,
+        )
+        .unwrap();
+        assert_eq!(quant.points, raw.points);
+        assert_eq!(quant.kept_points, raw.kept_points);
+        assert!(
+            quant.file_bytes * 2 < raw.file_bytes,
+            "quantized {} vs raw {} bytes",
+            quant.file_bytes,
+            raw.file_bytes
+        );
+
+        let served = serve_task(&q_path, 10, 11).unwrap();
+        assert_eq!(served.points, raw.points);
+        assert!(served.simplified_batch_seconds.is_some());
+
+        // Coordinate-level bound check against the raw snapshot.
+        let raw_db = TrajDb::open(&raw_path, DbOptions::new()).unwrap();
+        let q_db = TrajDb::open(&q_path, DbOptions::new()).unwrap();
+        let rs = raw_db.as_single().unwrap().store();
+        let qs = q_db.as_single().unwrap().store();
+        let bound = 0.5 * 1.000_001;
+        for (a, b) in rs.xs().iter().zip(qs.xs()) {
+            assert!((a - b).abs() <= bound);
+        }
+        for (a, b) in rs.ys().iter().zip(qs.ys()) {
+            assert!((a - b).abs() <= bound);
+        }
+        for (a, b) in rs.ts().iter().zip(qs.ts()) {
+            assert!((a - b).abs() <= bound);
+        }
+        std::fs::remove_file(&raw_path).ok();
+        std::fs::remove_file(&q_path).ok();
+    }
+
+    #[test]
+    fn quantized_shard_set_serves_and_shrinks() {
+        let raw_dir = temp(&format!("quant_shards_raw_{}", std::process::id()));
+        let q_dir = temp(&format!("quant_shards_q_{}", std::process::id()));
+        std::fs::remove_dir_all(&raw_dir).ok();
+        std::fs::remove_dir_all(&q_dir).ok();
+        let raw = shard_snapshot_task(
+            &SnapshotSource::Synthetic(Scale::Smoke),
+            &PartitionStrategy::Hash { parts: 3 },
+            Some(0.3),
+            None,
+            &raw_dir,
+            7,
+        )
+        .unwrap();
+        let quant = shard_snapshot_task(
+            &SnapshotSource::Synthetic(Scale::Smoke),
+            &PartitionStrategy::Hash { parts: 3 },
+            Some(0.3),
+            Some(0.5),
+            &q_dir,
+            7,
+        )
+        .unwrap();
+        assert_eq!(quant.points, raw.points);
+        assert_eq!(quant.kept_points, raw.kept_points);
+        assert!(
+            quant.file_bytes * 2 < raw.file_bytes,
+            "quantized shards {} vs raw {} bytes",
+            quant.file_bytes,
+            raw.file_bytes
+        );
+        let served = serve_task(&q_dir, 10, 11).unwrap();
+        assert!(served.sharded);
+        assert_eq!(served.points, raw.points);
+        assert!(served.simplified_batch_seconds.is_some());
+        std::fs::remove_dir_all(&raw_dir).ok();
+        std::fs::remove_dir_all(&q_dir).ok();
+    }
+
+    #[test]
     fn csv_source_feeds_the_pipeline() {
         let db = generate(&DatasetSpec::geolife(Scale::Smoke), 13);
         let csv = temp("source.csv");
         trajectory::io::write_csv_file(&db, &csv).unwrap();
         let snap = temp("from_csv.snap");
-        let report = snapshot_task(&SnapshotSource::Csv(csv.clone()), None, &snap, 1).unwrap();
+        let report =
+            snapshot_task(&SnapshotSource::Csv(csv.clone()), None, None, &snap, 1).unwrap();
         assert_eq!(report.trajectories, db.len());
         assert_eq!(report.points, db.total_points());
         assert_eq!(report.kept_points, None);

@@ -4,7 +4,8 @@
 //! this shim: random-sampling generation (no shrinking) over the same
 //! [`Strategy`] combinator surface the tests were written against —
 //! ranges, tuples, [`Just`], `prop_map` / `prop_flat_map` / `boxed`,
-//! `prop::collection::{vec, btree_set}`, `any::<bool>()` — driven by the
+//! [`prop_oneof!`] weighted unions, `prop::collection::{vec, btree_set}`,
+//! `any::<bool>()` — driven by the
 //! [`proptest!`] macro with `prop_assert*` / `prop_assume!` and a
 //! deterministic per-test RNG. Failures report the failing assertion but
 //! are not shrunk to minimal counterexamples.
@@ -191,7 +192,9 @@ pub mod prelude {
     pub use crate::prop;
     pub use crate::strategy::{BoxedStrategy, Just, Strategy};
     pub use crate::test_runner::{ProptestConfig, TestCaseError, TestRng};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 }
 
 /// Fails the current property case with a message.
@@ -237,6 +240,23 @@ macro_rules! prop_assert_ne {
         let (l, r) = (&$left, &$right);
         $crate::prop_assert!(*l != *r, "{} (both {:?})", format!($($fmt)+), l);
     }};
+}
+
+/// Picks one of several strategies per draw, optionally weighted
+/// (`w => strategy`); unweighted arms draw uniformly. All arms must
+/// yield the same value type (they are boxed internally).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $(($weight, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new_weighted(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat))),+
+        ])
+    };
 }
 
 /// Discards the current case (it is re-drawn, not counted as a failure).

@@ -105,6 +105,41 @@ impl<T: Clone> Strategy for Just<T> {
     }
 }
 
+/// See [`prop_oneof!`](crate::prop_oneof): draws from one of several
+/// type-erased strategies, chosen with probability proportional to the
+/// arm weights.
+pub struct Union<T> {
+    arms: Vec<(u32, BoxedStrategy<T>)>,
+    total: u64,
+}
+
+impl<T> Union<T> {
+    /// Builds a union from `(weight, strategy)` arms. The total weight
+    /// must be positive.
+    pub fn new_weighted(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+        let total: u64 = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+        assert!(total > 0, "prop_oneof! needs a positive total weight");
+        Self { arms, total }
+    }
+}
+
+impl<T> Strategy for Union<T> {
+    type Value = T;
+
+    fn generate(&self, rng: &mut TestRng) -> T {
+        let mut draw = ((rng.gen_u64() as u128 * self.total as u128) >> 64) as u64;
+        for (w, s) in &self.arms {
+            if draw < u64::from(*w) {
+                return s.generate(rng);
+            }
+            draw -= u64::from(*w);
+        }
+        // Unreachable in practice (draw < total); defend against it
+        // anyway so a rounding surprise can't panic a property run.
+        self.arms.last().expect("non-empty union").1.generate(rng)
+    }
+}
+
 macro_rules! impl_int_range_strategy {
     ($($t:ty),*) => {$(
         impl Strategy for Range<$t> {

@@ -112,6 +112,12 @@ impl PackedPoints {
 pub struct Node {
     /// The node's spatio-temporal cube.
     pub cube: Cube,
+    /// The *tight* bounding cube of the points actually present — the
+    /// min/max fold of the subtree's coordinates, usually much smaller
+    /// than the octant `cube`. Range execution prunes and accepts
+    /// against this, so sparse nodes stop costing point touches.
+    /// `Cube::empty()` for point-free nodes.
+    tight: Cube,
     /// Depth in the tree; the root is at depth 1, matching the paper's
     /// `B^1_1` notation where level 1 is the root.
     pub depth: u32,
@@ -133,6 +139,7 @@ impl Node {
     fn new_leaf(cube: Cube, depth: u32) -> Self {
         Self {
             cube,
+            tight: Cube::empty(),
             depth,
             children: None,
             points_start: 0,
@@ -257,6 +264,20 @@ impl Octree {
             }
             self.nodes[id as usize].points_start = start;
             self.nodes[id as usize].points_len = gids.len() as u32;
+            // Tight bounds: lane-wide min/max over the freshly packed,
+            // leaf-contiguous runs.
+            let slab = self.packed.slab(start, gids.len() as u32);
+            let (x_min, x_max) = trajectory::simd::min_max(slab.xs);
+            let (y_min, y_max) = trajectory::simd::min_max(slab.ys);
+            let (t_min, t_max) = trajectory::simd::min_max(slab.ts);
+            self.nodes[id as usize].tight = Cube {
+                x_min,
+                x_max,
+                y_min,
+                y_max,
+                t_min,
+                t_max,
+            };
             return id;
         }
 
@@ -314,6 +335,11 @@ impl Octree {
             );
             (rest_g, rest_a, rest_o) = (rg, ra, ro);
         }
+        let mut tight = Cube::empty();
+        for &c in &children {
+            tight.union_with(&self.nodes[c as usize].tight);
+        }
+        self.nodes[id as usize].tight = tight;
         self.nodes[id as usize].children = Some(children);
         id
     }
@@ -341,6 +367,16 @@ impl Octree {
     /// Access to a node.
     pub fn node(&self, id: NodeId) -> &Node {
         &self.nodes[id as usize]
+    }
+
+    /// The tight bounding cube of the points actually under `id` — a
+    /// subset of `node(id).cube`, precomputed during the build so range
+    /// execution can reject or whole-accept a subtree without touching
+    /// its points. [`Cube::empty`] for point-free nodes.
+    #[inline]
+    #[must_use]
+    pub fn tight_cube(&self, id: NodeId) -> Cube {
+        self.nodes[id as usize].tight
     }
 
     /// The build configuration.
@@ -661,6 +697,42 @@ mod tests {
             } else {
                 assert!(tree.leaf_slab(id).is_empty());
             }
+        }
+    }
+
+    #[test]
+    fn tight_cubes_are_exact_and_nested() {
+        let store = small_store();
+        let tree = Octree::build(
+            &store,
+            OctreeConfig {
+                max_depth: 6,
+                leaf_capacity: 16,
+            },
+        );
+        for id in 0..tree.len() as NodeId {
+            let node = tree.node(id);
+            let tight = tree.tight_cube(id);
+            if node.point_count == 0 {
+                assert!(tight.is_empty(), "node {id}");
+                continue;
+            }
+            // Tight bounds match a from-scratch fold over the subtree's
+            // points and sit inside the structural octant cube.
+            let mut expect = Cube::empty();
+            for gid in tree.collect_points(id) {
+                expect.extend(&store.point(gid));
+            }
+            assert_eq!(tight, expect, "node {id}");
+            assert!(
+                node.cube.x_min <= tight.x_min
+                    && tight.x_max <= node.cube.x_max
+                    && node.cube.y_min <= tight.y_min
+                    && tight.y_max <= node.cube.y_max
+                    && node.cube.t_min <= tight.t_min
+                    && tight.t_max <= node.cube.t_max,
+                "node {id}: tight cube escapes the octant cube"
+            );
         }
     }
 

@@ -27,6 +27,17 @@ pub trait SpatioTemporalIndex {
     /// The node's bounding cube. Every point of the subtree lies inside.
     fn cube(&self, id: NodeId) -> Cube;
 
+    /// The **tight** bounding cube of the points actually present under
+    /// `id` — always a subset of [`cube`](Self::cube), and what range
+    /// execution should prune and whole-accept against. Defaults to the
+    /// structural cube for indexes whose cubes are already tight (the
+    /// median kd-tree shrinks every node to its data during the build);
+    /// the octree overrides it with the per-node min/max fold it
+    /// precomputes while packing leaves.
+    fn tight_cube(&self, id: NodeId) -> Cube {
+        self.cube(id)
+    }
+
     /// Child ids in a fixed 8-ary order, `None` for leaves.
     fn children(&self, id: NodeId) -> Option<[NodeId; 8]>;
 
@@ -50,6 +61,10 @@ impl SpatioTemporalIndex for Octree {
 
     fn cube(&self, id: NodeId) -> Cube {
         self.node(id).cube
+    }
+
+    fn tight_cube(&self, id: NodeId) -> Cube {
+        Octree::tight_cube(self, id)
     }
 
     fn children(&self, id: NodeId) -> Option<[NodeId; 8]> {

@@ -46,9 +46,9 @@ use trajectory::shard::{partition, OpenShard, PartitionStrategy, Shard, ShardSet
 use trajectory::snapshot::{is_snapshot_file, read_snapshot, MappedStore, SnapshotError};
 use trajectory::{AsColumns, Cube, KeptBitmap, PointStore, Simplification, TrajId, TrajectoryDb};
 
-use crate::engine::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine};
+use crate::engine::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine, QueryScratch};
 use crate::knn::KnnQuery;
-use crate::parallel::par_map;
+use crate::parallel::{par_map, par_map_with};
 use crate::sharded::ShardedQueryEngine;
 use crate::similarity::SimilarityQuery;
 use crate::workload::{range_workload_store, RangeWorkloadSpec};
@@ -442,6 +442,19 @@ impl QueryExecutor for QueryEngine<'_> {
             Query::Similarity(s) => QueryResult::Similarity(self.similarity_seq(s)),
             Query::RangeKept(c) => QueryResult::RangeKept(QueryEngine::range_kept(self, c)),
         }
+    }
+
+    /// One data-parallel pass with **per-worker scratch reuse**: the
+    /// hit-flag buffer range-style queries need is allocated once per
+    /// worker thread and recycled across every query that worker pulls,
+    /// instead of once per query (identical results to the default).
+    fn execute_batch(&self, batch: &QueryBatch) -> Vec<QueryResult> {
+        par_map_with(batch.queries(), QueryScratch::new, |scratch, q| match q {
+            Query::Range(c) => QueryResult::Range(self.range_scratch(c, scratch)),
+            Query::Knn(k) => QueryResult::Knn(self.knn_seq(k)),
+            Query::Similarity(s) => QueryResult::Similarity(self.similarity_seq(s)),
+            Query::RangeKept(c) => QueryResult::RangeKept(self.range_kept_scratch(c, scratch)),
+        })
     }
 }
 
@@ -1002,6 +1015,13 @@ impl QueryExecutor for TrajDb {
         match &self.inner {
             Inner::Single(e) => e.execute_one(q),
             Inner::Sharded(e) => e.execute_one(q),
+        }
+    }
+
+    fn execute_batch(&self, batch: &QueryBatch) -> Vec<QueryResult> {
+        match &self.inner {
+            Inner::Single(e) => e.as_ref().execute_batch(batch),
+            Inner::Sharded(e) => e.execute_batch(batch),
         }
     }
 }

@@ -29,9 +29,31 @@ use trajectory::{
 
 use crate::knn::KnnQuery;
 use crate::metrics::{f1_sets, F1Score};
-use crate::parallel::par_map;
+use crate::parallel::{par_map, par_map_with};
 use crate::range::range_query_store;
 use crate::similarity::SimilarityQuery;
+
+/// Reusable per-worker scratch for batch execution: the hit-flag buffer
+/// every range-style marking pass needs, allocated once per worker
+/// thread and recycled across the queries it processes (instead of one
+/// fresh `vec![false; M]` per query).
+pub(crate) struct QueryScratch {
+    hit: Vec<bool>,
+}
+
+impl QueryScratch {
+    /// An empty scratch; buffers grow on first use.
+    pub(crate) fn new() -> Self {
+        Self { hit: Vec::new() }
+    }
+
+    /// The hit-flag buffer, cleared and sized to `len` trajectories.
+    fn hit(&mut self, len: usize) -> &mut [bool] {
+        self.hit.clear();
+        self.hit.resize(len, false);
+        &mut self.hit
+    }
+}
 
 /// Which index structure backs a [`QueryEngine`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -141,11 +163,6 @@ pub(crate) enum IndexBackend {
 /// ([`QueryEngine::from_mapped`] / [`QueryEngine::over_mapped`]).
 pub struct QueryEngine<'a> {
     store: StoreRef<'a>,
-    /// `owners[gid]` = trajectory owning global point `gid`. Only
-    /// [`QueryEngine::range_with_bitmap`]'s scan-backend sweep needs it
-    /// (indexed paths read the packed per-leaf owner runs instead), so it
-    /// is built lazily on first use.
-    owners: std::sync::OnceLock<Vec<u32>>,
     /// The engine's own simplified-database selection, when it serves one:
     /// populated automatically from a mapped snapshot's kept-bitmap
     /// section, or attached with [`QueryEngine::set_kept_bitmap`]. This is
@@ -179,7 +196,6 @@ impl QueryEngine<'static> {
         let backend = build_backend(&store, config);
         Self {
             store: StoreRef::Owned(store),
-            owners: std::sync::OnceLock::new(),
             kept: None,
             backend,
             config,
@@ -197,7 +213,6 @@ impl QueryEngine<'static> {
         let kept = store.kept_bitmap();
         Self {
             store: StoreRef::Mapped(store),
-            owners: std::sync::OnceLock::new(),
             kept,
             backend,
             config,
@@ -213,7 +228,6 @@ impl<'a> QueryEngine<'a> {
         let backend = build_backend(store, config);
         Self {
             store: StoreRef::Borrowed(store),
-            owners: std::sync::OnceLock::new(),
             kept: None,
             backend,
             config,
@@ -229,7 +243,6 @@ impl<'a> QueryEngine<'a> {
         let kept = store.kept_bitmap();
         Self {
             store: StoreRef::MappedRef(store),
-            owners: std::sync::OnceLock::new(),
             kept,
             backend,
             config,
@@ -248,7 +261,6 @@ impl<'a> QueryEngine<'a> {
     ) -> Self {
         Self {
             store,
-            owners: std::sync::OnceLock::new(),
             kept: None,
             backend,
             config,
@@ -389,10 +401,32 @@ impl<'a> QueryEngine<'a> {
         collect_hits(&hit)
     }
 
-    /// Executes a whole batch of range queries in parallel.
+    /// [`QueryEngine::range`] reusing a worker's scratch hit buffer —
+    /// the per-query unit batch passes run, so a batch of W queries
+    /// allocates one buffer per worker instead of W.
+    pub(crate) fn range_scratch(&self, q: &Cube, scratch: &mut QueryScratch) -> Vec<TrajId> {
+        match &self.backend {
+            IndexBackend::Scan => range_query_store(&self.store, q),
+            IndexBackend::Octree(t) => {
+                let hit = scratch.hit(self.store.len());
+                range_mark(t, SpatioTemporalIndex::root(t), q, hit);
+                collect_hits(hit)
+            }
+            IndexBackend::MedianKd(t) => {
+                let hit = scratch.hit(self.store.len());
+                range_mark(t, SpatioTemporalIndex::root(t), q, hit);
+                collect_hits(hit)
+            }
+        }
+    }
+
+    /// Executes a whole batch of range queries in parallel, with
+    /// per-worker scratch reuse.
     #[must_use]
     pub fn range_batch(&self, queries: &[Cube]) -> Vec<Vec<TrajId>> {
-        par_map(queries, |q| self.range(q))
+        par_map_with(queries, QueryScratch::new, |scratch, q| {
+            self.range_scratch(q, scratch)
+        })
     }
 
     /// Executes a range query against a *simplification* of the engine's
@@ -450,32 +484,71 @@ impl<'a> QueryEngine<'a> {
             .map(|kept| self.range_with_bitmap(kept, q))
     }
 
+    /// [`QueryEngine::range_kept`] reusing a worker's scratch buffers.
+    pub(crate) fn range_kept_scratch(
+        &self,
+        q: &Cube,
+        scratch: &mut QueryScratch,
+    ) -> Option<Vec<TrajId>> {
+        self.kept
+            .as_ref()
+            .map(|kept| self.range_with_bitmap_scratch(kept, q, scratch))
+    }
+
     /// [`QueryEngine::range_simplified`] against a pre-built kept-point
     /// bitmap. The scan-backend arm is a whole-store sweep (O(N)); with an
     /// index only leaves intersecting `q` are touched.
     #[must_use]
     pub fn range_with_bitmap(&self, kept: &KeptBitmap, q: &Cube) -> Vec<TrajId> {
         let mut hit = vec![false; self.store.len()];
+        self.mark_with_bitmap(kept, q, &mut hit);
+        collect_hits(&hit)
+    }
+
+    /// [`QueryEngine::range_with_bitmap`] reusing a worker's scratch hit
+    /// buffer.
+    pub(crate) fn range_with_bitmap_scratch(
+        &self,
+        kept: &KeptBitmap,
+        q: &Cube,
+        scratch: &mut QueryScratch,
+    ) -> Vec<TrajId> {
+        let hit = scratch.hit(self.store.len());
+        self.mark_with_bitmap(kept, q, hit);
+        collect_hits(hit)
+    }
+
+    /// The marking core of [`QueryEngine::range_with_bitmap`]: flags in
+    /// `hit` every trajectory with a kept point inside `q`. The
+    /// scan-backend arm sweeps each trajectory's contiguous column run
+    /// through the bitmap-masked containment kernel
+    /// ([`trajectory::simd::any_masked_in_cube`]), skipping fully-dropped
+    /// 64-point words without touching a coordinate.
+    fn mark_with_bitmap(&self, kept: &KeptBitmap, q: &Cube, hit: &mut [bool]) {
         match &self.backend {
             IndexBackend::Scan => {
-                let owners = self.owners.get_or_init(|| self.store.owner_column());
                 let (xs, ys, ts) = (self.store.xs(), self.store.ys(), self.store.ts());
-                for g in 0..self.store.total_points() {
-                    let traj = owners[g] as usize;
-                    if !hit[traj] && kept.contains(g as u32) && q.contains_xyz(xs[g], ys[g], ts[g])
-                    {
-                        hit[traj] = true;
-                    }
+                let offsets = self.store.offsets();
+                let words = kept.words();
+                for (traj, h) in hit.iter_mut().enumerate() {
+                    let (s, e) = (offsets[traj] as usize, offsets[traj + 1] as usize);
+                    *h = trajectory::simd::any_masked_in_cube(
+                        &xs[s..e],
+                        &ys[s..e],
+                        &ts[s..e],
+                        words,
+                        s,
+                        q,
+                    );
                 }
             }
             IndexBackend::Octree(t) => {
-                range_mark_kept(t, kept, SpatioTemporalIndex::root(t), q, &mut hit)
+                range_mark_kept(t, kept, SpatioTemporalIndex::root(t), q, hit)
             }
             IndexBackend::MedianKd(t) => {
-                range_mark_kept(t, kept, SpatioTemporalIndex::root(t), q, &mut hit)
+                range_mark_kept(t, kept, SpatioTemporalIndex::root(t), q, hit)
             }
         }
-        collect_hits(&hit)
     }
 
     /// Batch variant of [`QueryEngine::range_simplified`], parallel across
@@ -492,7 +565,9 @@ impl<'a> QueryEngine<'a> {
             IndexBackend::Scan => par_map(queries, |q| self.range_simplified_scan(simp, q)),
             _ => {
                 let bitmap = simp.to_bitmap(&self.store);
-                par_map(queries, |q| self.range_with_bitmap(&bitmap, q))
+                par_map_with(queries, QueryScratch::new, |scratch, q| {
+                    self.range_with_bitmap_scratch(&bitmap, q, scratch)
+                })
             }
         }
     }
@@ -718,10 +793,25 @@ fn time_slab(root: Cube, ts: f64, te: f64) -> Cube {
 }
 
 /// Marks every trajectory with a point inside `q` in the subtree of `id`.
-/// Leaves are scanned as packed coordinate/owner runs ([`LeafSlab`]) —
-/// straight-line `f64` reads, no per-point indirection.
+///
+/// Pruning and whole-acceptance both test the node's *tight* cube
+/// ([`SpatioTemporalIndex::tight_cube`]): a subtree whose tight bounds
+/// miss `q` is skipped, and one fully covered by `q` is accepted by
+/// marking owners alone — neither touches a coordinate. Leaves that
+/// straddle the boundary are scanned as packed coordinate/owner runs
+/// ([`LeafSlab`]), one same-owner run at a time through the lane-wide
+/// containment kernel ([`trajectory::simd::any_in_cube`]); runs whose
+/// owner is already marked are skipped without a single point test.
 fn range_mark<I: SpatioTemporalIndex + ?Sized>(index: &I, id: NodeId, q: &Cube, hit: &mut [bool]) {
-    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+    if index.point_count(id) == 0 {
+        return;
+    }
+    let tight = index.tight_cube(id);
+    if !tight.intersects(q) {
+        return;
+    }
+    if covers(q, &tight) {
+        mark_all_owners(index, id, hit);
         return;
     }
     match index.children(id) {
@@ -732,21 +822,69 @@ fn range_mark<I: SpatioTemporalIndex + ?Sized>(index: &I, id: NodeId, q: &Cube, 
         }
         None => {
             let slab = index.leaf_slab(id);
-            if covers(q, &index.cube(id)) {
-                for &owner in slab.owners {
-                    hit[owner as usize] = true;
-                }
-            } else {
-                // Zipped iteration over the packed runs: bounds checks
-                // elide and the containment test vectorizes.
-                let coords = slab.xs.iter().zip(slab.ys).zip(slab.ts).zip(slab.owners);
-                for (((&x, &y), &t), &owner) in coords {
-                    if q.contains_xyz(x, y, t) {
-                        hit[owner as usize] = true;
-                    }
+            for (owner, lo, hi) in OwnerRuns::new(slab.owners) {
+                if !hit[owner]
+                    && trajectory::simd::any_in_cube(
+                        &slab.xs[lo..hi],
+                        &slab.ys[lo..hi],
+                        &slab.ts[lo..hi],
+                        q,
+                    )
+                {
+                    hit[owner] = true;
                 }
             }
         }
+    }
+}
+
+/// Marks every owner in the subtree of `id` without touching coordinates
+/// — the whole-accept arm of [`range_mark`] once a node's tight cube is
+/// covered by the query.
+fn mark_all_owners<I: SpatioTemporalIndex + ?Sized>(index: &I, id: NodeId, hit: &mut [bool]) {
+    match index.children(id) {
+        Some(children) => {
+            for c in children {
+                if index.point_count(c) > 0 {
+                    mark_all_owners(index, c, hit);
+                }
+            }
+        }
+        None => {
+            for &owner in index.leaf_slab(id).owners {
+                hit[owner as usize] = true;
+            }
+        }
+    }
+}
+
+/// Iterator over maximal same-owner runs of a packed owner column:
+/// yields `(owner, start, end)` half-open ranges. Leaf slabs keep each
+/// trajectory's points adjacent, so runs are long and each becomes one
+/// kernel call.
+struct OwnerRuns<'a> {
+    owners: &'a [u32],
+    pos: usize,
+}
+
+impl<'a> OwnerRuns<'a> {
+    fn new(owners: &'a [u32]) -> Self {
+        Self { owners, pos: 0 }
+    }
+}
+
+impl Iterator for OwnerRuns<'_> {
+    type Item = (usize, usize, usize);
+
+    fn next(&mut self) -> Option<(usize, usize, usize)> {
+        let lo = self.pos;
+        let owner = *self.owners.get(lo)?;
+        let mut hi = lo + 1;
+        while self.owners.get(hi) == Some(&owner) {
+            hi += 1;
+        }
+        self.pos = hi;
+        Some((owner as usize, lo, hi))
     }
 }
 
@@ -761,7 +899,8 @@ fn range_mark_simplified<I: SpatioTemporalIndex + ?Sized>(
     q: &Cube,
     hit: &mut [bool],
 ) {
-    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+    let tight = index.tight_cube(id);
+    if index.point_count(id) == 0 || !tight.intersects(q) {
         return;
     }
     match index.children(id) {
@@ -771,7 +910,7 @@ fn range_mark_simplified<I: SpatioTemporalIndex + ?Sized>(
             }
         }
         None => {
-            let contained = covers(q, &index.cube(id));
+            let contained = covers(q, &tight);
             let slab = index.leaf_slab(id);
             for i in 0..slab.len() {
                 let traj = slab.owners[i] as usize;
@@ -794,7 +933,8 @@ fn range_mark_kept<I: SpatioTemporalIndex + ?Sized>(
     q: &Cube,
     hit: &mut [bool],
 ) {
-    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+    let tight = index.tight_cube(id);
+    if index.point_count(id) == 0 || !tight.intersects(q) {
         return;
     }
     match index.children(id) {
@@ -804,15 +944,20 @@ fn range_mark_kept<I: SpatioTemporalIndex + ?Sized>(
             }
         }
         None => {
-            let contained = covers(q, &index.cube(id));
+            let contained = covers(q, &tight);
             let slab = index.leaf_slab(id);
-            for i in 0..slab.len() {
-                let traj = slab.owners[i] as usize;
-                if hit[traj] || !kept.contains(slab.gids[i]) {
+            for (traj, lo, hi) in OwnerRuns::new(slab.owners) {
+                if hit[traj] {
                     continue;
                 }
-                if contained || q.contains_xyz(slab.xs[i], slab.ys[i], slab.ts[i]) {
-                    hit[traj] = true;
+                for i in lo..hi {
+                    if !kept.contains(slab.gids[i]) {
+                        continue;
+                    }
+                    if contained || q.contains_xyz(slab.xs[i], slab.ys[i], slab.ts[i]) {
+                        hit[traj] = true;
+                        break;
+                    }
                 }
             }
         }
@@ -829,7 +974,7 @@ fn mark_trajectories_in<I: SpatioTemporalIndex + ?Sized>(
     q: &Cube,
     hit: &mut [bool],
 ) {
-    if index.point_count(id) == 0 || !index.cube(id).intersects(q) {
+    if index.point_count(id) == 0 || !index.tight_cube(id).intersects(q) {
         return;
     }
     match index.children(id) {

@@ -130,16 +130,22 @@ impl KnnQuery {
     }
 }
 
-/// Sorts `(distance, id)` scores by `(distance, id)` and returns the top
-/// `k` ids in ascending id order (the set-based F1 comparison downstream
-/// is order-insensitive, and sorted output is deterministic).
+/// Selects the `k` best `(distance, id)` scores — ordered by
+/// `(distance, id)`, so ties are deterministic — and returns their ids
+/// ascending (the set-based F1 comparison downstream is
+/// order-insensitive). An O(n) `select_nth_unstable_by` partition
+/// replaces the former full O(n log n) sort: only the k survivors pay
+/// the final (id) sort.
 fn rank_ids(mut scored: Vec<(f64, TrajId)>, k: usize) -> Vec<TrajId> {
-    scored.sort_by(|a, b| {
-        a.0.partial_cmp(&b.0)
-            .unwrap_or(std::cmp::Ordering::Equal)
-            .then(a.1.cmp(&b.1))
-    });
-    let mut ids: Vec<TrajId> = scored.into_iter().take(k).map(|(_, id)| id).collect();
+    if k < scored.len() {
+        scored.select_nth_unstable_by(k, |a, b| {
+            a.0.partial_cmp(&b.0)
+                .unwrap_or(std::cmp::Ordering::Equal)
+                .then(a.1.cmp(&b.1))
+        });
+        scored.truncate(k);
+    }
+    let mut ids: Vec<TrajId> = scored.into_iter().map(|(_, id)| id).collect();
     ids.sort_unstable();
     ids
 }

@@ -45,15 +45,16 @@ pub fn trajectory_matches(t: &Trajectory, q: &Cube) -> bool {
 }
 
 /// [`trajectory_matches`] over a zero-copy column view: the time window is
-/// narrowed on the contiguous `ts` column, then only the matching x/y runs
-/// are scanned.
+/// narrowed on the contiguous `ts` column, then the surviving x/y/t runs
+/// go through the lane-wide containment kernel
+/// ([`trajectory::simd::any_in_cube`]).
 #[must_use]
 pub fn view_matches(v: TrajView<'_>, q: &Cube) -> bool {
     match v.window_indices(q.t_min, q.t_max) {
         None => false,
-        Some((lo, hi)) => (lo..=hi).any(|i| {
-            v.xs[i] >= q.x_min && v.xs[i] <= q.x_max && v.ys[i] >= q.y_min && v.ys[i] <= q.y_max
-        }),
+        Some((lo, hi)) => {
+            trajectory::simd::any_in_cube(&v.xs[lo..=hi], &v.ys[lo..=hi], &v.ts[lo..=hi], q)
+        }
     }
 }
 

@@ -75,14 +75,11 @@ impl T2vecEmbedder {
         self.embed_points(t.points())
     }
 
-    /// Euclidean distance between two embeddings.
+    /// Euclidean distance between two embeddings — the lane-wide
+    /// squared-difference accumulation ([`trajectory::simd::squared_distance`]).
     pub fn distance(a: &[f64], b: &[f64]) -> f64 {
         debug_assert_eq!(a.len(), b.len());
-        a.iter()
-            .zip(b)
-            .map(|(x, y)| (x - y) * (x - y))
-            .sum::<f64>()
-            .sqrt()
+        trajectory::simd::squared_distance(a, b).sqrt()
     }
 
     /// The cell-token sequence of a point sequence, with consecutive
@@ -119,7 +116,7 @@ fn hash_gram(gram: &[(i64, i64)], salt: u64) -> u64 {
 }
 
 fn l2_normalize(v: &mut [f64]) {
-    let norm: f64 = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+    let norm: f64 = trajectory::simd::sum_squares(v).sqrt();
     if norm > 0.0 {
         for x in v.iter_mut() {
             *x /= norm;

@@ -21,7 +21,7 @@ use std::path::Path;
 
 use trajectory::parallel;
 use trajectory::shard::{Shard, ShardSet, ShardSetError};
-use trajectory::snapshot::{write_snapshot_with, SnapshotError};
+use trajectory::snapshot::{write_snapshot_quantized, write_snapshot_with, SnapshotError};
 use trajectory::{AsColumns, KeptBitmap, PointStore, Simplification};
 
 use crate::Simplifier;
@@ -43,6 +43,26 @@ where
 {
     let bitmap = simp.to_bitmap(store);
     write_snapshot_with(store, Some(&bitmap), path)
+}
+
+/// [`write_simplified_snapshot`] with **quantized columns**: the full
+/// columns are delta-encoded on a uniform grid of step `2·max_error`
+/// (every decoded coordinate within `max_error` of the original), which
+/// typically shrinks the file severalfold at metric-scale bounds. The
+/// kept bitmap is stored exactly — the simplified *selection* is
+/// lossless, only coordinates are rounded.
+pub fn write_simplified_snapshot_quantized<S, P>(
+    store: &S,
+    simp: &Simplification,
+    max_error: f64,
+    path: P,
+) -> Result<(), SnapshotError>
+where
+    S: AsColumns + ?Sized,
+    P: AsRef<Path>,
+{
+    let bitmap = simp.to_bitmap(store);
+    write_snapshot_quantized(store, Some(&bitmap), max_error, path)
 }
 
 /// One-shot pipeline: simplify `store` to `budget` points with
@@ -135,6 +155,28 @@ pub fn write_simplified_shard_set(
     ShardSet::write_with(dir, shards, &kept)
 }
 
+/// [`write_simplified_shard_set`] with quantized per-shard columns (see
+/// [`write_simplified_snapshot_quantized`] for the coding and its error
+/// bound).
+pub fn write_simplified_shard_set_quantized(
+    dir: impl AsRef<Path>,
+    shards: &[Shard],
+    simps: &[Simplification],
+    max_error: f64,
+) -> Result<ShardSet, ShardSetError> {
+    assert_eq!(
+        shards.len(),
+        simps.len(),
+        "one simplification per shard required"
+    );
+    let kept: Vec<KeptBitmap> = shards
+        .iter()
+        .zip(simps)
+        .map(|(shard, simp)| simp.to_bitmap(&shard.store))
+        .collect();
+    ShardSet::write_quantized(dir, shards, Some(&kept), max_error)
+}
+
 /// One-shot sharded pipeline: simplify every shard to its proportional
 /// budget slice (in parallel), then persist the whole set as kept-bitmap
 /// snapshots. Returns the per-shard simplifications so callers can report
@@ -201,6 +243,72 @@ mod tests {
         let budgets = per_shard_budgets(&shards, budget);
         for (i, shard) in shards.iter().enumerate() {
             assert_eq!(simps[i], Uniform.simplify_store(&shard.store, budgets[i]));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_simplified_snapshot_keeps_bitmap_exact_and_bounds_coords() {
+        let store = generate(&DatasetSpec::geolife(Scale::Smoke), 77).to_store();
+        let budget = store.total_points() / 3;
+        let max_error = 0.5;
+        let raw_path = temp("simplified_raw.snap");
+        let q_path = temp("simplified_quantized.snap");
+
+        let simp = Uniform.simplify_store(&store, budget);
+        let expected = simp.to_bitmap(&store);
+        write_simplified_snapshot(&store, &simp, &raw_path).unwrap();
+        write_simplified_snapshot_quantized(&store, &simp, max_error, &q_path).unwrap();
+
+        let raw_len = std::fs::metadata(&raw_path).unwrap().len();
+        let q_len = std::fs::metadata(&q_path).unwrap().len();
+        assert!(
+            q_len * 2 < raw_len,
+            "quantized simplified snapshot should be at least 2x smaller: {q_len} vs {raw_len}"
+        );
+
+        // Bitmap exact, coordinates within the stored bound.
+        let snap = read_snapshot(&q_path).unwrap();
+        assert_eq!(snap.kept.as_ref(), Some(&expected));
+        assert_eq!(snap.quant.map(|q| q.max_error), Some(max_error));
+        assert_eq!(snap.store.offsets(), store.offsets());
+        for (orig, dec) in [
+            (store.xs(), snap.store.xs()),
+            (store.ys(), snap.store.ys()),
+            (store.ts(), snap.store.ts()),
+        ] {
+            for (a, b) in orig.iter().zip(dec) {
+                assert!((a - b).abs() <= max_error * 1.000_001);
+            }
+        }
+
+        // The mapped open serves the same decoded columns and bitmap.
+        let mapped = MappedStore::open(&q_path).unwrap();
+        assert_eq!(mapped.kept_bitmap().as_ref(), Some(&expected));
+        assert_eq!(mapped.xs(), snap.store.xs());
+        std::fs::remove_file(&raw_path).ok();
+        std::fs::remove_file(&q_path).ok();
+    }
+
+    #[test]
+    fn quantized_shard_set_round_trips_bitmaps() {
+        use trajectory::shard::{partition, PartitionStrategy, ShardSet};
+
+        let store = generate(&DatasetSpec::geolife(Scale::Smoke), 13).to_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let budget = store.total_points() / 2;
+        let simps = simplify_shards(&Uniform, &shards, budget);
+
+        let dir = std::env::temp_dir()
+            .join("qdts_simp_persist_tests")
+            .join(format!("sharded_q_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        write_simplified_shard_set_quantized(&dir, &shards, &simps, 0.5).unwrap();
+
+        let set = ShardSet::load(&dir).unwrap();
+        for (open, simp) in set.open_mapped().unwrap().iter().zip(&simps) {
+            let bitmap = open.kept.as_ref().expect("kept bitmap persisted");
+            assert_eq!(bitmap.count(), simp.total_points());
         }
         std::fs::remove_dir_all(&dir).ok();
     }

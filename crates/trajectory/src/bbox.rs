@@ -72,6 +72,17 @@ impl Cube {
         self.t_max = self.t_max.max(p.t);
     }
 
+    /// Grows the cube to also cover `other` (a no-op when `other` is
+    /// empty) — how per-node tight bounds union up an index tree.
+    pub fn union_with(&mut self, other: &Cube) {
+        self.x_min = self.x_min.min(other.x_min);
+        self.x_max = self.x_max.max(other.x_max);
+        self.y_min = self.y_min.min(other.y_min);
+        self.y_max = self.y_max.max(other.y_max);
+        self.t_min = self.t_min.min(other.t_min);
+        self.t_max = self.t_max.max(other.t_max);
+    }
+
     /// Inclusive containment test on raw coordinates — the columnar hot
     /// path (no `Point` needs to be assembled from the columns first).
     #[inline]

@@ -64,6 +64,7 @@ pub mod point;
 pub mod resample;
 pub mod seq;
 pub mod shard;
+pub mod simd;
 pub mod snapshot;
 pub mod stats;
 pub mod store;
@@ -76,8 +77,8 @@ pub use point::Point;
 pub use seq::PointSeq;
 pub use shard::{partition, OpenShard, PartitionStrategy, Shard, ShardSet, ShardSetError};
 pub use snapshot::{
-    is_snapshot_file, read_snapshot, write_snapshot, write_snapshot_with, MappedStore, Snapshot,
-    SnapshotError,
+    is_snapshot_file, read_snapshot, write_snapshot, write_snapshot_quantized, write_snapshot_with,
+    MappedStore, QuantInfo, Snapshot, SnapshotError,
 };
 pub use stats::DatasetStats;
 pub use store::{AsColumns, KeptBitmap, PointId, PointStore, StoreRef, TrajView};

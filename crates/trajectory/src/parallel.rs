@@ -35,6 +35,69 @@ where
     par_map_indexed(items, |_, item| f(item))
 }
 
+/// [`par_map`] variant with **per-worker scratch state**: `init` runs
+/// once per worker thread (not once per item), and the returned value is
+/// threaded mutably through every item that worker processes. Batch
+/// executors use this to reuse allocation-heavy buffers (hit-flag
+/// vectors, candidate lists) across the queries of a batch instead of
+/// reallocating them per query. Results preserve input order, like
+/// [`par_map`]; the sequential fallback reuses one scratch for the whole
+/// batch, which is the same sharing contract (scratch must be *reusable*,
+/// not *fresh*, per item).
+pub fn par_map_with<T, R, S, G, F>(items: &[T], init: G, f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    G: Fn() -> S + Sync,
+    F: Fn(&mut S, &T) -> R + Sync,
+{
+    let workers = worker_count(items.len());
+    if workers <= 1 || items.len() < 2 {
+        let mut scratch = init();
+        return items.iter().map(|item| f(&mut scratch, item)).collect();
+    }
+
+    let mut slots: Vec<Option<R>> = Vec::with_capacity(items.len());
+    slots.resize_with(items.len(), || None);
+    let next = AtomicUsize::new(0);
+    {
+        let f = &f;
+        let init = &init;
+        let next = &next;
+        let mut partials: Vec<Vec<(usize, R)>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|_| {
+                    scope.spawn(move || {
+                        let mut scratch = init();
+                        let mut out = Vec::new();
+                        loop {
+                            let i = next.fetch_add(1, Ordering::Relaxed);
+                            if i >= items.len() {
+                                break;
+                            }
+                            out.push((i, f(&mut scratch, &items[i])));
+                        }
+                        out
+                    })
+                })
+                .collect();
+            for h in handles {
+                partials.push(h.join().expect("parallel worker panicked"));
+            }
+        });
+        for part in partials {
+            for (i, r) in part {
+                slots[i] = Some(r);
+            }
+        }
+    }
+    slots
+        .into_iter()
+        .map(|s| s.expect("every index produced"))
+        .collect()
+}
+
 /// [`par_map`] variant whose callback also receives the item index.
 pub fn par_map_indexed<T, R, F>(items: &[T], f: F) -> Vec<R>
 where
@@ -115,6 +178,37 @@ mod tests {
         let empty: Vec<u32> = vec![];
         assert!(par_map(&empty, |&x| x).is_empty());
         assert_eq!(par_map(&[7u32], |&x| x + 1), vec![8]);
+    }
+
+    #[test]
+    fn scratch_variant_matches_plain_map_and_reuses_buffers() {
+        let items: Vec<usize> = (0..500).collect();
+        // Scratch is a reusable buffer; correctness must not depend on it
+        // being fresh per item.
+        let out = par_map_with(&items, Vec::<usize>::new, |buf, &x| {
+            buf.clear();
+            buf.extend(0..x % 7);
+            x * 2 + buf.len()
+        });
+        let expected: Vec<usize> = items.iter().map(|&x| x * 2 + x % 7).collect();
+        assert_eq!(out, expected);
+    }
+
+    #[test]
+    fn scratch_variant_handles_empty_and_single() {
+        let empty: Vec<u32> = vec![];
+        assert!(par_map_with(&empty, || 0u32, |_, &x| x).is_empty());
+        assert_eq!(
+            par_map_with(
+                &[5u32],
+                || 0u32,
+                |s, &x| {
+                    *s += 1;
+                    x + *s
+                }
+            ),
+            vec![6]
+        );
     }
 
     #[test]

@@ -33,7 +33,10 @@ use std::path::{Path, PathBuf};
 
 use crate::bbox::Cube;
 use crate::db::TrajId;
-use crate::snapshot::{fnv1a64, read_snapshot, write_snapshot_with, MappedStore, SnapshotError};
+use crate::snapshot::{
+    fnv1a64, read_snapshot, write_snapshot_quantized, write_snapshot_with, MappedStore,
+    SnapshotError,
+};
 use crate::store::{AsColumns, KeptBitmap, PointStore};
 
 /// First line of every shard-set manifest.
@@ -348,7 +351,7 @@ impl ShardSet {
     /// Writes `shards` as one snapshot file each (no kept bitmaps) plus
     /// the manifest into `dir` (created if absent).
     pub fn write(dir: impl AsRef<Path>, shards: &[Shard]) -> Result<ShardSet, ShardSetError> {
-        Self::write_impl(dir.as_ref(), shards, None)
+        Self::write_impl(dir.as_ref(), shards, None, None)
     }
 
     /// [`ShardSet::write`] with one kept-point bitmap per shard — the
@@ -364,13 +367,36 @@ impl ShardSet {
             kept.len(),
             "one kept bitmap per shard required"
         );
-        Self::write_impl(dir.as_ref(), shards, Some(kept))
+        Self::write_impl(dir.as_ref(), shards, Some(kept), None)
+    }
+
+    /// [`ShardSet::write`] / [`ShardSet::write_with`] storing every
+    /// shard snapshot **quantized** at the given error bound (see
+    /// [`write_snapshot_quantized`]). The manifest is unchanged, and
+    /// [`ShardSet::open_owned`] / [`ShardSet::open_mapped`] reopen the
+    /// set transparently — every decoded coordinate within `max_error`
+    /// of the value it was written from.
+    pub fn write_quantized(
+        dir: impl AsRef<Path>,
+        shards: &[Shard],
+        kept: Option<&[KeptBitmap]>,
+        max_error: f64,
+    ) -> Result<ShardSet, ShardSetError> {
+        if let Some(kept) = kept {
+            assert_eq!(
+                shards.len(),
+                kept.len(),
+                "one kept bitmap per shard required"
+            );
+        }
+        Self::write_impl(dir.as_ref(), shards, kept, Some(max_error))
     }
 
     fn write_impl(
         dir: &Path,
         shards: &[Shard],
         kept: Option<&[KeptBitmap]>,
+        quantize: Option<f64>,
     ) -> Result<ShardSet, ShardSetError> {
         std::fs::create_dir_all(dir)?;
         let trajs: usize = shards.iter().map(|s| s.global_ids.len()).sum();
@@ -379,11 +405,14 @@ impl ShardSet {
             debug_assert_eq!(shard.store.len(), shard.global_ids.len());
             let file = format!("shard-{i:04}.snap");
             let bitmap = kept.map(|ks| &ks[i]);
-            write_snapshot_with(&shard.store, bitmap, dir.join(&file)).map_err(|source| {
-                ShardSetError::Snapshot {
-                    file: file.clone(),
-                    source,
-                }
+            let path = dir.join(&file);
+            match quantize {
+                Some(max_error) => write_snapshot_quantized(&shard.store, bitmap, max_error, path),
+                None => write_snapshot_with(&shard.store, bitmap, path),
+            }
+            .map_err(|source| ShardSetError::Snapshot {
+                file: file.clone(),
+                source,
             })?;
             entries.push(ShardEntry {
                 file,
@@ -813,6 +842,45 @@ mod tests {
         }
         assert_eq!(set.unify().unwrap(), store);
         std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_shard_set_reopens_within_bound() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 3 });
+        let max_error = 1e-3;
+        let dir = temp_dir("quantized_set");
+        let raw_dir = temp_dir("quantized_set_raw");
+        ShardSet::write_quantized(&dir, &shards, None, max_error).unwrap();
+        ShardSet::write(&raw_dir, &shards).unwrap();
+
+        let dir_bytes = |d: &PathBuf| -> u64 {
+            std::fs::read_dir(d)
+                .unwrap()
+                .map(|e| e.unwrap().metadata().unwrap().len())
+                .sum()
+        };
+        assert!(dir_bytes(&dir) < dir_bytes(&raw_dir));
+
+        let set = ShardSet::load(&dir).unwrap();
+        let within = |xs: &[f64], ys: &[f64]| {
+            xs.iter()
+                .zip(ys)
+                .all(|(a, b)| (a - b).abs() <= max_error * 1.000_001)
+        };
+        // Both reopen paths decode transparently, within the bound.
+        for (shard, open) in shards.iter().zip(set.open_owned().unwrap()) {
+            assert_eq!(open.store.offsets(), shard.store.offsets());
+            assert!(within(open.store.xs(), shard.store.xs()));
+            assert!(within(open.store.ys(), shard.store.ys()));
+            assert!(within(open.store.ts(), shard.store.ts()));
+        }
+        for (shard, open) in shards.iter().zip(set.open_mapped().unwrap()) {
+            assert_eq!(open.store.offsets(), shard.store.offsets());
+            assert!(within(open.store.xs(), shard.store.xs()));
+        }
+        std::fs::remove_dir_all(&dir).ok();
+        std::fs::remove_dir_all(&raw_dir).ok();
     }
 
     #[test]

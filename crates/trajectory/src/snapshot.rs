@@ -69,6 +69,13 @@ pub const VERSION: u32 = 1;
 /// Header flag bit: the file carries a kept-point bitmap section.
 pub const FLAG_KEPT_BITMAP: u32 = 1;
 
+/// Header flag bit: the coordinate columns are stored **quantized**
+/// (delta + uniform quantization with a stored max-error bound, PPQ
+/// style) instead of as raw `f64` runs. Readers that predate this flag
+/// reject such files with [`SnapshotError::UnknownFlags`] rather than
+/// misreading the section geometry.
+pub const FLAG_QUANTIZED: u32 = 2;
+
 /// Fixed header length in bytes; the first section starts here.
 pub const HEADER_LEN: usize = 128;
 
@@ -78,7 +85,17 @@ pub const HEADER_LEN: usize = 128;
 pub const SECTION_ALIGN: usize = 64;
 
 /// All flag bits this version understands; anything else is rejected.
-const KNOWN_FLAGS: u32 = FLAG_KEPT_BITMAP;
+const KNOWN_FLAGS: u32 = FLAG_KEPT_BITMAP | FLAG_QUANTIZED;
+
+/// Byte length of the quantization-metadata section: `max_error` plus
+/// `(min, step, width)` for each of the three coordinate columns.
+const QMETA_LEN: usize = 8 + 3 * 24;
+
+/// Largest quantized grid index the encoder accepts. Indices stay far
+/// below 2^53 so `q as f64` is exact and the reconstruction error keeps
+/// the stored bound; a range/error-bound combination that would exceed
+/// this is rejected at encode time.
+const MAX_Q: f64 = (1u64 << 51) as f64;
 
 /// Rounds `n` up to the next multiple of [`SECTION_ALIGN`].
 #[inline]
@@ -162,6 +179,14 @@ pub enum SnapshotError {
         /// The offending point count.
         points: u64,
     },
+    /// The quantization metadata or input is invalid: a non-finite or
+    /// non-positive error bound/step, a width outside `{1, 2, 4, 8}`, a
+    /// non-finite input coordinate, or a value range too wide for the
+    /// requested error bound.
+    InvalidQuantization {
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
 }
 
 impl std::fmt::Display for SnapshotError {
@@ -207,6 +232,9 @@ impl std::fmt::Display for SnapshotError {
             }
             SnapshotError::TooLarge { points } => {
                 write!(f, "snapshot too large: {points} points exceed u32 ids")
+            }
+            SnapshotError::InvalidQuantization { reason } => {
+                write!(f, "invalid quantization: {reason}")
             }
         }
     }
@@ -325,6 +353,134 @@ fn read_u64s_le(bytes: &[u8]) -> Vec<u64> {
         .collect()
 }
 
+fn put_f64(buf: &mut [u8], off: usize, v: f64) {
+    put_u64(buf, off, v.to_bits());
+}
+
+fn get_f64(buf: &[u8], off: usize) -> f64 {
+    f64::from_bits(get_u64(buf, off))
+}
+
+// ---------------------------------------------------------------------
+// Quantized column codec (delta + uniform quantization, PPQ style).
+// ---------------------------------------------------------------------
+
+/// Quantization parameters of one coordinate column: values are stored
+/// as zigzag-encoded deltas of grid indices `q`, reconstructed as
+/// `min + q * step`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct ColQuant {
+    min: f64,
+    step: f64,
+    /// Bytes per stored delta: 1, 2, 4, or 8.
+    width: usize,
+}
+
+/// The decoded quantization-metadata section: the shared error bound
+/// plus per-column parameters for xs, ys, ts.
+#[derive(Debug, Clone, Copy, PartialEq)]
+struct QuantMeta {
+    max_error: f64,
+    cols: [ColQuant; 3],
+}
+
+#[inline]
+fn zigzag(d: i64) -> u64 {
+    ((d << 1) ^ (d >> 63)) as u64
+}
+
+#[inline]
+fn unzigzag(z: u64) -> i64 {
+    ((z >> 1) as i64) ^ -((z & 1) as i64)
+}
+
+/// Quantizes one column onto the uniform grid `min + q * step` with
+/// `step = 2 * max_error` (the widest grid whose nearest point is always
+/// within `max_error`), returning the column parameters and the
+/// zigzag-encoded index deltas in point order.
+fn quantize_column(
+    values: &[f64],
+    max_error: f64,
+    name: &'static str,
+) -> Result<(ColQuant, Vec<u64>), SnapshotError> {
+    let step = 2.0 * max_error;
+    let mut min = f64::INFINITY;
+    for &v in values {
+        if !v.is_finite() {
+            return Err(SnapshotError::InvalidQuantization {
+                reason: format!("column {name} contains non-finite value {v}"),
+            });
+        }
+        min = min.min(v);
+    }
+    if values.is_empty() {
+        min = 0.0;
+    }
+    let mut deltas = Vec::with_capacity(values.len());
+    let mut prev: i64 = 0;
+    let mut max_z: u64 = 0;
+    for &v in values {
+        let raw = (v - min) / step;
+        if raw > MAX_Q {
+            return Err(SnapshotError::InvalidQuantization {
+                reason: format!(
+                    "column {name}: range {:.3e} needs more than 2^51 grid steps at \
+                     max_error {max_error:.3e}",
+                    v - min
+                ),
+            });
+        }
+        // Nearest grid index, then a one-step correction against the
+        // actual f64 reconstruction so the stored bound survives the
+        // division's rounding even near half-step boundaries.
+        let mut q = raw.round() as i64;
+        let mut best_err = (min + q as f64 * step - v).abs();
+        for cand in [q - 1, q + 1] {
+            if cand >= 0 {
+                let e = (min + cand as f64 * step - v).abs();
+                if e < best_err {
+                    q = cand;
+                    best_err = e;
+                }
+            }
+        }
+        let z = zigzag(q - prev);
+        prev = q;
+        max_z = max_z.max(z);
+        deltas.push(z);
+    }
+    let width = match max_z {
+        z if z <= 0xFF => 1,
+        z if z <= 0xFFFF => 2,
+        z if z <= 0xFFFF_FFFF => 4,
+        _ => 8,
+    };
+    Ok((ColQuant { min, step, width }, deltas))
+}
+
+/// Writes zigzag deltas as fixed-width little-endian integers.
+fn write_quantized(dst: &mut [u8], deltas: &[u64], width: usize) {
+    debug_assert_eq!(dst.len(), deltas.len() * width);
+    for (chunk, &z) in dst.chunks_exact_mut(width).zip(deltas) {
+        chunk.copy_from_slice(&z.to_le_bytes()[..width]);
+    }
+}
+
+/// Reconstructs one column from its fixed-width zigzag delta section.
+/// The accumulator wraps instead of panicking so checksum-valid but
+/// hand-crafted delta streams degrade to garbage values, never aborts.
+fn dequantize_column(bytes: &[u8], n: usize, c: &ColQuant) -> Vec<f64> {
+    let mut out = Vec::with_capacity(n);
+    let mut acc: i64 = 0;
+    for chunk in bytes.chunks_exact(c.width).take(n) {
+        let mut raw = [0u8; 8];
+        raw[..c.width].copy_from_slice(chunk);
+        acc = acc.wrapping_add(unzigzag(u64::from_le_bytes(raw)));
+        out.push(c.min + acc as f64 * c.step);
+    }
+    out
+}
+
 // ---------------------------------------------------------------------
 // Layout resolution + validation.
 // ---------------------------------------------------------------------
@@ -345,17 +501,38 @@ struct Layout {
     /// Number of `u64` words in the kept section.
     kept_words: usize,
     checksum_off: usize,
+    /// Quantization parameters, for files carrying [`FLAG_QUANTIZED`].
+    /// The coordinate sections then hold fixed-width zigzag deltas
+    /// instead of raw `f64` runs.
+    quant: Option<QuantMeta>,
 }
 
 impl Layout {
     /// Computes the layout a store of `m` trajectories / `n` points (and
     /// optionally a kept bitmap) serializes to.
     fn plan(m: usize, n: usize, with_kept: bool) -> Layout {
+        Layout::plan_impl(m, n, with_kept, None)
+    }
+
+    /// [`Layout::plan`] for quantized files: a qmeta section follows the
+    /// header, and each coordinate section is `n * width` bytes.
+    fn plan_quantized(m: usize, n: usize, with_kept: bool, quant: QuantMeta) -> Layout {
+        Layout::plan_impl(m, n, with_kept, Some(quant))
+    }
+
+    fn plan_impl(m: usize, n: usize, with_kept: bool, quant: Option<QuantMeta>) -> Layout {
         let kept_words = if with_kept { n.div_ceil(64) } else { 0 };
-        let xs_off = HEADER_LEN;
-        let ys_off = align_up(xs_off + n * 8);
-        let ts_off = align_up(ys_off + n * 8);
-        let offsets_off = align_up(ts_off + n * 8);
+        let col_bytes = |i: usize| match &quant {
+            Some(q) => n * q.cols[i].width,
+            None => n * 8,
+        };
+        let xs_off = match quant {
+            Some(_) => align_up(HEADER_LEN + QMETA_LEN),
+            None => HEADER_LEN,
+        };
+        let ys_off = align_up(xs_off + col_bytes(0));
+        let ts_off = align_up(ys_off + col_bytes(1));
+        let offsets_off = align_up(ts_off + col_bytes(2));
         let offsets_end = offsets_off + (m + 1) * 4;
         let (kept_off, kept_end) = if with_kept {
             let off = align_up(offsets_end);
@@ -377,6 +554,7 @@ impl Layout {
             kept_off,
             kept_words,
             checksum_off,
+            quant,
         }
     }
 
@@ -384,6 +562,44 @@ impl Layout {
     fn file_len(&self) -> usize {
         self.checksum_off + 8
     }
+}
+
+/// Reads and sanity-checks the quantization-metadata section at
+/// [`HEADER_LEN`].
+fn read_qmeta(bytes: &[u8]) -> Result<QuantMeta, SnapshotError> {
+    let max_error = get_f64(bytes, HEADER_LEN);
+    if !(max_error.is_finite() && max_error > 0.0) {
+        return Err(SnapshotError::InvalidQuantization {
+            reason: format!("stored max_error {max_error} is not finite and positive"),
+        });
+    }
+    let mut cols = [ColQuant {
+        min: 0.0,
+        step: 1.0,
+        width: 1,
+    }; 3];
+    for (i, col) in cols.iter_mut().enumerate() {
+        let base = HEADER_LEN + 8 + i * 24;
+        let min = get_f64(bytes, base);
+        let step = get_f64(bytes, base + 8);
+        let width = get_u64(bytes, base + 16);
+        if !(min.is_finite() && step.is_finite() && step > 0.0) {
+            return Err(SnapshotError::InvalidQuantization {
+                reason: format!("column {i}: min {min} / step {step} out of domain"),
+            });
+        }
+        if !matches!(width, 1 | 2 | 4 | 8) {
+            return Err(SnapshotError::InvalidQuantization {
+                reason: format!("column {i}: width {width} not in {{1, 2, 4, 8}}"),
+            });
+        }
+        *col = ColQuant {
+            min,
+            step,
+            width: width as usize,
+        };
+    }
+    Ok(QuantMeta { max_error, cols })
 }
 
 /// Validates the full byte image of a snapshot: magic, version, flags,
@@ -422,16 +638,39 @@ fn validate(bytes: &[u8]) -> Result<Layout, SnapshotError> {
     let m = traj_count as usize;
     let n = point_count as usize;
     let with_kept = flags & FLAG_KEPT_BITMAP != 0;
+    let with_quant = flags & FLAG_QUANTIZED != 0;
 
     // The header's stored offsets must agree with the canonical layout
     // for these counts — the format admits exactly one geometry per
-    // (m, n, flags), which is what makes blind mapping safe.
-    let layout = Layout::plan(m, n, with_kept);
+    // (m, n, flags, quantization widths), which is what makes blind
+    // mapping safe.
+    let layout = if with_quant {
+        let needed = (HEADER_LEN + QMETA_LEN + 8) as u64;
+        if (bytes.len() as u64) < needed {
+            return Err(SnapshotError::Truncated {
+                len: bytes.len() as u64,
+                needed,
+            });
+        }
+        let qmeta_off = get_u64(bytes, 80);
+        if qmeta_off != HEADER_LEN as u64 {
+            return Err(SnapshotError::InvalidQuantization {
+                reason: format!("qmeta_off {qmeta_off}, expected {HEADER_LEN}"),
+            });
+        }
+        Layout::plan_quantized(m, n, with_kept, read_qmeta(bytes)?)
+    } else {
+        Layout::plan(m, n, with_kept)
+    };
+    let col_len = |i: usize| match &layout.quant {
+        Some(q) => n as u64 * q.cols[i].width as u64,
+        None => n as u64 * 8,
+    };
     let file_len = bytes.len() as u64;
     let stored = [
-        ("xs", get_u64(bytes, 32), layout.xs_off, n as u64 * 8),
-        ("ys", get_u64(bytes, 40), layout.ys_off, n as u64 * 8),
-        ("ts", get_u64(bytes, 48), layout.ts_off, n as u64 * 8),
+        ("xs", get_u64(bytes, 32), layout.xs_off, col_len(0)),
+        ("ys", get_u64(bytes, 40), layout.ys_off, col_len(1)),
+        ("ts", get_u64(bytes, 48), layout.ts_off, col_len(2)),
         (
             "offsets",
             get_u64(bytes, 56),
@@ -610,9 +849,137 @@ where
     Ok(())
 }
 
+/// Serializes the full byte image of a **quantized** snapshot: each
+/// coordinate column is delta-plus-uniform-quantized onto a grid of
+/// spacing `2 * max_error` (so the nearest grid point is always within
+/// `max_error`), and the grid-index deltas are zigzag-encoded at the
+/// narrowest fixed width (1/2/4/8 bytes) that fits the column. The file
+/// carries [`FLAG_QUANTIZED`] plus a qmeta section holding the error
+/// bound and per-column parameters; readers that predate the flag
+/// reject it instead of misreading.
+///
+/// Fails with [`SnapshotError::InvalidQuantization`] when `max_error`
+/// is not finite and positive, a coordinate is non-finite, or the value
+/// range needs more than 2^51 grid steps at this bound.
+///
+/// # Panics
+/// When `kept` covers a different number of points than `store` holds.
+pub fn quantized_snapshot_bytes<S: AsColumns + ?Sized>(
+    store: &S,
+    kept: Option<&KeptBitmap>,
+    max_error: f64,
+) -> Result<Vec<u8>, SnapshotError> {
+    if !(max_error.is_finite() && max_error > 0.0) {
+        return Err(SnapshotError::InvalidQuantization {
+            reason: format!("max_error {max_error} is not finite and positive"),
+        });
+    }
+    let m = store.len();
+    let n = store.total_points();
+    if let Some(k) = kept {
+        assert_eq!(
+            k.len(),
+            n,
+            "kept bitmap covers {} points, store has {n}",
+            k.len()
+        );
+    }
+    let (qx, zx) = quantize_column(store.xs(), max_error, "xs")?;
+    let (qy, zy) = quantize_column(store.ys(), max_error, "ys")?;
+    let (qt, zt) = quantize_column(store.ts(), max_error, "ts")?;
+    let quant = QuantMeta {
+        max_error,
+        cols: [qx, qy, qt],
+    };
+    let layout = Layout::plan_quantized(m, n, kept.is_some(), quant);
+    let mut buf = vec![0u8; layout.file_len()];
+
+    buf[0..8].copy_from_slice(&MAGIC);
+    put_u32(&mut buf, 8, VERSION);
+    let flags = FLAG_QUANTIZED | if kept.is_some() { FLAG_KEPT_BITMAP } else { 0 };
+    put_u32(&mut buf, 12, flags);
+    put_u64(&mut buf, 16, m as u64);
+    put_u64(&mut buf, 24, n as u64);
+    put_u64(&mut buf, 32, layout.xs_off as u64);
+    put_u64(&mut buf, 40, layout.ys_off as u64);
+    put_u64(&mut buf, 48, layout.ts_off as u64);
+    put_u64(&mut buf, 56, layout.offsets_off as u64);
+    put_u64(&mut buf, 64, layout.kept_off.unwrap_or(0) as u64);
+    put_u64(&mut buf, 72, layout.checksum_off as u64);
+    put_u64(&mut buf, 80, HEADER_LEN as u64); // qmeta_off
+                                              // Bytes 88..128 stay reserved (zero).
+
+    put_f64(&mut buf, HEADER_LEN, max_error);
+    for (i, col) in quant.cols.iter().enumerate() {
+        let base = HEADER_LEN + 8 + i * 24;
+        put_f64(&mut buf, base, col.min);
+        put_f64(&mut buf, base + 8, col.step);
+        put_u64(&mut buf, base + 16, col.width as u64);
+    }
+
+    write_quantized(
+        &mut buf[layout.xs_off..layout.xs_off + n * qx.width],
+        &zx,
+        qx.width,
+    );
+    write_quantized(
+        &mut buf[layout.ys_off..layout.ys_off + n * qy.width],
+        &zy,
+        qy.width,
+    );
+    write_quantized(
+        &mut buf[layout.ts_off..layout.ts_off + n * qt.width],
+        &zt,
+        qt.width,
+    );
+    copy_u32s_le(
+        &mut buf[layout.offsets_off..layout.offsets_off + (m + 1) * 4],
+        store.offsets(),
+    );
+    if let (Some(off), Some(k)) = (layout.kept_off, kept) {
+        copy_u64s_le(&mut buf[off..off + layout.kept_words * 8], k.words());
+    }
+
+    let sum = fnv1a64(&buf[..layout.checksum_off]);
+    put_u64(&mut buf, layout.checksum_off, sum);
+    Ok(buf)
+}
+
+/// Writes `store` as a **quantized** snapshot file at `path` — the
+/// compressed sibling of [`write_snapshot_with`]. Both load paths
+/// ([`read_snapshot`] and [`MappedStore::open`]) decode it back to
+/// plain `f64` columns transparently, each coordinate within
+/// `max_error` of its original value.
+pub fn write_snapshot_quantized<S, P>(
+    store: &S,
+    kept: Option<&KeptBitmap>,
+    max_error: f64,
+    path: P,
+) -> Result<(), SnapshotError>
+where
+    S: AsColumns + ?Sized,
+    P: AsRef<Path>,
+{
+    let bytes = quantized_snapshot_bytes(store, kept, max_error)?;
+    std::fs::write(path, bytes)?;
+    Ok(())
+}
+
 // ---------------------------------------------------------------------
 // Owned reading.
 // ---------------------------------------------------------------------
+
+/// Quantization facts of a snapshot load: present when the file stored
+/// quantized columns, reporting the error bound the decoded coordinates
+/// honor and the per-column delta widths the encoder chose.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct QuantInfo {
+    /// Every decoded coordinate is within this distance of the value the
+    /// snapshot was written from (per axis).
+    pub max_error: f64,
+    /// Bytes per stored delta for xs, ys, ts (each 1, 2, 4, or 8).
+    pub widths: [u8; 3],
+}
 
 /// An owned, heap-backed snapshot load: the store plus the kept bitmap
 /// when the file carries one.
@@ -623,15 +990,39 @@ pub struct Snapshot {
     /// The kept-point bitmap, for files written by
     /// [`write_snapshot_with`].
     pub kept: Option<KeptBitmap>,
+    /// Quantization parameters, for files written by
+    /// [`write_snapshot_quantized`]; `None` for raw snapshots.
+    pub quant: Option<QuantInfo>,
 }
 
 /// Decodes a validated byte image into owned columns.
 fn decode(bytes: &[u8], layout: &Layout) -> Snapshot {
     let n = layout.point_count;
     let m = layout.traj_count;
-    let xs = read_f64s_le(&bytes[layout.xs_off..layout.xs_off + n * 8]);
-    let ys = read_f64s_le(&bytes[layout.ys_off..layout.ys_off + n * 8]);
-    let ts = read_f64s_le(&bytes[layout.ts_off..layout.ts_off + n * 8]);
+    let (xs, ys, ts) = match &layout.quant {
+        Some(q) => (
+            dequantize_column(
+                &bytes[layout.xs_off..layout.xs_off + n * q.cols[0].width],
+                n,
+                &q.cols[0],
+            ),
+            dequantize_column(
+                &bytes[layout.ys_off..layout.ys_off + n * q.cols[1].width],
+                n,
+                &q.cols[1],
+            ),
+            dequantize_column(
+                &bytes[layout.ts_off..layout.ts_off + n * q.cols[2].width],
+                n,
+                &q.cols[2],
+            ),
+        ),
+        None => (
+            read_f64s_le(&bytes[layout.xs_off..layout.xs_off + n * 8]),
+            read_f64s_le(&bytes[layout.ys_off..layout.ys_off + n * 8]),
+            read_f64s_le(&bytes[layout.ts_off..layout.ts_off + n * 8]),
+        ),
+    };
     let offsets = read_u32s_le(&bytes[layout.offsets_off..layout.offsets_off + (m + 1) * 4]);
     let kept = layout.kept_off.map(|off| {
         KeptBitmap::from_words(read_u64s_le(&bytes[off..off + layout.kept_words * 8]), n)
@@ -639,6 +1030,14 @@ fn decode(bytes: &[u8], layout: &Layout) -> Snapshot {
     Snapshot {
         store: PointStore::from_raw_columns(xs, ys, ts, offsets),
         kept,
+        quant: layout.quant.map(|q| QuantInfo {
+            max_error: q.max_error,
+            widths: [
+                q.cols[0].width as u8,
+                q.cols[1].width as u8,
+                q.cols[2].width as u8,
+            ],
+        }),
     }
 }
 
@@ -881,13 +1280,20 @@ impl MappedStore {
 
         let layout = validate(backing.bytes())?;
 
-        if cfg!(target_endian = "big") {
-            // The format is little-endian; decode into a native-order
-            // aligned heap image with the same section layout so the
-            // zero-copy accessors stay correct.
+        if layout.quant.is_some() || cfg!(target_endian = "big") {
+            // Quantized files (and any file on a big-endian host) cannot
+            // be served in place: decode once into a native-order aligned
+            // heap image with the canonical *raw* section layout, so the
+            // zero-copy accessors stay correct and every caller sees
+            // plain f64 columns regardless of the on-disk codec.
             let snap = decode(backing.bytes(), &layout);
-            let native = snapshot_bytes_native(&snap.store, snap.kept.as_ref(), &layout);
-            return Ok(Self::from_parts(Backing::Heap(native), &layout));
+            let raw = Layout::plan(
+                layout.traj_count,
+                layout.point_count,
+                layout.kept_off.is_some(),
+            );
+            let native = snapshot_bytes_native(&snap.store, snap.kept.as_ref(), &raw);
+            return Ok(Self::from_parts(Backing::Heap(native), &raw));
         }
         Ok(Self::from_parts(backing, &layout))
     }
@@ -1343,6 +1749,182 @@ mod tests {
         assert!(refs[2].as_mapped().is_some());
         assert!(refs[2].as_point_store().is_none());
         std::fs::remove_file(&path).ok();
+    }
+
+    /// Max per-axis deviation between two stores' columns.
+    fn max_axis_error(a: &PointStore, b: &PointStore) -> f64 {
+        let pairs = a
+            .xs()
+            .iter()
+            .zip(b.xs())
+            .chain(a.ys().iter().zip(b.ys()))
+            .chain(a.ts().iter().zip(b.ts()));
+        pairs.map(|(x, y)| (x - y).abs()).fold(0.0, f64::max)
+    }
+
+    #[test]
+    fn quantized_round_trip_is_within_bound() {
+        let store = sample_store();
+        let max_error = 1e-3;
+        let raw = snapshot_bytes(&store, None);
+        let q = quantized_snapshot_bytes(&store, None, max_error).unwrap();
+        assert!(q.len() < raw.len());
+
+        let snap = read_snapshot_bytes(&q).unwrap();
+        assert_eq!(snap.store.offsets(), store.offsets());
+        assert_eq!(snap.kept, None);
+        let info = snap.quant.expect("quantized load reports QuantInfo");
+        assert_eq!(info.max_error, max_error);
+        assert!(info.widths.iter().all(|w| matches!(w, 1 | 2 | 4 | 8)));
+        let err = max_axis_error(&snap.store, &store);
+        assert!(
+            err <= max_error * 1.000_001,
+            "decoded error {err} exceeds bound {max_error}"
+        );
+    }
+
+    #[test]
+    fn quantized_snapshot_is_measurably_smaller_at_meter_bound() {
+        // Half-meter accuracy (GPS noise scale) narrows the coordinate
+        // deltas below the raw 8-byte lanes by a wide margin.
+        let store = sample_store();
+        let raw = snapshot_bytes(&store, None);
+        let q = quantized_snapshot_bytes(&store, None, 0.5).unwrap();
+        assert!(
+            q.len() * 2 < raw.len(),
+            "quantized {} bytes vs raw {} — expected at least 2x smaller",
+            q.len(),
+            raw.len()
+        );
+        let snap = read_snapshot_bytes(&q).unwrap();
+        assert!(max_axis_error(&snap.store, &store) <= 0.5 * 1.000_001);
+    }
+
+    #[test]
+    fn quantized_decode_preserves_time_order() {
+        let store = sample_store();
+        let q = quantized_snapshot_bytes(&store, None, 0.5).unwrap();
+        let snap = read_snapshot_bytes(&q).unwrap();
+        for id in 0..snap.store.len() {
+            let ts = snap.store.view(id).ts;
+            assert!(
+                ts.windows(2).all(|w| w[0] <= w[1]),
+                "trajectory {id} decoded out of time order"
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_mapped_open_decodes_transparently() {
+        let store = sample_store();
+        let db = store.to_db();
+        let mut simp = Simplification::most_simplified(&db);
+        for (id, t) in db.iter() {
+            for idx in (0..t.len() as u32).step_by(3) {
+                simp.insert(id, idx);
+            }
+        }
+        let bitmap = simp.to_bitmap(&store);
+        let path = temp_path("quantized_mapped.snap");
+        write_snapshot_quantized(&store, Some(&bitmap), 1e-3, &path).unwrap();
+
+        let snap = read_snapshot(&path).unwrap();
+        let mapped = MappedStore::open(&path).unwrap();
+        // The mapped view serves the same decoded columns as the owned
+        // load — downstream consumers never see the codec.
+        assert_eq!(mapped.xs(), snap.store.xs());
+        assert_eq!(mapped.ys(), snap.store.ys());
+        assert_eq!(mapped.ts(), snap.store.ts());
+        assert_eq!(mapped.offsets(), store.offsets());
+        assert_eq!(mapped.kept_bitmap().as_ref(), Some(&bitmap));
+        assert!(max_axis_error(&snap.store, &store) <= 1e-3 * 1.000_001);
+        std::fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn quantized_empty_store_round_trips() {
+        let store = PointStore::new();
+        let q = quantized_snapshot_bytes(&store, None, 1.0).unwrap();
+        let snap = read_snapshot_bytes(&q).unwrap();
+        assert_eq!(snap.store, store);
+        assert!(snap.quant.is_some());
+    }
+
+    #[test]
+    fn quantized_rejects_bad_bounds_and_nonfinite_input() {
+        let store = sample_store();
+        for bad in [0.0, -1.0, f64::NAN, f64::INFINITY] {
+            assert!(matches!(
+                quantized_snapshot_bytes(&store, None, bad),
+                Err(SnapshotError::InvalidQuantization { .. })
+            ));
+        }
+        let nan_store = PointStore::from_raw_columns(
+            vec![0.0, f64::NAN],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0, 2],
+        );
+        assert!(matches!(
+            quantized_snapshot_bytes(&nan_store, None, 0.1),
+            Err(SnapshotError::InvalidQuantization { .. })
+        ));
+        // A range needing more than 2^51 grid steps at the bound.
+        let wide = PointStore::from_raw_columns(
+            vec![0.0, 1e18],
+            vec![0.0, 1.0],
+            vec![0.0, 1.0],
+            vec![0, 2],
+        );
+        assert!(matches!(
+            quantized_snapshot_bytes(&wide, None, 1e-6),
+            Err(SnapshotError::InvalidQuantization { .. })
+        ));
+    }
+
+    #[test]
+    fn quantized_header_carries_flag_and_qmeta_offset() {
+        let store = sample_store();
+        let bytes = quantized_snapshot_bytes(&store, None, 1e-3).unwrap();
+        assert_eq!(get_u32(&bytes, 12) & FLAG_QUANTIZED, FLAG_QUANTIZED);
+        assert_eq!(get_u64(&bytes, 80), HEADER_LEN as u64);
+        // Remaining reserved region stays zero.
+        assert!(bytes[88..128].iter().all(|&b| b == 0));
+        // Stored max_error opens the qmeta section.
+        assert_eq!(get_f64(&bytes, HEADER_LEN), 1e-3);
+    }
+
+    #[test]
+    fn quantized_corruption_is_rejected_with_typed_errors() {
+        let store = sample_store();
+        let good = quantized_snapshot_bytes(&store, None, 1e-3).unwrap();
+
+        // Bit rot in the delta stream.
+        let mut rot = good.clone();
+        let mid = 256 + (good.len() - 256) / 2;
+        rot[mid] ^= 0x10;
+        assert!(matches!(
+            read_snapshot_bytes(&rot),
+            Err(SnapshotError::ChecksumMismatch { .. })
+        ));
+
+        // Truncation.
+        assert!(matches!(
+            read_snapshot_bytes(&good[..good.len() - 1]),
+            Err(SnapshotError::Truncated { .. } | SnapshotError::SectionOutOfBounds { .. })
+        ));
+
+        // A width outside {1, 2, 4, 8} with a fixed-up checksum.
+        let mut bad_width = good.clone();
+        put_u64(&mut bad_width, HEADER_LEN + 8 + 16, 3);
+        let sum_off = get_u64(&bad_width, 72) as usize;
+        let sum = fnv1a64(&bad_width[..sum_off]);
+        put_u64(&mut bad_width, sum_off, sum);
+        assert!(matches!(
+            read_snapshot_bytes(&bad_width),
+            Err(SnapshotError::InvalidQuantization { .. })
+                | Err(SnapshotError::SectionOutOfBounds { .. })
+        ));
     }
 
     #[test]

@@ -563,19 +563,21 @@ impl<'a> TrajView<'a> {
         crate::seq::PointSeq::seq_position_at(self, t)
     }
 
-    /// Smallest cube covering the view's points.
+    /// Smallest cube covering the view's points — three lane-wide
+    /// [`min_max`](crate::simd::min_max) column reductions.
     #[must_use]
     pub fn bounding_cube(&self) -> Cube {
-        let mut c = Cube::empty();
-        for i in 0..self.len() {
-            c.x_min = c.x_min.min(self.xs[i]);
-            c.x_max = c.x_max.max(self.xs[i]);
-            c.y_min = c.y_min.min(self.ys[i]);
-            c.y_max = c.y_max.max(self.ys[i]);
-            c.t_min = c.t_min.min(self.ts[i]);
-            c.t_max = c.t_max.max(self.ts[i]);
+        let (x_min, x_max) = crate::simd::min_max(self.xs);
+        let (y_min, y_max) = crate::simd::min_max(self.ys);
+        let (t_min, t_max) = crate::simd::min_max(self.ts);
+        Cube {
+            x_min,
+            x_max,
+            y_min,
+            y_max,
+            t_min,
+            t_max,
         }
-        c
     }
 }
 
