@@ -23,10 +23,17 @@
 //! error `E` (metres/seconds in the raw units of each column). The serve
 //! task needs no flag: `TrajDb::open` decodes quantized sections
 //! transparently.
+//!
+//! With `--wire` the serve task runs the same mixed workload over the
+//! framed TCP protocol instead of in-process: a loopback `traj-serve`
+//! server with batched admission, `--clients N` concurrent connections
+//! splitting the workload, and coalescing stats in the report.
 
 use std::path::PathBuf;
 
-use qdts_eval::serving::{serve_task, shard_snapshot_task, snapshot_task, SnapshotSource};
+use qdts_eval::serving::{
+    serve_task, shard_snapshot_task, snapshot_task, wire_serve_task, SnapshotSource,
+};
 use trajectory::gen::Scale;
 use trajectory::shard::PartitionStrategy;
 
@@ -35,7 +42,8 @@ fn usage() -> ! {
         "usage:\n  snapshot_serve snapshot [--csv FILE] [--out FILE.snap|DIR] \
          [--scale smoke|small|paper] [--ratio R] [--quantize E] [--seed N] \
          [--shards N] [--partition grid|time|hash]\n  \
-         snapshot_serve serve [--snap FILE.snap|DIR] [--queries N] [--seed N]"
+         snapshot_serve serve [--snap FILE.snap|DIR] [--queries N] [--seed N] \
+         [--wire] [--clients N]"
     );
     std::process::exit(2);
 }
@@ -146,6 +154,26 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let snap = PathBuf::from(flag_value(rest, "--snap").unwrap_or("db.snap"));
     let queries: usize = flag_value(rest, "--queries").unwrap_or("100").parse()?;
     let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
+
+    if rest.iter().any(|a| a == "--wire") {
+        let clients: usize = flag_value(rest, "--clients").unwrap_or("8").parse()?;
+        let r = wire_serve_task(&snap, queries, clients, seed)?;
+        println!("== wire serve task ({}) ==", snap.display());
+        println!(
+            "opened {} trajectories / {} points in {:.4}s (auto-detected layout)",
+            r.trajectories, r.points, r.open_seconds
+        );
+        println!(
+            "{} clients sent {} requests / {} queries over loopback in {:.4}s",
+            r.clients, r.requests, r.queries, r.serve_seconds
+        );
+        println!(
+            "admission coalesced them into {} engine passes (mean batch {:.1}); \
+             {} result ids",
+            r.batches, r.mean_batch, r.full_result_ids
+        );
+        return Ok(());
+    }
 
     let r = serve_task(&snap, queries, seed)?;
     println!("== serve task ({}) ==", snap.display());

@@ -14,7 +14,12 @@
 //! plus a kept-bitmap range batch when the source was written
 //! simplified.
 //!
-//! Both tasks are exposed as library functions (smoke-tested) and
+//! The wire variant ([`wire_serve_task`]) runs the same mixed workload
+//! over the framed TCP protocol: a loopback `traj-serve` server with
+//! batched admission, several concurrent client connections, and the
+//! same result fingerprint as the in-process pass.
+//!
+//! All tasks are exposed as library functions (smoke-tested) and
 //! through the `snapshot_serve` binary:
 //!
 //! ```text
@@ -182,34 +187,7 @@ pub fn serve_task(
     let spec = RangeWorkloadSpec::paper_default(queries, QueryDistribution::Data);
     let mut rng = StdRng::seed_from_u64(seed);
     let ranges = db.range_workload(&spec, &mut rng);
-
-    let mut batch = QueryBatch::new();
-    for q in &ranges {
-        batch.push_range(*q);
-    }
-    // kNN and similarity queries anchor on served trajectories (stride
-    // through the database so shards all contribute), windowed to each
-    // query trajectory's own span.
-    let traj_queries = (queries / 5).max(1).min(db.len());
-    for i in 0..traj_queries {
-        let stride = db.len() / traj_queries;
-        let t = db.trajectory(i * stride);
-        let (ts, te) = t.time_span();
-        batch.push_knn(KnnQuery {
-            query: t.clone(),
-            ts,
-            te,
-            k: 3,
-            measure: Dissimilarity::edr_paper(),
-        });
-        batch.push_similarity(SimilarityQuery {
-            query: t,
-            ts,
-            te,
-            delta: 5_000.0,
-            step: 600.0,
-        });
-    }
+    let batch = mixed_batch(&db, &ranges, queries);
     let kind_counts = batch.kind_counts();
 
     let t1 = Instant::now();
@@ -237,6 +215,139 @@ pub fn serve_task(
         kind_counts,
         batch_seconds,
         simplified_batch_seconds,
+        full_result_ids,
+    })
+}
+
+/// Builds the mixed serving workload: the range cubes plus
+/// `max(queries/5, 1)` each of kNN and similarity queries anchored on
+/// served trajectories (strided through the database so shards all
+/// contribute), windowed to each query trajectory's own span.
+fn mixed_batch(db: &TrajDb, ranges: &[trajectory::Cube], queries: usize) -> QueryBatch {
+    let mut batch = QueryBatch::new();
+    for q in ranges {
+        batch.push_range(*q);
+    }
+    let traj_queries = (queries / 5).max(1).min(db.len());
+    for i in 0..traj_queries {
+        let stride = db.len() / traj_queries;
+        let t = db.trajectory(i * stride);
+        let (ts, te) = t.time_span();
+        batch.push_knn(KnnQuery {
+            query: t.clone(),
+            ts,
+            te,
+            k: 3,
+            measure: Dissimilarity::edr_paper(),
+        });
+        batch.push_similarity(SimilarityQuery {
+            query: t,
+            ts,
+            te,
+            delta: 5_000.0,
+            step: 600.0,
+        });
+    }
+    batch
+}
+
+/// What the wire `serve` task measured.
+#[derive(Debug, Clone)]
+pub struct WireServeReport {
+    /// Trajectories served.
+    pub trajectories: usize,
+    /// Points served.
+    pub points: usize,
+    /// Seconds from path to query-ready database ([`TrajDb::open`]).
+    pub open_seconds: f64,
+    /// Client connections used.
+    pub clients: usize,
+    /// Requests answered over the wire.
+    pub requests: u64,
+    /// Queries answered over the wire.
+    pub queries: u64,
+    /// Engine passes the admission layer coalesced those requests into.
+    pub batches: u64,
+    /// Mean queries per coalesced pass.
+    pub mean_batch: f64,
+    /// Seconds for the whole wire workload (all clients, wall clock).
+    pub serve_seconds: f64,
+    /// Total result-set size over the wire (must match the in-process
+    /// fingerprint for the same workload).
+    pub full_result_ids: usize,
+}
+
+/// The wire `serve` task: open whatever is at `path` behind a loopback
+/// [`Server`](traj_serve::Server) with batched admission, split the
+/// same mixed workload [`serve_task`] runs in-process across `clients`
+/// concurrent connections, and report throughput plus coalescing
+/// stats. The result-id fingerprint lets callers cross-check the wire
+/// path against in-process execution.
+pub fn wire_serve_task(
+    path: &Path,
+    queries: usize,
+    clients: usize,
+    seed: u64,
+) -> Result<WireServeReport, Box<dyn std::error::Error>> {
+    let t0 = Instant::now();
+    let db = TrajDb::open(path, DbOptions::new())?;
+    let open_seconds = t0.elapsed().as_secs_f64();
+
+    let spec = RangeWorkloadSpec::paper_default(queries, QueryDistribution::Data);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ranges = db.range_workload(&spec, &mut rng);
+    let batch = mixed_batch(&db, &ranges, queries);
+    let (trajectories, points) = (db.len(), db.total_points());
+
+    let clients = clients.max(1);
+    let server = traj_serve::Server::start(db, "127.0.0.1:0", traj_serve::ServeOptions::batched())?;
+    let addr = server.local_addr();
+
+    // Round-robin the batch across the connections; each client sends
+    // its share as one request.
+    let shares: Vec<Vec<traj_query::Query>> = {
+        let mut shares = vec![Vec::new(); clients];
+        for (i, q) in batch.into_queries().into_iter().enumerate() {
+            shares[i % clients].push(q);
+        }
+        shares
+    };
+    let t1 = Instant::now();
+    let full_result_ids = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .into_iter()
+            .filter(|s| !s.is_empty())
+            .map(|share| {
+                scope.spawn(move || -> Result<usize, traj_serve::WireError> {
+                    let mut client = traj_serve::Client::connect(addr)?;
+                    let results = client.execute_batch(&QueryBatch::from_queries(share))?;
+                    Ok(results
+                        .iter()
+                        .map(|r| r.ids().map_or(0, <[usize]>::len))
+                        .sum())
+                })
+            })
+            .collect();
+        let mut total = 0usize;
+        for h in handles {
+            total += h.join().expect("wire client thread panicked")?;
+        }
+        Ok::<usize, traj_serve::WireError>(total)
+    })?;
+    let serve_seconds = t1.elapsed().as_secs_f64();
+
+    let stats = server.stats();
+    server.shutdown();
+    Ok(WireServeReport {
+        trajectories,
+        points,
+        open_seconds,
+        clients,
+        requests: stats.requests,
+        queries: stats.queries,
+        batches: stats.batches,
+        mean_batch: stats.mean_batch_size(),
+        serve_seconds,
         full_result_ids,
     })
 }
@@ -372,6 +483,18 @@ mod tests {
         assert_eq!(served.kind_counts[0], 20, "20 range queries");
         assert!(served.kind_counts[1] >= 1 && served.kind_counts[2] >= 1);
         assert!(served.simplified_batch_seconds.is_some());
+
+        // The wire path serves the same snapshot over loopback with the
+        // same result fingerprint as the in-process pass above.
+        let wired = wire_serve_task(&path, 20, 4, 11).unwrap();
+        assert_eq!(wired.points, report.points);
+        assert_eq!(wired.trajectories, report.trajectories);
+        assert_eq!(wired.full_result_ids, served.full_result_ids);
+        assert_eq!(
+            wired.queries,
+            (served.kind_counts.iter().sum::<usize>()) as u64
+        );
+        assert!(wired.requests >= 1 && wired.requests <= 4);
         std::fs::remove_file(&path).ok();
     }
 

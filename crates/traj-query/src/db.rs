@@ -61,7 +61,7 @@ use crate::workload::{range_workload_store, RangeWorkloadSpec};
 /// public API. Plain data (no lifetimes, no store references), so a query
 /// built once can be executed against any [`QueryExecutor`] — or, later,
 /// shipped across a network boundary to a remote shard.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Query {
     /// Range query: which trajectories have a sampled point inside the
     /// cube? (§III-B1.)
@@ -241,6 +241,13 @@ impl QueryBatch {
     #[must_use]
     pub fn queries(&self) -> &[Query] {
         &self.queries
+    }
+
+    /// Consumes the batch into its queries, in submission order (the
+    /// admission layer moves queries between batches without cloning).
+    #[must_use]
+    pub fn into_queries(self) -> Vec<Query> {
+        self.queries
     }
 
     /// Number of planned queries.

@@ -11,7 +11,7 @@ use crate::t2vec::T2vecEmbedder;
 use trajectory::{AsColumns, Point, PointSeq, TrajId, TrajView, Trajectory, TrajectoryDb};
 
 /// The dissimilarity Θ used by a kNN query.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Dissimilarity {
     /// Edit Distance on Real sequence with matching tolerance ε (meters).
     Edr {
@@ -55,7 +55,7 @@ impl Dissimilarity {
 }
 
 /// A kNN query instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct KnnQuery {
     /// The query trajectory (not required to be in the database).
     pub query: Trajectory,

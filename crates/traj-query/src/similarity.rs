@@ -10,7 +10,7 @@
 use trajectory::{AsColumns, PointSeq, TrajId, Trajectory, TrajectoryDb};
 
 /// A similarity query instance.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct SimilarityQuery {
     /// The query trajectory.
     pub query: Trajectory,

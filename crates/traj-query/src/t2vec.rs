@@ -20,7 +20,7 @@
 use trajectory::{Point, PointSeq, Trajectory};
 
 /// The embedder configuration.
-#[derive(Debug, Clone, Copy)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct T2vecEmbedder {
     /// Grid cell side length (meters). t2vec's "hot cell" size analog.
     pub cell_size: f64,

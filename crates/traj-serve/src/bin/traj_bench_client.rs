@@ -1,0 +1,321 @@
+//! Load generator for the wire-format query server: N concurrent
+//! simulated clients driving a mixed range/kNN/similarity workload
+//! against each [`ExecutionMode`], reporting throughput and
+//! p50/p95/p99 latency so "batched admission vs per-request
+//! execution" is a measured number, not a claim.
+//!
+//! ```text
+//! traj_bench_client [--clients 64] [--requests 50] [--mode both]
+//!                   [--seed 7] [--trajectories 1000]
+//!                   [--max-batch 256] [--linger-us 100]
+//!                   [--out BENCH_serve.json] [--date YYYY-MM-DD]
+//! ```
+//!
+//! Each request carries one query (80% range, 10% kNN/EDR, 10%
+//! similarity — the paper's §III-B mix). Per-request mode answers it
+//! with a freshly spawned engine pass; batched mode coalesces requests
+//! arriving concurrently across all connections into shared
+//! heterogeneous engine passes.
+
+use std::io::Write as _;
+use std::sync::Barrier;
+use std::time::Instant;
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use traj_query::{
+    range_workload, DbOptions, Dissimilarity, KnnQuery, Query, QueryBatch, QueryDistribution,
+    RangeWorkloadSpec, SimilarityQuery, TrajDb,
+};
+use traj_serve::{BatchConfig, Client, ExecutionMode, ServeOptions, Server};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::TrajectoryDb;
+
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == flag)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn flag_parse<T: std::str::FromStr>(args: &[String], flag: &str, default: T) -> T {
+    flag_value(args, flag)
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+/// Builds the mixed workload: one query per request, deterministic in
+/// `seed`. 80% range (paper-default 2 km × 7 day cubes anchored on
+/// data), 10% kNN (EDR, k = 3, 1 h window), 10% similarity (δ = 5 km,
+/// 10 min step, 1 h window).
+fn build_workload(db: &TrajectoryDb, total: usize, seed: u64) -> Vec<Query> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let spec = RangeWorkloadSpec::paper_default(total, QueryDistribution::Data);
+    let cubes = range_workload(db, &spec, &mut rng);
+    let bounds = db.bounding_cube();
+    let m = db.len();
+    let window = 3_600.0;
+    let mut queries = Vec::with_capacity(total);
+    for (i, cube) in cubes.into_iter().enumerate() {
+        let roll = i % 10;
+        if roll < 8 {
+            queries.push(Query::Range(cube));
+            continue;
+        }
+        let traj = db.get(rng.gen_range(0..m)).clone();
+        let ts = traj.points().first().map(|p| p.t).unwrap_or(bounds.t_min);
+        let te = (ts + window).min(bounds.t_max);
+        if roll == 8 {
+            queries.push(Query::Knn(KnnQuery {
+                query: traj,
+                ts,
+                te,
+                k: 3,
+                measure: Dissimilarity::Edr { eps: 2_000.0 },
+            }));
+        } else {
+            queries.push(Query::Similarity(SimilarityQuery {
+                query: traj,
+                ts,
+                te,
+                delta: 5_000.0,
+                step: 600.0,
+            }));
+        }
+    }
+    queries
+}
+
+struct ModeReport {
+    label: &'static str,
+    requests: usize,
+    elapsed_s: f64,
+    throughput_rps: f64,
+    p50_us: f64,
+    p95_us: f64,
+    p99_us: f64,
+    mean_us: f64,
+    mean_batch: f64,
+}
+
+fn percentile(sorted_us: &[f64], p: f64) -> f64 {
+    if sorted_us.is_empty() {
+        return 0.0;
+    }
+    let idx = ((sorted_us.len() as f64 * p).ceil() as usize).clamp(1, sorted_us.len()) - 1;
+    sorted_us[idx]
+}
+
+/// Runs one mode: fresh server on a loopback port, `clients` threads
+/// each issuing its share of `workload` as single-query requests.
+fn run_mode(
+    db: TrajDb,
+    mode: ExecutionMode,
+    label: &'static str,
+    workload: &[Query],
+    clients: usize,
+) -> ModeReport {
+    let opts = ServeOptions { mode, executors: 1 };
+    let server = Server::start(db, "127.0.0.1:0", opts).expect("bind loopback");
+    let addr = server.local_addr();
+    let barrier = Barrier::new(clients + 1);
+    let shares: Vec<&[Query]> = (0..clients)
+        .map(|c| {
+            let per = workload.len() / clients;
+            &workload[c * per..(c + 1) * per]
+        })
+        .collect();
+
+    let mut latencies_us: Vec<f64> = Vec::with_capacity(workload.len());
+    let barrier = &barrier;
+    let (collected, elapsed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut lat = Vec::with_capacity(share.len());
+                    barrier.wait();
+                    for q in *share {
+                        let batch = QueryBatch::from_queries(vec![q.clone()]);
+                        let t0 = Instant::now();
+                        let results = client.execute_batch(&batch).expect("request failed");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert_eq!(results.len(), 1, "one result per query");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        let collected: Vec<Vec<f64>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        (collected, started.elapsed())
+    });
+    for lat in collected {
+        latencies_us.extend(lat);
+    }
+
+    let stats = server.stats();
+    server.shutdown();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies_us.len();
+    let elapsed_s = elapsed.as_secs_f64();
+    ModeReport {
+        label,
+        requests,
+        elapsed_s,
+        throughput_rps: requests as f64 / elapsed_s,
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+        mean_us: latencies_us.iter().sum::<f64>() / requests.max(1) as f64,
+        mean_batch: stats.mean_batch_size(),
+    }
+}
+
+fn mode_json(r: &ModeReport) -> String {
+    format!(
+        concat!(
+            "    \"{}\": {{\n",
+            "      \"requests\": {},\n",
+            "      \"elapsed_s\": {:.3},\n",
+            "      \"throughput_rps\": {:.0},\n",
+            "      \"latency_us\": {{ \"mean\": {:.1}, \"p50\": {:.1}, \"p95\": {:.1}, \"p99\": {:.1} }},\n",
+            "      \"mean_coalesced_batch\": {:.2}\n",
+            "    }}"
+        ),
+        r.label, r.requests, r.elapsed_s, r.throughput_rps, r.mean_us, r.p50_us, r.p95_us,
+        r.p99_us, r.mean_batch,
+    )
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let clients: usize = flag_parse(&args, "--clients", 64);
+    let requests: usize = flag_parse(&args, "--requests", 50);
+    let seed: u64 = flag_parse(&args, "--seed", 7);
+    let trajectories: usize = flag_parse(&args, "--trajectories", 1000);
+    let max_batch: usize = flag_parse(&args, "--max-batch", 256);
+    let linger_us: u64 = flag_parse(&args, "--linger-us", 100);
+    let mode = flag_value(&args, "--mode").unwrap_or("both").to_owned();
+    let out = flag_value(&args, "--out")
+        .unwrap_or("BENCH_serve.json")
+        .to_owned();
+    let date = flag_value(&args, "--date").unwrap_or("unknown").to_owned();
+
+    let spec = DatasetSpec::tdrive(Scale::Small).with_trajectories(trajectories);
+    let db = generate(&spec, 7);
+    let points: usize = db.iter().map(|(_, t)| t.len()).sum();
+    eprintln!(
+        "dataset: {} trajectories, {} points; {} clients x {} requests",
+        db.len(),
+        points,
+        clients,
+        requests
+    );
+    let workload = build_workload(&db, clients * requests, seed);
+
+    let batch_cfg = BatchConfig {
+        max_queries: max_batch,
+        linger: std::time::Duration::from_micros(linger_us),
+    };
+    let mut reports: Vec<ModeReport> = Vec::new();
+    if mode == "both" || mode == "per-request" {
+        let served = TrajDb::from_db(&db, DbOptions::new());
+        let r = run_mode(
+            served,
+            ExecutionMode::PerRequest,
+            "per_request",
+            &workload,
+            clients,
+        );
+        eprintln!(
+            "per-request: {:.0} req/s, p50 {:.0}us p95 {:.0}us p99 {:.0}us",
+            r.throughput_rps, r.p50_us, r.p95_us, r.p99_us
+        );
+        reports.push(r);
+    }
+    if mode == "both" || mode == "batched" {
+        let served = TrajDb::from_db(&db, DbOptions::new());
+        let r = run_mode(
+            served,
+            ExecutionMode::Batched(batch_cfg),
+            "batched",
+            &workload,
+            clients,
+        );
+        eprintln!(
+            "batched:     {:.0} req/s, p50 {:.0}us p95 {:.0}us p99 {:.0}us, mean batch {:.1}",
+            r.throughput_rps, r.p50_us, r.p95_us, r.p99_us, r.mean_batch
+        );
+        reports.push(r);
+    }
+
+    let speedup = match (
+        reports.iter().find(|r| r.label == "batched"),
+        reports.iter().find(|r| r.label == "per_request"),
+    ) {
+        (Some(b), Some(p)) if p.throughput_rps > 0.0 => {
+            let s = b.throughput_rps / p.throughput_rps;
+            eprintln!("throughput: batched / per-request = {s:.2}x");
+            Some(s)
+        }
+        _ => None,
+    };
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str(
+        "  \"title\": \"Wire-format query serving: batched admission vs per-request execution\",\n",
+    );
+    json.push_str(&format!("  \"date\": \"{date}\",\n"));
+    json.push_str(
+        "  \"source\": \"crates/traj-serve/src/bin/traj_bench_client.rs (release profile)\",\n",
+    );
+    json.push_str(&format!(
+        concat!(
+            "  \"config\": {{\n",
+            "    \"clients\": {},\n",
+            "    \"requests_per_client\": {},\n",
+            "    \"workload\": \"1 query/request: 80% range (paper-default 2km x 7d, data-anchored), 10% knn (EDR, k=3, 1h window), 10% similarity (5km, 10min step, 1h window)\",\n",
+            "    \"per_request_mode\": \"each request runs its own engine pass on a freshly spawned thread (thread-per-request baseline)\",\n",
+            "    \"batched_mode\": \"admission queue + persistent executor coalescing concurrent requests into shared heterogeneous engine passes\",\n",
+            "    \"max_batch_queries\": {},\n",
+            "    \"linger_us\": {},\n",
+            "    \"seed\": {}\n",
+            "  }},\n"
+        ),
+        clients, requests, max_batch, linger_us, seed
+    ));
+    json.push_str(&format!(
+        concat!(
+            "  \"dataset\": {{\n",
+            "    \"spec\": \"DatasetSpec::tdrive(Scale::Small).with_trajectories({}), seed 7\",\n",
+            "    \"trajectories\": {},\n",
+            "    \"points\": {}\n",
+            "  }},\n"
+        ),
+        trajectories,
+        db.len(),
+        points
+    ));
+    json.push_str("  \"modes\": {\n");
+    let mode_blocks: Vec<String> = reports.iter().map(mode_json).collect();
+    json.push_str(&mode_blocks.join(",\n"));
+    json.push_str("\n  },\n");
+    match speedup {
+        Some(s) => json.push_str(&format!(
+            "  \"batched_over_per_request_throughput\": {s:.2}\n"
+        )),
+        None => json.push_str("  \"batched_over_per_request_throughput\": null\n"),
+    }
+    json.push_str("}\n");
+
+    let mut f = std::fs::File::create(&out).expect("create output file");
+    f.write_all(json.as_bytes()).expect("write output file");
+    eprintln!("wrote {out}");
+}

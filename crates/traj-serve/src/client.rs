@@ -1,0 +1,60 @@
+//! Blocking client for the wire protocol: one TCP connection, framed
+//! request/response pairs.
+
+use std::net::{TcpStream, ToSocketAddrs};
+
+use traj_query::{Query, QueryBatch, QueryResult};
+
+use crate::wire::{read_message, write_message, Message, WireError};
+
+/// A connected client. One in-flight request at a time (the protocol
+/// is strict request/response per connection); open more clients for
+/// concurrency.
+#[derive(Debug)]
+pub struct Client {
+    stream: TcpStream,
+}
+
+impl Client {
+    /// Connects to a [`Server`](crate::Server). Enables `TCP_NODELAY`
+    /// so microsecond-scale frames are not held back by Nagle.
+    pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
+        let stream = TcpStream::connect(addr)?;
+        stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// Executes a whole batch plan remotely, returning results in
+    /// submission order — the wire twin of
+    /// [`QueryExecutor::execute_batch`](traj_query::QueryExecutor::execute_batch).
+    pub fn execute_batch(&mut self, batch: &QueryBatch) -> Result<Vec<QueryResult>, WireError> {
+        write_message(&mut self.stream, &Message::Request(batch.clone()))?;
+        match read_message(&mut self.stream)? {
+            Some(Message::Response(results)) => {
+                if results.len() != batch.len() {
+                    return Err(WireError::Malformed {
+                        reason: "response count does not match request",
+                    });
+                }
+                Ok(results)
+            }
+            Some(Message::Error { code, message }) => Err(WireError::Remote { code, message }),
+            Some(Message::Request(_)) => Err(WireError::Malformed {
+                reason: "peer sent a request frame to a client",
+            }),
+            None => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            ))),
+        }
+    }
+
+    /// Executes one query remotely.
+    pub fn execute(&mut self, query: &Query) -> Result<QueryResult, WireError> {
+        let batch = QueryBatch::from_queries(vec![query.clone()]);
+        let mut results = self.execute_batch(&batch)?;
+        results.pop().ok_or(WireError::Malformed {
+            reason: "empty response to a single-query request",
+        })
+    }
+}

@@ -1,0 +1,52 @@
+//! Wire-format query serving for the RL4QDTS reproduction: the network
+//! boundary the typed `Query`/`QueryResult`/`QueryBatch` plans were
+//! designed for.
+//!
+//! Three layers:
+//!
+//! - [`wire`] — a versioned, length-prefixed, checksummed little-endian
+//!   frame format carrying whole batch plans and their results, with a
+//!   typed [`WireError`] for every corruption class (mirroring the
+//!   snapshot codec's discipline, and reusing its encode primitives);
+//! - [`server`] — a multi-threaded TCP server sharing one immutable
+//!   [`TrajDb`](traj_query::TrajDb) across all connections, whose
+//!   **admission/batching layer** coalesces queries arriving
+//!   concurrently on many connections into single heterogeneous
+//!   work-stealing engine passes (vs. the naive one-engine-pass-per-
+//!   request mode it is benchmarked against);
+//! - [`client`] — a blocking client speaking the same frames, plus the
+//!   `traj_bench_client` load generator that measures throughput and
+//!   p50/p95/p99 latency for both execution modes.
+//!
+//! ```no_run
+//! use traj_query::{DbOptions, QueryBatch, TrajDb};
+//! use traj_serve::{Client, ServeOptions, Server};
+//! use trajectory::Cube;
+//!
+//! let db = TrajDb::open("points.csv", DbOptions::new())?;
+//! let server = Server::start(db, "127.0.0.1:0", ServeOptions::batched())?;
+//! let mut client = Client::connect(server.local_addr())?;
+//! let mut batch = QueryBatch::new();
+//! batch.push_range(Cube::new(0.0, 1000.0, 0.0, 1000.0, 0.0, 3600.0));
+//! let results = client.execute_batch(&batch)?;
+//! # let _ = results;
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod server;
+pub mod wire;
+
+pub use client::Client;
+pub use server::{BatchConfig, ExecutionMode, ServeOptions, Server, ServerStats};
+pub use wire::{
+    decode_message, encode_message, read_message, write_message, Message, WireError, MAGIC,
+    MAX_PAYLOAD, VERSION,
+};
+
+/// The byte-level wire format specification (`docs/WIRE_FORMAT.md`),
+/// included here so its examples compile and run as doc-tests.
+#[doc = include_str!("../../../docs/WIRE_FORMAT.md")]
+pub mod format_spec {}

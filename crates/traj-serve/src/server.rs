@@ -1,0 +1,474 @@
+//! Multi-threaded TCP server fronting one shared [`TrajDb`].
+//!
+//! One listener thread accepts connections; each connection gets a
+//! handler thread that reads framed requests and writes framed
+//! responses. What happens *between* read and write is the point of
+//! this module — the [`ExecutionMode`]:
+//!
+//! - [`ExecutionMode::PerRequest`] is the naive architecture: every
+//!   request runs its own engine pass on a freshly spawned thread
+//!   (thread-per-request). Request count × (spawn + schedule + join)
+//!   overhead, and no work sharing between concurrent requests.
+//! - [`ExecutionMode::Batched`] is the admission/batching layer:
+//!   handler threads enqueue their queries into a shared admission
+//!   queue and a small pool of persistent executor threads coalesces
+//!   everything that arrived concurrently — across *all* connections —
+//!   into one heterogeneous [`QueryBatch`] executed in a single
+//!   work-stealing `execute_batch` pass. A bounded batch size and a
+//!   microsecond-scale linger window trade a little queueing delay for
+//!   much better per-query overhead; results are routed back to each
+//!   waiting connection in submission order.
+//!
+//! The database is opened once and shared immutably (`TrajDb` is
+//! `Send + Sync`; the static assertion below keeps that honest), so
+//! every layout the façade auto-detects — CSV, snapshot, quantized
+//! snapshot, shard directory — serves over the wire unchanged.
+
+use std::collections::VecDeque;
+use std::io::Write;
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use traj_query::{DbOptions, Query, QueryBatch, QueryExecutor, QueryResult, TrajDb, TrajDbError};
+
+use crate::wire::{read_message, write_message, Message, WireError};
+
+// `TrajDb` must stay shareable across connection handler threads; if a
+// future backend loses Send/Sync this fails to compile right here
+// instead of deep inside a thread spawn.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<TrajDb>();
+};
+
+/// Error code sent to clients when their frame could not be decoded.
+pub const ERR_BAD_REQUEST: u16 = 1;
+/// Error code sent to clients when the message kind is not a request.
+pub const ERR_NOT_A_REQUEST: u16 = 2;
+
+/// Tuning for [`ExecutionMode::Batched`].
+#[derive(Debug, Clone, Copy)]
+pub struct BatchConfig {
+    /// Maximum queries coalesced into one engine pass. Whole requests
+    /// are never split, so one oversized request still executes alone.
+    pub max_queries: usize,
+    /// How long an executor waits for more queries to arrive after the
+    /// first one. Microsecond-scale: bounds added latency while letting
+    /// genuinely concurrent arrivals coalesce.
+    pub linger: Duration,
+}
+
+impl Default for BatchConfig {
+    fn default() -> Self {
+        BatchConfig {
+            max_queries: 256,
+            linger: Duration::from_micros(100),
+        }
+    }
+}
+
+/// How the server turns admitted requests into engine passes.
+#[derive(Debug, Clone, Copy)]
+pub enum ExecutionMode {
+    /// One freshly spawned engine pass per request (the naive
+    /// thread-per-request baseline the batched mode is measured
+    /// against).
+    PerRequest,
+    /// Admission queue + persistent executors coalescing concurrent
+    /// requests into shared engine passes.
+    Batched(BatchConfig),
+}
+
+/// Server configuration.
+#[derive(Debug, Clone, Copy)]
+pub struct ServeOptions {
+    /// Execution mode (default: batched with [`BatchConfig::default`]).
+    pub mode: ExecutionMode,
+    /// Executor threads draining the admission queue in batched mode
+    /// (ignored in per-request mode). Usually 1: each pass is already
+    /// internally parallel via the engine's work-stealing `par_map`.
+    pub executors: usize,
+}
+
+impl Default for ServeOptions {
+    fn default() -> Self {
+        ServeOptions {
+            mode: ExecutionMode::Batched(BatchConfig::default()),
+            executors: 1,
+        }
+    }
+}
+
+impl ServeOptions {
+    /// Batched admission with default tuning.
+    #[must_use]
+    pub fn batched() -> Self {
+        ServeOptions::default()
+    }
+
+    /// The naive per-request baseline.
+    #[must_use]
+    pub fn per_request() -> Self {
+        ServeOptions {
+            mode: ExecutionMode::PerRequest,
+            ..ServeOptions::default()
+        }
+    }
+}
+
+/// A point-in-time snapshot of the server's counters.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ServerStats {
+    /// Requests answered (any mode).
+    pub requests: u64,
+    /// Queries executed (any mode).
+    pub queries: u64,
+    /// Engine passes run by batched executors.
+    pub batches: u64,
+    /// Queries that went through batched passes.
+    pub batched_queries: u64,
+}
+
+impl ServerStats {
+    /// Mean queries per batched engine pass (0 when none ran).
+    #[must_use]
+    pub fn mean_batch_size(&self) -> f64 {
+        if self.batches == 0 {
+            0.0
+        } else {
+            self.batched_queries as f64 / self.batches as f64
+        }
+    }
+}
+
+/// One admitted request waiting for an engine pass: its queries and
+/// the channel that routes results back to the connection handler.
+struct Job {
+    queries: Vec<Query>,
+    reply: SyncSender<Vec<QueryResult>>,
+}
+
+#[derive(Default)]
+struct QueueState {
+    jobs: VecDeque<Job>,
+    queued_queries: usize,
+}
+
+struct Shared {
+    db: TrajDb,
+    mode: ExecutionMode,
+    queue: Mutex<QueueState>,
+    available: Condvar,
+    shutting_down: AtomicBool,
+    requests: AtomicU64,
+    queries: AtomicU64,
+    batches: AtomicU64,
+    batched_queries: AtomicU64,
+    conns: Mutex<Vec<TcpStream>>,
+    handlers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+/// A running wire-format query server. Dropping it shuts it down.
+pub struct Server {
+    shared: Arc<Shared>,
+    addr: SocketAddr,
+    accept: Option<JoinHandle<()>>,
+    executors: Vec<JoinHandle<()>>,
+    done: bool,
+}
+
+impl Server {
+    /// Opens the store at `path` (CSV / snapshot / quantized snapshot /
+    /// shard directory, auto-detected by [`TrajDb::open`]) and serves
+    /// it on `addr`.
+    pub fn open(
+        path: impl AsRef<Path>,
+        db_opts: DbOptions,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+    ) -> Result<Server, TrajDbError> {
+        let db = TrajDb::open(path, db_opts)?;
+        Server::start(db, addr, opts).map_err(TrajDbError::Io)
+    }
+
+    /// Starts serving an already-open database on `addr`. Bind to port
+    /// 0 to let the OS pick; [`Server::local_addr`] reports the result.
+    pub fn start(
+        db: TrajDb,
+        addr: impl ToSocketAddrs,
+        opts: ServeOptions,
+    ) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            db,
+            mode: opts.mode,
+            queue: Mutex::new(QueueState::default()),
+            available: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+            requests: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            batched_queries: AtomicU64::new(0),
+            conns: Mutex::new(Vec::new()),
+            handlers: Mutex::new(Vec::new()),
+        });
+
+        let mut executors = Vec::new();
+        if let ExecutionMode::Batched(cfg) = opts.mode {
+            for _ in 0..opts.executors.max(1) {
+                let shared = Arc::clone(&shared);
+                executors.push(std::thread::spawn(move || executor_loop(&shared, cfg)));
+            }
+        }
+
+        let accept_shared = Arc::clone(&shared);
+        let accept = std::thread::spawn(move || accept_loop(&listener, &accept_shared));
+
+        Ok(Server {
+            shared,
+            addr: local,
+            accept: Some(accept),
+            executors,
+            done: false,
+        })
+    }
+
+    /// The address the server is listening on.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Current counters.
+    #[must_use]
+    pub fn stats(&self) -> ServerStats {
+        ServerStats {
+            requests: self.shared.requests.load(Ordering::Relaxed),
+            queries: self.shared.queries.load(Ordering::Relaxed),
+            batches: self.shared.batches.load(Ordering::Relaxed),
+            batched_queries: self.shared.batched_queries.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Stops accepting, closes every connection, drains the executors,
+    /// and joins all threads. Idempotent; also runs on drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        // Wake executors blocked on the admission queue.
+        self.shared.available.notify_all();
+        // Unblock handler threads blocked in read_message.
+        for conn in self.shared.conns.lock().expect("conns lock").iter() {
+            let _ = conn.shutdown(Shutdown::Both);
+        }
+        // Unblock the accept loop with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(h) = self.accept.take() {
+            let _ = h.join();
+        }
+        let handlers = std::mem::take(&mut *self.shared.handlers.lock().expect("handlers lock"));
+        for h in handlers {
+            let _ = h.join();
+        }
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Arc<Shared>) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let _ = stream.set_nodelay(true);
+        if let Ok(clone) = stream.try_clone() {
+            shared.conns.lock().expect("conns lock").push(clone);
+        }
+        let handler_shared = Arc::clone(shared);
+        let handle = std::thread::spawn(move || handle_connection(stream, &handler_shared));
+        shared.handlers.lock().expect("handlers lock").push(handle);
+    }
+}
+
+fn handle_connection(mut stream: TcpStream, shared: &Arc<Shared>) {
+    serve_connection(&mut stream, shared);
+    // The conns registry holds a duplicate fd for this socket, so merely
+    // dropping our handle would not send FIN; shut the socket itself
+    // down so the peer sees end-of-stream.
+    let _ = stream.shutdown(Shutdown::Both);
+}
+
+fn serve_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
+    loop {
+        if shared.shutting_down.load(Ordering::SeqCst) {
+            return;
+        }
+        let batch = match read_message(stream) {
+            Ok(Some(Message::Request(batch))) => batch,
+            Ok(Some(_)) => {
+                // A server only accepts requests; anything else ends
+                // the conversation after a typed error frame.
+                let _ = write_message(
+                    stream,
+                    &Message::Error {
+                        code: ERR_NOT_A_REQUEST,
+                        message: "expected a request frame".to_owned(),
+                    },
+                );
+                return;
+            }
+            Ok(None) | Err(WireError::Io(_)) => return,
+            Err(e) => {
+                // Corrupt frame. The stream may be desynchronized, so
+                // answer with a typed error and close.
+                let _ = write_message(
+                    stream,
+                    &Message::Error {
+                        code: ERR_BAD_REQUEST,
+                        message: e.to_string(),
+                    },
+                );
+                return;
+            }
+        };
+        let results = execute(shared, batch);
+        shared.requests.fetch_add(1, Ordering::Relaxed);
+        if write_message(stream, &Message::Response(results)).is_err() {
+            return;
+        }
+        let _ = stream.flush();
+    }
+}
+
+fn execute(shared: &Arc<Shared>, batch: QueryBatch) -> Vec<QueryResult> {
+    shared
+        .queries
+        .fetch_add(batch.len() as u64, Ordering::Relaxed);
+    match shared.mode {
+        ExecutionMode::PerRequest => {
+            // The naive baseline: a dedicated engine pass on its own
+            // freshly spawned thread, per request.
+            let db = Arc::clone(shared);
+            std::thread::spawn(move || db.db.execute_batch(&batch))
+                .join()
+                .expect("per-request engine pass panicked")
+        }
+        ExecutionMode::Batched(_) => {
+            let (tx, rx) = sync_channel(1);
+            let n = batch.len();
+            {
+                let mut q = shared.queue.lock().expect("queue lock");
+                q.queued_queries += n;
+                q.jobs.push_back(Job {
+                    queries: batch.into_queries(),
+                    reply: tx,
+                });
+            }
+            shared.available.notify_one();
+            rx.recv().expect("executor dropped reply channel")
+        }
+    }
+}
+
+/// The admission drain: waits for work, lingers briefly to let
+/// concurrent arrivals coalesce, then runs everything it took in one
+/// heterogeneous engine pass and routes the slices back.
+fn executor_loop(shared: &Arc<Shared>, cfg: BatchConfig) {
+    let max_queries = cfg.max_queries.max(1);
+    loop {
+        let jobs = {
+            let mut q = shared.queue.lock().expect("queue lock");
+            // Wait for the first job (or shutdown).
+            while q.jobs.is_empty() {
+                if shared.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = shared.available.wait(q).expect("queue lock");
+            }
+            // Linger: give concurrently arriving requests a short,
+            // bounded window to join this pass.
+            if !cfg.linger.is_zero() {
+                let deadline = Instant::now() + cfg.linger;
+                while q.queued_queries < max_queries {
+                    let now = Instant::now();
+                    if now >= deadline || shared.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let (guard, _timeout) = shared
+                        .available
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue lock");
+                    q = guard;
+                }
+            }
+            // Take whole jobs up to the batch bound (always at least
+            // one, so an oversized request still executes — alone).
+            let mut jobs: Vec<Job> = Vec::new();
+            let mut taken = 0usize;
+            while let Some(job) = q.jobs.front() {
+                if !jobs.is_empty() && taken + job.queries.len() > max_queries {
+                    break;
+                }
+                taken += job.queries.len();
+                let job = q.jobs.pop_front().expect("front checked");
+                jobs.push(job);
+            }
+            q.queued_queries -= taken;
+            jobs
+        };
+        if jobs.is_empty() {
+            continue;
+        }
+
+        // One heterogeneous pass over everything admitted.
+        let lens: Vec<usize> = jobs.iter().map(|j| j.queries.len()).collect();
+        let mut combined: Vec<Query> = Vec::with_capacity(lens.iter().sum());
+        let mut replies = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            combined.extend(job.queries);
+            replies.push(job.reply);
+        }
+        let batch = QueryBatch::from_queries(combined);
+        let mut results = shared.db.execute_batch(&batch).into_iter();
+        shared.batches.fetch_add(1, Ordering::Relaxed);
+        shared
+            .batched_queries
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // Route each job's slice of the results back, in order.
+        for (len, reply) in lens.into_iter().zip(replies) {
+            let slice: Vec<QueryResult> = results.by_ref().take(len).collect();
+            // A receiver that gave up (connection died) is fine.
+            let _ = reply.send(slice);
+        }
+    }
+}

@@ -1,0 +1,701 @@
+//! The framed wire format: versioned, length-prefixed, checksummed
+//! little-endian messages carrying [`QueryBatch`] requests and
+//! [`QueryResult`] responses.
+//!
+//! The format mirrors the snapshot codec's discipline — explicit magic,
+//! version gate, FNV-1a 64 checksum, typed errors for every corruption
+//! class — and reuses its little-endian primitives
+//! ([`trajectory::snapshot::put_u32`] and friends), so the network and
+//! disk layers speak the same byte order from the same helpers. The
+//! byte-level layout is specified (and doc-tested) in
+//! `docs/WIRE_FORMAT.md`; see [`crate::format_spec`].
+//!
+//! Decoding never panics and never allocates ahead of the bytes that
+//! back an allocation: counts are validated against the remaining
+//! payload length before any `Vec` is sized, oversized length prefixes
+//! are rejected before a read is attempted, and the checksum is
+//! verified before the payload is parsed.
+
+use std::fmt;
+use std::io::{Read, Write};
+
+use traj_query::{Dissimilarity, KnnQuery, Query, QueryBatch, QueryResult, SimilarityQuery};
+use trajectory::snapshot::{fnv1a64, get_u32, get_u64, put_u32, put_u64};
+use trajectory::{Cube, Point, TrajId, Trajectory};
+
+use traj_query::T2vecEmbedder;
+
+/// Frame magic: `b"QWIR"`.
+pub const MAGIC: [u8; 4] = *b"QWIR";
+/// Current (and only) wire version.
+pub const VERSION: u16 = 1;
+/// Fixed frame header size: magic (4) + version (2) + kind (1) +
+/// reserved (1) + payload length (4).
+pub const HEADER_LEN: usize = 12;
+/// Trailing checksum size (FNV-1a 64 over header + payload).
+pub const CHECKSUM_LEN: usize = 8;
+/// Largest accepted payload. Frames declaring more are rejected with
+/// [`WireError::Oversized`] before any buffer is allocated.
+pub const MAX_PAYLOAD: usize = 64 << 20;
+/// Largest accepted t2vec embedding dimension (keeps a decoded query
+/// from committing the server to arbitrarily large per-trajectory
+/// embedding work).
+pub const MAX_T2VEC_DIM: usize = 1 << 16;
+
+/// Frame kind byte for a [`Message::Request`].
+pub const KIND_REQUEST: u8 = 1;
+/// Frame kind byte for a [`Message::Response`].
+pub const KIND_RESPONSE: u8 = 2;
+/// Frame kind byte for a [`Message::Error`].
+pub const KIND_ERROR: u8 = 3;
+
+/// Everything that can go wrong speaking the wire format. Corruption is
+/// always reported as a typed variant — decoding never panics.
+#[derive(Debug)]
+pub enum WireError {
+    /// Underlying socket / stream error.
+    Io(std::io::Error),
+    /// The frame does not start with [`MAGIC`].
+    BadMagic {
+        /// The four bytes found instead.
+        found: [u8; 4],
+    },
+    /// The frame's version is not [`VERSION`].
+    UnsupportedVersion {
+        /// Version found in the frame.
+        found: u16,
+        /// Version this build speaks.
+        supported: u16,
+    },
+    /// The frame's kind byte names no known message kind.
+    UnknownKind {
+        /// The kind byte found.
+        kind: u8,
+    },
+    /// The declared payload length exceeds [`MAX_PAYLOAD`].
+    Oversized {
+        /// Declared payload length.
+        len: usize,
+        /// The accepted maximum.
+        max: usize,
+    },
+    /// The frame (or a field inside it) ends before its declared size.
+    Truncated {
+        /// Bytes needed to continue.
+        needed: usize,
+        /// Bytes actually available.
+        got: usize,
+    },
+    /// The trailing checksum does not match the frame bytes.
+    ChecksumMismatch {
+        /// Checksum stored in the frame.
+        stored: u64,
+        /// Checksum computed over the received bytes.
+        computed: u64,
+    },
+    /// The frame is structurally valid but its payload is not (bad
+    /// enum tag, invalid trajectory, trailing bytes, …).
+    Malformed {
+        /// What was wrong.
+        reason: &'static str,
+    },
+    /// The peer answered with an error frame instead of a response.
+    Remote {
+        /// Application error code.
+        code: u16,
+        /// Human-readable message from the peer.
+        message: String,
+    },
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WireError::Io(e) => write!(f, "wire i/o error: {e}"),
+            WireError::BadMagic { found } => {
+                write!(f, "bad wire magic {found:?} (expected {MAGIC:?})")
+            }
+            WireError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported wire version {found} (supported: {supported})"
+                )
+            }
+            WireError::UnknownKind { kind } => write!(f, "unknown frame kind {kind}"),
+            WireError::Oversized { len, max } => {
+                write!(f, "declared payload of {len} bytes exceeds maximum {max}")
+            }
+            WireError::Truncated { needed, got } => {
+                write!(f, "truncated frame: needed {needed} bytes, got {got}")
+            }
+            WireError::ChecksumMismatch { stored, computed } => write!(
+                f,
+                "checksum mismatch: stored {stored:#018x}, computed {computed:#018x}"
+            ),
+            WireError::Malformed { reason } => write!(f, "malformed payload: {reason}"),
+            WireError::Remote { code, message } => {
+                write!(f, "remote error {code}: {message}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            WireError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for WireError {
+    fn from(e: std::io::Error) -> Self {
+        WireError::Io(e)
+    }
+}
+
+/// One framed message, either direction.
+#[derive(Debug, Clone)]
+pub enum Message {
+    /// Client → server: a batch plan to execute.
+    Request(QueryBatch),
+    /// Server → client: the results, in submission order.
+    Response(Vec<QueryResult>),
+    /// Server → client: the request could not be served.
+    Error {
+        /// Application error code (see `docs/WIRE_FORMAT.md`).
+        code: u16,
+        /// Human-readable description.
+        message: String,
+    },
+}
+
+impl Message {
+    /// The frame kind byte this message serializes under.
+    #[must_use]
+    pub fn kind(&self) -> u8 {
+        match self {
+            Message::Request(_) => KIND_REQUEST,
+            Message::Response(_) => KIND_RESPONSE,
+            Message::Error { .. } => KIND_ERROR,
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Payload reader: bounds-checked cursor over the (checksum-verified)
+// payload bytes.
+// ---------------------------------------------------------------------
+
+struct Reader<'a> {
+    buf: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn new(buf: &'a [u8]) -> Self {
+        Reader { buf, pos: 0 }
+    }
+
+    fn remaining(&self) -> usize {
+        self.buf.len() - self.pos
+    }
+
+    fn need(&self, n: usize) -> Result<(), WireError> {
+        if self.remaining() < n {
+            return Err(WireError::Truncated {
+                needed: n,
+                got: self.remaining(),
+            });
+        }
+        Ok(())
+    }
+
+    fn u8(&mut self) -> Result<u8, WireError> {
+        self.need(1)?;
+        let v = self.buf[self.pos];
+        self.pos += 1;
+        Ok(v)
+    }
+
+    fn u16(&mut self) -> Result<u16, WireError> {
+        self.need(2)?;
+        let v = u16::from_le_bytes([self.buf[self.pos], self.buf[self.pos + 1]]);
+        self.pos += 2;
+        Ok(v)
+    }
+
+    fn u32(&mut self) -> Result<u32, WireError> {
+        self.need(4)?;
+        let v = get_u32(self.buf, self.pos);
+        self.pos += 4;
+        Ok(v)
+    }
+
+    fn u64(&mut self) -> Result<u64, WireError> {
+        self.need(8)?;
+        let v = get_u64(self.buf, self.pos);
+        self.pos += 8;
+        Ok(v)
+    }
+
+    fn f64(&mut self) -> Result<f64, WireError> {
+        Ok(f64::from_bits(self.u64()?))
+    }
+
+    /// A `u32` element count whose elements occupy at least
+    /// `elem_size` bytes each — validated against the remaining
+    /// payload so a corrupt count can never size an allocation.
+    fn count(&mut self, elem_size: usize) -> Result<usize, WireError> {
+        let n = self.u32()? as usize;
+        let needed = n.saturating_mul(elem_size);
+        if self.remaining() < needed {
+            return Err(WireError::Truncated {
+                needed,
+                got: self.remaining(),
+            });
+        }
+        Ok(n)
+    }
+
+    fn finish(self) -> Result<(), WireError> {
+        if self.remaining() != 0 {
+            return Err(WireError::Malformed {
+                reason: "trailing bytes after payload",
+            });
+        }
+        Ok(())
+    }
+}
+
+// ---------------------------------------------------------------------
+// Query / result payload encoding.
+// ---------------------------------------------------------------------
+
+const TAG_RANGE: u8 = 0;
+const TAG_KNN: u8 = 1;
+const TAG_SIMILARITY: u8 = 2;
+const TAG_RANGE_KEPT: u8 = 3;
+
+const MEASURE_EDR: u8 = 0;
+const MEASURE_T2VEC: u8 = 1;
+
+fn put_f64_vec(out: &mut Vec<u8>, v: f64) {
+    out.extend_from_slice(&v.to_bits().to_le_bytes());
+}
+
+fn put_u32_vec(out: &mut Vec<u8>, v: u32) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn put_u64_vec(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+fn encode_cube(out: &mut Vec<u8>, c: &Cube) {
+    put_f64_vec(out, c.x_min);
+    put_f64_vec(out, c.x_max);
+    put_f64_vec(out, c.y_min);
+    put_f64_vec(out, c.y_max);
+    put_f64_vec(out, c.t_min);
+    put_f64_vec(out, c.t_max);
+}
+
+fn decode_cube(r: &mut Reader<'_>) -> Result<Cube, WireError> {
+    let x_min = r.f64()?;
+    let x_max = r.f64()?;
+    let y_min = r.f64()?;
+    let y_max = r.f64()?;
+    let t_min = r.f64()?;
+    let t_max = r.f64()?;
+    // NaN fails every ordering, so this also rejects NaN bounds.
+    if !(x_min <= x_max && y_min <= y_max && t_min <= t_max) {
+        return Err(WireError::Malformed {
+            reason: "cube bounds out of order",
+        });
+    }
+    Ok(Cube {
+        x_min,
+        x_max,
+        y_min,
+        y_max,
+        t_min,
+        t_max,
+    })
+}
+
+fn encode_trajectory(out: &mut Vec<u8>, t: &Trajectory) {
+    let pts = t.points();
+    put_u32_vec(out, pts.len() as u32);
+    for p in pts {
+        put_f64_vec(out, p.x);
+        put_f64_vec(out, p.y);
+        put_f64_vec(out, p.t);
+    }
+}
+
+fn decode_trajectory(r: &mut Reader<'_>) -> Result<Trajectory, WireError> {
+    let n = r.count(24)?;
+    let mut pts = Vec::with_capacity(n);
+    for _ in 0..n {
+        let x = r.f64()?;
+        let y = r.f64()?;
+        let t = r.f64()?;
+        pts.push(Point { x, y, t });
+    }
+    Trajectory::new(pts).ok_or(WireError::Malformed {
+        reason: "invalid trajectory (empty, non-finite, or time-unsorted)",
+    })
+}
+
+/// Appends one [`Query`]'s wire encoding to `out`.
+pub fn encode_query(out: &mut Vec<u8>, q: &Query) {
+    match q {
+        Query::Range(c) => {
+            out.push(TAG_RANGE);
+            encode_cube(out, c);
+        }
+        Query::Knn(k) => {
+            out.push(TAG_KNN);
+            encode_trajectory(out, &k.query);
+            put_f64_vec(out, k.ts);
+            put_f64_vec(out, k.te);
+            put_u64_vec(out, k.k as u64);
+            match &k.measure {
+                Dissimilarity::Edr { eps } => {
+                    out.push(MEASURE_EDR);
+                    put_f64_vec(out, *eps);
+                }
+                Dissimilarity::T2vec(e) => {
+                    out.push(MEASURE_T2VEC);
+                    put_f64_vec(out, e.cell_size);
+                    put_u64_vec(out, e.dim as u64);
+                }
+            }
+        }
+        Query::Similarity(s) => {
+            out.push(TAG_SIMILARITY);
+            encode_trajectory(out, &s.query);
+            put_f64_vec(out, s.ts);
+            put_f64_vec(out, s.te);
+            put_f64_vec(out, s.delta);
+            put_f64_vec(out, s.step);
+        }
+        Query::RangeKept(c) => {
+            out.push(TAG_RANGE_KEPT);
+            encode_cube(out, c);
+        }
+    }
+}
+
+fn decode_query(r: &mut Reader<'_>) -> Result<Query, WireError> {
+    match r.u8()? {
+        TAG_RANGE => Ok(Query::Range(decode_cube(r)?)),
+        TAG_KNN => {
+            let query = decode_trajectory(r)?;
+            let ts = r.f64()?;
+            let te = r.f64()?;
+            let k = usize::try_from(r.u64()?).map_err(|_| WireError::Malformed {
+                reason: "knn k exceeds usize",
+            })?;
+            let measure = match r.u8()? {
+                MEASURE_EDR => Dissimilarity::Edr { eps: r.f64()? },
+                MEASURE_T2VEC => {
+                    let cell_size = r.f64()?;
+                    let dim = usize::try_from(r.u64()?)
+                        .ok()
+                        .filter(|&d| d <= MAX_T2VEC_DIM);
+                    let dim = dim.ok_or(WireError::Malformed {
+                        reason: "t2vec dimension out of range",
+                    })?;
+                    Dissimilarity::T2vec(T2vecEmbedder { cell_size, dim })
+                }
+                _ => {
+                    return Err(WireError::Malformed {
+                        reason: "unknown dissimilarity tag",
+                    })
+                }
+            };
+            Ok(Query::Knn(KnnQuery {
+                query,
+                ts,
+                te,
+                k,
+                measure,
+            }))
+        }
+        TAG_SIMILARITY => {
+            let query = decode_trajectory(r)?;
+            let ts = r.f64()?;
+            let te = r.f64()?;
+            let delta = r.f64()?;
+            let step = r.f64()?;
+            Ok(Query::Similarity(SimilarityQuery {
+                query,
+                ts,
+                te,
+                delta,
+                step,
+            }))
+        }
+        TAG_RANGE_KEPT => Ok(Query::RangeKept(decode_cube(r)?)),
+        _ => Err(WireError::Malformed {
+            reason: "unknown query tag",
+        }),
+    }
+}
+
+fn encode_ids(out: &mut Vec<u8>, ids: &[TrajId]) {
+    put_u32_vec(out, ids.len() as u32);
+    for &id in ids {
+        put_u64_vec(out, id as u64);
+    }
+}
+
+fn decode_ids(r: &mut Reader<'_>) -> Result<Vec<TrajId>, WireError> {
+    let n = r.count(8)?;
+    let mut ids = Vec::with_capacity(n);
+    for _ in 0..n {
+        let id = usize::try_from(r.u64()?).map_err(|_| WireError::Malformed {
+            reason: "trajectory id exceeds usize",
+        })?;
+        ids.push(id);
+    }
+    Ok(ids)
+}
+
+/// Appends one [`QueryResult`]'s wire encoding to `out`.
+pub fn encode_result(out: &mut Vec<u8>, r: &QueryResult) {
+    match r {
+        QueryResult::Range(ids) => {
+            out.push(TAG_RANGE);
+            encode_ids(out, ids);
+        }
+        QueryResult::Knn(ids) => {
+            out.push(TAG_KNN);
+            encode_ids(out, ids);
+        }
+        QueryResult::Similarity(ids) => {
+            out.push(TAG_SIMILARITY);
+            encode_ids(out, ids);
+        }
+        QueryResult::RangeKept(ids) => {
+            out.push(TAG_RANGE_KEPT);
+            match ids {
+                Some(ids) => {
+                    out.push(1);
+                    encode_ids(out, ids);
+                }
+                None => out.push(0),
+            }
+        }
+    }
+}
+
+fn decode_result(r: &mut Reader<'_>) -> Result<QueryResult, WireError> {
+    match r.u8()? {
+        TAG_RANGE => Ok(QueryResult::Range(decode_ids(r)?)),
+        TAG_KNN => Ok(QueryResult::Knn(decode_ids(r)?)),
+        TAG_SIMILARITY => Ok(QueryResult::Similarity(decode_ids(r)?)),
+        TAG_RANGE_KEPT => match r.u8()? {
+            0 => Ok(QueryResult::RangeKept(None)),
+            1 => Ok(QueryResult::RangeKept(Some(decode_ids(r)?))),
+            _ => Err(WireError::Malformed {
+                reason: "range-kept presence byte not 0/1",
+            }),
+        },
+        _ => Err(WireError::Malformed {
+            reason: "unknown result tag",
+        }),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Whole-message framing.
+// ---------------------------------------------------------------------
+
+fn encode_payload(msg: &Message) -> Vec<u8> {
+    let mut out = Vec::new();
+    match msg {
+        Message::Request(batch) => {
+            put_u32_vec(&mut out, batch.len() as u32);
+            for q in batch.queries() {
+                encode_query(&mut out, q);
+            }
+        }
+        Message::Response(results) => {
+            put_u32_vec(&mut out, results.len() as u32);
+            for r in results {
+                encode_result(&mut out, r);
+            }
+        }
+        Message::Error { code, message } => {
+            out.extend_from_slice(&code.to_le_bytes());
+            put_u32_vec(&mut out, message.len() as u32);
+            out.extend_from_slice(message.as_bytes());
+        }
+    }
+    out
+}
+
+fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
+    let mut r = Reader::new(payload);
+    let msg = match kind {
+        KIND_REQUEST => {
+            // A query is at least a tag byte.
+            let n = r.count(1)?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(decode_query(&mut r)?);
+            }
+            Message::Request(QueryBatch::from_queries(queries))
+        }
+        KIND_RESPONSE => {
+            let n = r.count(1)?;
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                results.push(decode_result(&mut r)?);
+            }
+            Message::Response(results)
+        }
+        KIND_ERROR => {
+            let code = r.u16()?;
+            let len = r.count(1)?;
+            r.need(len)?;
+            let bytes = &r.buf[r.pos..r.pos + len];
+            r.pos += len;
+            let message = std::str::from_utf8(bytes)
+                .map_err(|_| WireError::Malformed {
+                    reason: "error message is not valid UTF-8",
+                })?
+                .to_owned();
+            Message::Error { code, message }
+        }
+        kind => return Err(WireError::UnknownKind { kind }),
+    };
+    r.finish()?;
+    Ok(msg)
+}
+
+/// Encodes `msg` into one complete frame (header + payload + checksum).
+#[must_use]
+pub fn encode_message(msg: &Message) -> Vec<u8> {
+    let payload = encode_payload(msg);
+    let mut frame = vec![0u8; HEADER_LEN];
+    frame[0..4].copy_from_slice(&MAGIC);
+    frame[4..6].copy_from_slice(&VERSION.to_le_bytes());
+    frame[6] = msg.kind();
+    frame[7] = 0; // reserved
+    put_u32(&mut frame, 8, payload.len() as u32);
+    frame.extend_from_slice(&payload);
+    let checksum = fnv1a64(&frame);
+    let mut tail = [0u8; CHECKSUM_LEN];
+    put_u64(&mut tail, 0, checksum);
+    frame.extend_from_slice(&tail);
+    frame
+}
+
+/// Validates the 12-byte header, returning `(kind, payload_len)`.
+fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
+    if header[0..4] != MAGIC {
+        return Err(WireError::BadMagic {
+            found: [header[0], header[1], header[2], header[3]],
+        });
+    }
+    let version = u16::from_le_bytes([header[4], header[5]]);
+    if version != VERSION {
+        return Err(WireError::UnsupportedVersion {
+            found: version,
+            supported: VERSION,
+        });
+    }
+    let kind = header[6];
+    if !(KIND_REQUEST..=KIND_ERROR).contains(&kind) {
+        return Err(WireError::UnknownKind { kind });
+    }
+    if header[7] != 0 {
+        return Err(WireError::Malformed {
+            reason: "reserved header byte is not zero",
+        });
+    }
+    let len = get_u32(header, 8) as usize;
+    if len > MAX_PAYLOAD {
+        return Err(WireError::Oversized {
+            len,
+            max: MAX_PAYLOAD,
+        });
+    }
+    Ok((kind, len))
+}
+
+/// Decodes exactly one frame from `buf`. The buffer must hold the whole
+/// frame and nothing else — trailing bytes are [`WireError::Malformed`].
+pub fn decode_message(buf: &[u8]) -> Result<Message, WireError> {
+    if buf.len() < HEADER_LEN {
+        return Err(WireError::Truncated {
+            needed: HEADER_LEN,
+            got: buf.len(),
+        });
+    }
+    let header: [u8; HEADER_LEN] = buf[..HEADER_LEN].try_into().expect("length checked");
+    let (kind, len) = decode_header(&header)?;
+    let total = HEADER_LEN + len + CHECKSUM_LEN;
+    if buf.len() < total {
+        return Err(WireError::Truncated {
+            needed: total,
+            got: buf.len(),
+        });
+    }
+    if buf.len() > total {
+        return Err(WireError::Malformed {
+            reason: "trailing bytes after frame",
+        });
+    }
+    let stored = get_u64(buf, HEADER_LEN + len);
+    let computed = fnv1a64(&buf[..HEADER_LEN + len]);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    decode_payload(kind, &buf[HEADER_LEN..HEADER_LEN + len])
+}
+
+/// Writes one frame to `w` (one `write_all` call; pair with
+/// `TCP_NODELAY` for low latency).
+pub fn write_message(w: &mut impl Write, msg: &Message) -> Result<(), WireError> {
+    let frame = encode_message(msg);
+    w.write_all(&frame)?;
+    Ok(())
+}
+
+/// Reads one frame from `r`. Returns `Ok(None)` on a clean end of
+/// stream at a frame boundary; end-of-stream inside a frame is an
+/// [`WireError::Io`] with `UnexpectedEof`. Header fields are validated
+/// before the payload is read, so a bad magic or an oversized length
+/// prefix never commits the reader to a large read.
+pub fn read_message(r: &mut impl Read) -> Result<Option<Message>, WireError> {
+    let mut header = [0u8; HEADER_LEN];
+    // First byte separately: a clean close before any byte is not an
+    // error, it is the end of the conversation.
+    match r.read(&mut header[..1]) {
+        Ok(0) => return Ok(None),
+        Ok(_) => {}
+        Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {
+            return read_message(r);
+        }
+        Err(e) => return Err(WireError::Io(e)),
+    }
+    r.read_exact(&mut header[1..])?;
+    let (kind, len) = decode_header(&header)?;
+    let mut rest = vec![0u8; len + CHECKSUM_LEN];
+    r.read_exact(&mut rest)?;
+    let stored = get_u64(&rest, len);
+    let mut hasher_input = Vec::with_capacity(HEADER_LEN + len);
+    hasher_input.extend_from_slice(&header);
+    hasher_input.extend_from_slice(&rest[..len]);
+    let computed = fnv1a64(&hasher_input);
+    if stored != computed {
+        return Err(WireError::ChecksumMismatch { stored, computed });
+    }
+    decode_payload(kind, &rest[..len]).map(Some)
+}

@@ -1,0 +1,260 @@
+//! Integration tests: a server over loopback answers byte-identically
+//! to in-process `TrajDb` execution — for a mixed heterogeneous batch,
+//! across every storage layout the façade auto-detects (owned
+//! snapshot, mmap snapshot, shard directory, quantized snapshot), in
+//! both execution modes — and the admission layer routes coalesced
+//! results back to the right connection.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Barrier;
+
+use traj_query::{
+    DbOptions, Dissimilarity, KnnQuery, Query, QueryBatch, QueryExecutor, QueryResult,
+    SimilarityQuery, TrajDb,
+};
+use traj_serve::wire::{encode_message, Message};
+use traj_serve::{BatchConfig, Client, ExecutionMode, ServeOptions, Server};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::shard::{partition, PartitionStrategy, ShardSet};
+use trajectory::snapshot::{write_snapshot_quantized, write_snapshot_with};
+use trajectory::{KeptBitmap, TrajectoryDb};
+
+fn unique_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("qdts_loopback_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn dataset() -> TrajectoryDb {
+    generate(&DatasetSpec::tdrive(Scale::Smoke).with_trajectories(24), 3)
+}
+
+/// A batch exercising every query variant (both kNN measures included).
+fn mixed_batch(db: &TrajectoryDb) -> QueryBatch {
+    let bounds = db.bounding_cube();
+    let mid_t = (bounds.t_min + bounds.t_max) / 2.0;
+    let cube = trajectory::Cube::new(
+        bounds.x_min,
+        (bounds.x_min + bounds.x_max) / 2.0,
+        bounds.y_min,
+        (bounds.y_min + bounds.y_max) / 2.0,
+        bounds.t_min,
+        mid_t,
+    );
+    let probe = db.get(0).clone();
+    let ts = bounds.t_min;
+    let te = mid_t;
+    QueryBatch::from_queries(vec![
+        Query::Range(cube),
+        Query::Knn(KnnQuery {
+            query: probe.clone(),
+            ts,
+            te,
+            k: 3,
+            measure: Dissimilarity::Edr { eps: 2_000.0 },
+        }),
+        Query::Knn(KnnQuery {
+            query: probe.clone(),
+            ts,
+            te,
+            k: 2,
+            measure: Dissimilarity::t2vec_default(),
+        }),
+        Query::Similarity(SimilarityQuery {
+            query: probe,
+            ts,
+            te,
+            delta: 5_000.0,
+            step: 600.0,
+        }),
+        Query::RangeKept(cube),
+    ])
+}
+
+/// Writes the four on-disk layouts and returns (label, path, options)
+/// triples whose `TrajDb::open` covers owned / mmap / sharded /
+/// quantized openings.
+fn layouts(db: &TrajectoryDb) -> Vec<(&'static str, PathBuf, DbOptions)> {
+    let store = db.to_store();
+    let n = store.total_points();
+    // Keep every other point: a valid simplified database D' so
+    // RangeKept answers Some over the snapshot layouts.
+    let mut bitmap = KeptBitmap::zeros(n);
+    for g in (0..n).step_by(2) {
+        bitmap.insert(g as u32);
+    }
+
+    let snap = unique_path("loopback").with_extension("snap");
+    write_snapshot_with(&store, Some(&bitmap), &snap).expect("write snapshot");
+
+    let qsnap = unique_path("loopback_q").with_extension("snap");
+    write_snapshot_quantized(&store, Some(&bitmap), 1e-3, &qsnap).expect("write quantized");
+
+    let shard_dir = unique_path("loopback_shards");
+    let shards = partition(&store, &PartitionStrategy::Hash { parts: 3 });
+    ShardSet::write(&shard_dir, &shards).expect("write shards");
+
+    vec![
+        ("owned snapshot", snap.clone(), DbOptions::new().owned()),
+        ("mmap snapshot", snap, DbOptions::new().mapped()),
+        ("shard directory", shard_dir, DbOptions::new()),
+        ("quantized snapshot", qsnap, DbOptions::new()),
+    ]
+}
+
+#[test]
+fn loopback_matches_in_process_on_every_layout_and_mode() {
+    let db = dataset();
+    let batch = mixed_batch(&db);
+    let modes: [(&str, ExecutionMode); 2] = [
+        ("per-request", ExecutionMode::PerRequest),
+        ("batched", ExecutionMode::Batched(BatchConfig::default())),
+    ];
+    let layouts = layouts(&db);
+    for (label, path, opts) in &layouts {
+        let (path, opts) = (path.clone(), *opts);
+        let expected = TrajDb::open(&path, opts)
+            .expect("open for in-process baseline")
+            .execute_batch(&batch);
+        for (mode_label, mode) in modes {
+            let server = Server::open(
+                &path,
+                opts,
+                "127.0.0.1:0",
+                ServeOptions { mode, executors: 1 },
+            )
+            .expect("open + serve");
+            let mut client = Client::connect(server.local_addr()).expect("connect");
+            let got = client.execute_batch(&batch).expect("remote batch");
+            assert_eq!(
+                got, expected,
+                "layout `{label}`, mode `{mode_label}`: wire results diverge"
+            );
+            // Byte-identical on the wire, not merely equal in memory:
+            // re-encoding both sides gives the same frame.
+            assert_eq!(
+                encode_message(&Message::Response(got)),
+                encode_message(&Message::Response(expected.clone())),
+                "layout `{label}`, mode `{mode_label}`: encodings diverge"
+            );
+            server.shutdown();
+        }
+    }
+    // The owned- and mmap-snapshot layouts share one file, so clean up
+    // only after every layout has been exercised.
+    for (_, path, _) in layouts {
+        if path.is_dir() {
+            std::fs::remove_dir_all(&path).ok();
+        } else {
+            std::fs::remove_file(&path).ok();
+        }
+    }
+}
+
+/// Many concurrent connections, each with a *different* query: the
+/// admission layer must coalesce them into shared passes (linger makes
+/// that overwhelmingly likely) yet route every result back to the
+/// connection that asked.
+#[test]
+fn batched_admission_routes_results_to_the_right_connection() {
+    let db = dataset();
+    let store = db.to_store();
+    let served = TrajDb::from_store(store, DbOptions::new());
+    let in_process = TrajDb::from_store(db.to_store(), DbOptions::new());
+
+    let bounds = db.bounding_cube();
+    let clients = 8;
+    let rounds = 6;
+    // Per-client distinct range cubes (different x-slices).
+    let queries: Vec<Query> = (0..clients)
+        .map(|c| {
+            let w = (bounds.x_max - bounds.x_min) / clients as f64;
+            let x0 = bounds.x_min + c as f64 * w;
+            Query::Range(trajectory::Cube::new(
+                x0,
+                x0 + w,
+                bounds.y_min,
+                bounds.y_max,
+                bounds.t_min,
+                bounds.t_max,
+            ))
+        })
+        .collect();
+    let expected: Vec<QueryResult> = queries.iter().map(|q| in_process.execute_one(q)).collect();
+
+    let server = Server::start(
+        served,
+        "127.0.0.1:0",
+        ServeOptions {
+            mode: ExecutionMode::Batched(BatchConfig {
+                max_queries: 64,
+                linger: std::time::Duration::from_millis(2),
+            }),
+            executors: 2,
+        },
+    )
+    .expect("start server");
+    let addr = server.local_addr();
+
+    let barrier = Barrier::new(clients);
+    std::thread::scope(|scope| {
+        for (q, want) in queries.iter().zip(&expected) {
+            let barrier = &barrier;
+            scope.spawn(move || {
+                let mut client = Client::connect(addr).expect("connect");
+                barrier.wait();
+                for _ in 0..rounds {
+                    let got = client.execute(q).expect("remote query");
+                    assert_eq!(&got, want, "result routed to the wrong connection");
+                }
+            });
+        }
+    });
+
+    let stats = server.stats();
+    assert_eq!(stats.requests, (clients * rounds) as u64);
+    assert_eq!(stats.queries, (clients * rounds) as u64);
+    // The linger window actually coalesced concurrent connections.
+    assert!(
+        stats.mean_batch_size() > 1.0,
+        "no coalescing happened (mean batch {})",
+        stats.mean_batch_size()
+    );
+    server.shutdown();
+}
+
+/// Corrupt frames get a typed error frame back; the protocol never
+/// hangs the connection.
+#[test]
+fn corrupt_request_is_answered_with_an_error_frame() {
+    use std::io::{Read, Write};
+
+    let db = dataset();
+    let served = TrajDb::from_store(db.to_store(), DbOptions::new());
+    let server = Server::start(served, "127.0.0.1:0", ServeOptions::batched()).expect("start");
+
+    let mut raw = std::net::TcpStream::connect(server.local_addr()).expect("connect");
+    let mut frame = encode_message(&Message::Request(QueryBatch::new()));
+    let last = frame.len() - 1;
+    frame[last] ^= 0x40; // break the checksum
+    raw.write_all(&frame).expect("send corrupt frame");
+    let reply = traj_serve::wire::read_message(&mut raw)
+        .expect("typed error frame")
+        .expect("frame, not EOF");
+    match reply {
+        Message::Error { code, .. } => {
+            assert_eq!(code, traj_serve::server::ERR_BAD_REQUEST);
+        }
+        other => panic!("expected an error frame, got {other:?}"),
+    }
+    // Server closed the stream after the error: next read is EOF.
+    let mut buf = [0u8; 1];
+    assert_eq!(raw.read(&mut buf).expect("clean close"), 0);
+    server.shutdown();
+}

@@ -1,0 +1,247 @@
+//! Property-based tests for the wire format, mirroring the snapshot
+//! corruption suites: every `Query`/`QueryResult`/`QueryBatch` variant
+//! round-trips exactly through a frame, and *any* single-bit flip,
+//! truncation, or oversized length prefix is rejected with a typed
+//! [`WireError`] — never a panic, never silently wrong data.
+
+use proptest::prelude::*;
+use traj_query::{
+    Dissimilarity, KnnQuery, Query, QueryBatch, QueryResult, SimilarityQuery, T2vecEmbedder,
+};
+use traj_serve::wire::{decode_message, encode_message, Message, WireError, MAX_PAYLOAD};
+use trajectory::{Cube, Point, Trajectory};
+
+fn arb_cube() -> impl Strategy<Value = Cube> {
+    (
+        -1e6..1e6f64,
+        0.0..1e5f64,
+        -1e6..1e6f64,
+        0.0..1e5f64,
+        0.0..1e9f64,
+        0.0..1e6f64,
+    )
+        .prop_map(|(x, dx, y, dy, t, dt)| Cube::new(x, x + dx, y, y + dy, t, t + dt))
+}
+
+fn arb_trajectory() -> impl Strategy<Value = Trajectory> {
+    prop::collection::vec((-1e5..1e5f64, -1e5..1e5f64, 0.001..60.0f64), 1..20).prop_map(|steps| {
+        let mut t = 0.0;
+        let pts = steps
+            .into_iter()
+            .map(|(x, y, dt)| {
+                t += dt;
+                Point::new(x, y, t)
+            })
+            .collect();
+        Trajectory::new(pts).expect("generated trajectories are valid")
+    })
+}
+
+fn arb_measure() -> impl Strategy<Value = Dissimilarity> {
+    prop_oneof![
+        (1.0..1e5f64).prop_map(|eps| Dissimilarity::Edr { eps }),
+        (10.0..1e4f64, 1usize..256).prop_map(|(cell_size, dim)| {
+            Dissimilarity::T2vec(T2vecEmbedder { cell_size, dim })
+        }),
+    ]
+}
+
+fn arb_query() -> impl Strategy<Value = Query> {
+    prop_oneof![
+        arb_cube().prop_map(Query::Range),
+        (
+            arb_trajectory(),
+            0.0..1e6f64,
+            0.0..1e6f64,
+            1usize..50,
+            arb_measure()
+        )
+            .prop_map(|(query, ts, dte, k, measure)| {
+                Query::Knn(KnnQuery {
+                    query,
+                    ts,
+                    te: ts + dte,
+                    k,
+                    measure,
+                })
+            }),
+        (
+            arb_trajectory(),
+            0.0..1e6f64,
+            0.0..1e6f64,
+            1.0..1e5f64,
+            1.0..1e4f64
+        )
+            .prop_map(|(query, ts, dte, delta, step)| {
+                Query::Similarity(SimilarityQuery {
+                    query,
+                    ts,
+                    te: ts + dte,
+                    delta,
+                    step,
+                })
+            }),
+        arb_cube().prop_map(Query::RangeKept),
+    ]
+}
+
+fn arb_ids() -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0usize..1_000_000, 0..40)
+}
+
+fn arb_result() -> impl Strategy<Value = QueryResult> {
+    prop_oneof![
+        arb_ids().prop_map(QueryResult::Range),
+        arb_ids().prop_map(QueryResult::Knn),
+        arb_ids().prop_map(QueryResult::Similarity),
+        prop_oneof![Just(None), arb_ids().prop_map(Some)].prop_map(QueryResult::RangeKept),
+    ]
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    prop_oneof![
+        prop::collection::vec(arb_query(), 0..8)
+            .prop_map(|qs| Message::Request(QueryBatch::from_queries(qs))),
+        prop::collection::vec(arb_result(), 0..8).prop_map(Message::Response),
+        (prop::collection::vec(32u8..127, 0..60), 0u16..100).prop_map(|(bytes, code)| {
+            Message::Error {
+                code,
+                message: String::from_utf8(bytes).expect("printable ASCII"),
+            }
+        }),
+    ]
+}
+
+/// Structural equality over messages (Query intentionally has no Eq
+/// impl beyond PartialEq; compare per variant).
+fn assert_message_eq(a: &Message, b: &Message) -> Result<(), TestCaseError> {
+    match (a, b) {
+        (Message::Request(x), Message::Request(y)) => {
+            prop_assert_eq!(x.queries(), y.queries());
+        }
+        (Message::Response(x), Message::Response(y)) => {
+            prop_assert_eq!(x, y);
+        }
+        (
+            Message::Error {
+                code: ca,
+                message: ma,
+            },
+            Message::Error {
+                code: cb,
+                message: mb,
+            },
+        ) => {
+            prop_assert_eq!(ca, cb);
+            prop_assert_eq!(ma, mb);
+        }
+        _ => prop_assert!(false, "message kind changed in round trip"),
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    #[test]
+    fn every_message_round_trips_exactly(msg in arb_message()) {
+        let frame = encode_message(&msg);
+        let decoded = decode_message(&frame).expect("own encoding decodes");
+        assert_message_eq(&msg, &decoded)?;
+    }
+
+    #[test]
+    fn every_single_bit_flip_is_rejected(
+        (msg, pos, bit) in (arb_message(), 0.0..1.0f64, 0u8..8)
+    ) {
+        let mut frame = encode_message(&msg);
+        let idx = ((frame.len() - 1) as f64 * pos) as usize;
+        frame[idx] ^= 1 << bit;
+        let err = decode_message(&frame);
+        prop_assert!(err.is_err(), "bit {bit} flip at {idx} accepted");
+        // Typed, never an Io error from a buffer decode.
+        prop_assert!(
+            !matches!(err.unwrap_err(), WireError::Io(_)),
+            "corruption surfaced as Io"
+        );
+    }
+
+    #[test]
+    fn every_truncation_is_rejected(
+        (msg, frac) in (arb_message(), 0.0..1.0f64)
+    ) {
+        let frame = encode_message(&msg);
+        let cut = ((frame.len() - 1) as f64 * frac) as usize;
+        let err = decode_message(&frame[..cut]).unwrap_err();
+        prop_assert!(
+            matches!(err, WireError::Truncated { .. }),
+            "cut at {cut}/{} gave {err}",
+            frame.len()
+        );
+    }
+
+    #[test]
+    fn oversized_length_prefixes_are_rejected_before_allocation(
+        (msg, extra) in (arb_message(), 1u64..u32::MAX as u64)
+    ) {
+        let mut frame = encode_message(&msg);
+        let huge = (MAX_PAYLOAD as u64 + extra).min(u32::MAX as u64) as u32;
+        frame[8..12].copy_from_slice(&huge.to_le_bytes());
+        prop_assert!(matches!(
+            decode_message(&frame),
+            Err(WireError::Oversized { .. })
+        ));
+    }
+
+    #[test]
+    fn streaming_and_buffer_decodes_agree(msg in arb_message()) {
+        // read_message over an in-memory stream sees the same message
+        // decode_message sees over the buffer.
+        let frame = encode_message(&msg);
+        let mut cursor = std::io::Cursor::new(frame.clone());
+        let streamed = traj_serve::wire::read_message(&mut cursor)
+            .expect("stream decode")
+            .expect("not EOF");
+        let buffered = decode_message(&frame).expect("buffer decode");
+        assert_message_eq(&streamed, &buffered)?;
+        // And the stream is left exactly at the frame boundary.
+        prop_assert_eq!(cursor.position() as usize, frame.len());
+        prop_assert!(traj_serve::wire::read_message(&mut cursor).expect("clean EOF").is_none());
+    }
+}
+
+#[test]
+fn version_and_kind_corruption_give_specific_errors() {
+    let frame = encode_message(&Message::Request(QueryBatch::new()));
+
+    let mut v = frame.clone();
+    v[4] = 2;
+    assert!(matches!(
+        decode_message(&v),
+        Err(WireError::UnsupportedVersion {
+            found: 2,
+            supported: 1
+        })
+    ));
+
+    let mut k = frame.clone();
+    k[6] = 9;
+    assert!(matches!(
+        decode_message(&k),
+        Err(WireError::UnknownKind { kind: 9 })
+    ));
+
+    let mut m = frame.clone();
+    m[0] = b'X';
+    assert!(matches!(
+        decode_message(&m),
+        Err(WireError::BadMagic { .. })
+    ));
+
+    let mut r = frame;
+    r[7] = 1;
+    assert!(matches!(
+        decode_message(&r),
+        Err(WireError::Malformed { .. })
+    ));
+}

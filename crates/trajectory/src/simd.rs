@@ -203,13 +203,39 @@ pub fn squared_distance_2d(ax: &[f64], ay: &[f64], bx: &[f64], by: &[f64]) -> f6
     scalar::squared_distance(ax, bx) + scalar::squared_distance(ay, by)
 }
 
+/// Containment over a span of at most 64 points restricted to the set
+/// bits of `select` (bit `i` selects index `i`; bits at or above
+/// `xs.len()` are ignored): true when any selected point lies inside
+/// `cube`. This is the partial-bitmap-word kernel behind
+/// [`any_masked_in_cube`] — the vector backends compare whole lanes and
+/// AND the movemask-style containment bits against the selection bits,
+/// instead of falling back to per-bit scalar tests.
+#[must_use]
+pub fn any_selected_in_cube(xs: &[f64], ys: &[f64], ts: &[f64], select: u64, cube: &Cube) -> bool {
+    debug_assert!(xs.len() == ys.len() && ys.len() == ts.len());
+    debug_assert!(xs.len() <= 64);
+    #[cfg(all(feature = "simd", target_arch = "x86_64"))]
+    if simd_active() {
+        // SAFETY: dispatch guarantees AVX2 is available.
+        return unsafe { avx2::any_selected_in_cube(xs, ys, ts, select, cube) };
+    }
+    #[cfg(all(feature = "simd", target_arch = "aarch64"))]
+    if simd_active() {
+        // SAFETY: dispatch guarantees NEON is available.
+        return unsafe { neon::any_selected_in_cube(xs, ys, ts, select, cube) };
+    }
+    scalar::any_selected_in_cube(xs, ys, ts, select, cube)
+}
+
 /// Bitmap-masked containment: true when any point whose bit is set in
 /// `words` lies inside `cube`. Bit `base + i` of the bitmap (word
 /// `(base+i)/64`, bit `(base+i)%64`) corresponds to slice index `i` —
 /// the layout of a trajectory's run inside a store-wide
 /// [`KeptBitmap`](crate::store::KeptBitmap). Zero words are skipped
 /// 64 points at a time; fully-set words run the vector containment
-/// kernel; partial words test only their set bits.
+/// kernel; partial words run the lane-masked containment kernel
+/// ([`any_selected_in_cube`]), so no word shape degrades to per-bit
+/// scalar probing on the vector backends.
 #[must_use]
 pub fn any_masked_in_cube(
     xs: &[f64],
@@ -243,15 +269,15 @@ pub fn any_masked_in_cube(
             if any_in_cube(&xs[i..i + span], &ys[i..i + span], &ts[i..i + span], cube) {
                 return true;
             }
-        } else {
-            let mut bits = masked;
-            while bits != 0 {
-                let j = i + bits.trailing_zeros() as usize;
-                if cube.contains_xyz(xs[j], ys[j], ts[j]) {
-                    return true;
-                }
-                bits &= bits - 1;
-            }
+        } else if any_selected_in_cube(
+            &xs[i..i + span],
+            &ys[i..i + span],
+            &ts[i..i + span],
+            masked,
+            cube,
+        ) {
+            // Partial word: lane-wide containment AND the selection bits.
+            return true;
         }
         i += span;
     }
@@ -313,6 +339,32 @@ pub mod scalar {
             .zip(ys)
             .zip(ts)
             .any(|((&x, &y), &t)| cube.contains_xyz(x, y, t))
+    }
+
+    /// Scalar [`any_selected_in_cube`](super::any_selected_in_cube):
+    /// probe exactly the set bits, lowest first.
+    #[must_use]
+    pub fn any_selected_in_cube(
+        xs: &[f64],
+        ys: &[f64],
+        ts: &[f64],
+        select: u64,
+        cube: &Cube,
+    ) -> bool {
+        let n = xs.len();
+        let mut bits = if n < 64 {
+            select & ((1u64 << n) - 1)
+        } else {
+            select
+        };
+        while bits != 0 {
+            let j = bits.trailing_zeros() as usize;
+            if cube.contains_xyz(xs[j], ys[j], ts[j]) {
+                return true;
+            }
+            bits &= bits - 1;
+        }
+        false
     }
 
     /// Scalar [`min_max`](super::min_max).
@@ -395,6 +447,63 @@ mod avx2 {
             i += 4;
         }
         super::scalar::any_in_cube(&xs[i..], &ys[i..], &ts[i..], cube)
+    }
+
+    /// # Safety
+    /// Caller must ensure AVX2 is available.
+    #[target_feature(enable = "avx2")]
+    pub unsafe fn any_selected_in_cube(
+        xs: &[f64],
+        ys: &[f64],
+        ts: &[f64],
+        select: u64,
+        cube: &Cube,
+    ) -> bool {
+        let n = xs.len();
+        let x_min = _mm256_set1_pd(cube.x_min);
+        let x_max = _mm256_set1_pd(cube.x_max);
+        let y_min = _mm256_set1_pd(cube.y_min);
+        let y_max = _mm256_set1_pd(cube.y_max);
+        let t_min = _mm256_set1_pd(cube.t_min);
+        let t_max = _mm256_set1_pd(cube.t_max);
+        let mut i = 0usize;
+        while i + 4 <= n {
+            // Four selection bits for these lanes; skip wholly cleared
+            // groups without touching the columns at all.
+            let lane_sel = ((select >> i) & 0xF) as i32;
+            if lane_sel != 0 {
+                let x = _mm256_loadu_pd(xs.as_ptr().add(i));
+                let y = _mm256_loadu_pd(ys.as_ptr().add(i));
+                let t = _mm256_loadu_pd(ts.as_ptr().add(i));
+                let m = _mm256_and_pd(
+                    _mm256_and_pd(
+                        _mm256_and_pd(
+                            _mm256_cmp_pd::<_CMP_GE_OQ>(x, x_min),
+                            _mm256_cmp_pd::<_CMP_LE_OQ>(x, x_max),
+                        ),
+                        _mm256_and_pd(
+                            _mm256_cmp_pd::<_CMP_GE_OQ>(y, y_min),
+                            _mm256_cmp_pd::<_CMP_LE_OQ>(y, y_max),
+                        ),
+                    ),
+                    _mm256_and_pd(
+                        _mm256_cmp_pd::<_CMP_GE_OQ>(t, t_min),
+                        _mm256_cmp_pd::<_CMP_LE_OQ>(t, t_max),
+                    ),
+                );
+                // Movemask turns per-lane containment into bits aligned
+                // with the selection bits: a hit is their intersection.
+                if _mm256_movemask_pd(m) & lane_sel != 0 {
+                    return true;
+                }
+            }
+            i += 4;
+        }
+        if i == n {
+            // No tail — and `select >> 64` would overflow when n == 64.
+            return false;
+        }
+        super::scalar::any_selected_in_cube(&xs[i..], &ys[i..], &ts[i..], select >> i, cube)
     }
 
     /// # Safety
@@ -505,6 +614,55 @@ mod neon {
             i += 2;
         }
         super::scalar::any_in_cube(&xs[i..], &ys[i..], &ts[i..], cube)
+    }
+
+    /// # Safety
+    /// Caller must ensure NEON is available.
+    #[target_feature(enable = "neon")]
+    pub unsafe fn any_selected_in_cube(
+        xs: &[f64],
+        ys: &[f64],
+        ts: &[f64],
+        select: u64,
+        cube: &Cube,
+    ) -> bool {
+        let n = xs.len();
+        let x_min = vdupq_n_f64(cube.x_min);
+        let x_max = vdupq_n_f64(cube.x_max);
+        let y_min = vdupq_n_f64(cube.y_min);
+        let y_max = vdupq_n_f64(cube.y_max);
+        let t_min = vdupq_n_f64(cube.t_min);
+        let t_max = vdupq_n_f64(cube.t_max);
+        let mut i = 0usize;
+        while i + 2 <= n {
+            // Two selection bits for these lanes; skip cleared pairs.
+            let lane_sel = (select >> i) & 0x3;
+            if lane_sel != 0 {
+                let x = vld1q_f64(xs.as_ptr().add(i));
+                let y = vld1q_f64(ys.as_ptr().add(i));
+                let t = vld1q_f64(ts.as_ptr().add(i));
+                let m = vandq_u64(
+                    vandq_u64(
+                        vandq_u64(vcgeq_f64(x, x_min), vcleq_f64(x, x_max)),
+                        vandq_u64(vcgeq_f64(y, y_min), vcleq_f64(y, y_max)),
+                    ),
+                    vandq_u64(vcgeq_f64(t, t_min), vcleq_f64(t, t_max)),
+                );
+                // Each lane's containment mask ANDs against its
+                // selection bit (movemask-style intersection).
+                if (lane_sel & 1 != 0 && vgetq_lane_u64::<0>(m) != 0)
+                    || (lane_sel & 2 != 0 && vgetq_lane_u64::<1>(m) != 0)
+                {
+                    return true;
+                }
+            }
+            i += 2;
+        }
+        if i == n {
+            // No tail — and `select >> 64` would overflow when n == 64.
+            return false;
+        }
+        super::scalar::any_selected_in_cube(&xs[i..], &ys[i..], &ts[i..], select >> i, cube)
     }
 
     /// # Safety
@@ -711,6 +869,45 @@ mod tests {
         assert!(!any_masked_in_cube(&xs, &ys, &ts, &kept_out, 0, &q));
         let kept_in = vec![0b010u64];
         assert!(any_masked_in_cube(&xs, &ys, &ts, &kept_in, 0, &q));
+    }
+
+    #[test]
+    fn selected_containment_matches_scalar() {
+        let q = cube();
+        for n in [0usize, 1, 2, 3, 4, 5, 7, 8, 13, 31, 32, 33, 63, 64] {
+            let (xs, ys, ts) = columns(n, 11);
+            for select in [
+                0u64,
+                !0u64,
+                0xAAAA_AAAA_AAAA_AAAA,
+                0x5555_5555_5555_5555,
+                1,
+                1u64 << 63,
+                0x00FF_00FF_00FF_00FF,
+            ] {
+                assert_eq!(
+                    any_selected_in_cube(&xs, &ys, &ts, select, &q),
+                    scalar::any_selected_in_cube(&xs, &ys, &ts, select, &q),
+                    "n={n} select={select:#x} backend={}",
+                    active_backend()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn selected_containment_ignores_bits_past_len() {
+        let q = cube();
+        // Three out-of-cube points; the only set bits are past the slice
+        // end and must be ignored.
+        let xs = vec![100.0, 100.0, 100.0];
+        let ys = vec![0.0, 0.0, 0.0];
+        let ts = vec![5.0, 5.0, 5.0];
+        assert!(!any_selected_in_cube(&xs, &ys, &ts, !0u64 << 3, &q));
+        // A set bit on an in-cube lane still matches.
+        let xs_in = vec![100.0, 0.5, 100.0];
+        assert!(any_selected_in_cube(&xs_in, &ys, &ts, 0b010, &q));
+        assert!(!any_selected_in_cube(&xs_in, &ys, &ts, 0b101, &q));
     }
 
     #[test]

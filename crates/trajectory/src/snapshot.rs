@@ -271,19 +271,28 @@ pub fn fnv1a64(bytes: &[u8]) -> u64 {
 // Little-endian (de)serialization helpers.
 // ---------------------------------------------------------------------
 
-fn put_u32(buf: &mut [u8], off: usize, v: u32) {
+/// Writes `v` little-endian at `buf[off..off + 4]`. Shared by the
+/// snapshot codec and the wire protocol (`traj-serve`), so both speak
+/// the same byte order from the same primitives.
+pub fn put_u32(buf: &mut [u8], off: usize, v: u32) {
     buf[off..off + 4].copy_from_slice(&v.to_le_bytes());
 }
 
-fn put_u64(buf: &mut [u8], off: usize, v: u64) {
+/// Writes `v` little-endian at `buf[off..off + 8]` (see [`put_u32`]).
+pub fn put_u64(buf: &mut [u8], off: usize, v: u64) {
     buf[off..off + 8].copy_from_slice(&v.to_le_bytes());
 }
 
-fn get_u32(buf: &[u8], off: usize) -> u32 {
+/// Reads a little-endian `u32` at `buf[off..off + 4]` (see [`put_u32`]).
+/// Panics if out of bounds — callers length-check frames first.
+#[must_use]
+pub fn get_u32(buf: &[u8], off: usize) -> u32 {
     u32::from_le_bytes(buf[off..off + 4].try_into().expect("bounds checked"))
 }
 
-fn get_u64(buf: &[u8], off: usize) -> u64 {
+/// Reads a little-endian `u64` at `buf[off..off + 8]` (see [`get_u32`]).
+#[must_use]
+pub fn get_u64(buf: &[u8], off: usize) -> u64 {
     u64::from_le_bytes(buf[off..off + 8].try_into().expect("bounds checked"))
 }
 
@@ -353,11 +362,15 @@ fn read_u64s_le(bytes: &[u8]) -> Vec<u64> {
         .collect()
 }
 
-fn put_f64(buf: &mut [u8], off: usize, v: f64) {
+/// Writes `v` as little-endian IEEE-754 bits at `buf[off..off + 8]` —
+/// bit-exact round-trips, NaN payloads included (see [`put_u32`]).
+pub fn put_f64(buf: &mut [u8], off: usize, v: f64) {
     put_u64(buf, off, v.to_bits());
 }
 
-fn get_f64(buf: &[u8], off: usize) -> f64 {
+/// Reads a little-endian IEEE-754 `f64` at `buf[off..off + 8]`.
+#[must_use]
+pub fn get_f64(buf: &[u8], off: usize) -> f64 {
     f64::from_bits(get_u64(buf, off))
 }
 

@@ -36,6 +36,7 @@ pub mod architecture {}
 pub use tiny_rl as rl;
 pub use traj_index as index;
 pub use traj_query as query;
+pub use traj_serve as serve;
 pub use traj_simp as simp;
 pub use trajectory;
 
@@ -46,5 +47,6 @@ pub use traj_query::{
     BackendKind, DbOptions, EngineConfig, MaintainedWorkload, Query, QueryBatch, QueryEngine,
     QueryExecutor, QueryResult, ShardedQueryEngine, TrajDb,
 };
+pub use traj_serve::{Client, ServeOptions, Server};
 pub use traj_simp::Simplifier;
 pub use trajectory::{Point, Simplification, Trajectory, TrajectoryDb};
