@@ -28,11 +28,18 @@
 //! framed TCP protocol instead of in-process: a loopback `traj-serve`
 //! server with batched admission, `--clients N` concurrent connections
 //! splitting the workload, and coalescing stats in the report.
+//!
+//! With `--cluster` (shard directories only) the serve task distributes
+//! the workload instead: one loopback wire server per shard snapshot, a
+//! coordinator fanning the batch out and merging globally, and a
+//! cross-check that the distributed results match in-process execution
+//! exactly.
 
 use std::path::PathBuf;
 
 use qdts_eval::serving::{
-    serve_task, shard_snapshot_task, snapshot_task, wire_serve_task, SnapshotSource,
+    cluster_serve_task, serve_task, shard_snapshot_task, snapshot_task, wire_serve_task,
+    SnapshotSource,
 };
 use trajectory::gen::Scale;
 use trajectory::shard::PartitionStrategy;
@@ -43,7 +50,7 @@ fn usage() -> ! {
          [--scale smoke|small|paper] [--ratio R] [--quantize E] [--seed N] \
          [--shards N] [--partition grid|time|hash]\n  \
          snapshot_serve serve [--snap FILE.snap|DIR] [--queries N] [--seed N] \
-         [--wire] [--clients N]"
+         [--wire] [--clients N] [--cluster]"
     );
     std::process::exit(2);
 }
@@ -154,6 +161,22 @@ fn run_serve(rest: &[String]) -> Result<(), Box<dyn std::error::Error>> {
     let snap = PathBuf::from(flag_value(rest, "--snap").unwrap_or("db.snap"));
     let queries: usize = flag_value(rest, "--queries").unwrap_or("100").parse()?;
     let seed: u64 = flag_value(rest, "--seed").unwrap_or("42").parse()?;
+
+    if rest.iter().any(|a| a == "--cluster") {
+        let r = cluster_serve_task(&snap, queries, seed)?;
+        println!("== cluster serve task ({}) ==", snap.display());
+        println!(
+            "{} shard servers / {} trajectories / {} points up in {:.4}s \
+             (per-shard wire servers + coordinator handshakes)",
+            r.shards, r.trajectories, r.points, r.open_seconds
+        );
+        println!(
+            "distributed fan-out + merge in {:.4}s; {} result ids \
+             (in-process cross-check: {} — identical)",
+            r.serve_seconds, r.full_result_ids, r.in_process_result_ids
+        );
+        return Ok(());
+    }
 
     if rest.iter().any(|a| a == "--wire") {
         let clients: usize = flag_value(rest, "--clients").unwrap_or("8").parse()?;

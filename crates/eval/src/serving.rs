@@ -19,6 +19,13 @@
 //! batched admission, several concurrent client connections, and the
 //! same result fingerprint as the in-process pass.
 //!
+//! The cluster variant ([`cluster_serve_task`]) distributes a shard
+//! directory: one loopback wire server per shard snapshot, a
+//! [`Placement`](traj_serve::Placement) built from their addresses, and
+//! a [`Coordinator`](traj_serve::Coordinator) fanning the same mixed
+//! workload out and merging globally — its fingerprint must match the
+//! in-process one, byte for byte.
+//!
 //! All tasks are exposed as library functions (smoke-tested) and
 //! through the `snapshot_serve` binary:
 //!
@@ -352,6 +359,98 @@ pub fn wire_serve_task(
     })
 }
 
+/// What the cluster `serve` task measured.
+#[derive(Debug, Clone)]
+pub struct ClusterServeReport {
+    /// Shards in the cluster (one wire server each).
+    pub shards: usize,
+    /// Trajectories served across the cluster.
+    pub trajectories: usize,
+    /// Points served across the cluster.
+    pub points: usize,
+    /// Seconds to stand the cluster up: per-shard opens + servers,
+    /// placement build, coordinator connect + handshakes.
+    pub open_seconds: f64,
+    /// Seconds for the whole distributed workload (fan-out + merge).
+    pub serve_seconds: f64,
+    /// Total result-set size through the coordinator.
+    pub full_result_ids: usize,
+    /// Total result-set size of the same workload executed in-process
+    /// over the shard directory — must equal `full_result_ids`.
+    pub in_process_result_ids: usize,
+}
+
+/// The cluster `serve` task: serve each shard snapshot of the directory
+/// at `path` behind its own loopback wire server, dial them all through
+/// a [`Coordinator`](traj_serve::Coordinator) built from the manifest's
+/// id assignments, run the same mixed workload [`serve_task`] runs, and
+/// cross-check the distributed fingerprint against in-process
+/// execution of the identical batch.
+pub fn cluster_serve_task(
+    path: &Path,
+    queries: usize,
+    seed: u64,
+) -> Result<ClusterServeReport, Box<dyn std::error::Error>> {
+    use traj_serve::{Coordinator, CoordinatorOptions, Placement, ResponseStatus};
+
+    let t0 = Instant::now();
+    let set = ShardSet::load(path)?;
+    let mut servers = Vec::with_capacity(set.len());
+    let mut parts = Vec::with_capacity(set.len());
+    for e in set.entries() {
+        let server = traj_serve::Server::open(
+            path.join(&e.file),
+            DbOptions::new(),
+            "127.0.0.1:0",
+            traj_serve::ServeOptions::batched(),
+        )?;
+        parts.push((server.local_addr().to_string(), e.global_ids.clone()));
+        servers.push(server);
+    }
+    let placement = Placement::from_parts(parts)?;
+    let mut coord = Coordinator::connect(placement, CoordinatorOptions::default())?;
+    let open_seconds = t0.elapsed().as_secs_f64();
+
+    // The same workload the in-process serve task runs over this path.
+    let db = TrajDb::open(path, DbOptions::new())?;
+    let spec = RangeWorkloadSpec::paper_default(queries, QueryDistribution::Data);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let ranges = db.range_workload(&spec, &mut rng);
+    let batch = mixed_batch(&db, &ranges, queries);
+
+    let t1 = Instant::now();
+    let response = coord.execute_batch(&batch)?;
+    let serve_seconds = t1.elapsed().as_secs_f64();
+    if response.status != ResponseStatus::Complete {
+        return Err(format!("cluster answered degraded: {:?}", response.status).into());
+    }
+    let fingerprint = |results: &[traj_query::QueryResult]| {
+        results
+            .iter()
+            .map(|r| r.ids().map_or(0, <[usize]>::len))
+            .sum::<usize>()
+    };
+    let in_process = db.execute_batch(&batch);
+    if response.results != in_process {
+        return Err("distributed results diverge from in-process execution".into());
+    }
+    let full_result_ids = fingerprint(&response.results);
+    let in_process_result_ids = fingerprint(&in_process);
+
+    for server in servers {
+        server.shutdown();
+    }
+    Ok(ClusterServeReport {
+        shards: set.len(),
+        trajectories: db.len(),
+        points: db.total_points(),
+        open_seconds,
+        serve_seconds,
+        full_result_ids,
+        in_process_result_ids,
+    })
+}
+
 // ---------------------------------------------------------------------
 // Sharded snapshot / serve.
 // ---------------------------------------------------------------------
@@ -544,6 +643,16 @@ mod tests {
         assert_eq!(served.trajectories, report.trajectories);
         assert_eq!(served.kind_counts[0], 20);
         assert!(served.simplified_batch_seconds.is_some());
+
+        // The distributed path — one wire server per shard behind a
+        // coordinator — answers the same workload identically (the task
+        // itself errors on any divergence).
+        let cluster = cluster_serve_task(&dir, 20, 11).unwrap();
+        assert_eq!(cluster.shards, 3);
+        assert_eq!(cluster.trajectories, report.trajectories);
+        assert_eq!(cluster.points, report.points);
+        assert_eq!(cluster.full_result_ids, cluster.in_process_result_ids);
+        assert_eq!(cluster.full_result_ids, served.full_result_ids);
         std::fs::remove_dir_all(&dir).ok();
     }
 

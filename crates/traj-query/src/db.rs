@@ -865,6 +865,21 @@ impl TrajDb {
         }
     }
 
+    /// This database's contribution to a *distributed* kNN: its finite
+    /// candidates sorted by `(distance, id)`, truncated to `q.k`,
+    /// `-0.0`-normalized. A coordinator that merges these lists across
+    /// shard processes with
+    /// [`merge_knn_candidates`](crate::merge_knn_candidates) and
+    /// [`knn_take_fill`](crate::knn_take_fill) reproduces the
+    /// in-process [`QueryExecutor::knn`] answer byte-for-byte.
+    #[must_use]
+    pub fn knn_candidates(&self, q: &KnnQuery) -> Vec<(f64, TrajId)> {
+        match &self.inner {
+            Inner::Single(e) => e.knn_candidates(q),
+            Inner::Sharded(e) => e.knn_candidates(q),
+        }
+    }
+
     /// The sharded engine behind the façade, when the database is
     /// sharded.
     #[must_use]

@@ -627,6 +627,24 @@ impl<'a> QueryEngine<'a> {
         self.knn_finite_scored_impl(q, true)
     }
 
+    /// This store's contribution to a distributed kNN: its
+    /// finite-distance candidates sorted by `(distance, id)`, truncated
+    /// to the query's `k`, with `-0.0` distances normalized to `+0.0`
+    /// so the coordinator's `total_cmp` merge agrees with the
+    /// `partial_cmp` sort used here. Feeding these lists through
+    /// [`merge_knn_candidates`](crate::merge_knn_candidates) and
+    /// [`knn_take_fill`](crate::knn_take_fill) reproduces
+    /// [`QueryEngine::knn`] byte-for-byte.
+    #[must_use]
+    pub fn knn_candidates(&self, q: &KnnQuery) -> Vec<(f64, TrajId)> {
+        let mut scored = self.knn_finite_scored(q);
+        scored.truncate(q.k);
+        for entry in &mut scored {
+            entry.0 += 0.0;
+        }
+        scored
+    }
+
     /// [`QueryEngine::knn_finite_scored`] with the candidate scoring loop
     /// either parallel (`par_map`) or sequential — results are identical
     /// (both preserve candidate order before the final sort).

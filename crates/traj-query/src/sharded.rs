@@ -23,7 +23,7 @@
 //! partitioners and index backends, including mmap-backed shards.
 
 use std::cmp::Ordering;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::{BinaryHeap, HashMap, HashSet};
 
 use trajectory::shard::{partition, OpenShard, PartitionStrategy, Shard};
 use trajectory::{
@@ -345,53 +345,20 @@ impl<'a> ShardedQueryEngine<'a> {
     /// The global merge half of a kNN fan-out (see
     /// [`ShardedQueryEngine::knn`]).
     fn knn_merge(&self, k: usize, per_shard: Vec<Vec<(f64, TrajId)>>) -> Vec<TrajId> {
-        // Global k-heap: a best-first k-way merge over the sorted
-        // per-shard streams. Ties on distance break by global id, exactly
-        // like the single-store sort.
-        let mut heap: BinaryHeap<std::cmp::Reverse<KnnHeapEntry>> = BinaryHeap::new();
-        for (shard, list) in per_shard.iter().enumerate() {
-            if let Some(&(d, id)) = list.first() {
-                heap.push(std::cmp::Reverse(KnnHeapEntry {
-                    d,
-                    id,
-                    shard,
-                    pos: 0,
-                }));
-            }
-        }
-        let mut ids: Vec<TrajId> = Vec::with_capacity(k);
-        while ids.len() < k {
-            let Some(std::cmp::Reverse(e)) = heap.pop() else {
-                break;
-            };
-            ids.push(e.id);
-            if let Some(&(d, id)) = per_shard[e.shard].get(e.pos + 1) {
-                heap.push(std::cmp::Reverse(KnnHeapEntry {
-                    d,
-                    id,
-                    shard: e.shard,
-                    pos: e.pos + 1,
-                }));
-            }
-        }
-        if ids.len() < k {
-            // Fewer finite candidates than k: fill with the
-            // infinite-distance trajectories in ascending global id order.
-            let mut finite = vec![false; self.total_trajs];
-            for list in &per_shard {
-                for &(_, id) in list {
-                    finite[id] = true;
-                }
-            }
-            for (id, _) in finite.iter().enumerate().filter(|(_, &f)| !f) {
-                ids.push(id);
-                if ids.len() == k {
-                    break;
-                }
-            }
-        }
-        ids.sort_unstable();
-        ids
+        knn_take_fill(k, &merge_knn_candidates(k, &per_shard), 0..self.total_trajs)
+    }
+
+    /// This engine's contribution to a distributed kNN: the global best
+    /// `k` finite-distance candidates, sorted by `(distance, global
+    /// id)`, `-0.0`-normalized — the sharded twin of
+    /// [`QueryEngine::knn_candidates`]. A remote coordinator merges
+    /// these lists across shard processes with [`merge_knn_candidates`]
+    /// and [`knn_take_fill`] and reproduces
+    /// [`ShardedQueryEngine::knn`] byte-for-byte.
+    #[must_use]
+    pub fn knn_candidates(&self, q: &KnnQuery) -> Vec<(f64, TrajId)> {
+        let per_shard = par_map(&self.shards, |sh| shard_knn_candidates(sh, q, true));
+        merge_knn_candidates(q.k, &per_shard)
     }
 
     /// Executes a batch of kNN queries (parallelism lives inside each
@@ -632,6 +599,94 @@ fn shard_similarity(sh: &ShardHandle<'_>, q: &SimilarityQuery) -> Vec<TrajId> {
         return Vec::new();
     }
     q.execute_store(sh.engine.store())
+}
+
+/// Merges per-stream kNN candidate lists into the global best `k`,
+/// still sorted ascending by `(distance, id)`. Each input stream must
+/// be sorted ascending by `(distance, id)` with finite,
+/// `-0.0`-normalized distances and globally unique ids — the shape
+/// [`QueryEngine::knn_candidates`] returns. This is the exact k-heap
+/// [`ShardedQueryEngine::knn`] runs in-process, exposed so a
+/// coordinator merging candidates from shard *processes* reproduces it
+/// byte-for-byte.
+#[must_use]
+pub fn merge_knn_candidates(k: usize, per_stream: &[Vec<(f64, TrajId)>]) -> Vec<(f64, TrajId)> {
+    // Global k-heap: a best-first k-way merge over the sorted
+    // per-stream lists. Ties on distance break by id, exactly like the
+    // single-store sort.
+    let mut heap: BinaryHeap<std::cmp::Reverse<KnnHeapEntry>> = BinaryHeap::new();
+    for (shard, list) in per_stream.iter().enumerate() {
+        if let Some(&(d, id)) = list.first() {
+            heap.push(std::cmp::Reverse(KnnHeapEntry {
+                d,
+                id,
+                shard,
+                pos: 0,
+            }));
+        }
+    }
+    let mut merged: Vec<(f64, TrajId)> = Vec::with_capacity(k);
+    while merged.len() < k {
+        let Some(std::cmp::Reverse(e)) = heap.pop() else {
+            break;
+        };
+        merged.push((e.d, e.id));
+        if let Some(&(d, id)) = per_stream[e.shard].get(e.pos + 1) {
+            heap.push(std::cmp::Reverse(KnnHeapEntry {
+                d,
+                id,
+                shard: e.shard,
+                pos: e.pos + 1,
+            }));
+        }
+    }
+    merged
+}
+
+/// Applies the single-store take-`k` / infinite-fill policy to a
+/// [`merge_knn_candidates`] result: take the candidate ids and, when
+/// fewer than `k` trajectories scored finite, fill with ids from
+/// `universe` not already present, then sort ascending. `universe`
+/// must yield the servable trajectory ids in ascending order —
+/// `0..total` for a complete database, the surviving shards' global
+/// ids for a degraded one.
+///
+/// When `merged.len() < k` the k-heap above exhausted every stream, so
+/// `merged` alone lists *all* finite-distance ids and the fill can
+/// skip exactly those.
+#[must_use]
+pub fn knn_take_fill(
+    k: usize,
+    merged: &[(f64, TrajId)],
+    universe: impl IntoIterator<Item = TrajId>,
+) -> Vec<TrajId> {
+    let mut ids: Vec<TrajId> = merged.iter().map(|&(_, id)| id).collect();
+    if ids.len() < k {
+        let finite: HashSet<TrajId> = ids.iter().copied().collect();
+        for id in universe {
+            if finite.contains(&id) {
+                continue;
+            }
+            ids.push(id);
+            if ids.len() == k {
+                break;
+            }
+        }
+    }
+    ids.sort_unstable();
+    ids
+}
+
+/// Concatenates per-stream *global*-id result lists and sorts them
+/// ascending — the coordinator-side twin of the in-process
+/// remap-and-merge for range/similarity fan-out (each shard's local
+/// hits are already remapped to global ids by the time they cross the
+/// wire).
+#[must_use]
+pub fn merge_global_ids(per_stream: Vec<Vec<TrajId>>) -> Vec<TrajId> {
+    let mut out: Vec<TrajId> = per_stream.into_iter().flatten().collect();
+    out.sort_unstable();
+    out
 }
 
 /// Heap entry of the global kNN merge: ordered by `(distance, global

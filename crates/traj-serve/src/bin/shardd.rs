@@ -1,0 +1,82 @@
+//! `shardd` — serves one shard's snapshot over the wire protocol.
+//!
+//! The smallest possible distributed building block: open one store
+//! (snapshot, quantized snapshot, CSV — anything `TrajDb::open`
+//! auto-detects), serve it, print `READY <addr>` on stdout, and run
+//! until stdin reaches EOF (so a parent process that spawned us with a
+//! piped stdin shuts us down just by closing the pipe — no signal
+//! handling, no PID files). A `Coordinator` pointed at a fleet of
+//! these is the distributed twin of opening the shard directory
+//! in-process.
+//!
+//! ```text
+//! shardd --snap shard-000.qdts [--addr 127.0.0.1:0] [--backend octree|kd|scan]
+//!        [--mode auto|owned|mapped] [--per-request]
+//! ```
+
+use std::io::{Read, Write};
+use std::process::exit;
+
+use traj_query::{BackendKind, DbOptions};
+use traj_serve::{ServeOptions, Server};
+
+fn flag_value(args: &[String], name: &str) -> Option<String> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1).cloned())
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(snap) = flag_value(&args, "--snap") else {
+        eprintln!(
+            "usage: shardd --snap <store> [--addr host:port] \
+             [--backend octree|kd|scan] [--mode auto|owned|mapped] [--per-request]"
+        );
+        exit(2);
+    };
+    let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
+
+    let mut db_opts = DbOptions::new();
+    match flag_value(&args, "--backend").as_deref() {
+        None | Some("octree") => db_opts = db_opts.backend(BackendKind::Octree),
+        Some("kd") => db_opts = db_opts.backend(BackendKind::MedianKd),
+        Some("scan") => db_opts = db_opts.backend(BackendKind::Scan),
+        Some(other) => {
+            eprintln!("shardd: unknown --backend {other} (octree|kd|scan)");
+            exit(2);
+        }
+    }
+    match flag_value(&args, "--mode").as_deref() {
+        None | Some("auto") => {}
+        Some("owned") => db_opts = db_opts.owned(),
+        Some("mapped") => db_opts = db_opts.mapped(),
+        Some(other) => {
+            eprintln!("shardd: unknown --mode {other} (auto|owned|mapped)");
+            exit(2);
+        }
+    }
+    let serve_opts = if args.iter().any(|a| a == "--per-request") {
+        ServeOptions::per_request()
+    } else {
+        ServeOptions::batched()
+    };
+
+    let server = match Server::open(&snap, db_opts, addr.as_str(), serve_opts) {
+        Ok(server) => server,
+        Err(e) => {
+            eprintln!("shardd: cannot serve {snap}: {e}");
+            exit(2);
+        }
+    };
+
+    // The parent parses this line to learn the ephemeral port.
+    println!("READY {}", server.local_addr());
+    let _ = std::io::stdout().flush();
+
+    // Serve until the parent closes our stdin (or we were launched
+    // interactively and the terminal sends EOF).
+    let mut sink = Vec::new();
+    let _ = std::io::stdin().read_to_end(&mut sink);
+    server.shutdown();
+}

@@ -8,6 +8,7 @@
 //! traj_bench_client [--clients 64] [--requests 50] [--mode both]
 //!                   [--seed 7] [--trajectories 1000]
 //!                   [--max-batch 256] [--linger-us 100]
+//!                   [--cluster 0]
 //!                   [--out BENCH_serve.json] [--date YYYY-MM-DD]
 //! ```
 //!
@@ -16,6 +17,12 @@
 //! with a freshly spawned engine pass; batched mode coalesces requests
 //! arriving concurrently across all connections into shared
 //! heterogeneous engine passes.
+//!
+//! `--cluster N` additionally benchmarks the distributed path: the
+//! dataset is hash-partitioned into N shards each served by a spawned
+//! `shardd` child process, and every simulated client drives its own
+//! [`Coordinator`] — so the reported numbers include the full wire
+//! fan-out and global merge.
 
 use std::io::Write as _;
 use std::sync::Barrier;
@@ -27,8 +34,12 @@ use traj_query::{
     range_workload, DbOptions, Dissimilarity, KnnQuery, Query, QueryBatch, QueryDistribution,
     RangeWorkloadSpec, SimilarityQuery, TrajDb,
 };
-use traj_serve::{BatchConfig, Client, ExecutionMode, ServeOptions, Server};
+use traj_serve::{
+    BatchConfig, Client, Coordinator, CoordinatorOptions, ExecutionMode, Placement, ResponseStatus,
+    ServeOptions, Server,
+};
 use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::shard::{partition, PartitionStrategy, ShardSet};
 use trajectory::TrajectoryDb;
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
@@ -177,6 +188,112 @@ fn run_mode(
     }
 }
 
+/// Benchmarks the distributed path: hash-partitions the dataset into
+/// `shards` snapshot files served by spawned `shardd` children, then
+/// has each client thread drive its own [`Coordinator`] through the
+/// full fan-out + merge per request.
+fn run_cluster(db: &TrajectoryDb, shards: usize, workload: &[Query], clients: usize) -> ModeReport {
+    use std::io::BufRead as _;
+    use std::process::{Child, Command, Stdio};
+
+    let dir = std::env::temp_dir().join(format!("qdts_bench_cluster_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    let store = db.to_store();
+    let parts = partition(&store, &PartitionStrategy::Hash { parts: shards });
+    let set = ShardSet::write(&dir, &parts).expect("write shard dir");
+
+    // shardd sits next to this binary in the target directory.
+    let shardd = std::env::current_exe()
+        .expect("current exe")
+        .with_file_name("shardd");
+    let mut children: Vec<Child> = Vec::new();
+    let mut placement_parts = Vec::new();
+    for e in set.entries() {
+        let mut child = Command::new(&shardd)
+            .arg("--snap")
+            .arg(dir.join(&e.file))
+            .stdin(Stdio::piped())
+            .stdout(Stdio::piped())
+            .spawn()
+            .expect("spawn shardd (build it with `cargo build --release -p traj-serve --bins`)");
+        let stdout = child.stdout.take().expect("piped stdout");
+        let mut line = String::new();
+        std::io::BufReader::new(stdout)
+            .read_line(&mut line)
+            .expect("shardd READY line");
+        let addr = line
+            .trim()
+            .strip_prefix("READY ")
+            .expect("shardd greeting")
+            .to_string();
+        placement_parts.push((addr, e.global_ids.clone()));
+        children.push(child);
+    }
+    let placement = Placement::from_parts(placement_parts).expect("placement");
+
+    let barrier = Barrier::new(clients + 1);
+    let shares: Vec<&[Query]> = (0..clients)
+        .map(|c| {
+            let per = workload.len() / clients;
+            &workload[c * per..(c + 1) * per]
+        })
+        .collect();
+    let barrier = &barrier;
+    let placement = &placement;
+    let (collected, elapsed) = std::thread::scope(|scope| {
+        let handles: Vec<_> = shares
+            .iter()
+            .map(|share| {
+                scope.spawn(move || {
+                    let mut coord =
+                        Coordinator::connect(placement.clone(), CoordinatorOptions::default())
+                            .expect("connect cluster");
+                    let mut lat = Vec::with_capacity(share.len());
+                    barrier.wait();
+                    for q in *share {
+                        let batch = QueryBatch::from_queries(vec![q.clone()]);
+                        let t0 = Instant::now();
+                        let response = coord.execute_batch(&batch).expect("cluster request");
+                        lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                        assert_eq!(response.status, ResponseStatus::Complete);
+                        assert_eq!(response.results.len(), 1, "one result per query");
+                    }
+                    lat
+                })
+            })
+            .collect();
+        barrier.wait();
+        let started = Instant::now();
+        let collected: Vec<Vec<f64>> = handles
+            .into_iter()
+            .map(|h| h.join().expect("client thread panicked"))
+            .collect();
+        (collected, started.elapsed())
+    });
+
+    for child in &mut children {
+        let _ = child.kill();
+        let _ = child.wait();
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut latencies_us: Vec<f64> = collected.into_iter().flatten().collect();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies_us.len();
+    let elapsed_s = elapsed.as_secs_f64();
+    ModeReport {
+        label: "cluster",
+        requests,
+        elapsed_s,
+        throughput_rps: requests as f64 / elapsed_s,
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+        mean_us: latencies_us.iter().sum::<f64>() / requests.max(1) as f64,
+        mean_batch: 0.0,
+    }
+}
+
 fn mode_json(r: &ModeReport) -> String {
     format!(
         concat!(
@@ -201,6 +318,7 @@ fn main() {
     let trajectories: usize = flag_parse(&args, "--trajectories", 1000);
     let max_batch: usize = flag_parse(&args, "--max-batch", 256);
     let linger_us: u64 = flag_parse(&args, "--linger-us", 100);
+    let cluster: usize = flag_parse(&args, "--cluster", 0);
     let mode = flag_value(&args, "--mode").unwrap_or("both").to_owned();
     let out = flag_value(&args, "--out")
         .unwrap_or("BENCH_serve.json")
@@ -254,6 +372,14 @@ fn main() {
         );
         reports.push(r);
     }
+    if cluster > 0 {
+        let r = run_cluster(&db, cluster, &workload, clients);
+        eprintln!(
+            "cluster({cluster}): {:.0} req/s, p50 {:.0}us p95 {:.0}us p99 {:.0}us",
+            r.throughput_rps, r.p50_us, r.p95_us, r.p99_us
+        );
+        reports.push(r);
+    }
 
     let speedup = match (
         reports.iter().find(|r| r.label == "batched"),
@@ -286,10 +412,12 @@ fn main() {
             "    \"batched_mode\": \"admission queue + persistent executor coalescing concurrent requests into shared heterogeneous engine passes\",\n",
             "    \"max_batch_queries\": {},\n",
             "    \"linger_us\": {},\n",
+            "    \"cluster_shards\": {},\n",
+            "    \"cluster_mode\": \"hash-partitioned shardd child processes, one Coordinator per client (full wire fan-out + global merge per request); 0 = not benchmarked\",\n",
             "    \"seed\": {}\n",
             "  }},\n"
         ),
-        clients, requests, max_batch, linger_us, seed
+        clients, requests, max_batch, linger_us, cluster, seed
     ));
     json.push_str(&format!(
         concat!(

@@ -1,11 +1,28 @@
 //! Blocking client for the wire protocol: one TCP connection, framed
-//! request/response pairs.
+//! request/response pairs, with optional connect/read/write deadlines
+//! so a dead or stalled peer surfaces as a typed
+//! [`WireError::Timeout`] instead of blocking forever.
 
+use std::io;
 use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
 
 use traj_query::{Query, QueryBatch, QueryResult};
 
-use crate::wire::{read_message, write_message, Message, WireError};
+use crate::wire::{read_message, write_message, Message, ShardInfo, ShardResult, WireError};
+
+/// Socket deadlines for a [`Client`]. `None` everywhere (the default)
+/// blocks indefinitely — fine for tests and trusted loopback peers;
+/// a distributed coordinator always sets all three.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct ClientConfig {
+    /// Deadline for establishing the TCP connection.
+    pub connect_timeout: Option<Duration>,
+    /// Deadline for each socket read while waiting for a response.
+    pub read_timeout: Option<Duration>,
+    /// Deadline for each socket write while sending a request.
+    pub write_timeout: Option<Duration>,
+}
 
 /// A connected client. One in-flight request at a time (the protocol
 /// is strict request/response per connection); open more clients for
@@ -15,12 +32,82 @@ pub struct Client {
     stream: TcpStream,
 }
 
+/// `SO_RCVTIMEO`/`SO_SNDTIMEO` expiry surfaces as `WouldBlock` or
+/// `TimedOut` depending on the platform; both mean "deadline expired".
+fn is_timeout(e: &io::Error) -> bool {
+    matches!(
+        e.kind(),
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+    )
+}
+
+fn map_io(during: &'static str, e: io::Error) -> WireError {
+    if is_timeout(&e) {
+        WireError::Timeout { during }
+    } else {
+        WireError::Io(e)
+    }
+}
+
+fn map_timeout<T>(during: &'static str, r: Result<T, WireError>) -> Result<T, WireError> {
+    r.map_err(|e| match e {
+        WireError::Io(io) if is_timeout(&io) => WireError::Timeout { during },
+        other => other,
+    })
+}
+
 impl Client {
-    /// Connects to a [`Server`](crate::Server). Enables `TCP_NODELAY`
-    /// so microsecond-scale frames are not held back by Nagle.
+    /// Connects to a [`Server`](crate::Server) with no deadlines.
+    /// Enables `TCP_NODELAY` so microsecond-scale frames are not held
+    /// back by Nagle.
     pub fn connect(addr: impl ToSocketAddrs) -> std::io::Result<Client> {
         let stream = TcpStream::connect(addr)?;
         stream.set_nodelay(true)?;
+        Ok(Client { stream })
+    }
+
+    /// [`Client::connect`] with deadlines: the connect attempt itself is
+    /// bounded by `config.connect_timeout`, and every subsequent
+    /// request honors the read/write deadlines — an unresponsive peer
+    /// yields [`WireError::Timeout`] instead of hanging the caller.
+    pub fn connect_with(
+        addr: impl ToSocketAddrs,
+        config: &ClientConfig,
+    ) -> Result<Client, WireError> {
+        let stream = match config.connect_timeout {
+            None => TcpStream::connect(addr).map_err(|e| map_io("connect", e))?,
+            Some(limit) => {
+                // `TcpStream::connect_timeout` takes a single resolved
+                // address; try each resolution like `connect` would.
+                let addrs = addr.to_socket_addrs()?;
+                let mut last: Option<io::Error> = None;
+                let mut connected = None;
+                for a in addrs {
+                    match TcpStream::connect_timeout(&a, limit) {
+                        Ok(s) => {
+                            connected = Some(s);
+                            break;
+                        }
+                        Err(e) => last = Some(e),
+                    }
+                }
+                match connected {
+                    Some(s) => s,
+                    None => {
+                        let e = last.unwrap_or_else(|| {
+                            io::Error::new(
+                                io::ErrorKind::InvalidInput,
+                                "address resolved to no socket addresses",
+                            )
+                        });
+                        return Err(map_io("connect", e));
+                    }
+                }
+            }
+        };
+        stream.set_nodelay(true)?;
+        stream.set_read_timeout(config.read_timeout)?;
+        stream.set_write_timeout(config.write_timeout)?;
         Ok(Client { stream })
     }
 
@@ -28,9 +115,9 @@ impl Client {
     /// submission order — the wire twin of
     /// [`QueryExecutor::execute_batch`](traj_query::QueryExecutor::execute_batch).
     pub fn execute_batch(&mut self, batch: &QueryBatch) -> Result<Vec<QueryResult>, WireError> {
-        write_message(&mut self.stream, &Message::Request(batch.clone()))?;
-        match read_message(&mut self.stream)? {
-            Some(Message::Response(results)) => {
+        self.send(&Message::Request(batch.clone()))?;
+        match self.receive()? {
+            Message::Response(results) => {
                 if results.len() != batch.len() {
                     return Err(WireError::Malformed {
                         reason: "response count does not match request",
@@ -38,14 +125,10 @@ impl Client {
                 }
                 Ok(results)
             }
-            Some(Message::Error { code, message }) => Err(WireError::Remote { code, message }),
-            Some(Message::Request(_)) => Err(WireError::Malformed {
-                reason: "peer sent a request frame to a client",
+            Message::Error { code, message } => Err(WireError::Remote { code, message }),
+            _ => Err(WireError::Malformed {
+                reason: "peer answered a request with the wrong frame kind",
             }),
-            None => Err(WireError::Io(std::io::Error::new(
-                std::io::ErrorKind::UnexpectedEof,
-                "server closed the connection before answering",
-            ))),
         }
     }
 
@@ -56,5 +139,58 @@ impl Client {
         results.pop().ok_or(WireError::Malformed {
             reason: "empty response to a single-query request",
         })
+    }
+
+    /// The coordinator handshake: asks the shard server to identify
+    /// itself (trajectory/point counts, kept-bitmap presence) so the
+    /// placement map can be cross-checked before queries flow.
+    pub fn hello(&mut self) -> Result<ShardInfo, WireError> {
+        self.send(&Message::Hello)?;
+        match self.receive()? {
+            Message::ShardInfo(info) => Ok(info),
+            Message::Error { code, message } => Err(WireError::Remote { code, message }),
+            _ => Err(WireError::Malformed {
+                reason: "peer answered hello with the wrong frame kind",
+            }),
+        }
+    }
+
+    /// Executes a batch as one *shard* of a distributed database: the
+    /// server returns raw per-shard material ([`ShardResult`] per
+    /// query — local hits, kept hits, scored kNN candidates) for the
+    /// coordinator to merge globally.
+    pub fn execute_shard_batch(
+        &mut self,
+        batch: &QueryBatch,
+    ) -> Result<Vec<ShardResult>, WireError> {
+        self.send(&Message::ShardRequest(batch.clone()))?;
+        match self.receive()? {
+            Message::ShardResponse(results) => {
+                if results.len() != batch.len() {
+                    return Err(WireError::Malformed {
+                        reason: "shard response count does not match request",
+                    });
+                }
+                Ok(results)
+            }
+            Message::Error { code, message } => Err(WireError::Remote { code, message }),
+            _ => Err(WireError::Malformed {
+                reason: "peer answered a shard request with the wrong frame kind",
+            }),
+        }
+    }
+
+    fn send(&mut self, msg: &Message) -> Result<(), WireError> {
+        map_timeout("write", write_message(&mut self.stream, msg))
+    }
+
+    fn receive(&mut self) -> Result<Message, WireError> {
+        match map_timeout("read", read_message(&mut self.stream))? {
+            Some(msg) => Ok(msg),
+            None => Err(WireError::Io(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "server closed the connection before answering",
+            ))),
+        }
     }
 }

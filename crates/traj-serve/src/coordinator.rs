@@ -1,0 +1,574 @@
+//! The distributed query coordinator: fans a [`QueryBatch`] out to
+//! shard *processes* over the wire and merges their raw per-shard
+//! answers exactly as `ShardedQueryEngine` merges in-process shards.
+//!
+//! The shard manifest doubles as the placement map: each
+//! [`ShardEntry`](trajectory::shard::ShardEntry) carries an optional
+//! `addr=` token naming the `shardd` process serving that shard's
+//! snapshot. [`Placement::from_manifest`] reads it,
+//! [`Coordinator::connect`] dials every shard (with a bounded connect
+//! timeout) and cross-checks each one's
+//! [`ShardInfo`](crate::wire::ShardInfo) handshake against
+//! the placement map, and [`Coordinator::execute_batch`] runs the
+//! fan-out:
+//!
+//! - every shard receives the *whole* batch as a
+//!   [`Message::ShardRequest`](crate::wire::Message) in parallel
+//!   (pruning stays result-neutral in-process, so skipping it here
+//!   cannot change answers);
+//! - range/similarity hits come back shard-local, are remapped through
+//!   the placement map's `global_ids`, and merge by concatenation +
+//!   sort ([`merge_global_ids`]);
+//! - kNN candidates come back scored; after the same remap they feed
+//!   the global k-heap ([`merge_knn_candidates`]) and the single-store
+//!   infinite-fill policy ([`knn_take_fill`]) — byte-identical to the
+//!   in-process merge;
+//! - kept-bitmap range results are `Some` only when every answering
+//!   shard served its bitmap, mirroring
+//!   `ShardedQueryEngine::has_kept_bitmaps`.
+//!
+//! Failures are first-class: per-shard connect/request timeouts,
+//! bounded retries with linear backoff and reconnection, and a
+//! per-request [`FailurePolicy`] — [`FailurePolicy::FailFast`] turns
+//! any shard failure into a typed [`CoordinatorError::ShardFailed`],
+//! while [`FailurePolicy::Degrade`] answers from the surviving shards
+//! and reports [`ResponseStatus::Degraded`] with the missing shard
+//! indexes (a *correct* answer over the reachable subset — the kNN
+//! infinite-fill universe shrinks to the survivors' ids — never a
+//! silently wrong one). Connections are reused across batches and
+//! re-dialed transparently after a failure.
+
+use std::fmt;
+use std::time::Duration;
+
+use traj_query::{
+    knn_take_fill, merge_global_ids, merge_knn_candidates, Query, QueryBatch, QueryResult,
+};
+use trajectory::shard::ShardSet;
+use trajectory::TrajId;
+
+use crate::client::{Client, ClientConfig};
+use crate::wire::{ShardResult, WireError};
+
+/// Where one shard of a distributed database lives: the address of the
+/// process serving it and the global trajectory ids it holds (strictly
+/// ascending — shard-local order is global order).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PlacementShard {
+    /// `host:port` of the serving process.
+    pub addr: String,
+    /// `global_ids[local]` = global trajectory id.
+    pub global_ids: Vec<TrajId>,
+}
+
+/// The placement map: one [`PlacementShard`] per shard, together
+/// covering global ids `0..total_trajs` exactly.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Placement {
+    shards: Vec<PlacementShard>,
+    total_trajs: usize,
+}
+
+impl Placement {
+    /// Reads a [`ShardSet`] manifest as a placement map. Every entry
+    /// must carry an `addr=` assignment (see `ShardSet::set_addrs`);
+    /// id-level validity (sorted, disjoint, covering) was already
+    /// enforced by `ShardSet::load`.
+    pub fn from_manifest(set: &ShardSet) -> Result<Placement, CoordinatorError> {
+        let mut shards = Vec::with_capacity(set.len());
+        for e in set.entries() {
+            let addr = e
+                .addr
+                .clone()
+                .ok_or_else(|| CoordinatorError::MissingAddr {
+                    file: e.file.clone(),
+                })?;
+            shards.push(PlacementShard {
+                addr,
+                global_ids: e.global_ids.clone(),
+            });
+        }
+        Ok(Placement {
+            shards,
+            total_trajs: set.total_trajs(),
+        })
+    }
+
+    /// Builds a placement from explicit `(addr, global_ids)` parts,
+    /// validating what `ShardSet::load` would: ids strictly ascending
+    /// per shard, disjoint across shards, covering `0..total` exactly,
+    /// and pairwise-distinct addresses.
+    pub fn from_parts(parts: Vec<(String, Vec<TrajId>)>) -> Result<Placement, CoordinatorError> {
+        let total: usize = parts.iter().map(|(_, ids)| ids.len()).sum();
+        let mut seen = vec![false; total];
+        for (i, (addr, ids)) in parts.iter().enumerate() {
+            if parts[..i].iter().any(|(prev, _)| prev == addr) {
+                return Err(CoordinatorError::BadPlacement {
+                    reason: format!("address {addr} assigned to more than one shard"),
+                });
+            }
+            if ids.windows(2).any(|w| w[0] >= w[1]) {
+                return Err(CoordinatorError::BadPlacement {
+                    reason: format!("shard {i} ids are not strictly ascending"),
+                });
+            }
+            for &id in ids {
+                if id >= total || seen[id] {
+                    return Err(CoordinatorError::BadPlacement {
+                        reason: format!("global id {id} out of range or doubly assigned"),
+                    });
+                }
+                seen[id] = true;
+            }
+        }
+        Ok(Placement {
+            shards: parts
+                .into_iter()
+                .map(|(addr, global_ids)| PlacementShard { addr, global_ids })
+                .collect(),
+            total_trajs: total,
+        })
+    }
+
+    /// The shards, in shard order.
+    #[must_use]
+    pub fn shards(&self) -> &[PlacementShard] {
+        &self.shards
+    }
+
+    /// Total trajectories across all shards.
+    #[must_use]
+    pub fn total_trajs(&self) -> usize {
+        self.total_trajs
+    }
+}
+
+/// What the coordinator does when a shard fails a request (after
+/// exhausting its retries).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FailurePolicy {
+    /// The whole batch fails with [`CoordinatorError::ShardFailed`].
+    FailFast,
+    /// Answer from the surviving shards and report the missing ones in
+    /// [`ResponseStatus::Degraded`]. Still fails when *no* shard
+    /// survives.
+    Degrade,
+}
+
+/// Coordinator tuning: deadlines, retry budget, default failure policy.
+#[derive(Debug, Clone, Copy)]
+pub struct CoordinatorOptions {
+    /// Deadline for dialing one shard.
+    pub connect_timeout: Duration,
+    /// Deadline for each socket read/write of one shard request.
+    pub request_timeout: Duration,
+    /// Retries per shard per batch after the first attempt fails. Each
+    /// retry reconnects (the old connection is presumed poisoned).
+    pub retries: u32,
+    /// Backoff before retry `n` is `backoff * n` (linear).
+    pub backoff: Duration,
+    /// Failure policy used by [`Coordinator::execute_batch`];
+    /// [`Coordinator::execute_batch_with`] overrides it per request.
+    pub policy: FailurePolicy,
+}
+
+impl Default for CoordinatorOptions {
+    fn default() -> Self {
+        CoordinatorOptions {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(5),
+            retries: 2,
+            backoff: Duration::from_millis(50),
+            policy: FailurePolicy::FailFast,
+        }
+    }
+}
+
+/// Everything that can go wrong coordinating a distributed batch.
+#[derive(Debug)]
+pub enum CoordinatorError {
+    /// A manifest entry has no `addr=` assignment, so it cannot serve
+    /// as a placement map.
+    MissingAddr {
+        /// The address-less shard file.
+        file: String,
+    },
+    /// The placement parts do not form a valid shard cover.
+    BadPlacement {
+        /// What is wrong.
+        reason: String,
+    },
+    /// A shard could not be reached or did not answer (after retries).
+    ShardFailed {
+        /// Shard index in placement order.
+        shard: usize,
+        /// The address dialed.
+        addr: String,
+        /// The final wire-level failure.
+        source: WireError,
+    },
+    /// A shard answered with well-formed frames that violate the
+    /// shard protocol (wrong result variant, out-of-range local id).
+    Protocol {
+        /// Shard index in placement order.
+        shard: usize,
+        /// The shard's address.
+        addr: String,
+        /// What it did wrong.
+        reason: &'static str,
+    },
+}
+
+impl fmt::Display for CoordinatorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CoordinatorError::MissingAddr { file } => {
+                write!(f, "shard {file} has no address in the manifest")
+            }
+            CoordinatorError::BadPlacement { reason } => {
+                write!(f, "bad placement: {reason}")
+            }
+            CoordinatorError::ShardFailed {
+                shard,
+                addr,
+                source,
+            } => write!(f, "shard {shard} ({addr}) failed: {source}"),
+            CoordinatorError::Protocol {
+                shard,
+                addr,
+                reason,
+            } => write!(f, "shard {shard} ({addr}) broke protocol: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for CoordinatorError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            CoordinatorError::ShardFailed { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+/// Whether a [`DistributedResponse`] covered every shard.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ResponseStatus {
+    /// Every shard answered; results are byte-identical to in-process
+    /// execution over the whole database.
+    Complete,
+    /// Some shards were unreachable; results are correct over the
+    /// surviving shards only.
+    Degraded {
+        /// Placement indexes of the shards that did not answer.
+        missing_shards: Vec<usize>,
+    },
+}
+
+/// A merged distributed answer plus how complete it is.
+#[derive(Debug)]
+pub struct DistributedResponse {
+    /// Merged results, in submission order.
+    pub results: Vec<QueryResult>,
+    /// Complete, or degraded with the missing shard indexes.
+    pub status: ResponseStatus,
+    /// The wire-level failure behind each missing shard (empty when
+    /// complete).
+    pub failures: Vec<(usize, WireError)>,
+}
+
+struct ShardConn {
+    addr: String,
+    global_ids: Vec<TrajId>,
+    client: Option<Client>,
+}
+
+/// A connected distributed database: one reusable connection per shard
+/// plus the placement map. See the [module docs](self) for the merge
+/// and failure semantics.
+pub struct Coordinator {
+    shards: Vec<ShardConn>,
+    total_trajs: usize,
+    opts: CoordinatorOptions,
+}
+
+impl Coordinator {
+    /// Dials every shard in the placement map and verifies each
+    /// handshake ([`Client::hello`]) against it: a shard serving a
+    /// different trajectory count than the manifest assigns is a
+    /// connect-time error, not a silently wrong merge later.
+    pub fn connect(
+        placement: Placement,
+        opts: CoordinatorOptions,
+    ) -> Result<Coordinator, CoordinatorError> {
+        let mut shards = Vec::with_capacity(placement.shards.len());
+        for (i, p) in placement.shards.into_iter().enumerate() {
+            let mut conn = ShardConn {
+                addr: p.addr,
+                global_ids: p.global_ids,
+                client: None,
+            };
+            connect_shard(&mut conn, &opts).map_err(|source| CoordinatorError::ShardFailed {
+                shard: i,
+                addr: conn.addr.clone(),
+                source,
+            })?;
+            shards.push(conn);
+        }
+        Ok(Coordinator {
+            shards,
+            total_trajs: placement.total_trajs,
+            opts,
+        })
+    }
+
+    /// Number of shards in the placement.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Total trajectories across all shards.
+    #[must_use]
+    pub fn total_trajs(&self) -> usize {
+        self.total_trajs
+    }
+
+    /// Executes a batch with the configured default
+    /// [`CoordinatorOptions::policy`].
+    pub fn execute_batch(
+        &mut self,
+        batch: &QueryBatch,
+    ) -> Result<DistributedResponse, CoordinatorError> {
+        self.execute_batch_with(batch, self.opts.policy)
+    }
+
+    /// Executes a batch under an explicit per-request failure policy:
+    /// the whole batch goes to every shard in parallel, each shard
+    /// retries independently (with backoff + reconnect), and the
+    /// per-shard answers merge exactly as the in-process fan-out does.
+    pub fn execute_batch_with(
+        &mut self,
+        batch: &QueryBatch,
+        policy: FailurePolicy,
+    ) -> Result<DistributedResponse, CoordinatorError> {
+        let opts = self.opts;
+        let outcomes: Vec<Result<Vec<ShardResult>, WireError>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = self
+                .shards
+                .iter_mut()
+                .map(|conn| scope.spawn(move || shard_round(conn, batch, &opts)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard fan-out thread panicked"))
+                .collect()
+        });
+
+        let mut per_shard: Vec<Option<Vec<ShardResult>>> = Vec::with_capacity(outcomes.len());
+        let mut failures: Vec<(usize, WireError)> = Vec::new();
+        for (i, outcome) in outcomes.into_iter().enumerate() {
+            match outcome {
+                Ok(results) => per_shard.push(Some(results)),
+                Err(source) => match policy {
+                    FailurePolicy::FailFast => {
+                        return Err(CoordinatorError::ShardFailed {
+                            shard: i,
+                            addr: self.shards[i].addr.clone(),
+                            source,
+                        })
+                    }
+                    FailurePolicy::Degrade => {
+                        failures.push((i, source));
+                        per_shard.push(None);
+                    }
+                },
+            }
+        }
+        // Degrading to an empty shard set would answer every query with
+        // nothing — that is an outage, not a degraded answer.
+        if !self.shards.is_empty() && per_shard.iter().all(Option::is_none) {
+            let (shard, source) = failures.swap_remove(0);
+            return Err(CoordinatorError::ShardFailed {
+                shard,
+                addr: self.shards[shard].addr.clone(),
+                source,
+            });
+        }
+
+        let results = self.merge(batch, &per_shard)?;
+        let missing_shards: Vec<usize> = failures.iter().map(|&(i, _)| i).collect();
+        let status = if missing_shards.is_empty() {
+            ResponseStatus::Complete
+        } else {
+            ResponseStatus::Degraded { missing_shards }
+        };
+        Ok(DistributedResponse {
+            results,
+            status,
+            failures,
+        })
+    }
+
+    /// Merges per-shard raw results into final answers — the remote
+    /// twin of `ShardedQueryEngine`'s in-process merge. `per_shard[s]`
+    /// is `None` for shards the failure policy degraded away.
+    fn merge(
+        &self,
+        batch: &QueryBatch,
+        per_shard: &[Option<Vec<ShardResult>>],
+    ) -> Result<Vec<QueryResult>, CoordinatorError> {
+        let available: Vec<usize> = per_shard
+            .iter()
+            .enumerate()
+            .filter_map(|(i, r)| r.as_ref().map(|_| i))
+            .collect();
+        // The ascending id universe the kNN infinite-fill draws from:
+        // the union of the answering shards' global ids — equal to
+        // `0..total` when every shard answered (preserving
+        // byte-identity with in-process execution), the reachable
+        // subset when degraded.
+        let mut universe: Vec<TrajId> = available
+            .iter()
+            .flat_map(|&s| self.shards[s].global_ids.iter().copied())
+            .collect();
+        universe.sort_unstable();
+
+        let mut out = Vec::with_capacity(batch.len());
+        for (qi, q) in batch.queries().iter().enumerate() {
+            let result = match q {
+                Query::Range(_) => QueryResult::Range(self.merge_ids(qi, &available, per_shard)?),
+                Query::Similarity(_) => {
+                    QueryResult::Similarity(self.merge_ids(qi, &available, per_shard)?)
+                }
+                Query::Knn(k) => {
+                    let mut streams = Vec::with_capacity(available.len());
+                    for &s in &available {
+                        let ShardResult::Candidates(cands) = &shard_results(per_shard, s)[qi]
+                        else {
+                            return Err(self.protocol(s, "expected knn candidates"));
+                        };
+                        let mut remapped = Vec::with_capacity(cands.len());
+                        for &(d, local) in cands {
+                            remapped.push((d, self.remap_one(s, local)?));
+                        }
+                        streams.push(remapped);
+                    }
+                    let merged = merge_knn_candidates(k.k, &streams);
+                    QueryResult::Knn(knn_take_fill(k.k, &merged, universe.iter().copied()))
+                }
+                Query::RangeKept(_) => {
+                    // `Some` only when at least one shard answered and
+                    // every answering shard served its kept bitmap —
+                    // mirroring `ShardedQueryEngine::has_kept_bitmaps`.
+                    let mut lists = Vec::with_capacity(available.len());
+                    let mut all_kept = !available.is_empty();
+                    for &s in &available {
+                        match &shard_results(per_shard, s)[qi] {
+                            ShardResult::Kept(Some(ids)) => {
+                                lists.push(self.remap(s, ids)?);
+                            }
+                            ShardResult::Kept(None) => all_kept = false,
+                            _ => return Err(self.protocol(s, "expected kept hits")),
+                        }
+                    }
+                    QueryResult::RangeKept(all_kept.then(|| merge_global_ids(lists)))
+                }
+            };
+            out.push(result);
+        }
+        Ok(out)
+    }
+
+    fn merge_ids(
+        &self,
+        qi: usize,
+        available: &[usize],
+        per_shard: &[Option<Vec<ShardResult>>],
+    ) -> Result<Vec<TrajId>, CoordinatorError> {
+        let mut lists = Vec::with_capacity(available.len());
+        for &s in available {
+            let ShardResult::Ids(ids) = &shard_results(per_shard, s)[qi] else {
+                return Err(self.protocol(s, "expected id hits"));
+            };
+            lists.push(self.remap(s, ids)?);
+        }
+        Ok(merge_global_ids(lists))
+    }
+
+    fn remap_one(&self, shard: usize, local: TrajId) -> Result<TrajId, CoordinatorError> {
+        self.shards[shard]
+            .global_ids
+            .get(local)
+            .copied()
+            .ok_or_else(|| self.protocol(shard, "shard-local id out of placement range"))
+    }
+
+    fn remap(&self, shard: usize, local: &[TrajId]) -> Result<Vec<TrajId>, CoordinatorError> {
+        local.iter().map(|&l| self.remap_one(shard, l)).collect()
+    }
+
+    fn protocol(&self, shard: usize, reason: &'static str) -> CoordinatorError {
+        CoordinatorError::Protocol {
+            shard,
+            addr: self.shards[shard].addr.clone(),
+            reason,
+        }
+    }
+}
+
+fn shard_results(per_shard: &[Option<Vec<ShardResult>>], s: usize) -> &[ShardResult] {
+    per_shard[s].as_deref().expect("shard listed as available")
+}
+
+/// Dials one shard and runs the handshake, verifying the shard serves
+/// exactly the trajectory count the placement map assigns to it.
+fn connect_shard(conn: &mut ShardConn, opts: &CoordinatorOptions) -> Result<(), WireError> {
+    let cfg = ClientConfig {
+        connect_timeout: Some(opts.connect_timeout),
+        read_timeout: Some(opts.request_timeout),
+        write_timeout: Some(opts.request_timeout),
+    };
+    let mut client = Client::connect_with(conn.addr.as_str(), &cfg)?;
+    let info = client.hello()?;
+    if info.trajs as usize != conn.global_ids.len() {
+        return Err(WireError::Malformed {
+            reason: "shard serves a different trajectory count than the placement map assigns",
+        });
+    }
+    conn.client = Some(client);
+    Ok(())
+}
+
+/// One shard's share of a batch: send, and on failure retry with
+/// linear backoff, reconnecting each time (the old connection is
+/// presumed poisoned — half-written frames desynchronize the stream).
+fn shard_round(
+    conn: &mut ShardConn,
+    batch: &QueryBatch,
+    opts: &CoordinatorOptions,
+) -> Result<Vec<ShardResult>, WireError> {
+    let mut attempt = 0u32;
+    loop {
+        let result = match conn.client.as_mut() {
+            Some(client) => client.execute_shard_batch(batch),
+            None => connect_shard(conn, opts).and_then(|()| {
+                conn.client
+                    .as_mut()
+                    .expect("just connected")
+                    .execute_shard_batch(batch)
+            }),
+        };
+        match result {
+            Ok(results) => return Ok(results),
+            Err(e) => {
+                conn.client = None;
+                if attempt >= opts.retries {
+                    return Err(e);
+                }
+                attempt += 1;
+                std::thread::sleep(opts.backoff * attempt);
+            }
+        }
+    }
+}

@@ -1,0 +1,250 @@
+//! A byte-level fault-injection TCP proxy for testing the serving
+//! stack's failure handling.
+//!
+//! [`FaultProxy`] sits between a client and an upstream server,
+//! forwarding bytes in both directions while applying one configured
+//! [`Fault`] to one direction of the stream: close the connection
+//! mid-frame, silently black-hole everything past an offset (the peer
+//! stalls until its deadline fires), delay delivery, or flip a single
+//! bit in flight. The harness in `tests/fault_props.rs` drives every
+//! frame kind through every fault class and asserts the invariant the
+//! wire format promises: a faulted exchange yields either the correct
+//! answer or a *typed* error — never a silently wrong answer.
+//!
+//! Each accepted connection snapshots the fault configured at accept
+//! time, so tests reconfigure with [`FaultProxy::set_fault`] and then
+//! open a fresh connection.
+
+use std::io::{self, Read, Write};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::{self, JoinHandle};
+use std::time::Duration;
+
+/// Which direction of the proxied stream a [`Fault`] applies to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FaultDirection {
+    /// Bytes flowing from the client toward the upstream server
+    /// (requests).
+    ClientToServer,
+    /// Bytes flowing from the upstream server back to the client
+    /// (responses).
+    ServerToClient,
+}
+
+/// A single injected failure, anchored at a byte offset within one
+/// direction of the proxied stream (offset 0 = the first byte that
+/// direction carries on the connection).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Fault {
+    /// Forward everything faithfully.
+    None,
+    /// Forward the first `offset` bytes, then close both sides of the
+    /// connection — a peer crash mid-frame.
+    CloseAt {
+        /// Direction the cut applies to.
+        dir: FaultDirection,
+        /// Bytes delivered before the cut.
+        offset: u64,
+    },
+    /// Forward the first `offset` bytes, then silently discard the
+    /// rest while keeping the connection open — a stall that only a
+    /// deadline can unstick.
+    DropFrom {
+        /// Direction the black hole applies to.
+        dir: FaultDirection,
+        /// Bytes delivered before the stall.
+        offset: u64,
+    },
+    /// Pause delivery once, just before the byte at `offset` is
+    /// forwarded, then continue faithfully — transient congestion.
+    DelayAt {
+        /// Direction the pause applies to.
+        dir: FaultDirection,
+        /// Byte offset that triggers the pause.
+        offset: u64,
+        /// How long to pause.
+        delay: Duration,
+    },
+    /// Flip one bit of the byte at `offset` and forward everything —
+    /// in-flight corruption the frame checksum must catch.
+    FlipBit {
+        /// Direction the corruption applies to.
+        dir: FaultDirection,
+        /// Byte offset of the corrupted byte.
+        offset: u64,
+        /// Bit index (0–7) to flip within that byte.
+        bit: u8,
+    },
+}
+
+/// The per-direction residue of a [`Fault`]: what one pump thread
+/// actually applies to its stream.
+#[derive(Debug, Clone, Copy)]
+enum LocalFault {
+    None,
+    CloseAt(u64),
+    DropFrom(u64),
+    DelayAt(u64, Duration),
+    FlipBit(u64, u8),
+}
+
+fn localize(fault: Fault, dir: FaultDirection) -> LocalFault {
+    match fault {
+        Fault::None => LocalFault::None,
+        Fault::CloseAt { dir: d, offset } if d == dir => LocalFault::CloseAt(offset),
+        Fault::DropFrom { dir: d, offset } if d == dir => LocalFault::DropFrom(offset),
+        Fault::DelayAt {
+            dir: d,
+            offset,
+            delay,
+        } if d == dir => LocalFault::DelayAt(offset, delay),
+        Fault::FlipBit {
+            dir: d,
+            offset,
+            bit,
+        } if d == dir => LocalFault::FlipBit(offset, bit),
+        _ => LocalFault::None,
+    }
+}
+
+/// The fault-injecting TCP proxy. Listens on an ephemeral loopback
+/// port; point clients at [`FaultProxy::local_addr`] instead of the
+/// real server.
+pub struct FaultProxy {
+    addr: SocketAddr,
+    fault: Arc<Mutex<Fault>>,
+    stop: Arc<AtomicBool>,
+    accept: Option<JoinHandle<()>>,
+}
+
+impl FaultProxy {
+    /// Starts a proxy in front of `upstream` with no fault configured.
+    pub fn start(upstream: SocketAddr) -> io::Result<FaultProxy> {
+        let listener = TcpListener::bind("127.0.0.1:0")?;
+        let addr = listener.local_addr()?;
+        let fault = Arc::new(Mutex::new(Fault::None));
+        let stop = Arc::new(AtomicBool::new(false));
+        let fault2 = Arc::clone(&fault);
+        let stop2 = Arc::clone(&stop);
+        let accept = thread::spawn(move || {
+            for conn in listener.incoming() {
+                if stop2.load(Ordering::SeqCst) {
+                    break;
+                }
+                let Ok(client) = conn else { continue };
+                let Ok(server) = TcpStream::connect(upstream) else {
+                    let _ = client.shutdown(Shutdown::Both);
+                    continue;
+                };
+                let _ = client.set_nodelay(true);
+                let _ = server.set_nodelay(true);
+                let snapshot = *fault2.lock().expect("fault lock poisoned");
+                let (Ok(client_rd), Ok(server_rd)) = (client.try_clone(), server.try_clone())
+                else {
+                    continue;
+                };
+                let c2s = localize(snapshot, FaultDirection::ClientToServer);
+                let s2c = localize(snapshot, FaultDirection::ServerToClient);
+                // Pump threads exit when either side closes; they are
+                // detached because their lifetime is bounded by the
+                // sockets, not the proxy handle.
+                thread::spawn(move || pump(client_rd, server, c2s));
+                thread::spawn(move || pump(server_rd, client, s2c));
+            }
+        });
+        Ok(FaultProxy {
+            addr,
+            fault,
+            stop,
+            accept: Some(accept),
+        })
+    }
+
+    /// The address clients should connect to.
+    #[must_use]
+    pub fn local_addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Sets the fault applied to connections accepted *from now on*;
+    /// already-open connections keep their snapshot.
+    pub fn set_fault(&self, fault: Fault) {
+        *self.fault.lock().expect("fault lock poisoned") = fault;
+    }
+}
+
+impl Drop for FaultProxy {
+    fn drop(&mut self) {
+        self.stop.store(true, Ordering::SeqCst);
+        // Unblock the accept loop so it observes the stop flag.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(handle) = self.accept.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Copies bytes `from` → `to`, applying one [`LocalFault`] keyed on the
+/// cumulative byte offset of this direction.
+fn pump(mut from: TcpStream, mut to: TcpStream, fault: LocalFault) {
+    let mut seen = 0u64;
+    let mut delayed = false;
+    let mut dropping = false;
+    let mut buf = [0u8; 4096];
+    loop {
+        let n = match from.read(&mut buf) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => n,
+        };
+        let start = seen;
+        seen += n as u64;
+        if dropping {
+            // Keep draining so the sender never blocks; deliver nothing.
+            continue;
+        }
+        let chunk = &mut buf[..n];
+        let delivered = match fault {
+            LocalFault::None => to.write_all(chunk).is_ok(),
+            LocalFault::FlipBit(offset, bit) => {
+                if offset >= start && offset < seen {
+                    chunk[(offset - start) as usize] ^= 1 << (bit & 7);
+                }
+                to.write_all(chunk).is_ok()
+            }
+            LocalFault::DelayAt(offset, delay) => {
+                if !delayed && offset < seen {
+                    delayed = true;
+                    thread::sleep(delay);
+                }
+                to.write_all(chunk).is_ok()
+            }
+            LocalFault::CloseAt(offset) => {
+                if offset < seen {
+                    let keep = (offset - start) as usize;
+                    let _ = to.write_all(&chunk[..keep]);
+                    let _ = to.shutdown(Shutdown::Both);
+                    let _ = from.shutdown(Shutdown::Both);
+                    return;
+                }
+                to.write_all(chunk).is_ok()
+            }
+            LocalFault::DropFrom(offset) => {
+                if offset < seen {
+                    let keep = (offset.saturating_sub(start)) as usize;
+                    let ok = to.write_all(&chunk[..keep]).is_ok();
+                    dropping = true;
+                    ok
+                } else {
+                    to.write_all(chunk).is_ok()
+                }
+            }
+        };
+        if !delivered {
+            break;
+        }
+    }
+    let _ = to.shutdown(Shutdown::Write);
+    let _ = from.shutdown(Shutdown::Read);
+}

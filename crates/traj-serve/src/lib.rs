@@ -14,9 +14,20 @@
 //!   concurrently on many connections into single heterogeneous
 //!   work-stealing engine passes (vs. the naive one-engine-pass-per-
 //!   request mode it is benchmarked against);
-//! - [`client`] — a blocking client speaking the same frames, plus the
+//! - [`client`] — a blocking client speaking the same frames (with
+//!   optional connect/read/write deadlines), plus the
 //!   `traj_bench_client` load generator that measures throughput and
-//!   p50/p95/p99 latency for both execution modes.
+//!   p50/p95/p99 latency for both execution modes;
+//! - [`coordinator`] — the distributed layer: a fleet of `shardd`
+//!   processes each serving one shard's snapshot, a [`Placement`] map
+//!   read from the shard manifest's `addr=` assignments, and a
+//!   [`Coordinator`] that fans each batch out in parallel and merges
+//!   per-shard answers byte-identically to the in-process sharded
+//!   engine — with timeouts, bounded retries, and a per-request
+//!   [`FailurePolicy`] for typed degraded answers;
+//! - [`fault`] — a byte-level fault-injecting TCP proxy ([`FaultProxy`])
+//!   used by the test suites to prove every injected failure surfaces
+//!   as a typed error or a correct degraded answer, never a wrong one.
 //!
 //! ```no_run
 //! use traj_query::{DbOptions, QueryBatch, TrajDb};
@@ -36,14 +47,23 @@
 #![warn(missing_docs)]
 
 pub mod client;
+pub mod coordinator;
+pub mod fault;
 pub mod server;
 pub mod wire;
 
-pub use client::Client;
-pub use server::{BatchConfig, ExecutionMode, ServeOptions, Server, ServerStats};
+pub use client::{Client, ClientConfig};
+pub use coordinator::{
+    Coordinator, CoordinatorError, CoordinatorOptions, DistributedResponse, FailurePolicy,
+    Placement, PlacementShard, ResponseStatus,
+};
+pub use fault::{Fault, FaultDirection, FaultProxy};
+pub use server::{
+    execute_shard_batch, BatchConfig, ExecutionMode, ServeOptions, Server, ServerStats,
+};
 pub use wire::{
-    decode_message, encode_message, read_message, write_message, Message, WireError, MAGIC,
-    MAX_PAYLOAD, VERSION,
+    decode_message, encode_message, read_message, write_message, Message, ShardInfo, ShardResult,
+    WireError, MAGIC, MAX_PAYLOAD, VERSION,
 };
 
 /// The byte-level wire format specification (`docs/WIRE_FORMAT.md`),

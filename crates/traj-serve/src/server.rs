@@ -36,7 +36,7 @@ use std::time::{Duration, Instant};
 
 use traj_query::{DbOptions, Query, QueryBatch, QueryExecutor, QueryResult, TrajDb, TrajDbError};
 
-use crate::wire::{read_message, write_message, Message, WireError};
+use crate::wire::{read_message, write_message, Message, ShardInfo, ShardResult, WireError};
 
 // `TrajDb` must stay shareable across connection handler threads; if a
 // future backend loses Send/Sync this fails to compile right here
@@ -332,11 +332,29 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
         if shared.shutting_down.load(Ordering::SeqCst) {
             return;
         }
-        let batch = match read_message(stream) {
-            Ok(Some(Message::Request(batch))) => batch,
+        let reply = match read_message(stream) {
+            Ok(Some(Message::Request(batch))) => {
+                let results = execute(shared, batch);
+                Message::Response(results)
+            }
+            // Distributed-serving frames bypass the admission queue:
+            // the coordinator already batches per shard, and shard
+            // results (scored kNN candidates, raw local hits) are not
+            // expressible as the `Job` results the executors route.
+            Ok(Some(Message::Hello)) => Message::ShardInfo(ShardInfo {
+                trajs: shared.db.len() as u64,
+                points: shared.db.total_points() as u64,
+                has_kept: shared.db.has_kept_bitmap(),
+            }),
+            Ok(Some(Message::ShardRequest(batch))) => {
+                shared
+                    .queries
+                    .fetch_add(batch.len() as u64, Ordering::Relaxed);
+                Message::ShardResponse(execute_shard_batch(&shared.db, &batch))
+            }
             Ok(Some(_)) => {
-                // A server only accepts requests; anything else ends
-                // the conversation after a typed error frame.
+                // A server only accepts request-side frames; anything
+                // else ends the conversation after a typed error frame.
                 let _ = write_message(
                     stream,
                     &Message::Error {
@@ -360,13 +378,32 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
                 return;
             }
         };
-        let results = execute(shared, batch);
         shared.requests.fetch_add(1, Ordering::Relaxed);
-        if write_message(stream, &Message::Response(results)).is_err() {
+        if write_message(stream, &reply).is_err() {
             return;
         }
         let _ = stream.flush();
     }
+}
+
+/// Executes a batch as one *shard* of a distributed database: raw
+/// shard-local results — no global-id remap, no kNN infinite-fill —
+/// exactly the per-shard material `ShardedQueryEngine` produces before
+/// its in-process merge. The coordinator applies the placement map's
+/// remap and the global merge; the equivalence suite pins the two paths
+/// byte-identical.
+#[must_use]
+pub fn execute_shard_batch(db: &TrajDb, batch: &QueryBatch) -> Vec<ShardResult> {
+    batch
+        .queries()
+        .iter()
+        .map(|q| match q {
+            Query::Range(c) => ShardResult::Ids(db.range(c)),
+            Query::Knn(k) => ShardResult::Candidates(db.knn_candidates(k)),
+            Query::Similarity(s) => ShardResult::Ids(db.similarity(s)),
+            Query::RangeKept(c) => ShardResult::Kept(db.range_kept(c)),
+        })
+        .collect()
 }
 
 fn execute(shared: &Arc<Shared>, batch: QueryBatch) -> Vec<QueryResult> {

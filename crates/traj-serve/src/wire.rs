@@ -48,6 +48,16 @@ pub const KIND_REQUEST: u8 = 1;
 pub const KIND_RESPONSE: u8 = 2;
 /// Frame kind byte for a [`Message::Error`].
 pub const KIND_ERROR: u8 = 3;
+/// Frame kind byte for a [`Message::Hello`] (coordinator → shard
+/// handshake probe).
+pub const KIND_HELLO: u8 = 4;
+/// Frame kind byte for a [`Message::ShardInfo`] (handshake reply).
+pub const KIND_SHARD_INFO: u8 = 5;
+/// Frame kind byte for a [`Message::ShardRequest`] (a batch to execute
+/// as one shard of a distributed database).
+pub const KIND_SHARD_REQUEST: u8 = 6;
+/// Frame kind byte for a [`Message::ShardResponse`].
+pub const KIND_SHARD_RESPONSE: u8 = 7;
 
 /// Everything that can go wrong speaking the wire format. Corruption is
 /// always reported as a typed variant — decoding never panics.
@@ -106,6 +116,14 @@ pub enum WireError {
         /// Human-readable message from the peer.
         message: String,
     },
+    /// A read, write, or connect deadline expired before the peer
+    /// answered — the typed form of `WouldBlock`/`TimedOut` socket
+    /// errors, so callers can distinguish a slow peer from a broken one.
+    Timeout {
+        /// The operation that timed out (`"connect"`, `"read"`,
+        /// `"write"`).
+        during: &'static str,
+    },
 }
 
 impl fmt::Display for WireError {
@@ -136,6 +154,7 @@ impl fmt::Display for WireError {
             WireError::Remote { code, message } => {
                 write!(f, "remote error {code}: {message}")
             }
+            WireError::Timeout { during } => write!(f, "timed out during {during}"),
         }
     }
 }
@@ -155,6 +174,38 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+/// What a shard server reports about itself during the coordinator
+/// handshake — enough for the coordinator to cross-check the placement
+/// map before trusting the shard with queries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ShardInfo {
+    /// Trajectories the shard serves.
+    pub trajs: u64,
+    /// Points the shard serves.
+    pub points: u64,
+    /// True when the shard carries a persisted kept bitmap (can answer
+    /// `RangeKept` with `Some`).
+    pub has_kept: bool,
+}
+
+/// One query's *shard-local* answer inside a [`Message::ShardResponse`]
+/// — the raw per-shard material the coordinator merges exactly as
+/// `ShardedQueryEngine` merges in-process shards. Ids are already
+/// global when the shard serves a whole shard snapshot (its engine maps
+/// local→global is the coordinator's job via the placement map — see
+/// `traj_serve::coordinator`).
+#[derive(Debug, Clone, PartialEq)]
+pub enum ShardResult {
+    /// Range/similarity hits, shard-local ids ascending.
+    Ids(Vec<TrajId>),
+    /// Kept-bitmap range hits; `None` when the shard has no bitmap.
+    Kept(Option<Vec<TrajId>>),
+    /// kNN candidates: finite `(distance, shard-local id)` pairs sorted
+    /// ascending by `(distance, id)`, truncated to the query's `k`,
+    /// `-0.0`-normalized — the shape `knn_candidates` produces.
+    Candidates(Vec<(f64, TrajId)>),
+}
+
 /// One framed message, either direction.
 #[derive(Debug, Clone)]
 pub enum Message {
@@ -169,6 +220,17 @@ pub enum Message {
         /// Human-readable description.
         message: String,
     },
+    /// Coordinator → shard: identify yourself (handshake probe).
+    Hello,
+    /// Shard → coordinator: handshake reply.
+    ShardInfo(ShardInfo),
+    /// Coordinator → shard: execute this batch as one shard of a
+    /// distributed database, returning raw per-shard material instead
+    /// of finished answers.
+    ShardRequest(QueryBatch),
+    /// Shard → coordinator: one [`ShardResult`] per query, in
+    /// submission order.
+    ShardResponse(Vec<ShardResult>),
 }
 
 impl Message {
@@ -179,6 +241,10 @@ impl Message {
             Message::Request(_) => KIND_REQUEST,
             Message::Response(_) => KIND_RESPONSE,
             Message::Error { .. } => KIND_ERROR,
+            Message::Hello => KIND_HELLO,
+            Message::ShardInfo(_) => KIND_SHARD_INFO,
+            Message::ShardRequest(_) => KIND_SHARD_REQUEST,
+            Message::ShardResponse(_) => KIND_SHARD_RESPONSE,
         }
     }
 }
@@ -511,6 +577,87 @@ fn decode_result(r: &mut Reader<'_>) -> Result<QueryResult, WireError> {
     }
 }
 
+const SHARD_TAG_IDS: u8 = 0;
+const SHARD_TAG_KEPT: u8 = 1;
+const SHARD_TAG_CANDIDATES: u8 = 2;
+
+/// Appends one [`ShardResult`]'s wire encoding to `out`.
+pub fn encode_shard_result(out: &mut Vec<u8>, r: &ShardResult) {
+    match r {
+        ShardResult::Ids(ids) => {
+            out.push(SHARD_TAG_IDS);
+            encode_ids(out, ids);
+        }
+        ShardResult::Kept(ids) => {
+            out.push(SHARD_TAG_KEPT);
+            match ids {
+                Some(ids) => {
+                    out.push(1);
+                    encode_ids(out, ids);
+                }
+                None => out.push(0),
+            }
+        }
+        ShardResult::Candidates(cands) => {
+            out.push(SHARD_TAG_CANDIDATES);
+            put_u32_vec(out, cands.len() as u32);
+            for &(d, id) in cands {
+                put_f64_vec(out, d);
+                put_u64_vec(out, id as u64);
+            }
+        }
+    }
+}
+
+fn decode_shard_result(r: &mut Reader<'_>) -> Result<ShardResult, WireError> {
+    match r.u8()? {
+        SHARD_TAG_IDS => Ok(ShardResult::Ids(decode_ids(r)?)),
+        SHARD_TAG_KEPT => match r.u8()? {
+            0 => Ok(ShardResult::Kept(None)),
+            1 => Ok(ShardResult::Kept(Some(decode_ids(r)?))),
+            _ => Err(WireError::Malformed {
+                reason: "shard kept presence byte not 0/1",
+            }),
+        },
+        SHARD_TAG_CANDIDATES => {
+            let n = r.count(16)?;
+            let mut cands: Vec<(f64, TrajId)> = Vec::with_capacity(n);
+            for _ in 0..n {
+                let d = r.f64()?;
+                // The coordinator's k-heap merge assumes finite,
+                // `-0.0`-normalized distances in sorted streams;
+                // anything else would silently corrupt the global merge
+                // order, so reject it here as malformed.
+                if !d.is_finite() {
+                    return Err(WireError::Malformed {
+                        reason: "non-finite knn candidate distance",
+                    });
+                }
+                if d == 0.0 && d.is_sign_negative() {
+                    return Err(WireError::Malformed {
+                        reason: "unnormalized -0.0 knn candidate distance",
+                    });
+                }
+                let id = usize::try_from(r.u64()?).map_err(|_| WireError::Malformed {
+                    reason: "trajectory id exceeds usize",
+                })?;
+                if let Some(&(pd, pid)) = cands.last() {
+                    if d < pd || (d == pd && id <= pid) {
+                        return Err(WireError::Malformed {
+                            reason: "knn candidates out of (distance, id) order",
+                        });
+                    }
+                }
+                cands.push((d, id));
+            }
+            Ok(ShardResult::Candidates(cands))
+        }
+        _ => Err(WireError::Malformed {
+            reason: "unknown shard result tag",
+        }),
+    }
+}
+
 // ---------------------------------------------------------------------
 // Whole-message framing.
 // ---------------------------------------------------------------------
@@ -534,6 +681,24 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
             out.extend_from_slice(&code.to_le_bytes());
             put_u32_vec(&mut out, message.len() as u32);
             out.extend_from_slice(message.as_bytes());
+        }
+        Message::Hello => {}
+        Message::ShardInfo(info) => {
+            put_u64_vec(&mut out, info.trajs);
+            put_u64_vec(&mut out, info.points);
+            out.push(u8::from(info.has_kept));
+        }
+        Message::ShardRequest(batch) => {
+            put_u32_vec(&mut out, batch.len() as u32);
+            for q in batch.queries() {
+                encode_query(&mut out, q);
+            }
+        }
+        Message::ShardResponse(results) => {
+            put_u32_vec(&mut out, results.len() as u32);
+            for r in results {
+                encode_shard_result(&mut out, r);
+            }
         }
     }
     out
@@ -571,6 +736,41 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
                 })?
                 .to_owned();
             Message::Error { code, message }
+        }
+        KIND_HELLO => Message::Hello,
+        KIND_SHARD_INFO => {
+            let trajs = r.u64()?;
+            let points = r.u64()?;
+            let has_kept = match r.u8()? {
+                0 => false,
+                1 => true,
+                _ => {
+                    return Err(WireError::Malformed {
+                        reason: "shard-info kept byte not 0/1",
+                    })
+                }
+            };
+            Message::ShardInfo(ShardInfo {
+                trajs,
+                points,
+                has_kept,
+            })
+        }
+        KIND_SHARD_REQUEST => {
+            let n = r.count(1)?;
+            let mut queries = Vec::with_capacity(n);
+            for _ in 0..n {
+                queries.push(decode_query(&mut r)?);
+            }
+            Message::ShardRequest(QueryBatch::from_queries(queries))
+        }
+        KIND_SHARD_RESPONSE => {
+            let n = r.count(1)?;
+            let mut results = Vec::with_capacity(n);
+            for _ in 0..n {
+                results.push(decode_shard_result(&mut r)?);
+            }
+            Message::ShardResponse(results)
         }
         kind => return Err(WireError::UnknownKind { kind }),
     };
@@ -611,7 +811,7 @@ fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
         });
     }
     let kind = header[6];
-    if !(KIND_REQUEST..=KIND_ERROR).contains(&kind) {
+    if !(KIND_REQUEST..=KIND_SHARD_RESPONSE).contains(&kind) {
         return Err(WireError::UnknownKind { kind });
     }
     if header[7] != 0 {

@@ -1,0 +1,529 @@
+//! Multi-process distributed serving tests: a fleet of `shardd` child
+//! processes (one per shard snapshot) behind a [`Coordinator`] answers
+//! byte-identically to opening the same shard directory in-process —
+//! across every partitioner, index backend, and storage layout — and
+//! injected failures (killed shards, stalled responses, in-flight
+//! corruption) surface as typed errors or correct degraded answers,
+//! never silently wrong ones.
+
+use std::io::{BufRead, BufReader};
+use std::path::{Path, PathBuf};
+use std::process::{Child, Command, Stdio};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+use traj_query::{
+    knn_take_fill, merge_global_ids, merge_knn_candidates, DbOptions, Dissimilarity, KnnQuery,
+    Query, QueryBatch, QueryExecutor, QueryResult, SimilarityQuery, TrajDb,
+};
+use traj_serve::wire::{encode_message, Message};
+use traj_serve::{
+    Coordinator, CoordinatorError, CoordinatorOptions, FailurePolicy, Fault, FaultDirection,
+    FaultProxy, Placement, ResponseStatus, ShardInfo, WireError,
+};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::shard::{partition, PartitionStrategy, ShardSet};
+use trajectory::{KeptBitmap, TrajId, TrajectoryDb};
+
+fn unique_path(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("qdts_distributed_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn dataset() -> TrajectoryDb {
+    generate(&DatasetSpec::tdrive(Scale::Smoke).with_trajectories(24), 3)
+}
+
+/// A batch exercising every query variant (both kNN measures included).
+fn mixed_batch(db: &TrajectoryDb) -> QueryBatch {
+    let bounds = db.bounding_cube();
+    let mid_t = (bounds.t_min + bounds.t_max) / 2.0;
+    let cube = trajectory::Cube::new(
+        bounds.x_min,
+        (bounds.x_min + bounds.x_max) / 2.0,
+        bounds.y_min,
+        (bounds.y_min + bounds.y_max) / 2.0,
+        bounds.t_min,
+        mid_t,
+    );
+    let probe = db.get(0).clone();
+    let ts = bounds.t_min;
+    let te = mid_t;
+    QueryBatch::from_queries(vec![
+        Query::Range(cube),
+        Query::Knn(KnnQuery {
+            query: probe.clone(),
+            ts,
+            te,
+            k: 3,
+            measure: Dissimilarity::Edr { eps: 2_000.0 },
+        }),
+        Query::Knn(KnnQuery {
+            query: probe.clone(),
+            ts,
+            te,
+            k: 2,
+            measure: Dissimilarity::t2vec_default(),
+        }),
+        Query::Similarity(SimilarityQuery {
+            query: probe,
+            ts,
+            te,
+            delta: 5_000.0,
+            step: 600.0,
+        }),
+        Query::RangeKept(cube),
+    ])
+}
+
+/// Writes a shard directory for `strategy`, with per-shard keep-every-
+/// other-point bitmaps, plain or quantized.
+fn write_shard_dir(db: &TrajectoryDb, strategy: &PartitionStrategy, quantized: bool) -> PathBuf {
+    let store = db.to_store();
+    let shards = partition(&store, strategy);
+    let kept: Vec<KeptBitmap> = shards
+        .iter()
+        .map(|sh| {
+            let mut bitmap = KeptBitmap::zeros(sh.store.total_points());
+            for p in (0..sh.store.total_points()).step_by(2) {
+                bitmap.insert(p as u32);
+            }
+            bitmap
+        })
+        .collect();
+    let dir = unique_path(if quantized { "qshards" } else { "shards" });
+    if quantized {
+        ShardSet::write_quantized(&dir, &shards, Some(&kept), 1e-3).expect("write quantized");
+    } else {
+        ShardSet::write_with(&dir, &shards, &kept).expect("write shards");
+    }
+    dir
+}
+
+/// A fleet of `shardd` children, killed (and reaped) on drop.
+struct Cluster {
+    children: Vec<Child>,
+    addrs: Vec<String>,
+}
+
+impl Cluster {
+    /// Spawns one `shardd` per shard file of the set, waiting for each
+    /// `READY <addr>` line.
+    fn spawn(dir: &Path, set: &ShardSet, extra_args: &[&str]) -> Cluster {
+        let mut children = Vec::new();
+        let mut addrs = Vec::new();
+        for e in set.entries() {
+            let (child, addr) = spawn_shardd(&dir.join(&e.file), extra_args);
+            children.push(child);
+            addrs.push(addr);
+        }
+        Cluster { children, addrs }
+    }
+
+    /// Kills shard `i` and waits for it to die.
+    fn kill(&mut self, i: usize) {
+        let _ = self.children[i].kill();
+        let _ = self.children[i].wait();
+    }
+}
+
+impl Drop for Cluster {
+    fn drop(&mut self) {
+        for child in &mut self.children {
+            let _ = child.kill();
+            let _ = child.wait();
+        }
+    }
+}
+
+fn spawn_shardd(snap: &Path, extra_args: &[&str]) -> (Child, String) {
+    let mut child = Command::new(env!("CARGO_BIN_EXE_shardd"))
+        .arg("--snap")
+        .arg(snap)
+        .args(extra_args)
+        .stdin(Stdio::piped())
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn shardd");
+    let stdout = child.stdout.take().expect("piped stdout");
+    let mut line = String::new();
+    BufReader::new(stdout)
+        .read_line(&mut line)
+        .expect("shardd READY line");
+    let addr = line
+        .trim()
+        .strip_prefix("READY ")
+        .unwrap_or_else(|| panic!("unexpected shardd greeting: {line:?}"))
+        .to_string();
+    (child, addr)
+}
+
+/// Fast-failure coordinator tuning for tests.
+fn test_opts() -> CoordinatorOptions {
+    CoordinatorOptions {
+        connect_timeout: Duration::from_millis(500),
+        request_timeout: Duration::from_secs(5),
+        retries: 1,
+        backoff: Duration::from_millis(10),
+        ..CoordinatorOptions::default()
+    }
+}
+
+fn cleanup(dir: &Path) {
+    std::fs::remove_dir_all(dir).ok();
+}
+
+/// The headline equivalence matrix: every partitioner × every index
+/// backend × every storage layout, the coordinator's merged answer is
+/// byte-identical (re-encoded frame equality) to opening the same
+/// shard directory in one process. The shard manifest round-trips the
+/// `addr=` placement assignments through disk along the way.
+#[test]
+fn distributed_matches_in_process_across_the_matrix() {
+    let db = dataset();
+    let batch = mixed_batch(&db);
+    let partitioners: [(&str, PartitionStrategy); 3] = [
+        ("grid 2x2", PartitionStrategy::Grid { nx: 2, ny: 2 }),
+        ("time 3", PartitionStrategy::Time { parts: 3 }),
+        ("hash 3", PartitionStrategy::Hash { parts: 3 }),
+    ];
+    let backends: [(&str, &str); 3] = [("octree", "octree"), ("kd", "kd"), ("scan", "scan")];
+    // (label, quantized shard files?, shardd --mode, in-process DbOptions mutator)
+    let layouts: [(&str, bool, &str); 3] = [
+        ("owned", false, "owned"),
+        ("mapped", false, "mapped"),
+        ("quantized", true, "auto"),
+    ];
+
+    for (part_label, strategy) in &partitioners {
+        let plain_dir = write_shard_dir(&db, strategy, false);
+        let quant_dir = write_shard_dir(&db, strategy, true);
+        for (backend_label, backend_flag) in backends {
+            for (layout_label, quantized, mode_flag) in layouts {
+                let dir = if quantized { &quant_dir } else { &plain_dir };
+                let label = format!(
+                    "partition `{part_label}`, backend `{backend_label}`, layout `{layout_label}`"
+                );
+
+                let mut opts = DbOptions::new().backend(match backend_flag {
+                    "kd" => traj_query::BackendKind::MedianKd,
+                    "scan" => traj_query::BackendKind::Scan,
+                    _ => traj_query::BackendKind::Octree,
+                });
+                if mode_flag == "owned" {
+                    opts = opts.owned();
+                } else if mode_flag == "mapped" {
+                    opts = opts.mapped();
+                }
+                let expected = TrajDb::open(dir, opts)
+                    .expect("open shard dir in-process")
+                    .execute_batch(&batch);
+
+                let mut set = ShardSet::load(dir).expect("load manifest");
+                let cluster =
+                    Cluster::spawn(dir, &set, &["--backend", backend_flag, "--mode", mode_flag]);
+                // Persist the placement through the manifest and read
+                // it back: the round-trip is part of what's under test.
+                set.set_addrs(&cluster.addrs).expect("assign addrs");
+                set.save_manifest().expect("save manifest");
+                let reloaded = ShardSet::load(dir).expect("reload manifest");
+                let placement = Placement::from_manifest(&reloaded).expect("placement");
+                assert_eq!(
+                    placement.total_trajs(),
+                    db.len(),
+                    "{label}: placement total"
+                );
+
+                let mut coord =
+                    Coordinator::connect(placement, test_opts()).expect("connect cluster");
+                let response = coord.execute_batch(&batch).expect("distributed batch");
+                assert_eq!(response.status, ResponseStatus::Complete, "{label}");
+                assert_eq!(response.results, expected, "{label}: results diverge");
+                assert_eq!(
+                    encode_message(&Message::Response(response.results)),
+                    encode_message(&Message::Response(expected)),
+                    "{label}: encodings diverge"
+                );
+
+                // Connection reuse: a second batch on the same
+                // coordinator, no reconnect.
+                let again = coord.execute_batch(&batch).expect("second batch");
+                assert_eq!(again.status, ResponseStatus::Complete, "{label}: reuse");
+            }
+        }
+        cleanup(&plain_dir);
+        cleanup(&quant_dir);
+    }
+}
+
+/// Computes the expected degraded answer by opening each *surviving*
+/// shard file as its own single-store database and merging through the
+/// same public merge functions the sharded engine uses.
+fn expected_degraded(
+    dir: &Path,
+    set: &ShardSet,
+    survivors: &[usize],
+    batch: &QueryBatch,
+) -> Vec<QueryResult> {
+    let dbs: Vec<(TrajDb, &[TrajId])> = survivors
+        .iter()
+        .map(|&s| {
+            let e = &set.entries()[s];
+            let db = TrajDb::open(dir.join(&e.file), DbOptions::new()).expect("open shard");
+            (db, e.global_ids.as_slice())
+        })
+        .collect();
+    let remap = |ids: Vec<TrajId>, globals: &[TrajId]| -> Vec<TrajId> {
+        ids.into_iter().map(|l| globals[l]).collect()
+    };
+    let mut universe: Vec<TrajId> = dbs
+        .iter()
+        .flat_map(|(_, globals)| globals.iter().copied())
+        .collect();
+    universe.sort_unstable();
+
+    batch
+        .queries()
+        .iter()
+        .map(|q| match q {
+            Query::Range(c) => QueryResult::Range(merge_global_ids(
+                dbs.iter().map(|(db, g)| remap(db.range(c), g)).collect(),
+            )),
+            Query::Similarity(s) => QueryResult::Similarity(merge_global_ids(
+                dbs.iter()
+                    .map(|(db, g)| remap(db.similarity(s), g))
+                    .collect(),
+            )),
+            Query::Knn(k) => {
+                let streams: Vec<Vec<(f64, TrajId)>> = dbs
+                    .iter()
+                    .map(|(db, g)| {
+                        db.knn_candidates(k)
+                            .into_iter()
+                            .map(|(d, l)| (d, g[l]))
+                            .collect()
+                    })
+                    .collect();
+                let merged = merge_knn_candidates(k.k, &streams);
+                QueryResult::Knn(knn_take_fill(k.k, &merged, universe.iter().copied()))
+            }
+            Query::RangeKept(c) => {
+                let per: Vec<Option<Vec<TrajId>>> = dbs
+                    .iter()
+                    .map(|(db, g)| db.range_kept(c).map(|ids| remap(ids, g)))
+                    .collect();
+                let all_kept = !per.is_empty() && per.iter().all(Option::is_some);
+                QueryResult::RangeKept(
+                    all_kept.then(|| merge_global_ids(per.into_iter().flatten().collect())),
+                )
+            }
+        })
+        .collect()
+}
+
+/// Kill one shard mid-flight: under `Degrade` the answer is exactly
+/// the merge over the survivors (with the kNN fill universe shrunk to
+/// their ids) and the missing shard is reported; under `FailFast` the
+/// same failure is a typed `ShardFailed`.
+#[test]
+fn killed_shard_degrades_or_fails_fast_but_never_lies() {
+    let db = dataset();
+    let batch = mixed_batch(&db);
+    let dir = write_shard_dir(&db, &PartitionStrategy::Hash { parts: 3 }, false);
+    let mut set = ShardSet::load(&dir).expect("load manifest");
+    let mut cluster = Cluster::spawn(&dir, &set, &[]);
+    set.set_addrs(&cluster.addrs).expect("assign addrs");
+    let placement = Placement::from_manifest(&set).expect("placement");
+
+    let mut coord = Coordinator::connect(placement.clone(), test_opts()).expect("connect");
+    // Healthy first: complete answers.
+    let healthy = coord.execute_batch(&batch).expect("healthy batch");
+    assert_eq!(healthy.status, ResponseStatus::Complete);
+
+    let victim = 1;
+    cluster.kill(victim);
+
+    // Degrade: correct merge over the survivors, victim reported.
+    let degraded = coord
+        .execute_batch_with(&batch, FailurePolicy::Degrade)
+        .expect("degraded batch");
+    assert_eq!(
+        degraded.status,
+        ResponseStatus::Degraded {
+            missing_shards: vec![victim]
+        }
+    );
+    assert_eq!(degraded.failures.len(), 1);
+    assert_eq!(degraded.failures[0].0, victim);
+    let survivors: Vec<usize> = (0..set.len()).filter(|&s| s != victim).collect();
+    let expected = expected_degraded(&dir, &set, &survivors, &batch);
+    assert_eq!(degraded.results, expected, "degraded answer is wrong");
+
+    // Degraded range hits are a subset of the healthy ones.
+    for (got, full) in degraded.results.iter().zip(&healthy.results) {
+        if let (QueryResult::Range(got), QueryResult::Range(full)) = (got, full) {
+            assert!(got.iter().all(|id| full.contains(id)));
+        }
+    }
+
+    // FailFast: the same outage is a typed error naming the victim.
+    match coord.execute_batch_with(&batch, FailurePolicy::FailFast) {
+        Err(CoordinatorError::ShardFailed { shard, .. }) => assert_eq!(shard, victim),
+        other => panic!("expected ShardFailed, got {other:?}"),
+    }
+
+    // Killing every shard is an outage even under Degrade.
+    for s in 0..set.len() {
+        if s != victim {
+            cluster.kill(s);
+        }
+    }
+    match coord.execute_batch_with(&batch, FailurePolicy::Degrade) {
+        Err(CoordinatorError::ShardFailed { .. }) => {}
+        other => panic!("expected total outage to fail, got {other:?}"),
+    }
+    cleanup(&dir);
+}
+
+/// A shard that stops responding mid-exchange (black-holed response)
+/// trips the request deadline as a typed `Timeout`; a shard whose
+/// response is corrupted in flight trips the frame checksum as a typed
+/// decode error. Neither ever yields a wrong answer.
+#[test]
+fn stalled_and_corrupted_shards_surface_typed_errors() {
+    let db = dataset();
+    let batch = mixed_batch(&db);
+    let dir = write_shard_dir(&db, &PartitionStrategy::Hash { parts: 1 }, false);
+    let set = ShardSet::load(&dir).expect("load manifest");
+    let cluster = Cluster::spawn(&dir, &set, &[]);
+    let upstream: std::net::SocketAddr = cluster.addrs[0].parse().expect("shardd addr");
+    let proxy = FaultProxy::start(upstream).expect("start proxy");
+
+    // Server→client bytes 0..hello_len carry the ShardInfo handshake
+    // (fixed-size frame); everything after is the shard response.
+    let hello_len = encode_message(&Message::ShardInfo(ShardInfo {
+        trajs: 0,
+        points: 0,
+        has_kept: false,
+    }))
+    .len() as u64;
+
+    let placement = |addr: std::net::SocketAddr| {
+        Placement::from_parts(vec![(
+            addr.to_string(),
+            set.entries()[0].global_ids.clone(),
+        )])
+        .expect("placement")
+    };
+    let opts = CoordinatorOptions {
+        connect_timeout: Duration::from_millis(500),
+        request_timeout: Duration::from_millis(300),
+        retries: 0,
+        backoff: Duration::from_millis(1),
+        policy: FailurePolicy::FailFast,
+    };
+
+    // Stall: the handshake passes, the first response byte never comes.
+    proxy.set_fault(Fault::DropFrom {
+        dir: FaultDirection::ServerToClient,
+        offset: hello_len,
+    });
+    let mut coord = Coordinator::connect(placement(proxy.local_addr()), opts).expect("connect");
+    match coord.execute_batch(&batch) {
+        Err(CoordinatorError::ShardFailed {
+            source: WireError::Timeout { .. },
+            ..
+        }) => {}
+        other => panic!("expected a shard timeout, got {other:?}"),
+    }
+
+    // Corruption: flip a bit in the response frame's magic.
+    proxy.set_fault(Fault::FlipBit {
+        dir: FaultDirection::ServerToClient,
+        offset: hello_len + 1,
+        bit: 3,
+    });
+    let mut coord = Coordinator::connect(placement(proxy.local_addr()), opts).expect("connect");
+    match coord.execute_batch(&batch) {
+        Err(CoordinatorError::ShardFailed { source, .. }) => {
+            assert!(
+                !matches!(source, WireError::Io(_)),
+                "corruption must be a typed decode error, got {source:?}"
+            );
+        }
+        other => panic!("expected a typed decode failure, got {other:?}"),
+    }
+
+    // A delayed (but uncorrupted) response still answers correctly.
+    proxy.set_fault(Fault::DelayAt {
+        dir: FaultDirection::ServerToClient,
+        offset: hello_len,
+        delay: Duration::from_millis(50),
+    });
+    let relaxed = CoordinatorOptions {
+        request_timeout: Duration::from_secs(5),
+        ..opts
+    };
+    let mut coord = Coordinator::connect(placement(proxy.local_addr()), relaxed).expect("connect");
+    let slow = coord.execute_batch(&batch).expect("delayed batch");
+    let direct = TrajDb::open(&dir, DbOptions::new())
+        .expect("open shard dir")
+        .execute_batch(&batch);
+    assert_eq!(slow.results, direct, "a delay must never change results");
+    cleanup(&dir);
+}
+
+/// Placement validation: missing `addr=` entries and malformed covers
+/// are typed errors, and a shard whose handshake contradicts the
+/// placement map is rejected at connect time.
+#[test]
+fn bad_placements_and_mismatched_handshakes_are_rejected() {
+    let db = dataset();
+    let dir = write_shard_dir(&db, &PartitionStrategy::Hash { parts: 2 }, false);
+    let set = ShardSet::load(&dir).expect("load manifest");
+
+    // No addresses assigned yet: not a placement map.
+    match Placement::from_manifest(&set) {
+        Err(CoordinatorError::MissingAddr { .. }) => {}
+        other => panic!("expected MissingAddr, got {other:?}"),
+    }
+
+    // Doubly-assigned global id.
+    match Placement::from_parts(vec![
+        ("127.0.0.1:1001".into(), vec![0, 1]),
+        ("127.0.0.1:1002".into(), vec![1]),
+    ]) {
+        Err(CoordinatorError::BadPlacement { .. }) => {}
+        other => panic!("expected BadPlacement, got {other:?}"),
+    }
+
+    // Duplicate address.
+    match Placement::from_parts(vec![
+        ("127.0.0.1:1001".into(), vec![0]),
+        ("127.0.0.1:1001".into(), vec![1]),
+    ]) {
+        Err(CoordinatorError::BadPlacement { .. }) => {}
+        other => panic!("expected BadPlacement, got {other:?}"),
+    }
+
+    // A live shardd serving shard 0's snapshot, but a placement that
+    // assigns it the whole database: handshake cross-check fails.
+    let cluster = Cluster::spawn(&dir, &set, &[]);
+    let all_ids: Vec<TrajId> = (0..set.total_trajs()).collect();
+    let lying = Placement::from_parts(vec![(cluster.addrs[0].clone(), all_ids)]).expect("parts");
+    match Coordinator::connect(lying, test_opts()) {
+        Err(CoordinatorError::ShardFailed {
+            source: WireError::Malformed { .. },
+            ..
+        }) => {}
+        Err(other) => panic!("expected a handshake mismatch, got {other:?}"),
+        Ok(_) => panic!("a lying placement must not connect"),
+    }
+    cleanup(&dir);
+}

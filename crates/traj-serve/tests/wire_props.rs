@@ -8,7 +8,9 @@ use proptest::prelude::*;
 use traj_query::{
     Dissimilarity, KnnQuery, Query, QueryBatch, QueryResult, SimilarityQuery, T2vecEmbedder,
 };
-use traj_serve::wire::{decode_message, encode_message, Message, WireError, MAX_PAYLOAD};
+use traj_serve::wire::{
+    decode_message, encode_message, Message, ShardInfo, ShardResult, WireError, MAX_PAYLOAD,
+};
 use trajectory::{Cube, Point, Trajectory};
 
 fn arb_cube() -> impl Strategy<Value = Cube> {
@@ -98,6 +100,33 @@ fn arb_result() -> impl Strategy<Value = QueryResult> {
     ]
 }
 
+/// Scored kNN candidate lists as a shard produces them: finite,
+/// non-negative-zero distances, strictly ascending in `(distance, id)`
+/// (the decode-side invariant).
+fn arb_candidates() -> impl Strategy<Value = Vec<(f64, usize)>> {
+    prop::collection::vec((0.0..1e6f64, 0usize..1_000_000), 0..40).prop_map(|mut cands| {
+        cands.sort_unstable_by(|a, b| a.0.total_cmp(&b.0).then(a.1.cmp(&b.1)));
+        cands.dedup_by(|a, b| a.0 == b.0 && a.1 == b.1);
+        cands
+    })
+}
+
+fn arb_shard_result() -> impl Strategy<Value = ShardResult> {
+    prop_oneof![
+        arb_ids().prop_map(ShardResult::Ids),
+        prop_oneof![Just(None), arb_ids().prop_map(Some)].prop_map(ShardResult::Kept),
+        arb_candidates().prop_map(ShardResult::Candidates),
+    ]
+}
+
+fn arb_shard_info() -> impl Strategy<Value = ShardInfo> {
+    (0u64..1 << 48, 0u64..1 << 48, any::<bool>()).prop_map(|(trajs, points, has_kept)| ShardInfo {
+        trajs,
+        points,
+        has_kept,
+    })
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         prop::collection::vec(arb_query(), 0..8)
@@ -109,6 +138,11 @@ fn arb_message() -> impl Strategy<Value = Message> {
                 message: String::from_utf8(bytes).expect("printable ASCII"),
             }
         }),
+        Just(Message::Hello),
+        arb_shard_info().prop_map(Message::ShardInfo),
+        prop::collection::vec(arb_query(), 0..8)
+            .prop_map(|qs| Message::ShardRequest(QueryBatch::from_queries(qs))),
+        prop::collection::vec(arb_shard_result(), 0..8).prop_map(Message::ShardResponse),
     ]
 }
 
@@ -134,6 +168,16 @@ fn assert_message_eq(a: &Message, b: &Message) -> Result<(), TestCaseError> {
         ) => {
             prop_assert_eq!(ca, cb);
             prop_assert_eq!(ma, mb);
+        }
+        (Message::Hello, Message::Hello) => {}
+        (Message::ShardInfo(x), Message::ShardInfo(y)) => {
+            prop_assert_eq!(x, y);
+        }
+        (Message::ShardRequest(x), Message::ShardRequest(y)) => {
+            prop_assert_eq!(x.queries(), y.queries());
+        }
+        (Message::ShardResponse(x), Message::ShardResponse(y)) => {
+            prop_assert_eq!(x, y);
         }
         _ => prop_assert!(false, "message kind changed in round trip"),
     }

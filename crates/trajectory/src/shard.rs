@@ -211,6 +211,21 @@ pub enum ShardSetError {
         /// The duplicated file name.
         file: String,
     },
+    /// A shard's network address is not a well-formed `host:port` pair.
+    MalformedShardAddr {
+        /// The shard file the address was attached to.
+        file: String,
+        /// The offending address string.
+        addr: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Two shards claim the same network address (a placement map must
+    /// dial a distinct endpoint per shard).
+    DuplicateShardAddr {
+        /// The doubly-assigned address.
+        addr: String,
+    },
     /// A shard's id list is not strictly ascending (the fan-out merge
     /// relies on local order equalling global order).
     UnsortedTrajIds {
@@ -262,6 +277,12 @@ impl std::fmt::Display for ShardSetError {
             }
             ShardSetError::DuplicateShardFile { file } => {
                 write!(f, "manifest references shard file {file} twice")
+            }
+            ShardSetError::MalformedShardAddr { file, addr, reason } => {
+                write!(f, "shard {file}: malformed address {addr:?}: {reason}")
+            }
+            ShardSetError::DuplicateShardAddr { addr } => {
+                write!(f, "address {addr} is assigned to more than one shard")
             }
             ShardSetError::UnsortedTrajIds { file } => {
                 write!(f, "shard {file} lists trajectory ids out of order")
@@ -317,6 +338,10 @@ pub struct ShardEntry {
     /// File name of the shard snapshot, relative to the shard-set
     /// directory.
     pub file: String,
+    /// Network address (`host:port`) of the process serving this shard,
+    /// when the manifest doubles as a distributed placement map (the
+    /// optional `addr=` manifest token). `None` for purely local sets.
+    pub addr: Option<String>,
     /// `global_ids[local]` = global trajectory id.
     pub global_ids: Vec<TrajId>,
 }
@@ -416,25 +441,64 @@ impl ShardSet {
             })?;
             entries.push(ShardEntry {
                 file,
+                addr: None,
                 global_ids: shard.global_ids.clone(),
             });
         }
-        let mut manifest = Vec::new();
-        writeln!(manifest, "{MANIFEST_MAGIC}")?;
-        writeln!(manifest, "shards {} trajs {trajs}", entries.len())?;
-        for e in &entries {
-            write!(manifest, "shard {}", e.file)?;
-            for id in &e.global_ids {
-                write!(manifest, " {id}")?;
-            }
-            writeln!(manifest)?;
-        }
-        std::fs::write(dir.join(MANIFEST_FILE), manifest)?;
+        std::fs::write(dir.join(MANIFEST_FILE), render_manifest(trajs, &entries)?)?;
         Ok(ShardSet {
             dir: dir.to_path_buf(),
             trajs,
             entries,
         })
+    }
+
+    /// Assigns one network address (`host:port`) per shard, in shard
+    /// order — turning the manifest into the placement map a
+    /// distributed coordinator dials. Addresses must be well-formed and
+    /// pairwise distinct (typed errors otherwise); nothing is assigned
+    /// on failure. Persist with [`ShardSet::save_manifest`].
+    ///
+    /// # Panics
+    /// Panics when `addrs.len() != self.len()`.
+    pub fn set_addrs<S: AsRef<str>>(&mut self, addrs: &[S]) -> Result<(), ShardSetError> {
+        assert_eq!(
+            addrs.len(),
+            self.entries.len(),
+            "one address per shard required"
+        );
+        for (e, addr) in self.entries.iter().zip(addrs) {
+            let addr = addr.as_ref();
+            if let Err(reason) = validate_addr(addr) {
+                return Err(ShardSetError::MalformedShardAddr {
+                    file: e.file.clone(),
+                    addr: addr.to_string(),
+                    reason,
+                });
+            }
+        }
+        for (i, addr) in addrs.iter().enumerate() {
+            if addrs[..i].iter().any(|prev| prev.as_ref() == addr.as_ref()) {
+                return Err(ShardSetError::DuplicateShardAddr {
+                    addr: addr.as_ref().to_string(),
+                });
+            }
+        }
+        for (e, addr) in self.entries.iter_mut().zip(addrs) {
+            e.addr = Some(addr.as_ref().to_string());
+        }
+        Ok(())
+    }
+
+    /// Rewrites the manifest in the set's directory, persisting address
+    /// assignments made since the set was written or loaded. Shard
+    /// snapshot files are untouched.
+    pub fn save_manifest(&self) -> Result<(), ShardSetError> {
+        std::fs::write(
+            self.dir.join(MANIFEST_FILE),
+            render_manifest(self.trajs, &self.entries)?,
+        )?;
+        Ok(())
     }
 
     /// Parses and validates the manifest in `dir`. Rejects — with typed
@@ -510,6 +574,19 @@ impl ShardSet {
                     reason: format!("shard file name {file:?} escapes the shard-set directory"),
                 });
             }
+            let mut fields = fields.peekable();
+            let mut addr = None;
+            if let Some(a) = fields.peek().and_then(|tok| tok.strip_prefix("addr=")) {
+                if let Err(reason) = validate_addr(a) {
+                    return Err(ShardSetError::MalformedShardAddr {
+                        file,
+                        addr: a.to_string(),
+                        reason,
+                    });
+                }
+                addr = Some(a.to_string());
+                fields.next();
+            }
             let mut global_ids = Vec::new();
             for tok in fields {
                 let id: TrajId = tok.parse().map_err(|_| ShardSetError::Parse {
@@ -518,7 +595,11 @@ impl ShardSet {
                 })?;
                 global_ids.push(id);
             }
-            entries.push(ShardEntry { file, global_ids });
+            entries.push(ShardEntry {
+                file,
+                addr,
+                global_ids,
+            });
         }
         if entries.len() != shard_count {
             return Err(ShardSetError::BadManifest {
@@ -529,7 +610,8 @@ impl ShardSet {
             });
         }
 
-        // File-level validation: every referenced file exists, none twice.
+        // File-level validation: every referenced file exists, none
+        // twice, and no network address is claimed by two shards.
         for (i, e) in entries.iter().enumerate() {
             if entries[..i].iter().any(|prev| prev.file == e.file) {
                 return Err(ShardSetError::DuplicateShardFile {
@@ -540,6 +622,14 @@ impl ShardSet {
                 return Err(ShardSetError::MissingShardFile {
                     file: e.file.clone(),
                 });
+            }
+            if let Some(addr) = &e.addr {
+                if entries[..i]
+                    .iter()
+                    .any(|prev| prev.addr.as_deref() == Some(addr.as_str()))
+                {
+                    return Err(ShardSetError::DuplicateShardAddr { addr: addr.clone() });
+                }
             }
         }
 
@@ -679,6 +769,41 @@ impl ShardSet {
             .collect();
         Ok(unify_parts(&parts))
     }
+}
+
+/// Serializes the manifest: magic, header, one `shard` line per entry
+/// (with the optional `addr=` placement token before the id list).
+fn render_manifest(trajs: usize, entries: &[ShardEntry]) -> io::Result<Vec<u8>> {
+    let mut manifest = Vec::new();
+    writeln!(manifest, "{MANIFEST_MAGIC}")?;
+    writeln!(manifest, "shards {} trajs {trajs}", entries.len())?;
+    for e in entries {
+        write!(manifest, "shard {}", e.file)?;
+        if let Some(addr) = &e.addr {
+            write!(manifest, " addr={addr}")?;
+        }
+        for id in &e.global_ids {
+            write!(manifest, " {id}")?;
+        }
+        writeln!(manifest)?;
+    }
+    Ok(manifest)
+}
+
+/// A shard address must be a dialable `host:port` pair: non-empty host,
+/// port a valid `u16`. (Hostnames are allowed — resolution happens at
+/// connect time — so this does not require a literal IP.)
+fn validate_addr(addr: &str) -> Result<(), String> {
+    let Some((host, port)) = addr.rsplit_once(':') else {
+        return Err("missing `:port`".to_string());
+    };
+    if host.is_empty() {
+        return Err("empty host".to_string());
+    }
+    if port.parse::<u16>().is_err() {
+        return Err(format!("unparseable port {port:?}"));
+    }
+    Ok(())
 }
 
 fn check_traj_count(file: &str, manifest: usize, snapshot: usize) -> Result<(), ShardSetError> {
@@ -934,6 +1059,67 @@ mod tests {
         assert!(matches!(
             ShardSet::load(&dir),
             Err(ShardSetError::OverlappingTrajIds { .. })
+        ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_addrs_round_trip_through_the_manifest() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let dir = temp_dir("addrs");
+        let mut set = ShardSet::write(&dir, &shards).unwrap();
+        // A freshly written (or pre-addr) manifest loads with no addrs.
+        assert!(ShardSet::load(&dir)
+            .unwrap()
+            .entries()
+            .iter()
+            .all(|e| e.addr.is_none()));
+
+        set.set_addrs(&["127.0.0.1:7001", "db-host-2:7002"])
+            .unwrap();
+        set.save_manifest().unwrap();
+        let reloaded = ShardSet::load(&dir).unwrap();
+        assert_eq!(reloaded, set);
+        assert_eq!(
+            reloaded.entries()[1].addr.as_deref(),
+            Some("db-host-2:7002")
+        );
+
+        // Malformed and duplicate assignments are typed errors and leave
+        // the set untouched.
+        assert!(matches!(
+            set.set_addrs(&["127.0.0.1:7001", "no-port-here"]),
+            Err(ShardSetError::MalformedShardAddr { .. })
+        ));
+        assert!(matches!(
+            set.set_addrs(&[":7001", "db-host-2:7002"]),
+            Err(ShardSetError::MalformedShardAddr { .. })
+        ));
+        assert!(matches!(
+            set.set_addrs(&["host:99999", "db-host-2:7002"]),
+            Err(ShardSetError::MalformedShardAddr { .. })
+        ));
+        assert!(matches!(
+            set.set_addrs(&["same:1", "same:1"]),
+            Err(ShardSetError::DuplicateShardAddr { .. })
+        ));
+        assert_eq!(set.entries()[0].addr.as_deref(), Some("127.0.0.1:7001"));
+
+        // The same rejections apply to a manifest edited on disk.
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let original = std::fs::read_to_string(&manifest_path).unwrap();
+        let dup = original.replace("addr=db-host-2:7002", "addr=127.0.0.1:7001");
+        std::fs::write(&manifest_path, dup).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::DuplicateShardAddr { .. })
+        ));
+        let malformed = original.replace("addr=db-host-2:7002", "addr=db-host-2");
+        std::fs::write(&manifest_path, malformed).unwrap();
+        assert!(matches!(
+            ShardSet::load(&dir),
+            Err(ShardSetError::MalformedShardAddr { .. })
         ));
         std::fs::remove_dir_all(&dir).ok();
     }

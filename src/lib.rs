@@ -47,6 +47,9 @@ pub use traj_query::{
     BackendKind, DbOptions, EngineConfig, MaintainedWorkload, Query, QueryBatch, QueryEngine,
     QueryExecutor, QueryResult, ShardedQueryEngine, TrajDb,
 };
-pub use traj_serve::{Client, ServeOptions, Server};
+pub use traj_serve::{
+    Client, Coordinator, CoordinatorOptions, DistributedResponse, FailurePolicy, Placement,
+    ResponseStatus, ServeOptions, Server,
+};
 pub use traj_simp::Simplifier;
 pub use trajectory::{Point, Simplification, Trajectory, TrajectoryDb};
