@@ -408,7 +408,7 @@ pub fn cluster_serve_task(
         servers.push(server);
     }
     let placement = Placement::from_parts(parts)?;
-    let mut coord = Coordinator::connect(placement, CoordinatorOptions::default())?;
+    let coord = Coordinator::connect(placement, CoordinatorOptions::default())?;
     let open_seconds = t0.elapsed().as_secs_f64();
 
     // The same workload the in-process serve task runs over this path.

@@ -880,6 +880,25 @@ impl TrajDb {
         }
     }
 
+    /// Smallest cube covering every served point, as the open database
+    /// decodes them (for quantized snapshots: the decoded coordinates).
+    /// A serving process reports this in its placement handshake so a
+    /// distributed coordinator can route with
+    /// [`query_touches_bounds`](crate::query_touches_bounds).
+    #[must_use]
+    pub fn bounding_cube(&self) -> Cube {
+        match &self.inner {
+            Inner::Single(e) => e.store().bounding_cube(),
+            Inner::Sharded(e) => {
+                let mut all = Cube::empty();
+                for b in e.shard_bounds() {
+                    all.union_with(&b);
+                }
+                all
+            }
+        }
+    }
+
     /// The sharded engine behind the façade, when the database is
     /// sharded.
     #[must_use]

@@ -86,8 +86,8 @@ pub use knn::{Dissimilarity, KnnQuery};
 pub use metrics::{f1_pairs, f1_sets, mean_f1, query_diff, F1Score};
 pub use range::{range_query, range_query_batch, range_query_store};
 pub use sharded::{
-    knn_take_fill, merge_global_ids, merge_knn_candidates, ShardedQueryEngine,
-    ShardedSimplification,
+    knn_take_fill, merge_global_ids, merge_knn_candidates, query_touches_bounds,
+    ShardedQueryEngine, ShardedSimplification,
 };
 pub use similarity::SimilarityQuery;
 pub use t2vec::T2vecEmbedder;

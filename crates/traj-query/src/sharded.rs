@@ -30,6 +30,7 @@ use trajectory::{
     AsColumns, Cube, KeptBitmap, MappedStore, PointStore, Simplification, StoreRef, TrajId,
 };
 
+use crate::db::Query;
 use crate::engine::{build_backend, EngineConfig, MaintainedWorkload, QueryEngine};
 use crate::knn::KnnQuery;
 use crate::parallel::{par_map, par_map_indexed};
@@ -550,6 +551,34 @@ impl ShardedSimplification {
     }
 }
 
+/// True when `q` can contribute results from a shard whose points all
+/// lie inside `bounds` — the single definition of the router's pruning
+/// rules, shared by the in-process fan-out below and by a distributed
+/// coordinator deciding which shard *processes* to send a query to at
+/// all:
+///
+/// - **range / range-kept**: the query cube must intersect the bounds
+///   (a hit is a sampled point inside both).
+/// - **kNN**: a shard temporally disjoint from a *non-empty* query
+///   window cannot score finite. With an empty window every trajectory
+///   scores finite (the both-empty convention), so nothing prunes.
+/// - **similarity**: only the time axis prunes — interpolation makes
+///   spatial pruning unsound, but a candidate in a shard disjoint from
+///   `[ts, te]` always fails the matcher's window-overlap test.
+///
+/// A `false` here guarantees the shard's contribution is empty, so
+/// skipping it cannot change the merged answer.
+#[must_use]
+pub fn query_touches_bounds(q: &Query, bounds: &Cube) -> bool {
+    match q {
+        Query::Range(c) | Query::RangeKept(c) => bounds.intersects(c),
+        Query::Knn(k) => {
+            k.query_window().is_empty() || !(bounds.t_max < k.ts || bounds.t_min > k.te)
+        }
+        Query::Similarity(s) => !(bounds.t_max < s.ts || bounds.t_min > s.te),
+    }
+}
+
 /// One shard's share of a range query (shard-local ids).
 fn shard_range(sh: &ShardHandle<'_>, q: &Cube) -> Vec<TrajId> {
     if !sh.bounds.intersects(q) {
@@ -574,9 +603,7 @@ fn shard_range_kept(sh: &ShardHandle<'_>, q: &Cube) -> Vec<TrajId> {
 /// global top `k`; anything past that is dead weight in the merge — the
 /// infinite-fill path is unaffected, since it only triggers when the
 /// global finite count is below `k`, in which case no shard was
-/// truncated). With an empty query window even temporally disjoint
-/// trajectories score finite (the both-empty convention), so time pruning
-/// is only sound when the window is non-empty.
+/// truncated). Pruning is [`query_touches_bounds`]' kNN rule.
 fn shard_knn_candidates(sh: &ShardHandle<'_>, q: &KnnQuery, parallel: bool) -> Vec<(f64, TrajId)> {
     let window_empty = q.query_window().is_empty();
     if !window_empty && (sh.bounds.t_max < q.ts || sh.bounds.t_min > q.te) {
@@ -592,8 +619,7 @@ fn shard_knn_candidates(sh: &ShardHandle<'_>, q: &KnnQuery, parallel: bool) -> V
 }
 
 /// One shard's share of a similarity query (shard-local ids). Only the
-/// time axis prunes: every candidate in a shard disjoint from `[ts, te]`
-/// fails the window-overlap test the matcher applies per trajectory.
+/// time axis prunes (see [`query_touches_bounds`]).
 fn shard_similarity(sh: &ShardHandle<'_>, q: &SimilarityQuery) -> Vec<TrajId> {
     if sh.bounds.t_max < q.ts || sh.bounds.t_min > q.te {
         return Vec::new();

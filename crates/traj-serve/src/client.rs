@@ -24,9 +24,12 @@ pub struct ClientConfig {
     pub write_timeout: Option<Duration>,
 }
 
-/// A connected client. One in-flight request at a time (the protocol
-/// is strict request/response per connection); open more clients for
-/// concurrency.
+/// A connected client. Plain request frames are strict
+/// request/response — one in flight at a time; open more clients for
+/// concurrency. *Shard* frames carry a request id
+/// ([`Client::execute_shard_batch`]), which a coordinator's connection
+/// pool uses to keep several rounds in flight across its pooled
+/// connections and still pair every reply with its request.
 #[derive(Debug)]
 pub struct Client {
     stream: TcpStream,
@@ -158,14 +161,30 @@ impl Client {
     /// Executes a batch as one *shard* of a distributed database: the
     /// server returns raw per-shard material ([`ShardResult`] per
     /// query — local hits, kept hits, scored kNN candidates) for the
-    /// coordinator to merge globally.
+    /// coordinator to merge globally. The caller-chosen `id` is sent on
+    /// the request and verified against the response's echo — a
+    /// mismatched echo means the connection lost request/response
+    /// pairing and is reported as [`WireError::Malformed`] (callers
+    /// drop the connection and retry on a fresh one).
     pub fn execute_shard_batch(
         &mut self,
         batch: &QueryBatch,
+        id: u64,
     ) -> Result<Vec<ShardResult>, WireError> {
-        self.send(&Message::ShardRequest(batch.clone()))?;
+        self.send(&Message::ShardRequest {
+            id,
+            batch: batch.clone(),
+        })?;
         match self.receive()? {
-            Message::ShardResponse(results) => {
+            Message::ShardResponse {
+                id: echoed,
+                results,
+            } => {
+                if echoed != id {
+                    return Err(WireError::Malformed {
+                        reason: "shard response echoes a different request id",
+                    });
+                }
                 if results.len() != batch.len() {
                     return Err(WireError::Malformed {
                         reason: "shard response count does not match request",

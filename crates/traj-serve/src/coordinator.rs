@@ -1,31 +1,42 @@
-//! The distributed query coordinator: fans a [`QueryBatch`] out to
-//! shard *processes* over the wire and merges their raw per-shard
-//! answers exactly as `ShardedQueryEngine` merges in-process shards.
+//! The distributed query coordinator: routes a [`QueryBatch`] to the
+//! shard *processes* whose bounds can contribute, fans the sub-batches
+//! out over the wire, and merges the raw per-shard answers exactly as
+//! `ShardedQueryEngine` merges in-process shards.
 //!
 //! The shard manifest doubles as the placement map: each
 //! [`ShardEntry`](trajectory::shard::ShardEntry) carries an optional
 //! `addr=` token naming the `shardd` process serving that shard's
-//! snapshot. [`Placement::from_manifest`] reads it,
-//! [`Coordinator::connect`] dials every shard (with a bounded connect
-//! timeout) and cross-checks each one's
-//! [`ShardInfo`](crate::wire::ShardInfo) handshake against
-//! the placement map, and [`Coordinator::execute_batch`] runs the
-//! fan-out:
+//! snapshot, and a `bounds=` token with the shard's bounding cube.
+//! [`Placement::from_manifest`] reads both, [`Coordinator::connect`]
+//! dials every shard *in parallel* (with a bounded connect timeout)
+//! and cross-checks each one's [`ShardInfo`](crate::wire::ShardInfo)
+//! handshake against the placement map — trajectory count *and*
+//! bounding cube must agree — and [`Coordinator::execute_batch`] runs
+//! the fan-out:
 //!
-//! - every shard receives the *whole* batch as a
-//!   [`Message::ShardRequest`](crate::wire::Message) in parallel
-//!   (pruning stays result-neutral in-process, so skipping it here
-//!   cannot change answers);
+//! - **bound-pruned routing**: each shard receives a sub-batch of only
+//!   the queries whose answer can involve its data, decided by the
+//!   same [`query_touches_bounds`] predicate the in-process
+//!   `ShardedQueryEngine` prunes with. A shard every query prunes away
+//!   gets *no frame at all* for that round — a dead shard the routing
+//!   never touches cannot degrade the answer;
+//! - sub-batches travel as id-tagged
+//!   [`Message::ShardRequest`](crate::wire::Message) frames over a
+//!   small per-shard connection pool, so several coalesced rounds stay
+//!   in flight concurrently while every reply is still paired with its
+//!   request by the echoed id;
 //! - range/similarity hits come back shard-local, are remapped through
 //!   the placement map's `global_ids`, and merge by concatenation +
 //!   sort ([`merge_global_ids`]);
 //! - kNN candidates come back scored; after the same remap they feed
 //!   the global k-heap ([`merge_knn_candidates`]) and the single-store
 //!   infinite-fill policy ([`knn_take_fill`]) — byte-identical to the
-//!   in-process merge;
-//! - kept-bitmap range results are `Some` only when every answering
-//!   shard served its bitmap, mirroring
-//!   `ShardedQueryEngine::has_kept_bitmaps`.
+//!   in-process merge. Pruned (but healthy) shards stay in the fill
+//!   universe: pruning is result-neutral, only *failures* shrink it;
+//! - kept-bitmap range results are `Some` only when every non-failed
+//!   shard has its kept bitmap — answering shards report it in-band,
+//!   pruned shards are covered by the `has_kept` they declared at
+//!   handshake — mirroring `ShardedQueryEngine::has_kept_bitmaps`.
 //!
 //! Failures are first-class: per-shard connect/request timeouts,
 //! bounded retries with linear backoff and reconnection, and a
@@ -35,35 +46,60 @@
 //! and reports [`ResponseStatus::Degraded`] with the missing shard
 //! indexes (a *correct* answer over the reachable subset — the kNN
 //! infinite-fill universe shrinks to the survivors' ids — never a
-//! silently wrong one). Connections are reused across batches and
-//! re-dialed transparently after a failure.
+//! silently wrong one). Pooled connections are reused across rounds
+//! and re-dialed transparently after a failure.
+//!
+//! [`SharedCoordinator`] adds the same admission/linger layer the
+//! in-process [`Server`](crate::Server) uses in front of the fan-out:
+//! many connections (or threads) submit batches concurrently, a small
+//! pool of executor threads coalesces everything that arrived together
+//! into one wire round per shard, and each submitter gets its slice of
+//! the merged answer back. [`Coordinator::stats`] reports how well
+//! that works: coalesced rounds, queries per round, and frames
+//! sent vs pruned per shard.
 
+use std::collections::VecDeque;
 use std::fmt;
-use std::time::Duration;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{sync_channel, SyncSender};
+use std::sync::{Arc, Condvar, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
 
 use traj_query::{
-    knn_take_fill, merge_global_ids, merge_knn_candidates, Query, QueryBatch, QueryResult,
+    knn_take_fill, merge_global_ids, merge_knn_candidates, query_touches_bounds, Query, QueryBatch,
+    QueryResult,
 };
 use trajectory::shard::ShardSet;
-use trajectory::TrajId;
+use trajectory::{Cube, TrajId};
 
 use crate::client::{Client, ClientConfig};
-use crate::wire::{ShardResult, WireError};
+use crate::server::BatchConfig;
+use crate::wire::{ShardInfo, ShardResult, WireError};
+
+/// Idle connections kept per shard. Concurrency beyond the cap still
+/// works — extra connections are dialed on demand and dropped on
+/// check-in instead of pooled.
+const POOL_CAP: usize = 8;
 
 /// Where one shard of a distributed database lives: the address of the
-/// process serving it and the global trajectory ids it holds (strictly
-/// ascending — shard-local order is global order).
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// process serving it, the global trajectory ids it holds (strictly
+/// ascending — shard-local order is global order), and its bounding
+/// cube when the manifest records one (used to prune routing; `None`
+/// routes every query to the shard).
+#[derive(Debug, Clone, PartialEq)]
 pub struct PlacementShard {
     /// `host:port` of the serving process.
     pub addr: String,
     /// `global_ids[local]` = global trajectory id.
     pub global_ids: Vec<TrajId>,
+    /// The shard's bounding cube from the manifest, if recorded.
+    pub bounds: Option<Cube>,
 }
 
 /// The placement map: one [`PlacementShard`] per shard, together
 /// covering global ids `0..total_trajs` exactly.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Placement {
     shards: Vec<PlacementShard>,
     total_trajs: usize,
@@ -73,7 +109,9 @@ impl Placement {
     /// Reads a [`ShardSet`] manifest as a placement map. Every entry
     /// must carry an `addr=` assignment (see `ShardSet::set_addrs`);
     /// id-level validity (sorted, disjoint, covering) was already
-    /// enforced by `ShardSet::load`.
+    /// enforced by `ShardSet::load`. `bounds=` tokens, when present,
+    /// become the shards' routing bounds and are cross-checked against
+    /// each shard's handshake at connect time.
     pub fn from_manifest(set: &ShardSet) -> Result<Placement, CoordinatorError> {
         let mut shards = Vec::with_capacity(set.len());
         for e in set.entries() {
@@ -86,6 +124,7 @@ impl Placement {
             shards.push(PlacementShard {
                 addr,
                 global_ids: e.global_ids.clone(),
+                bounds: e.bounds,
             });
         }
         Ok(Placement {
@@ -97,7 +136,9 @@ impl Placement {
     /// Builds a placement from explicit `(addr, global_ids)` parts,
     /// validating what `ShardSet::load` would: ids strictly ascending
     /// per shard, disjoint across shards, covering `0..total` exactly,
-    /// and pairwise-distinct addresses.
+    /// and pairwise-distinct addresses. Shards get no manifest bounds;
+    /// the coordinator adopts whatever bounds each shard declares in
+    /// its handshake.
     pub fn from_parts(parts: Vec<(String, Vec<TrajId>)>) -> Result<Placement, CoordinatorError> {
         let total: usize = parts.iter().map(|(_, ids)| ids.len()).sum();
         let mut seen = vec![false; total];
@@ -124,7 +165,11 @@ impl Placement {
         Ok(Placement {
             shards: parts
                 .into_iter()
-                .map(|(addr, global_ids)| PlacementShard { addr, global_ids })
+                .map(|(addr, global_ids)| PlacementShard {
+                    addr,
+                    global_ids,
+                    bounds: None,
+                })
                 .collect(),
             total_trajs: total,
         })
@@ -185,7 +230,7 @@ impl Default for CoordinatorOptions {
 }
 
 /// Everything that can go wrong coordinating a distributed batch.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub enum CoordinatorError {
     /// A manifest entry has no `addr=` assignment, so it cannot serve
     /// as a placement map.
@@ -217,6 +262,9 @@ pub enum CoordinatorError {
         /// What it did wrong.
         reason: &'static str,
     },
+    /// The [`SharedCoordinator`] was shut down while this batch was
+    /// queued or in flight.
+    Closed,
 }
 
 impl fmt::Display for CoordinatorError {
@@ -238,6 +286,9 @@ impl fmt::Display for CoordinatorError {
                 addr,
                 reason,
             } => write!(f, "shard {shard} ({addr}) broke protocol: {reason}"),
+            CoordinatorError::Closed => {
+                write!(f, "the shared coordinator is shut down")
+            }
         }
     }
 }
@@ -254,11 +305,11 @@ impl std::error::Error for CoordinatorError {
 /// Whether a [`DistributedResponse`] covered every shard.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum ResponseStatus {
-    /// Every shard answered; results are byte-identical to in-process
-    /// execution over the whole database.
+    /// Every shard the routing needed answered; results are
+    /// byte-identical to in-process execution over the whole database.
     Complete,
-    /// Some shards were unreachable; results are correct over the
-    /// surviving shards only.
+    /// Some contacted shards were unreachable; results are correct
+    /// over the surviving shards only.
     Degraded {
         /// Placement indexes of the shards that did not answer.
         missing_shards: Vec<usize>,
@@ -266,7 +317,7 @@ pub enum ResponseStatus {
 }
 
 /// A merged distributed answer plus how complete it is.
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 pub struct DistributedResponse {
     /// Merged results, in submission order.
     pub results: Vec<QueryResult>,
@@ -277,48 +328,149 @@ pub struct DistributedResponse {
     pub failures: Vec<(usize, WireError)>,
 }
 
+/// Frame counters for one shard, snapshotted by [`Coordinator::stats`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ShardFrameStats {
+    /// Rounds in which this shard was sent a sub-batch frame.
+    pub frames_sent: u64,
+    /// Rounds in which bound-pruned routing skipped this shard
+    /// entirely — no frame on the wire.
+    pub frames_pruned: u64,
+}
+
+/// A point-in-time snapshot of a coordinator's counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CoordinatorStats {
+    /// Fan-out rounds run ([`Coordinator::execute_batch`] calls —
+    /// coalesced rounds when driven by a [`SharedCoordinator`]).
+    pub rounds: u64,
+    /// Queries across all rounds.
+    pub queries: u64,
+    /// Per-shard frame counters, in placement order.
+    pub shards: Vec<ShardFrameStats>,
+}
+
+impl CoordinatorStats {
+    /// Mean queries per fan-out round (0 when none ran) — the coalesced
+    /// batch size when a [`SharedCoordinator`] feeds the rounds.
+    #[must_use]
+    pub fn mean_coalesced_batch(&self) -> f64 {
+        if self.rounds == 0 {
+            0.0
+        } else {
+            self.queries as f64 / self.rounds as f64
+        }
+    }
+
+    /// Total sub-batch frames sent across all shards.
+    #[must_use]
+    pub fn frames_sent(&self) -> u64 {
+        self.shards.iter().map(|s| s.frames_sent).sum()
+    }
+
+    /// Total shard rounds skipped by bound-pruned routing.
+    #[must_use]
+    pub fn frames_pruned(&self) -> u64 {
+        self.shards.iter().map(|s| s.frames_pruned).sum()
+    }
+}
+
 struct ShardConn {
     addr: String,
     global_ids: Vec<TrajId>,
-    client: Option<Client>,
+    /// Routing bounds: the manifest's when recorded, else adopted from
+    /// the shard's handshake. `None` (an empty shard) routes nothing
+    /// away — every query is sent.
+    bounds: Option<Cube>,
+    /// Kept-bitmap presence from the handshake; consulted for queries
+    /// routed away from this shard when merging `RangeKept`.
+    has_kept: bool,
+    /// Idle pooled connections; concurrent rounds check out distinct
+    /// connections so several id-tagged frames stay in flight at once.
+    pool: Mutex<Vec<Client>>,
+    frames_sent: AtomicU64,
+    frames_pruned: AtomicU64,
 }
 
-/// A connected distributed database: one reusable connection per shard
-/// plus the placement map. See the [module docs](self) for the merge
-/// and failure semantics.
+impl ShardConn {
+    fn checkout(&self) -> Option<Client> {
+        self.pool.lock().expect("pool lock").pop()
+    }
+
+    fn checkin(&self, client: Client) {
+        let mut pool = self.pool.lock().expect("pool lock");
+        if pool.len() < POOL_CAP {
+            pool.push(client);
+        }
+    }
+}
+
+/// A connected distributed database: a connection pool per shard plus
+/// the placement map. Shared by reference — every method takes `&self`,
+/// so one coordinator serves any number of concurrent callers (see
+/// [`SharedCoordinator`] for the coalescing front). See the
+/// [module docs](self) for the routing, merge, and failure semantics.
 pub struct Coordinator {
     shards: Vec<ShardConn>,
     total_trajs: usize,
     opts: CoordinatorOptions,
+    next_id: AtomicU64,
+    rounds: AtomicU64,
+    queries: AtomicU64,
 }
 
 impl Coordinator {
-    /// Dials every shard in the placement map and verifies each
-    /// handshake ([`Client::hello`]) against it: a shard serving a
-    /// different trajectory count than the manifest assigns is a
-    /// connect-time error, not a silently wrong merge later.
+    /// Dials every shard in the placement map — in parallel, one
+    /// thread per shard — and verifies each handshake
+    /// ([`Client::hello`]) against it: a shard serving a different
+    /// trajectory count, or declaring different bounds than the
+    /// manifest records, is a connect-time error, not a silently wrong
+    /// (or wrongly pruned) merge later.
     pub fn connect(
         placement: Placement,
         opts: CoordinatorOptions,
     ) -> Result<Coordinator, CoordinatorError> {
+        let dialed: Vec<Result<(Client, ShardInfo), WireError>> = std::thread::scope(|scope| {
+            let opts = &opts;
+            let handles: Vec<_> = placement
+                .shards
+                .iter()
+                .map(|p| {
+                    scope.spawn(move || {
+                        dial_shard(&p.addr, p.global_ids.len(), p.bounds.as_ref(), opts)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("shard connect thread panicked"))
+                .collect()
+        });
+
         let mut shards = Vec::with_capacity(placement.shards.len());
-        for (i, p) in placement.shards.into_iter().enumerate() {
-            let mut conn = ShardConn {
-                addr: p.addr,
-                global_ids: p.global_ids,
-                client: None,
-            };
-            connect_shard(&mut conn, &opts).map_err(|source| CoordinatorError::ShardFailed {
+        for (i, (p, dial)) in placement.shards.into_iter().zip(dialed).enumerate() {
+            let (client, info) = dial.map_err(|source| CoordinatorError::ShardFailed {
                 shard: i,
-                addr: conn.addr.clone(),
+                addr: p.addr.clone(),
                 source,
             })?;
-            shards.push(conn);
+            shards.push(ShardConn {
+                addr: p.addr,
+                global_ids: p.global_ids,
+                bounds: p.bounds.or(info.bounds),
+                has_kept: info.has_kept,
+                pool: Mutex::new(vec![client]),
+                frames_sent: AtomicU64::new(0),
+                frames_pruned: AtomicU64::new(0),
+            });
         }
         Ok(Coordinator {
             shards,
             total_trajs: placement.total_trajs,
             opts,
+            next_id: AtomicU64::new(0),
+            rounds: AtomicU64::new(0),
+            queries: AtomicU64::new(0),
         })
     }
 
@@ -334,43 +486,115 @@ impl Coordinator {
         self.total_trajs
     }
 
+    /// The routing bounds per shard (manifest, or adopted from the
+    /// handshake), in placement order.
+    #[must_use]
+    pub fn shard_bounds(&self) -> Vec<Option<Cube>> {
+        self.shards.iter().map(|s| s.bounds).collect()
+    }
+
+    /// Current counters: rounds, queries, frames sent vs pruned.
+    #[must_use]
+    pub fn stats(&self) -> CoordinatorStats {
+        CoordinatorStats {
+            rounds: self.rounds.load(Ordering::Relaxed),
+            queries: self.queries.load(Ordering::Relaxed),
+            shards: self
+                .shards
+                .iter()
+                .map(|s| ShardFrameStats {
+                    frames_sent: s.frames_sent.load(Ordering::Relaxed),
+                    frames_pruned: s.frames_pruned.load(Ordering::Relaxed),
+                })
+                .collect(),
+        }
+    }
+
     /// Executes a batch with the configured default
     /// [`CoordinatorOptions::policy`].
     pub fn execute_batch(
-        &mut self,
+        &self,
         batch: &QueryBatch,
     ) -> Result<DistributedResponse, CoordinatorError> {
         self.execute_batch_with(batch, self.opts.policy)
     }
 
     /// Executes a batch under an explicit per-request failure policy:
-    /// the whole batch goes to every shard in parallel, each shard
-    /// retries independently (with backoff + reconnect), and the
-    /// per-shard answers merge exactly as the in-process fan-out does.
+    /// each shard receives — in parallel, on a pooled connection — a
+    /// sub-batch of only the queries its bounds can answer (none ⇒ no
+    /// frame at all), each shard retries independently (with backoff +
+    /// reconnect), and the per-shard answers merge exactly as the
+    /// in-process fan-out does.
     pub fn execute_batch_with(
-        &mut self,
+        &self,
         batch: &QueryBatch,
         policy: FailurePolicy,
     ) -> Result<DistributedResponse, CoordinatorError> {
+        self.rounds.fetch_add(1, Ordering::Relaxed);
+        self.queries
+            .fetch_add(batch.len() as u64, Ordering::Relaxed);
+
+        // Route: for each shard, the batch indexes whose answer can
+        // involve that shard's data — the same pruning rules the
+        // in-process engine applies, so skipping the rest cannot
+        // change answers.
+        let routes: Vec<Vec<usize>> = self
+            .shards
+            .iter()
+            .map(|conn| match &conn.bounds {
+                Some(b) => batch
+                    .queries()
+                    .iter()
+                    .enumerate()
+                    .filter(|(_, q)| query_touches_bounds(q, b))
+                    .map(|(qi, _)| qi)
+                    .collect(),
+                None => (0..batch.len()).collect(),
+            })
+            .collect();
+
         let opts = self.opts;
-        let outcomes: Vec<Result<Vec<ShardResult>, WireError>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = self
-                .shards
-                .iter_mut()
-                .map(|conn| scope.spawn(move || shard_round(conn, batch, &opts)))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("shard fan-out thread panicked"))
-                .collect()
-        });
+        // `None` = pruned (no frame sent); `Some(outcome)` = contacted.
+        let outcomes: Vec<Option<Result<Vec<ShardResult>, WireError>>> =
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = self
+                    .shards
+                    .iter()
+                    .zip(&routes)
+                    .map(|(conn, route)| {
+                        scope.spawn(move || {
+                            if route.is_empty() {
+                                conn.frames_pruned.fetch_add(1, Ordering::Relaxed);
+                                return None;
+                            }
+                            conn.frames_sent.fetch_add(1, Ordering::Relaxed);
+                            let sub = QueryBatch::from_queries(
+                                route
+                                    .iter()
+                                    .map(|&qi| batch.queries()[qi].clone())
+                                    .collect(),
+                            );
+                            let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+                            Some(shard_round(conn, &sub, &opts, id))
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("shard fan-out thread panicked"))
+                    .collect()
+            });
 
         let mut per_shard: Vec<Option<Vec<ShardResult>>> = Vec::with_capacity(outcomes.len());
+        let mut failed = vec![false; self.shards.len()];
         let mut failures: Vec<(usize, WireError)> = Vec::new();
         for (i, outcome) in outcomes.into_iter().enumerate() {
             match outcome {
-                Ok(results) => per_shard.push(Some(results)),
-                Err(source) => match policy {
+                // Pruned: never contacted, so it can neither answer nor
+                // fail — its (empty) contribution is known from bounds.
+                None => per_shard.push(None),
+                Some(Ok(results)) => per_shard.push(Some(results)),
+                Some(Err(source)) => match policy {
                     FailurePolicy::FailFast => {
                         return Err(CoordinatorError::ShardFailed {
                             shard: i,
@@ -379,6 +603,7 @@ impl Coordinator {
                         })
                     }
                     FailurePolicy::Degrade => {
+                        failed[i] = true;
                         failures.push((i, source));
                         per_shard.push(None);
                     }
@@ -386,8 +611,9 @@ impl Coordinator {
             }
         }
         // Degrading to an empty shard set would answer every query with
-        // nothing — that is an outage, not a degraded answer.
-        if !self.shards.is_empty() && per_shard.iter().all(Option::is_none) {
+        // nothing — that is an outage, not a degraded answer. (Pruned
+        // shards count as survivors: their contribution is known.)
+        if !self.shards.is_empty() && failed.iter().all(|&f| f) {
             let (shard, source) = failures.swap_remove(0);
             return Err(CoordinatorError::ShardFailed {
                 shard,
@@ -396,7 +622,7 @@ impl Coordinator {
             });
         }
 
-        let results = self.merge(batch, &per_shard)?;
+        let results = self.merge(batch, &per_shard, &routes, &failed)?;
         let missing_shards: Vec<usize> = failures.iter().map(|&(i, _)| i).collect();
         let status = if missing_shards.is_empty() {
             ResponseStatus::Complete
@@ -412,40 +638,63 @@ impl Coordinator {
 
     /// Merges per-shard raw results into final answers — the remote
     /// twin of `ShardedQueryEngine`'s in-process merge. `per_shard[s]`
-    /// is `None` for shards the failure policy degraded away.
+    /// is `None` for shards that were pruned or degraded away
+    /// (`failed` distinguishes the two); `routes[s]` maps each shard's
+    /// sub-batch positions back to batch indexes.
     fn merge(
         &self,
         batch: &QueryBatch,
         per_shard: &[Option<Vec<ShardResult>>],
+        routes: &[Vec<usize>],
+        failed: &[bool],
     ) -> Result<Vec<QueryResult>, CoordinatorError> {
-        let available: Vec<usize> = per_shard
+        let answered: Vec<usize> = per_shard
             .iter()
             .enumerate()
             .filter_map(|(i, r)| r.as_ref().map(|_| i))
             .collect();
         // The ascending id universe the kNN infinite-fill draws from:
-        // the union of the answering shards' global ids — equal to
-        // `0..total` when every shard answered (preserving
-        // byte-identity with in-process execution), the reachable
-        // subset when degraded.
-        let mut universe: Vec<TrajId> = available
-            .iter()
-            .flat_map(|&s| self.shards[s].global_ids.iter().copied())
+        // the union of every non-*failed* shard's global ids — equal
+        // to `0..total` when no shard failed (preserving byte-identity
+        // with in-process execution; pruned shards' data is still part
+        // of the database being answered over), the reachable subset
+        // when degraded.
+        let mut universe: Vec<TrajId> = (0..self.shards.len())
+            .filter(|&s| !failed[s])
+            .flat_map(|s| self.shards[s].global_ids.iter().copied())
             .collect();
         universe.sort_unstable();
+
+        // pos[s][qi] = position of batch query `qi` in shard `s`'s
+        // sub-batch, or `usize::MAX` when routed away from it.
+        let pos: Vec<Vec<usize>> = routes
+            .iter()
+            .map(|route| {
+                let mut p = vec![usize::MAX; batch.len()];
+                for (j, &qi) in route.iter().enumerate() {
+                    p[qi] = j;
+                }
+                p
+            })
+            .collect();
 
         let mut out = Vec::with_capacity(batch.len());
         for (qi, q) in batch.queries().iter().enumerate() {
             let result = match q {
-                Query::Range(_) => QueryResult::Range(self.merge_ids(qi, &available, per_shard)?),
+                Query::Range(_) => {
+                    QueryResult::Range(self.merge_ids(qi, &answered, per_shard, &pos)?)
+                }
                 Query::Similarity(_) => {
-                    QueryResult::Similarity(self.merge_ids(qi, &available, per_shard)?)
+                    QueryResult::Similarity(self.merge_ids(qi, &answered, per_shard, &pos)?)
                 }
                 Query::Knn(k) => {
-                    let mut streams = Vec::with_capacity(available.len());
-                    for &s in &available {
-                        let ShardResult::Candidates(cands) = &shard_results(per_shard, s)[qi]
-                        else {
+                    let mut streams = Vec::with_capacity(answered.len());
+                    for &s in &answered {
+                        let j = pos[s][qi];
+                        if j == usize::MAX {
+                            continue; // routed away: contributes no candidates
+                        }
+                        let ShardResult::Candidates(cands) = &shard_results(per_shard, s)[j] else {
                             return Err(self.protocol(s, "expected knn candidates"));
                         };
                         let mut remapped = Vec::with_capacity(cands.len());
@@ -458,18 +707,31 @@ impl Coordinator {
                     QueryResult::Knn(knn_take_fill(k.k, &merged, universe.iter().copied()))
                 }
                 Query::RangeKept(_) => {
-                    // `Some` only when at least one shard answered and
-                    // every answering shard served its kept bitmap —
+                    // `Some` only when at least one shard survives and
+                    // every surviving shard has its kept bitmap —
+                    // answering shards say so in-band, shards this
+                    // query was routed away from said so at handshake —
                     // mirroring `ShardedQueryEngine::has_kept_bitmaps`.
-                    let mut lists = Vec::with_capacity(available.len());
-                    let mut all_kept = !available.is_empty();
-                    for &s in &available {
-                        match &shard_results(per_shard, s)[qi] {
-                            ShardResult::Kept(Some(ids)) => {
-                                lists.push(self.remap(s, ids)?);
+                    let mut lists = Vec::with_capacity(answered.len());
+                    let mut all_kept = failed.iter().any(|&f| !f);
+                    for s in 0..self.shards.len() {
+                        if failed[s] {
+                            continue;
+                        }
+                        match per_shard[s].as_ref().map(|r| (r, pos[s][qi])) {
+                            Some((results, j)) if j != usize::MAX => match &results[j] {
+                                ShardResult::Kept(Some(ids)) => {
+                                    lists.push(self.remap(s, ids)?);
+                                }
+                                ShardResult::Kept(None) => all_kept = false,
+                                _ => return Err(self.protocol(s, "expected kept hits")),
+                            },
+                            // Pruned — whole round or just this query.
+                            _ => {
+                                if !self.shards[s].has_kept {
+                                    all_kept = false;
+                                }
                             }
-                            ShardResult::Kept(None) => all_kept = false,
-                            _ => return Err(self.protocol(s, "expected kept hits")),
                         }
                     }
                     QueryResult::RangeKept(all_kept.then(|| merge_global_ids(lists)))
@@ -483,12 +745,17 @@ impl Coordinator {
     fn merge_ids(
         &self,
         qi: usize,
-        available: &[usize],
+        answered: &[usize],
         per_shard: &[Option<Vec<ShardResult>>],
+        pos: &[Vec<usize>],
     ) -> Result<Vec<TrajId>, CoordinatorError> {
-        let mut lists = Vec::with_capacity(available.len());
-        for &s in available {
-            let ShardResult::Ids(ids) = &shard_results(per_shard, s)[qi] else {
+        let mut lists = Vec::with_capacity(answered.len());
+        for &s in answered {
+            let j = pos[s][qi];
+            if j == usize::MAX {
+                continue; // routed away: contributes no hits
+            }
+            let ShardResult::Ids(ids) = &shard_results(per_shard, s)[j] else {
                 return Err(self.protocol(s, "expected id hits"));
             };
             lists.push(self.remap(s, ids)?);
@@ -518,56 +785,279 @@ impl Coordinator {
 }
 
 fn shard_results(per_shard: &[Option<Vec<ShardResult>>], s: usize) -> &[ShardResult] {
-    per_shard[s].as_deref().expect("shard listed as available")
+    per_shard[s].as_deref().expect("shard listed as answered")
 }
 
 /// Dials one shard and runs the handshake, verifying the shard serves
-/// exactly the trajectory count the placement map assigns to it.
-fn connect_shard(conn: &mut ShardConn, opts: &CoordinatorOptions) -> Result<(), WireError> {
+/// exactly the trajectory count — and, when `expected_bounds` is known,
+/// exactly the bounding cube — the placement map assigns to it.
+fn dial_shard(
+    addr: &str,
+    expected_trajs: usize,
+    expected_bounds: Option<&Cube>,
+    opts: &CoordinatorOptions,
+) -> Result<(Client, ShardInfo), WireError> {
     let cfg = ClientConfig {
         connect_timeout: Some(opts.connect_timeout),
         read_timeout: Some(opts.request_timeout),
         write_timeout: Some(opts.request_timeout),
     };
-    let mut client = Client::connect_with(conn.addr.as_str(), &cfg)?;
+    let mut client = Client::connect_with(addr, &cfg)?;
     let info = client.hello()?;
-    if info.trajs as usize != conn.global_ids.len() {
+    if info.trajs as usize != expected_trajs {
         return Err(WireError::Malformed {
             reason: "shard serves a different trajectory count than the placement map assigns",
         });
     }
-    conn.client = Some(client);
-    Ok(())
+    if let Some(expected) = expected_bounds {
+        if info.bounds.as_ref() != Some(expected) {
+            return Err(WireError::Malformed {
+                reason: "shard declares different bounds than the placement map assigns",
+            });
+        }
+    }
+    Ok((client, info))
 }
 
-/// One shard's share of a batch: send, and on failure retry with
-/// linear backoff, reconnecting each time (the old connection is
-/// presumed poisoned — half-written frames desynchronize the stream).
+/// One shard's share of a round: check a connection out of the pool
+/// (or dial a fresh one, re-verifying the handshake), send the
+/// id-tagged sub-batch, and on failure retry with linear backoff on a
+/// fresh connection (the old one is presumed poisoned — half-written
+/// frames desynchronize the stream). A healthy connection goes back
+/// into the pool for the next round.
 fn shard_round(
-    conn: &mut ShardConn,
+    conn: &ShardConn,
     batch: &QueryBatch,
     opts: &CoordinatorOptions,
+    id: u64,
 ) -> Result<Vec<ShardResult>, WireError> {
     let mut attempt = 0u32;
     loop {
-        let result = match conn.client.as_mut() {
-            Some(client) => client.execute_shard_batch(batch),
-            None => connect_shard(conn, opts).and_then(|()| {
-                conn.client
-                    .as_mut()
-                    .expect("just connected")
-                    .execute_shard_batch(batch)
-            }),
+        let result = match conn.checkout() {
+            Some(mut client) => client.execute_shard_batch(batch, id).map(|r| (client, r)),
+            None => dial_shard(
+                &conn.addr,
+                conn.global_ids.len(),
+                conn.bounds.as_ref(),
+                opts,
+            )
+            .and_then(|(mut client, _)| client.execute_shard_batch(batch, id).map(|r| (client, r))),
         };
         match result {
-            Ok(results) => return Ok(results),
+            Ok((client, results)) => {
+                conn.checkin(client);
+                return Ok(results);
+            }
             Err(e) => {
-                conn.client = None;
                 if attempt >= opts.retries {
                     return Err(e);
                 }
                 attempt += 1;
                 std::thread::sleep(opts.backoff * attempt);
+            }
+        }
+    }
+}
+
+/// One queued submission waiting for a coalesced fan-out round.
+struct SharedJob {
+    queries: Vec<Query>,
+    reply: SyncSender<Result<DistributedResponse, CoordinatorError>>,
+}
+
+#[derive(Default)]
+struct SharedQueue {
+    jobs: VecDeque<SharedJob>,
+    queued_queries: usize,
+}
+
+struct SharedState {
+    coordinator: Coordinator,
+    queue: Mutex<SharedQueue>,
+    available: Condvar,
+    shutting_down: AtomicBool,
+}
+
+/// The coalescing front of a [`Coordinator`]: the same admission/linger
+/// layer the single-process [`Server`](crate::Server) batches with, put
+/// in front of the distributed fan-out. N concurrent callers submit
+/// batches; a small pool of executor threads coalesces everything that
+/// arrived together into *one* wire round per shard (amortizing
+/// framing, syscalls, and shard-side engine passes) and routes each
+/// caller's slice of the merged answer back. More than one executor
+/// keeps multiple coalesced rounds in flight, pipelined over the
+/// coordinator's per-shard connection pools.
+///
+/// Shareable by reference across threads ([`SharedCoordinator::execute_batch`]
+/// takes `&self`); dropping it shuts the executors down.
+pub struct SharedCoordinator {
+    shared: Arc<SharedState>,
+    executors: Vec<JoinHandle<()>>,
+    done: bool,
+}
+
+impl SharedCoordinator {
+    /// Wraps a connected coordinator in an admission queue drained by
+    /// `executors` coalescing threads (at least one). `cfg` bounds the
+    /// coalesced batch size and the linger window exactly as it does
+    /// for [`Server`](crate::Server) batched mode.
+    #[must_use]
+    pub fn start(
+        coordinator: Coordinator,
+        cfg: BatchConfig,
+        executors: usize,
+    ) -> SharedCoordinator {
+        let shared = Arc::new(SharedState {
+            coordinator,
+            queue: Mutex::new(SharedQueue::default()),
+            available: Condvar::new(),
+            shutting_down: AtomicBool::new(false),
+        });
+        let executors = (0..executors.max(1))
+            .map(|_| {
+                let shared = Arc::clone(&shared);
+                std::thread::spawn(move || shared_executor_loop(&shared, cfg))
+            })
+            .collect();
+        SharedCoordinator {
+            shared,
+            executors,
+            done: false,
+        }
+    }
+
+    /// Submits a batch and blocks until its slice of a coalesced round
+    /// comes back. Status and failures reflect the whole round the
+    /// batch rode in (a degraded round degrades every rider).
+    pub fn execute_batch(
+        &self,
+        batch: &QueryBatch,
+    ) -> Result<DistributedResponse, CoordinatorError> {
+        let (tx, rx) = sync_channel(1);
+        {
+            let mut q = self.shared.queue.lock().expect("queue lock");
+            q.queued_queries += batch.len();
+            q.jobs.push_back(SharedJob {
+                queries: batch.queries().to_vec(),
+                reply: tx,
+            });
+        }
+        self.shared.available.notify_one();
+        rx.recv().map_err(|_| CoordinatorError::Closed)?
+    }
+
+    /// The wrapped coordinator (for stats and placement introspection).
+    #[must_use]
+    pub fn coordinator(&self) -> &Coordinator {
+        &self.shared.coordinator
+    }
+
+    /// Current counters of the wrapped coordinator.
+    #[must_use]
+    pub fn stats(&self) -> CoordinatorStats {
+        self.shared.coordinator.stats()
+    }
+
+    /// Stops the executors and joins them. Queued or in-flight batches
+    /// fail with [`CoordinatorError::Closed`]. Idempotent; also runs on
+    /// drop.
+    pub fn shutdown(mut self) {
+        self.shutdown_inner();
+    }
+
+    fn shutdown_inner(&mut self) {
+        if self.done {
+            return;
+        }
+        self.done = true;
+        self.shared.shutting_down.store(true, Ordering::SeqCst);
+        self.shared.available.notify_all();
+        for h in self.executors.drain(..) {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for SharedCoordinator {
+    fn drop(&mut self) {
+        self.shutdown_inner();
+    }
+}
+
+/// The admission drain — the distributed twin of the server's executor
+/// loop: wait for the first submission, linger briefly so concurrent
+/// arrivals coalesce, run everything taken as one fan-out round, and
+/// route the slices back.
+fn shared_executor_loop(state: &Arc<SharedState>, cfg: BatchConfig) {
+    let max_queries = cfg.max_queries.max(1);
+    loop {
+        let jobs = {
+            let mut q = state.queue.lock().expect("queue lock");
+            while q.jobs.is_empty() {
+                if state.shutting_down.load(Ordering::SeqCst) {
+                    return;
+                }
+                q = state.available.wait(q).expect("queue lock");
+            }
+            if !cfg.linger.is_zero() {
+                let deadline = Instant::now() + cfg.linger;
+                while q.queued_queries < max_queries {
+                    let now = Instant::now();
+                    if now >= deadline || state.shutting_down.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let (guard, _timeout) = state
+                        .available
+                        .wait_timeout(q, deadline - now)
+                        .expect("queue lock");
+                    q = guard;
+                }
+            }
+            // Take whole jobs up to the batch bound (always at least
+            // one, so an oversized submission still rides — alone).
+            let mut jobs: Vec<SharedJob> = Vec::new();
+            let mut taken = 0usize;
+            while let Some(job) = q.jobs.front() {
+                if !jobs.is_empty() && taken + job.queries.len() > max_queries {
+                    break;
+                }
+                taken += job.queries.len();
+                let job = q.jobs.pop_front().expect("front checked");
+                jobs.push(job);
+            }
+            q.queued_queries -= taken;
+            jobs
+        };
+        if jobs.is_empty() {
+            continue;
+        }
+
+        // One coalesced fan-out round over everything admitted.
+        let lens: Vec<usize> = jobs.iter().map(|j| j.queries.len()).collect();
+        let mut combined: Vec<Query> = Vec::with_capacity(lens.iter().sum());
+        let mut replies = Vec::with_capacity(jobs.len());
+        for job in jobs {
+            combined.extend(job.queries);
+            replies.push(job.reply);
+        }
+        let batch = QueryBatch::from_queries(combined);
+        match state.coordinator.execute_batch(&batch) {
+            Ok(resp) => {
+                let mut results = resp.results.into_iter();
+                for (len, reply) in lens.into_iter().zip(replies) {
+                    let slice: Vec<QueryResult> = results.by_ref().take(len).collect();
+                    // A receiver that gave up is fine.
+                    let _ = reply.send(Ok(DistributedResponse {
+                        results: slice,
+                        status: resp.status.clone(),
+                        failures: resp.failures.clone(),
+                    }));
+                }
+            }
+            Err(e) => {
+                for reply in replies {
+                    let _ = reply.send(Err(e.clone()));
+                }
             }
         }
     }

@@ -20,11 +20,16 @@
 //!   p50/p95/p99 latency for both execution modes;
 //! - [`coordinator`] — the distributed layer: a fleet of `shardd`
 //!   processes each serving one shard's snapshot, a [`Placement`] map
-//!   read from the shard manifest's `addr=` assignments, and a
-//!   [`Coordinator`] that fans each batch out in parallel and merges
-//!   per-shard answers byte-identically to the in-process sharded
-//!   engine — with timeouts, bounded retries, and a per-request
-//!   [`FailurePolicy`] for typed degraded answers;
+//!   read from the shard manifest's `addr=`/`bounds=` assignments, and
+//!   a [`Coordinator`] that routes each batch to only the shards whose
+//!   bounds can contribute (a fully-pruned shard gets no frame at
+//!   all), fans the sub-batches out in parallel over pooled id-tagged
+//!   connections, and merges per-shard answers byte-identically to the
+//!   in-process sharded engine — with timeouts, bounded retries, and a
+//!   per-request [`FailurePolicy`] for typed degraded answers. A
+//!   [`SharedCoordinator`] puts the server's admission/linger layer in
+//!   front so concurrent submissions coalesce into one wire round per
+//!   shard;
 //! - [`fault`] — a byte-level fault-injecting TCP proxy ([`FaultProxy`])
 //!   used by the test suites to prove every injected failure surfaces
 //!   as a typed error or a correct degraded answer, never a wrong one.
@@ -54,8 +59,8 @@ pub mod wire;
 
 pub use client::{Client, ClientConfig};
 pub use coordinator::{
-    Coordinator, CoordinatorError, CoordinatorOptions, DistributedResponse, FailurePolicy,
-    Placement, PlacementShard, ResponseStatus,
+    Coordinator, CoordinatorError, CoordinatorOptions, CoordinatorStats, DistributedResponse,
+    FailurePolicy, Placement, PlacementShard, ResponseStatus, ShardFrameStats, SharedCoordinator,
 };
 pub use fault::{Fault, FaultDirection, FaultProxy};
 pub use server::{
@@ -63,7 +68,7 @@ pub use server::{
 };
 pub use wire::{
     decode_message, encode_message, read_message, write_message, Message, ShardInfo, ShardResult,
-    WireError, MAGIC, MAX_PAYLOAD, VERSION,
+    WireError, MAGIC, MAX_PAYLOAD, SHARD_INFO_VERSION, VERSION,
 };
 
 /// The byte-level wire format specification (`docs/WIRE_FORMAT.md`),

@@ -341,16 +341,26 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
             // the coordinator already batches per shard, and shard
             // results (scored kNN candidates, raw local hits) are not
             // expressible as the `Job` results the executors route.
-            Ok(Some(Message::Hello)) => Message::ShardInfo(ShardInfo {
-                trajs: shared.db.len() as u64,
-                points: shared.db.total_points() as u64,
-                has_kept: shared.db.has_kept_bitmap(),
-            }),
-            Ok(Some(Message::ShardRequest(batch))) => {
+            Ok(Some(Message::Hello)) => {
+                // Bounds come from the decoded store, so for quantized
+                // snapshots they match the manifest's `bounds=` lines
+                // bitwise (both are computed post-decode).
+                let bounds = (shared.db.total_points() > 0).then(|| shared.db.bounding_cube());
+                Message::ShardInfo(ShardInfo {
+                    trajs: shared.db.len() as u64,
+                    points: shared.db.total_points() as u64,
+                    has_kept: shared.db.has_kept_bitmap(),
+                    bounds,
+                })
+            }
+            Ok(Some(Message::ShardRequest { id, batch })) => {
                 shared
                     .queries
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
-                Message::ShardResponse(execute_shard_batch(&shared.db, &batch))
+                Message::ShardResponse {
+                    id,
+                    results: execute_shard_batch(&shared.db, &batch),
+                }
             }
             Ok(Some(_)) => {
                 // A server only accepts request-side frames; anything

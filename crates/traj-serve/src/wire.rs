@@ -174,10 +174,53 @@ impl From<std::io::Error> for WireError {
     }
 }
 
+// `std::io::Error` is not `Clone`, but a coalescing coordinator must
+// hand one round's failure to every request that rode it. The clone
+// preserves the `ErrorKind` (what callers match on) and the message.
+impl Clone for WireError {
+    fn clone(&self) -> Self {
+        match self {
+            WireError::Io(e) => WireError::Io(std::io::Error::new(e.kind(), e.to_string())),
+            WireError::BadMagic { found } => WireError::BadMagic { found: *found },
+            WireError::UnsupportedVersion { found, supported } => WireError::UnsupportedVersion {
+                found: *found,
+                supported: *supported,
+            },
+            WireError::UnknownKind { kind } => WireError::UnknownKind { kind: *kind },
+            WireError::Oversized { len, max } => WireError::Oversized {
+                len: *len,
+                max: *max,
+            },
+            WireError::Truncated { needed, got } => WireError::Truncated {
+                needed: *needed,
+                got: *got,
+            },
+            WireError::ChecksumMismatch { stored, computed } => WireError::ChecksumMismatch {
+                stored: *stored,
+                computed: *computed,
+            },
+            WireError::Malformed { reason } => WireError::Malformed { reason },
+            WireError::Remote { code, message } => WireError::Remote {
+                code: *code,
+                message: message.clone(),
+            },
+            WireError::Timeout { during } => WireError::Timeout { during },
+        }
+    }
+}
+
+/// Version of the [`ShardInfo`] *payload* layout (independent of the
+/// frame [`VERSION`]). Version 2 added the leading version field itself
+/// plus the optional bounding cube; peers speaking a different payload
+/// version are rejected with a typed [`WireError::Malformed`] at
+/// handshake time — before any query flows.
+pub const SHARD_INFO_VERSION: u16 = 2;
+
 /// What a shard server reports about itself during the coordinator
 /// handshake — enough for the coordinator to cross-check the placement
-/// map before trusting the shard with queries.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+/// map before trusting the shard with queries, and (since payload
+/// version 2) the bounding cube the coordinator routes with.
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct ShardInfo {
     /// Trajectories the shard serves.
     pub trajs: u64,
@@ -186,6 +229,10 @@ pub struct ShardInfo {
     /// True when the shard carries a persisted kept bitmap (can answer
     /// `RangeKept` with `Some`).
     pub has_kept: bool,
+    /// Smallest cube covering every point the shard serves, as decoded
+    /// from its snapshot — what the coordinator's bound-pruned routing
+    /// tests queries against. `None` when the shard serves no points.
+    pub bounds: Option<Cube>,
 }
 
 /// One query's *shard-local* answer inside a [`Message::ShardResponse`]
@@ -226,11 +273,23 @@ pub enum Message {
     ShardInfo(ShardInfo),
     /// Coordinator → shard: execute this batch as one shard of a
     /// distributed database, returning raw per-shard material instead
-    /// of finished answers.
-    ShardRequest(QueryBatch),
+    /// of finished answers. The `id` is echoed back on the matching
+    /// [`Message::ShardResponse`], so a pipelined connection can carry
+    /// several rounds in flight and pair replies with requests.
+    ShardRequest {
+        /// Caller-chosen request id, echoed on the response.
+        id: u64,
+        /// The batch to execute.
+        batch: QueryBatch,
+    },
     /// Shard → coordinator: one [`ShardResult`] per query, in
-    /// submission order.
-    ShardResponse(Vec<ShardResult>),
+    /// submission order, echoing the request's `id`.
+    ShardResponse {
+        /// The id of the [`Message::ShardRequest`] this answers.
+        id: u64,
+        /// One result per query, in submission order.
+        results: Vec<ShardResult>,
+    },
 }
 
 impl Message {
@@ -243,8 +302,8 @@ impl Message {
             Message::Error { .. } => KIND_ERROR,
             Message::Hello => KIND_HELLO,
             Message::ShardInfo(_) => KIND_SHARD_INFO,
-            Message::ShardRequest(_) => KIND_SHARD_REQUEST,
-            Message::ShardResponse(_) => KIND_SHARD_RESPONSE,
+            Message::ShardRequest { .. } => KIND_SHARD_REQUEST,
+            Message::ShardResponse { .. } => KIND_SHARD_RESPONSE,
         }
     }
 }
@@ -684,17 +743,27 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
         }
         Message::Hello => {}
         Message::ShardInfo(info) => {
+            out.extend_from_slice(&SHARD_INFO_VERSION.to_le_bytes());
             put_u64_vec(&mut out, info.trajs);
             put_u64_vec(&mut out, info.points);
             out.push(u8::from(info.has_kept));
+            match &info.bounds {
+                Some(b) => {
+                    out.push(1);
+                    encode_cube(&mut out, b);
+                }
+                None => out.push(0),
+            }
         }
-        Message::ShardRequest(batch) => {
+        Message::ShardRequest { id, batch } => {
+            put_u64_vec(&mut out, *id);
             put_u32_vec(&mut out, batch.len() as u32);
             for q in batch.queries() {
                 encode_query(&mut out, q);
             }
         }
-        Message::ShardResponse(results) => {
+        Message::ShardResponse { id, results } => {
+            put_u64_vec(&mut out, *id);
             put_u32_vec(&mut out, results.len() as u32);
             for r in results {
                 encode_shard_result(&mut out, r);
@@ -739,6 +808,16 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
         }
         KIND_HELLO => Message::Hello,
         KIND_SHARD_INFO => {
+            // The payload carries its own version so the handshake —
+            // which runs before any query — is where a coordinator and
+            // a shard discover they speak different layouts, as a typed
+            // error instead of silent misdecoding.
+            let version = r.u16()?;
+            if version != SHARD_INFO_VERSION {
+                return Err(WireError::Malformed {
+                    reason: "unsupported shard-info payload version",
+                });
+            }
             let trajs = r.u64()?;
             let points = r.u64()?;
             let has_kept = match r.u8()? {
@@ -750,27 +829,42 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
                     })
                 }
             };
+            let bounds = match r.u8()? {
+                0 => None,
+                1 => Some(decode_cube(&mut r)?),
+                _ => {
+                    return Err(WireError::Malformed {
+                        reason: "shard-info bounds presence byte not 0/1",
+                    })
+                }
+            };
             Message::ShardInfo(ShardInfo {
                 trajs,
                 points,
                 has_kept,
+                bounds,
             })
         }
         KIND_SHARD_REQUEST => {
+            let id = r.u64()?;
             let n = r.count(1)?;
             let mut queries = Vec::with_capacity(n);
             for _ in 0..n {
                 queries.push(decode_query(&mut r)?);
             }
-            Message::ShardRequest(QueryBatch::from_queries(queries))
+            Message::ShardRequest {
+                id,
+                batch: QueryBatch::from_queries(queries),
+            }
         }
         KIND_SHARD_RESPONSE => {
+            let id = r.u64()?;
             let n = r.count(1)?;
             let mut results = Vec::with_capacity(n);
             for _ in 0..n {
                 results.push(decode_shard_result(&mut r)?);
             }
-            Message::ShardResponse(results)
+            Message::ShardResponse { id, results }
         }
         kind => return Err(WireError::UnknownKind { kind }),
     };

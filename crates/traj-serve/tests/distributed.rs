@@ -18,8 +18,8 @@ use traj_query::{
 };
 use traj_serve::wire::{encode_message, Message};
 use traj_serve::{
-    Coordinator, CoordinatorError, CoordinatorOptions, FailurePolicy, Fault, FaultDirection,
-    FaultProxy, Placement, ResponseStatus, ShardInfo, WireError,
+    BatchConfig, Coordinator, CoordinatorError, CoordinatorOptions, FailurePolicy, Fault,
+    FaultDirection, FaultProxy, Placement, ResponseStatus, ShardInfo, SharedCoordinator, WireError,
 };
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::shard::{partition, PartitionStrategy, ShardSet};
@@ -113,16 +113,18 @@ struct Cluster {
 }
 
 impl Cluster {
-    /// Spawns one `shardd` per shard file of the set, waiting for each
-    /// `READY <addr>` line.
+    /// Spawns one `shardd` per shard file of the set — all children
+    /// first, then the `READY <addr>` waits — so the shards load their
+    /// snapshots in parallel instead of serially.
     fn spawn(dir: &Path, set: &ShardSet, extra_args: &[&str]) -> Cluster {
         let mut children = Vec::new();
-        let mut addrs = Vec::new();
+        let mut stdouts = Vec::new();
         for e in set.entries() {
-            let (child, addr) = spawn_shardd(&dir.join(&e.file), extra_args);
+            let (child, stdout) = spawn_shardd(&dir.join(&e.file), extra_args);
             children.push(child);
-            addrs.push(addr);
+            stdouts.push(stdout);
         }
+        let addrs = stdouts.into_iter().map(wait_ready).collect();
         Cluster { children, addrs }
     }
 
@@ -142,7 +144,7 @@ impl Drop for Cluster {
     }
 }
 
-fn spawn_shardd(snap: &Path, extra_args: &[&str]) -> (Child, String) {
+fn spawn_shardd(snap: &Path, extra_args: &[&str]) -> (Child, std::process::ChildStdout) {
     let mut child = Command::new(env!("CARGO_BIN_EXE_shardd"))
         .arg("--snap")
         .arg(snap)
@@ -152,16 +154,18 @@ fn spawn_shardd(snap: &Path, extra_args: &[&str]) -> (Child, String) {
         .spawn()
         .expect("spawn shardd");
     let stdout = child.stdout.take().expect("piped stdout");
+    (child, stdout)
+}
+
+fn wait_ready(stdout: std::process::ChildStdout) -> String {
     let mut line = String::new();
     BufReader::new(stdout)
         .read_line(&mut line)
         .expect("shardd READY line");
-    let addr = line
-        .trim()
+    line.trim()
         .strip_prefix("READY ")
         .unwrap_or_else(|| panic!("unexpected shardd greeting: {line:?}"))
-        .to_string();
-    (child, addr)
+        .to_string()
 }
 
 /// Fast-failure coordinator tuning for tests.
@@ -240,8 +244,7 @@ fn distributed_matches_in_process_across_the_matrix() {
                     "{label}: placement total"
                 );
 
-                let mut coord =
-                    Coordinator::connect(placement, test_opts()).expect("connect cluster");
+                let coord = Coordinator::connect(placement, test_opts()).expect("connect cluster");
                 let response = coord.execute_batch(&batch).expect("distributed batch");
                 assert_eq!(response.status, ResponseStatus::Complete, "{label}");
                 assert_eq!(response.results, expected, "{label}: results diverge");
@@ -341,7 +344,7 @@ fn killed_shard_degrades_or_fails_fast_but_never_lies() {
     set.set_addrs(&cluster.addrs).expect("assign addrs");
     let placement = Placement::from_manifest(&set).expect("placement");
 
-    let mut coord = Coordinator::connect(placement.clone(), test_opts()).expect("connect");
+    let coord = Coordinator::connect(placement.clone(), test_opts()).expect("connect");
     // Healthy first: complete answers.
     let healthy = coord.execute_batch(&batch).expect("healthy batch");
     assert_eq!(healthy.status, ResponseStatus::Complete);
@@ -406,11 +409,14 @@ fn stalled_and_corrupted_shards_surface_typed_errors() {
     let proxy = FaultProxy::start(upstream).expect("start proxy");
 
     // Server→client bytes 0..hello_len carry the ShardInfo handshake
-    // (fixed-size frame); everything after is the shard response.
+    // (fixed-size frame for a non-empty shard: the cube is always
+    // present, so any Some(bounds) value gives the right length);
+    // everything after is the shard response.
     let hello_len = encode_message(&Message::ShardInfo(ShardInfo {
         trajs: 0,
         points: 0,
         has_kept: false,
+        bounds: Some(trajectory::Cube::new(0.0, 1.0, 0.0, 1.0, 0.0, 1.0)),
     }))
     .len() as u64;
 
@@ -434,7 +440,7 @@ fn stalled_and_corrupted_shards_surface_typed_errors() {
         dir: FaultDirection::ServerToClient,
         offset: hello_len,
     });
-    let mut coord = Coordinator::connect(placement(proxy.local_addr()), opts).expect("connect");
+    let coord = Coordinator::connect(placement(proxy.local_addr()), opts).expect("connect");
     match coord.execute_batch(&batch) {
         Err(CoordinatorError::ShardFailed {
             source: WireError::Timeout { .. },
@@ -449,7 +455,7 @@ fn stalled_and_corrupted_shards_surface_typed_errors() {
         offset: hello_len + 1,
         bit: 3,
     });
-    let mut coord = Coordinator::connect(placement(proxy.local_addr()), opts).expect("connect");
+    let coord = Coordinator::connect(placement(proxy.local_addr()), opts).expect("connect");
     match coord.execute_batch(&batch) {
         Err(CoordinatorError::ShardFailed { source, .. }) => {
             assert!(
@@ -470,7 +476,7 @@ fn stalled_and_corrupted_shards_surface_typed_errors() {
         request_timeout: Duration::from_secs(5),
         ..opts
     };
-    let mut coord = Coordinator::connect(placement(proxy.local_addr()), relaxed).expect("connect");
+    let coord = Coordinator::connect(placement(proxy.local_addr()), relaxed).expect("connect");
     let slow = coord.execute_batch(&batch).expect("delayed batch");
     let direct = TrajDb::open(&dir, DbOptions::new())
         .expect("open shard dir")
@@ -524,6 +530,253 @@ fn bad_placements_and_mismatched_handshakes_are_rejected() {
         }) => {}
         Err(other) => panic!("expected a handshake mismatch, got {other:?}"),
         Ok(_) => panic!("a lying placement must not connect"),
+    }
+
+    // A manifest whose `bounds=` token disagrees with what the shard
+    // declares in its handshake is rejected the same way: the routing
+    // table must never silently adopt bounds the shard contradicts.
+    let manifest_path = dir.join(trajectory::shard::MANIFEST_FILE);
+    let text = std::fs::read_to_string(&manifest_path).expect("read manifest");
+    let mut lines: Vec<String> = text.lines().map(str::to_string).collect();
+    let line = lines
+        .iter_mut()
+        .find(|l| l.contains("bounds="))
+        .expect("manifest carries bounds tokens");
+    let start = line.find("bounds=").expect("token start");
+    let end = line[start..].find(' ').map_or(line.len(), |i| start + i);
+    line.replace_range(start..end, "bounds=0.0,1.0,0.0,1.0,0.0,1.0");
+    std::fs::write(&manifest_path, lines.join("\n") + "\n").expect("write tampered manifest");
+
+    let mut tampered = ShardSet::load(&dir).expect("tampered bounds are still well-formed");
+    tampered.set_addrs(&cluster.addrs).expect("assign addrs");
+    let placement = Placement::from_manifest(&tampered).expect("placement");
+    match Coordinator::connect(placement, test_opts()) {
+        Err(CoordinatorError::ShardFailed {
+            shard,
+            source: WireError::Malformed { .. },
+            ..
+        }) => assert_eq!(shard, 0, "the tampered shard is the one named"),
+        Err(other) => panic!("expected a bounds mismatch rejection, got {other:?}"),
+        Ok(_) => panic!("tampered bounds must not connect"),
+    }
+    cleanup(&dir);
+}
+
+/// Every manifest entry's bounds, the shard whose data starts latest in
+/// time, and a probe cube spanning the whole spatial domain but ending
+/// strictly before that shard's first timestamp — so bound-pruned
+/// routing must send it no frame at all.
+fn pruning_probe(set: &ShardSet) -> (trajectory::Cube, usize) {
+    let bounds: Vec<trajectory::Cube> = set
+        .entries()
+        .iter()
+        .map(|e| e.bounds.expect("manifest carries shard bounds"))
+        .collect();
+    let victim = bounds
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.t_min.total_cmp(&b.1.t_min))
+        .expect("non-empty shard set")
+        .0;
+    let lo = |f: fn(&trajectory::Cube) -> f64| bounds.iter().map(f).fold(f64::INFINITY, f64::min);
+    let hi =
+        |f: fn(&trajectory::Cube) -> f64| bounds.iter().map(f).fold(f64::NEG_INFINITY, f64::max);
+    let t_lo = lo(|b| b.t_min);
+    let cut = bounds[victim].t_min - 1.0;
+    assert!(
+        cut > t_lo,
+        "time partitioning must separate shard start times"
+    );
+    let cube = trajectory::Cube::new(
+        lo(|b| b.x_min),
+        hi(|b| b.x_max),
+        lo(|b| b.y_min),
+        hi(|b| b.y_max),
+        t_lo,
+        cut,
+    );
+    (cube, victim)
+}
+
+/// Bound-pruned routing: a batch confined to the early part of the time
+/// axis sends *no frame at all* to the shard whose data starts after
+/// it, yet answers exactly like the full in-process database, and the
+/// per-shard frame counters record both the pruning and a later
+/// whole-domain fan-out.
+#[test]
+fn bound_pruned_routing_skips_untouched_shards_and_counts_frames() {
+    let db = dataset();
+    let dir = write_shard_dir(&db, &PartitionStrategy::Time { parts: 3 }, false);
+    let mut set = ShardSet::load(&dir).expect("load manifest");
+    let (cube, victim) = pruning_probe(&set);
+    let probe = db.get(0).clone();
+    let batch = QueryBatch::from_queries(vec![
+        Query::Range(cube),
+        Query::RangeKept(cube),
+        Query::Similarity(SimilarityQuery {
+            query: probe,
+            ts: cube.t_min,
+            te: cube.t_max,
+            delta: 5_000.0,
+            step: 600.0,
+        }),
+    ]);
+    let expected = TrajDb::open(&dir, DbOptions::new())
+        .expect("open shard dir in-process")
+        .execute_batch(&batch);
+
+    let cluster = Cluster::spawn(&dir, &set, &[]);
+    set.set_addrs(&cluster.addrs).expect("assign addrs");
+    let placement = Placement::from_manifest(&set).expect("placement");
+    let coord = Coordinator::connect(placement, test_opts()).expect("connect");
+
+    let response = coord.execute_batch(&batch).expect("pruned batch");
+    assert_eq!(response.status, ResponseStatus::Complete);
+    assert_eq!(
+        response.results, expected,
+        "pruned routing changed the answer"
+    );
+
+    let stats = coord.stats();
+    assert_eq!(stats.rounds, 1);
+    assert_eq!(stats.queries, batch.queries().len() as u64);
+    assert_eq!(
+        stats.shards[victim].frames_sent, 0,
+        "the late shard must get no frame"
+    );
+    assert_eq!(stats.shards[victim].frames_pruned, 1);
+    assert!(stats.frames_sent() >= 1, "some shard must be contacted");
+
+    // A whole-domain range touches every shard: each counter moves.
+    let everywhere = QueryBatch::from_queries(vec![Query::Range(db.bounding_cube())]);
+    let full = coord.execute_batch(&everywhere).expect("full fan-out");
+    assert_eq!(full.status, ResponseStatus::Complete);
+    for (s, shard) in coord.stats().shards.iter().enumerate() {
+        assert!(shard.frames_sent >= 1, "shard {s} missed the full fan-out");
+    }
+    cleanup(&dir);
+}
+
+/// A dead shard that bound-pruning routes away from cannot hurt the
+/// answer: with the batch confined to the time range before the
+/// victim's data starts, the response stays `Complete` with no recorded
+/// failures under *both* failure policies — no frame is ever sent to
+/// the corpse.
+#[test]
+fn a_pruned_away_dead_shard_stays_complete() {
+    let db = dataset();
+    let dir = write_shard_dir(&db, &PartitionStrategy::Time { parts: 3 }, false);
+    let mut set = ShardSet::load(&dir).expect("load manifest");
+    let (cube, victim) = pruning_probe(&set);
+    let batch = QueryBatch::from_queries(vec![Query::Range(cube), Query::RangeKept(cube)]);
+    let expected = TrajDb::open(&dir, DbOptions::new())
+        .expect("open shard dir in-process")
+        .execute_batch(&batch);
+
+    let mut cluster = Cluster::spawn(&dir, &set, &[]);
+    set.set_addrs(&cluster.addrs).expect("assign addrs");
+    let placement = Placement::from_manifest(&set).expect("placement");
+    let coord = Coordinator::connect(placement, test_opts()).expect("connect");
+    cluster.kill(victim);
+
+    for policy in [FailurePolicy::Degrade, FailurePolicy::FailFast] {
+        let response = coord
+            .execute_batch_with(&batch, policy)
+            .expect("the dead shard is never contacted");
+        assert_eq!(response.status, ResponseStatus::Complete, "{policy:?}");
+        assert!(response.failures.is_empty(), "{policy:?}: failures leaked");
+        assert_eq!(
+            response.results, expected,
+            "{policy:?}: answer diverges from the full database"
+        );
+    }
+    assert_eq!(coord.stats().shards[victim].frames_sent, 0);
+    cleanup(&dir);
+}
+
+/// Many callers sharing one coordinator: concurrent single-query
+/// submissions coalesce into shared wire rounds through the
+/// admission/linger layer, every caller still gets exactly its own
+/// correct slice back, and a `from_parts` placement (no manifest
+/// bounds) adopts the shards' handshake bounds into the routing table.
+#[test]
+fn shared_coordinator_coalesces_concurrent_submissions() {
+    let db = dataset();
+    let dir = write_shard_dir(&db, &PartitionStrategy::Hash { parts: 2 }, false);
+    let set = ShardSet::load(&dir).expect("load manifest");
+
+    // In-process servers instead of shardd children: the placement is
+    // built from parts, so routing bounds must come from the handshake.
+    let mut servers = Vec::new();
+    let mut parts = Vec::new();
+    for e in set.entries() {
+        let shard_db = TrajDb::open(dir.join(&e.file), DbOptions::new()).expect("open shard");
+        let server =
+            traj_serve::Server::start(shard_db, "127.0.0.1:0", traj_serve::ServeOptions::batched())
+                .expect("start shard server");
+        parts.push((server.local_addr().to_string(), e.global_ids.clone()));
+        servers.push(server);
+    }
+    let placement = Placement::from_parts(parts).expect("placement");
+    let coord = Coordinator::connect(placement, test_opts()).expect("connect");
+    assert!(
+        coord.shard_bounds().iter().all(Option::is_some),
+        "handshake bounds must be adopted into the routing table"
+    );
+
+    let queries = mixed_batch(&db).into_queries();
+    let truth = TrajDb::open(&dir, DbOptions::new()).expect("open shard dir in-process");
+    let expected: Vec<QueryResult> = queries
+        .iter()
+        .map(|q| {
+            truth
+                .execute_batch(&QueryBatch::from_queries(vec![q.clone()]))
+                .remove(0)
+        })
+        .collect();
+
+    let shared = SharedCoordinator::start(
+        coord,
+        BatchConfig {
+            max_queries: 256,
+            linger: Duration::from_millis(50),
+        },
+        2,
+    );
+    let n = 16;
+    let barrier = std::sync::Barrier::new(n);
+    std::thread::scope(|scope| {
+        for i in 0..n {
+            let q = queries[i % queries.len()].clone();
+            let want = expected[i % queries.len()].clone();
+            let (shared, barrier) = (&shared, &barrier);
+            scope.spawn(move || {
+                barrier.wait();
+                let resp = shared
+                    .execute_batch(&QueryBatch::from_queries(vec![q]))
+                    .expect("shared batch");
+                assert_eq!(resp.status, ResponseStatus::Complete);
+                assert!(resp.failures.is_empty());
+                assert_eq!(
+                    resp.results,
+                    vec![want],
+                    "caller {i} got someone else's slice"
+                );
+            });
+        }
+    });
+
+    let stats = shared.stats();
+    assert_eq!(stats.queries, n as u64, "every submission is counted");
+    assert!(
+        stats.rounds < n as u64,
+        "{n} concurrent submissions never coalesced: {} rounds",
+        stats.rounds
+    );
+    assert!(stats.mean_coalesced_batch() > 1.0);
+    shared.shutdown();
+    for server in servers {
+        server.shutdown();
     }
     cleanup(&dir);
 }

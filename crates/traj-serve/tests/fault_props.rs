@@ -82,6 +82,7 @@ fn fixture() -> &'static Fixture {
             trajs: truth.len() as u64,
             points: truth.total_points() as u64,
             has_kept: truth.has_kept_bitmap(),
+            bounds: (truth.total_points() > 0).then(|| truth.bounding_cube()),
         };
         let served = TrajDb::from_store(db.to_store(), DbOptions::new());
         let server =
@@ -106,6 +107,10 @@ enum Exchange {
     Shard,
 }
 
+/// The request id every shard exchange in this suite is tagged with
+/// (fixed so both directions of [`direction_len`] stay deterministic).
+const SHARD_REQ_ID: u64 = 7;
+
 /// Bytes each direction of the exchange carries, so generated offsets
 /// land meaningfully inside (or just past) the stream.
 fn direction_len(fx: &Fixture, exchange: Exchange, dir: FaultDirection) -> u64 {
@@ -114,12 +119,14 @@ fn direction_len(fx: &Fixture, exchange: Exchange, dir: FaultDirection) -> u64 {
         (Exchange::Batch, FaultDirection::ServerToClient) => Message::Response(fx.results.clone()),
         (Exchange::Hello, FaultDirection::ClientToServer) => Message::Hello,
         (Exchange::Hello, FaultDirection::ServerToClient) => Message::ShardInfo(fx.info),
-        (Exchange::Shard, FaultDirection::ClientToServer) => {
-            Message::ShardRequest(fx.batch.clone())
-        }
-        (Exchange::Shard, FaultDirection::ServerToClient) => {
-            Message::ShardResponse(fx.shard_results.clone())
-        }
+        (Exchange::Shard, FaultDirection::ClientToServer) => Message::ShardRequest {
+            id: SHARD_REQ_ID,
+            batch: fx.batch.clone(),
+        },
+        (Exchange::Shard, FaultDirection::ServerToClient) => Message::ShardResponse {
+            id: SHARD_REQ_ID,
+            results: fx.shard_results.clone(),
+        },
     };
     encode_message(&msg).len() as u64
 }
@@ -210,7 +217,7 @@ proptest! {
             Exchange::Hello => client.hello().map(|got| {
                 assert_eq!(got, fx.info, "fault {fault:?} changed the handshake");
             }),
-            Exchange::Shard => client.execute_shard_batch(&fx.batch).map(|got| {
+            Exchange::Shard => client.execute_shard_batch(&fx.batch, SHARD_REQ_ID).map(|got| {
                 assert_eq!(got, fx.shard_results, "fault {fault:?} changed shard results");
             }),
         };
@@ -236,6 +243,65 @@ proptest! {
                     }
                 }
             }
+        }
+    }
+}
+
+/// Targeted flips in the fields this wire revision added — the shard
+/// request id (the first 8 payload bytes of both shard frame kinds)
+/// and the `ShardInfo` bounds cube in the handshake reply — must land
+/// as typed errors or leave the answer intact, never corrupt it.
+#[test]
+fn flips_in_request_id_and_bounds_bytes_land_typed() {
+    let fx = fixture();
+    assert!(
+        fx.info.bounds.is_some(),
+        "fixture dataset has points, so the handshake must carry bounds"
+    );
+    let cfg = ClientConfig {
+        connect_timeout: Some(Duration::from_millis(500)),
+        read_timeout: Some(Duration::from_millis(600)),
+        write_timeout: Some(Duration::from_millis(600)),
+    };
+    // Stream offsets: the 12-byte header puts the shard request id at
+    // 12..20; the ShardInfo payload (version u16, trajs u64, points
+    // u64, has_kept u8, bounds-presence u8) puts the 48 cube bytes at
+    // 32..80.
+    let cases = [
+        (Exchange::Shard, FaultDirection::ClientToServer, 12u64),
+        (Exchange::Shard, FaultDirection::ClientToServer, 19),
+        (Exchange::Shard, FaultDirection::ServerToClient, 12),
+        (Exchange::Shard, FaultDirection::ServerToClient, 19),
+        (Exchange::Hello, FaultDirection::ServerToClient, 31), // presence byte
+        (Exchange::Hello, FaultDirection::ServerToClient, 32), // first cube byte
+        (Exchange::Hello, FaultDirection::ServerToClient, 79), // last cube byte
+    ];
+    for (exchange, dir, offset) in cases {
+        for bit in [0u8, 7] {
+            let proxy = FaultProxy::start(fx.server_addr).expect("start proxy");
+            proxy.set_fault(Fault::FlipBit { dir, offset, bit });
+            let mut client = Client::connect_with(proxy.local_addr(), &cfg).expect("connect");
+            let err = match exchange {
+                Exchange::Shard => match client.execute_shard_batch(&fx.batch, SHARD_REQ_ID) {
+                    Ok(got) => {
+                        assert_eq!(got, fx.shard_results, "flip at {offset} changed results");
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Exchange::Hello => match client.hello() {
+                    Ok(got) => {
+                        assert_eq!(got, fx.info, "flip at {offset} changed the handshake");
+                        continue;
+                    }
+                    Err(e) => e,
+                },
+                Exchange::Batch => unreachable!("no batch cases above"),
+            };
+            assert!(
+                !matches!(err, WireError::Io(_)),
+                "flip at {offset} bit {bit} ({dir:?}) surfaced as untyped Io: {err}"
+            );
         }
     }
 }

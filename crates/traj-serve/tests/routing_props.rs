@@ -1,0 +1,183 @@
+//! Property test for bound-pruned routing: for random probe cubes and
+//! time windows — inside, straddling, and fully outside the data's
+//! bounding cube — a coordinator fanning out over in-process shard
+//! servers answers byte-identically to the full single-process
+//! database, across every partitioner × index backend combination.
+//! Pruning is an invisible optimization: whichever shards it routes
+//! away from, the merged answer (and its wire encoding) never changes.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Duration;
+
+use proptest::prelude::*;
+use traj_query::{
+    BackendKind, DbOptions, Dissimilarity, KnnQuery, Query, QueryBatch, QueryExecutor,
+    SimilarityQuery, TrajDb,
+};
+use traj_serve::wire::{encode_message, Message};
+use traj_serve::{
+    Coordinator, CoordinatorOptions, Placement, ResponseStatus, ServeOptions, Server,
+};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::shard::{partition, PartitionStrategy, ShardSet};
+use trajectory::{Cube, KeptBitmap, TrajectoryDb};
+
+/// Writes a plain shard directory with keep-every-other-point bitmaps.
+fn write_shard_dir(db: &TrajectoryDb, strategy: &PartitionStrategy) -> std::path::PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let store = db.to_store();
+    let shards = partition(&store, strategy);
+    let kept: Vec<KeptBitmap> = shards
+        .iter()
+        .map(|sh| {
+            let mut bitmap = KeptBitmap::zeros(sh.store.total_points());
+            for p in (0..sh.store.total_points()).step_by(2) {
+                bitmap.insert(p as u32);
+            }
+            bitmap
+        })
+        .collect();
+    let parent = std::env::temp_dir().join("qdts_routing_props");
+    std::fs::create_dir_all(&parent).expect("temp dir");
+    let dir = parent.join(format!(
+        "shards_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ));
+    ShardSet::write_with(&dir, &shards, &kept).expect("write shards");
+    dir
+}
+
+/// One partitioner × backend combination: a coordinator over leaked
+/// in-process shard servers, plus the full-directory ground truth.
+struct Combo {
+    label: String,
+    truth: TrajDb,
+    coordinator: Coordinator,
+}
+
+static FIXTURE: OnceLock<(TrajectoryDb, Vec<Combo>)> = OnceLock::new();
+
+fn fixture() -> &'static (TrajectoryDb, Vec<Combo>) {
+    FIXTURE.get_or_init(|| {
+        let db = generate(&DatasetSpec::tdrive(Scale::Smoke).with_trajectories(24), 3);
+        let partitioners: [(&str, PartitionStrategy); 3] = [
+            ("grid 2x2", PartitionStrategy::Grid { nx: 2, ny: 2 }),
+            ("time 3", PartitionStrategy::Time { parts: 3 }),
+            ("hash 3", PartitionStrategy::Hash { parts: 3 }),
+        ];
+        let backends: [(&str, BackendKind); 3] = [
+            ("octree", BackendKind::Octree),
+            ("kd", BackendKind::MedianKd),
+            ("scan", BackendKind::Scan),
+        ];
+        let opts = CoordinatorOptions {
+            connect_timeout: Duration::from_secs(1),
+            request_timeout: Duration::from_secs(10),
+            retries: 1,
+            backoff: Duration::from_millis(10),
+            ..CoordinatorOptions::default()
+        };
+        let mut combos = Vec::new();
+        for (part_label, strategy) in &partitioners {
+            let dir = write_shard_dir(&db, strategy);
+            for (backend_label, backend) in backends {
+                let mut set = ShardSet::load(&dir).expect("load manifest");
+                let mut addrs = Vec::new();
+                for e in set.entries() {
+                    let shard_db =
+                        TrajDb::open(dir.join(&e.file), DbOptions::new().backend(backend))
+                            .expect("open shard");
+                    let server = Server::start(shard_db, "127.0.0.1:0", ServeOptions::batched())
+                        .expect("start shard server");
+                    addrs.push(server.local_addr().to_string());
+                    // The servers must outlive every proptest case.
+                    std::mem::forget(server);
+                }
+                set.set_addrs(&addrs).expect("assign addrs");
+                let placement = Placement::from_manifest(&set).expect("placement");
+                let coordinator = Coordinator::connect(placement, opts).expect("connect");
+                assert!(
+                    coordinator.shard_bounds().iter().all(Option::is_some),
+                    "manifest bounds must reach the routing table"
+                );
+                combos.push(Combo {
+                    label: format!("partition `{part_label}`, backend `{backend_label}`"),
+                    truth: TrajDb::open(&dir, DbOptions::new().backend(backend))
+                        .expect("open shard dir in-process"),
+                    coordinator,
+                });
+            }
+        }
+        (db, combos)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    #[test]
+    fn pruned_routing_answers_like_the_full_database(
+        (kind, fr, probe, k) in (
+            0u8..4,
+            (
+                -0.15..1.15f64,
+                -0.15..1.15f64,
+                -0.15..1.15f64,
+                -0.15..1.15f64,
+                -0.15..1.15f64,
+                -0.15..1.15f64,
+            ),
+            0usize..1024,
+            1usize..6,
+        )
+    ) {
+        let (db, combos) = fixture();
+        let b = db.bounding_cube();
+        let lerp = |lo: f64, hi: f64, f: f64| lo + (hi - lo) * f;
+        let axis = |lo: f64, hi: f64, f0: f64, f1: f64| {
+            let (a, z) = (lerp(lo, hi, f0), lerp(lo, hi, f1));
+            if a <= z { (a, z) } else { (z, a) }
+        };
+        let (x0, x1) = axis(b.x_min, b.x_max, fr.0, fr.1);
+        let (y0, y1) = axis(b.y_min, b.y_max, fr.2, fr.3);
+        let (t0, t1) = axis(b.t_min, b.t_max, fr.4, fr.5);
+        let cube = Cube::new(x0, x1, y0, y1, t0, t1);
+        let probe_traj = db.get(probe % db.len()).clone();
+        let query = match kind {
+            0 => Query::Range(cube),
+            1 => Query::RangeKept(cube),
+            2 => Query::Similarity(SimilarityQuery {
+                query: probe_traj,
+                ts: t0,
+                te: t1,
+                delta: 5_000.0,
+                step: 600.0,
+            }),
+            _ => Query::Knn(KnnQuery {
+                query: probe_traj,
+                ts: t0,
+                te: t1,
+                k,
+                measure: Dissimilarity::Edr { eps: 2_000.0 },
+            }),
+        };
+        let batch = QueryBatch::from_queries(vec![query]);
+        for combo in combos {
+            let expected = combo.truth.execute_batch(&batch);
+            let resp = combo
+                .coordinator
+                .execute_batch(&batch)
+                .expect("distributed batch");
+            prop_assert_eq!(&resp.status, &ResponseStatus::Complete, "{}", combo.label);
+            prop_assert_eq!(&resp.results, &expected, "{}: results diverge", combo.label);
+            prop_assert_eq!(
+                encode_message(&Message::Response(resp.results)),
+                encode_message(&Message::Response(expected)),
+                "{}: encodings diverge",
+                combo.label
+            );
+        }
+    }
+}

@@ -120,11 +120,18 @@ fn arb_shard_result() -> impl Strategy<Value = ShardResult> {
 }
 
 fn arb_shard_info() -> impl Strategy<Value = ShardInfo> {
-    (0u64..1 << 48, 0u64..1 << 48, any::<bool>()).prop_map(|(trajs, points, has_kept)| ShardInfo {
-        trajs,
-        points,
-        has_kept,
-    })
+    (
+        0u64..1 << 48,
+        0u64..1 << 48,
+        any::<bool>(),
+        prop_oneof![Just(None), arb_cube().prop_map(Some)],
+    )
+        .prop_map(|(trajs, points, has_kept, bounds)| ShardInfo {
+            trajs,
+            points,
+            has_kept,
+            bounds,
+        })
 }
 
 fn arb_message() -> impl Strategy<Value = Message> {
@@ -140,9 +147,17 @@ fn arb_message() -> impl Strategy<Value = Message> {
         }),
         Just(Message::Hello),
         arb_shard_info().prop_map(Message::ShardInfo),
-        prop::collection::vec(arb_query(), 0..8)
-            .prop_map(|qs| Message::ShardRequest(QueryBatch::from_queries(qs))),
-        prop::collection::vec(arb_shard_result(), 0..8).prop_map(Message::ShardResponse),
+        (any::<u64>(), prop::collection::vec(arb_query(), 0..8)).prop_map(|(id, qs)| {
+            Message::ShardRequest {
+                id,
+                batch: QueryBatch::from_queries(qs),
+            }
+        }),
+        (
+            any::<u64>(),
+            prop::collection::vec(arb_shard_result(), 0..8)
+        )
+            .prop_map(|(id, results)| Message::ShardResponse { id, results }),
     ]
 }
 
@@ -173,10 +188,18 @@ fn assert_message_eq(a: &Message, b: &Message) -> Result<(), TestCaseError> {
         (Message::ShardInfo(x), Message::ShardInfo(y)) => {
             prop_assert_eq!(x, y);
         }
-        (Message::ShardRequest(x), Message::ShardRequest(y)) => {
+        (
+            Message::ShardRequest { id: ia, batch: x },
+            Message::ShardRequest { id: ib, batch: y },
+        ) => {
+            prop_assert_eq!(ia, ib);
             prop_assert_eq!(x.queries(), y.queries());
         }
-        (Message::ShardResponse(x), Message::ShardResponse(y)) => {
+        (
+            Message::ShardResponse { id: ia, results: x },
+            Message::ShardResponse { id: ib, results: y },
+        ) => {
+            prop_assert_eq!(ia, ib);
             prop_assert_eq!(x, y);
         }
         _ => prop_assert!(false, "message kind changed in round trip"),

@@ -226,6 +226,24 @@ pub enum ShardSetError {
         /// The doubly-assigned address.
         addr: String,
     },
+    /// A shard's `bounds=` token is not six finite, ordered
+    /// comma-separated numbers — or appears twice on one line.
+    MalformedShardBounds {
+        /// The shard file the bounds were attached to.
+        file: String,
+        /// The offending bounds string.
+        bounds: String,
+        /// What is wrong with it.
+        reason: String,
+    },
+    /// Some shard lines carry `bounds=` and others do not. A routing
+    /// coordinator must either prune against every shard or none — a
+    /// partial set would silently disable pruning for some shards and
+    /// make coverage bugs invisible.
+    MissingShardBounds {
+        /// A shard file with no bounds while others have them.
+        file: String,
+    },
     /// A shard's id list is not strictly ascending (the fan-out merge
     /// relies on local order equalling global order).
     UnsortedTrajIds {
@@ -284,6 +302,16 @@ impl std::fmt::Display for ShardSetError {
             ShardSetError::DuplicateShardAddr { addr } => {
                 write!(f, "address {addr} is assigned to more than one shard")
             }
+            ShardSetError::MalformedShardBounds {
+                file,
+                bounds,
+                reason,
+            } => {
+                write!(f, "shard {file}: malformed bounds {bounds:?}: {reason}")
+            }
+            ShardSetError::MissingShardBounds { file } => {
+                write!(f, "shard {file} has no bounds= token while other shards do")
+            }
             ShardSetError::UnsortedTrajIds { file } => {
                 write!(f, "shard {file} lists trajectory ids out of order")
             }
@@ -333,7 +361,7 @@ impl From<io::Error> for ShardSetError {
 
 /// One manifest entry: a shard snapshot file plus the global ids of the
 /// trajectories it holds (in shard-local order, strictly ascending).
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardEntry {
     /// File name of the shard snapshot, relative to the shard-set
     /// directory.
@@ -342,6 +370,13 @@ pub struct ShardEntry {
     /// when the manifest doubles as a distributed placement map (the
     /// optional `addr=` manifest token). `None` for purely local sets.
     pub addr: Option<String>,
+    /// Bounding cube of the shard's points as the *reopened* snapshot
+    /// decodes them (the optional `bounds=` manifest token). A
+    /// distributed coordinator prunes its fan-out with these, so for
+    /// quantized sets they are computed from the decoded store — not the
+    /// pre-quantization input — and match bitwise what the serving
+    /// process reports in its handshake. `None` in pre-bounds manifests.
+    pub bounds: Option<Cube>,
     /// `global_ids[local]` = global trajectory id.
     pub global_ids: Vec<TrajId>,
 }
@@ -365,7 +400,7 @@ pub struct OpenShard<S> {
 /// errors, never panics); [`ShardSet::open_owned`] /
 /// [`ShardSet::open_mapped`] reopen every shard heap-backed or
 /// mmap-backed respectively.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ShardSet {
     dir: PathBuf,
     trajs: usize,
@@ -432,16 +467,33 @@ impl ShardSet {
             let bitmap = kept.map(|ks| &ks[i]);
             let path = dir.join(&file);
             match quantize {
-                Some(max_error) => write_snapshot_quantized(&shard.store, bitmap, max_error, path),
-                None => write_snapshot_with(&shard.store, bitmap, path),
+                Some(max_error) => write_snapshot_quantized(&shard.store, bitmap, max_error, &path),
+                None => write_snapshot_with(&shard.store, bitmap, &path),
             }
             .map_err(|source| ShardSetError::Snapshot {
                 file: file.clone(),
                 source,
             })?;
+            // The manifest's bounds must cover the shard as a *reader*
+            // will see it. Quantization shifts every coordinate within
+            // the error bound, so for quantized sets the bounds come
+            // from reading the snapshot back — decoding is
+            // deterministic, so these match what the serving process
+            // computes, bitwise.
+            let bounds = match quantize {
+                Some(_) => read_snapshot(&path)
+                    .map_err(|source| ShardSetError::Snapshot {
+                        file: file.clone(),
+                        source,
+                    })?
+                    .store
+                    .bounding_cube(),
+                None => shard.bounds(),
+            };
             entries.push(ShardEntry {
                 file,
                 addr: None,
+                bounds: Some(bounds),
                 global_ids: shard.global_ids.clone(),
             });
         }
@@ -576,15 +628,37 @@ impl ShardSet {
             }
             let mut fields = fields.peekable();
             let mut addr = None;
-            if let Some(a) = fields.peek().and_then(|tok| tok.strip_prefix("addr=")) {
-                if let Err(reason) = validate_addr(a) {
-                    return Err(ShardSetError::MalformedShardAddr {
-                        file,
-                        addr: a.to_string(),
-                        reason,
-                    });
+            let mut bounds = None;
+            // `addr=` and `bounds=` may appear in either order before
+            // the id list, each at most once.
+            while let Some(tok) = fields.peek() {
+                if let Some(a) = tok.strip_prefix("addr=") {
+                    if addr.is_some() {
+                        return Err(ShardSetError::Parse {
+                            line: lineno + 1,
+                            reason: "duplicate addr= token".into(),
+                        });
+                    }
+                    if let Err(reason) = validate_addr(a) {
+                        return Err(ShardSetError::MalformedShardAddr {
+                            file,
+                            addr: a.to_string(),
+                            reason,
+                        });
+                    }
+                    addr = Some(a.to_string());
+                } else if let Some(b) = tok.strip_prefix("bounds=") {
+                    if bounds.is_some() {
+                        return Err(ShardSetError::MalformedShardBounds {
+                            file,
+                            bounds: b.to_string(),
+                            reason: "duplicate bounds= token".into(),
+                        });
+                    }
+                    bounds = Some(parse_bounds(&file, b)?);
+                } else {
+                    break;
                 }
-                addr = Some(a.to_string());
                 fields.next();
             }
             let mut global_ids = Vec::new();
@@ -598,6 +672,7 @@ impl ShardSet {
             entries.push(ShardEntry {
                 file,
                 addr,
+                bounds,
                 global_ids,
             });
         }
@@ -608,6 +683,17 @@ impl ShardSet {
                     entries.len()
                 ),
             });
+        }
+
+        // Bounds are all-or-none: a routing coordinator either prunes
+        // against every shard or falls back to full fan-out. A manifest
+        // where only some shards carry bounds is corrupt.
+        if entries.iter().any(|e| e.bounds.is_some()) {
+            if let Some(e) = entries.iter().find(|e| e.bounds.is_none()) {
+                return Err(ShardSetError::MissingShardBounds {
+                    file: e.file.clone(),
+                });
+            }
         }
 
         // File-level validation: every referenced file exists, none
@@ -772,7 +858,8 @@ impl ShardSet {
 }
 
 /// Serializes the manifest: magic, header, one `shard` line per entry
-/// (with the optional `addr=` placement token before the id list).
+/// (with the optional `addr=` placement and `bounds=` pruning tokens
+/// before the id list).
 fn render_manifest(trajs: usize, entries: &[ShardEntry]) -> io::Result<Vec<u8>> {
     let mut manifest = Vec::new();
     writeln!(manifest, "{MANIFEST_MAGIC}")?;
@@ -782,12 +869,59 @@ fn render_manifest(trajs: usize, entries: &[ShardEntry]) -> io::Result<Vec<u8>> 
         if let Some(addr) = &e.addr {
             write!(manifest, " addr={addr}")?;
         }
+        if let Some(b) = &e.bounds {
+            // `{}` on f64 prints the shortest string that parses back to
+            // the same bits, so bounds round-trip bitwise through text.
+            write!(
+                manifest,
+                " bounds={},{},{},{},{},{}",
+                b.x_min, b.x_max, b.y_min, b.y_max, b.t_min, b.t_max
+            )?;
+        }
         for id in &e.global_ids {
             write!(manifest, " {id}")?;
         }
         writeln!(manifest)?;
     }
     Ok(manifest)
+}
+
+/// Parses a `bounds=` token body: six comma-separated finite `f64`s,
+/// each minimum no greater than its maximum.
+fn parse_bounds(file: &str, text: &str) -> Result<Cube, ShardSetError> {
+    let malformed = |reason: String| ShardSetError::MalformedShardBounds {
+        file: file.to_string(),
+        bounds: text.to_string(),
+        reason,
+    };
+    let mut vals = [0.0f64; 6];
+    let parts: Vec<&str> = text.split(',').collect();
+    if parts.len() != 6 {
+        return Err(malformed(format!(
+            "expected 6 numbers, found {}",
+            parts.len()
+        )));
+    }
+    for (v, tok) in vals.iter_mut().zip(&parts) {
+        *v = tok
+            .parse::<f64>()
+            .map_err(|_| malformed(format!("unparseable number {tok:?}")))?;
+        if !v.is_finite() {
+            return Err(malformed(format!("non-finite bound {tok:?}")));
+        }
+    }
+    let [x_min, x_max, y_min, y_max, t_min, t_max] = vals;
+    if x_min > x_max || y_min > y_max || t_min > t_max {
+        return Err(malformed("min bound exceeds max bound".to_string()));
+    }
+    Ok(Cube {
+        x_min,
+        x_max,
+        y_min,
+        y_max,
+        t_min,
+        t_max,
+    })
 }
 
 /// A shard address must be a dialable `host:port` pair: non-empty host,
@@ -1121,6 +1255,125 @@ mod tests {
             ShardSet::load(&dir),
             Err(ShardSetError::MalformedShardAddr { .. })
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn shard_bounds_round_trip_through_the_manifest() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Grid { nx: 2, ny: 2 });
+        let dir = temp_dir("bounds");
+        let written = ShardSet::write(&dir, &shards).unwrap();
+
+        // Written bounds are the per-shard bounding cubes, and they
+        // reload bitwise-identically through the text manifest.
+        let reloaded = ShardSet::load(&dir).unwrap();
+        assert_eq!(reloaded, written);
+        for (shard, e) in shards.iter().zip(reloaded.entries()) {
+            assert_eq!(e.bounds, Some(shard.bounds()));
+        }
+
+        // Bounds and addr tokens coexist in either order.
+        let mut set = written;
+        let addrs: Vec<String> = (0..set.len())
+            .map(|i| format!("127.0.0.1:{}", 7001 + i))
+            .collect();
+        set.set_addrs(&addrs).unwrap();
+        set.save_manifest().unwrap();
+        assert_eq!(ShardSet::load(&dir).unwrap(), set);
+        let manifest_path = dir.join(MANIFEST_FILE);
+        let original = std::fs::read_to_string(&manifest_path).unwrap();
+        let swapped: String = original
+            .lines()
+            .map(|l| {
+                let fields: Vec<&str> = l.split_whitespace().collect();
+                if fields.len() > 3 && fields[2].starts_with("addr=") {
+                    let mut out = vec![fields[0], fields[1], fields[3], fields[2]];
+                    out.extend(&fields[4..]);
+                    out.join(" ") + "\n"
+                } else {
+                    l.to_string() + "\n"
+                }
+            })
+            .collect();
+        assert_eq!(ShardSet::load(&dir).unwrap(), set);
+        std::fs::write(&manifest_path, &swapped).unwrap();
+        assert_eq!(ShardSet::load(&dir).unwrap(), set);
+        std::fs::write(&manifest_path, &original).unwrap();
+
+        // Corrupt bounds land typed errors: unparseable, wrong count,
+        // non-finite, inverted, duplicated — and a manifest where only
+        // some shards have bounds is rejected too.
+        let first_bounds = original
+            .split_whitespace()
+            .find(|tok| tok.starts_with("bounds="))
+            .unwrap()
+            .to_string();
+        let corrupt = |replacement: &str| {
+            std::fs::write(
+                &manifest_path,
+                original.replacen(&first_bounds, replacement, 1),
+            )
+            .unwrap();
+            ShardSet::load(&dir)
+        };
+        assert!(matches!(
+            corrupt("bounds=a,b,c,d,e,f"),
+            Err(ShardSetError::MalformedShardBounds { .. })
+        ));
+        assert!(matches!(
+            corrupt("bounds=1,2,3"),
+            Err(ShardSetError::MalformedShardBounds { .. })
+        ));
+        assert!(matches!(
+            corrupt("bounds=1,2,3,4,5,NaN"),
+            Err(ShardSetError::MalformedShardBounds { .. })
+        ));
+        assert!(matches!(
+            corrupt("bounds=1,2,3,4,inf,inf"),
+            Err(ShardSetError::MalformedShardBounds { .. })
+        ));
+        assert!(matches!(
+            corrupt("bounds=2,1,3,4,5,6"),
+            Err(ShardSetError::MalformedShardBounds { .. })
+        ));
+        assert!(matches!(
+            corrupt(&format!("{first_bounds} {first_bounds}")),
+            Err(ShardSetError::MalformedShardBounds { .. })
+        ));
+        assert!(matches!(
+            corrupt(""),
+            Err(ShardSetError::MissingShardBounds { .. })
+        ));
+
+        // A pre-bounds manifest (no bounds= anywhere) still loads.
+        let stripped: String = original
+            .lines()
+            .map(|l| {
+                l.split_whitespace()
+                    .filter(|tok| !tok.starts_with("bounds="))
+                    .collect::<Vec<_>>()
+                    .join(" ")
+                    + "\n"
+            })
+            .collect();
+        std::fs::write(&manifest_path, stripped).unwrap();
+        let legacy_set = ShardSet::load(&dir).unwrap();
+        assert!(legacy_set.entries().iter().all(|e| e.bounds.is_none()));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn quantized_manifest_bounds_match_the_decoded_store() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Time { parts: 3 });
+        let dir = temp_dir("quant_bounds");
+        let set = ShardSet::write_quantized(&dir, &shards, None, 1e-3).unwrap();
+        // The manifest's bounds must cover what a reader decodes —
+        // bitwise — not the pre-quantization input.
+        for (e, open) in set.entries().iter().zip(set.open_owned().unwrap()) {
+            assert_eq!(e.bounds, Some(open.store.bounding_cube()));
+        }
         std::fs::remove_dir_all(&dir).ok();
     }
 

@@ -48,8 +48,8 @@ pub use traj_query::{
     QueryExecutor, QueryResult, ShardedQueryEngine, TrajDb,
 };
 pub use traj_serve::{
-    Client, Coordinator, CoordinatorOptions, DistributedResponse, FailurePolicy, Placement,
-    ResponseStatus, ServeOptions, Server,
+    Client, Coordinator, CoordinatorOptions, CoordinatorStats, DistributedResponse, FailurePolicy,
+    Placement, ResponseStatus, ServeOptions, Server, SharedCoordinator,
 };
 pub use traj_simp::Simplifier;
 pub use trajectory::{Point, Simplification, Trajectory, TrajectoryDb};
