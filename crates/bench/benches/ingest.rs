@@ -1,0 +1,115 @@
+//! Live-ingestion benchmarks: the WAL-backed write path and the cost
+//! the merged base+delta view adds to reads.
+//!
+//! Three numbers bound the ingestion layer's story:
+//!
+//! - `wal_append_sync`: one acked 8-trajectory ingest batch — the
+//!   append through the online simplifier plus the single `fsync` that
+//!   makes it durable. This is the floor for write latency over the
+//!   wire.
+//! - `range_base_only` vs `range_merged`: the same range query over
+//!   the immutable base engine alone and over the merged view with a
+//!   resident delta — the read-side tax of serving un-compacted
+//!   writes.
+//! - `ingest_then_compact`: an ingest batch immediately folded into a
+//!   new snapshot generation — the full write amplification of the
+//!   smallest possible compaction cycle.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use traj_query::{DbOptions, GenerationalDb, QueryEngine, QueryExecutor, SimpFactory};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::{KeepAll, Trajectory, TrajectoryDb};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("qdts_bench_ingest");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn keep_all() -> SimpFactory {
+    Box::new(|| Box::new(KeepAll))
+}
+
+fn trajs_of(db: &TrajectoryDb) -> Vec<Trajectory> {
+    db.iter().map(|(_, t)| t.clone()).collect()
+}
+
+fn bench_ingest(c: &mut Criterion) {
+    let base = generate(&DatasetSpec::tdrive(Scale::Smoke).with_trajectories(64), 9);
+    let store = base.to_store();
+    let chunk = trajs_of(&generate(
+        &DatasetSpec::tdrive(Scale::Smoke).with_trajectories(8),
+        42,
+    ));
+
+    let mut group = c.benchmark_group("live_ingest");
+    // Every iteration hits the disk (WAL append + fsync, and for the
+    // compaction case a whole snapshot rewrite); keep sampling small.
+    group.sample_size(10);
+
+    // Write path: one acked batch = append + single fsync.
+    {
+        let dir = unique_dir("wal");
+        let db = GenerationalDb::create(&dir, &store, DbOptions::new(), keep_all())
+            .expect("create live db");
+        group.bench_function("wal_append_sync_8trajs", |b| {
+            b.iter(|| db.ingest(&chunk).expect("ingest"))
+        });
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Read path: base-only engine vs merged view with a resident delta
+    // of the same extra trajectories.
+    let cube = {
+        let b = base.bounding_cube();
+        trajectory::Cube::new(
+            b.x_min,
+            (b.x_min + b.x_max) / 2.0,
+            b.y_min,
+            (b.y_min + b.y_max) / 2.0,
+            b.t_min,
+            (b.t_min + b.t_max) / 2.0,
+        )
+    };
+    {
+        let engine = QueryEngine::over_store(&store, traj_query::EngineConfig::octree());
+        group.bench_function("range_base_only", |b| b.iter(|| engine.range(&cube)));
+    }
+    {
+        let dir = unique_dir("merged");
+        let db = GenerationalDb::create(&dir, &store, DbOptions::new(), keep_all())
+            .expect("create live db");
+        db.ingest(&chunk).expect("seed delta");
+        group.bench_function("range_merged", |b| b.iter(|| db.range(&cube)));
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    // Full cycle: ingest a batch, fold it into a fresh generation.
+    {
+        let dir = unique_dir("compact");
+        let db = GenerationalDb::create(&dir, &store, DbOptions::new(), keep_all())
+            .expect("create live db");
+        group.bench_function("ingest_then_compact", |b| {
+            b.iter(|| {
+                db.ingest(&chunk).expect("ingest");
+                db.compact().expect("compact")
+            })
+        });
+        drop(db);
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_ingest);
+criterion_main!(benches);

@@ -26,6 +26,13 @@
 //! workload out and merging globally — its fingerprint must match the
 //! in-process one, byte for byte.
 //!
+//! The live variant ([`live_serve_task`]) exercises the ingestion
+//! layer: a [`GenerationalDb`](traj_query::GenerationalDb) behind the
+//! same wire server, trajectories ingested over the wire (each ack a
+//! WAL sync), a range workload answered from the merged base+delta
+//! view, and a compaction fold whose before/after answers must be
+//! byte-identical.
+//!
 //! All tasks are exposed as library functions (smoke-tested) and
 //! through the `snapshot_serve` binary:
 //!
@@ -355,6 +362,123 @@ pub fn wire_serve_task(
         batches: stats.batches,
         mean_batch: stats.mean_batch_size(),
         serve_seconds,
+        full_result_ids,
+    })
+}
+
+/// What the live (ingesting) serve task measured.
+#[derive(Debug, Clone)]
+pub struct LiveServeReport {
+    /// Trajectories in the immutable base generation.
+    pub base_trajectories: usize,
+    /// Trajectories accepted over the wire.
+    pub ingested_trajectories: u64,
+    /// Points accepted over the wire (pre-simplification).
+    pub ingested_points: u64,
+    /// Snapshot generation serving before the final compaction.
+    pub generation_before: u64,
+    /// Snapshot generation serving after the final compaction.
+    pub generation_after: u64,
+    /// Seconds across all ingest round-trips (append + WAL sync + ack).
+    pub ingest_seconds: f64,
+    /// Seconds for the range batch over the wire, delta still resident.
+    pub query_seconds: f64,
+    /// Total result-set size over the wire (cross-checked against the
+    /// in-process merged view, and again after compaction).
+    pub full_result_ids: usize,
+}
+
+/// The live serve task: stand a [`GenerationalDb`] (synthetic base, WAL
+/// in `dir`) behind a loopback wire server, ingest `ingest_batches`
+/// batches of 8 fresh trajectories over the wire, answer a `queries`-
+/// cube range workload from the merged base+delta view, then compact
+/// and re-run the workload — erroring if the wire answers ever diverge
+/// from in-process execution or change across the fold.
+///
+/// [`GenerationalDb`]: traj_query::GenerationalDb
+pub fn live_serve_task(
+    dir: &Path,
+    queries: usize,
+    ingest_batches: usize,
+    seed: u64,
+) -> Result<LiveServeReport, Box<dyn std::error::Error>> {
+    use std::sync::Arc;
+    use traj_query::GenerationalDb;
+    use trajectory::KeepAll;
+
+    let store = generate(
+        &DatasetSpec::tdrive(Scale::Smoke).with_trajectories(64),
+        seed,
+    )
+    .to_store();
+    let db = Arc::new(GenerationalDb::create(
+        dir,
+        &store,
+        DbOptions::new(),
+        Box::new(|| Box::new(KeepAll)),
+    )?);
+    let base_trajectories = store.len();
+    let generation_before = db.generation();
+
+    let server = traj_serve::Server::start(
+        Arc::clone(&db),
+        "127.0.0.1:0",
+        traj_serve::ServeOptions::batched(),
+    )?;
+    let mut client = traj_serve::Client::connect(server.local_addr())?;
+
+    // Ingest fresh batches over the wire; every ack means one WAL sync.
+    let mut ingested_trajectories = 0u64;
+    let mut ingested_points = 0u64;
+    let t0 = Instant::now();
+    for b in 0..ingest_batches {
+        let fresh = generate(
+            &DatasetSpec::tdrive(Scale::Smoke).with_trajectories(8),
+            seed.wrapping_add(100 + b as u64),
+        );
+        let trajs: Vec<trajectory::Trajectory> = fresh.iter().map(|(_, t)| t.clone()).collect();
+        let points: u64 = trajs.iter().map(|t| t.len() as u64).sum();
+        let ack = client.ingest(&trajs)?;
+        if ack.rejected != 0 {
+            return Err(format!("live server rejected {} trajectories", ack.rejected).into());
+        }
+        ingested_trajectories += u64::from(ack.accepted);
+        ingested_points += points;
+    }
+    let ingest_seconds = t0.elapsed().as_secs_f64();
+
+    // A range workload over the base extent, answered from the merged
+    // view with the whole delta still resident.
+    let spec = RangeWorkloadSpec::paper_default(queries, QueryDistribution::Data);
+    let ranges = traj_query::range_workload_store(&store, &spec, &mut StdRng::seed_from_u64(seed));
+    let mut batch = QueryBatch::new();
+    for q in &ranges {
+        batch.push_range(*q);
+    }
+    let t1 = Instant::now();
+    let wire = client.execute_batch(&batch)?;
+    let query_seconds = t1.elapsed().as_secs_f64();
+    if wire != db.execute_batch(&batch) {
+        return Err("live wire results diverge from the in-process merged view".into());
+    }
+    let full_result_ids = wire.iter().map(|r| r.ids().map_or(0, <[usize]>::len)).sum();
+
+    // Fold the delta into a new generation; answers must not move.
+    db.compact()?;
+    let generation_after = db.generation();
+    if client.execute_batch(&batch)? != wire {
+        return Err("live wire results changed across compaction".into());
+    }
+
+    server.shutdown();
+    Ok(LiveServeReport {
+        base_trajectories,
+        ingested_trajectories,
+        ingested_points,
+        generation_before,
+        generation_after,
+        ingest_seconds,
+        query_seconds,
         full_result_ids,
     })
 }
@@ -784,6 +908,24 @@ mod tests {
         assert!(served.simplified_batch_seconds.is_some());
         std::fs::remove_dir_all(&raw_dir).ok();
         std::fs::remove_dir_all(&q_dir).ok();
+    }
+
+    #[test]
+    fn live_serve_ingests_and_compacts() {
+        let dir = temp(&format!("live_serve_{}", std::process::id()));
+        std::fs::remove_dir_all(&dir).ok();
+        let report = live_serve_task(&dir, 10, 3, 21).unwrap();
+        assert_eq!(report.base_trajectories, 64);
+        assert_eq!(report.ingested_trajectories, 24);
+        assert!(report.ingested_points > 0);
+        assert!(
+            report.generation_after > report.generation_before,
+            "compaction must advance the generation: {} -> {}",
+            report.generation_before,
+            report.generation_after
+        );
+        assert!(report.full_result_ids > 0);
+        std::fs::remove_dir_all(&dir).ok();
     }
 
     #[test]

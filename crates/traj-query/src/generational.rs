@@ -1,0 +1,1171 @@
+//! Live ingestion: merged base + delta serving with background
+//! compaction into snapshot generations.
+//!
+//! The engines in [`engine`](crate::engine) and
+//! [`sharded`](crate::sharded) serve *immutable* databases: their
+//! indexes are built once over frozen columns. A [`GenerationalDb`]
+//! adds writes without giving that up, LSM-style:
+//!
+//! - the **base** is an immutable snapshot generation (`gen-N.snap`),
+//!   served by an ordinary [`QueryEngine`] (owned or mmap-backed per
+//!   [`DbOptions`]);
+//! - the **active delta** is a WAL-guarded
+//!   [`DeltaStore`](trajectory::DeltaStore): appends are simplified
+//!   online at admission, logged, and acknowledged only after an
+//!   `fsync` — a crash replays exactly the acked trajectories;
+//! - **sealed** deltas are frozen in-memory segments awaiting
+//!   compaction (their WALs still on disk);
+//! - a **compaction** folds base + sealed segments into the next
+//!   snapshot generation and commits it by atomically renaming the
+//!   `gens.manifest` — serving never stops, and a crash on either side
+//!   of the rename recovers a consistent database.
+//!
+//! Queries see one logical database: trajectory ids are assigned in
+//! ingest order (`base` first, then sealed segments, then the active
+//! delta), and every operator answers **identically to a from-scratch
+//! rebuild** over the same trajectories — the merge reuses the
+//! distributed kNN kernels ([`merge_knn_candidates`],
+//! [`knn_take_fill`]) that already reproduce single-store answers
+//! byte-for-byte, and the delta side is pruned per trajectory through
+//! cached bounding cubes. Compaction preserves ids: folding appends
+//! sealed trajectories to the base columns in segment order, exactly
+//! where the merged view already placed them.
+//!
+//! # Directory layout
+//!
+//! ```text
+//! live-db/
+//! ├── gens.manifest      # "QDTSGENS v1" + generation + snapshot + wal_start
+//! ├── gen-000003.snap    # current base generation (snapshot format)
+//! └── wal-000007.log     # active delta WAL (earlier seqs = sealed)
+//! ```
+//!
+//! `wal_start` names the first WAL sequence the manifest still depends
+//! on: on open, WALs `wal_start..` are replayed (all but the highest as
+//! sealed segments, the highest reopened for appends) and anything
+//! older is garbage from before the last commit.
+//!
+//! # Example
+//!
+//! ```
+//! use traj_query::{DbOptions, GenerationalDb, QueryExecutor};
+//! use trajectory::{Cube, KeepAll, Point, PointStore, Trajectory};
+//!
+//! let dir = std::env::temp_dir().join("traj_query_generational_doc");
+//! # let _ = std::fs::remove_dir_all(&dir);
+//! let mut base = PointStore::new();
+//! base.push_points(&[Point::new(0.0, 0.0, 0.0), Point::new(1.0, 1.0, 10.0)])
+//!     .unwrap();
+//! let db = GenerationalDb::create(&dir, &base, DbOptions::new(), Box::new(|| Box::new(KeepAll)))
+//!     .unwrap();
+//!
+//! // Writes are durable once `ingest` returns...
+//! let t = Trajectory::new(vec![Point::new(5.0, 5.0, 0.0), Point::new(6.0, 6.0, 5.0)]).unwrap();
+//! let ack = db.ingest(std::slice::from_ref(&t)).unwrap();
+//! assert_eq!((ack.accepted, ack.first_id), (1, Some(1)));
+//!
+//! // ...and served immediately, merged with the base generation.
+//! assert_eq!(db.len(), 2);
+//! assert_eq!(db.range(&Cube::new(4.0, 7.0, 4.0, 7.0, 0.0, 9.0)), vec![1]);
+//!
+//! // Compaction folds the delta into generation 1; ids are stable.
+//! let report = db.compact().unwrap();
+//! assert_eq!((report.generation, report.folded_trajs), (1, 1));
+//! assert_eq!(db.range(&Cube::new(4.0, 7.0, 4.0, 7.0, 0.0, 9.0)), vec![1]);
+//! # std::fs::remove_dir_all(&dir).ok();
+//! ```
+
+use std::collections::HashMap;
+use std::fmt;
+use std::fs::{self, File};
+use std::io::{self, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use trajectory::delta::{replay_wal, BoxedSimplifier, DeltaError, DeltaStore};
+use trajectory::parallel::par_map;
+use trajectory::simd::any_in_cube;
+use trajectory::snapshot::{read_snapshot, write_snapshot, MappedStore, SnapshotError};
+use trajectory::{AsColumns, Cube, PointStore, Simplification, TrajId, TrajView, Trajectory};
+
+use crate::db::{DbOptions, OpenMode, Query, QueryBatch, QueryExecutor, QueryResult};
+use crate::engine::{MaintainedWorkload, QueryEngine};
+use crate::knn::KnnQuery;
+use crate::sharded::{knn_take_fill, merge_knn_candidates};
+use crate::similarity::SimilarityQuery;
+
+/// File name of the generation manifest inside a live-db directory.
+pub const GENS_MANIFEST: &str = "gens.manifest";
+
+const MANIFEST_MAGIC: &str = "QDTSGENS v1";
+
+fn snapshot_name(generation: u64) -> String {
+    format!("gen-{generation:06}.snap")
+}
+
+fn wal_name(seq: u64) -> String {
+    format!("wal-{seq:06}.log")
+}
+
+fn parse_wal_name(name: &str) -> Option<u64> {
+    name.strip_prefix("wal-")?
+        .strip_suffix(".log")?
+        .parse()
+        .ok()
+}
+
+fn parse_snapshot_name(name: &str) -> Option<u64> {
+    name.strip_prefix("gen-")?
+        .strip_suffix(".snap")?
+        .parse()
+        .ok()
+}
+
+// ---------------------------------------------------------------------
+// Errors.
+// ---------------------------------------------------------------------
+
+/// What opening, ingesting into, or compacting a [`GenerationalDb`] can
+/// fail with.
+#[derive(Debug)]
+pub enum GenError {
+    /// Raw I/O (directory scans, WAL appends, manifest writes).
+    Io(io::Error),
+    /// A base generation snapshot failed to read or write.
+    Snapshot(SnapshotError),
+    /// A delta WAL failed to open or replay.
+    Delta(DeltaError),
+    /// The `gens.manifest` file is malformed.
+    Manifest {
+        /// Human-readable description of the violation.
+        reason: String,
+    },
+}
+
+impl fmt::Display for GenError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GenError::Io(e) => write!(f, "live db I/O error: {e}"),
+            GenError::Snapshot(e) => write!(f, "generation snapshot error: {e}"),
+            GenError::Delta(e) => write!(f, "delta WAL error: {e}"),
+            GenError::Manifest { reason } => write!(f, "malformed generation manifest: {reason}"),
+        }
+    }
+}
+
+impl std::error::Error for GenError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            GenError::Io(e) => Some(e),
+            GenError::Snapshot(e) => Some(e),
+            GenError::Delta(e) => Some(e),
+            GenError::Manifest { .. } => None,
+        }
+    }
+}
+
+impl From<io::Error> for GenError {
+    fn from(e: io::Error) -> Self {
+        GenError::Io(e)
+    }
+}
+
+impl From<SnapshotError> for GenError {
+    fn from(e: SnapshotError) -> Self {
+        GenError::Snapshot(e)
+    }
+}
+
+impl From<DeltaError> for GenError {
+    fn from(e: DeltaError) -> Self {
+        GenError::Delta(e)
+    }
+}
+
+// ---------------------------------------------------------------------
+// Manifest.
+// ---------------------------------------------------------------------
+
+struct Manifest {
+    generation: u64,
+    snapshot: String,
+    wal_start: u64,
+}
+
+fn load_manifest(path: &Path) -> Result<Manifest, GenError> {
+    let text = fs::read_to_string(path)?;
+    let mut lines = text.lines();
+    let magic = lines.next().unwrap_or("");
+    if magic != MANIFEST_MAGIC {
+        return Err(GenError::Manifest {
+            reason: format!("bad magic line {magic:?}"),
+        });
+    }
+    let (mut generation, mut snapshot, mut wal_start) = (None, None, None);
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() {
+            continue;
+        }
+        let (key, value) = line.split_once(' ').ok_or_else(|| GenError::Manifest {
+            reason: format!("line {line:?} is not `key value`"),
+        })?;
+        let slot: &mut Option<String> = match key {
+            "generation" => &mut generation,
+            "snapshot" => &mut snapshot,
+            "wal_start" => &mut wal_start,
+            _ => {
+                return Err(GenError::Manifest {
+                    reason: format!("unknown key {key:?}"),
+                })
+            }
+        };
+        if slot.replace(value.to_string()).is_some() {
+            return Err(GenError::Manifest {
+                reason: format!("duplicate key {key:?}"),
+            });
+        }
+    }
+    let parse_u64 = |key: &str, v: Option<String>| -> Result<u64, GenError> {
+        v.ok_or_else(|| GenError::Manifest {
+            reason: format!("missing key {key:?}"),
+        })?
+        .parse()
+        .map_err(|_| GenError::Manifest {
+            reason: format!("key {key:?} is not a u64"),
+        })
+    };
+    Ok(Manifest {
+        generation: parse_u64("generation", generation)?,
+        snapshot: snapshot.ok_or_else(|| GenError::Manifest {
+            reason: "missing key \"snapshot\"".to_string(),
+        })?,
+        wal_start: parse_u64("wal_start", wal_start)?,
+    })
+}
+
+/// Writes the manifest durably: temp file, `fsync`, atomic rename —
+/// the rename is the commit point of a compaction.
+fn store_manifest(dir: &Path, m: &Manifest) -> Result<(), GenError> {
+    let text = format!(
+        "{MANIFEST_MAGIC}\ngeneration {}\nsnapshot {}\nwal_start {}\n",
+        m.generation, m.snapshot, m.wal_start
+    );
+    let tmp = dir.join(format!("{GENS_MANIFEST}.tmp"));
+    let mut f = File::create(&tmp)?;
+    f.write_all(text.as_bytes())?;
+    f.sync_all()?;
+    drop(f);
+    fs::rename(&tmp, dir.join(GENS_MANIFEST))?;
+    // Make the rename itself durable where the platform allows it.
+    if let Ok(d) = File::open(dir) {
+        let _ = d.sync_all();
+    }
+    Ok(())
+}
+
+// ---------------------------------------------------------------------
+// The merged view.
+// ---------------------------------------------------------------------
+
+/// A sealed delta: frozen columns plus per-trajectory bounding cubes,
+/// queued for the next compaction. Its WAL stays on disk until the
+/// manifest commits a generation that contains it.
+struct Segment {
+    seq: u64,
+    store: PointStore,
+    bounds: Vec<Cube>,
+}
+
+impl Segment {
+    fn new(seq: u64, store: PointStore) -> Self {
+        let bounds = store.views().map(|v| v.bounding_cube()).collect();
+        Self { seq, store, bounds }
+    }
+}
+
+struct Inner {
+    generation: u64,
+    base: Arc<QueryEngine<'static>>,
+    base_len: usize,
+    sealed: Vec<Arc<Segment>>,
+    active: DeltaStore,
+    active_bounds: Vec<Cube>,
+    active_seq: u64,
+}
+
+impl Inner {
+    fn sealed_trajs(&self) -> usize {
+        self.sealed.iter().map(|s| s.store.len()).sum()
+    }
+
+    fn total_len(&self) -> usize {
+        self.base_len + self.sealed_trajs() + self.active.len()
+    }
+
+    fn total_points(&self) -> usize {
+        self.base.store().total_points()
+            + self
+                .sealed
+                .iter()
+                .map(|s| s.store.total_points())
+                .sum::<usize>()
+            + self.active.total_points()
+    }
+
+    fn delta_points(&self) -> usize {
+        self.sealed
+            .iter()
+            .map(|s| s.store.total_points())
+            .sum::<usize>()
+            + self.active.total_points()
+    }
+
+    /// Visits every delta trajectory (sealed segments in seal order,
+    /// then the active store) with its global id, cached bounding cube,
+    /// and column view — the id order a from-scratch rebuild would
+    /// assign after the base.
+    fn for_each_delta<F: FnMut(TrajId, &Cube, TrajView<'_>)>(&self, mut f: F) {
+        let mut next = self.base_len;
+        for seg in &self.sealed {
+            for (local, v) in seg.store.iter() {
+                f(next + local, &seg.bounds[local], v);
+            }
+            next += seg.store.len();
+        }
+        for (local, v) in self.active.store().iter() {
+            f(next + local, &self.active_bounds[local], v);
+        }
+    }
+
+    fn trajectory(&self, id: TrajId) -> Trajectory {
+        if id < self.base_len {
+            return self.base.trajectory(id);
+        }
+        let mut next = self.base_len;
+        for seg in &self.sealed {
+            if id < next + seg.store.len() {
+                return seg.store.view(id - next).to_trajectory();
+            }
+            next += seg.store.len();
+        }
+        self.active.store().view(id - next).to_trajectory()
+    }
+
+    fn range(&self, q: &Cube) -> Vec<TrajId> {
+        let mut ids = self.base.range(q);
+        self.for_each_delta(|global, bounds, v| {
+            if bounds.intersects(q) && any_in_cube(v.xs, v.ys, v.ts, q) {
+                ids.push(global);
+            }
+        });
+        ids
+    }
+
+    /// The delta side's contribution to a distributed kNN, in the same
+    /// shape [`QueryEngine::knn_candidates`] produces: finite-distance
+    /// candidates sorted by `(distance, id)`, truncated to `k`, with
+    /// `-0.0` normalized to `+0.0` for the `total_cmp` merge.
+    fn delta_knn_candidates(&self, q: &KnnQuery) -> Vec<(f64, TrajId)> {
+        let q_window = q.query_window();
+        let mut finite: Vec<(f64, TrajId)> = Vec::new();
+        self.for_each_delta(|global, bounds, v| {
+            // With an empty query window every trajectory scores 0.0, so
+            // the time prune is only sound when the window is non-empty
+            // (time-disjoint trajectories then score infinity anyway).
+            if !q_window.is_empty() && (bounds.t_max < q.ts || bounds.t_min > q.te) {
+                return;
+            }
+            let d = q.windowed_distance_view(q_window, v);
+            if d.is_finite() {
+                finite.push((d, global));
+            }
+        });
+        finite.sort_unstable_by(|a, b| a.0.partial_cmp(&b.0).unwrap().then(a.1.cmp(&b.1)));
+        finite.truncate(q.k);
+        for entry in &mut finite {
+            entry.0 += 0.0;
+        }
+        finite
+    }
+
+    fn knn_streams(&self, q: &KnnQuery, parallel: bool) -> [Vec<(f64, TrajId)>; 2] {
+        let mut base = self.base.knn_finite_scored_impl(q, parallel);
+        base.truncate(q.k);
+        for entry in &mut base {
+            entry.0 += 0.0;
+        }
+        [base, self.delta_knn_candidates(q)]
+    }
+
+    fn knn_candidates(&self, q: &KnnQuery, parallel: bool) -> Vec<(f64, TrajId)> {
+        merge_knn_candidates(q.k, &self.knn_streams(q, parallel))
+    }
+
+    fn knn(&self, q: &KnnQuery, parallel: bool) -> Vec<TrajId> {
+        let merged = self.knn_candidates(q, parallel);
+        knn_take_fill(q.k, &merged, 0..self.total_len())
+    }
+
+    fn similarity(&self, q: &SimilarityQuery, parallel: bool) -> Vec<TrajId> {
+        let mut ids = if parallel {
+            self.base.similarity(q)
+        } else {
+            self.base.similarity_seq(q)
+        };
+        self.for_each_delta(|global, bounds, v| {
+            // Conservative prune: `matches_seq` always rejects
+            // trajectories entirely outside the query's time window.
+            if bounds.t_max < q.ts || bounds.t_min > q.te {
+                return;
+            }
+            if q.matches_seq(&v) {
+                ids.push(global);
+            }
+        });
+        ids
+    }
+
+    fn kept_of(simp: &Simplification, id: TrajId) -> &[u32] {
+        if id < simp.len() {
+            simp.kept(id)
+        } else {
+            &[]
+        }
+    }
+
+    fn range_simplified(&self, simp: &Simplification, q: &Cube) -> Vec<TrajId> {
+        let mut ids = self.base.range_simplified(simp, q);
+        self.for_each_delta(|global, bounds, v| {
+            if !bounds.intersects(q) {
+                return;
+            }
+            let hit = Self::kept_of(simp, global).iter().any(|&idx| {
+                let i = idx as usize;
+                q.contains_xyz(v.xs[i], v.ys[i], v.ts[i])
+            });
+            if hit {
+                ids.push(global);
+            }
+        });
+        ids
+    }
+
+    fn maintained_workload(&self, queries: Vec<Cube>, simp: &Simplification) -> MaintainedWorkload {
+        let truth = par_map(&queries, |q| self.range(q));
+        let counts = par_map(&queries, |q| {
+            let mut counts = HashMap::new();
+            let mut tally = |id: TrajId, v: TrajView<'_>| {
+                let n = Self::kept_of(simp, id)
+                    .iter()
+                    .filter(|&&idx| {
+                        let i = idx as usize;
+                        q.contains_xyz(v.xs[i], v.ys[i], v.ts[i])
+                    })
+                    .count() as u32;
+                if n > 0 {
+                    counts.insert(id, n);
+                }
+            };
+            for (id, v) in self.base.store().iter() {
+                tally(id, v);
+            }
+            self.for_each_delta(|global, bounds, v| {
+                if bounds.intersects(q) {
+                    tally(global, v);
+                }
+            });
+            counts
+        });
+        MaintainedWorkload::from_parts(queries, truth, counts)
+    }
+
+    /// One typed query with sequential inner loops — the unit
+    /// [`QueryExecutor::execute_batch`] parallelizes over.
+    fn execute_one(&self, q: &Query) -> QueryResult {
+        match q {
+            Query::Range(c) => QueryResult::Range(self.range(c)),
+            Query::Knn(k) => QueryResult::Knn(self.knn(k, false)),
+            Query::Similarity(s) => QueryResult::Similarity(self.similarity(s, false)),
+            Query::RangeKept(_) => QueryResult::RangeKept(None),
+        }
+    }
+
+    fn bounding_cube(&self) -> Cube {
+        let mut cube = self.base.store().bounding_cube();
+        self.for_each_delta(|_, bounds, _| cube.union_with(bounds));
+        cube
+    }
+}
+
+// ---------------------------------------------------------------------
+// Reports.
+// ---------------------------------------------------------------------
+
+/// What one [`GenerationalDb::ingest`] batch did. Returned only after
+/// the WAL is synced: every accepted trajectory survives a crash.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestReport {
+    /// Trajectories admitted (logged, simplified, and serving).
+    pub accepted: u32,
+    /// Trajectories rejected wholesale (empty, non-finite coordinates,
+    /// or time-regressing samples).
+    pub rejected: u32,
+    /// Global id of the first accepted trajectory; subsequent accepted
+    /// trajectories of the batch took consecutive ids.
+    pub first_id: Option<TrajId>,
+    /// Total trajectories served after the batch.
+    pub total_trajs: u64,
+    /// Total points served after the batch (post-simplification).
+    pub total_points: u64,
+}
+
+/// What one [`GenerationalDb::compact`] pass did.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CompactionReport {
+    /// The generation now serving (unchanged when there was nothing to
+    /// fold).
+    pub generation: u64,
+    /// Delta trajectories folded into the new base generation.
+    pub folded_trajs: usize,
+    /// Delta points folded into the new base generation.
+    pub folded_points: usize,
+    /// Base trajectories after the pass.
+    pub base_trajs: usize,
+}
+
+/// Builds the online simplifier each new delta WAL admits points
+/// through — one fresh instance per WAL, so replay is deterministic.
+pub type SimpFactory = Box<dyn Fn() -> BoxedSimplifier + Send + Sync>;
+
+// ---------------------------------------------------------------------
+// The database.
+// ---------------------------------------------------------------------
+
+/// A mutable trajectory database: an immutable base snapshot
+/// generation merged with a WAL-backed delta, compacted in the
+/// background. See the [module docs](self) for the layout and
+/// recovery protocol.
+///
+/// All methods take `&self`; interior locking makes the database
+/// shareable across serving threads (`Arc<GenerationalDb>`). Queries
+/// hold a read lock for their duration; [`GenerationalDb::ingest`]
+/// holds the write lock only for the in-memory append and buffered
+/// WAL write, running its durability `fsync` after release so readers
+/// never queue behind stable storage; [`GenerationalDb::compact`]
+/// holds the write lock only briefly at its seal and swap edges, so
+/// serving continues while the new generation is written.
+pub struct GenerationalDb {
+    inner: RwLock<Inner>,
+    dir: PathBuf,
+    opts: DbOptions,
+    simp_factory: SimpFactory,
+    /// Serializes compaction passes (the write lock is released during
+    /// the fold, so the gate keeps two passes from interleaving).
+    compact_gate: Mutex<()>,
+}
+
+impl fmt::Debug for GenerationalDb {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.read().unwrap();
+        f.debug_struct("GenerationalDb")
+            .field("dir", &self.dir)
+            .field("generation", &inner.generation)
+            .field("base_len", &inner.base_len)
+            .field("sealed", &inner.sealed.len())
+            .field("active_len", &inner.active.len())
+            .finish()
+    }
+}
+
+impl GenerationalDb {
+    /// Initializes `dir` as a live database whose generation 0 is a
+    /// snapshot of `base`, then opens it.
+    pub fn create(
+        dir: impl AsRef<Path>,
+        base: &PointStore,
+        opts: DbOptions,
+        simp_factory: SimpFactory,
+    ) -> Result<Self, GenError> {
+        let dir = dir.as_ref().to_path_buf();
+        fs::create_dir_all(&dir)?;
+        let snap = snapshot_name(0);
+        let tmp = dir.join(format!("{snap}.tmp"));
+        write_snapshot(base, &tmp)?;
+        fs::rename(&tmp, dir.join(&snap))?;
+        store_manifest(
+            &dir,
+            &Manifest {
+                generation: 0,
+                snapshot: snap,
+                wal_start: 0,
+            },
+        )?;
+        Self::open(dir, opts, simp_factory)
+    }
+
+    /// Opens a live database directory: reads the manifest, serves the
+    /// committed base generation (owned or mmap-backed per `opts`),
+    /// replays every WAL the manifest still depends on — all but the
+    /// highest sequence become sealed segments, the highest is
+    /// reopened for appends (its torn tail, if any, truncated).
+    pub fn open(
+        dir: impl AsRef<Path>,
+        opts: DbOptions,
+        simp_factory: SimpFactory,
+    ) -> Result<Self, GenError> {
+        let dir = dir.as_ref().to_path_buf();
+        let manifest = load_manifest(&dir.join(GENS_MANIFEST))?;
+        let snap_path = dir.join(&manifest.snapshot);
+        let cfg = opts.engine_config();
+        let base = match opts.open_mode() {
+            OpenMode::Owned => QueryEngine::from_store(read_snapshot(&snap_path)?.store, cfg),
+            OpenMode::Auto | OpenMode::Mapped => {
+                QueryEngine::from_mapped(MappedStore::open(&snap_path)?, cfg)
+            }
+        };
+        let base_len = base.store().len();
+
+        let mut seqs: Vec<u64> = Vec::new();
+        for entry in fs::read_dir(&dir)? {
+            if let Some(seq) = parse_wal_name(&entry?.file_name().to_string_lossy()) {
+                if seq >= manifest.wal_start {
+                    seqs.push(seq);
+                }
+            }
+        }
+        seqs.sort_unstable();
+        let active_seq = seqs.pop().unwrap_or(manifest.wal_start);
+        let mut sealed = Vec::new();
+        for seq in seqs {
+            let mut simp = simp_factory();
+            let store = replay_wal(dir.join(wal_name(seq)), simp.as_mut())?;
+            if !store.is_empty() {
+                sealed.push(Arc::new(Segment::new(seq, store)));
+            }
+        }
+        let active = DeltaStore::open(dir.join(wal_name(active_seq)), simp_factory())?;
+        let active_bounds = active.store().views().map(|v| v.bounding_cube()).collect();
+
+        Ok(Self {
+            inner: RwLock::new(Inner {
+                generation: manifest.generation,
+                base: Arc::new(base),
+                base_len,
+                sealed,
+                active,
+                active_bounds,
+                active_seq,
+            }),
+            dir,
+            opts,
+            simp_factory,
+            compact_gate: Mutex::new(()),
+        })
+    }
+
+    /// Ingests a batch of trajectories: each is WAL-logged, simplified
+    /// online at admission, and serving in the merged view when this
+    /// returns. Returns after a single `fsync` covering the whole
+    /// batch — the acknowledgement point crash recovery honors.
+    ///
+    /// The write lock covers only the in-memory append and the buffered
+    /// WAL write; the durability `fsync` runs on a cloned file handle
+    /// after the lock is released, so queries are never stuck behind
+    /// stable storage. A concurrent [`GenerationalDb::compact`] cannot
+    /// orphan the batch: its seal phase syncs the outgoing WAL under
+    /// the write lock before swapping it out, so the bytes this call
+    /// flushed are on disk before the WAL is retired, and the late
+    /// `sync_data` here is a no-op on the old file.
+    ///
+    /// Invalid trajectories (empty, non-finite, time-regressing) are
+    /// rejected individually; the rest of the batch proceeds.
+    pub fn ingest(&self, trajs: &[Trajectory]) -> io::Result<IngestReport> {
+        let (report, wal) = {
+            let mut guard = self.inner.write().unwrap();
+            let inner = &mut *guard;
+            let first_global = inner.base_len + inner.sealed_trajs() + inner.active.len();
+            let mut accepted = 0u32;
+            let mut rejected = 0u32;
+            let mut first_id = None;
+            for t in trajs {
+                match inner.active.push_traj(t.points())? {
+                    Some(local) => {
+                        let bounds = inner.active.store().view(local).bounding_cube();
+                        inner.active_bounds.push(bounds);
+                        if first_id.is_none() {
+                            first_id = Some(first_global + accepted as usize);
+                        }
+                        accepted += 1;
+                    }
+                    None => rejected += 1,
+                }
+            }
+            let wal = inner.active.sync_handle()?;
+            let report = IngestReport {
+                accepted,
+                rejected,
+                first_id,
+                total_trajs: inner.total_len() as u64,
+                total_points: inner.total_points() as u64,
+            };
+            (report, wal)
+        };
+        wal.sync_data()?;
+        Ok(report)
+    }
+
+    /// Folds every sealed segment and the current active delta into
+    /// the next snapshot generation, then swaps serving onto it.
+    ///
+    /// The pass holds the write lock only while sealing the active
+    /// delta (a pointer swap plus one small file create) and while
+    /// swapping the new base in; the fold — column copy, snapshot
+    /// write, index rebuild — runs with serving live. The atomic
+    /// manifest rename is the commit point: a crash before it replays
+    /// the old generation plus all WALs, a crash after it opens the
+    /// new generation and ignores the folded WALs. Trajectory ids are
+    /// preserved exactly.
+    pub fn compact(&self) -> Result<CompactionReport, GenError> {
+        let _gate = self.compact_gate.lock().unwrap();
+
+        // Phase 1 (write lock): seal the active delta behind a fresh WAL.
+        let (base, sealed, next_gen, new_wal_start);
+        {
+            let mut guard = self.inner.write().unwrap();
+            let inner = &mut *guard;
+            inner.active.sync()?;
+            if inner.sealed.is_empty() && inner.active.is_empty() {
+                return Ok(CompactionReport {
+                    generation: inner.generation,
+                    folded_trajs: 0,
+                    folded_points: 0,
+                    base_trajs: inner.base_len,
+                });
+            }
+            let new_seq = inner.active_seq + 1;
+            let fresh =
+                DeltaStore::create(self.dir.join(wal_name(new_seq)), (self.simp_factory)())?;
+            let old = std::mem::replace(&mut inner.active, fresh);
+            let old_bounds = std::mem::take(&mut inner.active_bounds);
+            let old_seq = inner.active_seq;
+            inner.active_seq = new_seq;
+            if !old.is_empty() {
+                inner.sealed.push(Arc::new(Segment {
+                    seq: old_seq,
+                    store: old.into_store(),
+                    bounds: old_bounds,
+                }));
+            }
+            base = Arc::clone(&inner.base);
+            sealed = inner.sealed.clone();
+            next_gen = inner.generation + 1;
+            new_wal_start = new_seq;
+        }
+
+        // Phase 2 (no lock): fold base + sealed into the next snapshot.
+        let mut folded = base.store().to_point_store();
+        let (mut folded_trajs, mut folded_points) = (0usize, 0usize);
+        for seg in &sealed {
+            for v in seg.store.views() {
+                folded_trajs += 1;
+                folded_points += v.len();
+                folded.push_view(v);
+            }
+        }
+        let new_base_len = folded.len();
+        let snap = snapshot_name(next_gen);
+        let snap_path = self.dir.join(&snap);
+        let tmp = self.dir.join(format!("{snap}.tmp"));
+        write_snapshot(&folded, &tmp)?;
+        File::open(&tmp)?.sync_all()?;
+        fs::rename(&tmp, &snap_path)?;
+        let engine = match self.opts.open_mode() {
+            OpenMode::Owned => QueryEngine::from_store(folded, self.opts.engine_config()),
+            OpenMode::Auto | OpenMode::Mapped => {
+                QueryEngine::from_mapped(MappedStore::open(&snap_path)?, self.opts.engine_config())
+            }
+        };
+
+        // Phase 3: commit — atomic manifest rename.
+        store_manifest(
+            &self.dir,
+            &Manifest {
+                generation: next_gen,
+                snapshot: snap,
+                wal_start: new_wal_start,
+            },
+        )?;
+
+        // Phase 4 (write lock): swap serving onto the new generation.
+        {
+            let mut inner = self.inner.write().unwrap();
+            inner.base = Arc::new(engine);
+            inner.base_len = new_base_len;
+            inner.generation = next_gen;
+            inner.sealed.retain(|s| s.seq >= new_wal_start);
+        }
+
+        // Phase 5: best-effort cleanup of superseded files.
+        self.cleanup(next_gen, new_wal_start);
+
+        Ok(CompactionReport {
+            generation: next_gen,
+            folded_trajs,
+            folded_points,
+            base_trajs: new_base_len,
+        })
+    }
+
+    /// Deletes snapshots below `generation` and WALs below `wal_start`.
+    /// Failures are ignored: stale files are re-collected by the next
+    /// pass and never affect correctness (open ignores them).
+    fn cleanup(&self, generation: u64, wal_start: u64) {
+        let Ok(entries) = fs::read_dir(&self.dir) else {
+            return;
+        };
+        for entry in entries.flatten() {
+            let name = entry.file_name();
+            let name = name.to_string_lossy();
+            let stale = parse_snapshot_name(&name).is_some_and(|g| g < generation)
+                || parse_wal_name(&name).is_some_and(|s| s < wal_start);
+            if stale {
+                let _ = fs::remove_file(entry.path());
+            }
+        }
+    }
+
+    /// The generation currently serving as the immutable base.
+    pub fn generation(&self) -> u64 {
+        self.inner.read().unwrap().generation
+    }
+
+    /// Points currently living in the delta (sealed + active) — the
+    /// quantity compaction thresholds watch.
+    pub fn delta_points(&self) -> usize {
+        self.inner.read().unwrap().delta_points()
+    }
+
+    /// Trajectories currently living in the delta (sealed + active).
+    pub fn delta_trajs(&self) -> usize {
+        let inner = self.inner.read().unwrap();
+        inner.sealed_trajs() + inner.active.len()
+    }
+
+    /// The directory this database lives in.
+    pub fn dir(&self) -> &Path {
+        &self.dir
+    }
+
+    /// Bounding cube of every point served (base and delta).
+    pub fn bounding_cube(&self) -> Cube {
+        self.inner.read().unwrap().bounding_cube()
+    }
+
+    /// This database's contribution to a distributed kNN — merged
+    /// base + delta candidates in the shape
+    /// [`QueryEngine::knn_candidates`] produces, so a coordinator can
+    /// merge live shards and static shards identically.
+    pub fn knn_candidates(&self, q: &KnnQuery) -> Vec<(f64, TrajId)> {
+        self.inner.read().unwrap().knn_candidates(q, true)
+    }
+}
+
+impl QueryExecutor for GenerationalDb {
+    fn len(&self) -> usize {
+        self.inner.read().unwrap().total_len()
+    }
+
+    fn total_points(&self) -> usize {
+        self.inner.read().unwrap().total_points()
+    }
+
+    fn trajectory(&self, id: TrajId) -> Trajectory {
+        self.inner.read().unwrap().trajectory(id)
+    }
+
+    fn range(&self, q: &Cube) -> Vec<TrajId> {
+        self.inner.read().unwrap().range(q)
+    }
+
+    fn range_batch(&self, queries: &[Cube]) -> Vec<Vec<TrajId>> {
+        let inner = self.inner.read().unwrap();
+        par_map(queries, |q| inner.range(q))
+    }
+
+    fn knn(&self, q: &KnnQuery) -> Vec<TrajId> {
+        self.inner.read().unwrap().knn(q, true)
+    }
+
+    fn knn_batch(&self, queries: &[KnnQuery]) -> Vec<Vec<TrajId>> {
+        let inner = self.inner.read().unwrap();
+        par_map(queries, |q| inner.knn(q, false))
+    }
+
+    fn similarity(&self, q: &SimilarityQuery) -> Vec<TrajId> {
+        self.inner.read().unwrap().similarity(q, true)
+    }
+
+    fn similarity_batch(&self, queries: &[SimilarityQuery]) -> Vec<Vec<TrajId>> {
+        let inner = self.inner.read().unwrap();
+        par_map(queries, |q| inner.similarity(q, false))
+    }
+
+    fn has_kept_bitmap(&self) -> bool {
+        false
+    }
+
+    fn range_kept(&self, _q: &Cube) -> Option<Vec<TrajId>> {
+        None
+    }
+
+    fn range_simplified(&self, simp: &Simplification, q: &Cube) -> Vec<TrajId> {
+        self.inner.read().unwrap().range_simplified(simp, q)
+    }
+
+    fn range_simplified_batch(&self, simp: &Simplification, queries: &[Cube]) -> Vec<Vec<TrajId>> {
+        let inner = self.inner.read().unwrap();
+        par_map(queries, |q| inner.range_simplified(simp, q))
+    }
+
+    fn maintained_workload(&self, queries: Vec<Cube>, simp: &Simplification) -> MaintainedWorkload {
+        self.inner
+            .read()
+            .unwrap()
+            .maintained_workload(queries, simp)
+    }
+
+    fn execute_one(&self, q: &Query) -> QueryResult {
+        self.inner.read().unwrap().execute_one(q)
+    }
+
+    /// One read-lock acquisition for the whole batch: every query of
+    /// the plan sees the same consistent generation + delta snapshot.
+    fn execute_batch(&self, batch: &QueryBatch) -> Vec<QueryResult> {
+        let inner = self.inner.read().unwrap();
+        par_map(batch.queries(), |q| inner.execute_one(q))
+    }
+}
+
+// ---------------------------------------------------------------------
+// The background compactor.
+// ---------------------------------------------------------------------
+
+/// Handle on a background compaction thread: signals shutdown and
+/// joins on [`CompactorHandle::shutdown`] or drop.
+#[derive(Debug)]
+pub struct CompactorHandle {
+    stop: Arc<AtomicBool>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl CompactorHandle {
+    /// Stops the compactor and waits for an in-flight pass to finish.
+    pub fn shutdown(mut self) {
+        self.finish();
+    }
+
+    fn finish(&mut self) {
+        self.stop.store(true, Ordering::Relaxed);
+        if let Some(t) = self.thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for CompactorHandle {
+    fn drop(&mut self) {
+        self.finish();
+    }
+}
+
+/// Spawns a background thread that compacts `db` whenever the delta
+/// holds at least `threshold_points` points, polling every `interval`.
+/// Compaction errors are swallowed (the delta keeps serving and the
+/// next pass retries); shut the handle down to stop the thread.
+pub fn spawn_compactor(
+    db: Arc<GenerationalDb>,
+    threshold_points: usize,
+    interval: Duration,
+) -> CompactorHandle {
+    let stop = Arc::new(AtomicBool::new(false));
+    let flag = Arc::clone(&stop);
+    let thread = std::thread::spawn(move || {
+        while !flag.load(Ordering::Relaxed) {
+            if db.delta_points() >= threshold_points {
+                let _ = db.compact();
+            }
+            let mut slept = Duration::ZERO;
+            while slept < interval && !flag.load(Ordering::Relaxed) {
+                let step = (interval - slept).min(Duration::from_millis(20));
+                std::thread::sleep(step);
+                slept += step;
+            }
+        }
+    });
+    CompactorHandle {
+        stop,
+        thread: Some(thread),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use trajectory::{KeepAll, Point};
+
+    fn keep_all_factory() -> SimpFactory {
+        Box::new(|| Box::new(KeepAll))
+    }
+
+    fn traj(points: &[(f64, f64, f64)]) -> Trajectory {
+        Trajectory::new(
+            points
+                .iter()
+                .map(|&(x, y, t)| Point::new(x, y, t))
+                .collect(),
+        )
+        .unwrap()
+    }
+
+    fn base_store() -> PointStore {
+        let mut s = PointStore::new();
+        s.push_points(&[
+            Point::new(0.0, 0.0, 0.0),
+            Point::new(1.0, 0.5, 10.0),
+            Point::new(2.0, 1.0, 20.0),
+        ])
+        .unwrap();
+        s.push_points(&[Point::new(10.0, 10.0, 5.0), Point::new(11.0, 11.0, 15.0)])
+            .unwrap();
+        s
+    }
+
+    fn tmp_dir(tag: &str) -> PathBuf {
+        let dir =
+            std::env::temp_dir().join(format!("qdts_generational_{tag}_{}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    #[test]
+    fn ingest_serves_immediately_and_survives_reopen() {
+        let dir = tmp_dir("reopen");
+        let db = GenerationalDb::create(&dir, &base_store(), DbOptions::new(), keep_all_factory())
+            .unwrap();
+        let ack = db
+            .ingest(&[
+                traj(&[(5.0, 5.0, 0.0), (6.0, 6.0, 5.0)]),
+                traj(&[(20.0, 20.0, 0.0)]),
+            ])
+            .unwrap();
+        assert_eq!((ack.accepted, ack.rejected, ack.first_id), (2, 0, Some(2)));
+        assert_eq!(db.len(), 4);
+        let q = Cube::new(4.0, 7.0, 4.0, 7.0, -1.0, 9.0);
+        assert_eq!(db.range(&q), vec![2]);
+        drop(db);
+
+        let db = GenerationalDb::open(&dir, DbOptions::new(), keep_all_factory()).unwrap();
+        assert_eq!(db.len(), 4);
+        assert_eq!(db.range(&q), vec![2]);
+        assert_eq!(db.generation(), 0);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn compaction_preserves_ids_and_answers() {
+        let dir = tmp_dir("compact");
+        let db = GenerationalDb::create(&dir, &base_store(), DbOptions::new(), keep_all_factory())
+            .unwrap();
+        db.ingest(&[traj(&[(5.0, 5.0, 0.0), (6.0, 6.0, 5.0)])])
+            .unwrap();
+        let q = Cube::new(4.0, 7.0, 4.0, 7.0, -1.0, 9.0);
+        let before = db.range(&q);
+        let report = db.compact().unwrap();
+        assert_eq!(report.generation, 1);
+        assert_eq!(report.folded_trajs, 1);
+        assert_eq!(db.range(&q), before);
+        assert_eq!(db.delta_points(), 0);
+        // A second pass with nothing to fold is a no-op.
+        assert_eq!(db.compact().unwrap().generation, 1);
+        drop(db);
+
+        // Reopen serves the committed generation.
+        let db = GenerationalDb::open(&dir, DbOptions::new(), keep_all_factory()).unwrap();
+        assert_eq!(db.generation(), 1);
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.range(&q), before);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn ingest_rejects_invalid_trajectories_individually() {
+        let dir = tmp_dir("reject");
+        let db = GenerationalDb::create(&dir, &base_store(), DbOptions::new(), keep_all_factory())
+            .unwrap();
+        // A trajectory with no admissible point is rejected wholesale;
+        // its neighbors in the batch are unaffected.
+        let bad = Trajectory::from_sorted_unchecked(vec![Point::new(f64::NAN, 1.0, 5.0)]);
+        let ok = traj(&[(3.0, 3.0, 0.0)]);
+        let ack = db.ingest(&[ok.clone(), bad, ok]).unwrap();
+        assert_eq!((ack.accepted, ack.rejected), (2, 1));
+        assert_eq!(db.len(), 4);
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn manifest_round_trips_and_rejects_malformed() {
+        let dir = tmp_dir("manifest");
+        fs::create_dir_all(&dir).unwrap();
+        store_manifest(
+            &dir,
+            &Manifest {
+                generation: 3,
+                snapshot: "gen-000003.snap".into(),
+                wal_start: 7,
+            },
+        )
+        .unwrap();
+        let m = load_manifest(&dir.join(GENS_MANIFEST)).unwrap();
+        assert_eq!((m.generation, m.wal_start), (3, 7));
+        assert_eq!(m.snapshot, "gen-000003.snap");
+
+        for bad in [
+            "QDTSWRONG v1\ngeneration 0\nsnapshot a\nwal_start 0\n",
+            "QDTSGENS v1\ngeneration x\nsnapshot a\nwal_start 0\n",
+            "QDTSGENS v1\nsnapshot a\nwal_start 0\n",
+            "QDTSGENS v1\ngeneration 0\ngeneration 1\nsnapshot a\nwal_start 0\n",
+            "QDTSGENS v1\ngeneration 0\nsnapshot a\nwal_start 0\nmystery 1\n",
+        ] {
+            fs::write(dir.join(GENS_MANIFEST), bad).unwrap();
+            assert!(matches!(
+                load_manifest(&dir.join(GENS_MANIFEST)),
+                Err(GenError::Manifest { .. })
+            ));
+        }
+        fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn background_compactor_fires_on_threshold() {
+        let dir = tmp_dir("compactor");
+        let db = Arc::new(
+            GenerationalDb::create(&dir, &base_store(), DbOptions::new(), keep_all_factory())
+                .unwrap(),
+        );
+        let handle = spawn_compactor(Arc::clone(&db), 1, Duration::from_millis(5));
+        db.ingest(&[traj(&[(5.0, 5.0, 0.0), (6.0, 6.0, 5.0)])])
+            .unwrap();
+        let deadline = std::time::Instant::now() + Duration::from_secs(10);
+        while db.generation() == 0 && std::time::Instant::now() < deadline {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        handle.shutdown();
+        assert!(db.generation() >= 1, "compactor never folded the delta");
+        assert_eq!(db.len(), 3);
+        fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -66,6 +66,7 @@
 pub mod db;
 pub mod edr;
 pub mod engine;
+pub mod generational;
 pub mod join;
 pub mod knn;
 pub mod metrics;
@@ -81,6 +82,10 @@ pub use db::{
     TrajDbError,
 };
 pub use engine::{BackendKind, EngineConfig, MaintainedWorkload, QueryEngine};
+pub use generational::{
+    spawn_compactor, CompactionReport, CompactorHandle, GenError, GenerationalDb, IngestReport,
+    SimpFactory,
+};
 pub use join::{similarity_join, JoinParams};
 pub use knn::{Dissimilarity, KnnQuery};
 pub use metrics::{f1_pairs, f1_sets, mean_f1, query_diff, F1Score};

@@ -9,16 +9,31 @@
 //! these is the distributed twin of opening the shard directory
 //! in-process.
 //!
+//! With `--live <dir>` the shard serves a live, WAL-backed generational
+//! database instead of an immutable snapshot: `Ingest` frames append
+//! through the online simplifier (`--sed-eps` selects one-pass SED;
+//! the default keeps every point), a background compactor folds the
+//! delta into a new snapshot generation once it exceeds
+//! `--compact-points`, and the directory is created on first launch /
+//! recovered from its WALs on relaunch.
+//!
 //! ```text
 //! shardd --snap shard-000.qdts [--addr 127.0.0.1:0] [--backend octree|kd|scan]
 //!        [--mode auto|owned|mapped] [--per-request]
+//! shardd --live state-dir [--sed-eps 25.0] [--compact-points 500000] [...]
 //! ```
 
 use std::io::{Read, Write};
+use std::path::Path;
 use std::process::exit;
+use std::sync::Arc;
+use std::time::Duration;
 
-use traj_query::{BackendKind, DbOptions};
+use traj_query::generational::GENS_MANIFEST;
+use traj_query::{spawn_compactor, BackendKind, DbOptions, GenerationalDb, SimpFactory};
 use traj_serve::{ServeOptions, Server};
+use traj_simp::OnePassSed;
+use trajectory::{KeepAll, PointStore};
 
 fn flag_value(args: &[String], name: &str) -> Option<String> {
     args.iter()
@@ -26,15 +41,23 @@ fn flag_value(args: &[String], name: &str) -> Option<String> {
         .and_then(|i| args.get(i + 1).cloned())
 }
 
+fn usage() -> ! {
+    eprintln!(
+        "usage: shardd --snap <store> | --live <dir> [--addr host:port] \
+         [--backend octree|kd|scan] [--mode auto|owned|mapped] [--per-request] \
+         [--sed-eps <eps>] [--compact-points <n>]"
+    );
+    exit(2);
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(snap) = flag_value(&args, "--snap") else {
-        eprintln!(
-            "usage: shardd --snap <store> [--addr host:port] \
-             [--backend octree|kd|scan] [--mode auto|owned|mapped] [--per-request]"
-        );
-        exit(2);
-    };
+    let snap = flag_value(&args, "--snap");
+    let live = flag_value(&args, "--live");
+    if snap.is_some() == live.is_some() {
+        // Exactly one source: a snapshot to serve or a live directory.
+        usage();
+    }
     let addr = flag_value(&args, "--addr").unwrap_or_else(|| "127.0.0.1:0".to_string());
 
     let mut db_opts = DbOptions::new();
@@ -62,11 +85,64 @@ fn main() {
         ServeOptions::batched()
     };
 
-    let server = match Server::open(&snap, db_opts, addr.as_str(), serve_opts) {
-        Ok(server) => server,
-        Err(e) => {
-            eprintln!("shardd: cannot serve {snap}: {e}");
-            exit(2);
+    // Kept alive for the whole serving run; dropping it (at exit)
+    // signals the background compaction thread to stop and joins it.
+    let mut compactor = None;
+
+    let server = if let Some(dir) = live {
+        let sed_eps = match flag_value(&args, "--sed-eps").map(|s| s.parse::<f64>()) {
+            None => None,
+            Some(Ok(eps)) if eps > 0.0 && eps.is_finite() => Some(eps),
+            Some(_) => {
+                eprintln!("shardd: --sed-eps wants a positive finite number");
+                exit(2);
+            }
+        };
+        let compact_points = match flag_value(&args, "--compact-points").map(|s| s.parse::<usize>())
+        {
+            None => 500_000,
+            Some(Ok(n)) if n > 0 => n,
+            Some(_) => {
+                eprintln!("shardd: --compact-points wants a positive integer");
+                exit(2);
+            }
+        };
+        let factory: SimpFactory = match sed_eps {
+            Some(eps) => Box::new(move || Box::new(OnePassSed::new(eps))),
+            None => Box::new(|| Box::new(KeepAll)),
+        };
+        let opened = if Path::new(&dir).join(GENS_MANIFEST).exists() {
+            GenerationalDb::open(&dir, db_opts, factory)
+        } else {
+            GenerationalDb::create(&dir, &PointStore::new(), db_opts, factory)
+        };
+        let db = match opened {
+            Ok(db) => Arc::new(db),
+            Err(e) => {
+                eprintln!("shardd: cannot open live directory {dir}: {e}");
+                exit(2);
+            }
+        };
+        compactor = Some(spawn_compactor(
+            Arc::clone(&db),
+            compact_points,
+            Duration::from_millis(250),
+        ));
+        match Server::start(db, addr.as_str(), serve_opts) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("shardd: cannot serve live directory {dir}: {e}");
+                exit(2);
+            }
+        }
+    } else {
+        let snap = snap.expect("checked: exactly one of --snap/--live");
+        match Server::open(&snap, db_opts, addr.as_str(), serve_opts) {
+            Ok(server) => server,
+            Err(e) => {
+                eprintln!("shardd: cannot serve {snap}: {e}");
+                exit(2);
+            }
         }
     };
 
@@ -79,4 +155,7 @@ fn main() {
     let mut sink = Vec::new();
     let _ = std::io::stdin().read_to_end(&mut sink);
     server.shutdown();
+    if let Some(handle) = compactor.take() {
+        handle.shutdown();
+    }
 }

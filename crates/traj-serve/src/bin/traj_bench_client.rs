@@ -8,9 +8,16 @@
 //! traj_bench_client [--clients 64] [--requests 50] [--mode both]
 //!                   [--seed 7] [--trajectories 1000]
 //!                   [--max-batch 256] [--linger-us 100]
-//!                   [--cluster 0]
+//!                   [--cluster 0] [--writers 0]
 //!                   [--out BENCH_serve.json] [--date YYYY-MM-DD]
 //! ```
+//!
+//! `--writers N` additionally benchmarks the live-ingestion path: the
+//! same dataset served from a WAL-backed `GenerationalDb` (with its
+//! background compactor running), first read-only as a baseline and
+//! then with N writer connections streaming ingest batches for the
+//! whole read run — so "queries stay fast while writes land" is a
+//! measured p99 ratio, not a claim.
 //!
 //! Each request carries one query (80% range, 10% kNN/EDR, 10%
 //! similarity — the paper's §III-B mix). Per-request mode answers it
@@ -28,14 +35,15 @@
 //! coordinator's coalescing and pruned-frame counters.
 
 use std::io::Write as _;
-use std::sync::Barrier;
-use std::time::Instant;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use traj_query::{
-    range_workload, DbOptions, Dissimilarity, KnnQuery, Query, QueryBatch, QueryDistribution,
-    RangeWorkloadSpec, SimilarityQuery, TrajDb,
+    range_workload, spawn_compactor, DbOptions, Dissimilarity, GenerationalDb, KnnQuery, Query,
+    QueryBatch, QueryDistribution, RangeWorkloadSpec, SimilarityQuery, TrajDb,
 };
 use traj_serve::{
     BatchConfig, Client, Coordinator, CoordinatorOptions, CoordinatorStats, ExecutionMode,
@@ -43,7 +51,7 @@ use traj_serve::{
 };
 use trajectory::gen::{generate, DatasetSpec, Scale};
 use trajectory::shard::{partition, PartitionStrategy, ShardSet};
-use trajectory::TrajectoryDb;
+use trajectory::{KeepAll, Trajectory, TrajectoryDb};
 
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter()
@@ -112,6 +120,24 @@ struct ModeReport {
     mean_batch: f64,
     /// Coordinator counters — cluster mode only.
     cluster_stats: Option<CoordinatorStats>,
+    /// Writer-side counters — live-ingest mode only.
+    ingest_stats: Option<IngestBenchStats>,
+}
+
+/// What the concurrent writers did while the read latencies above were
+/// being measured.
+struct IngestBenchStats {
+    writers: usize,
+    batches: u64,
+    trajs: u64,
+    points: u64,
+    write_mean_us: f64,
+    write_p50_us: f64,
+    write_p99_us: f64,
+    writes_per_s: f64,
+    /// Snapshot generations the background compactor committed during
+    /// the run.
+    generations: u64,
 }
 
 fn percentile(sorted_us: &[f64], p: f64) -> f64 {
@@ -191,6 +217,209 @@ fn run_mode(
         mean_us: latencies_us.iter().sum::<f64>() / requests.max(1) as f64,
         mean_batch: stats.mean_batch_size(),
         cluster_stats: None,
+        ingest_stats: None,
+    }
+}
+
+/// Benchmarks the live-ingestion path: the dataset is served from a
+/// WAL-backed [`GenerationalDb`] (background compactor running), the
+/// usual reader threads measure query latency, and `writers` extra
+/// connections stream 8-trajectory ingest batches while the readers
+/// run. Writers are paced (a short sleep between acked batches, like a
+/// telemetry fleet reporting on an interval) and budgeted (a hard cap
+/// on batches per writer) so the delta grows at a realistic bounded
+/// rate instead of however fast `fsync` allows — unthrottled writers on
+/// a fast temp filesystem can outrun compaction without bound. With
+/// `writers == 0` this is the read-only baseline over the identical
+/// serving stack, so the p99 ratio isolates exactly the cost of
+/// concurrent writes.
+/// Hard cap on acked batches per writer connection (8 trajectories
+/// each) — bounds the WAL/delta no matter how long the read run lasts.
+const WRITER_BATCH_BUDGET: usize = 256;
+
+/// Sleep between a writer's acked batches: the arrival cadence of a
+/// device fleet, and the throttle that keeps ingest from degenerating
+/// into an fsync speed test.
+const WRITER_PACE: Duration = Duration::from_millis(4);
+
+fn run_live(
+    db: &TrajectoryDb,
+    label: &'static str,
+    workload: &[Query],
+    clients: usize,
+    writers: usize,
+    batch_cfg: BatchConfig,
+) -> ModeReport {
+    let dir =
+        std::env::temp_dir().join(format!("qdts_bench_live_{}_{}", std::process::id(), label));
+    let _ = std::fs::remove_dir_all(&dir);
+    let gdb = Arc::new(
+        GenerationalDb::create(
+            &dir,
+            &db.to_store(),
+            DbOptions::new(),
+            Box::new(|| Box::new(KeepAll)),
+        )
+        .expect("create live db"),
+    );
+    // A low fold threshold keeps the resident delta small for the whole
+    // run, so merged-view reads measure steady-state serving rather
+    // than an ever-growing unfolded tail.
+    let compactor = spawn_compactor(Arc::clone(&gdb), 50_000, Duration::from_millis(100));
+    let opts = ServeOptions {
+        mode: ExecutionMode::Batched(batch_cfg),
+        executors: 1,
+    };
+    let server = Server::start(Arc::clone(&gdb), "127.0.0.1:0", opts).expect("bind loopback");
+    let addr = server.local_addr();
+
+    // Writers cycle through pre-generated batches so trajectory
+    // generation cost never pollutes the measured ack latency.
+    let pools: Vec<Vec<Trajectory>> = (0..writers)
+        .map(|w| {
+            generate(
+                &DatasetSpec::tdrive(Scale::Smoke).with_trajectories(64),
+                900 + w as u64,
+            )
+            .iter()
+            .map(|(_, t)| t.clone())
+            .collect()
+        })
+        .collect();
+
+    let stop = AtomicBool::new(false);
+    let barrier = Barrier::new(clients + writers + 1);
+    let shares: Vec<&[Query]> = (0..clients)
+        .map(|c| {
+            let per = workload.len() / clients;
+            &workload[c * per..(c + 1) * per]
+        })
+        .collect();
+
+    let stop = &stop;
+    let barrier = &barrier;
+    let (read_lats, write_lats, trajs, points, elapsed, write_elapsed_s) =
+        std::thread::scope(|scope| {
+            let readers: Vec<_> = shares
+                .iter()
+                .map(|share| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect reader");
+                        let mut lat = Vec::with_capacity(share.len());
+                        barrier.wait();
+                        for q in *share {
+                            let batch = QueryBatch::from_queries(vec![q.clone()]);
+                            let t0 = Instant::now();
+                            let results = client.execute_batch(&batch).expect("read failed");
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                            assert_eq!(results.len(), 1, "one result per query");
+                        }
+                        lat
+                    })
+                })
+                .collect();
+            let writer_handles: Vec<_> = pools
+                .iter()
+                .map(|pool| {
+                    scope.spawn(move || {
+                        let mut client = Client::connect(addr).expect("connect writer");
+                        let mut lat = Vec::new();
+                        let mut trajs = 0u64;
+                        let mut points = 0u64;
+                        let mut at = 0usize;
+                        barrier.wait();
+                        let started = Instant::now();
+                        for _ in 0..WRITER_BATCH_BUDGET {
+                            if stop.load(Ordering::Relaxed) {
+                                break;
+                            }
+                            let end = (at + 8).min(pool.len());
+                            let chunk = &pool[at..end];
+                            at = if end == pool.len() { 0 } else { end };
+                            let t0 = Instant::now();
+                            let ack = client.ingest(chunk).expect("ingest failed");
+                            lat.push(t0.elapsed().as_secs_f64() * 1e6);
+                            trajs += u64::from(ack.accepted);
+                            points += chunk.iter().map(|t| t.len() as u64).sum::<u64>();
+                            std::thread::sleep(WRITER_PACE);
+                        }
+                        (lat, trajs, points, started.elapsed().as_secs_f64())
+                    })
+                })
+                .collect();
+            barrier.wait();
+            let started = Instant::now();
+            let read_lats: Vec<Vec<f64>> = readers
+                .into_iter()
+                .map(|h| h.join().expect("reader panicked"))
+                .collect();
+            let elapsed = started.elapsed();
+            stop.store(true, Ordering::Relaxed);
+            let mut write_lats = Vec::new();
+            let mut trajs = 0u64;
+            let mut points = 0u64;
+            let mut write_elapsed_s = 0f64;
+            for h in writer_handles {
+                let (lat, t, p, secs) = h.join().expect("writer panicked");
+                write_lats.extend(lat);
+                trajs += t;
+                points += p;
+                write_elapsed_s = write_elapsed_s.max(secs);
+            }
+            (
+                read_lats,
+                write_lats,
+                trajs,
+                points,
+                elapsed,
+                write_elapsed_s,
+            )
+        });
+
+    let generations = gdb.generation();
+    let server_stats = server.stats();
+    server.shutdown();
+    compactor.shutdown();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    let mut latencies_us: Vec<f64> = read_lats.into_iter().flatten().collect();
+    latencies_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    let requests = latencies_us.len();
+    let elapsed_s = elapsed.as_secs_f64();
+
+    let ingest_stats = (writers > 0).then(|| {
+        let mut sorted = write_lats.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let batches = sorted.len() as u64;
+        IngestBenchStats {
+            writers,
+            batches,
+            trajs,
+            points,
+            write_mean_us: sorted.iter().sum::<f64>() / (batches.max(1)) as f64,
+            write_p50_us: percentile(&sorted, 0.50),
+            write_p99_us: percentile(&sorted, 0.99),
+            writes_per_s: if write_elapsed_s > 0.0 {
+                batches as f64 / write_elapsed_s
+            } else {
+                0.0
+            },
+            generations,
+        }
+    });
+
+    ModeReport {
+        label,
+        requests,
+        elapsed_s,
+        throughput_rps: requests as f64 / elapsed_s,
+        p50_us: percentile(&latencies_us, 0.50),
+        p95_us: percentile(&latencies_us, 0.95),
+        p99_us: percentile(&latencies_us, 0.99),
+        mean_us: latencies_us.iter().sum::<f64>() / requests.max(1) as f64,
+        mean_batch: server_stats.mean_batch_size(),
+        cluster_stats: None,
+        ingest_stats,
     }
 }
 
@@ -329,6 +558,7 @@ fn run_cluster(
         mean_us: latencies_us.iter().sum::<f64>() / requests.max(1) as f64,
         mean_batch: stats.mean_coalesced_batch(),
         cluster_stats: Some(stats),
+        ingest_stats: None,
     }
 }
 
@@ -372,6 +602,31 @@ fn mode_json(r: &ModeReport) -> String {
             per_shard.join(", "),
         ));
     }
+    if let Some(w) = &r.ingest_stats {
+        block.push_str(&format!(
+            concat!(
+                ",\n",
+                "      \"ingest\": {{\n",
+                "        \"writers\": {},\n",
+                "        \"batches_acked\": {},\n",
+                "        \"trajectories_written\": {},\n",
+                "        \"points_written\": {},\n",
+                "        \"write_latency_us\": {{ \"mean\": {:.1}, \"p50\": {:.1}, \"p99\": {:.1} }},\n",
+                "        \"write_batches_per_s\": {:.0},\n",
+                "        \"compactions_committed\": {}\n",
+                "      }}"
+            ),
+            w.writers,
+            w.batches,
+            w.trajs,
+            w.points,
+            w.write_mean_us,
+            w.write_p50_us,
+            w.write_p99_us,
+            w.writes_per_s,
+            w.generations,
+        ));
+    }
     block.push_str("\n    }");
     block
 }
@@ -385,6 +640,7 @@ fn main() {
     let max_batch: usize = flag_parse(&args, "--max-batch", 256);
     let linger_us: u64 = flag_parse(&args, "--linger-us", 100);
     let cluster: usize = flag_parse(&args, "--cluster", 0);
+    let writers: usize = flag_parse(&args, "--writers", 0);
     let mode = flag_value(&args, "--mode").unwrap_or("both").to_owned();
     let out = flag_value(&args, "--out")
         .unwrap_or("BENCH_serve.json")
@@ -446,6 +702,31 @@ fn main() {
         );
         reports.push(r);
     }
+    if writers > 0 {
+        let baseline = run_live(&db, "live_read_only", &workload, clients, 0, batch_cfg);
+        eprintln!(
+            "live read-only: {:.0} req/s, p50 {:.0}us p95 {:.0}us p99 {:.0}us",
+            baseline.throughput_rps, baseline.p50_us, baseline.p95_us, baseline.p99_us
+        );
+        let mixed = run_live(&db, "live_ingest", &workload, clients, writers, batch_cfg);
+        let w = mixed.ingest_stats.as_ref().expect("writers ran");
+        eprintln!(
+            "live +{writers} writers: {:.0} req/s, p50 {:.0}us p95 {:.0}us p99 {:.0}us; \
+             {} trajs ({} pts) written in {} acked batches, write p99 {:.0}us, \
+             {} compactions",
+            mixed.throughput_rps,
+            mixed.p50_us,
+            mixed.p95_us,
+            mixed.p99_us,
+            w.trajs,
+            w.points,
+            w.batches,
+            w.write_p99_us,
+            w.generations,
+        );
+        reports.push(baseline);
+        reports.push(mixed);
+    }
 
     let speedup = match (
         reports.iter().find(|r| r.label == "batched"),
@@ -454,6 +735,17 @@ fn main() {
         (Some(b), Some(p)) if p.throughput_rps > 0.0 => {
             let s = b.throughput_rps / p.throughput_rps;
             eprintln!("throughput: batched / per-request = {s:.2}x");
+            Some(s)
+        }
+        _ => None,
+    };
+    let ingest_p99_ratio = match (
+        reports.iter().find(|r| r.label == "live_ingest"),
+        reports.iter().find(|r| r.label == "live_read_only"),
+    ) {
+        (Some(m), Some(b)) if b.p99_us > 0.0 => {
+            let s = m.p99_us / b.p99_us;
+            eprintln!("read p99 under ingest / read-only p99 = {s:.2}x");
             Some(s)
         }
         _ => None,
@@ -480,10 +772,12 @@ fn main() {
             "    \"linger_us\": {},\n",
             "    \"cluster_shards\": {},\n",
             "    \"cluster_mode\": \"time-partitioned shardd child processes behind one shared coalescing coordinator (admission/linger batching, bound-pruned routing over per-shard time spans, pipelined pooled connections, global merge); 0 = not benchmarked\",\n",
+            "    \"writers\": {},\n",
+            "    \"live_mode\": \"WAL-backed GenerationalDb serving (background compactor at 50k delta points): live_read_only is the baseline over the identical stack, live_ingest adds N connections streaming 8-trajectory ingest batches for the whole read run; 0 = not benchmarked\",\n",
             "    \"seed\": {}\n",
             "  }},\n"
         ),
-        clients, requests, max_batch, linger_us, cluster, seed
+        clients, requests, max_batch, linger_us, cluster, writers, seed
     ));
     json.push_str(&format!(
         concat!(
@@ -503,9 +797,15 @@ fn main() {
     json.push_str("\n  },\n");
     match speedup {
         Some(s) => json.push_str(&format!(
-            "  \"batched_over_per_request_throughput\": {s:.2}\n"
+            "  \"batched_over_per_request_throughput\": {s:.2},\n"
         )),
-        None => json.push_str("  \"batched_over_per_request_throughput\": null\n"),
+        None => json.push_str("  \"batched_over_per_request_throughput\": null,\n"),
+    }
+    match ingest_p99_ratio {
+        Some(s) => json.push_str(&format!(
+            "  \"read_p99_under_ingest_over_read_only\": {s:.2}\n"
+        )),
+        None => json.push_str("  \"read_p99_under_ingest_over_read_only\": null\n"),
     }
     json.push_str("}\n");
 

@@ -8,8 +8,11 @@ use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
 
 use traj_query::{Query, QueryBatch, QueryResult};
+use trajectory::Trajectory;
 
-use crate::wire::{read_message, write_message, Message, ShardInfo, ShardResult, WireError};
+use crate::wire::{
+    read_message, write_message, IngestAck, Message, ShardInfo, ShardResult, WireError,
+};
 
 /// Socket deadlines for a [`Client`]. `None` everywhere (the default)
 /// blocks indefinitely — fine for tests and trusted loopback peers;
@@ -195,6 +198,23 @@ impl Client {
             Message::Error { code, message } => Err(WireError::Remote { code, message }),
             _ => Err(WireError::Malformed {
                 reason: "peer answered a shard request with the wrong frame kind",
+            }),
+        }
+    }
+
+    /// Appends trajectories to a live server. The returned
+    /// [`IngestAck`] means the batch is WAL-durable *and* already
+    /// visible to queries — an immediately following range query on the
+    /// same server sees the new ids. A server fronting an immutable
+    /// snapshot answers with a typed [`WireError::Remote`] carrying
+    /// [`ERR_READ_ONLY`](crate::server::ERR_READ_ONLY).
+    pub fn ingest(&mut self, trajs: &[Trajectory]) -> Result<IngestAck, WireError> {
+        self.send(&Message::Ingest(trajs.to_vec()))?;
+        match self.receive()? {
+            Message::IngestAck(ack) => Ok(ack),
+            Message::Error { code, message } => Err(WireError::Remote { code, message }),
+            _ => Err(WireError::Malformed {
+                reason: "peer answered an ingest with the wrong frame kind",
             }),
         }
     }

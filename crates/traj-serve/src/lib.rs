@@ -64,11 +64,12 @@ pub use coordinator::{
 };
 pub use fault::{Fault, FaultDirection, FaultProxy};
 pub use server::{
-    execute_shard_batch, BatchConfig, ExecutionMode, ServeOptions, Server, ServerStats,
+    execute_shard_batch, BatchConfig, ExecutionMode, ServeDb, ServeOptions, Server, ServerStats,
+    ERR_INGEST_FAILED, ERR_READ_ONLY,
 };
 pub use wire::{
-    decode_message, encode_message, read_message, write_message, Message, ShardInfo, ShardResult,
-    WireError, MAGIC, MAX_PAYLOAD, SHARD_INFO_VERSION, VERSION,
+    decode_message, encode_message, read_message, write_message, IngestAck, Message, ShardInfo,
+    ShardResult, WireError, MAGIC, MAX_PAYLOAD, SHARD_INFO_VERSION, VERSION,
 };
 
 /// The byte-level wire format specification (`docs/WIRE_FORMAT.md`),

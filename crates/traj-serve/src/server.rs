@@ -34,22 +34,96 @@ use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
-use traj_query::{DbOptions, Query, QueryBatch, QueryExecutor, QueryResult, TrajDb, TrajDbError};
+use traj_query::{
+    DbOptions, GenerationalDb, IngestReport, Query, QueryBatch, QueryExecutor, QueryResult, TrajDb,
+    TrajDbError,
+};
+use trajectory::Trajectory;
 
-use crate::wire::{read_message, write_message, Message, ShardInfo, ShardResult, WireError};
+use crate::wire::{
+    read_message, write_message, IngestAck, Message, ShardInfo, ShardResult, WireError,
+};
 
-// `TrajDb` must stay shareable across connection handler threads; if a
-// future backend loses Send/Sync this fails to compile right here
+// The database must stay shareable across connection handler threads;
+// if a future backend loses Send/Sync this fails to compile right here
 // instead of deep inside a thread spawn.
 const _: fn() = || {
     fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<TrajDb>();
+    assert_send_sync::<ServeDb>();
 };
 
 /// Error code sent to clients when their frame could not be decoded.
 pub const ERR_BAD_REQUEST: u16 = 1;
 /// Error code sent to clients when the message kind is not a request.
 pub const ERR_NOT_A_REQUEST: u16 = 2;
+/// Error code sent to clients that send `Ingest` to a server fronting
+/// an immutable snapshot (no WAL-backed delta store to append to).
+pub const ERR_READ_ONLY: u16 = 3;
+/// Error code sent when a live server's ingest failed durably (WAL
+/// write or sync error); nothing from the batch was acknowledged.
+pub const ERR_INGEST_FAILED: u16 = 4;
+
+/// The database behind a server: either an immutable snapshot-backed
+/// [`TrajDb`] (queries only) or a live, WAL-backed [`GenerationalDb`]
+/// that additionally accepts `Ingest` frames concurrently with queries.
+///
+/// `From` impls let [`Server::start`] take either directly, so existing
+/// `Server::start(db, …)` call sites keep compiling.
+pub enum ServeDb {
+    /// Read-only store; `Ingest` frames are answered with
+    /// [`ERR_READ_ONLY`].
+    Static(TrajDb),
+    /// Live generational database: writes are WAL-durable and visible
+    /// to queries before the ack frame goes out.
+    Live(Arc<GenerationalDb>),
+}
+
+impl From<TrajDb> for ServeDb {
+    fn from(db: TrajDb) -> ServeDb {
+        ServeDb::Static(db)
+    }
+}
+
+impl From<Arc<GenerationalDb>> for ServeDb {
+    fn from(db: Arc<GenerationalDb>) -> ServeDb {
+        ServeDb::Live(db)
+    }
+}
+
+impl From<GenerationalDb> for ServeDb {
+    fn from(db: GenerationalDb) -> ServeDb {
+        ServeDb::Live(Arc::new(db))
+    }
+}
+
+impl ServeDb {
+    /// The read-path executor — both layouts serve the identical
+    /// [`QueryExecutor`] surface.
+    fn executor(&self) -> &dyn QueryExecutor {
+        match self {
+            ServeDb::Static(db) => db,
+            ServeDb::Live(db) => db.as_ref(),
+        }
+    }
+
+    /// Smallest cube covering every served point (for the handshake).
+    fn bounding_cube(&self) -> trajectory::Cube {
+        match self {
+            ServeDb::Static(db) => db.bounding_cube(),
+            ServeDb::Live(db) => db.bounding_cube(),
+        }
+    }
+
+    /// Appends a batch: `None` when this database is read-only,
+    /// otherwise the delta store's report (or the I/O error).
+    fn ingest(&self, trajs: &[Trajectory]) -> Option<std::io::Result<IngestReport>> {
+        match self {
+            ServeDb::Static(_) => None,
+            ServeDb::Live(db) => Some(db.ingest(trajs)),
+        }
+    }
+}
 
 /// Tuning for [`ExecutionMode::Batched`].
 #[derive(Debug, Clone, Copy)]
@@ -132,6 +206,10 @@ pub struct ServerStats {
     pub batches: u64,
     /// Queries that went through batched passes.
     pub batched_queries: u64,
+    /// Ingest frames answered with an ack (live servers only).
+    pub ingests: u64,
+    /// Trajectories accepted across all acked ingest frames.
+    pub ingested_trajs: u64,
 }
 
 impl ServerStats {
@@ -160,7 +238,7 @@ struct QueueState {
 }
 
 struct Shared {
-    db: TrajDb,
+    db: ServeDb,
     mode: ExecutionMode,
     queue: Mutex<QueueState>,
     available: Condvar,
@@ -169,6 +247,8 @@ struct Shared {
     queries: AtomicU64,
     batches: AtomicU64,
     batched_queries: AtomicU64,
+    ingests: AtomicU64,
+    ingested_trajs: AtomicU64,
     conns: Mutex<Vec<TcpStream>>,
     handlers: Mutex<Vec<JoinHandle<()>>>,
 }
@@ -196,17 +276,19 @@ impl Server {
         Server::start(db, addr, opts).map_err(TrajDbError::Io)
     }
 
-    /// Starts serving an already-open database on `addr`. Bind to port
-    /// 0 to let the OS pick; [`Server::local_addr`] reports the result.
+    /// Starts serving an already-open database on `addr`. Accepts an
+    /// immutable [`TrajDb`] or a live [`GenerationalDb`] (see
+    /// [`ServeDb`]). Bind to port 0 to let the OS pick;
+    /// [`Server::local_addr`] reports the result.
     pub fn start(
-        db: TrajDb,
+        db: impl Into<ServeDb>,
         addr: impl ToSocketAddrs,
         opts: ServeOptions,
     ) -> std::io::Result<Server> {
         let listener = TcpListener::bind(addr)?;
         let local = listener.local_addr()?;
         let shared = Arc::new(Shared {
-            db,
+            db: db.into(),
             mode: opts.mode,
             queue: Mutex::new(QueueState::default()),
             available: Condvar::new(),
@@ -215,6 +297,8 @@ impl Server {
             queries: AtomicU64::new(0),
             batches: AtomicU64::new(0),
             batched_queries: AtomicU64::new(0),
+            ingests: AtomicU64::new(0),
+            ingested_trajs: AtomicU64::new(0),
             conns: Mutex::new(Vec::new()),
             handlers: Mutex::new(Vec::new()),
         });
@@ -253,6 +337,8 @@ impl Server {
             queries: self.shared.queries.load(Ordering::Relaxed),
             batches: self.shared.batches.load(Ordering::Relaxed),
             batched_queries: self.shared.batched_queries.load(Ordering::Relaxed),
+            ingests: self.shared.ingests.load(Ordering::Relaxed),
+            ingested_trajs: self.shared.ingested_trajs.load(Ordering::Relaxed),
         }
     }
 
@@ -345,11 +431,12 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
                 // Bounds come from the decoded store, so for quantized
                 // snapshots they match the manifest's `bounds=` lines
                 // bitwise (both are computed post-decode).
-                let bounds = (shared.db.total_points() > 0).then(|| shared.db.bounding_cube());
+                let db = shared.db.executor();
+                let bounds = (db.total_points() > 0).then(|| shared.db.bounding_cube());
                 Message::ShardInfo(ShardInfo {
-                    trajs: shared.db.len() as u64,
-                    points: shared.db.total_points() as u64,
-                    has_kept: shared.db.has_kept_bitmap(),
+                    trajs: db.len() as u64,
+                    points: db.total_points() as u64,
+                    has_kept: db.has_kept_bitmap(),
                     bounds,
                 })
             }
@@ -359,9 +446,36 @@ fn serve_connection(stream: &mut TcpStream, shared: &Arc<Shared>) {
                     .fetch_add(batch.len() as u64, Ordering::Relaxed);
                 Message::ShardResponse {
                     id,
-                    results: execute_shard_batch(&shared.db, &batch),
+                    results: serve_shard_batch(&shared.db, &batch),
                 }
             }
+            // Writes bypass the admission queue: the delta store already
+            // coalesces a whole frame into one WAL sync, and an ack must
+            // not wait behind a read linger window.
+            Ok(Some(Message::Ingest(trajs))) => match shared.db.ingest(&trajs) {
+                None => Message::Error {
+                    code: ERR_READ_ONLY,
+                    message: "server fronts an immutable snapshot; ingest needs a live database"
+                        .to_owned(),
+                },
+                Some(Ok(report)) => {
+                    shared.ingests.fetch_add(1, Ordering::Relaxed);
+                    shared
+                        .ingested_trajs
+                        .fetch_add(u64::from(report.accepted), Ordering::Relaxed);
+                    Message::IngestAck(IngestAck {
+                        accepted: report.accepted,
+                        rejected: report.rejected,
+                        first_id: report.first_id,
+                        total_trajs: report.total_trajs,
+                        total_points: report.total_points,
+                    })
+                }
+                Some(Err(e)) => Message::Error {
+                    code: ERR_INGEST_FAILED,
+                    message: e.to_string(),
+                },
+            },
             Ok(Some(_)) => {
                 // A server only accepts request-side frames; anything
                 // else ends the conversation after a typed error frame.
@@ -416,6 +530,26 @@ pub fn execute_shard_batch(db: &TrajDb, batch: &QueryBatch) -> Vec<ShardResult> 
         .collect()
 }
 
+/// [`execute_shard_batch`] over either serving layout. A live database
+/// produces the same per-shard material — its merged `knn_candidates`
+/// already have the canonical candidate shape (finite, `(d, id)`
+/// ascending, truncated to `k`, `-0.0`-normalized).
+fn serve_shard_batch(db: &ServeDb, batch: &QueryBatch) -> Vec<ShardResult> {
+    match db {
+        ServeDb::Static(db) => execute_shard_batch(db, batch),
+        ServeDb::Live(db) => batch
+            .queries()
+            .iter()
+            .map(|q| match q {
+                Query::Range(c) => ShardResult::Ids(db.range(c)),
+                Query::Knn(k) => ShardResult::Candidates(db.knn_candidates(k)),
+                Query::Similarity(s) => ShardResult::Ids(db.similarity(s)),
+                Query::RangeKept(c) => ShardResult::Kept(db.range_kept(c)),
+            })
+            .collect(),
+    }
+}
+
 fn execute(shared: &Arc<Shared>, batch: QueryBatch) -> Vec<QueryResult> {
     shared
         .queries
@@ -425,7 +559,7 @@ fn execute(shared: &Arc<Shared>, batch: QueryBatch) -> Vec<QueryResult> {
             // The naive baseline: a dedicated engine pass on its own
             // freshly spawned thread, per request.
             let db = Arc::clone(shared);
-            std::thread::spawn(move || db.db.execute_batch(&batch))
+            std::thread::spawn(move || db.db.executor().execute_batch(&batch))
                 .join()
                 .expect("per-request engine pass panicked")
         }
@@ -505,7 +639,7 @@ fn executor_loop(shared: &Arc<Shared>, cfg: BatchConfig) {
             replies.push(job.reply);
         }
         let batch = QueryBatch::from_queries(combined);
-        let mut results = shared.db.execute_batch(&batch).into_iter();
+        let mut results = shared.db.executor().execute_batch(&batch).into_iter();
         shared.batches.fetch_add(1, Ordering::Relaxed);
         shared
             .batched_queries

@@ -58,6 +58,12 @@ pub const KIND_SHARD_INFO: u8 = 5;
 pub const KIND_SHARD_REQUEST: u8 = 6;
 /// Frame kind byte for a [`Message::ShardResponse`].
 pub const KIND_SHARD_RESPONSE: u8 = 7;
+/// Frame kind byte for a [`Message::Ingest`] (client → server: append
+/// trajectories to a live, WAL-backed database).
+pub const KIND_INGEST: u8 = 8;
+/// Frame kind byte for a [`Message::IngestAck`] (server → client:
+/// the writes are durable — WAL-synced — and queryable).
+pub const KIND_INGEST_ACK: u8 = 9;
 
 /// Everything that can go wrong speaking the wire format. Corruption is
 /// always reported as a typed variant — decoding never panics.
@@ -253,6 +259,26 @@ pub enum ShardResult {
     Candidates(Vec<(f64, TrajId)>),
 }
 
+/// What a live server reports back for one [`Message::Ingest`] frame,
+/// sent only after the delta store's WAL has been synced — an ack means
+/// the accepted trajectories survive a crash *and* are already visible
+/// to queries on the same server.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct IngestAck {
+    /// Trajectories admitted (at least one point survived the online
+    /// simplifier and validation).
+    pub accepted: u32,
+    /// Trajectories rejected outright (no admissible point).
+    pub rejected: u32,
+    /// Global id assigned to the first accepted trajectory; the rest
+    /// follow contiguously. `None` when nothing was accepted.
+    pub first_id: Option<TrajId>,
+    /// Total trajectories the database serves after this batch.
+    pub total_trajs: u64,
+    /// Total points the database serves after this batch.
+    pub total_points: u64,
+}
+
 /// One framed message, either direction.
 #[derive(Debug, Clone)]
 pub enum Message {
@@ -290,6 +316,15 @@ pub enum Message {
         /// One result per query, in submission order.
         results: Vec<ShardResult>,
     },
+    /// Client → server: append these trajectories to a live database.
+    /// Every trajectory must already be wire-valid (non-empty, finite,
+    /// time-sorted) — trajectory decoding rejects the whole frame
+    /// otherwise; the server's online admission may still reject
+    /// individual trajectories (reported in the ack's `rejected`
+    /// count).
+    Ingest(Vec<Trajectory>),
+    /// Server → client: the ingest batch is WAL-durable and queryable.
+    IngestAck(IngestAck),
 }
 
 impl Message {
@@ -304,6 +339,8 @@ impl Message {
             Message::ShardInfo(_) => KIND_SHARD_INFO,
             Message::ShardRequest { .. } => KIND_SHARD_REQUEST,
             Message::ShardResponse { .. } => KIND_SHARD_RESPONSE,
+            Message::Ingest(_) => KIND_INGEST,
+            Message::IngestAck(_) => KIND_INGEST_ACK,
         }
     }
 }
@@ -769,6 +806,21 @@ fn encode_payload(msg: &Message) -> Vec<u8> {
                 encode_shard_result(&mut out, r);
             }
         }
+        Message::Ingest(trajs) => {
+            put_u32_vec(&mut out, trajs.len() as u32);
+            for t in trajs {
+                encode_trajectory(&mut out, t);
+            }
+        }
+        Message::IngestAck(ack) => {
+            put_u32_vec(&mut out, ack.accepted);
+            put_u32_vec(&mut out, ack.rejected);
+            // `u64::MAX` is the "nothing accepted" sentinel: a real
+            // first id can never reach it (ids count trajectories).
+            put_u64_vec(&mut out, ack.first_id.map_or(u64::MAX, |id| id as u64));
+            put_u64_vec(&mut out, ack.total_trajs);
+            put_u64_vec(&mut out, ack.total_points);
+        }
     }
     out
 }
@@ -866,6 +918,42 @@ fn decode_payload(kind: u8, payload: &[u8]) -> Result<Message, WireError> {
             }
             Message::ShardResponse { id, results }
         }
+        KIND_INGEST => {
+            // A trajectory is at least its 4-byte point count.
+            let n = r.count(4)?;
+            let mut trajs = Vec::with_capacity(n);
+            for _ in 0..n {
+                trajs.push(decode_trajectory(&mut r)?);
+            }
+            Message::Ingest(trajs)
+        }
+        KIND_INGEST_ACK => {
+            let accepted = r.u32()?;
+            let rejected = r.u32()?;
+            let first_raw = r.u64()?;
+            let first_id = if first_raw == u64::MAX {
+                None
+            } else {
+                let id = usize::try_from(first_raw).map_err(|_| WireError::Malformed {
+                    reason: "ingest-ack first id exceeds the address space",
+                })?;
+                Some(id)
+            };
+            if first_id.is_some() != (accepted > 0) {
+                return Err(WireError::Malformed {
+                    reason: "ingest-ack first id disagrees with accepted count",
+                });
+            }
+            let total_trajs = r.u64()?;
+            let total_points = r.u64()?;
+            Message::IngestAck(IngestAck {
+                accepted,
+                rejected,
+                first_id,
+                total_trajs,
+                total_points,
+            })
+        }
         kind => return Err(WireError::UnknownKind { kind }),
     };
     r.finish()?;
@@ -905,7 +993,7 @@ fn decode_header(header: &[u8; HEADER_LEN]) -> Result<(u8, usize), WireError> {
         });
     }
     let kind = header[6];
-    if !(KIND_REQUEST..=KIND_SHARD_RESPONSE).contains(&kind) {
+    if !(KIND_REQUEST..=KIND_INGEST_ACK).contains(&kind) {
         return Err(WireError::UnknownKind { kind });
     }
     if header[7] != 0 {

@@ -1,0 +1,246 @@
+//! Integration tests for wire-format ingestion: a live server accepts
+//! `Ingest` frames concurrently with queries, acks only after the WAL
+//! sync, serves the new trajectories immediately and byte-identically
+//! to in-process execution, survives a server restart, and a server
+//! fronting an immutable snapshot rejects writes with a typed error.
+
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Barrier};
+
+use traj_query::{
+    DbOptions, Dissimilarity, GenerationalDb, KnnQuery, Query, QueryBatch, QueryExecutor,
+    SimilarityQuery, SimpFactory, TrajDb,
+};
+use traj_serve::{Client, ServeOptions, Server, WireError, ERR_READ_ONLY};
+use trajectory::gen::{generate, DatasetSpec, Scale};
+use trajectory::snapshot::write_snapshot;
+use trajectory::{KeepAll, Trajectory, TrajectoryDb};
+
+fn unique_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+    let dir = std::env::temp_dir().join("qdts_ingest_tests");
+    std::fs::create_dir_all(&dir).expect("temp dir");
+    dir.join(format!(
+        "{tag}_{}_{}",
+        std::process::id(),
+        COUNTER.fetch_add(1, Ordering::Relaxed)
+    ))
+}
+
+fn keep_all() -> SimpFactory {
+    Box::new(|| Box::new(KeepAll))
+}
+
+fn dataset(seed: u64, trajs: usize) -> TrajectoryDb {
+    generate(
+        &DatasetSpec::tdrive(Scale::Smoke).with_trajectories(trajs),
+        seed,
+    )
+}
+
+/// A batch exercising every query variant against `db`'s bounds.
+fn mixed_batch(db: &TrajectoryDb) -> QueryBatch {
+    let bounds = db.bounding_cube();
+    let mid_t = (bounds.t_min + bounds.t_max) / 2.0;
+    let cube = trajectory::Cube::new(
+        bounds.x_min,
+        (bounds.x_min + bounds.x_max) / 2.0,
+        bounds.y_min,
+        (bounds.y_min + bounds.y_max) / 2.0,
+        bounds.t_min,
+        mid_t,
+    );
+    let probe = db.get(0).clone();
+    QueryBatch::from_queries(vec![
+        Query::Range(cube),
+        Query::Knn(KnnQuery {
+            query: probe.clone(),
+            ts: bounds.t_min,
+            te: mid_t,
+            k: 3,
+            measure: Dissimilarity::Edr { eps: 2_000.0 },
+        }),
+        Query::Similarity(SimilarityQuery {
+            query: probe,
+            ts: bounds.t_min,
+            te: mid_t,
+            delta: 5_000.0,
+            step: 600.0,
+        }),
+        Query::RangeKept(cube),
+    ])
+}
+
+fn trajs_of(db: &TrajectoryDb) -> Vec<Trajectory> {
+    db.iter().map(|(_, t)| t.clone()).collect()
+}
+
+#[test]
+fn live_server_ingests_and_serves_immediately() {
+    let base = dataset(3, 12);
+    let extra = dataset(17, 5);
+    let dir = unique_dir("serve");
+    let db = Arc::new(
+        GenerationalDb::create(&dir, &base.to_store(), DbOptions::new(), keep_all())
+            .expect("create"),
+    );
+    let server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServeOptions::batched())
+        .expect("server start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let new_trajs = trajs_of(&extra);
+    let ack = client.ingest(&new_trajs).expect("ingest acked");
+    assert_eq!(ack.accepted, new_trajs.len() as u32);
+    assert_eq!(ack.rejected, 0);
+    assert_eq!(ack.first_id, Some(base.len()));
+    assert_eq!(ack.total_trajs, (base.len() + new_trajs.len()) as u64);
+
+    // The ack means queryable *now*: the wire answers match in-process
+    // execution over the merged view, and the new ids are reachable.
+    let combined: TrajectoryDb = trajs_of(&base).into_iter().chain(new_trajs).collect();
+    let batch = mixed_batch(&combined);
+    let over_wire = client.execute_batch(&batch).expect("batch over wire");
+    let in_process = db.execute_batch(&batch);
+    assert_eq!(over_wire, in_process);
+    assert_eq!(db.len(), combined.len());
+
+    let stats = server.stats();
+    assert_eq!(stats.ingests, 1);
+    assert_eq!(stats.ingested_trajs, extra.len() as u64);
+
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn ingested_data_survives_a_server_restart() {
+    let base = dataset(5, 8);
+    let extra = dataset(23, 4);
+    let dir = unique_dir("restart");
+    let db = Arc::new(
+        GenerationalDb::create(&dir, &base.to_store(), DbOptions::new(), keep_all())
+            .expect("create"),
+    );
+    let server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServeOptions::batched())
+        .expect("server start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+    client.ingest(&trajs_of(&extra)).expect("ingest acked");
+    server.shutdown();
+    drop(client);
+    drop(db); // release the WAL file before reopening the directory
+
+    // A fresh process opening the same directory replays the WAL and
+    // serves everything the old server acked.
+    let reopened = Arc::new(
+        GenerationalDb::open(&dir, DbOptions::new(), keep_all()).expect("reopen after restart"),
+    );
+    assert_eq!(reopened.len(), base.len() + extra.len());
+    let server = Server::start(
+        Arc::clone(&reopened),
+        "127.0.0.1:0",
+        ServeOptions::batched(),
+    )
+    .expect("second server");
+    let mut client = Client::connect(server.local_addr()).expect("reconnect");
+    let combined: TrajectoryDb = trajs_of(&base)
+        .into_iter()
+        .chain(trajs_of(&extra))
+        .collect();
+    let batch = mixed_batch(&combined);
+    assert_eq!(
+        client.execute_batch(&batch).expect("batch after restart"),
+        reopened.execute_batch(&batch)
+    );
+    server.shutdown();
+    std::fs::remove_dir_all(&dir).ok();
+}
+
+#[test]
+fn static_server_rejects_ingest_with_a_typed_error() {
+    let base = dataset(7, 6);
+    let snap = unique_dir("static").with_extension("snap");
+    write_snapshot(&base.to_store(), &snap).expect("write snapshot");
+    let db = TrajDb::open(&snap, DbOptions::new()).expect("open snapshot");
+    let server = Server::start(db, "127.0.0.1:0", ServeOptions::batched()).expect("server start");
+    let mut client = Client::connect(server.local_addr()).expect("connect");
+
+    let err = client
+        .ingest(&trajs_of(&base))
+        .expect_err("read-only must reject");
+    match err {
+        WireError::Remote { code, .. } => assert_eq!(code, ERR_READ_ONLY),
+        other => panic!("expected a Remote error, got {other}"),
+    }
+
+    // The connection stays usable for reads after the typed rejection.
+    let batch = mixed_batch(&base);
+    let results = client.execute_batch(&batch).expect("reads still served");
+    assert_eq!(results.len(), batch.len());
+    server.shutdown();
+    std::fs::remove_file(&snap).ok();
+}
+
+#[test]
+fn concurrent_writers_and_readers_stay_consistent() {
+    let base = dataset(11, 10);
+    let dir = unique_dir("mixed");
+    let db = Arc::new(
+        GenerationalDb::create(&dir, &base.to_store(), DbOptions::new(), keep_all())
+            .expect("create"),
+    );
+    let server = Server::start(Arc::clone(&db), "127.0.0.1:0", ServeOptions::batched())
+        .expect("server start");
+    let addr = server.local_addr();
+
+    const WRITERS: usize = 3;
+    const BATCHES: usize = 4;
+    let barrier = Arc::new(Barrier::new(WRITERS + 1));
+    let mut handles = Vec::new();
+    for w in 0..WRITERS {
+        let barrier = Arc::clone(&barrier);
+        handles.push(std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("writer connect");
+            barrier.wait();
+            let mut accepted = 0u64;
+            for b in 0..BATCHES {
+                let chunk = dataset(100 + (w * BATCHES + b) as u64, 2);
+                let ack = client.ingest(&trajs_of(&chunk)).expect("ingest acked");
+                accepted += u64::from(ack.accepted);
+            }
+            accepted
+        }));
+    }
+    // One reader hammers range queries while the writers append; every
+    // response must be well-formed and monotonically growing in ids.
+    let reader = {
+        let bounds = base.bounding_cube();
+        std::thread::spawn(move || {
+            let mut client = Client::connect(addr).expect("reader connect");
+            let mut seen_max = 0usize;
+            for _ in 0..24 {
+                let batch = QueryBatch::from_queries(vec![Query::Range(bounds)]);
+                let results = client.execute_batch(&batch).expect("read during writes");
+                if let traj_query::QueryResult::Range(ids) = &results[0] {
+                    if let Some(max) = ids.iter().max() {
+                        assert!(*max >= seen_max || seen_max == 0);
+                        seen_max = *max;
+                    }
+                }
+            }
+        })
+    };
+    barrier.wait();
+    let written: u64 = handles.into_iter().map(|h| h.join().expect("writer")).sum();
+    reader.join().expect("reader");
+
+    assert_eq!(written, (WRITERS * BATCHES * 2) as u64);
+    assert_eq!(db.len(), base.len() + written as usize);
+    // Everything acked is durable: reopen from disk and compare counts.
+    server.shutdown();
+    drop(db);
+    let reopened =
+        GenerationalDb::open(&dir, DbOptions::new(), keep_all()).expect("reopen after writes");
+    assert_eq!(reopened.len(), base.len() + written as usize);
+    std::fs::remove_dir_all(&dir).ok();
+}

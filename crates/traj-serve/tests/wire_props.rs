@@ -9,7 +9,8 @@ use traj_query::{
     Dissimilarity, KnnQuery, Query, QueryBatch, QueryResult, SimilarityQuery, T2vecEmbedder,
 };
 use traj_serve::wire::{
-    decode_message, encode_message, Message, ShardInfo, ShardResult, WireError, MAX_PAYLOAD,
+    decode_message, encode_message, IngestAck, Message, ShardInfo, ShardResult, WireError,
+    MAX_PAYLOAD,
 };
 use trajectory::{Cube, Point, Trajectory};
 
@@ -134,6 +135,27 @@ fn arb_shard_info() -> impl Strategy<Value = ShardInfo> {
         })
 }
 
+/// Ingest acks as a live server produces them: `first_id` present
+/// exactly when something was accepted (the decode-side invariant).
+fn arb_ingest_ack() -> impl Strategy<Value = IngestAck> {
+    (
+        0u32..10_000,
+        0u32..10_000,
+        0usize..1_000_000,
+        0u64..1 << 48,
+        0u64..1 << 48,
+    )
+        .prop_map(
+            |(accepted, rejected, first, total_trajs, total_points)| IngestAck {
+                accepted,
+                rejected,
+                first_id: (accepted > 0).then_some(first),
+                total_trajs,
+                total_points,
+            },
+        )
+}
+
 fn arb_message() -> impl Strategy<Value = Message> {
     prop_oneof![
         prop::collection::vec(arb_query(), 0..8)
@@ -158,6 +180,8 @@ fn arb_message() -> impl Strategy<Value = Message> {
             prop::collection::vec(arb_shard_result(), 0..8)
         )
             .prop_map(|(id, results)| Message::ShardResponse { id, results }),
+        prop::collection::vec(arb_trajectory(), 0..6).prop_map(Message::Ingest),
+        arb_ingest_ack().prop_map(Message::IngestAck),
     ]
 }
 
@@ -200,6 +224,12 @@ fn assert_message_eq(a: &Message, b: &Message) -> Result<(), TestCaseError> {
             Message::ShardResponse { id: ib, results: y },
         ) => {
             prop_assert_eq!(ia, ib);
+            prop_assert_eq!(x, y);
+        }
+        (Message::Ingest(x), Message::Ingest(y)) => {
+            prop_assert_eq!(x, y);
+        }
+        (Message::IngestAck(x), Message::IngestAck(y)) => {
             prop_assert_eq!(x, y);
         }
         _ => prop_assert!(false, "message kind changed in round trip"),
@@ -292,10 +322,10 @@ fn version_and_kind_corruption_give_specific_errors() {
     ));
 
     let mut k = frame.clone();
-    k[6] = 9;
+    k[6] = 10;
     assert!(matches!(
         decode_message(&k),
-        Err(WireError::UnknownKind { kind: 9 })
+        Err(WireError::UnknownKind { kind: 10 })
     ));
 
     let mut m = frame.clone();

@@ -26,6 +26,7 @@ pub mod adapt;
 pub mod bottomup;
 pub mod bounded;
 pub mod heap;
+pub mod onepass;
 pub mod persist;
 pub mod rlts;
 pub mod spansearch;
@@ -36,6 +37,7 @@ pub mod uniform;
 pub use adapt::{per_trajectory_budgets, Adaptation};
 pub use bottomup::BottomUp;
 pub use bounded::{bounded_db, bounded_one, min_eps_for_budget};
+pub use onepass::OnePassSed;
 pub use persist::{
     per_shard_budgets, simplify_shards, simplify_to_shard_set, simplify_to_snapshot,
     write_simplified_shard_set, write_simplified_shard_set_quantized, write_simplified_snapshot,

@@ -24,7 +24,11 @@
 //! - sharding ([`shard`]): grid / time / hash partitioners that split a
 //!   store into whole-trajectory shards, and the [`ShardSet`] manifest
 //!   that persists a sharded database as a directory of snapshot files
-//!   and reopens it owned or mmap-backed.
+//!   and reopens it owned or mmap-backed;
+//! - live ingestion ([`delta`]): the WAL-guarded mutable [`DeltaStore`]
+//!   accepting streaming `begin_traj`/`push_point` appends through a
+//!   deterministic [`OnlineSimplifier`], crash-replayable via the same
+//!   checksummed little-endian conventions as the snapshot format.
 //!
 //! The architecture across crates is documented in
 //! `docs/ARCHITECTURE.md`; the snapshot format is specified byte-by-byte
@@ -55,6 +59,7 @@
 
 pub mod bbox;
 pub mod db;
+pub mod delta;
 pub mod error;
 pub mod gen;
 pub mod geom;
@@ -72,7 +77,9 @@ pub mod traj;
 
 pub use bbox::Cube;
 pub use db::{Simplification, TrajId, TrajectoryDb};
+pub use delta::{replay_wal, BoxedSimplifier, DeltaError, DeltaStore, KeepAll, OnlineSimplifier};
 pub use error::ErrorMeasure;
+pub use io::PointSink;
 pub use point::Point;
 pub use seq::PointSeq;
 pub use shard::{partition, OpenShard, PartitionStrategy, Shard, ShardSet, ShardSetError};

@@ -244,6 +244,16 @@ pub enum ShardSetError {
         /// A shard file with no bounds while others have them.
         file: String,
     },
+    /// The manifest's `generation=` line is not a single unsigned
+    /// integer — or appears more than once. The generation is the
+    /// placement epoch live compaction and re-sharding bump, so a
+    /// corrupt value must be a typed error, never a silent zero.
+    MalformedGeneration {
+        /// The offending generation string.
+        value: String,
+        /// What is wrong with it.
+        reason: String,
+    },
     /// A shard's id list is not strictly ascending (the fan-out merge
     /// relies on local order equalling global order).
     UnsortedTrajIds {
@@ -311,6 +321,9 @@ impl std::fmt::Display for ShardSetError {
             }
             ShardSetError::MissingShardBounds { file } => {
                 write!(f, "shard {file} has no bounds= token while other shards do")
+            }
+            ShardSetError::MalformedGeneration { value, reason } => {
+                write!(f, "malformed generation {value:?}: {reason}")
             }
             ShardSetError::UnsortedTrajIds { file } => {
                 write!(f, "shard {file} lists trajectory ids out of order")
@@ -404,6 +417,11 @@ pub struct OpenShard<S> {
 pub struct ShardSet {
     dir: PathBuf,
     trajs: usize,
+    /// Placement epoch (the optional `generation=` manifest line; 0 when
+    /// absent). Bumped whenever the set's composition changes — live
+    /// compaction folding a delta in, or a future re-sharding — so
+    /// cached routing decisions can be invalidated by comparing epochs.
+    generation: u64,
     entries: Vec<ShardEntry>,
 }
 
@@ -497,10 +515,14 @@ impl ShardSet {
                 global_ids: shard.global_ids.clone(),
             });
         }
-        std::fs::write(dir.join(MANIFEST_FILE), render_manifest(trajs, &entries)?)?;
+        std::fs::write(
+            dir.join(MANIFEST_FILE),
+            render_manifest(trajs, 0, &entries)?,
+        )?;
         Ok(ShardSet {
             dir: dir.to_path_buf(),
             trajs,
+            generation: 0,
             entries,
         })
     }
@@ -548,7 +570,7 @@ impl ShardSet {
     pub fn save_manifest(&self) -> Result<(), ShardSetError> {
         std::fs::write(
             self.dir.join(MANIFEST_FILE),
-            render_manifest(self.trajs, &self.entries)?,
+            render_manifest(self.trajs, self.generation, &self.entries)?,
         )?;
         Ok(())
     }
@@ -597,6 +619,7 @@ impl ShardSet {
         // what the manifest actually contains, so a corrupt header cannot
         // trigger a huge allocation (it must fail with a typed error).
         let mut entries = Vec::new();
+        let mut generation: Option<u64> = None;
         for (lineno, line) in lines {
             if line.trim().is_empty() {
                 continue;
@@ -604,6 +627,30 @@ impl ShardSet {
             let mut fields = line.split_whitespace();
             match fields.next() {
                 Some("shard") => {}
+                Some(tok) if tok.starts_with("generation=") => {
+                    let value = tok["generation=".len()..].to_string();
+                    if generation.is_some() {
+                        return Err(ShardSetError::MalformedGeneration {
+                            value,
+                            reason: "duplicate generation= line".into(),
+                        });
+                    }
+                    if fields.next().is_some() {
+                        return Err(ShardSetError::MalformedGeneration {
+                            value,
+                            reason: "trailing tokens after generation= line".into(),
+                        });
+                    }
+                    let parsed =
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| ShardSetError::MalformedGeneration {
+                                value: value.clone(),
+                                reason: "not an unsigned integer".into(),
+                            })?;
+                    generation = Some(parsed);
+                    continue;
+                }
                 other => {
                     return Err(ShardSetError::Parse {
                         line: lineno + 1,
@@ -763,8 +810,21 @@ impl ShardSet {
         Ok(ShardSet {
             dir: dir.to_path_buf(),
             trajs,
+            generation: generation.unwrap_or(0),
             entries,
         })
+    }
+
+    /// The set's placement epoch (the `generation=` manifest line;
+    /// 0 for manifests written before generations existed).
+    #[must_use]
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Sets the placement epoch. Persist with [`ShardSet::save_manifest`].
+    pub fn set_generation(&mut self, generation: u64) {
+        self.generation = generation;
     }
 
     /// The shard-set directory.
@@ -857,13 +917,17 @@ impl ShardSet {
     }
 }
 
-/// Serializes the manifest: magic, header, one `shard` line per entry
-/// (with the optional `addr=` placement and `bounds=` pruning tokens
-/// before the id list).
-fn render_manifest(trajs: usize, entries: &[ShardEntry]) -> io::Result<Vec<u8>> {
+/// Serializes the manifest: magic, header, the `generation=` epoch line
+/// (omitted at epoch 0 so pre-generation manifests stay byte-identical),
+/// then one `shard` line per entry (with the optional `addr=` placement
+/// and `bounds=` pruning tokens before the id list).
+fn render_manifest(trajs: usize, generation: u64, entries: &[ShardEntry]) -> io::Result<Vec<u8>> {
     let mut manifest = Vec::new();
     writeln!(manifest, "{MANIFEST_MAGIC}")?;
     writeln!(manifest, "shards {} trajs {trajs}", entries.len())?;
+    if generation != 0 {
+        writeln!(manifest, "generation={generation}")?;
+    }
     for e in entries {
         write!(manifest, "shard {}", e.file)?;
         if let Some(addr) = &e.addr {
@@ -1255,6 +1319,52 @@ mod tests {
             ShardSet::load(&dir),
             Err(ShardSetError::MalformedShardAddr { .. })
         ));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+
+    #[test]
+    fn generation_round_trips_through_the_manifest() {
+        let store = sample_store();
+        let shards = partition(&store, &PartitionStrategy::Hash { parts: 2 });
+        let dir = temp_dir("generation");
+        let mut set = ShardSet::write(&dir, &shards).unwrap();
+
+        // Freshly written (and pre-generation) manifests load at epoch 0,
+        // and epoch 0 emits no generation= line at all.
+        assert_eq!(set.generation(), 0);
+        assert_eq!(ShardSet::load(&dir).unwrap().generation(), 0);
+        let manifest_path = dir.join(MANIFEST_FILE);
+        assert!(!std::fs::read_to_string(&manifest_path)
+            .unwrap()
+            .contains("generation="));
+
+        set.set_generation(7);
+        set.save_manifest().unwrap();
+        let reloaded = ShardSet::load(&dir).unwrap();
+        assert_eq!(reloaded.generation(), 7);
+        assert_eq!(reloaded, set);
+
+        // Malformed generations are typed errors, never a silent zero.
+        let original = std::fs::read_to_string(&manifest_path).unwrap();
+        for (bad, what) in [
+            ("generation=seven", "non-numeric"),
+            ("generation=-3", "negative"),
+            ("generation=", "empty"),
+            ("generation=7 extra", "trailing tokens"),
+            ("generation=7\ngeneration=8", "duplicate"),
+        ] {
+            let text = original.replace("generation=7", bad);
+            std::fs::write(&manifest_path, text).unwrap();
+            assert!(
+                matches!(
+                    ShardSet::load(&dir),
+                    Err(ShardSetError::MalformedGeneration { .. })
+                ),
+                "{what} generation must be rejected"
+            );
+        }
+        std::fs::write(&manifest_path, &original).unwrap();
+        assert_eq!(ShardSet::load(&dir).unwrap().generation(), 7);
         std::fs::remove_dir_all(&dir).ok();
     }
 
